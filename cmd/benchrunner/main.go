@@ -1,0 +1,81 @@
+// Command benchrunner regenerates the paper's evaluation tables and
+// figures (Section 5) at a configurable scale.
+//
+// Usage:
+//
+//	benchrunner -exp all
+//	benchrunner -exp fig5 -galaxy 60000 -tau 0.1
+//	benchrunner -exp fig1,fig3,fig9 -timeout 30s
+//
+// Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig6eps.
+// See EXPERIMENTS.md for what each reproduces and the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ilp"
+)
+
+func main() {
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps) or all")
+		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
+		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		tau      = flag.Float64("tau", 0.10, "partition size threshold fraction")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-ILP solver time limit")
+		maxNodes = flag.Int("maxnodes", 50000, "per-ILP branch-and-bound node budget")
+		maxCard  = flag.Int("fig1card", 5, "largest package cardinality for figure 1")
+		sqlCap   = flag.Duration("fig1timeout", 10*time.Second, "naive SQL formulation timeout per cardinality")
+	)
+	flag.Parse()
+
+	env := bench.NewEnv(bench.Config{
+		GalaxyN: *galaxyN,
+		TPCHN:   *tpchN,
+		Seed:    *seed,
+		TauFrac: *tau,
+		Solver:  ilp.Options{TimeLimit: *timeout, MaxNodes: *maxNodes, Gap: 1e-4},
+		Out:     os.Stdout,
+	})
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("\n==== %s ====\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1", func() error { _, err := env.Fig1(*maxCard, *sqlCap); return err })
+	run("fig3", func() error { _, err := env.Fig3(); return err })
+	run("fig4", func() error { _, err := env.Fig4(); return err })
+	run("fig5", func() error { _, err := env.Scalability(bench.Galaxy); return err })
+	run("fig6", func() error { _, err := env.Scalability(bench.TPCH); return err })
+	run("fig7", func() error { _, err := env.TauSweep(bench.Galaxy, 0.30); return err })
+	run("fig8", func() error { _, err := env.TauSweep(bench.TPCH, 1.00); return err })
+	run("fig9", func() error {
+		if _, err := env.Coverage(bench.Galaxy); err != nil {
+			return err
+		}
+		_, err := env.Coverage(bench.TPCH)
+		return err
+	})
+	run("fig6eps", func() error { _, err := env.EpsilonRepair(1.0); return err })
+}

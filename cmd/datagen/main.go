@@ -1,0 +1,63 @@
+// Command datagen writes the synthetic benchmark datasets (the stand-ins
+// for the SDSS Galaxy view and the pre-joined TPC-H table) as typed CSV
+// files usable with paqlcli.
+//
+// Usage:
+//
+//	datagen -dataset galaxy -n 100000 -seed 1 -out galaxy.csv
+//	datagen -dataset tpch   -n 200000 -seed 1 -out tpch.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "galaxy", "dataset to generate: galaxy or tpch")
+		n       = flag.Int("n", 100000, "number of tuples")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output CSV path (required)")
+		queries = flag.Bool("queries", false, "also print the benchmark PaQL queries for the dataset")
+	)
+	flag.Parse()
+	if err := run(*dataset, *n, *seed, *out, *queries); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, n int, seed int64, out string, queries bool) error {
+	if out == "" && !queries {
+		return fmt.Errorf("-out is required")
+	}
+	var rel *relation.Relation
+	var qs []workload.Query
+	switch dataset {
+	case "galaxy":
+		rel = workload.Galaxy(n, seed)
+		qs = workload.GalaxyQueries(rel)
+	case "tpch":
+		rel = workload.TPCH(n, seed)
+		qs = workload.TPCHQueries(rel)
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if out != "" {
+		if err := relation.SaveCSV(rel, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d tuples to %s\n", rel.Len(), out)
+	}
+	if queries {
+		for _, q := range qs {
+			fmt.Printf("-- %s (hard=%v, subset=%.4g)\n%s\n\n", q.Name, q.Hard, q.SubsetFrac, q.PaQL)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command paqlcli evaluates a PaQL query against a CSV table.
+//
+// Usage:
+//
+//	paqlcli -data table.csv [-query query.paql | -q "SELECT PACKAGE..."]
+//	        [-method direct|sketchrefine] [-tau 0.1] [-timeout 60s] [-out pkg.csv]
+//
+// The CSV header uses name:type fields (type f=float, i=int, s=string), as
+// written by the datagen tool and relation.WriteCSV. The chosen package is
+// printed with its objective value and optionally saved as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sketchrefine"
+	"repro/internal/translate"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "CSV file holding the input relation (required)")
+		queryPath = flag.String("query", "", "file holding the PaQL query text")
+		queryText = flag.String("q", "", "inline PaQL query text")
+		method    = flag.String("method", "direct", "evaluation method: direct or sketchrefine")
+		tauFrac   = flag.Float64("tau", 0.10, "sketchrefine: partition size threshold as a fraction of the data")
+		timeout   = flag.Duration("timeout", 60*time.Second, "solver time limit per ILP")
+		maxNodes  = flag.Int("maxnodes", 200000, "solver branch-and-bound node budget per ILP")
+		outPath   = flag.String("out", "", "write the package as CSV to this path")
+		verbose   = flag.Bool("v", false, "print evaluation statistics")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *outPath, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "paqlcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout time.Duration, maxNodes int, outPath string, verbose bool) error {
+	if dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	src := queryText
+	if src == "" {
+		if queryPath == "" {
+			return fmt.Errorf("provide a query with -query or -q")
+		}
+		b, err := os.ReadFile(queryPath)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	rel, err := relation.LoadCSV(dataPath)
+	if err != nil {
+		return err
+	}
+	spec, err := translate.Compile(src, rel)
+	if err != nil {
+		return err
+	}
+	opt := ilp.Options{TimeLimit: timeout, MaxNodes: maxNodes, Gap: 1e-4}
+
+	var pkg *core.Package
+	var stats *core.EvalStats
+	start := time.Now()
+	switch method {
+	case "direct":
+		pkg, stats, err = core.Direct(spec, opt)
+	case "sketchrefine":
+		attrs := spec.QueryAttrs()
+		if len(attrs) == 0 {
+			return fmt.Errorf("query has no numeric attributes to partition on")
+		}
+		tau := int(float64(rel.Len())*tauFrac) + 1
+		part, perr := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau})
+		if perr != nil {
+			return perr
+		}
+		if verbose {
+			fmt.Printf("partitioned %d tuples into %d groups (τ=%d) in %v\n",
+				rel.Len(), part.NumGroups(), tau, part.BuildTime.Round(time.Millisecond))
+		}
+		pkg, stats, err = sketchrefine.Evaluate(spec, part, sketchrefine.Options{Solver: opt, HybridSketch: true})
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	obj, err := pkg.ObjectiveValue(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("package: %d tuples (%d distinct), objective %g, %v\n",
+		pkg.Size(), pkg.Distinct(), obj, elapsed.Round(time.Millisecond))
+	if verbose && stats != nil {
+		fmt.Printf("stats: %d subproblem(s), largest %d vars × %d rows, %d B&B nodes, %d LP iterations\n",
+			stats.Subproblems, stats.Vars, stats.Rows, stats.SolverNodes, stats.LPIterations)
+	}
+	mat := pkg.Materialize("package")
+	if outPath != "" {
+		if err := relation.SaveCSV(mat, outPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	} else {
+		if err := relation.WriteCSV(mat, os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Quickstart: the paper's running example (Example 1, the meal planner).
+//
+// A dietitian wants three gluten-free meals totalling 2.0–2.5 kcal
+// (thousands), minimizing saturated fat. The program builds the Recipes
+// relation, compiles the PaQL query, evaluates it with DIRECT, and prints
+// the chosen package.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/relation"
+	"repro/internal/translate"
+)
+
+const query = `
+SELECT PACKAGE(R) AS P
+FROM Recipes R REPEAT 0
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(P.*) = 3 AND
+          SUM(P.kcal) BETWEEN 2.0 AND 2.5
+MINIMIZE SUM(P.saturated_fat)`
+
+func main() {
+	recipes := relation.New("Recipes", relation.NewSchema(
+		relation.Column{Name: "name", Type: relation.String},
+		relation.Column{Name: "gluten", Type: relation.String},
+		relation.Column{Name: "kcal", Type: relation.Float},
+		relation.Column{Name: "saturated_fat", Type: relation.Float},
+	))
+	for _, m := range []struct {
+		name, gluten string
+		kcal, fat    float64
+	}{
+		{"lentil soup", "free", 0.45, 0.4},
+		{"grilled salmon", "free", 0.76, 1.9},
+		{"rice bowl", "free", 0.72, 0.3},
+		{"pasta carbonara", "full", 0.95, 7.2},
+		{"steak frites", "free", 1.05, 8.1},
+		{"quinoa salad", "free", 0.50, 0.7},
+		{"roast chicken", "free", 0.81, 2.4},
+		{"bread pudding", "full", 0.66, 3.9},
+		{"tofu stir fry", "free", 0.58, 0.9},
+		{"fruit plate", "free", 0.30, 0.1},
+	} {
+		recipes.MustAppend(relation.S(m.name), relation.S(m.gluten), relation.F(m.kcal), relation.F(m.fat))
+	}
+
+	spec, err := translate.Compile(query, recipes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkg, stats, err := core.Direct(spec, ilp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Daily meal plan:")
+	for k, row := range pkg.Rows {
+		fmt.Printf("  %d× %-16s kcal %.2f  sat.fat %.1f\n",
+			pkg.Mult[k], recipes.Str(row, 0), recipes.Float(row, 2), recipes.Float(row, 3))
+	}
+	kcal, _ := relation.WeightedAggregate(recipes, relation.Sum, "kcal", pkg.Rows, pkg.Mult)
+	fat, _ := pkg.ObjectiveValue(spec)
+	fmt.Printf("total: %.2f kcal, %.1f saturated fat (ILP: %d vars, %d nodes)\n",
+		kcal, fat, stats.Vars, stats.SolverNodes)
+}

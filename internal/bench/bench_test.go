@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig1ShapesHold(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEnv(Config{GalaxyN: 3000, TPCHN: 3000, Seed: 1, Out: &buf})
+	res, err := e.Fig1(4, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	// ILP must succeed at every cardinality; naive must succeed at 1.
+	for _, pt := range res.Points {
+		if pt.ILP.Err != nil {
+			t.Errorf("card %d: ILP failed: %v", pt.Cardinality, pt.ILP.Err)
+		}
+	}
+	if res.Points[0].SQL.Err != nil || res.Points[0].SQLTimedOut {
+		t.Error("naive failed at cardinality 1")
+	}
+	// Shape: the naive runtime at the largest completed cardinality
+	// exceeds the runtime at cardinality 1 (exponential growth), and
+	// the ILP runtime stays within a modest band.
+	last := res.Points[len(res.Points)-1]
+	if !last.SQLTimedOut && last.SQL.Time < res.Points[0].SQL.Time {
+		t.Error("naive runtime did not grow with cardinality")
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("missing printed header")
+	}
+}
+
+func TestFig3SubsetOrdering(t *testing.T) {
+	e := smallEnvNoSolver(t)
+	rows, err := e.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	byName := map[string]int{}
+	for _, r := range rows {
+		byName[r.Query] = r.Rows
+	}
+	// Figure 3's shape: Q5 much smaller than Q1; Q6 the largest.
+	if byName["Q5"] >= byName["Q1"] {
+		t.Errorf("Q5 (%d) should be far smaller than Q1 (%d)", byName["Q5"], byName["Q1"])
+	}
+	if byName["Q6"] <= byName["Q1"] {
+		t.Errorf("Q6 (%d) should be the largest (Q1 %d)", byName["Q6"], byName["Q1"])
+	}
+}
+
+func smallEnvNoSolver(t testing.TB) *Env {
+	t.Helper()
+	return NewEnv(Config{GalaxyN: 3000, TPCHN: 6000, Seed: 1})
+}
+
+func TestFig4PartitioningTimes(t *testing.T) {
+	e := smallEnvNoSolver(t)
+	rows, err := e.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Time <= 0 {
+			t.Errorf("%s: no partitioning time recorded", r.Dataset)
+		}
+		if r.Groups < 2 {
+			t.Errorf("%s: only %d groups", r.Dataset, r.Groups)
+		}
+	}
+}
+
+func TestScalabilityGalaxySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability experiment in -short mode")
+	}
+	var buf bytes.Buffer
+	e := NewEnv(Config{GalaxyN: 3000, TPCHN: 3000, Seed: 1, Out: &buf})
+	res, err := e.Scalability(Galaxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7*len(ScalabilityFractions) {
+		t.Fatalf("points = %d, want %d", len(res.Points), 7*len(ScalabilityFractions))
+	}
+	// Shape assertions: SketchRefine succeeds on every query at every
+	// fraction; when both succeed at 100%, SketchRefine is not slower
+	// by more than 4x (it is usually much faster).
+	for _, pt := range res.Points {
+		if pt.Hard {
+			continue // tight-window queries may be infeasible at toy scale
+		}
+		if pt.Sketch.Err != nil {
+			t.Errorf("%s@%.0f%%: SketchRefine failed: %v", pt.Query, pt.Fraction*100, pt.Sketch.Err)
+		}
+	}
+	for q, mean := range res.MeanRatio {
+		if mean != 0 && (mean < 0.5 || mean > 10) {
+			t.Errorf("%s: implausible mean approximation ratio %g", q, mean)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("missing printed header")
+	}
+}
+
+func TestScalabilityTPCHSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability experiment in -short mode")
+	}
+	e := NewEnv(Config{GalaxyN: 3000, TPCHN: 8000, Seed: 1})
+	res, err := e.Scalability(TPCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for _, pt := range res.Points {
+		if pt.Direct.Err != nil {
+			fails++
+		}
+		if pt.Sketch.Err != nil {
+			t.Errorf("%s@%.0f%%: SketchRefine failed: %v", pt.Query, pt.Fraction*100, pt.Sketch.Err)
+		}
+	}
+	// Figure 6's shape: DIRECT succeeds across the TPC-H workload.
+	if fails > 2 {
+		t.Errorf("DIRECT failed %d times on TPC-H; the paper reports none", fails)
+	}
+}
+
+func TestTauSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tau sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	e := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1, Out: &buf})
+	res, err := e.TauSweep(Galaxy, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no tau points")
+	}
+	// Every sketch run must produce a package (possibly suboptimal).
+	for _, pt := range res.Points {
+		if pt.Sketch.Err != nil {
+			t.Errorf("%s τ=%d: %v", pt.Query, pt.Tau, pt.Sketch.Err)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("missing printed header")
+	}
+}
+
+func TestCoverageSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage experiment in -short mode")
+	}
+	e := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1})
+	res, err := e.Coverage(TPCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSub, sawOne, sawSuper := false, false, false
+	for _, pt := range res.Points {
+		switch {
+		case pt.Coverage < 1:
+			sawSub = true
+		case pt.Coverage == 1:
+			sawOne = true
+		default:
+			sawSuper = true
+		}
+	}
+	if !sawSub || !sawOne || !sawSuper {
+		t.Errorf("coverage variants incomplete: sub=%v one=%v super=%v", sawSub, sawOne, sawSuper)
+	}
+	if res.MedianRatio != 0 && (res.MedianRatio < 0.5 || res.MedianRatio > 10) {
+		t.Errorf("implausible median ratio %g", res.MedianRatio)
+	}
+}
+
+func TestEpsilonRepairSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("epsilon repair in -short mode")
+	}
+	e := NewEnv(Config{GalaxyN: 2500, TPCHN: 4000, Seed: 1})
+	res, err := e.EpsilonRepair(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Omega <= 0 {
+		t.Errorf("omega = %g, want > 0", res.Omega)
+	}
+	// The radius-limited run must not be worse than the unlimited one
+	// by more than noise, and should be close to 1.
+	if res.RatioOmega == 0 {
+		t.Error("radius-limited run failed")
+	} else if res.RatioOmega > res.RatioNoOmega+0.5 {
+		t.Errorf("radius limit worsened the ratio: %g vs %g", res.RatioOmega, res.RatioNoOmega)
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	rows := sampleFraction(100, 0.4, 7)
+	if len(rows) != 40 {
+		t.Fatalf("len = %d, want 40", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			t.Fatal("rows not sorted/unique")
+		}
+	}
+	all := sampleFraction(10, 1.0, 7)
+	if len(all) != 10 {
+		t.Fatalf("full fraction len = %d", len(all))
+	}
+	// Deterministic.
+	again := sampleFraction(100, 0.4, 7)
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatal("sampleFraction not deterministic")
+		}
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	mean, median := meanMedian([]float64{1, 2, 3, 4})
+	if mean != 2.5 || median != 2.5 {
+		t.Errorf("got mean %g median %g", mean, median)
+	}
+	mean, median = meanMedian([]float64{3, 1, 2})
+	if mean != 2 || median != 2 {
+		t.Errorf("got mean %g median %g", mean, median)
+	}
+	mean, median = meanMedian(nil)
+	if mean != 0 || median != 0 {
+		t.Errorf("empty series: %g %g", mean, median)
+	}
+}

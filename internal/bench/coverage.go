@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/translate"
+)
+
+// recompile parses and translates PaQL text against a relation (used
+// when experiments re-materialize tables).
+func recompile(paql string, rel *relation.Relation) (*core.Spec, *relation.Relation, error) {
+	spec, err := translate.Compile(paql, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, rel, nil
+}
+
+// CoveragePoint is one (query, coverage) measurement of Figure 9.
+type CoveragePoint struct {
+	Query    string
+	Coverage float64 // |partitioning attrs| / |query attrs|
+	Attrs    []string
+	Sketch   Measurement
+	// TimeRatio is time / time(coverage == 1); > 1 means slower.
+	TimeRatio float64
+	Ratio     float64 // approximation ratio vs DIRECT
+}
+
+// CoverageResult is the Figure 9 reproduction for one dataset.
+type CoverageResult struct {
+	Dataset     Dataset
+	Points      []CoveragePoint
+	MeanRatio   float64
+	MedianRatio float64
+}
+
+// Coverage reproduces Figure 9: the effect of partitioning coverage —
+// partitioning on subsets (coverage < 1), exactly (= 1), and supersets
+// (> 1) of each query's attributes — on SketchRefine's response time
+// (as a ratio to the coverage-1 time) and approximation ratio.
+func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
+	res := &CoverageResult{Dataset: ds}
+	out := e.cfg.Out
+	fmt.Fprintf(out, "Figure 9 (%s): partitioning coverage vs runtime ratio\n", ds)
+	fmt.Fprintf(out, "%-4s %9s %12s %10s %8s  %s\n", "Q", "coverage", "SKETCHREF", "timeratio", "ratio", "partitioning attrs")
+
+	all := e.attrs[ds]
+	var ratios []float64
+	for _, q := range e.queries[ds] {
+		spec, rel, err := e.compile(ds, q)
+		if err != nil {
+			return nil, err
+		}
+		d := e.runDirect(spec, spec.BaseRows())
+
+		// Coverage variants: drop query attributes one at a time
+		// (coverage < 1), the query attributes exactly (= 1), and grow
+		// with non-query workload attributes (> 1).
+		var variants [][]string
+		for i := 1; i < len(q.Attrs); i++ {
+			variants = append(variants, q.Attrs[:i])
+		}
+		variants = append(variants, q.Attrs)
+		extra := append([]string(nil), q.Attrs...)
+		for _, a := range all {
+			if !containsFold(q.Attrs, a) {
+				extra = append(extra, a)
+				variants = append(variants, append([]string(nil), extra...))
+			}
+		}
+
+		baseTime := 0.0
+		for _, attrs := range variants {
+			tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
+			p, err := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau})
+			if err != nil {
+				return nil, err
+			}
+			s := e.runSketchRefine(spec, p, e.cfg.Seed)
+			pt := CoveragePoint{
+				Query:    q.Name,
+				Coverage: float64(len(attrs)) / float64(len(q.Attrs)),
+				Attrs:    attrs,
+				Sketch:   s,
+			}
+			if pt.Coverage == 1 && s.Err == nil {
+				baseTime = s.Time.Seconds()
+			}
+			if baseTime > 0 && s.Err == nil {
+				pt.TimeRatio = s.Time.Seconds() / baseTime
+			}
+			if d.Err == nil && s.Err == nil {
+				pt.Ratio = approxRatio(q.Maximize, d.Objective, s.Objective)
+				ratios = append(ratios, pt.Ratio)
+			}
+			res.Points = append(res.Points, pt)
+			fmt.Fprintf(out, "%-4s %9.2f %12s %10.2f %8s  %s\n",
+				q.Name, pt.Coverage, fmtMeasure(s), pt.TimeRatio, fmtRatio(pt.Ratio), strings.Join(attrs, ","))
+		}
+	}
+	res.MeanRatio, res.MedianRatio = meanMedian(ratios)
+	fmt.Fprintf(out, "approx ratio: mean %.2f, median %.2f\n", res.MeanRatio, res.MedianRatio)
+	return res, nil
+}
+
+func containsFold(xs []string, s string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// EpsilonRepairResult reproduces the Section 5.2.1 note: re-running the
+// worst-ratio minimization query (TPC-H Q2) with a radius limit derived
+// from ε = 1.0 restores a perfect approximation ratio.
+type EpsilonRepairResult struct {
+	Query        string
+	Epsilon      float64
+	Omega        float64
+	RatioNoOmega float64
+	RatioOmega   float64
+}
+
+// EpsilonRepair runs the TPC-H Q2 radius-limit repair experiment.
+func (e *Env) EpsilonRepair(eps float64) (*EpsilonRepairResult, error) {
+	var q = e.queries[TPCH][1] // Q2, the minimization query
+	spec, rel, err := e.compile(TPCH, q)
+	if err != nil {
+		return nil, err
+	}
+	d := e.runDirect(spec, spec.BaseRows())
+	if d.Err != nil {
+		return nil, fmt.Errorf("bench: epsilon repair baseline failed: %w", d.Err)
+	}
+	res := &EpsilonRepairResult{Query: q.Name, Epsilon: eps}
+
+	// Without radius condition.
+	p0, err := e.partitioning(TPCH, q)
+	if err != nil {
+		return nil, err
+	}
+	s0 := e.runSketchRefine(spec, p0, e.cfg.Seed)
+	if s0.Err == nil {
+		res.RatioNoOmega = approxRatio(q.Maximize, d.Objective, s0.Objective)
+	}
+
+	// With ω from Equation 1 over the query attributes.
+	omega, err := partition.RadiusForEpsilon(rel, q.Attrs, eps, q.Maximize)
+	if err != nil {
+		return nil, err
+	}
+	res.Omega = omega
+	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
+	p1, err := partition.Build(rel, partition.Options{Attrs: q.Attrs, SizeThreshold: tau, RadiusLimit: omega})
+	if err != nil {
+		return nil, err
+	}
+	s1 := e.runSketchRefine(spec, p1, e.cfg.Seed)
+	if s1.Err == nil {
+		res.RatioOmega = approxRatio(q.Maximize, d.Objective, s1.Objective)
+	}
+	fmt.Fprintf(e.cfg.Out, "§5.2.1 repair (TPC-H %s, ε=%.1f): ratio without ω = %.3f, with ω=%.4g → %.3f\n",
+		q.Name, eps, res.RatioNoOmega, omega, res.RatioOmega)
+	return res, nil
+}

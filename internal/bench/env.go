@@ -1,0 +1,265 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 5). Each Fig* method
+// runs one experiment at a configurable scale, prints a paper-style
+// table, and returns the measurements for programmatic inspection
+// (bench_test.go wraps them as Go benchmarks; cmd/benchrunner exposes
+// them on the command line).
+//
+// The protocol follows Section 5.1: per-dataset workloads of seven
+// package queries, offline partitioning on the union of the workload's
+// query attributes with τ = 10% of the dataset and no radius condition,
+// response time measured as translate + load + solve (package
+// materialization excluded), and the empirical approximation ratio
+// ObjD/ObjS for maximization queries (ObjS/ObjD for minimization).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sketchrefine"
+	"repro/internal/translate"
+	"repro/internal/workload"
+)
+
+// Config sets the experiment scale and budgets.
+type Config struct {
+	// GalaxyN and TPCHN are the synthetic dataset sizes (the paper used
+	// 5.5M and 17.5M; defaults are laptop-scale).
+	GalaxyN int
+	TPCHN   int
+	// Seed drives all data generation and sampling.
+	Seed int64
+	// TauFrac is the partition size threshold as a fraction of the
+	// dataset (the paper's scalability experiments use 10%).
+	TauFrac float64
+	// Solver is the per-ILP budget for both DIRECT and SketchRefine
+	// (the stand-in for the paper's CPLEX memory ceiling and one-hour
+	// cap). DIRECT failures under this budget reproduce the paper's
+	// missing data points.
+	Solver ilp.Options
+	// Out receives the printed tables; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.GalaxyN == 0 {
+		c.GalaxyN = 30000
+	}
+	if c.TPCHN == 0 {
+		c.TPCHN = 60000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TauFrac == 0 {
+		c.TauFrac = 0.10
+	}
+	if c.Solver.MaxNodes == 0 {
+		c.Solver.MaxNodes = 50000
+	}
+	if c.Solver.Gap == 0 {
+		c.Solver.Gap = 1e-4 // CPLEX's default relative MIP gap
+	}
+	if c.Solver.TimeLimit == 0 {
+		c.Solver.TimeLimit = 60 * time.Second
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Dataset identifies one of the two benchmark datasets.
+type Dataset string
+
+// The two benchmark datasets of Section 5.1.
+const (
+	Galaxy Dataset = "galaxy"
+	TPCH   Dataset = "tpch"
+)
+
+// Env caches the generated datasets, per-query tables, and partitionings
+// across experiments.
+type Env struct {
+	cfg Config
+
+	rels    map[Dataset]*relation.Relation
+	queries map[Dataset][]workload.Query
+	attrs   map[Dataset][]string
+	// qtables caches the materialized per-query base tables (Figure 3).
+	qtables map[Dataset]map[string]*relation.Relation
+	// parts caches per-query-table partitionings keyed by dataset/query
+	// at the default τ.
+	parts map[Dataset]map[string]*partition.Partitioning
+}
+
+// NewEnv generates the datasets and workloads.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	e := &Env{
+		cfg:     cfg,
+		rels:    make(map[Dataset]*relation.Relation),
+		queries: make(map[Dataset][]workload.Query),
+		attrs:   make(map[Dataset][]string),
+		qtables: map[Dataset]map[string]*relation.Relation{Galaxy: {}, TPCH: {}},
+		parts:   map[Dataset]map[string]*partition.Partitioning{Galaxy: {}, TPCH: {}},
+	}
+	e.rels[Galaxy] = workload.Galaxy(cfg.GalaxyN, cfg.Seed)
+	e.rels[TPCH] = workload.TPCH(cfg.TPCHN, cfg.Seed)
+	e.queries[Galaxy] = workload.GalaxyQueries(e.rels[Galaxy])
+	e.queries[TPCH] = workload.TPCHQueries(e.rels[TPCH])
+	e.attrs[Galaxy] = workload.WorkloadAttrs(e.queries[Galaxy])
+	e.attrs[TPCH] = workload.WorkloadAttrs(e.queries[TPCH])
+	return e
+}
+
+// Config returns the effective configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Queries returns the workload for a dataset.
+func (e *Env) Queries(ds Dataset) []workload.Query { return e.queries[ds] }
+
+// queryTable returns (and caches) the per-query base table.
+func (e *Env) queryTable(ds Dataset, q workload.Query) *relation.Relation {
+	if t, ok := e.qtables[ds][q.Name]; ok {
+		return t
+	}
+	t := workload.QueryTable(e.rels[ds], q)
+	e.qtables[ds][q.Name] = t
+	return t
+}
+
+// partitioning returns (and caches) the default-τ workload-attribute
+// partitioning of a query table.
+func (e *Env) partitioning(ds Dataset, q workload.Query) (*partition.Partitioning, error) {
+	if p, ok := e.parts[ds][q.Name]; ok {
+		return p, nil
+	}
+	rel := e.queryTable(ds, q)
+	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
+	p, err := partition.Build(rel, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau})
+	if err != nil {
+		return nil, err
+	}
+	e.parts[ds][q.Name] = p
+	return p, nil
+}
+
+// Measurement is the outcome of one evaluation run.
+type Measurement struct {
+	Time      time.Duration
+	Objective float64
+	Err       error
+}
+
+// runDirect evaluates the spec with DIRECT over the given rows.
+func (e *Env) runDirect(spec *core.Spec, rows []int) Measurement {
+	t0 := time.Now()
+	pkg, _, err := core.SolveRows(spec, rows, nil, e.cfg.Solver)
+	m := Measurement{Time: time.Since(t0), Err: err}
+	if err == nil {
+		m.Objective, m.Err = pkg.ObjectiveValue(spec)
+	}
+	return m
+}
+
+// runSketchRefine evaluates the spec with SketchRefine over a (possibly
+// restricted) partitioning.
+func (e *Env) runSketchRefine(spec *core.Spec, part *partition.Partitioning, seed int64) Measurement {
+	t0 := time.Now()
+	pkg, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{
+		Solver:       e.cfg.Solver,
+		HybridSketch: true,
+		Rand:         rand.New(rand.NewSource(seed)),
+	})
+	m := Measurement{Time: time.Since(t0), Err: err}
+	if err == nil {
+		m.Objective, m.Err = pkg.ObjectiveValue(spec)
+	}
+	return m
+}
+
+// compile translates a workload query against its base table.
+func (e *Env) compile(ds Dataset, q workload.Query) (*core.Spec, *relation.Relation, error) {
+	rel := e.queryTable(ds, q)
+	spec, err := translate.Compile(q.PaQL, rel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %s/%s: %w", ds, q.Name, err)
+	}
+	return spec, rel, nil
+}
+
+// approxRatio computes the paper's empirical approximation ratio.
+func approxRatio(maximize bool, objD, objS float64) float64 {
+	if maximize {
+		return objD / objS
+	}
+	return objS / objD
+}
+
+// meanMedian summarizes a ratio series.
+func meanMedian(xs []float64) (mean, median float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	mean = total / float64(len(s))
+	if len(s)%2 == 1 {
+		median = s[len(s)/2]
+	} else {
+		median = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	return mean, median
+}
+
+// sampleFraction draws a deterministic random subset of rows of the
+// given fraction (the paper derives smaller datasets by randomly
+// removing tuples).
+func sampleFraction(n int, frac float64, seed int64) []int {
+	if frac >= 1 {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	k := int(float64(n) * frac)
+	rows := append([]int(nil), perm[:k]...)
+	sort.Ints(rows)
+	return rows
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtMeasure(m Measurement) string {
+	if m.Err != nil {
+		return "FAIL"
+	}
+	return fmtDur(m.Time)
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/naive"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// Fig1Point is one cardinality measurement of Figure 1.
+type Fig1Point struct {
+	Cardinality int
+	SQL         Measurement // naive multi-way self-join formulation
+	ILP         Measurement // DIRECT (ILP formulation)
+	SQLTimedOut bool
+}
+
+// Fig1Result is the Figure 1 reproduction.
+type Fig1Result struct {
+	N      int
+	Points []Fig1Point
+}
+
+// Fig1 reproduces Figure 1: the runtime of the naïve SQL self-join
+// formulation grows exponentially with package cardinality, while the
+// ILP formulation stays flat. The paper uses 100 SDSS tuples and
+// cardinalities 1–7 (SQL needed ~24 hours at 7; sqlTimeout caps each
+// naive run here).
+func (e *Env) Fig1(maxCard int, sqlTimeout time.Duration) (*Fig1Result, error) {
+	const n = 100
+	rel := workload.Galaxy(n, e.cfg.Seed)
+	out := e.cfg.Out
+	fmt.Fprintf(out, "Figure 1: SQL self-join formulation vs ILP formulation (%d tuples)\n", n)
+	fmt.Fprintf(out, "%-12s %14s %14s\n", "cardinality", "SQL", "ILP")
+
+	res := &Fig1Result{N: n}
+	mr, err := relation.Aggregate(rel, relation.Avg, "r", nil)
+	if err != nil {
+		return nil, err
+	}
+	for card := 1; card <= maxCard; card++ {
+		// The Figure 1 query shape: exact cardinality, a SUM window wide
+		// enough to be feasible at every cardinality, minimize objective.
+		spec := &core.Spec{
+			Rel:    rel,
+			Repeat: 0,
+			Constraints: []core.Constraint{
+				{Coef: core.UnitCoef{}, Op: lp.EQ, RHS: float64(card), Desc: "COUNT(P.*) = c"},
+				{Coef: core.AttrCoef{Attr: "r"}, Op: lp.LE, RHS: float64(card) * 1.05 * mr, Desc: "SUM(P.r) <= hi"},
+				{Coef: core.AttrCoef{Attr: "r"}, Op: lp.GE, RHS: float64(card) * 0.7 * mr, Desc: "SUM(P.r) >= lo"},
+			},
+			Objective: &core.Objective{Maximize: false, Coef: core.AttrCoef{Attr: "redshift"}, Desc: "SUM(P.redshift)"},
+		}
+		pt := Fig1Point{Cardinality: card}
+
+		t0 := time.Now()
+		nv, err := naive.Evaluate(spec, naive.Options{Timeout: sqlTimeout})
+		pt.SQL = Measurement{Time: time.Since(t0), Err: err}
+		if err == naive.ErrTimeout {
+			pt.SQLTimedOut = true
+			pt.SQL.Err = nil
+		} else if err == nil {
+			pt.SQL.Objective = nv.Objective
+		}
+
+		pt.ILP = e.runDirect(spec, spec.BaseRows())
+
+		sqlCell := fmtDur(pt.SQL.Time)
+		if pt.SQLTimedOut {
+			sqlCell = ">" + fmtDur(sqlTimeout)
+		}
+		fmt.Fprintf(out, "%-12d %14s %14s\n", card, sqlCell, fmtMeasure(pt.ILP))
+
+		// Cross-check: when both complete, objectives must agree.
+		if !pt.SQLTimedOut && pt.SQL.Err == nil && pt.ILP.Err == nil {
+			if diff := pt.SQL.Objective - pt.ILP.Objective; diff > 1e-6 || diff < -1e-6 {
+				return nil, fmt.Errorf("bench: fig1 card %d: SQL objective %g != ILP %g",
+					card, pt.SQL.Objective, pt.ILP.Objective)
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

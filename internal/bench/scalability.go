@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// ScalabilityFractions are the dataset fractions of Figures 5 and 6.
+var ScalabilityFractions = []float64{0.10, 0.40, 0.70, 1.00}
+
+// ScalabilityPoint is one (query, fraction) measurement.
+type ScalabilityPoint struct {
+	Query    string
+	Fraction float64
+	Rows     int
+	// Hard marks the workload's DIRECT-killer queries (Galaxy Q2/Q6);
+	// at toy scales these can also defeat SketchRefine (tight windows
+	// on tiny samples have high selectivity, voiding Theorem 4's
+	// low-selectivity premise).
+	Hard   bool
+	Direct Measurement
+	Sketch Measurement
+	// Ratio is the empirical approximation ratio (0 when either side
+	// failed).
+	Ratio float64
+}
+
+// ScalabilityResult is one dataset's Figure 5/6 reproduction.
+type ScalabilityResult struct {
+	Dataset Dataset
+	Points  []ScalabilityPoint
+	// MeanRatio and MedianRatio per query across fractions, as printed
+	// under each plot in the paper.
+	MeanRatio   map[string]float64
+	MedianRatio map[string]float64
+}
+
+// Scalability reproduces Figure 5 (Galaxy) or Figure 6 (TPC-H): DIRECT
+// vs SKETCHREFINE response time on 10–100% of each query's base table,
+// with per-query mean/median approximation ratios. The partitioning is
+// computed once on the full table (workload attributes, τ = TauFrac·n,
+// no radius condition) and restricted to each sample, exactly like the
+// paper's protocol.
+func (e *Env) Scalability(ds Dataset) (*ScalabilityResult, error) {
+	res := &ScalabilityResult{
+		Dataset:     ds,
+		MeanRatio:   make(map[string]float64),
+		MedianRatio: make(map[string]float64),
+	}
+	out := e.cfg.Out
+	fig := "Figure 5"
+	if ds == TPCH {
+		fig = "Figure 6"
+	}
+	fmt.Fprintf(out, "%s: scalability on the %s benchmark (τ = %.0f%%, workload attributes, no radius)\n",
+		fig, ds, e.cfg.TauFrac*100)
+	fmt.Fprintf(out, "%-4s %-5s %9s %12s %12s %8s\n", "Q", "frac", "rows", "DIRECT", "SKETCHREF", "ratio")
+
+	for _, q := range e.queries[ds] {
+		spec, rel, err := e.compile(ds, q)
+		if err != nil {
+			return nil, err
+		}
+		part, err := e.partitioning(ds, q)
+		if err != nil {
+			return nil, err
+		}
+		var ratios []float64
+		for fi, frac := range ScalabilityFractions {
+			rows := sampleFraction(rel.Len(), frac, e.cfg.Seed+int64(fi))
+			pt := ScalabilityPoint{Query: q.Name, Fraction: frac, Rows: len(rows), Hard: q.Hard}
+			pt.Direct = e.runDirect(spec, rows)
+			pt.Sketch = e.runSketchRefine(spec, part.Restrict(rows), e.cfg.Seed+int64(fi))
+			if pt.Direct.Err == nil && pt.Sketch.Err == nil {
+				pt.Ratio = approxRatio(q.Maximize, pt.Direct.Objective, pt.Sketch.Objective)
+				ratios = append(ratios, pt.Ratio)
+			}
+			res.Points = append(res.Points, pt)
+			fmt.Fprintf(out, "%-4s %-5.0f %9d %12s %12s %8s\n",
+				q.Name, frac*100, pt.Rows, fmtMeasure(pt.Direct), fmtMeasure(pt.Sketch), fmtRatio(pt.Ratio))
+		}
+		mean, median := meanMedian(ratios)
+		res.MeanRatio[q.Name] = mean
+		res.MedianRatio[q.Name] = median
+		fmt.Fprintf(out, "%-4s approx ratio: mean %.2f, median %.2f\n", q.Name, mean, median)
+	}
+	return res, nil
+}
+
+func fmtRatio(r float64) string {
+	if r == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.3f", r)
+}

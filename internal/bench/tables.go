@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// Fig3Row is one row of Figure 3: the usable table size per TPC-H query.
+type Fig3Row struct {
+	Query string
+	Rows  int
+}
+
+// Fig3 reproduces Figure 3: the size of the per-query base tables of the
+// TPC-H benchmark (the paper's non-NULL subsets; Q5 is by far the
+// smallest, Q6 the largest).
+func (e *Env) Fig3() ([]Fig3Row, error) {
+	out := e.cfg.Out
+	fmt.Fprintf(out, "Figure 3: size of the tables used in the TPC-H benchmark (of %d total)\n", e.rels[TPCH].Len())
+	var rows []Fig3Row
+	for _, q := range e.queries[TPCH] {
+		t := e.queryTable(TPCH, q)
+		rows = append(rows, Fig3Row{Query: q.Name, Rows: t.Len()})
+		fmt.Fprintf(out, "%-4s %9d tuples\n", q.Name, t.Len())
+	}
+	return rows, nil
+}
+
+// Fig4Row is one row of Figure 4: offline partitioning cost per dataset.
+type Fig4Row struct {
+	Dataset       Dataset
+	Rows          int
+	SizeThreshold int
+	Groups        int
+	Time          time.Duration
+}
+
+// Fig4 reproduces Figure 4: offline partitioning time for the two
+// datasets, using the workload attributes, τ = TauFrac·n, and no radius
+// condition.
+func (e *Env) Fig4() ([]Fig4Row, error) {
+	out := e.cfg.Out
+	fmt.Fprintf(out, "Figure 4: offline partitioning time (workload attributes, no radius condition)\n")
+	fmt.Fprintf(out, "%-8s %9s %9s %8s %12s\n", "dataset", "rows", "τ", "groups", "time")
+	var rows []Fig4Row
+	for _, ds := range []Dataset{Galaxy, TPCH} {
+		rel := e.rels[ds]
+		tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
+		p, err := partition.Build(rel, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4Row{Dataset: ds, Rows: rel.Len(), SizeThreshold: tau, Groups: p.NumGroups(), Time: p.BuildTime}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "%-8s %9d %9d %8d %12s\n", ds, row.Rows, row.SizeThreshold, row.Groups, fmtDur(row.Time))
+	}
+	return rows, nil
+}

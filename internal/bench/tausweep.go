@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// TauPoint is one (query, τ) measurement of Figures 7/8.
+type TauPoint struct {
+	Query  string
+	Tau    int
+	Groups int
+	Sketch Measurement
+	Ratio  float64 // vs DIRECT, 0 when DIRECT failed
+}
+
+// TauSweepResult is the Figure 7/8 reproduction for one dataset.
+type TauSweepResult struct {
+	Dataset  Dataset
+	Fraction float64
+	// DirectTime per query (the horizontal baseline in the plots); a
+	// failed DIRECT run is recorded with Err set.
+	Direct map[string]Measurement
+	Points []TauPoint
+}
+
+// TauSweep reproduces Figure 7 (Galaxy, 30% of the data) and Figure 8
+// (TPC-H, full data): the impact of the partition size threshold τ on
+// SketchRefine's response time and approximation ratio. τ ranges over
+// powers of four from n/2 down to 32, re-partitioning each time
+// (workload attributes, no radius condition).
+func (e *Env) TauSweep(ds Dataset, fraction float64) (*TauSweepResult, error) {
+	res := &TauSweepResult{Dataset: ds, Fraction: fraction, Direct: make(map[string]Measurement)}
+	out := e.cfg.Out
+	fig := "Figure 7"
+	if ds == TPCH {
+		fig = "Figure 8"
+	}
+	fmt.Fprintf(out, "%s: impact of partition size threshold τ on the %s benchmark (%.0f%% of data)\n",
+		fig, ds, fraction*100)
+	fmt.Fprintf(out, "%-4s %9s %8s %12s %12s %8s\n", "Q", "τ", "groups", "SKETCHREF", "DIRECT", "ratio")
+
+	for _, q := range e.queries[ds] {
+		spec, rel, err := e.compile(ds, q)
+		if err != nil {
+			return nil, err
+		}
+		rows := sampleFraction(rel.Len(), fraction, e.cfg.Seed)
+		sub := rel
+		subSpec := spec
+		if fraction < 1 {
+			sub = rel.Subset(rel.Name(), rows)
+			// Recompile against the sampled table so partitioning and
+			// evaluation see the same relation.
+			subSpec2, _, err := recompile(q.PaQL, sub)
+			if err != nil {
+				return nil, err
+			}
+			subSpec = subSpec2
+		}
+		d := e.runDirect(subSpec, subSpec.BaseRows())
+		res.Direct[q.Name] = d
+
+		for tau := sub.Len() / 2; tau >= 32; tau /= 4 {
+			p, err := partition.Build(sub, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau})
+			if err != nil {
+				return nil, err
+			}
+			s := e.runSketchRefine(subSpec, p, e.cfg.Seed)
+			pt := TauPoint{Query: q.Name, Tau: tau, Groups: p.NumGroups(), Sketch: s}
+			if d.Err == nil && s.Err == nil {
+				pt.Ratio = approxRatio(q.Maximize, d.Objective, s.Objective)
+			}
+			res.Points = append(res.Points, pt)
+			fmt.Fprintf(out, "%-4s %9d %8d %12s %12s %8s\n",
+				q.Name, tau, p.NumGroups(), fmtMeasure(s), fmtMeasure(d), fmtRatio(pt.Ratio))
+		}
+	}
+	return res, nil
+}

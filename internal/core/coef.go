@@ -1,0 +1,191 @@
+// Package core implements the package-query engine: the compiled query
+// representation (Spec), the Package result type, and the DIRECT
+// evaluation strategy of Section 3 of the paper — translate the whole
+// query into one integer linear program and hand it to the solver.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Coef computes the per-tuple coefficient of one linear package aggregate:
+// the contribution of tuple t to f(P) per unit of multiplicity. COUNT
+// contributes 1 per tuple, SUM(attr) contributes t.attr, the AVG rewrite
+// contributes t.attr − v, and conditional aggregates contribute through an
+// indicator. Coefficients bind to a relation once and are then evaluated
+// per row, so the same Coef works on the input relation, on partition
+// groups (row subsets), and on representative relations — as long as the
+// referenced attributes exist in the schema.
+type Coef interface {
+	// Bind resolves attribute references against a relation and returns
+	// a per-row evaluator.
+	Bind(r *relation.Relation) (func(row int) float64, error)
+	fmt.Stringer
+	// Attrs appends the attribute names this coefficient reads.
+	Attrs(dst []string) []string
+}
+
+// UnitCoef contributes 1 per tuple: the COUNT(P.*) coefficient.
+type UnitCoef struct{}
+
+// Bind implements Coef.
+func (UnitCoef) Bind(*relation.Relation) (func(int) float64, error) {
+	return func(int) float64 { return 1 }, nil
+}
+
+// String implements Coef.
+func (UnitCoef) String() string { return "1" }
+
+// Attrs implements Coef.
+func (UnitCoef) Attrs(dst []string) []string { return dst }
+
+// AttrCoef contributes the tuple's attribute value: the SUM(P.attr)
+// coefficient.
+type AttrCoef struct{ Attr string }
+
+// Bind implements Coef.
+func (c AttrCoef) Bind(r *relation.Relation) (func(int) float64, error) {
+	idx, err := r.Schema().MustLookup(c.Attr)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Schema().Col(idx).Type.Numeric() {
+		return nil, fmt.Errorf("core: aggregate over non-numeric column %q", c.Attr)
+	}
+	return func(row int) float64 { return r.Float(row, idx) }, nil
+}
+
+// String implements Coef.
+func (c AttrCoef) String() string { return c.Attr }
+
+// Attrs implements Coef.
+func (c AttrCoef) Attrs(dst []string) []string { return append(dst, c.Attr) }
+
+// ShiftedAttrCoef contributes attr + shift per tuple. It implements the
+// AVG linearization of the paper: AVG(P.attr) ≤ v becomes
+// Σ (t.attr − v)·x ≤ 0, i.e. shift = −v.
+type ShiftedAttrCoef struct {
+	Attr  string
+	Shift float64
+}
+
+// Bind implements Coef.
+func (c ShiftedAttrCoef) Bind(r *relation.Relation) (func(int) float64, error) {
+	idx, err := r.Schema().MustLookup(c.Attr)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Schema().Col(idx).Type.Numeric() {
+		return nil, fmt.Errorf("core: aggregate over non-numeric column %q", c.Attr)
+	}
+	s := c.Shift
+	return func(row int) float64 { return r.Float(row, idx) + s }, nil
+}
+
+// String implements Coef.
+func (c ShiftedAttrCoef) String() string {
+	if c.Shift >= 0 {
+		return fmt.Sprintf("(%s + %g)", c.Attr, c.Shift)
+	}
+	return fmt.Sprintf("(%s - %g)", c.Attr, -c.Shift)
+}
+
+// Attrs implements Coef.
+func (c ShiftedAttrCoef) Attrs(dst []string) []string { return append(dst, c.Attr) }
+
+// CondCoef gates an inner coefficient with a per-tuple predicate: the
+// coefficient of conditional aggregates such as
+// (SELECT COUNT(*) FROM P WHERE carbs > 0).
+type CondCoef struct {
+	Pred  relation.Predicate
+	Inner Coef
+}
+
+// Bind implements Coef.
+func (c CondCoef) Bind(r *relation.Relation) (func(int) float64, error) {
+	inner, err := c.Inner.Bind(r)
+	if err != nil {
+		return nil, err
+	}
+	pred := c.Pred
+	return func(row int) float64 {
+		if pred.Eval(r, row) {
+			return inner(row)
+		}
+		return 0
+	}, nil
+}
+
+// String implements Coef.
+func (c CondCoef) String() string {
+	return fmt.Sprintf("[%s ? %s : 0]", c.Pred, c.Inner)
+}
+
+// Attrs implements Coef. Predicate attributes are not tracked; only the
+// aggregated attribute matters for partitioning-coverage decisions.
+func (c CondCoef) Attrs(dst []string) []string { return c.Inner.Attrs(dst) }
+
+// ScaledCoef multiplies an inner coefficient by a constant weight.
+type ScaledCoef struct {
+	W     float64
+	Inner Coef
+}
+
+// Bind implements Coef.
+func (c ScaledCoef) Bind(r *relation.Relation) (func(int) float64, error) {
+	inner, err := c.Inner.Bind(r)
+	if err != nil {
+		return nil, err
+	}
+	w := c.W
+	return func(row int) float64 { return w * inner(row) }, nil
+}
+
+// String implements Coef.
+func (c ScaledCoef) String() string { return fmt.Sprintf("%g*%s", c.W, c.Inner) }
+
+// Attrs implements Coef.
+func (c ScaledCoef) Attrs(dst []string) []string { return c.Inner.Attrs(dst) }
+
+// SumCoef adds several coefficients: the per-tuple coefficient of a linear
+// combination of aggregates on one side of a comparison.
+type SumCoef struct{ Parts []Coef }
+
+// Bind implements Coef.
+func (c SumCoef) Bind(r *relation.Relation) (func(int) float64, error) {
+	fns := make([]func(int) float64, len(c.Parts))
+	for i, p := range c.Parts {
+		fn, err := p.Bind(r)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return func(row int) float64 {
+		s := 0.0
+		for _, fn := range fns {
+			s += fn(row)
+		}
+		return s
+	}, nil
+}
+
+// String implements Coef.
+func (c SumCoef) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Attrs implements Coef.
+func (c SumCoef) Attrs(dst []string) []string {
+	for _, p := range c.Parts {
+		dst = p.Attrs(dst)
+	}
+	return dst
+}

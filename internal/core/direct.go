@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// ErrInfeasible is returned when no package satisfies the query.
+var ErrInfeasible = errors.New("core: query is infeasible")
+
+// ErrResourceLimit is returned when the solver exhausted its node or time
+// budget — the reproduction of the paper's CPLEX failures (out-of-memory
+// or one-hour timeout).
+var ErrResourceLimit = errors.New("core: solver resource limit exceeded")
+
+// EvalStats records the work done by one evaluation.
+type EvalStats struct {
+	// Vars is the number of ILP variables after base-relation
+	// elimination.
+	Vars int
+	// Rows is the number of ILP constraint rows.
+	Rows int
+	// SolverNodes is the number of branch-and-bound nodes explored.
+	SolverNodes int
+	// LPIterations is the total simplex iterations.
+	LPIterations int
+	// BuildTime is the PaQL→ILP translation/materialization time.
+	BuildTime time.Duration
+	// SolveTime is the time spent inside the ILP solver.
+	SolveTime time.Duration
+	// Subproblems is the number of ILP solves (1 for DIRECT; one per
+	// sketch/refine query for SketchRefine).
+	Subproblems int
+}
+
+// Add accumulates another stats record (used by SketchRefine).
+func (s *EvalStats) Add(o *EvalStats) {
+	if o == nil {
+		return
+	}
+	if o.Vars > s.Vars {
+		s.Vars = o.Vars // track the largest subproblem
+	}
+	if o.Rows > s.Rows {
+		s.Rows = o.Rows
+	}
+	s.SolverNodes += o.SolverNodes
+	s.LPIterations += o.LPIterations
+	s.BuildTime += o.BuildTime
+	s.SolveTime += o.SolveTime
+	s.Subproblems += o.Subproblems
+}
+
+// BuildILP translates the spec restricted to the given candidate rows
+// into an integer linear program, one variable per row, following the
+// translation rules of Section 3.1:
+//
+//  1. REPEAT K bounds every variable to [0, K+1] (absent: [0, ∞));
+//  2. base predicates have already eliminated variables (rows is the
+//     base relation);
+//  3. each global predicate becomes one linear row;
+//  4. the objective is the linear objective, or the vacuous "max Σ 0·x".
+//
+// hi optionally overrides the per-variable upper bounds (used by the
+// sketch query's per-group count caps); nil applies the REPEAT bound.
+func BuildILP(spec *Spec, rows []int, hi []float64) (*ilp.Problem, error) {
+	n := len(rows)
+	if hi != nil && len(hi) != n {
+		return nil, fmt.Errorf("core: hi has length %d, want %d", len(hi), n)
+	}
+	prob := &ilp.Problem{
+		LP: lp.Problem{
+			C:  make([]float64, n),
+			Lo: make([]float64, n),
+			Hi: make([]float64, n),
+		},
+	}
+	defaultHi := math.Inf(1)
+	if spec.Repeat >= 0 {
+		defaultHi = float64(spec.Repeat + 1)
+	}
+	for j := 0; j < n; j++ {
+		if hi != nil {
+			prob.LP.Hi[j] = hi[j]
+		} else {
+			prob.LP.Hi[j] = defaultHi
+		}
+	}
+	for _, c := range spec.Constraints {
+		fn, err := c.Coef.Bind(spec.Rel)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, n)
+		for j, r := range rows {
+			row[j] = fn(r)
+		}
+		prob.LP.A = append(prob.LP.A, row)
+		prob.LP.Op = append(prob.LP.Op, c.Op)
+		prob.LP.B = append(prob.LP.B, c.RHS)
+	}
+	if spec.Objective != nil {
+		prob.LP.Maximize = spec.Objective.Maximize
+		fn, err := spec.Objective.Coef.Bind(spec.Rel)
+		if err != nil {
+			return nil, err
+		}
+		for j, r := range rows {
+			prob.LP.C[j] = fn(r)
+		}
+	} else {
+		// Vacuous objective: max Σ 0·xᵢ.
+		prob.LP.Maximize = true
+	}
+	return prob, nil
+}
+
+// SolveRows evaluates the spec restricted to the given candidate rows
+// with the DIRECT strategy: build one ILP and solve it. hi optionally
+// overrides per-variable upper bounds. The returned error is
+// ErrInfeasible, ErrResourceLimit (possibly wrapped), or an internal
+// failure.
+func SolveRows(spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package, *EvalStats, error) {
+	stats := &EvalStats{Subproblems: 1}
+	t0 := time.Now()
+	prob, err := BuildILP(spec, rows, hi)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Vars = prob.LP.NumVars()
+	stats.Rows = prob.LP.NumRows()
+	stats.BuildTime = time.Since(t0)
+
+	t1 := time.Now()
+	res, err := ilp.Solve(prob, opt)
+	stats.SolveTime = time.Since(t1)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SolverNodes = res.Nodes
+	stats.LPIterations = res.LPIterations
+	switch res.Status {
+	case ilp.Infeasible:
+		return nil, stats, ErrInfeasible
+	case ilp.Unbounded:
+		return nil, stats, fmt.Errorf("core: objective is unbounded (add a REPEAT bound or a cardinality constraint)")
+	case ilp.ResourceLimit:
+		if !(opt.AcceptIncumbent && res.HasIncumbent) {
+			return nil, stats, fmt.Errorf("%w: %d branch-and-bound nodes", ErrResourceLimit, res.Nodes)
+		}
+		// Budget exhausted with a feasible incumbent: use it (the
+		// behavior of a production solver under a time limit).
+	}
+	pkgRows := make([]int, 0, len(rows))
+	pkgMult := make([]int, 0, len(rows))
+	for j, x := range res.X {
+		m := int(math.Round(x))
+		if m > 0 {
+			pkgRows = append(pkgRows, rows[j])
+			pkgMult = append(pkgMult, m)
+		}
+	}
+	pkg, err := NewPackage(spec.Rel, pkgRows, pkgMult)
+	if err != nil {
+		return nil, stats, err
+	}
+	return pkg, stats, nil
+}
+
+// Direct is the paper's DIRECT evaluation method: compute the base
+// relation, translate the whole query into a single ILP, and solve it
+// with the black-box solver.
+func Direct(spec *Spec, opt ilp.Options) (*Package, *EvalStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, &EvalStats{}, err
+	}
+	return SolveRows(spec, spec.BaseRows(), nil, opt)
+}

@@ -1,0 +1,469 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/lp"
+)
+
+func solveOK(t *testing.T, p *Problem, opt Options) *Result {
+	t.Helper()
+	r, err := Solve(p, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return r
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	// Classic 0/1 knapsack: values {60,100,120}, weights {10,20,30},
+	// capacity 50 → take items 2,3: value 220.
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{60, 100, 120},
+			A:        [][]float64{{10, 20, 30}},
+			Op:       []lp.ConstraintOp{lp.LE},
+			B:        []float64{50},
+			Hi:       []float64{1, 1, 1},
+		},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Optimal || math.Abs(r.Objective-220) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 220", r.Status, r.Objective)
+	}
+	if math.Round(r.X[0]) != 0 || math.Round(r.X[1]) != 1 || math.Round(r.X[2]) != 1 {
+		t.Errorf("solution %v, want [0 1 1]", r.X)
+	}
+}
+
+func TestEqualityCardinality(t *testing.T) {
+	// Pick exactly 3 of 6 items minimizing cost: costs {5,1,4,2,8,3}
+	// → 1+2+3 = 6.
+	p := &Problem{
+		LP: lp.Problem{
+			C:  []float64{5, 1, 4, 2, 8, 3},
+			A:  [][]float64{{1, 1, 1, 1, 1, 1}},
+			Op: []lp.ConstraintOp{lp.EQ},
+			B:  []float64{3},
+			Hi: []float64{1, 1, 1, 1, 1, 1},
+		},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Optimal || math.Abs(r.Objective-6) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 6", r.Status, r.Objective)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	// sum = 2 with all variables ≤ 0 is impossible.
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{1, 1},
+			A:        [][]float64{{1, 1}},
+			Op:       []lp.ConstraintOp{lp.EQ},
+			B:        []float64{2},
+			Hi:       []float64{0, 0},
+		},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
+	// 2x = 1 with x integer: LP relaxation feasible (x=0.5), ILP not.
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{1},
+			A:        [][]float64{{2}},
+			Op:       []lp.ConstraintOp{lp.EQ},
+			B:        []float64{1},
+			Hi:       []float64{1},
+		},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible (LP-feasible, ILP-infeasible)", r.Status)
+	}
+}
+
+func TestUnboundedILP(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{1},
+			A:        [][]float64{{1}},
+			Op:       []lp.ConstraintOp{lp.GE},
+			B:        []float64{0},
+		},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestMixedIntegerProblem(t *testing.T) {
+	// x integer, y continuous: max x + y, x + y <= 2.5, x <= 1.8 → x=1, y=1.5.
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{1, 1},
+			A:        [][]float64{{1, 1}},
+			Op:       []lp.ConstraintOp{lp.LE},
+			B:        []float64{2.5},
+			Hi:       []float64{1.8, math.Inf(1)},
+		},
+		Integer: []bool{true, false},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Optimal || math.Abs(r.Objective-2.5) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2.5", r.Status, r.Objective)
+	}
+	if math.Abs(r.X[0]-1) > 1e-6 {
+		t.Errorf("integer part x0 = %g, want 1", r.X[0])
+	}
+}
+
+func TestRepeatBoundsGeneralInteger(t *testing.T) {
+	// REPEAT-style general integers: max 3x + 2y, 2x + y <= 7, x,y in [0,3].
+	// Optimum: x=2, y=3 → 12.
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{3, 2},
+			A:        [][]float64{{2, 1}},
+			Op:       []lp.ConstraintOp{lp.LE},
+			B:        []float64{7},
+			Hi:       []float64{3, 3},
+		},
+	}
+	r := solveOK(t, p, Options{})
+	if r.Status != Optimal || math.Abs(r.Objective-12) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 12", r.Status, r.Objective)
+	}
+}
+
+func TestNodeBudgetResourceLimit(t *testing.T) {
+	// A problem that needs branching, with a 1-node budget, must report
+	// ResourceLimit (the CPLEX "choke" emulation).
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	c := make([]float64, n)
+	w := make([]float64, n)
+	hi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = 1 + rng.Float64()
+		w[i] = 1 + rng.Float64()
+		hi[i] = 1
+	}
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        c,
+			A:        [][]float64{w},
+			Op:       []lp.ConstraintOp{lp.LE},
+			B:        []float64{7.5},
+			Hi:       hi,
+		},
+	}
+	r := solveOK(t, p, Options{MaxNodes: 1})
+	if r.Status != ResourceLimit {
+		t.Fatalf("status = %v, want resource-limit", r.Status)
+	}
+}
+
+func TestLoadLimit(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        []float64{1, 1, 1},
+			Hi:       []float64{1, 1, 1},
+		},
+	}
+	if _, err := Solve(p, Options{LoadLimitVars: 2}); err == nil {
+		t.Fatal("load limit not enforced")
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	// With an already-expired deadline the solver must stop quickly.
+	rng := rand.New(rand.NewSource(11))
+	n := 40
+	c := make([]float64, n)
+	w := make([]float64, n)
+	hi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = rng.Float64()
+		w[i] = rng.Float64()
+		hi[i] = 1
+	}
+	p := &Problem{
+		LP: lp.Problem{
+			Maximize: true,
+			C:        c,
+			A:        [][]float64{w},
+			Op:       []lp.ConstraintOp{lp.LE},
+			B:        []float64{float64(n) / 5},
+			Hi:       hi,
+		},
+	}
+	r := solveOK(t, p, Options{TimeLimit: time.Nanosecond})
+	if r.Status != ResourceLimit && r.Status != Optimal {
+		t.Fatalf("status = %v, want resource-limit or fast optimal", r.Status)
+	}
+}
+
+func TestBadIntegerLength(t *testing.T) {
+	p := &Problem{
+		LP:      lp.Problem{Maximize: true, C: []float64{1}, Hi: []float64{1}},
+		Integer: []bool{true, false},
+	}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("mismatched Integer length accepted")
+	}
+}
+
+// bruteForce enumerates all integer points in the (small) box and returns
+// the best feasible objective, or NaN when none is feasible.
+func bruteForce(p *Problem) float64 {
+	n := p.LP.NumVars()
+	best := math.NaN()
+	var rec func(j int, x []float64)
+	rec = func(j int, x []float64) {
+		if j == n {
+			for i := range p.LP.B {
+				lhs := 0.0
+				for k := 0; k < n; k++ {
+					lhs += p.LP.A[i][k] * x[k]
+				}
+				switch p.LP.Op[i] {
+				case lp.LE:
+					if lhs > p.LP.B[i]+1e-9 {
+						return
+					}
+				case lp.GE:
+					if lhs < p.LP.B[i]-1e-9 {
+						return
+					}
+				case lp.EQ:
+					if math.Abs(lhs-p.LP.B[i]) > 1e-9 {
+						return
+					}
+				}
+			}
+			obj := 0.0
+			for k := 0; k < n; k++ {
+				obj += p.LP.C[k] * x[k]
+			}
+			if math.IsNaN(best) {
+				best = obj
+			} else if p.LP.Maximize && obj > best {
+				best = obj
+			} else if !p.LP.Maximize && obj < best {
+				best = obj
+			}
+			return
+		}
+		hi := int(p.LP.Hi[j])
+		for v := 0; v <= hi; v++ {
+			x[j] = float64(v)
+			rec(j+1, x)
+		}
+	}
+	rec(0, make([]float64, n))
+	return best
+}
+
+// Property: branch and bound matches exhaustive enumeration on random
+// small ILPs (maximization and minimization, LE/GE/EQ rows).
+func TestQuickMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)     // 2..5 vars
+		maxHi := 1 + rng.Intn(2) // bounds 0..1 or 0..2
+		p := &Problem{
+			LP: lp.Problem{
+				Maximize: rng.Intn(2) == 0,
+				C:        make([]float64, n),
+				Hi:       make([]float64, n),
+			},
+		}
+		for j := 0; j < n; j++ {
+			p.LP.C[j] = math.Round(rng.NormFloat64()*10) / 2
+			p.LP.Hi[j] = float64(maxHi)
+		}
+		rows := 1 + rng.Intn(3)
+		for i := 0; i < rows; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = math.Round(rng.NormFloat64() * 4)
+			}
+			op := []lp.ConstraintOp{lp.LE, lp.GE}[rng.Intn(2)]
+			// Anchor the RHS at a random integer point so EQ rows are
+			// satisfiable reasonably often.
+			lhs := 0.0
+			for j := range row {
+				lhs += row[j] * float64(rng.Intn(maxHi+1))
+			}
+			if rng.Intn(4) == 0 {
+				op = lp.EQ
+			}
+			p.LP.A = append(p.LP.A, row)
+			p.LP.Op = append(p.LP.Op, op)
+			p.LP.B = append(p.LP.B, lhs)
+		}
+		r, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		want := bruteForce(p)
+		if math.IsNaN(want) {
+			return r.Status == Infeasible
+		}
+		if r.Status != Optimal {
+			return false
+		}
+		return math.Abs(r.Objective-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the returned solution is always integral and feasible.
+func TestQuickSolutionIntegralFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		p := &Problem{
+			LP: lp.Problem{
+				Maximize: true,
+				C:        make([]float64, n),
+				Hi:       make([]float64, n),
+			},
+		}
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.LP.C[j] = rng.Float64() * 10
+			p.LP.Hi[j] = float64(1 + rng.Intn(3))
+			row[j] = rng.Float64() * 5
+		}
+		p.LP.A = [][]float64{row}
+		p.LP.Op = []lp.ConstraintOp{lp.LE}
+		p.LP.B = []float64{2 + rng.Float64()*10}
+		r, err := Solve(p, Options{})
+		if err != nil || r.Status != Optimal {
+			return false
+		}
+		lhs := 0.0
+		for j := 0; j < n; j++ {
+			if math.Abs(r.X[j]-math.Round(r.X[j])) > 1e-9 {
+				return false
+			}
+			if r.X[j] < -1e-9 || r.X[j] > p.LP.Hi[j]+1e-9 {
+				return false
+			}
+			lhs += row[j] * r.X[j]
+		}
+		return lhs <= p.LP.B[0]+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindIIS(t *testing.T) {
+	// Rows: {x<=2, x>=5, x>=1}: the IIS is rows {0,1}.
+	p := &lp.Problem{
+		Maximize: true,
+		C:        []float64{0},
+		A:        [][]float64{{1}, {1}, {1}},
+		Op:       []lp.ConstraintOp{lp.LE, lp.GE, lp.GE},
+		B:        []float64{2, 5, 1},
+	}
+	iis, err := FindIIS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iis) != 2 || iis[0] != 0 || iis[1] != 1 {
+		t.Fatalf("IIS = %v, want [0 1]", iis)
+	}
+}
+
+func TestFindIISFeasible(t *testing.T) {
+	p := &lp.Problem{
+		Maximize: true,
+		C:        []float64{0},
+		A:        [][]float64{{1}},
+		Op:       []lp.ConstraintOp{lp.LE},
+		B:        []float64{2},
+	}
+	iis, err := FindIIS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iis != nil {
+		t.Fatalf("IIS of feasible problem = %v, want nil", iis)
+	}
+}
+
+// Property: removing any single row of a reported IIS yields feasibility
+// (irreducibility).
+func TestQuickIISIrreducible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		rows := 2 + rng.Intn(4)
+		p := &lp.Problem{
+			Maximize: true,
+			C:        make([]float64, n),
+			Hi:       make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.Hi[j] = 3
+		}
+		for i := 0; i < rows; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(rng.Intn(5) - 2)
+			}
+			p.A = append(p.A, row)
+			p.Op = append(p.Op, []lp.ConstraintOp{lp.LE, lp.GE}[rng.Intn(2)])
+			p.B = append(p.B, float64(rng.Intn(13)-6))
+		}
+		iis, err := FindIIS(p)
+		if err != nil {
+			return false
+		}
+		if iis == nil {
+			return true // feasible instance
+		}
+		inIIS := make(map[int]bool, len(iis))
+		for _, i := range iis {
+			inIIS[i] = true
+		}
+		for _, drop := range iis {
+			active := make([]bool, p.NumRows())
+			for i := range active {
+				active[i] = inIIS[i] && i != drop
+			}
+			ok, err := rowsFeasible(p, active)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package naive implements the traditional-SQL baseline of Section 2 and
+// Figure 1: expressing a strict-cardinality package query as a multi-way
+// self-join
+//
+//	SELECT * FROM R r1, R r2, ..., R rc
+//	WHERE r1.pk < r2.pk < ... < rc.pk AND <base predicates>
+//	  AND <global predicates over the c tuples>
+//	ORDER BY <objective>
+//
+// and evaluating it the way a relational engine would: a nested-loop
+// enumeration of ordered tuple combinations, testing the global
+// predicates on each complete candidate and keeping the best objective.
+// Its runtime grows as O(n^c), which is the point of the baseline — the
+// paper's Figure 1 uses it to show that traditional database technology
+// is ineffective for package evaluation.
+package naive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// ErrTimeout is returned when enumeration exceeds the configured budget.
+// The best package found so far (possibly nil) accompanies it.
+var ErrTimeout = errors.New("naive: evaluation timed out")
+
+// ErrUnsupported is returned for specs the self-join formulation cannot
+// express (it requires REPEAT 0 and a strict COUNT(P.*) = c constraint).
+var ErrUnsupported = errors.New("naive: self-join formulation requires REPEAT 0 and an exact cardinality constraint")
+
+// Options configures the baseline.
+type Options struct {
+	// Timeout bounds wall-clock enumeration time; 0 means no limit.
+	Timeout time.Duration
+}
+
+// Result carries the outcome and measurement of a naive evaluation.
+type Result struct {
+	Package    *core.Package
+	Objective  float64
+	Candidates int // combinations fully or partially enumerated
+}
+
+// Cardinality extracts the strict cardinality c from a spec, or an error
+// when the spec has no COUNT(P.*) = c constraint.
+func Cardinality(spec *core.Spec) (int, error) {
+	for _, c := range spec.Constraints {
+		if _, isUnit := c.Coef.(core.UnitCoef); isUnit && c.Op == lp.EQ {
+			card := int(math.Round(c.RHS))
+			if card < 0 || math.Abs(c.RHS-float64(card)) > 1e-9 {
+				return 0, fmt.Errorf("naive: non-integer cardinality %g", c.RHS)
+			}
+			return card, nil
+		}
+	}
+	return 0, ErrUnsupported
+}
+
+// Evaluate runs the self-join baseline on a compiled package query.
+func Evaluate(spec *core.Spec, opt Options) (*Result, error) {
+	if spec.Repeat != 0 {
+		return nil, ErrUnsupported
+	}
+	card, err := Cardinality(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rows := spec.BaseRows()
+	n := len(rows)
+
+	// Bind the non-cardinality constraints and the objective once.
+	type boundCons struct {
+		fn  func(int) float64
+		op  lp.ConstraintOp
+		rhs float64
+	}
+	var cons []boundCons
+	for _, c := range spec.Constraints {
+		if _, isUnit := c.Coef.(core.UnitCoef); isUnit && c.Op == lp.EQ {
+			continue // the cardinality constraint is enforced structurally
+		}
+		fn, err := c.Coef.Bind(spec.Rel)
+		if err != nil {
+			return nil, err
+		}
+		cons = append(cons, boundCons{fn: fn, op: c.Op, rhs: c.RHS})
+	}
+	var objFn func(int) float64
+	maximize := false
+	if spec.Objective != nil {
+		objFn, err = spec.Objective.Coef.Bind(spec.Rel)
+		if err != nil {
+			return nil, err
+		}
+		maximize = spec.Objective.Maximize
+	}
+
+	res := &Result{Objective: math.NaN()}
+	var bestRows []int
+	deadline := time.Time{}
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	timedOut := false
+
+	// Running partial sums per constraint and for the objective, exactly
+	// what a nested-loop join pipeline would carry between join levels.
+	consSum := make([]float64, len(cons))
+	objSum := 0.0
+	chosen := make([]int, 0, card)
+
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(chosen) == card {
+			res.Candidates++
+			if res.Candidates%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+				timedOut = true
+				return false
+			}
+			for ci, c := range cons {
+				switch c.op {
+				case lp.LE:
+					if consSum[ci] > c.rhs+core.FeasTol {
+						return true
+					}
+				case lp.GE:
+					if consSum[ci] < c.rhs-core.FeasTol {
+						return true
+					}
+				case lp.EQ:
+					if math.Abs(consSum[ci]-c.rhs) > core.FeasTol {
+						return true
+					}
+				}
+			}
+			better := math.IsNaN(res.Objective)
+			if !better && objFn != nil {
+				if maximize {
+					better = objSum > res.Objective
+				} else {
+					better = objSum < res.Objective
+				}
+			}
+			if better {
+				if objFn != nil {
+					res.Objective = objSum
+				} else {
+					res.Objective = 0
+				}
+				bestRows = append(bestRows[:0], chosen...)
+			}
+			return true
+		}
+		// r_k ranges over pk > previous pk (the r1.pk < r2.pk < ... joins).
+		for i := start; i <= n-(card-len(chosen)); i++ {
+			r := rows[i]
+			for ci, c := range cons {
+				consSum[ci] += c.fn(r)
+			}
+			if objFn != nil {
+				objSum += objFn(r)
+			}
+			chosen = append(chosen, r)
+			ok := rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			for ci, c := range cons {
+				consSum[ci] -= c.fn(r)
+			}
+			if objFn != nil {
+				objSum -= objFn(r)
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+
+	if bestRows != nil {
+		mult := make([]int, len(bestRows))
+		for i := range mult {
+			mult[i] = 1
+		}
+		pkg, err := core.NewPackage(spec.Rel, bestRows, mult)
+		if err != nil {
+			return nil, err
+		}
+		res.Package = pkg
+		if spec.Objective != nil {
+			res.Objective += spec.Objective.Offset
+		}
+	}
+	if timedOut {
+		return res, ErrTimeout
+	}
+	if res.Package == nil {
+		return res, core.ErrInfeasible
+	}
+	return res, nil
+}

@@ -1,0 +1,332 @@
+// Package paql implements the Package Query Language: the lexer, the
+// recursive-descent parser, the abstract syntax tree, and semantic
+// validation. The grammar follows Appendix A.4 of the paper:
+//
+//	SELECT PACKAGE(rel_alias [, ...]) [AS] package_name
+//	FROM rel_name [AS] rel_alias [REPEAT repeat] [, ...]
+//	[ WHERE w_condition ]
+//	[ SUCH THAT st_condition ]
+//	[ (MINIMIZE|MAXIMIZE) objective ]
+//
+// WHERE conditions are per-tuple (base predicates); SUCH THAT conditions
+// and objectives are package-level expressions over aggregates such as
+// COUNT(P.*) and SUM(P.attr), including the sub-query form
+// (SELECT COUNT(*) FROM P WHERE ...).
+package paql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed PaQL query.
+type Query struct {
+	// PackageRels lists the relation aliases named inside PACKAGE(...).
+	PackageRels []string
+	// PackageName is the package alias (the "AS P" name); defaults to
+	// the first package relation alias when omitted.
+	PackageName string
+	// From lists the input relations.
+	From []FromItem
+	// Where is the base predicate over input tuples, or nil.
+	Where Expr
+	// SuchThat is the package-level (global) predicate, or nil.
+	SuchThat Expr
+	// Objective is the optimization criterion, or nil.
+	Objective *Objective
+}
+
+// FromItem is one relation in the FROM clause.
+type FromItem struct {
+	Rel   string
+	Alias string
+	// Repeat is the REPEAT bound: -1 when absent (unlimited repetition),
+	// otherwise K ≥ 0 allowing each tuple up to K+1 occurrences.
+	Repeat int
+}
+
+// ObjSense is the direction of an objective.
+type ObjSense int
+
+const (
+	// Minimize selects the package with the smallest objective value.
+	Minimize ObjSense = iota
+	// Maximize selects the package with the largest objective value.
+	Maximize
+)
+
+// String returns the PaQL keyword for the sense.
+func (s ObjSense) String() string {
+	if s == Maximize {
+		return "MAXIMIZE"
+	}
+	return "MINIMIZE"
+}
+
+// Objective is the MINIMIZE/MAXIMIZE clause.
+type Objective struct {
+	Sense ObjSense
+	Expr  Expr
+}
+
+// String renders the clause.
+func (o *Objective) String() string {
+	return fmt.Sprintf("%s %s", o.Sense, o.Expr)
+}
+
+// Expr is a node of the PaQL expression tree. Expressions appear in three
+// roles: scalar per-tuple expressions (WHERE), aggregate package
+// expressions (SUCH THAT, objectives), and boolean combinations of either.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// NumLit is a numeric literal.
+type NumLit struct{ Val float64 }
+
+// StrLit is a single-quoted string literal.
+type StrLit struct{ Val string }
+
+// ColRef is a column reference, optionally qualified: attr or alias.attr.
+// Star marks "alias.*" (only valid inside COUNT).
+type ColRef struct {
+	Qualifier string
+	Name      string
+	Star      bool
+}
+
+// BinOp is an arithmetic operator.
+type BinOp int
+
+// Arithmetic operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String returns the operator symbol.
+func (op BinOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	default:
+		return "/"
+	}
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the SQL spelling.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp is a comparison between two expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Between is "expr BETWEEN lo AND hi" (inclusive on both ends).
+type Between struct {
+	E, Lo, Hi Expr
+}
+
+// BoolKind is a boolean connective.
+type BoolKind int
+
+// Boolean connectives.
+const (
+	AndExpr BoolKind = iota
+	OrExpr
+	NotExpr
+)
+
+// Bool is a boolean combination of predicate expressions. NotExpr has a
+// single child.
+type Bool struct {
+	Kind BoolKind
+	Kids []Expr
+}
+
+// AggFunc is an aggregate function name.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	default:
+		return "MAX"
+	}
+}
+
+// Agg is an aggregate call over the package: either the shorthand form
+// SUM(P.attr) / COUNT(P.*), or the sub-query form
+// (SELECT SUM(attr) FROM P WHERE cond), in which case Where is non-nil.
+type Agg struct {
+	Fn    AggFunc
+	Arg   ColRef // Star=true for COUNT(*)
+	Over  string // the package (or relation) alias the aggregate ranges over
+	Where Expr   // optional per-tuple filter from the sub-query form
+}
+
+func (NumLit) exprNode()  {}
+func (StrLit) exprNode()  {}
+func (ColRef) exprNode()  {}
+func (Arith) exprNode()   {}
+func (Neg) exprNode()     {}
+func (Cmp) exprNode()     {}
+func (Between) exprNode() {}
+func (Bool) exprNode()    {}
+func (Agg) exprNode()     {}
+
+// String implementations render valid PaQL fragments.
+
+func (e NumLit) String() string { return trimFloat(e.Val) }
+
+func (e StrLit) String() string { return "'" + e.Val + "'" }
+
+func (e ColRef) String() string {
+	name := e.Name
+	if e.Star {
+		name = "*"
+	}
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + name
+	}
+	return name
+}
+
+func (e Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e Neg) String() string { return fmt.Sprintf("(-%s)", e.E) }
+
+func (e Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R)
+}
+
+func (e Between) String() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", e.E, e.Lo, e.Hi)
+}
+
+func (e Bool) String() string {
+	if e.Kind == NotExpr {
+		return fmt.Sprintf("NOT (%s)", e.Kids[0])
+	}
+	sep := " AND "
+	if e.Kind == OrExpr {
+		sep = " OR "
+	}
+	parts := make([]string, len(e.Kids))
+	for i, k := range e.Kids {
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+func (e Agg) String() string {
+	if e.Where == nil {
+		arg := e.Arg
+		if arg.Qualifier == "" {
+			arg.Qualifier = e.Over
+		}
+		return fmt.Sprintf("%s(%s)", e.Fn, arg)
+	}
+	arg := e.Arg.Name
+	if e.Arg.Star {
+		arg = "*"
+	}
+	return fmt.Sprintf("(SELECT %s(%s) FROM %s WHERE %s)", e.Fn, arg, e.Over, e.Where)
+}
+
+// String renders the query as PaQL text.
+func (q *Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT PACKAGE(%s) AS %s\nFROM", strings.Join(q.PackageRels, ", "), q.PackageName)
+	for i, f := range q.From {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " %s", f.Rel)
+		if f.Alias != "" && f.Alias != f.Rel {
+			fmt.Fprintf(&b, " %s", f.Alias)
+		}
+		if f.Repeat >= 0 {
+			fmt.Fprintf(&b, " REPEAT %d", f.Repeat)
+		}
+	}
+	if q.Where != nil {
+		fmt.Fprintf(&b, "\nWHERE %s", q.Where)
+	}
+	if q.SuchThat != nil {
+		fmt.Fprintf(&b, "\nSUCH THAT %s", q.SuchThat)
+	}
+	if q.Objective != nil {
+		fmt.Fprintf(&b, "\n%s", q.Objective)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

@@ -1,0 +1,197 @@
+package paql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // one of ( ) , . * + - / = <> != < <= > >=
+	tokKeyword
+)
+
+// token is one lexical token with its source position (for error messages).
+type token struct {
+	kind tokKind
+	text string // keywords normalized to upper case
+	num  float64
+	pos  int // byte offset in the input
+}
+
+// keywords that the lexer promotes from identifiers. Aggregate function
+// names stay identifiers so they can be used as column names too.
+var keywords = map[string]bool{
+	"SELECT": true, "PACKAGE": true, "AS": true, "FROM": true,
+	"REPEAT": true, "WHERE": true, "SUCH": true, "THAT": true,
+	"MINIMIZE": true, "MAXIMIZE": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tokEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(lx.src); i++ {
+		if lx.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("paql: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// SQL line comment.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: lx.pos}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+
+	// String literal.
+	if c == '\'' {
+		lx.pos++
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf(start, "unterminated string literal")
+			}
+			ch := lx.src[lx.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+	}
+
+	// Number.
+	if c >= '0' && c <= '9' || (c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9') {
+		end := lx.pos
+		seenDot, seenExp := false, false
+		for end < len(lx.src) {
+			ch := lx.src[end]
+			if ch >= '0' && ch <= '9' {
+				end++
+			} else if ch == '.' && !seenDot && !seenExp {
+				// Don't swallow ".." or ".*"; only digit follows.
+				if end+1 < len(lx.src) && lx.src[end+1] >= '0' && lx.src[end+1] <= '9' {
+					seenDot = true
+					end += 2
+				} else {
+					break
+				}
+			} else if (ch == 'e' || ch == 'E') && !seenExp {
+				next := end + 1
+				if next < len(lx.src) && (lx.src[next] == '+' || lx.src[next] == '-') {
+					next++
+				}
+				if next < len(lx.src) && lx.src[next] >= '0' && lx.src[next] <= '9' {
+					seenExp = true
+					end = next
+				} else {
+					break
+				}
+			} else {
+				break
+			}
+		}
+		text := lx.src[lx.pos:end]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, lx.errf(start, "bad number %q", text)
+		}
+		lx.pos = end
+		return token{kind: tokNumber, text: text, num: v, pos: start}, nil
+	}
+
+	// Identifier or keyword.
+	if c == '_' || unicode.IsLetter(rune(c)) {
+		end := lx.pos
+		for end < len(lx.src) {
+			ch := lx.src[end]
+			if ch == '_' || unicode.IsLetter(rune(ch)) || unicode.IsDigit(rune(ch)) {
+				end++
+			} else {
+				break
+			}
+		}
+		text := lx.src[lx.pos:end]
+		lx.pos = end
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	}
+
+	// Symbols, longest first.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		lx.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		return token{kind: tokSymbol, text: two, pos: start}, nil
+	}
+	switch c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>':
+		lx.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	}
+	return token{}, lx.errf(start, "unexpected character %q", string(c))
+}

@@ -1,0 +1,489 @@
+package paql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a PaQL query and validates its structure. It returns the
+// query AST or a descriptive error pointing at the offending token.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) advance()   { p.i++ }
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || strings.EqualFold(t.text, text))
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	where := t.text
+	if t.kind == tokEOF {
+		where = "end of query"
+	}
+	return fmt.Errorf("paql: at %q: %s", where, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.at(tokKeyword, kw) {
+		return p.errf("expected %s", kw)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.at(tokSymbol, sym) {
+		return p.errf("expected %q", sym)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	name := p.cur().text
+	p.advance()
+	return name, nil
+}
+
+// parseQuery parses the top-level clause sequence.
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("PACKAGE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.PackageRels = append(q.PackageRels, alias)
+		if p.at(tokSymbol, ",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if p.at(tokKeyword, "AS") {
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.PackageName = name
+	} else if p.cur().kind == tokIdent {
+		q.PackageName = p.cur().text
+		p.advance()
+	} else {
+		q.PackageName = q.PackageRels[0]
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		rel, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item := FromItem{Rel: rel, Alias: rel, Repeat: -1}
+		if p.at(tokKeyword, "AS") {
+			p.advance()
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias
+		} else if p.cur().kind == tokIdent && !strings.EqualFold(p.cur().text, "REPEAT") {
+			item.Alias = p.cur().text
+			p.advance()
+		}
+		if p.at(tokKeyword, "REPEAT") {
+			p.advance()
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("REPEAT expects a non-negative integer")
+			}
+			n := p.cur().num
+			if n < 0 || n != float64(int(n)) {
+				return nil, p.errf("REPEAT expects a non-negative integer, got %v", p.cur().text)
+			}
+			item.Repeat = int(n)
+			p.advance()
+		}
+		q.From = append(q.From, item)
+		if p.at(tokSymbol, ",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+
+	if p.at(tokKeyword, "WHERE") {
+		p.advance()
+		e, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.at(tokKeyword, "SUCH") {
+		p.advance()
+		if err := p.expectKeyword("THAT"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		q.SuchThat = e
+	}
+	if p.at(tokKeyword, "MINIMIZE") || p.at(tokKeyword, "MAXIMIZE") {
+		sense := Minimize
+		if p.at(tokKeyword, "MAXIMIZE") {
+			sense = Maximize
+		}
+		p.advance()
+		e, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		q.Objective = &Objective{Sense: sense, Expr: e}
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	return q, nil
+}
+
+// parseBool handles OR (lowest precedence).
+func (p *parser) parseBool() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{left}
+	for p.at(tokKeyword, "OR") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return Bool{Kind: OrExpr, Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{left}
+	for p.at(tokKeyword, "AND") {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return Bool{Kind: AndExpr, Kids: kids}, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.at(tokKeyword, "NOT") {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Bool{Kind: NotExpr, Kids: []Expr{e}}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses comparison/BETWEEN over additive expressions.
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokKeyword, "BETWEEN") {
+		p.advance()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: left, Lo: lo, Hi: hi}, nil
+	}
+	if p.cur().kind == tokSymbol {
+		var op CmpOp
+		found := true
+		switch p.cur().text {
+		case "=":
+			op = Eq
+		case "<>":
+			op = Ne
+		case "<":
+			op = Lt
+		case "<=":
+			op = Le
+		case ">":
+			op = Gt
+		case ">=":
+			op = Ge
+		default:
+			found = false
+		}
+		if found {
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	// No operator follows: return the bare expression. This is needed so
+	// parenthesized arithmetic like (SUM(P.a) + SUM(P.b)) <= 10 parses;
+	// Validate rejects bare non-boolean expressions in boolean positions.
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := Add
+		if p.cur().text == "-" {
+			op = Sub
+		}
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := Mul
+		if p.cur().text == "/" {
+			op = Div
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(tokSymbol, "-") {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: e}, nil
+	}
+	if p.at(tokSymbol, "+") {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]AggFunc{
+	"COUNT": AggCount,
+	"SUM":   AggSum,
+	"AVG":   AggAvg,
+	"MIN":   AggMin,
+	"MAX":   AggMax,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return NumLit{Val: t.num}, nil
+	case t.kind == tokString:
+		p.advance()
+		return StrLit{Val: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		// Sub-query form: (SELECT agg FROM alias [WHERE ...]).
+		if p.at(tokKeyword, "SELECT") {
+			return p.parseSubquery()
+		}
+		e, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		name := t.text
+		upper := strings.ToUpper(name)
+		// Aggregate shorthand: FN(alias.attr) or COUNT(alias.*).
+		if fn, isAgg := aggNames[upper]; isAgg && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			p.advance() // fn name
+			p.advance() // (
+			ref, err := p.parseColRefOrStar()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			if ref.Star && fn != AggCount {
+				return nil, fmt.Errorf("paql: %s(*) is not a valid aggregate", fn)
+			}
+			return Agg{Fn: fn, Arg: ColRef{Name: ref.Name, Star: ref.Star}, Over: ref.Qualifier}, nil
+		}
+		return p.parseColRefOrStar()
+	}
+	return nil, p.errf("expected expression")
+}
+
+// parseColRefOrStar parses attr, alias.attr, or alias.*.
+func (p *parser) parseColRefOrStar() (ColRef, error) {
+	if p.cur().kind != tokIdent {
+		return ColRef{}, p.errf("expected column reference")
+	}
+	first := p.cur().text
+	p.advance()
+	if p.at(tokSymbol, ".") {
+		p.advance()
+		if p.at(tokSymbol, "*") {
+			p.advance()
+			return ColRef{Qualifier: first, Star: true}, nil
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Name: name}, nil
+	}
+	return ColRef{Name: first}, nil
+}
+
+// parseSubquery parses "(SELECT FN(arg) FROM alias [WHERE cond])" after
+// the opening parenthesis and SELECT keyword position.
+func (p *parser) parseSubquery() (Expr, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("expected aggregate function in sub-query")
+	}
+	fn, ok := aggNames[strings.ToUpper(p.cur().text)]
+	if !ok {
+		return nil, p.errf("unknown aggregate %q in sub-query", p.cur().text)
+	}
+	p.advance()
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var arg ColRef
+	if p.at(tokSymbol, "*") {
+		p.advance()
+		arg = ColRef{Star: true}
+	} else {
+		ref, err := p.parseColRefOrStar()
+		if err != nil {
+			return nil, err
+		}
+		arg = ColRef{Name: ref.Name, Star: ref.Star}
+		if ref.Qualifier != "" {
+			arg.Name = ref.Name
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if arg.Star && fn != AggCount {
+		return nil, fmt.Errorf("paql: %s(*) is not a valid aggregate", fn)
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	over, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	agg := Agg{Fn: fn, Arg: arg, Over: over}
+	if p.at(tokKeyword, "WHERE") {
+		p.advance()
+		cond, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		agg.Where = cond
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,215 @@
+package paql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Walk calls fn for every node of the expression tree in pre-order. A nil
+// expression is a no-op.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case Arith:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case Neg:
+		Walk(x.E, fn)
+	case Cmp:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case Between:
+		Walk(x.E, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case Bool:
+		for _, k := range x.Kids {
+			Walk(k, fn)
+		}
+	case Agg:
+		Walk(x.Where, fn)
+	}
+}
+
+// containsAgg reports whether the expression mentions an aggregate call
+// at its top level (not inside a sub-query WHERE).
+func containsAgg(e Expr) bool {
+	found := false
+	var visit func(Expr)
+	visit = func(e Expr) {
+		if e == nil || found {
+			return
+		}
+		switch x := e.(type) {
+		case Agg:
+			found = true
+		case Arith:
+			visit(x.L)
+			visit(x.R)
+		case Neg:
+			visit(x.E)
+		case Cmp:
+			visit(x.L)
+			visit(x.R)
+		case Between:
+			visit(x.E)
+			visit(x.Lo)
+			visit(x.Hi)
+		case Bool:
+			for _, k := range x.Kids {
+				visit(k)
+			}
+		}
+	}
+	visit(e)
+	return found
+}
+
+// Validate checks the semantic rules of a parsed query:
+//
+//   - PACKAGE() aliases must be declared in FROM;
+//   - exactly one input relation (multi-relation package queries — joins —
+//     are future work in the paper and rejected here);
+//   - WHERE must be tuple-level (no aggregates);
+//   - SUCH THAT and the objective must be package-level (aggregates over
+//     the package alias);
+//   - aggregate arguments must not themselves contain aggregates.
+func Validate(q *Query) error {
+	if len(q.From) == 0 {
+		return fmt.Errorf("paql: query has no FROM clause")
+	}
+	if len(q.From) > 1 {
+		return fmt.Errorf("paql: multi-relation package queries are not supported (the paper evaluates single-relation queries; joins are future work)")
+	}
+	fromAliases := make(map[string]bool, len(q.From))
+	for _, f := range q.From {
+		fromAliases[strings.ToLower(f.Alias)] = true
+	}
+	if len(q.PackageRels) == 0 {
+		return fmt.Errorf("paql: PACKAGE() names no relation alias")
+	}
+	for _, a := range q.PackageRels {
+		if !fromAliases[strings.ToLower(a)] {
+			return fmt.Errorf("paql: PACKAGE(%s) does not match any FROM alias", a)
+		}
+	}
+	if q.PackageName == "" {
+		return fmt.Errorf("paql: package has no name")
+	}
+
+	if q.Where != nil {
+		if containsAgg(q.Where) {
+			return fmt.Errorf("paql: WHERE must be a tuple-level predicate; aggregates belong in SUCH THAT")
+		}
+		if err := mustBeBoolean(q.Where, "WHERE"); err != nil {
+			return err
+		}
+	}
+
+	pkg := strings.ToLower(q.PackageName)
+	checkAggScope := func(e Expr, clause string) error {
+		var errOut error
+		Walk(e, func(n Expr) {
+			if errOut != nil {
+				return
+			}
+			if a, ok := n.(Agg); ok {
+				over := strings.ToLower(a.Over)
+				if over != pkg && !fromAliases[over] {
+					errOut = fmt.Errorf("paql: %s aggregate ranges over unknown alias %q (package is %q)", clause, a.Over, q.PackageName)
+				}
+				if containsAgg(a.Where) {
+					errOut = fmt.Errorf("paql: nested aggregates are not allowed")
+				}
+			}
+		})
+		return errOut
+	}
+
+	if q.SuchThat != nil {
+		if !containsAgg(q.SuchThat) {
+			return fmt.Errorf("paql: SUCH THAT must constrain package-level aggregates")
+		}
+		if err := mustBeBoolean(q.SuchThat, "SUCH THAT"); err != nil {
+			return err
+		}
+		if err := checkAggScope(q.SuchThat, "SUCH THAT"); err != nil {
+			return err
+		}
+		// Column references in SUCH THAT are only legal inside aggregates.
+		if err := noBareColumns(q.SuchThat, "SUCH THAT"); err != nil {
+			return err
+		}
+	}
+	if q.Objective != nil {
+		if !containsAgg(q.Objective.Expr) {
+			return fmt.Errorf("paql: objective must aggregate over the package")
+		}
+		if err := checkAggScope(q.Objective.Expr, "objective"); err != nil {
+			return err
+		}
+		if err := noBareColumns(q.Objective.Expr, "objective"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mustBeBoolean checks that an expression in a boolean position is a
+// predicate: a comparison, a BETWEEN, or a boolean combination of
+// predicates. Sub-query WHERE filters are checked recursively.
+func mustBeBoolean(e Expr, clause string) error {
+	switch x := e.(type) {
+	case Cmp, Between:
+		return nil
+	case Bool:
+		for _, k := range x.Kids {
+			if err := mustBeBoolean(k, clause); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("paql: %s condition %q is not a boolean predicate (expected a comparison)", clause, e)
+	}
+}
+
+// noBareColumns rejects column references that appear outside aggregate
+// calls in package-level clauses.
+func noBareColumns(e Expr, clause string) error {
+	var errOut error
+	var visit func(Expr)
+	visit = func(e Expr) {
+		if e == nil || errOut != nil {
+			return
+		}
+		switch x := e.(type) {
+		case ColRef:
+			errOut = fmt.Errorf("paql: bare column %s in %s; package-level clauses may only use aggregates", x, clause)
+		case Arith:
+			visit(x.L)
+			visit(x.R)
+		case Neg:
+			visit(x.E)
+		case Cmp:
+			visit(x.L)
+			visit(x.R)
+		case Between:
+			visit(x.E)
+			visit(x.Lo)
+			visit(x.Hi)
+		case Bool:
+			for _, k := range x.Kids {
+				visit(k)
+			}
+		case Agg:
+			// Aggregate arguments and sub-query filters are tuple-level;
+			// stop descending.
+		}
+	}
+	visit(e)
+	return errOut
+}

@@ -1,0 +1,356 @@
+// Package partition implements the paper's offline data partitioning
+// (Section 4.1): a k-dimensional quad-tree split of the input relation
+// into groups of similar tuples, each bounded by a size threshold τ
+// (Definition 1) and optionally a radius limit ω (Definition 2), plus the
+// representative relation R̃(gid, attr₁, …, attr_k) whose tuples are the
+// group centroids.
+//
+// The recursion mirrors the paper's SQL formulation: each round groups
+// tuples by gid, computes sizes, centroids, and radii with aggregate
+// queries over the substrate, and splits every violating group into
+// sub-quadrants around its centroid.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Options configures Build.
+type Options struct {
+	// Attrs are the numeric partitioning attributes A.
+	Attrs []string
+	// SizeThreshold is τ: the maximum number of tuples per group.
+	SizeThreshold int
+	// RadiusLimit is ω: the maximum group radius across partitioning
+	// attributes. Zero or negative disables the radius condition (the
+	// configuration the paper uses for all scalability experiments).
+	RadiusLimit float64
+	// MaxDepth bounds the quad-tree recursion as a safety stop for
+	// pathological data; 0 means the default of 64.
+	MaxDepth int
+}
+
+// Group is one partition: its member rows, centroid (the representative
+// tuple), and radius.
+type Group struct {
+	ID       int
+	Rows     []int
+	Centroid []float64
+	Radius   float64
+}
+
+// Partitioning is the result of offline partitioning: the gid assignment,
+// the groups, and the representative relation.
+type Partitioning struct {
+	Rel   *relation.Relation
+	Attrs []string
+	// AttrIdx are the column indices of Attrs in Rel.
+	AttrIdx []int
+	// GID maps each row of Rel to its group index.
+	GID []int
+	// Groups holds the final groups, indexed by gid.
+	Groups []Group
+	// Reps is the representative relation R̃(gid, attrs…), one row per
+	// group, in gid order.
+	Reps *relation.Relation
+	// Tau and Omega record the thresholds the partitioning was built
+	// with (Omega ≤ 0 when no radius condition was enforced).
+	Tau   int
+	Omega float64
+	// BuildTime is the offline partitioning cost (Figure 4).
+	BuildTime time.Duration
+}
+
+// Build partitions the relation with the recursive quad-tree method.
+func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
+	start := time.Now()
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("partition: empty relation")
+	}
+	if opt.SizeThreshold < 1 {
+		return nil, fmt.Errorf("partition: size threshold τ must be ≥ 1, got %d", opt.SizeThreshold)
+	}
+	if len(opt.Attrs) == 0 {
+		return nil, fmt.Errorf("partition: no partitioning attributes")
+	}
+	if len(opt.Attrs) > 30 {
+		return nil, fmt.Errorf("partition: %d partitioning attributes exceed the 30-dimension limit", len(opt.Attrs))
+	}
+	if rel.Schema().Lookup("gid") >= 0 {
+		return nil, fmt.Errorf("partition: input relation already has a %q column", "gid")
+	}
+	attrIdx := make([]int, len(opt.Attrs))
+	for i, a := range opt.Attrs {
+		idx, err := rel.Schema().MustLookup(a)
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Schema().Col(idx).Type.Numeric() {
+			return nil, fmt.Errorf("partition: attribute %q is not numeric", a)
+		}
+		attrIdx[i] = idx
+	}
+	maxDepth := opt.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 64
+	}
+
+	type work struct {
+		rows  []int
+		depth int
+	}
+	queue := []work{{rows: rel.AllRows()}}
+	var groups []Group
+
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		centroid := relation.Centroid(rel, attrIdx, w.rows)
+		radius := relation.Radius(rel, attrIdx, w.rows, centroid)
+		sizeOK := len(w.rows) <= opt.SizeThreshold
+		radiusOK := opt.RadiusLimit <= 0 || radius <= opt.RadiusLimit
+		if (sizeOK && radiusOK) || len(w.rows) <= 1 || w.depth >= maxDepth {
+			groups = append(groups, Group{Rows: w.rows, Centroid: centroid, Radius: radius})
+			continue
+		}
+		children := splitQuadrants(rel, attrIdx, w.rows, centroid)
+		if len(children) <= 1 {
+			// Degenerate split (all tuples in one quadrant, e.g. exact
+			// duplicates): fall back to chunking by τ, which always
+			// terminates and preserves the size condition. Radius is
+			// already as small as the data allows.
+			for _, chunk := range chunkRows(w.rows, opt.SizeThreshold) {
+				c := relation.Centroid(rel, attrIdx, chunk)
+				groups = append(groups, Group{
+					Rows:     chunk,
+					Centroid: c,
+					Radius:   relation.Radius(rel, attrIdx, chunk, c),
+				})
+			}
+			continue
+		}
+		for _, child := range children {
+			queue = append(queue, work{rows: child, depth: w.depth + 1})
+		}
+	}
+
+	p := &Partitioning{
+		Rel:     rel,
+		Attrs:   append([]string(nil), opt.Attrs...),
+		AttrIdx: attrIdx,
+		GID:     make([]int, rel.Len()),
+		Groups:  groups,
+		Tau:     opt.SizeThreshold,
+		Omega:   opt.RadiusLimit,
+	}
+	for gid := range p.Groups {
+		p.Groups[gid].ID = gid
+		for _, r := range p.Groups[gid].Rows {
+			p.GID[r] = gid
+		}
+	}
+	p.Reps = buildReps(p)
+	p.BuildTime = time.Since(start)
+	return p, nil
+}
+
+// splitQuadrants distributes rows into sub-quadrants around the centroid:
+// tuples agreeing on which side of the centroid they fall, across all
+// attributes, share a quadrant.
+func splitQuadrants(rel *relation.Relation, attrIdx, rows []int, centroid []float64) [][]int {
+	byMask := make(map[uint64][]int)
+	for _, r := range rows {
+		var mask uint64
+		for a, c := range attrIdx {
+			if rel.Float(r, c) >= centroid[a] {
+				mask |= 1 << uint(a)
+			}
+		}
+		byMask[mask] = append(byMask[mask], r)
+	}
+	out := make([][]int, 0, len(byMask))
+	for _, child := range byMask {
+		out = append(out, child)
+	}
+	return out
+}
+
+func chunkRows(rows []int, size int) [][]int {
+	var out [][]int
+	for len(rows) > size {
+		out = append(out, rows[:size])
+		rows = rows[size:]
+	}
+	if len(rows) > 0 {
+		out = append(out, rows)
+	}
+	return out
+}
+
+// buildReps materializes the representative relation R̃. Its schema is
+// gid plus the mean of every numeric attribute of the input relation (not
+// just the partitioning attributes): queries whose attributes are not
+// fully covered by the partitioning (coverage < 1, Section 5.2.3) can
+// then still be sketched — the representatives are simply worse proxies
+// on the uncovered attributes.
+func buildReps(p *Partitioning) *relation.Relation {
+	schema := p.Rel.Schema()
+	cols := []relation.Column{{Name: "gid", Type: relation.Int}}
+	var numIdx []int
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Col(i).Type.Numeric() {
+			cols = append(cols, relation.Column{Name: schema.Col(i).Name, Type: relation.Float})
+			numIdx = append(numIdx, i)
+		}
+	}
+	reps := relation.New(p.Rel.Name()+"_reps", relation.NewSchema(cols...))
+	for _, g := range p.Groups {
+		means := relation.Centroid(p.Rel, numIdx, g.Rows)
+		vals := make([]relation.Value, 0, 1+len(means))
+		vals = append(vals, relation.I(int64(g.ID)))
+		for _, m := range means {
+			vals = append(vals, relation.F(m))
+		}
+		reps.MustAppend(vals...)
+	}
+	return reps
+}
+
+// NumGroups returns the number of groups m.
+func (p *Partitioning) NumGroups() int { return len(p.Groups) }
+
+// Restrict derives a partitioning for a subset of the rows, keeping the
+// group structure and representatives and dropping rows outside the
+// subset. This is how the paper derives partitionings for scaled-down
+// datasets ("randomly removing tuples from the original partitions"),
+// which preserves the size condition.
+func (p *Partitioning) Restrict(rows []int) *Partitioning {
+	keep := make([]bool, p.Rel.Len())
+	for _, r := range rows {
+		keep[r] = true
+	}
+	out := &Partitioning{
+		Rel:     p.Rel,
+		Attrs:   p.Attrs,
+		AttrIdx: p.AttrIdx,
+		GID:     make([]int, p.Rel.Len()),
+		Tau:     p.Tau,
+		Omega:   p.Omega,
+	}
+	for i := range out.GID {
+		out.GID[i] = -1
+	}
+	for _, g := range p.Groups {
+		var sub []int
+		for _, r := range g.Rows {
+			if keep[r] {
+				sub = append(sub, r)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		gid := len(out.Groups)
+		out.Groups = append(out.Groups, Group{
+			ID:       gid,
+			Rows:     sub,
+			Centroid: g.Centroid,
+			Radius:   g.Radius,
+		})
+		for _, r := range sub {
+			out.GID[r] = gid
+		}
+	}
+	out.Reps = buildReps(out)
+	return out
+}
+
+// CheckInvariants verifies the structural guarantees of the partitioning:
+// groups are disjoint and cover the relation, every group respects the
+// size threshold, the radius limit (when enforced), and representatives
+// are the group centroids. It returns the first violation found.
+func (p *Partitioning) CheckInvariants() error {
+	seen := make([]bool, p.Rel.Len())
+	total := 0
+	for gid, g := range p.Groups {
+		if g.ID != gid {
+			return fmt.Errorf("partition: group %d has ID %d", gid, g.ID)
+		}
+		if len(g.Rows) == 0 {
+			return fmt.Errorf("partition: group %d is empty", gid)
+		}
+		if len(g.Rows) > p.Tau {
+			return fmt.Errorf("partition: group %d has %d > τ=%d rows", gid, len(g.Rows), p.Tau)
+		}
+		if p.Omega > 0 && g.Radius > p.Omega+1e-9 {
+			return fmt.Errorf("partition: group %d radius %g > ω=%g", gid, g.Radius, p.Omega)
+		}
+		centroid := relation.Centroid(p.Rel, p.AttrIdx, g.Rows)
+		for a := range centroid {
+			if math.Abs(centroid[a]-g.Centroid[a]) > 1e-6*(1+math.Abs(centroid[a])) {
+				return fmt.Errorf("partition: group %d centroid drift on %s: %g vs %g",
+					gid, p.Attrs[a], g.Centroid[a], centroid[a])
+			}
+		}
+		for _, r := range g.Rows {
+			if seen[r] {
+				return fmt.Errorf("partition: row %d in multiple groups", r)
+			}
+			seen[r] = true
+			if p.GID[r] != gid {
+				return fmt.Errorf("partition: row %d gid %d, want %d", r, p.GID[r], gid)
+			}
+		}
+		total += len(g.Rows)
+	}
+	if total != p.Rel.Len() {
+		return fmt.Errorf("partition: groups cover %d of %d rows", total, p.Rel.Len())
+	}
+	if p.Reps.Len() != len(p.Groups) {
+		return fmt.Errorf("partition: %d representatives for %d groups", p.Reps.Len(), len(p.Groups))
+	}
+	return nil
+}
+
+// RadiusForEpsilon computes the radius limit ω of Equation 1 that yields
+// the (1±ε)⁶ approximation guarantee of Theorem 3:
+//
+//	ω = min_{t, attr∈A} γ·|t.attr|,  γ = ε (maximize) or ε/(1+ε) (minimize)
+//
+// The minimum is taken over the data (a lower bound for the paper's
+// minimum over representatives, hence at least as strict). Attributes
+// with zero values make the multiplicative guarantee vacuous; zeros are
+// skipped and the function returns 0 — meaning "no positive ω achieves
+// the bound" — only when every value is zero.
+func RadiusForEpsilon(rel *relation.Relation, attrs []string, eps float64, maximize bool) (float64, error) {
+	if eps < 0 {
+		return 0, fmt.Errorf("partition: ε must be non-negative")
+	}
+	gamma := eps
+	if !maximize {
+		gamma = eps / (1 + eps)
+	}
+	minAbs := math.Inf(1)
+	for _, a := range attrs {
+		idx, err := rel.Schema().MustLookup(a)
+		if err != nil {
+			return 0, err
+		}
+		if !rel.Schema().Col(idx).Type.Numeric() {
+			return 0, fmt.Errorf("partition: attribute %q is not numeric", a)
+		}
+		for r := 0; r < rel.Len(); r++ {
+			if v := math.Abs(rel.Float(r, idx)); v > 0 && v < minAbs {
+				minAbs = v
+			}
+		}
+	}
+	if math.IsInf(minAbs, 1) {
+		return 0, nil
+	}
+	return gamma * minAbs, nil
+}

@@ -1,0 +1,327 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func randomRel(t testing.TB, n int, seed int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("pts", relation.NewSchema(
+		relation.Column{Name: "x", Type: relation.Float},
+		relation.Column{Name: "y", Type: relation.Float},
+	))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()*100))
+	}
+	return r
+}
+
+func TestBuildSizeThreshold(t *testing.T) {
+	rel := randomRel(t, 1000, 1)
+	p, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGroups() < 1000/50 {
+		t.Errorf("only %d groups; with τ=50 and 1000 rows expected ≥ 20", p.NumGroups())
+	}
+	if p.Reps.Len() != p.NumGroups() {
+		t.Errorf("reps %d != groups %d", p.Reps.Len(), p.NumGroups())
+	}
+	// Representative schema: gid + attrs.
+	if p.Reps.Schema().Len() != 3 {
+		t.Errorf("reps schema %s, want (gid, x, y)", p.Reps.Schema())
+	}
+}
+
+func TestBuildRadiusLimit(t *testing.T) {
+	rel := randomRel(t, 500, 2)
+	p, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: 500, RadiusLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p.Groups {
+		if g.Radius > 5+1e-9 {
+			t.Errorf("group %d radius %g > 5", g.ID, g.Radius)
+		}
+	}
+}
+
+func TestBuildDuplicateTuples(t *testing.T) {
+	// All-identical tuples cannot be split spatially; the chunking
+	// fallback must still enforce τ.
+	rel := relation.New("dup", relation.NewSchema(relation.Column{Name: "v", Type: relation.Float}))
+	for i := 0; i < 100; i++ {
+		rel.MustAppend(relation.F(7))
+	}
+	p, err := Build(rel, Options{Attrs: []string{"v"}, SizeThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGroups() != 10 {
+		t.Errorf("groups = %d, want 10", p.NumGroups())
+	}
+}
+
+func TestBuildSingleTupleGroups(t *testing.T) {
+	rel := randomRel(t, 20, 3)
+	p, err := Build(rel, Options{Attrs: []string{"x"}, SizeThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGroups() != 20 {
+		t.Errorf("groups = %d, want 20 singletons", p.NumGroups())
+	}
+	for _, g := range p.Groups {
+		if g.Radius != 0 {
+			t.Errorf("singleton radius %g, want 0", g.Radius)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	rel := randomRel(t, 10, 4)
+	cases := []Options{
+		{Attrs: []string{"x"}, SizeThreshold: 0},       // bad tau
+		{Attrs: nil, SizeThreshold: 5},                 // no attrs
+		{Attrs: []string{"missing"}, SizeThreshold: 5}, // unknown attr
+		{Attrs: make([]string, 31), SizeThreshold: 5},  // too many dims
+	}
+	for i, opt := range cases {
+		if _, err := Build(rel, opt); err == nil {
+			t.Errorf("case %d: bad options accepted", i)
+		}
+	}
+	empty := relation.New("e", relation.NewSchema(relation.Column{Name: "x", Type: relation.Float}))
+	if _, err := Build(empty, Options{Attrs: []string{"x"}, SizeThreshold: 5}); err == nil {
+		t.Error("empty relation accepted")
+	}
+	strRel := relation.New("s", relation.NewSchema(relation.Column{Name: "s", Type: relation.String}))
+	strRel.MustAppend(relation.S("a"))
+	if _, err := Build(strRel, Options{Attrs: []string{"s"}, SizeThreshold: 5}); err == nil {
+		t.Error("string partitioning attribute accepted")
+	}
+}
+
+func TestIntColumnsArePartitionable(t *testing.T) {
+	rel := relation.New("ints", relation.NewSchema(relation.Column{Name: "k", Type: relation.Int}))
+	for i := 0; i < 64; i++ {
+		rel.MustAppend(relation.I(int64(i % 8)))
+	}
+	p, err := Build(rel, Options{Attrs: []string{"k"}, SizeThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	rel := randomRel(t, 400, 5)
+	p, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep every third row.
+	var rows []int
+	for i := 0; i < rel.Len(); i += 3 {
+		rows = append(rows, i)
+	}
+	sub := p.Restrict(rows)
+	// Every kept row appears in exactly one group; dropped rows in none.
+	seen := make(map[int]bool)
+	for _, g := range sub.Groups {
+		if len(g.Rows) == 0 {
+			t.Error("restricted partitioning has an empty group")
+		}
+		if len(g.Rows) > p.Tau {
+			t.Error("restriction violated the size condition")
+		}
+		for _, r := range g.Rows {
+			seen[r] = true
+			if sub.GID[r] != g.ID {
+				t.Error("gid mapping wrong after restrict")
+			}
+		}
+	}
+	if len(seen) != len(rows) {
+		t.Errorf("restricted groups cover %d rows, want %d", len(seen), len(rows))
+	}
+	for i := 1; i < rel.Len(); i += 3 {
+		if seen[i] {
+			t.Errorf("dropped row %d still present", i)
+		}
+	}
+	if sub.Reps.Len() != len(sub.Groups) {
+		t.Error("restricted reps out of sync")
+	}
+}
+
+func TestRadiusForEpsilon(t *testing.T) {
+	rel := relation.New("t", relation.NewSchema(relation.Column{Name: "a", Type: relation.Float}))
+	for _, v := range []float64{2, 4, 8, -3} {
+		rel.MustAppend(relation.F(v))
+	}
+	// maximize: γ = ε; min |a| = 2 → ω = 0.5·2 = 1.
+	w, err := RadiusForEpsilon(rel, []string{"a"}, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Errorf("ω = %g, want 1", w)
+	}
+	// minimize: γ = ε/(1+ε) = 1/3 → ω = 2/3.
+	w, err = RadiusForEpsilon(rel, []string{"a"}, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2.0/3) > 1e-12 {
+		t.Errorf("ω = %g, want 2/3", w)
+	}
+	if _, err := RadiusForEpsilon(rel, []string{"a"}, -1, true); err == nil {
+		t.Error("negative ε accepted")
+	}
+	if _, err := RadiusForEpsilon(rel, []string{"zz"}, 0.1, true); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	zero := relation.New("z", relation.NewSchema(relation.Column{Name: "a", Type: relation.Float}))
+	zero.MustAppend(relation.F(0))
+	w, err = RadiusForEpsilon(zero, []string{"a"}, 0.5, true)
+	if err != nil || w != 0 {
+		t.Errorf("all-zero column: ω = %g err %v, want 0 nil", w, err)
+	}
+}
+
+func TestBuildTimeRecorded(t *testing.T) {
+	rel := randomRel(t, 2000, 6)
+	p, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BuildTime <= 0 {
+		t.Error("BuildTime not recorded")
+	}
+}
+
+func TestHighDimensionalPartitioning(t *testing.T) {
+	// 8 attributes: sub-quadrant masks up to 2^8; the sparse map must
+	// handle it without materializing empty quadrants.
+	rng := rand.New(rand.NewSource(9))
+	cols := make([]relation.Column, 8)
+	attrs := make([]string, 8)
+	for i := range cols {
+		attrs[i] = string(rune('a' + i))
+		cols[i] = relation.Column{Name: attrs[i], Type: relation.Float}
+	}
+	rel := relation.New("hd", relation.NewSchema(cols...))
+	for i := 0; i < 3000; i++ {
+		vals := make([]relation.Value, 8)
+		for j := range vals {
+			vals[j] = relation.F(rng.NormFloat64())
+		}
+		rel.MustAppend(vals...)
+	}
+	p, err := Build(rel, Options{Attrs: attrs, SizeThreshold: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: partitioning invariants hold for random data, τ, and ω.
+func TestQuickPartitioningInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		rel := relation.New("t", relation.NewSchema(
+			relation.Column{Name: "x", Type: relation.Float},
+			relation.Column{Name: "y", Type: relation.Float},
+		))
+		for i := 0; i < n; i++ {
+			// Mix of clustered and uniform data, sometimes degenerate.
+			switch rng.Intn(3) {
+			case 0:
+				rel.MustAppend(relation.F(rng.NormFloat64()), relation.F(rng.NormFloat64()))
+			case 1:
+				rel.MustAppend(relation.F(5), relation.F(5))
+			default:
+				rel.MustAppend(relation.F(rng.Float64()*1000), relation.F(0))
+			}
+		}
+		tau := 1 + rng.Intn(50)
+		var omega float64
+		if rng.Intn(2) == 0 {
+			omega = rng.Float64() * 100
+		}
+		p, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: tau, RadiusLimit: omega})
+		if err != nil {
+			return false
+		}
+		return p.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a radius limit derived from ε, every tuple is within
+// (1±ε) of its representative on every partitioning attribute (Equation 3
+// of the appendix), for strictly positive data.
+func TestQuickEpsilonRadiusBoundsTuples(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		rel := relation.New("t", relation.NewSchema(relation.Column{Name: "v", Type: relation.Float}))
+		for i := 0; i < n; i++ {
+			rel.MustAppend(relation.F(1 + rng.Float64()*9)) // values in [1, 10]
+		}
+		eps := 0.1 + rng.Float64()*0.9
+		omega, err := RadiusForEpsilon(rel, []string{"v"}, eps, true)
+		if err != nil || omega <= 0 {
+			return false
+		}
+		p, err := Build(rel, Options{Attrs: []string{"v"}, SizeThreshold: n, RadiusLimit: omega})
+		if err != nil || p.CheckInvariants() != nil {
+			return false
+		}
+		for _, g := range p.Groups {
+			for _, r := range g.Rows {
+				v := rel.Float(r, 0)
+				rep := g.Centroid[0]
+				// |v − rep| ≤ ω ≤ ε·min|t.v| ≤ ε·v and ≤ ε·rep-ish;
+				// check the direct radius consequence.
+				if math.Abs(v-rep) > omega+1e-9 {
+					return false
+				}
+				if v < (1-eps)*rep-1e-9 { // t ≥ (1−ε)·rep
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// TreeNode is one node of the retained quad-tree hierarchy (Section 4.1,
+// "Dynamic partitioning"): keeping the whole tree lets a query derive the
+// coarsest partitioning that satisfies its radius requirement without
+// re-partitioning from scratch.
+type TreeNode struct {
+	Rows     []int
+	Centroid []float64
+	Radius   float64
+	Children []*TreeNode
+}
+
+// Tree is the full quad-tree over a relation, built once offline.
+type Tree struct {
+	Rel       *relation.Relation
+	Attrs     []string
+	AttrIdx   []int
+	Root      *TreeNode
+	BuildTime time.Duration
+}
+
+// BuildTree constructs the complete hierarchy: every node is split until
+// it has a single tuple or cannot be split further (duplicate tuples),
+// down to at most maxDepth levels. Leaf granularity subsumes any (τ, ω)
+// choice, so one tree serves every query.
+func BuildTree(rel *relation.Relation, attrs []string, maxDepth int) (*Tree, error) {
+	start := time.Now()
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("partition: empty relation")
+	}
+	if len(attrs) == 0 || len(attrs) > 30 {
+		return nil, fmt.Errorf("partition: need 1–30 partitioning attributes, got %d", len(attrs))
+	}
+	attrIdx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx, err := rel.Schema().MustLookup(a)
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Schema().Col(idx).Type.Numeric() {
+			return nil, fmt.Errorf("partition: attribute %q is not numeric", a)
+		}
+		attrIdx[i] = idx
+	}
+	if maxDepth <= 0 {
+		maxDepth = 64
+	}
+	t := &Tree{Rel: rel, Attrs: append([]string(nil), attrs...), AttrIdx: attrIdx}
+	t.Root = t.buildNode(rel.AllRows(), 0, maxDepth)
+	t.BuildTime = time.Since(start)
+	return t, nil
+}
+
+func (t *Tree) buildNode(rows []int, depth, maxDepth int) *TreeNode {
+	centroid := relation.Centroid(t.Rel, t.AttrIdx, rows)
+	node := &TreeNode{
+		Rows:     rows,
+		Centroid: centroid,
+		Radius:   relation.Radius(t.Rel, t.AttrIdx, rows, centroid),
+	}
+	if len(rows) <= 1 || depth >= maxDepth || node.Radius == 0 {
+		return node
+	}
+	children := splitQuadrants(t.Rel, t.AttrIdx, rows, centroid)
+	if len(children) <= 1 {
+		return node // degenerate: cannot split spatially
+	}
+	for _, childRows := range children {
+		node.Children = append(node.Children, t.buildNode(childRows, depth+1, maxDepth))
+	}
+	return node
+}
+
+// CoarsestForRadius derives, at query time, the coarsest partitioning
+// whose groups all satisfy the radius limit ω (and optionally the size
+// threshold τ; τ ≤ 0 disables the size condition). This is the paper's
+// dynamic alternative to static partitioning: a maximization query with
+// a small ε can reuse the same offline tree as a lax one.
+func (t *Tree) CoarsestForRadius(omega float64, tau int) *Partitioning {
+	p := &Partitioning{
+		Rel:     t.Rel,
+		Attrs:   t.Attrs,
+		AttrIdx: t.AttrIdx,
+		GID:     make([]int, t.Rel.Len()),
+		Tau:     tau,
+		Omega:   omega,
+	}
+	if tau <= 0 {
+		p.Tau = t.Rel.Len()
+	}
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		radiusOK := omega <= 0 || n.Radius <= omega
+		sizeOK := tau <= 0 || len(n.Rows) <= tau
+		if (radiusOK && sizeOK) || len(n.Children) == 0 {
+			gid := len(p.Groups)
+			p.Groups = append(p.Groups, Group{
+				ID:       gid,
+				Rows:     n.Rows,
+				Centroid: n.Centroid,
+				Radius:   n.Radius,
+			})
+			for _, r := range n.Rows {
+				p.GID[r] = gid
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	p.Reps = buildReps(p)
+	return p
+}
+
+// NumNodes counts the tree's nodes (for diagnostics and tests).
+func (t *Tree) NumNodes() int {
+	var count func(n *TreeNode) int
+	count = func(n *TreeNode) int {
+		total := 1
+		for _, c := range n.Children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.Root)
+}

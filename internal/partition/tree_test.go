@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestBuildTreeAndCoarsest(t *testing.T) {
+	rel := randomRel(t, 800, 21)
+	tree, err := BuildTree(rel, []string{"x", "y"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() < 10 {
+		t.Fatalf("tree has only %d nodes", tree.NumNodes())
+	}
+	if tree.BuildTime <= 0 {
+		t.Error("build time not recorded")
+	}
+	// The root must cover everything.
+	if len(tree.Root.Rows) != rel.Len() {
+		t.Fatalf("root covers %d of %d rows", len(tree.Root.Rows), rel.Len())
+	}
+
+	p := tree.CoarsestForRadius(10, 0)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("radius-10 partitioning: %v", err)
+	}
+	for _, g := range p.Groups {
+		if g.Radius > 10+1e-9 {
+			t.Errorf("group %d radius %g > 10", g.ID, g.Radius)
+		}
+	}
+}
+
+func TestCoarsestMonotoneInRadius(t *testing.T) {
+	rel := randomRel(t, 600, 22)
+	tree, err := BuildTree(rel, []string{"x", "y"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	// Tighter radius ⇒ at least as many groups.
+	for _, omega := range []float64{50, 20, 8, 3, 1} {
+		p := tree.CoarsestForRadius(omega, 0)
+		if p.NumGroups() < prev {
+			t.Fatalf("ω=%g produced %d groups, fewer than looser ω's %d", omega, p.NumGroups(), prev)
+		}
+		prev = p.NumGroups()
+	}
+}
+
+func TestCoarsestWithSizeThreshold(t *testing.T) {
+	rel := randomRel(t, 500, 23)
+	tree, err := BuildTree(rel, []string{"x", "y"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tree.CoarsestForRadius(0, 50) // size condition only
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p.Groups {
+		if len(g.Rows) > 50 {
+			t.Errorf("group %d has %d > 50 rows", g.ID, len(g.Rows))
+		}
+	}
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	rel := randomRel(t, 10, 24)
+	if _, err := BuildTree(rel, nil, 0); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := BuildTree(rel, []string{"missing"}, 0); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	empty := relation.New("e", relation.NewSchema(relation.Column{Name: "x", Type: relation.Float}))
+	if _, err := BuildTree(empty, []string{"x"}, 0); err == nil {
+		t.Error("empty relation accepted")
+	}
+}
+
+// Property: a dynamic partitioning derived from the tree is structurally
+// valid (disjoint cover, gid consistency) for any radius.
+func TestQuickDynamicPartitioningValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := randomRel(t, 50+rng.Intn(300), seed)
+		tree, err := BuildTree(rel, []string{"x", "y"}, 0)
+		if err != nil {
+			return false
+		}
+		omega := rng.Float64() * 60
+		p := tree.CoarsestForRadius(omega, 0)
+		if p.CheckInvariants() != nil {
+			return false
+		}
+		// Every group with children available must satisfy ω (leaves
+		// that cannot split have radius 0 anyway for point data).
+		for _, g := range p.Groups {
+			if omega > 0 && g.Radius > omega+1e-9 && len(g.Rows) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDynamicMatchesStaticRadius: the dynamic tree path and a static
+// Build with the same ω produce partitionings with identical invariants
+// (not necessarily identical groups), and SketchRefine-relevant metadata
+// (representatives aligned with groups).
+func TestDynamicMatchesStaticRadius(t *testing.T) {
+	rel := randomRel(t, 400, 25)
+	tree, err := BuildTree(rel, []string{"x", "y"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := tree.CoarsestForRadius(5, 0)
+	static, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: rel.Len(), RadiusLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Partitioning{dyn, static} {
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Reps.Len() != p.NumGroups() {
+			t.Fatal("reps misaligned")
+		}
+	}
+}

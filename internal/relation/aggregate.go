@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFunc identifies a linear (or, for MIN/MAX, order-based) aggregate.
+type AggFunc int
+
+const (
+	// Count is COUNT(*).
+	Count AggFunc = iota
+	// Sum is SUM(attr).
+	Sum
+	// Avg is AVG(attr).
+	Avg
+	// Min is MIN(attr).
+	Min
+	// Max is MAX(attr).
+	Max
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregate computes fn over the named column restricted to rows. rows nil
+// means all rows. COUNT ignores the column name. AVG of an empty set and
+// MIN/MAX of an empty set return NaN; SUM of an empty set returns 0.
+func Aggregate(r *Relation, fn AggFunc, col string, rows []int) (float64, error) {
+	if rows == nil {
+		rows = r.AllRows()
+	}
+	if fn == Count {
+		return float64(len(rows)), nil
+	}
+	c, err := r.Schema().MustLookup(col)
+	if err != nil {
+		return 0, err
+	}
+	if !r.Schema().Col(c).Type.Numeric() {
+		return 0, fmt.Errorf("relation: %s over non-numeric column %q", fn, col)
+	}
+	switch fn {
+	case Sum:
+		s := 0.0
+		for _, i := range rows {
+			s += r.Float(i, c)
+		}
+		return s, nil
+	case Avg:
+		if len(rows) == 0 {
+			return math.NaN(), nil
+		}
+		s := 0.0
+		for _, i := range rows {
+			s += r.Float(i, c)
+		}
+		return s / float64(len(rows)), nil
+	case Min:
+		if len(rows) == 0 {
+			return math.NaN(), nil
+		}
+		m := math.Inf(1)
+		for _, i := range rows {
+			if v := r.Float(i, c); v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case Max:
+		if len(rows) == 0 {
+			return math.NaN(), nil
+		}
+		m := math.Inf(-1)
+		for _, i := range rows {
+			if v := r.Float(i, c); v > m {
+				m = v
+			}
+		}
+		return m, nil
+	default:
+		return 0, fmt.Errorf("relation: unsupported aggregate %v", fn)
+	}
+}
+
+// WeightedAggregate computes an aggregate over a multiset of rows, where
+// mult[i] is the multiplicity of rows[i]. This is the aggregate semantics
+// of packages, which are multisets (REPEAT k allows repetition).
+func WeightedAggregate(r *Relation, fn AggFunc, col string, rows []int, mult []int) (float64, error) {
+	if len(rows) != len(mult) {
+		return 0, fmt.Errorf("relation: rows/mult length mismatch %d vs %d", len(rows), len(mult))
+	}
+	total := 0
+	for _, m := range mult {
+		if m < 0 {
+			return 0, fmt.Errorf("relation: negative multiplicity %d", m)
+		}
+		total += m
+	}
+	if fn == Count {
+		return float64(total), nil
+	}
+	c, err := r.Schema().MustLookup(col)
+	if err != nil {
+		return 0, err
+	}
+	if !r.Schema().Col(c).Type.Numeric() {
+		return 0, fmt.Errorf("relation: %s over non-numeric column %q", fn, col)
+	}
+	switch fn {
+	case Sum, Avg:
+		s := 0.0
+		for k, i := range rows {
+			s += float64(mult[k]) * r.Float(i, c)
+		}
+		if fn == Sum {
+			return s, nil
+		}
+		if total == 0 {
+			return math.NaN(), nil
+		}
+		return s / float64(total), nil
+	case Min:
+		m := math.NaN()
+		for k, i := range rows {
+			if mult[k] == 0 {
+				continue
+			}
+			if v := r.Float(i, c); math.IsNaN(m) || v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case Max:
+		m := math.NaN()
+		for k, i := range rows {
+			if mult[k] == 0 {
+				continue
+			}
+			if v := r.Float(i, c); math.IsNaN(m) || v > m {
+				m = v
+			}
+		}
+		return m, nil
+	default:
+		return 0, fmt.Errorf("relation: unsupported aggregate %v", fn)
+	}
+}

@@ -1,0 +1,137 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is one group of a GROUP BY: the grouping key and the member rows.
+type Group struct {
+	Key  Value
+	Rows []int
+}
+
+// GroupBy groups the given rows (all rows when nil) by the value of the
+// named column, returning groups sorted by key for determinism. This is
+// the substrate operation the paper's partitioner issues as a SQL
+// "GROUP BY gid" query.
+func GroupBy(r *Relation, col string, rows []int) ([]Group, error) {
+	c, err := r.Schema().MustLookup(col)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		rows = r.AllRows()
+	}
+	switch r.Schema().Col(c).Type {
+	case Int:
+		byKey := make(map[int64][]int)
+		for _, i := range rows {
+			k := r.IntColumn(c)[i]
+			byKey[k] = append(byKey[k], i)
+		}
+		keys := make([]int64, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		out := make([]Group, len(keys))
+		for gi, k := range keys {
+			out[gi] = Group{Key: I(k), Rows: byKey[k]}
+		}
+		return out, nil
+	case String:
+		byKey := make(map[string][]int)
+		for _, i := range rows {
+			k := r.Str(i, c)
+			byKey[k] = append(byKey[k], i)
+		}
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]Group, len(keys))
+		for gi, k := range keys {
+			out[gi] = Group{Key: S(k), Rows: byKey[k]}
+		}
+		return out, nil
+	case Float:
+		byKey := make(map[float64][]int)
+		for _, i := range rows {
+			k := r.FloatColumn(c)[i]
+			byKey[k] = append(byKey[k], i)
+		}
+		keys := make([]float64, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		out := make([]Group, len(keys))
+		for gi, k := range keys {
+			out[gi] = Group{Key: F(k), Rows: byKey[k]}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("relation: cannot group by column %q", col)
+	}
+}
+
+// SortRowsBy orders the row indices by the named numeric column,
+// ascending when asc is true, and returns the sorted copy.
+func SortRowsBy(r *Relation, col string, rows []int, asc bool) ([]int, error) {
+	c, err := r.Schema().MustLookup(col)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Schema().Col(c).Type.Numeric() {
+		return nil, fmt.Errorf("relation: cannot sort by non-numeric column %q", col)
+	}
+	out := append([]int(nil), rows...)
+	sort.SliceStable(out, func(a, b int) bool {
+		va, vb := r.Float(out[a], c), r.Float(out[b], c)
+		if asc {
+			return va < vb
+		}
+		return va > vb
+	})
+	return out, nil
+}
+
+// Centroid computes the per-attribute mean of rows over the given numeric
+// column indices. It is the representative-tuple construction of the
+// paper's partitioner. Empty input returns a zero vector.
+func Centroid(r *Relation, colIdx []int, rows []int) []float64 {
+	out := make([]float64, len(colIdx))
+	if len(rows) == 0 {
+		return out
+	}
+	for _, i := range rows {
+		for a, c := range colIdx {
+			out[a] += r.Float(i, c)
+		}
+	}
+	for a := range out {
+		out[a] /= float64(len(rows))
+	}
+	return out
+}
+
+// Radius computes the group radius of Definition 2: the largest absolute
+// coordinate distance between the centroid and any member row across the
+// given numeric columns.
+func Radius(r *Relation, colIdx []int, rows []int, centroid []float64) float64 {
+	radius := 0.0
+	for _, i := range rows {
+		for a, c := range colIdx {
+			d := r.Float(i, c) - centroid[a]
+			if d < 0 {
+				d = -d
+			}
+			if d > radius {
+				radius = d
+			}
+		}
+	}
+	return radius
+}

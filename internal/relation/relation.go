@@ -1,0 +1,296 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a dynamically typed cell value. It is used at API boundaries
+// (row construction, CSV parsing, tests); hot paths use the typed column
+// accessors instead.
+type Value struct {
+	typ Type
+	f   float64
+	i   int64
+	s   string
+}
+
+// F wraps a float64 as a Value.
+func F(v float64) Value { return Value{typ: Float, f: v} }
+
+// I wraps an int64 as a Value.
+func I(v int64) Value { return Value{typ: Int, i: v} }
+
+// S wraps a string as a Value.
+func S(v string) Value { return Value{typ: String, s: v} }
+
+// Type returns the type of the value.
+func (v Value) Type() Type { return v.typ }
+
+// Float returns the value as a float64. Int values convert; String panics.
+func (v Value) Float() float64 {
+	switch v.typ {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	default:
+		panic("relation: Float() on string value")
+	}
+}
+
+// Int returns the value as an int64. Float values truncate; String panics.
+func (v Value) Int() int64 {
+	switch v.typ {
+	case Int:
+		return v.i
+	case Float:
+		return int64(v.f)
+	default:
+		panic("relation: Int() on string value")
+	}
+}
+
+// Str returns the value as a string (only valid for String values).
+func (v Value) Str() string {
+	if v.typ != String {
+		panic("relation: Str() on numeric value")
+	}
+	return v.s
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.typ {
+	case Float:
+		return fmt.Sprintf("%g", v.f)
+	case Int:
+		return fmt.Sprintf("%d", v.i)
+	default:
+		return v.s
+	}
+}
+
+// Equal reports deep equality of two values, comparing numerics by value
+// (so I(3) equals F(3)).
+func (v Value) Equal(o Value) bool {
+	if v.typ == String || o.typ == String {
+		return v.typ == o.typ && v.s == o.s
+	}
+	return v.Float() == o.Float()
+}
+
+// column is the typed backing store for one attribute.
+type column struct {
+	typ Type
+	f   []float64
+	i   []int64
+	s   []string
+}
+
+func newColumn(t Type) *column { return &column{typ: t} }
+
+func (c *column) appendValue(v Value) error {
+	switch c.typ {
+	case Float:
+		switch v.typ {
+		case Float:
+			c.f = append(c.f, v.f)
+		case Int:
+			c.f = append(c.f, float64(v.i))
+		default:
+			return fmt.Errorf("relation: cannot store string in DOUBLE column")
+		}
+	case Int:
+		switch v.typ {
+		case Int:
+			c.i = append(c.i, v.i)
+		case Float:
+			if v.f != math.Trunc(v.f) {
+				return fmt.Errorf("relation: cannot store non-integral %g in BIGINT column", v.f)
+			}
+			c.i = append(c.i, int64(v.f))
+		default:
+			return fmt.Errorf("relation: cannot store string in BIGINT column")
+		}
+	case String:
+		if v.typ != String {
+			return fmt.Errorf("relation: cannot store numeric in TEXT column")
+		}
+		c.s = append(c.s, v.s)
+	}
+	return nil
+}
+
+func (c *column) value(row int) Value {
+	switch c.typ {
+	case Float:
+		return F(c.f[row])
+	case Int:
+		return I(c.i[row])
+	default:
+		return S(c.s[row])
+	}
+}
+
+func (c *column) float(row int) float64 {
+	switch c.typ {
+	case Float:
+		return c.f[row]
+	case Int:
+		return float64(c.i[row])
+	default:
+		panic("relation: numeric access to string column")
+	}
+}
+
+// Relation is an in-memory table with a fixed schema and column-major
+// typed storage.
+type Relation struct {
+	name   string
+	schema Schema
+	cols   []*column
+	n      int
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema Schema) *Relation {
+	r := &Relation{name: name, schema: schema, cols: make([]*column, schema.Len())}
+	for i := 0; i < schema.Len(); i++ {
+		r.cols[i] = newColumn(schema.Col(i).Type)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return r.n }
+
+// Append adds one row. The number and types of values must match the
+// schema (Int↔Float coercion is permitted where lossless).
+func (r *Relation) Append(vals ...Value) error {
+	if len(vals) != r.schema.Len() {
+		return fmt.Errorf("relation: row has %d values, schema %s has %d columns",
+			len(vals), r.name, r.schema.Len())
+	}
+	for i, v := range vals {
+		if err := r.cols[i].appendValue(v); err != nil {
+			return fmt.Errorf("%w (column %q)", err, r.schema.Col(i).Name)
+		}
+	}
+	r.n++
+	return nil
+}
+
+// MustAppend is Append but panics on error; intended for tests and
+// generators where schemas are static.
+func (r *Relation) MustAppend(vals ...Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Value returns the cell at (row, col).
+func (r *Relation) Value(row, col int) Value { return r.cols[col].value(row) }
+
+// Float returns the numeric cell at (row, col) as float64. It panics on
+// string columns; callers validate column types up front.
+func (r *Relation) Float(row, col int) float64 { return r.cols[col].float(row) }
+
+// Str returns the string cell at (row, col).
+func (r *Relation) Str(row, col int) string { return r.cols[col].s[row] }
+
+// FloatColumn returns the backing float64 slice of a Float column, for
+// hot-path scans. It returns nil for non-Float columns.
+func (r *Relation) FloatColumn(col int) []float64 {
+	if r.cols[col].typ != Float {
+		return nil
+	}
+	return r.cols[col].f
+}
+
+// IntColumn returns the backing int64 slice of an Int column, or nil.
+func (r *Relation) IntColumn(col int) []int64 {
+	if r.cols[col].typ != Int {
+		return nil
+	}
+	return r.cols[col].i
+}
+
+// Row materializes one row as a Value slice.
+func (r *Relation) Row(row int) []Value {
+	out := make([]Value, r.schema.Len())
+	for c := range out {
+		out[c] = r.Value(row, c)
+	}
+	return out
+}
+
+// Select returns the indices of all rows satisfying pred. A nil predicate
+// selects every row.
+func (r *Relation) Select(pred Predicate) []int {
+	rows := make([]int, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		if pred == nil || pred.Eval(r, i) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// Project returns a new relation containing only the named columns, in
+// the given order, for the given rows (all rows when rows is nil).
+func (r *Relation) Project(name string, colNames []string, rows []int) (*Relation, error) {
+	idx := make([]int, len(colNames))
+	cols := make([]Column, len(colNames))
+	for i, cn := range colNames {
+		j, err := r.schema.MustLookup(cn)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+		cols[i] = r.schema.Col(j)
+	}
+	out := New(name, NewSchema(cols...))
+	appendRow := func(row int) {
+		vals := make([]Value, len(idx))
+		for i, j := range idx {
+			vals[i] = r.Value(row, j)
+		}
+		out.MustAppend(vals...)
+	}
+	if rows == nil {
+		for i := 0; i < r.n; i++ {
+			appendRow(i)
+		}
+	} else {
+		for _, i := range rows {
+			appendRow(i)
+		}
+	}
+	return out, nil
+}
+
+// Subset materializes the given rows into a new relation with the same
+// schema. Used to build scaled-down datasets and per-query tables.
+func (r *Relation) Subset(name string, rows []int) *Relation {
+	out := New(name, r.schema)
+	for _, i := range rows {
+		out.MustAppend(r.Row(i)...)
+	}
+	return out
+}
+
+// AllRows returns [0, 1, ..., n-1].
+func (r *Relation) AllRows() []int {
+	rows := make([]int, r.n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}

@@ -1,0 +1,165 @@
+package sketchrefine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// TestDynamicPartitioningEndToEnd runs SketchRefine over a partitioning
+// derived at query time from the retained quad-tree (Section 4.1's
+// dynamic alternative).
+func TestDynamicPartitioningEndToEnd(t *testing.T) {
+	rel := genRel(400, 31)
+	tree, err := partition.BuildTree(rel, []string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cardSpec(rel, 6, 40)
+	for _, omega := range []float64{4, 2, 1} {
+		part := tree.CoarsestForRadius(omega, 0)
+		pkg, _, err := Evaluate(spec, part, Options{HybridSketch: true})
+		if err != nil {
+			t.Fatalf("ω=%g: %v", omega, err)
+		}
+		if ok, _ := pkg.IsFeasible(spec); !ok {
+			t.Fatalf("ω=%g: infeasible package", omega)
+		}
+	}
+}
+
+// TestStatsAccumulation checks that evaluation statistics aggregate
+// across sketch and refine subproblems.
+func TestStatsAccumulation(t *testing.T) {
+	rel := genRel(300, 32)
+	part := buildPart(t, rel, 30, 0)
+	spec := cardSpec(rel, 8, 50)
+	_, stats, err := Evaluate(spec, part, Options{HybridSketch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Subproblems < 2 {
+		t.Errorf("subproblems = %d, want sketch + at least one refine", stats.Subproblems)
+	}
+	if stats.Vars <= 0 || stats.Rows <= 0 {
+		t.Errorf("largest subproblem not tracked: vars=%d rows=%d", stats.Vars, stats.Rows)
+	}
+	if stats.SolveTime <= 0 || stats.BuildTime < 0 {
+		t.Errorf("times not tracked: solve=%v build=%v", stats.SolveTime, stats.BuildTime)
+	}
+	// The largest subproblem must be bounded by τ (refine) or the group
+	// count (sketch).
+	if stats.Vars > 30 && stats.Vars > part.NumGroups() {
+		t.Errorf("subproblem with %d vars exceeds both τ=30 and m=%d", stats.Vars, part.NumGroups())
+	}
+}
+
+// TestEvalStatsAdd covers the accumulator arithmetic directly.
+func TestEvalStatsAdd(t *testing.T) {
+	a := &core.EvalStats{Vars: 10, Rows: 3, SolverNodes: 5, LPIterations: 50, Subproblems: 1,
+		BuildTime: time.Millisecond, SolveTime: 2 * time.Millisecond}
+	b := &core.EvalStats{Vars: 7, Rows: 9, SolverNodes: 2, LPIterations: 10, Subproblems: 1,
+		BuildTime: time.Millisecond, SolveTime: time.Millisecond}
+	a.Add(b)
+	if a.Vars != 10 { // max, not sum
+		t.Errorf("Vars = %d, want 10", a.Vars)
+	}
+	if a.Rows != 9 {
+		t.Errorf("Rows = %d, want 9", a.Rows)
+	}
+	if a.SolverNodes != 7 || a.LPIterations != 60 || a.Subproblems != 2 {
+		t.Errorf("sums wrong: %+v", a)
+	}
+	if a.SolveTime != 3*time.Millisecond {
+		t.Errorf("SolveTime = %v", a.SolveTime)
+	}
+	a.Add(nil) // must be a no-op
+	if a.Subproblems != 2 {
+		t.Error("Add(nil) changed stats")
+	}
+}
+
+// TestBacktrackingExercised constructs a workload where the natural
+// refinement order fails and backtracking must reorder groups: two
+// clusters where greedy refinement of the "rich" cluster first exhausts
+// the budget needed by a mandatory group.
+func TestBacktrackingExercised(t *testing.T) {
+	rel := relation.New("items", relation.NewSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	// Group-like clusters: low-a cluster and high-a cluster.
+	for i := 0; i < 12; i++ {
+		rel.MustAppend(relation.F(1+0.01*float64(i)), relation.F(10))
+	}
+	for i := 0; i < 12; i++ {
+		rel.MustAppend(relation.F(9+0.01*float64(i)), relation.F(11))
+	}
+	part := buildPart(t, rel, 12, 0)
+	// Budget forces a mix: 4 tuples, SUM(a) in [20, 22] — two from each
+	// cluster (1+1+9+9=20). Greedy maximization of b pulls from the
+	// high-b cluster first.
+	spec := &core.Spec{
+		Rel:    rel,
+		Repeat: 0,
+		Constraints: []core.Constraint{
+			{Coef: core.UnitCoef{}, Op: lp.EQ, RHS: 4},
+			{Coef: core.AttrCoef{Attr: "a"}, Op: lp.GE, RHS: 20},
+			{Coef: core.AttrCoef{Attr: "a"}, Op: lp.LE, RHS: 22},
+		},
+		Objective: &core.Objective{Maximize: true, Coef: core.AttrCoef{Attr: "b"}},
+	}
+	pkg, _, err := Evaluate(spec, part, Options{HybridSketch: true})
+	if err != nil {
+		t.Fatalf("backtracking scenario failed: %v", err)
+	}
+	if ok, _ := pkg.IsFeasible(spec); !ok {
+		t.Fatal("package infeasible")
+	}
+}
+
+// TestSketchCapsRespectRepeat verifies the Section 4.2.1 count caps:
+// with REPEAT K, a representative may appear up to |Gⱼ|·(K+1) times and
+// the final package respects per-tuple multiplicities.
+func TestSketchCapsRespectRepeat(t *testing.T) {
+	rel := genRel(60, 33)
+	part := buildPart(t, rel, 6, 0)
+	for _, repeat := range []int{0, 1, 3} {
+		spec := cardSpec(rel, 10, 70)
+		spec.Repeat = repeat
+		pkg, _, err := Evaluate(spec, part, Options{HybridSketch: true})
+		if err != nil {
+			t.Fatalf("repeat %d: %v", repeat, err)
+		}
+		for k := range pkg.Rows {
+			if pkg.Mult[k] > repeat+1 {
+				t.Errorf("repeat %d: multiplicity %d", repeat, pkg.Mult[k])
+			}
+		}
+	}
+}
+
+// TestSolverBudgetPropagates: a pathologically small per-subproblem node
+// budget must still yield a feasible package (AcceptIncumbent) or a
+// clean infeasibility report — never a wrong package.
+func TestSolverBudgetPropagates(t *testing.T) {
+	rel := genRel(300, 34)
+	part := buildPart(t, rel, 40, 0)
+	spec := cardSpec(rel, 8, 50)
+	pkg, _, err := Evaluate(spec, part, Options{
+		HybridSketch: true,
+		Solver:       ilp.Options{MaxNodes: 2},
+	})
+	if err != nil {
+		return // acceptable: budget too small to finish
+	}
+	ok, err := pkg.IsFeasible(spec)
+	if err != nil || !ok {
+		t.Fatal("budget-limited evaluation returned an infeasible package")
+	}
+}

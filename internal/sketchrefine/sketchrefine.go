@@ -1,0 +1,519 @@
+// Package sketchrefine implements SKETCHREFINE (Section 4 of the paper):
+// the scalable, divide-and-conquer evaluation strategy for package
+// queries. Using an offline partitioning of the input relation into
+// groups of similar tuples, the algorithm
+//
+//  1. SKETCHes an initial package over the (small) representative
+//     relation, with per-group count caps |Gⱼ|·(K+1) standing in for the
+//     REPEAT bound (Section 4.2.1);
+//  2. REFINEs the sketch one group at a time, replacing each group's
+//     representatives with original tuples by solving a small ILP whose
+//     right-hand sides are adjusted by the aggregates of everything
+//     already placed (Section 4.2.2, Algorithm 2), greedily backtracking
+//     — prioritizing failed groups — when a refinement is infeasible;
+//  3. optionally falls back to the hybrid sketch query (Section 4.4 #1)
+//     when the plain sketch is infeasible, and to full group merging
+//     (Section 4.4 #4) when refinement fails outright.
+//
+// Every subproblem is solved with the same black-box ILP solver DIRECT
+// uses, so the two strategies are directly comparable.
+package sketchrefine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/partition"
+)
+
+// Options configures SketchRefine.
+type Options struct {
+	// Solver configures the per-subproblem ILP budgets.
+	Solver ilp.Options
+	// HybridSketch enables the hybrid sketch fallback on sketch
+	// infeasibility (the strategy the paper's experiments use).
+	HybridSketch bool
+	// MergeOnFailure falls back to solving the whole problem directly
+	// (the limit of iterative group merging) when refinement fails.
+	// It trades SketchRefine's speed for completeness.
+	MergeOnFailure bool
+	// MaxBacktracks bounds the total number of backtracking steps across
+	// the refinement search; 0 means DefaultMaxBacktracks.
+	MaxBacktracks int
+	// Rand seeds the initial refinement order (Algorithm 2 starts from
+	// an arbitrary order). Nil keeps the deterministic group order.
+	Rand *rand.Rand
+}
+
+// DefaultMaxBacktracks bounds refinement backtracking when
+// Options.MaxBacktracks is zero.
+const DefaultMaxBacktracks = 1000
+
+// ErrFalseInfeasible is reported when SketchRefine cannot find a package.
+// Per Theorem 4 the query is usually genuinely infeasible, but this may
+// be false infeasibility; callers can retry with MergeOnFailure or a
+// different partitioning.
+var ErrFalseInfeasible = errors.New("sketchrefine: no package found (query infeasible, or false infeasibility — see Section 4.4)")
+
+// state is the partial package during refinement: tuples already chosen
+// for refined groups plus representative multiplicities of the rest.
+type state struct {
+	rows []int // chosen tuple rows (refined groups)
+	mult []int
+	reps map[int]int // gid → representative multiplicity (unrefined)
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		rows: append([]int(nil), s.rows...),
+		mult: append([]int(nil), s.mult...),
+		reps: make(map[int]int, len(s.reps)),
+	}
+	for g, m := range s.reps {
+		c.reps[g] = m
+	}
+	return c
+}
+
+// evaluator carries the immutable evaluation context.
+type evaluator struct {
+	spec     *core.Spec
+	part     *partition.Partitioning
+	opt      Options
+	stats    *core.EvalStats
+	eligible map[int][]int // gid → base rows in that group
+	gids     []int         // gids with eligible rows, ascending
+	// Per-constraint coefficient evaluators bound to the input relation
+	// and to the representative relation.
+	consOnRel  []func(int) float64
+	consOnReps []func(int) float64
+	// repRow maps gid to its row in part.Reps.
+	repRow map[int]int
+
+	backtracks int
+}
+
+// Evaluate runs SketchRefine on a compiled query over a partitioned
+// relation. The partitioning must have been built on (a restriction of)
+// spec.Rel. It returns the package, accumulated statistics, and
+// ErrFalseInfeasible when no package is found.
+func Evaluate(spec *core.Spec, part *partition.Partitioning, opt Options) (*core.Package, *core.EvalStats, error) {
+	stats := &core.EvalStats{}
+	if err := spec.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if part.Rel != spec.Rel {
+		return nil, stats, fmt.Errorf("sketchrefine: partitioning was built over a different relation")
+	}
+	// Sub-problems accept budget-limited incumbents: SketchRefine's
+	// guarantees need feasible sub-solutions, not proofs of optimality,
+	// and a refine query that times out with a usable package should
+	// degrade quality rather than fail the whole evaluation.
+	opt.Solver.AcceptIncumbent = true
+	ev := &evaluator{spec: spec, part: part, opt: opt, stats: stats}
+	if err := ev.prepare(); err != nil {
+		return nil, stats, err
+	}
+	if len(ev.gids) == 0 {
+		return nil, stats, core.ErrInfeasible
+	}
+
+	st, err := ev.sketch()
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) && opt.HybridSketch {
+			st, err = ev.hybridSketch()
+		}
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				return ev.failOrMerge()
+			}
+			return nil, stats, err
+		}
+	}
+
+	final, err := ev.refine(st)
+	if err != nil {
+		if errors.Is(err, errRefineFailed) {
+			return ev.failOrMerge()
+		}
+		return nil, stats, err
+	}
+	pkg, err := core.NewPackage(spec.Rel, final.rows, final.mult)
+	if err != nil {
+		return nil, stats, err
+	}
+	return pkg, stats, nil
+}
+
+// prepare computes eligible rows per group and binds constraint
+// coefficients against both relations.
+func (ev *evaluator) prepare() error {
+	base := ev.spec.BaseRows()
+	ev.eligible = make(map[int][]int)
+	for _, r := range base {
+		gid := ev.part.GID[r]
+		if gid < 0 {
+			continue // row outside the (restricted) partitioning
+		}
+		ev.eligible[gid] = append(ev.eligible[gid], r)
+	}
+	for _, g := range ev.part.Groups {
+		if len(ev.eligible[g.ID]) > 0 {
+			ev.gids = append(ev.gids, g.ID)
+		}
+	}
+	ev.repRow = make(map[int]int, ev.part.Reps.Len())
+	gidCol := ev.part.Reps.Schema().Lookup("gid")
+	for i := 0; i < ev.part.Reps.Len(); i++ {
+		ev.repRow[int(ev.part.Reps.IntColumn(gidCol)[i])] = i
+	}
+	for _, c := range ev.spec.Constraints {
+		onRel, err := c.Coef.Bind(ev.spec.Rel)
+		if err != nil {
+			return err
+		}
+		onReps, err := c.Coef.Bind(ev.part.Reps)
+		if err != nil {
+			return fmt.Errorf("sketchrefine: constraint %q cannot be evaluated on representatives: %w", c, err)
+		}
+		ev.consOnRel = append(ev.consOnRel, onRel)
+		ev.consOnReps = append(ev.consOnReps, onReps)
+	}
+	return nil
+}
+
+// groupCap returns the sketch count cap for a group: |Gⱼ ∩ base|·(K+1),
+// or +Inf without a REPEAT bound.
+func (ev *evaluator) groupCap(gid int) float64 {
+	if ev.spec.Repeat < 0 {
+		return math.Inf(1)
+	}
+	return float64(len(ev.eligible[gid]) * (ev.spec.Repeat + 1))
+}
+
+// sketch solves the sketch query Q[R̃] over the representative tuples,
+// returning the initial sketch state.
+func (ev *evaluator) sketch() (*state, error) {
+	repRows := make([]int, len(ev.gids))
+	hi := make([]float64, len(ev.gids))
+	for i, gid := range ev.gids {
+		repRows[i] = ev.repRow[gid]
+		hi[i] = ev.groupCap(gid)
+	}
+	sketchSpec := &core.Spec{
+		Rel:         ev.part.Reps,
+		Repeat:      -1, // repetition is governed by the per-group caps
+		Constraints: ev.spec.Constraints,
+		Objective:   ev.spec.Objective,
+	}
+	pkg, st, err := core.SolveRows(sketchSpec, repRows, hi, ev.opt.Solver)
+	ev.stats.Add(st)
+	if err != nil {
+		return nil, err
+	}
+	out := &state{reps: make(map[int]int)}
+	gidCol := ev.part.Reps.Schema().Lookup("gid")
+	for k, repRow := range pkg.Rows {
+		gid := int(ev.part.Reps.IntColumn(gidCol)[repRow])
+		out.reps[gid] = pkg.Mult[k]
+	}
+	return out, nil
+}
+
+// errRefineFailed signals that the greedy backtracking search was
+// exhausted without completing the package.
+var errRefineFailed = errors.New("sketchrefine: refinement failed")
+
+// contribution computes, for constraint ci, the aggregate contribution of
+// the partial state excluding group skipGID's representatives.
+func (ev *evaluator) contribution(ci int, st *state, skipGID int) float64 {
+	v := 0.0
+	onRel := ev.consOnRel[ci]
+	for k, r := range st.rows {
+		v += float64(st.mult[k]) * onRel(r)
+	}
+	onReps := ev.consOnReps[ci]
+	for gid, m := range st.reps {
+		if gid == skipGID || m == 0 {
+			continue
+		}
+		v += float64(m) * onReps(ev.repRow[gid])
+	}
+	return v
+}
+
+// refineGroup solves the refine query Q[Gⱼ]: choose original tuples from
+// group gid to replace its representatives, with every constraint's RHS
+// reduced by the rest of the partial package (p̄ⱼ in the paper).
+func (ev *evaluator) refineGroup(st *state, gid int) (*state, error) {
+	sub := &core.Spec{
+		Rel:       ev.spec.Rel,
+		Repeat:    ev.spec.Repeat,
+		Objective: ev.spec.Objective,
+	}
+	for ci, c := range ev.spec.Constraints {
+		sub.Constraints = append(sub.Constraints, core.Constraint{
+			Coef: c.Coef,
+			Op:   c.Op,
+			RHS:  c.RHS - ev.contribution(ci, st, gid),
+			Desc: c.Desc,
+		})
+	}
+	pkg, stats, err := core.SolveRows(sub, ev.eligible[gid], nil, ev.opt.Solver)
+	ev.stats.Add(stats)
+	if err != nil {
+		return nil, err
+	}
+	next := st.clone()
+	delete(next.reps, gid)
+	next.rows = append(next.rows, pkg.Rows...)
+	next.mult = append(next.mult, pkg.Mult...)
+	return next, nil
+}
+
+// refine implements Algorithm 2: traverse the search tree of group
+// orders, refining one group per level, skipping groups whose
+// representatives dropped out, failing upward on infeasible refine
+// queries, and prioritizing failed groups on retry.
+func (ev *evaluator) refine(st *state) (*state, error) {
+	maxBT := ev.opt.MaxBacktracks
+	if maxBT <= 0 {
+		maxBT = DefaultMaxBacktracks
+	}
+	order := ev.initialOrder(st)
+	final, _, err := ev.refineRec(st, order, true, maxBT)
+	return final, err
+}
+
+// initialOrder returns the unrefined groups in the (possibly shuffled)
+// starting order.
+func (ev *evaluator) initialOrder(st *state) []int {
+	order := make([]int, 0, len(st.reps))
+	for _, gid := range ev.gids {
+		if _, ok := st.reps[gid]; ok {
+			order = append(order, gid)
+		}
+	}
+	if ev.opt.Rand != nil {
+		ev.opt.Rand.Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+	}
+	return order
+}
+
+// refineRec is one node of the search tree. It returns the completed
+// state, or the set of groups that could not be refined (for the parent's
+// reprioritization).
+func (ev *evaluator) refineRec(st *state, queue []int, isRoot bool, maxBT int) (*state, []int, error) {
+	if len(st.reps) == 0 {
+		return st, nil, nil // base case: all groups refined
+	}
+	var failed []int
+	// The queue is consumed front to back; prioritize() moves failed
+	// groups to the front.
+	pending := append([]int(nil), queue...)
+	for len(pending) > 0 {
+		gid := pending[0]
+		pending = pending[1:]
+		if st.reps[gid] == 0 {
+			// Skip groups with no representative in the sketch package
+			// (multiplicities are always positive when present).
+			continue
+		}
+		next, err := ev.refineGroup(st, gid)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				if !isRoot {
+					// Greedy backtrack: report the non-refinable group.
+					return nil, []int{gid}, errRefineFailed
+				}
+				// At the root there is no parent to backtrack to; try a
+				// different first group.
+				failed = append(failed, gid)
+				continue
+			}
+			return nil, nil, err
+		}
+		childQueue := remove(pending, gid)
+		final, childFailed, err := ev.refineRec(next, childQueue, false, maxBT)
+		if err == nil {
+			return final, nil, nil
+		}
+		if !errors.Is(err, errRefineFailed) {
+			return nil, nil, err
+		}
+		ev.backtracks++
+		if ev.backtracks > maxBT {
+			return nil, failed, errRefineFailed
+		}
+		// Greedily prioritize the groups that failed below.
+		failed = append(failed, childFailed...)
+		pending = prioritize(pending, childFailed)
+	}
+	return nil, failed, errRefineFailed
+}
+
+func remove(xs []int, x int) []int {
+	out := make([]int, 0, len(xs))
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// prioritize moves the given gids (if present) to the front of the queue,
+// preserving relative order otherwise.
+func prioritize(queue, front []int) []int {
+	inFront := make(map[int]bool, len(front))
+	for _, g := range front {
+		inFront[g] = true
+	}
+	out := make([]int, 0, len(queue))
+	for _, g := range queue {
+		if inFront[g] {
+			out = append(out, g)
+		}
+	}
+	for _, g := range queue {
+		if !inFront[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// hybridSketch implements fallback #1 of Section 4.4: merge the sketch
+// query with one group's refine query — original tuples for that group,
+// representatives for the rest — trying groups in order until one is
+// feasible. The returned state has the chosen group already refined.
+func (ev *evaluator) hybridSketch() (*state, error) {
+	for _, gid := range ev.gids {
+		st, err := ev.hybridSketchFor(gid)
+		if err == nil {
+			return st, nil
+		}
+		if !errors.Is(err, core.ErrInfeasible) {
+			return nil, err
+		}
+	}
+	return nil, core.ErrInfeasible
+}
+
+// hybridSketchFor builds and solves the hybrid query for one group: the
+// ILP has one variable per original tuple of the group and one per other
+// group's representative.
+func (ev *evaluator) hybridSketchFor(gid int) (*state, error) {
+	t0 := time.Now()
+	tupleRows := ev.eligible[gid]
+	var otherGids []int
+	for _, g := range ev.gids {
+		if g != gid {
+			otherGids = append(otherGids, g)
+		}
+	}
+	nT, nR := len(tupleRows), len(otherGids)
+	n := nT + nR
+	prob := &ilp.Problem{}
+	prob.LP.C = make([]float64, n)
+	prob.LP.Lo = make([]float64, n)
+	prob.LP.Hi = make([]float64, n)
+	maxMult := math.Inf(1)
+	if ev.spec.Repeat >= 0 {
+		maxMult = float64(ev.spec.Repeat + 1)
+	}
+	for j := 0; j < nT; j++ {
+		prob.LP.Hi[j] = maxMult
+	}
+	for k, g := range otherGids {
+		prob.LP.Hi[nT+k] = ev.groupCap(g)
+	}
+	for ci, c := range ev.spec.Constraints {
+		row := make([]float64, n)
+		for j, r := range tupleRows {
+			row[j] = ev.consOnRel[ci](r)
+		}
+		for k, g := range otherGids {
+			row[nT+k] = ev.consOnReps[ci](ev.repRow[g])
+		}
+		prob.LP.A = append(prob.LP.A, row)
+		prob.LP.Op = append(prob.LP.Op, c.Op)
+		prob.LP.B = append(prob.LP.B, c.RHS)
+	}
+	if ev.spec.Objective != nil {
+		prob.LP.Maximize = ev.spec.Objective.Maximize
+		onRel, err := ev.spec.Objective.Coef.Bind(ev.spec.Rel)
+		if err != nil {
+			return nil, err
+		}
+		onReps, err := ev.spec.Objective.Coef.Bind(ev.part.Reps)
+		if err != nil {
+			return nil, err
+		}
+		for j, r := range tupleRows {
+			prob.LP.C[j] = onRel(r)
+		}
+		for k, g := range otherGids {
+			prob.LP.C[nT+k] = onReps(ev.repRow[g])
+		}
+	} else {
+		prob.LP.Maximize = true
+	}
+	sub := &core.EvalStats{Subproblems: 1, Vars: n, Rows: len(prob.LP.B), BuildTime: time.Since(t0)}
+	t1 := time.Now()
+	res, err := ilp.Solve(prob, ev.opt.Solver)
+	sub.SolveTime = time.Since(t1)
+	ev.stats.Add(sub)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case ilp.Infeasible:
+		return nil, core.ErrInfeasible
+	case ilp.Unbounded:
+		return nil, fmt.Errorf("sketchrefine: hybrid sketch unbounded")
+	case ilp.ResourceLimit:
+		if !res.HasIncumbent {
+			return nil, fmt.Errorf("%w: hybrid sketch", core.ErrResourceLimit)
+		}
+	}
+	ev.stats.SolverNodes += res.Nodes
+	ev.stats.LPIterations += res.LPIterations
+	st := &state{reps: make(map[int]int)}
+	for j, r := range tupleRows {
+		if m := int(math.Round(res.X[j])); m > 0 {
+			st.rows = append(st.rows, r)
+			st.mult = append(st.mult, m)
+		}
+	}
+	for k, g := range otherGids {
+		if m := int(math.Round(res.X[nT+k])); m > 0 {
+			st.reps[g] = m
+		}
+	}
+	return st, nil
+}
+
+// failOrMerge applies the MergeOnFailure fallback (solve the merged
+// problem directly) or reports false infeasibility.
+func (ev *evaluator) failOrMerge() (*core.Package, *core.EvalStats, error) {
+	if !ev.opt.MergeOnFailure {
+		return nil, ev.stats, ErrFalseInfeasible
+	}
+	pkg, st, err := core.SolveRows(ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver)
+	ev.stats.Add(st)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			return nil, ev.stats, core.ErrInfeasible
+		}
+		return nil, ev.stats, err
+	}
+	return pkg, ev.stats, nil
+}

@@ -1,0 +1,419 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/paql"
+	"repro/internal/relation"
+)
+
+// Translate compiles a parsed PaQL query against its input relation into
+// a core.Spec ready for DIRECT or SketchRefine evaluation. The relation
+// name must match the query's FROM relation (case-insensitively).
+func Translate(q *paql.Query, rel *relation.Relation) (*core.Spec, error) {
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("translate: expected a single-relation query")
+	}
+	from := q.From[0]
+	if !strings.EqualFold(from.Rel, rel.Name()) {
+		return nil, fmt.Errorf("translate: query reads relation %q but was given %q", from.Rel, rel.Name())
+	}
+	spec := &core.Spec{Rel: rel, Repeat: from.Repeat}
+
+	if q.Where != nil {
+		pred, err := CompilePredicate(q.Where, rel.Schema(), from.Alias)
+		if err != nil {
+			return nil, fmt.Errorf("translate: WHERE: %w", err)
+		}
+		spec.Base = pred
+	}
+
+	if q.SuchThat != nil {
+		conjuncts, err := flattenConjunction(q.SuchThat)
+		if err != nil {
+			return nil, err
+		}
+		for _, cj := range conjuncts {
+			if err := compileGlobalPredicate(cj, rel.Schema(), from.Alias, spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if q.Objective != nil {
+		obj, err := compileObjective(q.Objective, rel.Schema(), from.Alias)
+		if err != nil {
+			return nil, err
+		}
+		spec.Objective = obj
+	}
+
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// Compile parses and translates PaQL text in one step.
+func Compile(src string, rel *relation.Relation) (*core.Spec, error) {
+	q, err := paql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(q, rel)
+}
+
+// flattenConjunction splits nested ANDs into a conjunct list. OR and NOT
+// at the package level would require the Boolean-variable encodings the
+// paper cites [4]; this implementation, like the paper's evaluation,
+// supports conjunctive global predicates only.
+func flattenConjunction(e paql.Expr) ([]paql.Expr, error) {
+	switch x := e.(type) {
+	case paql.Bool:
+		switch x.Kind {
+		case paql.AndExpr:
+			var out []paql.Expr
+			for _, k := range x.Kids {
+				sub, err := flattenConjunction(k)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("translate: SUCH THAT supports conjunctions of linear predicates; OR/NOT require Boolean-variable encodings and are not implemented")
+		}
+	default:
+		return []paql.Expr{e}, nil
+	}
+}
+
+// linTerm is one aggregate term of a linearized package expression.
+type linTerm struct {
+	w   float64
+	agg paql.Agg
+}
+
+// linForm is Σ wᵢ·aggᵢ + c.
+type linForm struct {
+	terms []linTerm
+	c     float64
+}
+
+func (f linForm) scale(k float64) linForm {
+	out := linForm{c: f.c * k, terms: make([]linTerm, len(f.terms))}
+	for i, t := range f.terms {
+		out.terms[i] = linTerm{w: t.w * k, agg: t.agg}
+	}
+	return out
+}
+
+func (f linForm) add(o linForm) linForm {
+	out := linForm{c: f.c + o.c}
+	out.terms = append(append([]linTerm{}, f.terms...), o.terms...)
+	return out
+}
+
+// linearize decomposes a package-level expression into a linear form over
+// aggregate terms. Products of two aggregate-bearing expressions and
+// division by aggregates are rejected as non-linear.
+func linearize(e paql.Expr) (linForm, error) {
+	switch x := e.(type) {
+	case paql.NumLit:
+		return linForm{c: x.Val}, nil
+	case paql.Agg:
+		return linForm{terms: []linTerm{{w: 1, agg: x}}}, nil
+	case paql.Neg:
+		f, err := linearize(x.E)
+		if err != nil {
+			return linForm{}, err
+		}
+		return f.scale(-1), nil
+	case paql.Arith:
+		switch x.Op {
+		case paql.Add, paql.Sub:
+			l, err := linearize(x.L)
+			if err != nil {
+				return linForm{}, err
+			}
+			r, err := linearize(x.R)
+			if err != nil {
+				return linForm{}, err
+			}
+			if x.Op == paql.Sub {
+				r = r.scale(-1)
+			}
+			return l.add(r), nil
+		case paql.Mul:
+			if k, ok := constValue(x.L); ok {
+				r, err := linearize(x.R)
+				if err != nil {
+					return linForm{}, err
+				}
+				return r.scale(k), nil
+			}
+			if k, ok := constValue(x.R); ok {
+				l, err := linearize(x.L)
+				if err != nil {
+					return linForm{}, err
+				}
+				return l.scale(k), nil
+			}
+			return linForm{}, fmt.Errorf("translate: non-linear product %q", e)
+		default: // Div
+			k, ok := constValue(x.R)
+			if !ok || k == 0 {
+				return linForm{}, fmt.Errorf("translate: division by non-constant in %q", e)
+			}
+			l, err := linearize(x.L)
+			if err != nil {
+				return linForm{}, err
+			}
+			return l.scale(1 / k), nil
+		}
+	case paql.StrLit:
+		return linForm{}, fmt.Errorf("translate: string literal %q in package-level expression", x.Val)
+	case paql.ColRef:
+		return linForm{}, fmt.Errorf("translate: bare column %s in package-level expression", x)
+	default:
+		return linForm{}, fmt.Errorf("translate: unsupported package-level expression %q", e)
+	}
+}
+
+// termCoef builds the per-tuple coefficient of one SUM/COUNT aggregate
+// term (conditional aggregates gate through their sub-query predicate).
+func termCoef(t linTerm, schema relation.Schema, alias string) (core.Coef, error) {
+	var inner core.Coef
+	switch t.agg.Fn {
+	case paql.AggCount:
+		inner = core.UnitCoef{}
+	case paql.AggSum:
+		inner = core.AttrCoef{Attr: t.agg.Arg.Name}
+	default:
+		return nil, fmt.Errorf("translate: %s cannot appear in a linear combination", t.agg.Fn)
+	}
+	if t.agg.Where != nil {
+		pred, err := CompilePredicate(t.agg.Where, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		inner = core.CondCoef{Pred: pred, Inner: inner}
+	}
+	if t.w != 1 {
+		inner = core.ScaledCoef{W: t.w, Inner: inner}
+	}
+	return inner, nil
+}
+
+// compileGlobalPredicate compiles one SUCH THAT conjunct into constraints
+// or tuple restrictions appended to the spec.
+func compileGlobalPredicate(e paql.Expr, schema relation.Schema, alias string, spec *core.Spec) error {
+	desc := e.String()
+	switch x := e.(type) {
+	case paql.Cmp:
+		lhs, err := linearize(x.L)
+		if err != nil {
+			return err
+		}
+		rhs, err := linearize(x.R)
+		if err != nil {
+			return err
+		}
+		// Move everything left: terms ⋈ rhsConst.
+		form := lhs.add(rhs.scale(-1))
+		rhsConst := -form.c
+		form.c = 0
+		return emitComparison(form, x.Op, rhsConst, desc, schema, alias, spec)
+	case paql.Between:
+		lo, okLo := constValue(x.Lo)
+		hi, okHi := constValue(x.Hi)
+		if !okLo || !okHi {
+			return fmt.Errorf("translate: BETWEEN bounds must be constants in %q", desc)
+		}
+		form, err := linearize(x.E)
+		if err != nil {
+			return err
+		}
+		rhsLo := lo - form.c
+		rhsHi := hi - form.c
+		form.c = 0
+		if err := emitComparison(form, paql.Ge, rhsLo, desc, schema, alias, spec); err != nil {
+			return err
+		}
+		return emitComparison(form, paql.Le, rhsHi, desc, schema, alias, spec)
+	default:
+		return fmt.Errorf("translate: unsupported global predicate %q", desc)
+	}
+}
+
+// emitComparison lowers "Σ terms ⋈ rhs" into spec constraints, applying
+// the AVG rewrite and the MIN/MAX restriction extension.
+func emitComparison(form linForm, op paql.CmpOp, rhs float64, desc string, schema relation.Schema, alias string, spec *core.Spec) error {
+	if op == paql.Ne {
+		return fmt.Errorf("translate: <> is not expressible as a linear constraint in %q", desc)
+	}
+	hasSpecial := false
+	for _, t := range form.terms {
+		if t.agg.Fn == paql.AggAvg || t.agg.Fn == paql.AggMin || t.agg.Fn == paql.AggMax {
+			hasSpecial = true
+		}
+	}
+	if hasSpecial {
+		if len(form.terms) != 1 {
+			return fmt.Errorf("translate: AVG/MIN/MAX must appear alone in a predicate: %q", desc)
+		}
+		t := form.terms[0]
+		if t.w == 0 {
+			return nil // 0 ⋈ rhs: constant predicate; nothing to emit
+		}
+		// Normalize the weight to +1.
+		rhs /= t.w
+		if t.w < 0 {
+			op = flipCmp(op)
+		}
+		switch t.agg.Fn {
+		case paql.AggAvg:
+			return emitAvg(t.agg, op, rhs, desc, schema, alias, spec)
+		case paql.AggMin, paql.AggMax:
+			return emitMinMax(t.agg, op, rhs, desc, schema, alias, spec)
+		}
+	}
+	parts := make([]core.Coef, 0, len(form.terms))
+	for _, t := range form.terms {
+		c, err := termCoef(t, schema, alias)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, c)
+	}
+	var coef core.Coef
+	switch len(parts) {
+	case 0:
+		return fmt.Errorf("translate: predicate %q has no aggregate terms", desc)
+	case 1:
+		coef = parts[0]
+	default:
+		coef = core.SumCoef{Parts: parts}
+	}
+	spec.Constraints = append(spec.Constraints, core.Constraint{
+		Coef: coef, Op: lpOp(op), RHS: rhs, Desc: desc,
+	})
+	return nil
+}
+
+// emitAvg applies the paper's AVG linearization:
+// AVG(P.attr) ⋈ v ⇒ Σ (t.attr − v)·x_t ⋈ 0.
+func emitAvg(agg paql.Agg, op paql.CmpOp, v float64, desc string, schema relation.Schema, alias string, spec *core.Spec) error {
+	var coef core.Coef = core.ShiftedAttrCoef{Attr: agg.Arg.Name, Shift: -v}
+	if agg.Where != nil {
+		pred, err := CompilePredicate(agg.Where, schema, alias)
+		if err != nil {
+			return err
+		}
+		coef = core.CondCoef{Pred: pred, Inner: coef}
+	}
+	spec.Constraints = append(spec.Constraints, core.Constraint{
+		Coef: coef, Op: lpOp(op), RHS: 0, Desc: desc,
+	})
+	return nil
+}
+
+// emitMinMax lowers the per-tuple directions of MIN/MAX global predicates
+// to tuple restrictions: MIN(attr) ≥ v eliminates tuples with attr < v;
+// MAX(attr) ≤ v eliminates tuples with attr > v. The disjunctive
+// directions (MIN ≤ v, MAX ≥ v: "at least one tuple ...") are non-linear
+// and rejected.
+func emitMinMax(agg paql.Agg, op paql.CmpOp, v float64, desc string, schema relation.Schema, alias string, spec *core.Spec) error {
+	isMin := agg.Fn == paql.AggMin
+	var keep relation.Predicate
+	switch {
+	case isMin && (op == paql.Ge || op == paql.Gt):
+		cmpOp := relation.GE
+		if op == paql.Gt {
+			cmpOp = relation.GT
+		}
+		keep = relation.NewCompare(agg.Arg.Name, cmpOp, relation.F(v))
+	case !isMin && (op == paql.Le || op == paql.Lt):
+		cmpOp := relation.LE
+		if op == paql.Lt {
+			cmpOp = relation.LT
+		}
+		keep = relation.NewCompare(agg.Arg.Name, cmpOp, relation.F(v))
+	default:
+		return fmt.Errorf("translate: %q is disjunctive (requires at least one matching tuple) and is not expressible as a linear constraint", desc)
+	}
+	if agg.Where != nil {
+		cond, err := CompilePredicate(agg.Where, schema, alias)
+		if err != nil {
+			return err
+		}
+		// Only tuples matching the sub-query filter are restricted.
+		keep = &relation.Or{Kids: []relation.Predicate{&relation.Not{Kid: cond}, keep}}
+	}
+	spec.Restrictions = append(spec.Restrictions, keep)
+	return nil
+}
+
+// compileObjective lowers MINIMIZE/MAXIMIZE into a linear objective.
+func compileObjective(o *paql.Objective, schema relation.Schema, alias string) (*core.Objective, error) {
+	form, err := linearize(o.Expr)
+	if err != nil {
+		return nil, err
+	}
+	if len(form.terms) == 0 {
+		return nil, fmt.Errorf("translate: objective %q has no aggregate terms", o)
+	}
+	parts := make([]core.Coef, 0, len(form.terms))
+	for _, t := range form.terms {
+		if t.agg.Fn == paql.AggAvg || t.agg.Fn == paql.AggMin || t.agg.Fn == paql.AggMax {
+			return nil, fmt.Errorf("translate: %s objectives are non-linear and not supported", t.agg.Fn)
+		}
+		c, err := termCoef(t, schema, alias)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, c)
+	}
+	var coef core.Coef
+	if len(parts) == 1 {
+		coef = parts[0]
+	} else {
+		coef = core.SumCoef{Parts: parts}
+	}
+	return &core.Objective{
+		Maximize: o.Sense == paql.Maximize,
+		Coef:     coef,
+		Offset:   form.c,
+		Desc:     o.Expr.String(),
+	}, nil
+}
+
+func lpOp(op paql.CmpOp) lp.ConstraintOp {
+	switch op {
+	case paql.Le, paql.Lt:
+		return lp.LE
+	case paql.Ge, paql.Gt:
+		return lp.GE
+	default:
+		return lp.EQ
+	}
+}
+
+func flipCmp(op paql.CmpOp) paql.CmpOp {
+	switch op {
+	case paql.Le:
+		return paql.Ge
+	case paql.Lt:
+		return paql.Gt
+	case paql.Ge:
+		return paql.Le
+	case paql.Gt:
+		return paql.Lt
+	default:
+		return op
+	}
+}
