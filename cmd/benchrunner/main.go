@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch) or all")
 		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
 		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -33,6 +33,8 @@ func main() {
 		maxNodes = flag.Int("maxnodes", 50000, "per-ILP branch-and-bound node budget")
 		maxCard  = flag.Int("fig1card", 5, "largest package cardinality for figure 1")
 		sqlCap   = flag.Duration("fig1timeout", 10*time.Second, "naive SQL formulation timeout per cardinality")
+		workers  = flag.Int("workers", 0, "worker pool size for parallel partitioning and batch evaluation (0 = GOMAXPROCS)")
+		batchN   = flag.Int("batchn", 24, "number of queries in the batch experiment")
 	)
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func main() {
 		Seed:    *seed,
 		TauFrac: *tau,
 		Solver:  ilp.Options{TimeLimit: *timeout, MaxNodes: *maxNodes, Gap: 1e-4},
+		Workers: *workers,
 		Out:     os.Stdout,
 	})
 
@@ -78,4 +81,23 @@ func main() {
 		return err
 	})
 	run("fig6eps", func() error { _, err := env.EpsilonRepair(1.0); return err })
+	run("batch", func() error {
+		// Sequential baseline, then the configured worker pool. Each run
+		// builds its own partitioning at that worker count (so the
+		// partition column is measured at the same setting as the batch)
+		// and shares it across the run's queries; objectives are
+		// identical for every setting — only the wall clock differs.
+		for _, ds := range []bench.Dataset{bench.Galaxy, bench.TPCH} {
+			if _, err := env.Batch(ds, *batchN, 1); err != nil {
+				return err
+			}
+			if *workers == 1 {
+				continue // the pooled run would duplicate the baseline
+			}
+			if _, err := env.Batch(ds, *batchN, *workers); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

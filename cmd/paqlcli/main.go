@@ -3,21 +3,29 @@
 // Usage:
 //
 //	paqlcli -data table.csv [-query query.paql | -q "SELECT PACKAGE..."]
-//	        [-method direct|sketchrefine] [-tau 0.1] [-timeout 60s] [-out pkg.csv]
+//	        [-method naive|direct|sketchrefine] [-tau 0.1] [-timeout 60s]
+//	        [-workers 0] [-racers 1] [-deadline 0] [-out pkg.csv]
 //
 // The CSV header uses name:type fields (type f=float, i=int, s=string), as
 // written by the datagen tool and relation.WriteCSV. The chosen package is
 // printed with its objective value and optionally saved as CSV.
+//
+// Evaluation routes through the shared engine: -workers bounds the
+// partitioning fan-out, -racers races that many SketchRefine refinement
+// orders and keeps the first feasible package, and -deadline bounds the
+// whole evaluation via context cancellation (0 disables it).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ilp"
+	"repro/internal/naive"
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/sketchrefine"
@@ -29,21 +37,24 @@ func main() {
 		dataPath  = flag.String("data", "", "CSV file holding the input relation (required)")
 		queryPath = flag.String("query", "", "file holding the PaQL query text")
 		queryText = flag.String("q", "", "inline PaQL query text")
-		method    = flag.String("method", "direct", "evaluation method: direct or sketchrefine")
+		method    = flag.String("method", "direct", "evaluation method: naive, direct, or sketchrefine")
 		tauFrac   = flag.Float64("tau", 0.10, "sketchrefine: partition size threshold as a fraction of the data")
 		timeout   = flag.Duration("timeout", 60*time.Second, "solver time limit per ILP")
 		maxNodes  = flag.Int("maxnodes", 200000, "solver branch-and-bound node budget per ILP")
+		workers   = flag.Int("workers", 0, "worker pool size for parallel partitioning (0 = GOMAXPROCS)")
+		racers    = flag.Int("racers", 1, "sketchrefine: refinement orders raced in parallel")
+		deadline  = flag.Duration("deadline", 0, "overall evaluation deadline (0 = none)")
 		outPath   = flag.String("out", "", "write the package as CSV to this path")
 		verbose   = flag.Bool("v", false, "print evaluation statistics")
 	)
 	flag.Parse()
-	if err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *outPath, *verbose); err != nil {
+	if err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *workers, *racers, *deadline, *outPath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "paqlcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout time.Duration, maxNodes int, outPath string, verbose bool) error {
+func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout time.Duration, maxNodes, workers, racers int, deadline time.Duration, outPath string, verbose bool) error {
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -68,19 +79,19 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 	}
 	opt := ilp.Options{TimeLimit: timeout, MaxNodes: maxNodes, Gap: 1e-4}
 
-	var pkg *core.Package
-	var stats *core.EvalStats
-	start := time.Now()
+	var solver engine.Solver
 	switch method {
+	case "naive":
+		solver = engine.Naive{Opt: naive.Options{Timeout: timeout}}
 	case "direct":
-		pkg, stats, err = core.Direct(spec, opt)
+		solver = engine.Direct{Opt: opt}
 	case "sketchrefine":
 		attrs := spec.QueryAttrs()
 		if len(attrs) == 0 {
 			return fmt.Errorf("query has no numeric attributes to partition on")
 		}
 		tau := int(float64(rel.Len())*tauFrac) + 1
-		part, perr := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau})
+		part, perr := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau, Workers: workers})
 		if perr != nil {
 			return perr
 		}
@@ -88,21 +99,34 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 			fmt.Printf("partitioned %d tuples into %d groups (τ=%d) in %v\n",
 				rel.Len(), part.NumGroups(), tau, part.BuildTime.Round(time.Millisecond))
 		}
-		pkg, stats, err = sketchrefine.Evaluate(spec, part, sketchrefine.Options{Solver: opt, HybridSketch: true})
+		solver = engine.SketchRefine{
+			Part:   part,
+			Opt:    sketchrefine.Options{Solver: opt, HybridSketch: true},
+			Racers: racers,
+		}
 	default:
 		return fmt.Errorf("unknown method %q", method)
 	}
-	elapsed := time.Since(start)
-	if err != nil {
-		return err
+
+	eng := engine.New(solver)
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
 	}
+	res := eng.Evaluate(ctx, spec)
+	if res.Err != nil {
+		return res.Err
+	}
+	pkg, stats := res.Pkg, res.Stats
 
 	obj, err := pkg.ObjectiveValue(spec)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("package: %d tuples (%d distinct), objective %g, %v\n",
-		pkg.Size(), pkg.Distinct(), obj, elapsed.Round(time.Millisecond))
+		pkg.Size(), pkg.Distinct(), obj, res.Time.Round(time.Millisecond))
 	if verbose && stats != nil {
 		fmt.Printf("stats: %d subproblem(s), largest %d vars × %d rows, %d B&B nodes, %d LP iterations\n",
 			stats.Subproblems, stats.Vars, stats.Rows, stats.SolverNodes, stats.LPIterations)

@@ -13,11 +13,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ilp"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -44,12 +45,12 @@ func main() {
 	}
 	opt := ilp.Options{TimeLimit: 30 * time.Second, MaxNodes: 100000, Gap: 1e-4}
 
-	t0 := time.Now()
-	direct, _, err := core.Direct(spec, opt)
-	if err != nil {
-		log.Fatal("DIRECT: ", err)
+	ctx := context.Background()
+	dRes := engine.New(engine.Direct{Opt: opt}).Evaluate(ctx, spec)
+	if dRes.Err != nil {
+		log.Fatal("DIRECT: ", dRes.Err)
 	}
-	dTime := time.Since(t0)
+	direct, dTime := dRes.Pkg, dRes.Time
 
 	part, err := partition.Build(cells, partition.Options{
 		Attrs:         []string{"redshift", "likelihood", "brightness"},
@@ -58,12 +59,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	t1 := time.Now()
-	sketch, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{Solver: opt, HybridSketch: true})
-	if err != nil {
-		log.Fatal("SKETCHREFINE: ", err)
+	sRes := engine.New(engine.SketchRefine{
+		Part: part,
+		Opt:  sketchrefine.Options{Solver: opt, HybridSketch: true},
+	}).Evaluate(ctx, spec)
+	if sRes.Err != nil {
+		log.Fatal("SKETCHREFINE: ", sRes.Err)
 	}
-	sTime := time.Since(t1)
+	sketch, sTime := sRes.Pkg, sRes.Time
 
 	objD, _ := direct.ObjectiveValue(spec)
 	objS, _ := sketch.ObjectiveValue(spec)

@@ -5,18 +5,22 @@
 // sub-query form), and total duration bounded — maximizing yield.
 //
 // The example demonstrates REPEAT 1 (a bond can be bought twice) and
-// compares DIRECT with SKETCHREFINE.
+// compares DIRECT with SKETCHREFINE, both routed through the shared
+// engine; the SketchRefine run races two seeded refinement orders and
+// keeps the first feasible portfolio.
 //
 // Run with: go run ./examples/portfolio
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ilp"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -43,12 +47,12 @@ func main() {
 	}
 	opt := ilp.Options{TimeLimit: 30 * time.Second, MaxNodes: 100000, Gap: 1e-4}
 
-	t0 := time.Now()
-	direct, _, err := core.Direct(spec, opt)
-	if err != nil {
-		log.Fatal("DIRECT: ", err)
+	ctx := context.Background()
+	dRes := engine.New(engine.Direct{Opt: opt}).Evaluate(ctx, spec)
+	if dRes.Err != nil {
+		log.Fatal("DIRECT: ", dRes.Err)
 	}
-	dTime := time.Since(t0)
+	direct, dTime := dRes.Pkg, dRes.Time
 
 	part, err := partition.Build(bonds, partition.Options{
 		Attrs:         []string{"price", "risk", "duration", "yield"},
@@ -57,12 +61,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	t1 := time.Now()
-	sketched, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{Solver: opt, HybridSketch: true})
-	if err != nil {
-		log.Fatal("SKETCHREFINE: ", err)
+	sRes := engine.New(engine.SketchRefine{
+		Part:   part,
+		Opt:    sketchrefine.Options{Solver: opt, HybridSketch: true},
+		Racers: 2,
+	}).Evaluate(ctx, spec)
+	if sRes.Err != nil {
+		log.Fatal("SKETCHREFINE: ", sRes.Err)
 	}
-	sTime := time.Since(t1)
+	sketched, sTime := sRes.Pkg, sRes.Time
 
 	for _, m := range []struct {
 		name string

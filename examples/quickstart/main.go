@@ -9,10 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ilp"
 	"repro/internal/relation"
 	"repro/internal/translate"
@@ -55,10 +56,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pkg, stats, err := core.Direct(spec, ilp.Options{})
-	if err != nil {
-		log.Fatal(err)
+	eng := engine.New(engine.Direct{Opt: ilp.Options{}})
+	res := eng.Evaluate(context.Background(), spec)
+	if res.Err != nil {
+		log.Fatal(res.Err)
 	}
+	pkg, stats := res.Pkg, res.Stats
 
 	fmt.Println("Daily meal plan:")
 	for k, row := range pkg.Rows {

@@ -7,12 +7,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ilp"
 	"repro/internal/partition"
 	"repro/internal/sketchrefine"
@@ -45,12 +46,14 @@ func main() {
 			log.Fatalf("%s: %v", q.Name, err)
 		}
 
-		t0 := time.Now()
-		dPkg, _, dErr := core.Direct(spec, opt)
-		dTime := time.Since(t0)
-		t1 := time.Now()
-		sPkg, _, sErr := sketchrefine.Evaluate(spec, part, sketchrefine.Options{Solver: opt, HybridSketch: true})
-		sTime := time.Since(t1)
+		ctx := context.Background()
+		dRes := engine.New(engine.Direct{Opt: opt}).Evaluate(ctx, spec)
+		dPkg, dTime, dErr := dRes.Pkg, dRes.Time, dRes.Err
+		sRes := engine.New(engine.SketchRefine{
+			Part: part,
+			Opt:  sketchrefine.Options{Solver: opt, HybridSketch: true},
+		}).Evaluate(ctx, spec)
+		sPkg, sTime, sErr := sRes.Pkg, sRes.Time, sRes.Err
 
 		ratio := "—"
 		if dErr == nil && sErr == nil {

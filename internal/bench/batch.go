@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/sketchrefine"
+	"repro/internal/translate"
+)
+
+// BatchResult records one batch-evaluation run: many package queries
+// answered over one shared offline partitioning by the engine's worker
+// pool.
+type BatchResult struct {
+	Dataset   Dataset
+	Queries   int
+	Workers   int
+	Partition time.Duration // shared partitioning build (parallel)
+	Eval      time.Duration // batch evaluation wall clock
+	Failed    int
+	CacheHits int
+	// Objectives holds the per-query objective values in query order
+	// (NaN-free; failed queries are excluded by Failed).
+	Objectives []float64
+}
+
+// batchSpecs generates a deterministic parameter-sweep workload over the
+// dataset: the same structural package query with varied cardinalities
+// and bounds — the shape of a production query stream, where many
+// clients ask for similar packages over one relation. A fraction of the
+// queries are exact duplicates to exercise the engine's solution cache.
+func (e *Env) batchSpecs(ds Dataset, n int) ([]*core.Spec, error) {
+	rel := e.rels[ds]
+	rng := rand.New(rand.NewSource(e.cfg.Seed * 7919))
+	var template func(card int, frac float64) string
+	switch ds {
+	case Galaxy:
+		template = func(card int, frac float64) string {
+			return fmt.Sprintf(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = %d AND SUM(P.redshift) <= %.3f
+MAXIMIZE SUM(P.petrorad)`, card, float64(card)*(0.5+frac))
+		}
+	case TPCH:
+		template = func(card int, frac float64) string {
+			return fmt.Sprintf(`
+SELECT PACKAGE(L) AS P FROM tpch L REPEAT 0
+SUCH THAT COUNT(P.*) = %d AND SUM(P.quantity) <= %.2f
+MAXIMIZE SUM(P.extendedprice)`, card, float64(card)*(20+30*frac))
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown dataset %q", ds)
+	}
+	specs := make([]*core.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		card := 3 + rng.Intn(5)
+		frac := rng.Float64()
+		if i >= 4 && i%4 == 0 {
+			// Every fourth query repeats an earlier one verbatim: the
+			// solution cache should answer it without a solve.
+			specs = append(specs, specs[rng.Intn(len(specs))])
+			continue
+		}
+		spec, err := translate.Compile(template(card, frac), rel)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// Batch partitions the dataset once (in parallel) and evaluates a
+// deterministic stream of n package queries over the shared partitioning
+// with the engine's worker pool. Identical queries hit the solution
+// cache. The returned objectives are independent of the worker count —
+// the differential tests assert exactly that.
+func (e *Env) Batch(ds Dataset, n, workers int) (*BatchResult, error) {
+	rel := e.rels[ds]
+	specs, err := e.batchSpecs(ds, n)
+	if err != nil {
+		return nil, err
+	}
+
+	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
+	part, err := partition.Build(rel, partition.Options{
+		Attrs:         e.attrs[ds],
+		SizeThreshold: tau,
+		Workers:       workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	eng := engine.New(engine.SketchRefine{
+		Part: part,
+		Opt:  sketchrefine.Options{Solver: e.cfg.Solver, HybridSketch: true},
+	})
+	eng.Workers = workers
+
+	t0 := time.Now()
+	results := eng.EvaluateBatch(context.Background(), specs)
+	res := &BatchResult{
+		Dataset:   ds,
+		Queries:   n,
+		Workers:   workers,
+		Partition: part.BuildTime,
+		Eval:      time.Since(t0),
+	}
+	for i, r := range results {
+		if r.Cached {
+			res.CacheHits++
+		}
+		if r.Err != nil {
+			res.Failed++
+			continue
+		}
+		obj, oerr := r.Pkg.ObjectiveValue(specs[i])
+		if oerr != nil {
+			return nil, oerr
+		}
+		res.Objectives = append(res.Objectives, obj)
+	}
+	fmt.Fprintf(e.cfg.Out, "%-7s %3d queries  workers=%-2d  partition %8s  batch %8s  cachehits %d  failed %d\n",
+		ds, n, workers, fmtDur(res.Partition), fmtDur(res.Eval), res.CacheHits, res.Failed)
+	return res, nil
+}

@@ -45,6 +45,10 @@ type Config struct {
 	// cap). DIRECT failures under this budget reproduce the paper's
 	// missing data points.
 	Solver ilp.Options
+	// Workers bounds the goroutines used for parallel partitioning and
+	// batch query evaluation; 0 means GOMAXPROCS, 1 forces sequential.
+	// Results are identical for every setting.
+	Workers int
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
 }
@@ -145,7 +149,7 @@ func (e *Env) partitioning(ds Dataset, q workload.Query) (*partition.Partitionin
 	}
 	rel := e.queryTable(ds, q)
 	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
-	p, err := partition.Build(rel, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau})
+	p, err := partition.Build(rel, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau, Workers: e.cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -174,12 +178,19 @@ func (e *Env) runDirect(spec *core.Spec, rows []int) Measurement {
 // runSketchRefine evaluates the spec with SketchRefine over a (possibly
 // restricted) partitioning.
 func (e *Env) runSketchRefine(spec *core.Spec, part *partition.Partitioning, seed int64) Measurement {
-	t0 := time.Now()
-	pkg, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{
+	opt := sketchrefine.Options{
 		Solver:       e.cfg.Solver,
 		HybridSketch: true,
-		Rand:         rand.New(rand.NewSource(seed)),
-	})
+		Seed:         seed,
+	}
+	if seed == 0 {
+		// The protocol always shuffles the refinement order, but Seed 0
+		// means "no shuffle" to the evaluator; reproduce the historical
+		// seed-0 shuffle through the compatibility field instead.
+		opt.Rand = rand.New(rand.NewSource(0))
+	}
+	t0 := time.Now()
+	pkg, _, err := sketchrefine.Evaluate(spec, part, opt)
 	m := Measurement{Time: time.Since(t0), Err: err}
 	if err == nil {
 		m.Objective, m.Err = pkg.ObjectiveValue(spec)

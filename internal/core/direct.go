@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,6 +37,11 @@ type EvalStats struct {
 	// Subproblems is the number of ILP solves (1 for DIRECT; one per
 	// sketch/refine query for SketchRefine).
 	Subproblems int
+	// Truncated reports that at least one solve exhausted a wall-clock or
+	// node budget and a best-effort incumbent was accepted instead of a
+	// proven optimum. Such results are feasible but depend on machine
+	// speed and load — a rerun with a larger budget could improve them.
+	Truncated bool
 }
 
 // Add accumulates another stats record (used by SketchRefine).
@@ -54,6 +60,7 @@ func (s *EvalStats) Add(o *EvalStats) {
 	s.BuildTime += o.BuildTime
 	s.SolveTime += o.SolveTime
 	s.Subproblems += o.Subproblems
+	s.Truncated = s.Truncated || o.Truncated
 }
 
 // BuildILP translates the spec restricted to the given candidate rows
@@ -126,6 +133,13 @@ func BuildILP(spec *Spec, rows []int, hi []float64) (*ilp.Problem, error) {
 // ErrInfeasible, ErrResourceLimit (possibly wrapped), or an internal
 // failure.
 func SolveRows(spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package, *EvalStats, error) {
+	return SolveRowsCtx(context.Background(), spec, rows, hi, opt)
+}
+
+// SolveRowsCtx is SolveRows under a context: cancellation or a context
+// deadline aborts the underlying branch-and-bound search and returns the
+// context's error.
+func SolveRowsCtx(ctx context.Context, spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package, *EvalStats, error) {
 	stats := &EvalStats{Subproblems: 1}
 	t0 := time.Now()
 	prob, err := BuildILP(spec, rows, hi)
@@ -137,7 +151,7 @@ func SolveRows(spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package,
 	stats.BuildTime = time.Since(t0)
 
 	t1 := time.Now()
-	res, err := ilp.Solve(prob, opt)
+	res, err := ilp.SolveCtx(ctx, prob, opt)
 	stats.SolveTime = time.Since(t1)
 	if err != nil {
 		return nil, stats, err
@@ -155,6 +169,7 @@ func SolveRows(spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package,
 		}
 		// Budget exhausted with a feasible incumbent: use it (the
 		// behavior of a production solver under a time limit).
+		stats.Truncated = true
 	}
 	pkgRows := make([]int, 0, len(rows))
 	pkgMult := make([]int, 0, len(rows))
@@ -176,8 +191,13 @@ func SolveRows(spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package,
 // relation, translate the whole query into a single ILP, and solve it
 // with the black-box solver.
 func Direct(spec *Spec, opt ilp.Options) (*Package, *EvalStats, error) {
+	return DirectCtx(context.Background(), spec, opt)
+}
+
+// DirectCtx is Direct under a context (see SolveRowsCtx).
+func DirectCtx(ctx context.Context, spec *Spec, opt ilp.Options) (*Package, *EvalStats, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, &EvalStats{}, err
 	}
-	return SolveRows(spec, spec.BaseRows(), nil, opt)
+	return SolveRowsCtx(ctx, spec, spec.BaseRows(), nil, opt)
 }

@@ -1,0 +1,456 @@
+// Package engine is the shared evaluation entry point for package
+// queries: the command-line tools, the benchmark harness, and the
+// examples all route through it instead of calling the individual
+// strategies directly.
+//
+// It contributes three things on top of the strategy packages:
+//
+//   - a Solver interface with the three evaluation strategies of the
+//     paper — NAIVE (Section 2), DIRECT (Section 3), and SKETCHREFINE
+//     (Section 4) — as interchangeable values;
+//   - context plumbing: every solve takes a context.Context whose
+//     cancellation or deadline reaches all the way into the simplex
+//     iterations of an in-flight ILP solve;
+//   - multicore execution: a bounded worker pool evaluates batches of
+//     queries over one shared partitioning concurrently (with a
+//     per-partitioning solution cache deduplicating identical queries),
+//     and SketchRefine can race several seeded refinement orders —
+//     Algorithm 2 starts from an arbitrary order — returning the first
+//     feasible package and canceling the losers.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/naive"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sketchrefine"
+)
+
+// Solver is one evaluation strategy for compiled package queries. Solve
+// must honor ctx: cancellation or a deadline aborts the evaluation and
+// returns the context's error. Implementations must be safe for
+// concurrent use — Engine calls Solve from many goroutines.
+type Solver interface {
+	// Name identifies the strategy ("naive", "direct", "sketchrefine").
+	Name() string
+	// Solve evaluates the query and returns the chosen package.
+	Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error)
+}
+
+// Direct is the paper's DIRECT strategy: one ILP over the whole base
+// relation, solved by the black-box solver.
+type Direct struct {
+	Opt ilp.Options
+}
+
+// Name implements Solver.
+func (Direct) Name() string { return "direct" }
+
+// Solve implements Solver.
+func (d Direct) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	return core.DirectCtx(ctx, spec, d.Opt)
+}
+
+// Naive is the traditional-SQL self-join baseline of Section 2. It only
+// supports REPEAT 0 queries with a strict cardinality constraint.
+type Naive struct {
+	Opt naive.Options
+}
+
+// Name implements Solver.
+func (Naive) Name() string { return "naive" }
+
+// Solve implements Solver.
+func (n Naive) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	t0 := time.Now()
+	res, err := naive.EvaluateCtx(ctx, spec, n.Opt)
+	stats := &core.EvalStats{Subproblems: 1, SolveTime: time.Since(t0)}
+	if err != nil {
+		if errors.Is(err, naive.ErrTimeout) {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, stats, cerr
+			}
+			if res != nil && res.Package != nil {
+				// Options.Timeout expired with a feasible (possibly
+				// suboptimal) package in hand: return it, matching the
+				// AcceptIncumbent behavior of the ILP-based strategies.
+				stats.Truncated = true
+				return res.Package, stats, nil
+			}
+		}
+		return nil, stats, err
+	}
+	return res.Package, stats, nil
+}
+
+// SketchRefine is the paper's scalable strategy over a shared offline
+// partitioning. With Racers > 1 it runs that many seeded refinement
+// orders in parallel workers and returns the first feasible package,
+// canceling the rest — Algorithm 2's starting order is arbitrary, so any
+// winner is a valid SketchRefine answer, and orders that would backtrack
+// heavily no longer gate the response time.
+type SketchRefine struct {
+	// Part is the offline partitioning the strategy refines over. It is
+	// shared read-only across all concurrent evaluations.
+	Part *partition.Partitioning
+	// Opt configures the evaluation; Opt.Seed/Opt.Rand steer lane 0's
+	// refinement order (the one a non-racing evaluation would use).
+	Opt sketchrefine.Options
+	// Racers is the number of refinement orders raced per query; 0 or 1
+	// evaluates the single configured order sequentially and
+	// deterministically.
+	Racers int
+	// Seed is the base seed for the extra racer lanes only (lane i>0
+	// shuffles with Seed+i, skipping Opt.Seed so no lane duplicates lane
+	// 0's order); 0 means 1. Lane 0 is steered by Opt.Seed/Opt.Rand, not
+	// by this field.
+	Seed int64
+}
+
+// Name implements Solver.
+func (SketchRefine) Name() string { return "sketchrefine" }
+
+// randSeedMu serializes seed draws from a caller-supplied deprecated
+// Opt.Rand: the generator is not safe for the concurrent Solve calls the
+// Solver contract requires, so the engine consumes it one draw at a time.
+var randSeedMu sync.Mutex
+
+// Solve implements Solver.
+func (s SketchRefine) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	if s.Opt.Rand != nil {
+		// The Solver contract requires concurrent-safe Solve calls, but a
+		// shared *rand.Rand is stateful and racy. Convert it to a drawn
+		// seed per evaluation: still caller-steered randomness, but each
+		// evaluation gets a private generator.
+		randSeedMu.Lock()
+		seed := s.Opt.Rand.Int63()
+		randSeedMu.Unlock()
+		if seed == 0 {
+			seed = 1
+		}
+		s.Opt.Rand = nil
+		s.Opt.Seed = seed
+	}
+	if s.Racers <= 1 {
+		return sketchrefine.EvaluateCtx(ctx, spec, s.Part, s.Opt)
+	}
+	return s.race(ctx, spec)
+}
+
+// raceResult is one racer's outcome, tagged with its lane.
+type raceResult struct {
+	lane  int
+	pkg   *core.Package
+	stats *core.EvalStats
+	err   error
+}
+
+// race runs Racers refinement orders concurrently and returns the first
+// feasible package. Losers are canceled through the shared context; the
+// function returns only after every racer goroutine has exited, so a
+// solve never leaks goroutines into the caller. When every order fails,
+// the canonical lane-0 error (deterministic order) is returned.
+func (s SketchRefine) race(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	base := s.Seed
+	if base == 0 {
+		base = 1
+	}
+	results := make(chan raceResult, s.Racers)
+	for lane := 0; lane < s.Racers; lane++ {
+		opt := s.Opt
+		if lane > 0 {
+			// Lane 0 keeps the configured order; the others shuffle with
+			// distinct, reproducible seeds. Skip 0 (which would mean "no
+			// shuffle") and lane 0's own seed, so no racer duplicates the
+			// configured order.
+			opt.Rand = nil
+			seed := base + int64(lane)
+			for seed == 0 || (s.Opt.Rand == nil && seed == s.Opt.Seed) {
+				seed += int64(s.Racers)
+			}
+			opt.Seed = seed
+		}
+		go func(lane int, opt sketchrefine.Options) {
+			pkg, stats, err := sketchrefine.EvaluateCtx(raceCtx, spec, s.Part, opt)
+			results <- raceResult{lane: lane, pkg: pkg, stats: stats, err: err}
+		}(lane, opt)
+	}
+
+	// The winner's own stats are returned — not an aggregate. Folding in
+	// canceled losers would misattribute their work to the package and
+	// could mark a clean win Truncated (a loser's budget-limited
+	// sub-solve), making the result wrongly uncacheable. On an all-fail
+	// race the lanes' stats are aggregated, since they all contributed
+	// to the verdict.
+	agg := &core.EvalStats{}
+	var winner *raceResult
+	var lane0Err error
+	for i := 0; i < s.Racers; i++ {
+		r := <-results
+		agg.Add(r.stats)
+		if r.err == nil && winner == nil {
+			winner = &r
+			cancel() // first feasible package wins; stop the losers
+		}
+		if r.lane == 0 {
+			lane0Err = r.err
+		}
+	}
+	if winner != nil {
+		return winner.pkg, winner.stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, agg, err
+	}
+	return nil, agg, lane0Err
+}
+
+// Result is the outcome of one engine evaluation.
+type Result struct {
+	Pkg   *core.Package
+	Stats *core.EvalStats
+	Err   error
+	// Cached reports that the result was served from the engine's
+	// solution cache instead of a fresh solve.
+	Cached bool
+	// Time is the wall-clock evaluation time (zero for cache hits).
+	Time time.Duration
+}
+
+// Engine evaluates package queries with a pluggable strategy, a bounded
+// worker pool for batches, and a solution cache that deduplicates
+// identical queries against the same strategy (for SketchRefine: the
+// same shared partitioning). An Engine is safe for concurrent use.
+type Engine struct {
+	// Solver is the evaluation strategy.
+	Solver Solver
+	// Workers bounds the number of queries evaluated concurrently by
+	// EvaluateBatch; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// NoCache disables the solution cache (every Evaluate solves).
+	NoCache bool
+	// MaxCacheEntries bounds the solution cache; when full, an arbitrary
+	// entry is evicted to make room (the cache is an optimization, not a
+	// registry, so approximate eviction is fine). 0 means
+	// DefaultMaxCacheEntries; negative means unbounded.
+	MaxCacheEntries int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// DefaultMaxCacheEntries bounds the solution cache when
+// Engine.MaxCacheEntries is zero. Each entry pins a package and its
+// input relation, so an unbounded cache on a long-lived engine serving
+// a stream of distinct queries would grow without limit.
+const DefaultMaxCacheEntries = 4096
+
+// cacheEntry is a singleflight slot: the first goroutine to claim a key
+// solves and closes done; later goroutines wait on done and share res.
+// spec pins the compiled query (and through it the input relation) for
+// the entry's lifetime: SpecKey uses their addresses as identity, which
+// is only sound while those addresses cannot be reused.
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+	spec *core.Spec
+}
+
+// New returns an engine using the given strategy and the default worker
+// pool size (GOMAXPROCS).
+func New(s Solver) *Engine {
+	return &Engine{Solver: s}
+}
+
+// Evaluate runs one query through the engine. Identical queries (same
+// constraints, objective, and input relation) are solved once and served
+// from the cache afterwards; concurrent duplicates share a single solve.
+//
+// Only definitive outcomes are cached: a package, or a proven
+// infeasibility verdict. Wall-clock-dependent failures — cancellation,
+// deadline, solver resource limits — say nothing about the query, so
+// they are never retained, and a duplicate that was waiting on a solve
+// aborted by the *owner's* context retries with its own.
+func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.NoCache {
+		return e.solve(ctx, spec)
+	}
+	key := SpecKey(spec)
+
+	for {
+		e.mu.Lock()
+		if e.cache == nil {
+			e.cache = make(map[string]*cacheEntry)
+		}
+		if ent, ok := e.cache[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-ent.done:
+				r := ent.res
+				if ctxErr(r.Err) && ctx.Err() == nil {
+					// The owning caller's solve was aborted by *its*
+					// context, but this caller is still live: the entry
+					// is already being dropped, so claim the key and
+					// solve afresh. Other non-definitive outcomes
+					// (truncated incumbents, budget failures) are shared
+					// with concurrent waiters — this is the very solve
+					// they were waiting on, and retrying serially would
+					// be slower than having run without a cache — they
+					// just aren't retained for future calls.
+					continue
+				}
+				r.Cached = true
+				r.Time = 0 // the solve's cost was paid by the first caller
+				return r
+			case <-ctx.Done():
+				return Result{Err: ctx.Err()}
+			}
+		}
+		limit := e.MaxCacheEntries
+		if limit == 0 {
+			limit = DefaultMaxCacheEntries
+		}
+		if limit > 0 && len(e.cache) >= limit {
+			for k := range e.cache {
+				delete(e.cache, k)
+				break
+			}
+		}
+		ent := &cacheEntry{done: make(chan struct{}), spec: spec}
+		e.cache[key] = ent
+		e.mu.Unlock()
+
+		ent.res = e.solve(ctx, spec)
+		if !definitive(ent.res) {
+			// Drop the entry before waking waiters so their retry finds
+			// the key free.
+			e.mu.Lock()
+			if e.cache[key] == ent {
+				delete(e.cache, key)
+			}
+			e.mu.Unlock()
+		}
+		close(ent.done)
+		return ent.res
+	}
+}
+
+// definitive reports whether an evaluation outcome is a property of the
+// query itself (and hence cacheable): a non-truncated package, or an
+// infeasibility verdict. Cancellation, deadlines, solver resource
+// limits, and budget-truncated incumbents depend on wall clock and
+// machine load — a retry could succeed or improve.
+func definitive(r Result) bool {
+	if r.Stats != nil && r.Stats.Truncated {
+		// Any truncated solve taints the outcome, success or failure: an
+		// infeasibility verdict built on a budget-limited sub-solution
+		// (e.g. a poor truncated sketch leading to ErrFalseInfeasible)
+		// might not recur with the full budget.
+		return false
+	}
+	if r.Err != nil {
+		return errors.Is(r.Err, core.ErrInfeasible) || errors.Is(r.Err, sketchrefine.ErrFalseInfeasible)
+	}
+	return true
+}
+
+// ctxErr reports whether an error is a context cancellation or deadline.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (e *Engine) solve(ctx context.Context, spec *core.Spec) Result {
+	t0 := time.Now()
+	pkg, stats, err := e.Solver.Solve(ctx, spec)
+	return Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
+}
+
+// EvaluateBatch evaluates many queries concurrently on the engine's
+// worker pool and returns their results in input order. All queries
+// share the strategy's state (for SketchRefine: one partitioning built
+// offline) and the solution cache, so duplicate queries in a batch are
+// solved once. Every result slot is filled; per-query failures are
+// reported in Result.Err, not returned.
+func (e *Engine) EvaluateBatch(ctx context.Context, specs []*core.Spec) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Result, len(specs))
+	par.For(len(specs), e.Workers, func(i int) {
+		out[i] = e.Evaluate(ctx, specs[i])
+	})
+	return out
+}
+
+// CacheLen reports the number of cached solutions (for tests and
+// diagnostics).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// SpecKey fingerprints a compiled query for the solution cache: the
+// input relation's identity plus the canonical rendering of the REPEAT
+// bound, base predicate, restrictions, constraints, and objective. Two
+// specs with equal keys describe the same optimization problem. (The
+// relation's address is sound as identity because every cache entry
+// pins its relation for the entry's lifetime.) Predicates without a
+// faithful rendering — a FuncPred with no Desc prints "<func>" — fall
+// back to pointer identity so distinct anonymous predicates never
+// collide: top-level ones by predicate pointer, and ones nested inside
+// coefficient renderings (e.g. a CondCoef's gate) by keying the whole
+// spec on its own identity. The PaQL compiler always sets Desc, so
+// translated queries never pay either fallback.
+func SpecKey(spec *core.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rel=%p;repeat=%d", spec.Rel, spec.Repeat)
+	pred := func(tag string, p relation.Predicate) {
+		s := p.String()
+		if s == "<func>" {
+			fmt.Fprintf(&b, ";%s=<func>@%p", tag, p)
+			return
+		}
+		fmt.Fprintf(&b, ";%s=%s", tag, s)
+	}
+	if spec.Base != nil {
+		pred("base", spec.Base)
+	}
+	for _, r := range spec.Restrictions {
+		pred("restrict", r)
+	}
+	for _, c := range spec.Constraints {
+		fmt.Fprintf(&b, ";cons=%s %s %g", c.Coef, c.Op, c.RHS)
+	}
+	if o := spec.Objective; o != nil {
+		sense := "min"
+		if o.Maximize {
+			sense = "max"
+		}
+		fmt.Fprintf(&b, ";obj=%s %s +%g", sense, o.Coef, o.Offset)
+	}
+	key := b.String()
+	if strings.Contains(key, "<func>") {
+		// An anonymous predicate leaked into a coefficient rendering;
+		// its text cannot distinguish different functions, so restrict
+		// the key to this exact spec value.
+		key += fmt.Sprintf(";spec=%p", spec)
+	}
+	return key
+}

@@ -1,0 +1,458 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+	"repro/internal/naive"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sketchrefine"
+	"repro/internal/translate"
+	"repro/internal/workload"
+)
+
+func solverOpt() ilp.Options {
+	return ilp.Options{MaxNodes: 50000, Gap: 1e-4, TimeLimit: 20 * time.Second}
+}
+
+// galaxyProblem builds a seeded Galaxy relation, a shared partitioning,
+// and a deterministic parameter-sweep query stream over it.
+func galaxyProblem(t *testing.T, n, queries int) (*partition.Partitioning, []*core.Spec) {
+	t.Helper()
+	rel := workload.Galaxy(n, 31)
+	part, err := partition.Build(rel, partition.Options{
+		Attrs:         []string{"ra", "dec", "redshift", "petrorad"},
+		SizeThreshold: n/10 + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]*core.Spec, 0, queries)
+	for i := 0; i < queries; i++ {
+		card := 3 + i%4
+		bound := 0.8*float64(card) + 0.1*float64(i)
+		spec, err := translate.Compile(fmt.Sprintf(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = %d AND SUM(P.redshift) <= %.3f
+MAXIMIZE SUM(P.petrorad)`, card, bound), rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	return part, specs
+}
+
+// TestBatchWorkersDifferential is the query half of the issue's
+// differential suite: the same batch over the same shared partitioning
+// must yield identical objective values (and identical failure verdicts)
+// for Workers ∈ {1, 4, GOMAXPROCS} — parallelism may only change the
+// wall clock, never the answers.
+func TestBatchWorkersDifferential(t *testing.T) {
+	part, specs := galaxyProblem(t, 1500, 10)
+	type outcome struct {
+		obj  float64
+		fail string
+	}
+	var want []outcome
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		eng := engine.New(engine.SketchRefine{
+			Part: part,
+			Opt:  sketchrefine.Options{Solver: solverOpt(), HybridSketch: true},
+		})
+		eng.Workers = workers
+		results := eng.EvaluateBatch(context.Background(), specs)
+		got := make([]outcome, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				got[i] = outcome{fail: r.Err.Error()}
+				continue
+			}
+			obj, err := r.Pkg.ObjectiveValue(specs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i] = outcome{obj: obj}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("workers=%d query %d: %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDirectBatchDifferential repeats the differential check for the
+// DIRECT strategy, whose branch-and-bound search must likewise be
+// untouched by engine-level concurrency.
+func TestDirectBatchDifferential(t *testing.T) {
+	_, specs := galaxyProblem(t, 600, 6)
+	var want []float64
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0), 4} {
+		eng := engine.New(engine.Direct{Opt: solverOpt()})
+		eng.Workers = workers
+		results := eng.EvaluateBatch(context.Background(), specs)
+		got := make([]float64, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d query %d: %v", workers, i, r.Err)
+			}
+			obj, err := r.Pkg.ObjectiveValue(specs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i] = obj
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("workers=%d query %d: objective %g, want %g", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNaiveAgreesWithDirect exercises the third Solver strategy: on a
+// small exact-cardinality query both NAIVE enumeration and DIRECT's ILP
+// must reach the same optimal objective.
+func TestNaiveAgreesWithDirect(t *testing.T) {
+	rel := workload.Galaxy(60, 8)
+	spec, err := translate.Compile(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= 2.5
+MAXIMIZE SUM(P.petrorad)`, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dir := engine.New(engine.Direct{Opt: solverOpt()}).Evaluate(ctx, spec)
+	nai := engine.New(engine.Naive{Opt: naive.Options{}}).Evaluate(ctx, spec)
+	if dir.Err != nil || nai.Err != nil {
+		t.Fatalf("direct err %v, naive err %v", dir.Err, nai.Err)
+	}
+	od, _ := dir.Pkg.ObjectiveValue(spec)
+	on, _ := nai.Pkg.ObjectiveValue(spec)
+	if math.Abs(od-on) > 1e-6*(1+math.Abs(od)) {
+		t.Errorf("naive objective %g, direct %g", on, od)
+	}
+}
+
+// TestBatchCache: duplicate queries in one batch are solved once and
+// served from the per-partitioning solution cache afterwards.
+func TestBatchCache(t *testing.T) {
+	part, specs := galaxyProblem(t, 800, 4)
+	batch := append(append([]*core.Spec{}, specs...), specs...) // every query twice
+	eng := engine.New(engine.SketchRefine{
+		Part: part,
+		Opt:  sketchrefine.Options{Solver: solverOpt(), HybridSketch: true},
+	})
+	eng.Workers = 4
+	results := eng.EvaluateBatch(context.Background(), batch)
+	if got, want := eng.CacheLen(), len(specs); got != want {
+		t.Errorf("cache holds %d entries, want %d", got, want)
+	}
+	fresh := 0
+	for _, r := range results {
+		if !r.Cached {
+			fresh++
+		}
+	}
+	if fresh != len(specs) {
+		t.Errorf("%d fresh solves, want %d (duplicates must hit the cache)", fresh, len(specs))
+	}
+	for i, r := range results {
+		j := (i + len(specs)) % len(batch)
+		a, errA := r.Pkg.ObjectiveValue(batch[i])
+		b, errB := results[j].Pkg.ObjectiveValue(batch[j])
+		if errA != nil || errB != nil || a != b {
+			t.Errorf("query %d and its duplicate disagree: %g vs %g (%v, %v)", i, a, b, errA, errB)
+		}
+	}
+}
+
+// TestResourceLimitNotCached: solver-budget failures depend on wall
+// clock and machine load, so they must never be retained — a later
+// evaluation of the same query with the same engine must retry (and
+// here, with the budget unchanged, fail afresh rather than serve a
+// cached verdict).
+func TestResourceLimitNotCached(t *testing.T) {
+	_, specs := galaxyProblem(t, 800, 1)
+	eng := engine.New(engine.Direct{Opt: ilp.Options{MaxNodes: 1}})
+	first := eng.Evaluate(context.Background(), specs[0])
+	if !errors.Is(first.Err, core.ErrResourceLimit) {
+		t.Fatalf("error %v, want ErrResourceLimit", first.Err)
+	}
+	if eng.CacheLen() != 0 {
+		t.Errorf("resource-limit failure was cached (%d entries)", eng.CacheLen())
+	}
+	second := eng.Evaluate(context.Background(), specs[0])
+	if second.Cached {
+		t.Error("retry of a non-definitive failure was served from cache")
+	}
+}
+
+// TestCacheHitTime: a cache hit reports Cached=true and zero Time — the
+// solve's cost was paid by the first caller, and summing Result.Time
+// across a batch must not double-count it.
+func TestCacheHitTime(t *testing.T) {
+	part, specs := galaxyProblem(t, 800, 1)
+	eng := engine.New(engine.SketchRefine{
+		Part: part,
+		Opt:  sketchrefine.Options{Solver: solverOpt(), HybridSketch: true},
+	})
+	first := eng.Evaluate(context.Background(), specs[0])
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Cached {
+		t.Error("first solve reported as cached")
+	}
+	hit := eng.Evaluate(context.Background(), specs[0])
+	if hit.Err != nil {
+		t.Fatal(hit.Err)
+	}
+	if !hit.Cached || hit.Time != 0 {
+		t.Errorf("cache hit: Cached=%v Time=%v, want true and 0", hit.Cached, hit.Time)
+	}
+	a, _ := first.Pkg.ObjectiveValue(specs[0])
+	b, _ := hit.Pkg.ObjectiveValue(specs[0])
+	if a != b {
+		t.Errorf("cache hit objective %g, want %g", b, a)
+	}
+}
+
+// TestNaiveTimeoutKeepsIncumbent: when the naive enumeration hits its
+// own Options.Timeout with a feasible package already found, the engine
+// returns that package (AcceptIncumbent behavior) instead of dropping it.
+func TestNaiveTimeoutKeepsIncumbent(t *testing.T) {
+	rel := workload.Galaxy(3000, 4)
+	spec, err := translate.Compile(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 4 AND SUM(P.redshift) <= 10
+MAXIMIZE SUM(P.petrorad)`, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Naive{Opt: naive.Options{Timeout: 30 * time.Millisecond}})
+	res := eng.Evaluate(context.Background(), spec)
+	if res.Err != nil {
+		t.Fatalf("timed-out naive run with an incumbent returned error %v", res.Err)
+	}
+	ok, err := res.Pkg.IsFeasible(spec)
+	if err != nil || !ok {
+		t.Errorf("incumbent package infeasible (%v)", err)
+	}
+	if res.Stats == nil || !res.Stats.Truncated {
+		t.Error("timed-out incumbent not marked Truncated")
+	}
+	if eng.CacheLen() != 0 {
+		t.Errorf("budget-truncated result was cached (%d entries)", eng.CacheLen())
+	}
+}
+
+// TestSpecKeyAnonymousPredicates: specs that differ only in Desc-less
+// FuncPreds — top-level or nested inside a CondCoef rendering — must get
+// distinct cache keys, while the same spec always keys identically.
+func TestSpecKeyAnonymousPredicates(t *testing.T) {
+	rel := workload.Galaxy(50, 2)
+	mkSpec := func(fn func(*relation.Relation, int) bool) *core.Spec {
+		return &core.Spec{
+			Rel:    rel,
+			Repeat: 0,
+			Constraints: []core.Constraint{{
+				Coef: core.CondCoef{Pred: &relation.FuncPred{Fn: fn}, Inner: core.UnitCoef{}},
+				Op:   lp.GE,
+				RHS:  1,
+			}},
+		}
+	}
+	a := mkSpec(func(r *relation.Relation, row int) bool { return true })
+	b := mkSpec(func(r *relation.Relation, row int) bool { return false })
+	if engine.SpecKey(a) == engine.SpecKey(b) {
+		t.Error("distinct anonymous CondCoef predicates share a cache key")
+	}
+	if engine.SpecKey(a) != engine.SpecKey(a) {
+		t.Error("same spec keys differently across calls")
+	}
+	c := &core.Spec{Rel: rel, Repeat: 0, Base: &relation.FuncPred{Fn: func(*relation.Relation, int) bool { return true }}}
+	d := &core.Spec{Rel: rel, Repeat: 0, Base: &relation.FuncPred{Fn: func(*relation.Relation, int) bool { return false }}}
+	if engine.SpecKey(c) == engine.SpecKey(d) {
+		t.Error("distinct anonymous base predicates share a cache key")
+	}
+}
+
+// TestSharedRandConcurrentBatch: the deprecated Options.Rand is stateful
+// and not concurrency-safe; the engine must not hand it to concurrent
+// evaluations (this test exists to fail under -race if it ever does).
+func TestSharedRandConcurrentBatch(t *testing.T) {
+	part, specs := galaxyProblem(t, 800, 8)
+	eng := engine.New(engine.SketchRefine{
+		Part: part,
+		Opt: sketchrefine.Options{
+			Solver:       solverOpt(),
+			HybridSketch: true,
+			Rand:         rand.New(rand.NewSource(9)),
+		},
+	})
+	eng.Workers = 4
+	eng.NoCache = true // force every query through a real solve
+	for i, r := range eng.EvaluateBatch(context.Background(), specs) {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestRacedRefineOrders: racing several seeded refinement orders must
+// still return a feasible package (any order is a valid SketchRefine
+// run), and the racer goroutines must all be gone when Solve returns.
+func TestRacedRefineOrders(t *testing.T) {
+	part, specs := galaxyProblem(t, 1200, 3)
+	before := runtime.NumGoroutine()
+	eng := engine.New(engine.SketchRefine{
+		Part:   part,
+		Opt:    sketchrefine.Options{Solver: solverOpt(), HybridSketch: true},
+		Racers: 4,
+	})
+	for i, spec := range specs {
+		res := eng.Evaluate(context.Background(), spec)
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+		ok, err := res.Pkg.IsFeasible(spec)
+		if err != nil || !ok {
+			t.Errorf("query %d: raced package infeasible (%v)", i, err)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines asserts the goroutine count settles back to the
+// baseline (canceled losers must exit, not linger).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), baseline)
+}
+
+// TestCancellationMidSolve cancels an evaluation while the ILP search is
+// running: the engine must return promptly with the context's error, no
+// goroutines may leak, and the aborted result must not be cached.
+func TestCancellationMidSolve(t *testing.T) {
+	part, specs := galaxyProblem(t, 2500, 1)
+	before := runtime.NumGoroutine()
+	eng := engine.New(engine.SketchRefine{
+		Part:   part,
+		Opt:    sketchrefine.Options{Solver: ilp.Options{MaxNodes: 1 << 30}, HybridSketch: true},
+		Racers: 3,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan engine.Result, 1)
+	go func() { done <- eng.Evaluate(ctx, specs[0]) }()
+	time.Sleep(15 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		// The solve may legitimately have finished before the cancel
+		// landed; only a non-context error is a failure.
+		if res.Err != nil && !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("unexpected error: %v", res.Err)
+		}
+		if res.Err != nil && eng.CacheLen() != 0 {
+			t.Errorf("canceled result was cached (%d entries)", eng.CacheLen())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the solve within 10s")
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestPreCanceledContext: a context canceled before the call must fail
+// fast with context.Canceled at every strategy.
+func TestPreCanceledContext(t *testing.T) {
+	part, specs := galaxyProblem(t, 400, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range []engine.Solver{
+		engine.Direct{Opt: solverOpt()},
+		engine.SketchRefine{Part: part, Opt: sketchrefine.Options{Solver: solverOpt()}},
+	} {
+		_, _, err := s.Solve(ctx, specs[0])
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v, want context.Canceled", s.Name(), err)
+		}
+	}
+}
+
+// TestDeadlineExceeded: an already-expired deadline surfaces as
+// context.DeadlineExceeded through the whole stack.
+func TestDeadlineExceeded(t *testing.T) {
+	_, specs := galaxyProblem(t, 400, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	res := engine.New(engine.Direct{Opt: ilp.Options{MaxNodes: 1 << 30}}).Evaluate(ctx, specs[0])
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Errorf("error %v, want context.DeadlineExceeded", res.Err)
+	}
+}
+
+// TestConcurrentEnginesSharedPartitioning drives many concurrent batches
+// against ONE engine and ONE partitioning — the -race configuration that
+// guards the "shared partitioning is read-only" contract.
+func TestConcurrentEnginesSharedPartitioning(t *testing.T) {
+	part, specs := galaxyProblem(t, 1000, 6)
+	eng := engine.New(engine.SketchRefine{
+		Part: part,
+		Opt:  sketchrefine.Options{Solver: solverOpt(), HybridSketch: true},
+	})
+	eng.Workers = 4
+	want := eng.EvaluateBatch(context.Background(), specs)
+	done := make(chan []engine.Result, 3)
+	for g := 0; g < 3; g++ {
+		go func() {
+			done <- eng.EvaluateBatch(context.Background(), specs)
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		got := <-done
+		for i := range want {
+			if (want[i].Err == nil) != (got[i].Err == nil) {
+				t.Errorf("concurrent batch query %d: error status diverged", i)
+				continue
+			}
+			if want[i].Err != nil {
+				continue
+			}
+			a, _ := want[i].Pkg.ObjectiveValue(specs[i])
+			b, _ := got[i].Pkg.ObjectiveValue(specs[i])
+			if a != b {
+				t.Errorf("concurrent batch query %d: objective %g vs %g", i, b, a)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -163,6 +164,17 @@ func (h *nodeHeap) Pop() any {
 
 // Solve runs branch and bound and returns the best integral solution.
 func Solve(p *Problem, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opt)
+}
+
+// SolveCtx runs branch and bound under a context: cancellation (or a
+// context deadline) aborts the search — including any in-flight simplex
+// solve — and returns the context's error. This is what lets a caller
+// race several solves and cheaply cancel the losers.
+func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := p.LP.NumVars()
 	if p.Integer != nil && len(p.Integer) != n {
 		return nil, fmt.Errorf("ilp: Integer has length %d, want %d", len(p.Integer), n)
@@ -241,7 +253,7 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 			}
 		}
 		relax.Lo, relax.Hi = lo, hi
-		sol, err := lp.Solve(&relax)
+		sol, err := lp.SolveCtx(ctx, &relax)
 		if err != nil {
 			return nil, err
 		}
@@ -477,6 +489,9 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	res.BestBound = root.bound
 	limited := false
 	for current != nil || h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.Nodes >= maxNodes {
 			limited = true
 			break

@@ -16,6 +16,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,10 @@ const (
 	// trouble); treat as a solver failure.
 	IterLimit
 )
+
+// canceled is the internal status for a context-canceled run; SolveCtx
+// converts it to the context's error before returning.
+const canceled Status = -1
 
 // String names the status.
 func (s Status) String() string {
@@ -182,6 +187,7 @@ type tableau struct {
 	c         []float64 // current-phase objective (maximize)
 	iter      int
 	maxIter   int
+	done      <-chan struct{} // cancellation signal, checked periodically
 }
 
 // value returns the current value of column j.
@@ -365,6 +371,13 @@ func (tb *tableau) run() Status {
 	stall := 0
 	lastObj := math.Inf(-1)
 	for tb.iter = 0; tb.iter < tb.maxIter; tb.iter++ {
+		if tb.done != nil && tb.iter&63 == 0 {
+			select {
+			case <-tb.done:
+				return canceled
+			default:
+			}
+		}
 		bland := stall > 2*(tb.m+8)
 		done, unbounded := tb.step(bland)
 		if done {
@@ -397,6 +410,14 @@ func (tb *tableau) objective() float64 {
 
 // Solve solves the linear program.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx solves the linear program, aborting early (with the context's
+// error) when ctx is canceled or its deadline passes. Cancellation is
+// polled every 64 simplex iterations, so an abandoned solve stops within
+// microseconds rather than running its full iteration budget.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
 	}
@@ -424,6 +445,9 @@ func Solve(p *Problem) (*Solution, error) {
 		d:       make([]float64, nTotal),
 		c:       make([]float64, nTotal),
 		maxIter: 200*(m+n) + 5000,
+	}
+	if ctx != nil {
+		tb.done = ctx.Done()
 	}
 
 	// Structural bounds; nonbasic start at a finite bound.
@@ -503,6 +527,9 @@ func Solve(p *Problem) (*Solution, error) {
 	tb.recomputeReducedCosts()
 	st := tb.run()
 	iters := tb.iter
+	if st == canceled {
+		return nil, ctx.Err()
+	}
 	if st == IterLimit {
 		return &Solution{Status: IterLimit, Iterations: iters}, nil
 	}
@@ -533,6 +560,8 @@ func Solve(p *Problem) (*Solution, error) {
 	st = tb.run()
 	iters += tb.iter
 	switch st {
+	case canceled:
+		return nil, ctx.Err()
 	case Unbounded:
 		return &Solution{Status: Unbounded, Iterations: iters}, nil
 	case IterLimit:

@@ -16,6 +16,7 @@
 package naive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -63,6 +64,16 @@ func Cardinality(spec *core.Spec) (int, error) {
 
 // Evaluate runs the self-join baseline on a compiled package query.
 func Evaluate(spec *core.Spec, opt Options) (*Result, error) {
+	return EvaluateCtx(context.Background(), spec, opt)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation or a context
+// deadline stops the enumeration and is reported as ErrTimeout alongside
+// the best package found so far, exactly like Options.Timeout.
+func EvaluateCtx(ctx context.Context, spec *core.Spec, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Repeat != 0 {
 		return nil, ErrUnsupported
 	}
@@ -121,9 +132,15 @@ func Evaluate(spec *core.Spec, opt Options) (*Result, error) {
 	rec = func(start int) bool {
 		if len(chosen) == card {
 			res.Candidates++
-			if res.Candidates%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-				timedOut = true
-				return false
+			if res.Candidates%4096 == 0 {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					timedOut = true
+					return false
+				}
+				if ctx.Err() != nil {
+					timedOut = true
+					return false
+				}
 			}
 			for ci, c := range cons {
 				switch c.op {

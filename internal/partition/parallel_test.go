@@ -1,0 +1,188 @@
+package partition
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// equalPartitionings asserts that two partitionings are identical in
+// every observable respect: group IDs, member rows (order included),
+// exact centroid and radius bits, the gid assignment vector, and the
+// representative relation.
+func equalPartitionings(t *testing.T, want, got *Partitioning, label string) {
+	t.Helper()
+	if len(want.Groups) != len(got.Groups) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got.Groups), len(want.Groups))
+	}
+	for gid := range want.Groups {
+		a, b := want.Groups[gid], got.Groups[gid]
+		if a.ID != b.ID {
+			t.Fatalf("%s: group %d: ID %d vs %d", label, gid, b.ID, a.ID)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: group %d: %d rows, want %d", label, gid, len(b.Rows), len(a.Rows))
+		}
+		for k := range a.Rows {
+			if a.Rows[k] != b.Rows[k] {
+				t.Fatalf("%s: group %d row %d: %d vs %d", label, gid, k, b.Rows[k], a.Rows[k])
+			}
+		}
+		for d := range a.Centroid {
+			if a.Centroid[d] != b.Centroid[d] { // exact bit equality, not approximate
+				t.Fatalf("%s: group %d centroid[%d]: %v vs %v", label, gid, d, b.Centroid[d], a.Centroid[d])
+			}
+		}
+		if a.Radius != b.Radius {
+			t.Fatalf("%s: group %d radius: %v vs %v", label, gid, b.Radius, a.Radius)
+		}
+	}
+	for r := range want.GID {
+		if want.GID[r] != got.GID[r] {
+			t.Fatalf("%s: row %d gid %d vs %d", label, r, got.GID[r], want.GID[r])
+		}
+	}
+	if want.Reps.Len() != got.Reps.Len() {
+		t.Fatalf("%s: reps %d vs %d rows", label, got.Reps.Len(), want.Reps.Len())
+	}
+	for i := 0; i < want.Reps.Len(); i++ {
+		for c := 0; c < want.Reps.Schema().Len(); c++ {
+			if want.Reps.Float(i, c) != got.Reps.Float(i, c) {
+				t.Fatalf("%s: reps[%d][%d]: %v vs %v", label, i, c,
+					got.Reps.Float(i, c), want.Reps.Float(i, c))
+			}
+		}
+	}
+}
+
+// TestBuildWorkersDifferential is the partitioning half of the issue's
+// differential suite: for seeded Galaxy and TPC-H relations, the
+// parallel build must reproduce the sequential build exactly — group
+// IDs, member order, centroids, radii, and representatives — for every
+// worker count.
+func TestBuildWorkersDifferential(t *testing.T) {
+	rels := []*relation.Relation{
+		workload.Galaxy(3000, 42),
+		workload.TPCH(3000, 42),
+	}
+	attrs := [][]string{
+		{"ra", "dec", "redshift"},
+		{"quantity", "extendedprice", "discount"},
+	}
+	for ri, rel := range rels {
+		opt := Options{Attrs: attrs[ri], SizeThreshold: rel.Len()/12 + 1}
+		opt.Workers = 1
+		seq, err := Build(rel, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			opt.Workers = workers
+			par, err := Build(rel, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := par.CheckInvariants(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			equalPartitionings(t, seq, par, rel.Name())
+		}
+	}
+}
+
+// TestBuildRunToRunDeterminism guards against hidden nondeterminism in
+// the sequential path itself (the seed implementation ordered quadrants
+// by Go map iteration, so two runs could disagree on group IDs).
+func TestBuildRunToRunDeterminism(t *testing.T) {
+	rel := workload.Galaxy(2000, 7)
+	opt := Options{Attrs: []string{"ra", "dec"}, SizeThreshold: 150, Workers: 1}
+	first, err := Build(rel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Build(rel, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalPartitionings(t, first, again, "rerun")
+	}
+}
+
+// TestBuildTreeWorkersDifferential checks the retained-hierarchy build:
+// parallel and sequential trees must be node-for-node identical, and the
+// partitionings derived from them must agree too.
+func TestBuildTreeWorkersDifferential(t *testing.T) {
+	rel := workload.Galaxy(1500, 13)
+	attrs := []string{"ra", "dec"}
+	seq, err := BuildTreeWorkers(rel, attrs, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		par, err := BuildTreeWorkers(rel, attrs, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := par.NumNodes(), seq.NumNodes(); got != want {
+			t.Fatalf("workers=%d: %d nodes, want %d", workers, got, want)
+		}
+		var walk func(a, b *TreeNode)
+		walk = func(a, b *TreeNode) {
+			if len(a.Rows) != len(b.Rows) || a.Radius != b.Radius {
+				t.Fatalf("workers=%d: node mismatch: %d/%g rows/radius vs %d/%g",
+					workers, len(b.Rows), b.Radius, len(a.Rows), a.Radius)
+			}
+			for k := range a.Rows {
+				if a.Rows[k] != b.Rows[k] {
+					t.Fatalf("workers=%d: row order diverged", workers)
+				}
+			}
+			if len(a.Children) != len(b.Children) {
+				t.Fatalf("workers=%d: child count diverged", workers)
+			}
+			for i := range a.Children {
+				walk(a.Children[i], b.Children[i])
+			}
+		}
+		walk(seq.Root, par.Root)
+
+		pSeq := seq.CoarsestForRadius(0.5, 0)
+		pPar := par.CoarsestForRadius(0.5, 0)
+		equalPartitionings(t, pSeq, pPar, "coarsest")
+	}
+}
+
+// TestConcurrentBuildsShareNothing races independent parallel builds of
+// the same relation — the builds must not interfere (caught by -race if
+// any shared state sneaks into the tree builder).
+func TestConcurrentBuildsShareNothing(t *testing.T) {
+	rel := workload.Galaxy(1200, 3)
+	opt := Options{Attrs: []string{"ra", "dec", "redshift"}, SizeThreshold: 100}
+	want, err := Build(rel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Partitioning, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			p, err := Build(rel, opt)
+			if err != nil {
+				t.Error(err)
+				done <- nil
+				return
+			}
+			done <- p
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if p := <-done; p != nil {
+			equalPartitionings(t, want, p, "concurrent")
+		}
+	}
+}

@@ -14,8 +14,12 @@ package partition
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/relation"
 )
 
@@ -32,6 +36,13 @@ type Options struct {
 	// MaxDepth bounds the quad-tree recursion as a safety stop for
 	// pathological data; 0 means the default of 64.
 	MaxDepth int
+	// Workers bounds the number of goroutines splitting quad-tree child
+	// groups concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// sequential build. The resulting partitioning — group IDs, member
+	// order, centroids, radii — is identical for every setting: children
+	// are split in a canonical quadrant order and results are stitched
+	// back positionally, so parallelism changes only the wall clock.
+	Workers int
 }
 
 // Group is one partition: its member rows, centroid (the representative
@@ -61,6 +72,10 @@ type Partitioning struct {
 	// with (Omega ≤ 0 when no radius condition was enforced).
 	Tau   int
 	Omega float64
+	// Workers records the concurrency bound the partitioning was built
+	// with; operations that derive new partitionings (Restrict) reuse
+	// it, so Workers=1 stays goroutine-free end to end.
+	Workers int
 	// BuildTime is the offline partitioning cost (Figure 4).
 	BuildTime time.Duration
 }
@@ -99,44 +114,13 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 		maxDepth = 64
 	}
 
-	type work struct {
-		rows  []int
-		depth int
+	b := &treeBuilder{
+		rel:      rel,
+		attrIdx:  attrIdx,
+		maxDepth: maxDepth,
 	}
-	queue := []work{{rows: rel.AllRows()}}
-	var groups []Group
-
-	for len(queue) > 0 {
-		w := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		centroid := relation.Centroid(rel, attrIdx, w.rows)
-		radius := relation.Radius(rel, attrIdx, w.rows, centroid)
-		sizeOK := len(w.rows) <= opt.SizeThreshold
-		radiusOK := opt.RadiusLimit <= 0 || radius <= opt.RadiusLimit
-		if (sizeOK && radiusOK) || len(w.rows) <= 1 || w.depth >= maxDepth {
-			groups = append(groups, Group{Rows: w.rows, Centroid: centroid, Radius: radius})
-			continue
-		}
-		children := splitQuadrants(rel, attrIdx, w.rows, centroid)
-		if len(children) <= 1 {
-			// Degenerate split (all tuples in one quadrant, e.g. exact
-			// duplicates): fall back to chunking by τ, which always
-			// terminates and preserves the size condition. Radius is
-			// already as small as the data allows.
-			for _, chunk := range chunkRows(w.rows, opt.SizeThreshold) {
-				c := relation.Centroid(rel, attrIdx, chunk)
-				groups = append(groups, Group{
-					Rows:     chunk,
-					Centroid: c,
-					Radius:   relation.Radius(rel, attrIdx, chunk, c),
-				})
-			}
-			continue
-		}
-		for _, child := range children {
-			queue = append(queue, work{rows: child, depth: w.depth + 1})
-		}
-	}
+	b.setWorkers(opt.Workers)
+	groups := b.buildGroups(rel.AllRows(), 0, opt.SizeThreshold, opt.RadiusLimit)
 
 	p := &Partitioning{
 		Rel:     rel,
@@ -146,6 +130,7 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 		Groups:  groups,
 		Tau:     opt.SizeThreshold,
 		Omega:   opt.RadiusLimit,
+		Workers: opt.Workers,
 	}
 	for gid := range p.Groups {
 		p.Groups[gid].ID = gid
@@ -153,14 +138,118 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 			p.GID[r] = gid
 		}
 	}
-	p.Reps = buildReps(p)
+	p.Reps = buildReps(p, opt.Workers)
 	p.BuildTime = time.Since(start)
 	return p, nil
 }
 
+// treeBuilder carries the shared state of one quad-tree construction:
+// the relation, the partitioning attributes, and the worker-pool tokens
+// that bound fan-out concurrency.
+type treeBuilder struct {
+	rel      *relation.Relation
+	attrIdx  []int
+	maxDepth int
+	// tokens is a counting semaphore of size workers−1 (the calling
+	// goroutine is the extra worker); nil disables concurrency.
+	tokens chan struct{}
+	// fanGate is the tree depth below which child subtrees may be handed
+	// to other goroutines. Past it the subtrees are too small to pay for
+	// goroutine scheduling, so the recursion continues inline.
+	fanGate int
+}
+
+// setWorkers configures the concurrency bound: 0 means GOMAXPROCS, 1
+// forces sequential, n>1 allows n goroutines to split concurrently.
+func (b *treeBuilder) setWorkers(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return
+	}
+	b.tokens = make(chan struct{}, workers-1)
+	// Fan out while the frontier is still smaller than ~4× the worker
+	// count (quadrant splits at least double the frontier per level).
+	b.fanGate = 2
+	for 1<<uint(b.fanGate) < 4*workers {
+		b.fanGate++
+	}
+}
+
+// forEachChild runs fn for every child index. At shallow depths it
+// offloads children to pool goroutines when tokens are free, falling back
+// inline otherwise; results must be written to per-index slots, which
+// keeps the output independent of scheduling.
+func (b *treeBuilder) forEachChild(depth, n int, fn func(i int)) {
+	if b.tokens == nil || depth >= b.fanGate || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		select {
+		case b.tokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-b.tokens }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	fn(n - 1) // the caller is itself a worker: run the last child inline
+	wg.Wait()
+}
+
+// buildGroups recursively splits rows into groups satisfying τ (and ω
+// when positive), returning them in canonical depth-first quadrant order
+// regardless of how many goroutines participated.
+func (b *treeBuilder) buildGroups(rows []int, depth, tau int, omega float64) []Group {
+	centroid := relation.Centroid(b.rel, b.attrIdx, rows)
+	radius := relation.Radius(b.rel, b.attrIdx, rows, centroid)
+	sizeOK := len(rows) <= tau
+	radiusOK := omega <= 0 || radius <= omega
+	if (sizeOK && radiusOK) || len(rows) <= 1 || depth >= b.maxDepth {
+		return []Group{{Rows: rows, Centroid: centroid, Radius: radius}}
+	}
+	children := splitQuadrants(b.rel, b.attrIdx, rows, centroid)
+	if len(children) <= 1 {
+		// Degenerate split (all tuples in one quadrant, e.g. exact
+		// duplicates): fall back to chunking by τ, which always
+		// terminates and preserves the size condition. Radius is
+		// already as small as the data allows.
+		var out []Group
+		for _, chunk := range chunkRows(rows, tau) {
+			c := relation.Centroid(b.rel, b.attrIdx, chunk)
+			out = append(out, Group{
+				Rows:     chunk,
+				Centroid: c,
+				Radius:   relation.Radius(b.rel, b.attrIdx, chunk, c),
+			})
+		}
+		return out
+	}
+	sub := make([][]Group, len(children))
+	b.forEachChild(depth, len(children), func(i int) {
+		sub[i] = b.buildGroups(children[i], depth+1, tau, omega)
+	})
+	out := sub[0]
+	for _, gs := range sub[1:] {
+		out = append(out, gs...)
+	}
+	return out
+}
+
 // splitQuadrants distributes rows into sub-quadrants around the centroid:
 // tuples agreeing on which side of the centroid they fall, across all
-// attributes, share a quadrant.
+// attributes, share a quadrant. Children are returned ordered by quadrant
+// bitmask (not map iteration order), so the split — and with it every
+// group ID downstream — is deterministic across runs and worker counts.
 func splitQuadrants(rel *relation.Relation, attrIdx, rows []int, centroid []float64) [][]int {
 	byMask := make(map[uint64][]int)
 	for _, r := range rows {
@@ -172,9 +261,14 @@ func splitQuadrants(rel *relation.Relation, attrIdx, rows []int, centroid []floa
 		}
 		byMask[mask] = append(byMask[mask], r)
 	}
-	out := make([][]int, 0, len(byMask))
-	for _, child := range byMask {
-		out = append(out, child)
+	masks := make([]uint64, 0, len(byMask))
+	for mask := range byMask {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	out := make([][]int, 0, len(masks))
+	for _, mask := range masks {
+		out = append(out, byMask[mask])
 	}
 	return out
 }
@@ -197,7 +291,11 @@ func chunkRows(rows []int, size int) [][]int {
 // fully covered by the partitioning (coverage < 1, Section 5.2.3) can
 // then still be sketched — the representatives are simply worse proxies
 // on the uncovered attributes.
-func buildReps(p *Partitioning) *relation.Relation {
+//
+// Group centroids are computed concurrently by up to `workers`
+// goroutines (0 means GOMAXPROCS, 1 sequential) into per-group slots and
+// appended in gid order, so the relation is identical for any setting.
+func buildReps(p *Partitioning, workers int) *relation.Relation {
 	schema := p.Rel.Schema()
 	cols := []relation.Column{{Name: "gid", Type: relation.Int}}
 	var numIdx []int
@@ -207,12 +305,15 @@ func buildReps(p *Partitioning) *relation.Relation {
 			numIdx = append(numIdx, i)
 		}
 	}
+	means := make([][]float64, len(p.Groups))
+	par.For(len(p.Groups), workers, func(gi int) {
+		means[gi] = relation.Centroid(p.Rel, numIdx, p.Groups[gi].Rows)
+	})
 	reps := relation.New(p.Rel.Name()+"_reps", relation.NewSchema(cols...))
-	for _, g := range p.Groups {
-		means := relation.Centroid(p.Rel, numIdx, g.Rows)
-		vals := make([]relation.Value, 0, 1+len(means))
+	for gi, g := range p.Groups {
+		vals := make([]relation.Value, 0, 1+len(means[gi]))
 		vals = append(vals, relation.I(int64(g.ID)))
-		for _, m := range means {
+		for _, m := range means[gi] {
 			vals = append(vals, relation.F(m))
 		}
 		reps.MustAppend(vals...)
@@ -240,6 +341,7 @@ func (p *Partitioning) Restrict(rows []int) *Partitioning {
 		GID:     make([]int, p.Rel.Len()),
 		Tau:     p.Tau,
 		Omega:   p.Omega,
+		Workers: p.Workers,
 	}
 	for i := range out.GID {
 		out.GID[i] = -1
@@ -265,7 +367,7 @@ func (p *Partitioning) Restrict(rows []int) *Partitioning {
 			out.GID[r] = gid
 		}
 	}
-	out.Reps = buildReps(out)
+	out.Reps = buildReps(out, p.Workers)
 	return out
 }
 

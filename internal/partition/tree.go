@@ -25,13 +25,24 @@ type Tree struct {
 	AttrIdx   []int
 	Root      *TreeNode
 	BuildTime time.Duration
+	// Workers records the concurrency bound the tree was built with;
+	// partitionings derived from the tree reuse it.
+	Workers int
 }
 
 // BuildTree constructs the complete hierarchy: every node is split until
 // it has a single tuple or cannot be split further (duplicate tuples),
 // down to at most maxDepth levels. Leaf granularity subsumes any (τ, ω)
-// choice, so one tree serves every query.
+// choice, so one tree serves every query. Subtrees are built concurrently
+// on up to GOMAXPROCS goroutines; use BuildTreeWorkers to control the
+// bound. The tree is identical for any worker count.
 func BuildTree(rel *relation.Relation, attrs []string, maxDepth int) (*Tree, error) {
+	return BuildTreeWorkers(rel, attrs, maxDepth, 0)
+}
+
+// BuildTreeWorkers is BuildTree with an explicit concurrency bound:
+// 0 means runtime.GOMAXPROCS(0), 1 forces the sequential build.
+func BuildTreeWorkers(rel *relation.Relation, attrs []string, maxDepth, workers int) (*Tree, error) {
 	start := time.Now()
 	if rel.Len() == 0 {
 		return nil, fmt.Errorf("partition: empty relation")
@@ -53,29 +64,32 @@ func BuildTree(rel *relation.Relation, attrs []string, maxDepth int) (*Tree, err
 	if maxDepth <= 0 {
 		maxDepth = 64
 	}
-	t := &Tree{Rel: rel, Attrs: append([]string(nil), attrs...), AttrIdx: attrIdx}
-	t.Root = t.buildNode(rel.AllRows(), 0, maxDepth)
+	t := &Tree{Rel: rel, Attrs: append([]string(nil), attrs...), AttrIdx: attrIdx, Workers: workers}
+	b := &treeBuilder{rel: rel, attrIdx: attrIdx, maxDepth: maxDepth}
+	b.setWorkers(workers)
+	t.Root = b.buildNode(rel.AllRows(), 0)
 	t.BuildTime = time.Since(start)
 	return t, nil
 }
 
-func (t *Tree) buildNode(rows []int, depth, maxDepth int) *TreeNode {
-	centroid := relation.Centroid(t.Rel, t.AttrIdx, rows)
+func (b *treeBuilder) buildNode(rows []int, depth int) *TreeNode {
+	centroid := relation.Centroid(b.rel, b.attrIdx, rows)
 	node := &TreeNode{
 		Rows:     rows,
 		Centroid: centroid,
-		Radius:   relation.Radius(t.Rel, t.AttrIdx, rows, centroid),
+		Radius:   relation.Radius(b.rel, b.attrIdx, rows, centroid),
 	}
-	if len(rows) <= 1 || depth >= maxDepth || node.Radius == 0 {
+	if len(rows) <= 1 || depth >= b.maxDepth || node.Radius == 0 {
 		return node
 	}
-	children := splitQuadrants(t.Rel, t.AttrIdx, rows, centroid)
+	children := splitQuadrants(b.rel, b.attrIdx, rows, centroid)
 	if len(children) <= 1 {
 		return node // degenerate: cannot split spatially
 	}
-	for _, childRows := range children {
-		node.Children = append(node.Children, t.buildNode(childRows, depth+1, maxDepth))
-	}
+	node.Children = make([]*TreeNode, len(children))
+	b.forEachChild(depth, len(children), func(i int) {
+		node.Children[i] = b.buildNode(children[i], depth+1)
+	})
 	return node
 }
 
@@ -92,6 +106,7 @@ func (t *Tree) CoarsestForRadius(omega float64, tau int) *Partitioning {
 		GID:     make([]int, t.Rel.Len()),
 		Tau:     tau,
 		Omega:   omega,
+		Workers: t.Workers,
 	}
 	if tau <= 0 {
 		p.Tau = t.Rel.Len()
@@ -118,7 +133,7 @@ func (t *Tree) CoarsestForRadius(omega float64, tau int) *Partitioning {
 		}
 	}
 	walk(t.Root)
-	p.Reps = buildReps(p)
+	p.Reps = buildReps(p, t.Workers)
 	return p
 }
 

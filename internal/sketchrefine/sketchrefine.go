@@ -20,6 +20,7 @@
 package sketchrefine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -45,8 +46,20 @@ type Options struct {
 	// MaxBacktracks bounds the total number of backtracking steps across
 	// the refinement search; 0 means DefaultMaxBacktracks.
 	MaxBacktracks int
-	// Rand seeds the initial refinement order (Algorithm 2 starts from
-	// an arbitrary order). Nil keeps the deterministic group order.
+	// Seed, when nonzero, shuffles the initial refinement order
+	// (Algorithm 2 starts from an arbitrary order) with a private
+	// generator seeded here. Equal seeds give equal orders, every
+	// evaluation is reproducible, and — unlike Rand — a seed can be
+	// shared across concurrent evaluations safely. Zero keeps the
+	// deterministic ascending group order (unless Rand is set).
+	Seed int64
+	// Rand seeds the initial refinement order like Seed, but from a
+	// caller-owned generator. Nil keeps the deterministic group order.
+	//
+	// Deprecated: *rand.Rand is stateful — passing the same generator to
+	// two evaluations gives different orders (and racing evaluations
+	// would data-race on it). Prefer Seed. When both are set, Rand wins
+	// for backward compatibility.
 	Rand *rand.Rand
 }
 
@@ -82,6 +95,7 @@ func (s *state) clone() *state {
 
 // evaluator carries the immutable evaluation context.
 type evaluator struct {
+	ctx      context.Context
 	spec     *core.Spec
 	part     *partition.Partitioning
 	opt      Options
@@ -103,6 +117,16 @@ type evaluator struct {
 // spec.Rel. It returns the package, accumulated statistics, and
 // ErrFalseInfeasible when no package is found.
 func Evaluate(spec *core.Spec, part *partition.Partitioning, opt Options) (*core.Package, *core.EvalStats, error) {
+	return EvaluateCtx(context.Background(), spec, part, opt)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation or a context
+// deadline aborts the evaluation — between refinement steps and inside
+// any in-flight ILP solve — and returns the context's error.
+func EvaluateCtx(ctx context.Context, spec *core.Spec, part *partition.Partitioning, opt Options) (*core.Package, *core.EvalStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stats := &core.EvalStats{}
 	if err := spec.Validate(); err != nil {
 		return nil, stats, err
@@ -115,7 +139,7 @@ func Evaluate(spec *core.Spec, part *partition.Partitioning, opt Options) (*core
 	// and a refine query that times out with a usable package should
 	// degrade quality rather than fail the whole evaluation.
 	opt.Solver.AcceptIncumbent = true
-	ev := &evaluator{spec: spec, part: part, opt: opt, stats: stats}
+	ev := &evaluator{ctx: ctx, spec: spec, part: part, opt: opt, stats: stats}
 	if err := ev.prepare(); err != nil {
 		return nil, stats, err
 	}
@@ -211,7 +235,7 @@ func (ev *evaluator) sketch() (*state, error) {
 		Constraints: ev.spec.Constraints,
 		Objective:   ev.spec.Objective,
 	}
-	pkg, st, err := core.SolveRows(sketchSpec, repRows, hi, ev.opt.Solver)
+	pkg, st, err := core.SolveRowsCtx(ev.ctx, sketchSpec, repRows, hi, ev.opt.Solver)
 	ev.stats.Add(st)
 	if err != nil {
 		return nil, err
@@ -237,8 +261,13 @@ func (ev *evaluator) contribution(ci int, st *state, skipGID int) float64 {
 	for k, r := range st.rows {
 		v += float64(st.mult[k]) * onRel(r)
 	}
+	// Iterate representatives in ascending gid order, not map order:
+	// floating-point addition is order-sensitive, and map iteration order
+	// would make the adjusted RHS — and with it the refine solutions —
+	// differ between otherwise identical runs.
 	onReps := ev.consOnReps[ci]
-	for gid, m := range st.reps {
+	for _, gid := range ev.gids {
+		m := st.reps[gid]
 		if gid == skipGID || m == 0 {
 			continue
 		}
@@ -264,7 +293,7 @@ func (ev *evaluator) refineGroup(st *state, gid int) (*state, error) {
 			Desc: c.Desc,
 		})
 	}
-	pkg, stats, err := core.SolveRows(sub, ev.eligible[gid], nil, ev.opt.Solver)
+	pkg, stats, err := core.SolveRowsCtx(ev.ctx, sub, ev.eligible[gid], nil, ev.opt.Solver)
 	ev.stats.Add(stats)
 	if err != nil {
 		return nil, err
@@ -299,8 +328,12 @@ func (ev *evaluator) initialOrder(st *state) []int {
 			order = append(order, gid)
 		}
 	}
-	if ev.opt.Rand != nil {
-		ev.opt.Rand.Shuffle(len(order), func(i, j int) {
+	rng := ev.opt.Rand
+	if rng == nil && ev.opt.Seed != 0 {
+		rng = rand.New(rand.NewSource(ev.opt.Seed))
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) {
 			order[i], order[j] = order[j], order[i]
 		})
 	}
@@ -319,6 +352,9 @@ func (ev *evaluator) refineRec(st *state, queue []int, isRoot bool, maxBT int) (
 	// groups to the front.
 	pending := append([]int(nil), queue...)
 	for len(pending) > 0 {
+		if err := ev.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		gid := pending[0]
 		pending = pending[1:]
 		if st.reps[gid] == 0 {
@@ -396,6 +432,9 @@ func prioritize(queue, front []int) []int {
 // feasible. The returned state has the chosen group already refined.
 func (ev *evaluator) hybridSketch() (*state, error) {
 	for _, gid := range ev.gids {
+		if err := ev.ctx.Err(); err != nil {
+			return nil, err
+		}
 		st, err := ev.hybridSketchFor(gid)
 		if err == nil {
 			return st, nil
@@ -468,7 +507,7 @@ func (ev *evaluator) hybridSketchFor(gid int) (*state, error) {
 	}
 	sub := &core.EvalStats{Subproblems: 1, Vars: n, Rows: len(prob.LP.B), BuildTime: time.Since(t0)}
 	t1 := time.Now()
-	res, err := ilp.Solve(prob, ev.opt.Solver)
+	res, err := ilp.SolveCtx(ev.ctx, prob, ev.opt.Solver)
 	sub.SolveTime = time.Since(t1)
 	ev.stats.Add(sub)
 	if err != nil {
@@ -483,6 +522,7 @@ func (ev *evaluator) hybridSketchFor(gid int) (*state, error) {
 		if !res.HasIncumbent {
 			return nil, fmt.Errorf("%w: hybrid sketch", core.ErrResourceLimit)
 		}
+		ev.stats.Truncated = true
 	}
 	ev.stats.SolverNodes += res.Nodes
 	ev.stats.LPIterations += res.LPIterations
@@ -507,7 +547,7 @@ func (ev *evaluator) failOrMerge() (*core.Package, *core.EvalStats, error) {
 	if !ev.opt.MergeOnFailure {
 		return nil, ev.stats, ErrFalseInfeasible
 	}
-	pkg, st, err := core.SolveRows(ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver)
+	pkg, st, err := core.SolveRowsCtx(ev.ctx, ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver)
 	ev.stats.Add(st)
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {
