@@ -38,14 +38,28 @@ var (
 
 func getEnv() *bench.Env {
 	envOnce.Do(func() {
-		env = bench.NewEnv(bench.Config{
+		var err error
+		env, err = bench.NewEnv(bench.Config{
 			GalaxyN: 6000,
 			TPCHN:   12000,
 			Seed:    1,
 			Solver:  ilp.Options{MaxNodes: 50000, Gap: 1e-4, TimeLimit: 30 * time.Second},
 		})
+		if err != nil {
+			panic(err)
+		}
 	})
 	return env
+}
+
+// mustQueries unwraps a workload query-list constructor result inside
+// tests and benchmarks (construction only fails on a malformed dataset,
+// which would be a bug in the generators).
+func mustQueries(qs []workload.Query, err error) []workload.Query {
+	if err != nil {
+		panic(err)
+	}
+	return qs
 }
 
 // fig1Spec builds the Figure 1 query at one cardinality over n tuples.
@@ -119,7 +133,7 @@ func BenchmarkFigure1_ILPFormulation(b *testing.B) {
 // materialization (Figure 3's table construction).
 func BenchmarkFigure3_TPCHSubsets(b *testing.B) {
 	rel := workload.TPCH(12000, 1)
-	queries := workload.TPCHQueries(rel)
+	queries := mustQueries(workload.TPCHQueries(rel))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range queries {
@@ -135,7 +149,7 @@ func BenchmarkFigure3_TPCHSubsets(b *testing.B) {
 // partitioning of the Galaxy dataset (Figure 4, first row).
 func BenchmarkFigure4_PartitioningGalaxy(b *testing.B) {
 	rel := workload.Galaxy(12000, 1)
-	attrs := workload.WorkloadAttrs(workload.GalaxyQueries(rel))
+	attrs := workload.WorkloadAttrs(mustQueries(workload.GalaxyQueries(rel)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: 1200}); err != nil {
@@ -148,7 +162,7 @@ func BenchmarkFigure4_PartitioningGalaxy(b *testing.B) {
 // TPC-H dataset (Figure 4, second row).
 func BenchmarkFigure4_PartitioningTPCH(b *testing.B) {
 	rel := workload.TPCH(12000, 1)
-	attrs := workload.WorkloadAttrs(workload.TPCHQueries(rel))
+	attrs := workload.WorkloadAttrs(mustQueries(workload.TPCHQueries(rel)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: 1200}); err != nil {

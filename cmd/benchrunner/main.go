@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen) or all")
 		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
 		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -35,10 +35,12 @@ func main() {
 		sqlCap   = flag.Duration("fig1timeout", 10*time.Second, "naive SQL formulation timeout per cardinality")
 		workers  = flag.Int("workers", 0, "worker pool size for parallel partitioning and batch evaluation (0 = GOMAXPROCS)")
 		batchN   = flag.Int("batchn", 24, "number of queries in the batch experiment")
+		lgAddr   = flag.String("paqld", "", "loadgen: base URL of a running paqld (empty = start one in-process)")
+		lgN      = flag.Int("loadn", 64, "loadgen: number of concurrent queries")
 	)
 	flag.Parse()
 
-	env := bench.NewEnv(bench.Config{
+	env, err := bench.NewEnv(bench.Config{
 		GalaxyN: *galaxyN,
 		TPCHN:   *tpchN,
 		Seed:    *seed,
@@ -47,6 +49,10 @@ func main() {
 		Workers: *workers,
 		Out:     os.Stdout,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
@@ -81,6 +87,15 @@ func main() {
 		return err
 	})
 	run("fig6eps", func() error { _, err := env.EpsilonRepair(1.0); return err })
+	run("loadgen", func() error {
+		// Fire -loadn concurrent mixed queries (direct + sketchrefine,
+		// feasible + infeasible) at a paqld and differentially check every
+		// response against in-process engine evaluations. With -paqld set,
+		// the target must have been started with matching
+		// -galaxy/-tpch/-seed/-tau flags.
+		_, err := env.LoadGen(bench.LoadGenConfig{Addr: *lgAddr, N: *lgN})
+		return err
+	})
 	run("batch", func() error {
 		// Sequential baseline, then the configured worker pool. Each run
 		// builds its own partitioning at that worker count (so the

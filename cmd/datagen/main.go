@@ -38,15 +38,19 @@ func run(dataset string, n int, seed int64, out string, queries bool) error {
 	}
 	var rel *relation.Relation
 	var qs []workload.Query
+	var err error
 	switch dataset {
 	case "galaxy":
 		rel = workload.Galaxy(n, seed)
-		qs = workload.GalaxyQueries(rel)
+		qs, err = workload.GalaxyQueries(rel)
 	case "tpch":
 		rel = workload.TPCH(n, seed)
-		qs = workload.TPCHQueries(rel)
+		qs, err = workload.TPCHQueries(rel)
 	default:
 		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if err != nil {
+		return err
 	}
 	if out != "" {
 		if err := relation.SaveCSV(rel, out); err != nil {

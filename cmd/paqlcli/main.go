@@ -48,34 +48,42 @@ func main() {
 		verbose   = flag.Bool("v", false, "print evaluation statistics")
 	)
 	flag.Parse()
-	if err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *workers, *racers, *deadline, *outPath, *verbose); err != nil {
+	truncated, err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *workers, *racers, *deadline, *outPath, *verbose)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paqlcli:", err)
 		os.Exit(1)
 	}
+	if truncated {
+		// A budget-exhausted solve accepted a best-effort incumbent: the
+		// package is feasible but possibly suboptimal. Report it loudly
+		// and exit nonzero so scripts cannot mistake it for an optimum.
+		fmt.Fprintln(os.Stderr, "paqlcli: warning: solver resource limit reached; the package is a truncated incumbent and may be suboptimal (raise -timeout/-maxnodes for a proven optimum)")
+		os.Exit(2)
+	}
 }
 
-func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout time.Duration, maxNodes, workers, racers int, deadline time.Duration, outPath string, verbose bool) error {
+func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout time.Duration, maxNodes, workers, racers int, deadline time.Duration, outPath string, verbose bool) (truncated bool, err error) {
 	if dataPath == "" {
-		return fmt.Errorf("-data is required")
+		return false, fmt.Errorf("-data is required")
 	}
 	src := queryText
 	if src == "" {
 		if queryPath == "" {
-			return fmt.Errorf("provide a query with -query or -q")
+			return false, fmt.Errorf("provide a query with -query or -q")
 		}
 		b, err := os.ReadFile(queryPath)
 		if err != nil {
-			return err
+			return false, err
 		}
 		src = string(b)
 	}
 	rel, err := relation.LoadCSV(dataPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	spec, err := translate.Compile(src, rel)
 	if err != nil {
-		return err
+		return false, err
 	}
 	opt := ilp.Options{TimeLimit: timeout, MaxNodes: maxNodes, Gap: 1e-4}
 
@@ -88,12 +96,12 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 	case "sketchrefine":
 		attrs := spec.QueryAttrs()
 		if len(attrs) == 0 {
-			return fmt.Errorf("query has no numeric attributes to partition on")
+			return false, fmt.Errorf("query has no numeric attributes to partition on")
 		}
 		tau := int(float64(rel.Len())*tauFrac) + 1
 		part, perr := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau, Workers: workers})
 		if perr != nil {
-			return perr
+			return false, perr
 		}
 		if verbose {
 			fmt.Printf("partitioned %d tuples into %d groups (τ=%d) in %v\n",
@@ -105,7 +113,7 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 			Racers: racers,
 		}
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return false, fmt.Errorf("unknown method %q", method)
 	}
 
 	eng := engine.New(solver)
@@ -117,13 +125,17 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 	}
 	res := eng.Evaluate(ctx, spec)
 	if res.Err != nil {
-		return res.Err
+		return false, res.Err
 	}
 	pkg, stats := res.Pkg, res.Stats
+	// ilp.ResourceLimit incumbents: the strategies mark budget-truncated
+	// solves in Stats.Truncated; surface it to main for the warning and
+	// the nonzero exit.
+	truncated = stats != nil && stats.Truncated
 
 	obj, err := pkg.ObjectiveValue(spec)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Printf("package: %d tuples (%d distinct), objective %g, %v\n",
 		pkg.Size(), pkg.Distinct(), obj, res.Time.Round(time.Millisecond))
@@ -134,13 +146,13 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 	mat := pkg.Materialize("package")
 	if outPath != "" {
 		if err := relation.SaveCSV(mat, outPath); err != nil {
-			return err
+			return false, err
 		}
 		fmt.Printf("wrote %s\n", outPath)
 	} else {
 		if err := relation.WriteCSV(mat, os.Stdout); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return nil
+	return truncated, nil
 }

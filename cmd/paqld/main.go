@@ -1,0 +1,161 @@
+// Command paqld serves package queries over JSON/HTTP: a long-lived
+// process that preloads datasets, builds their quad-tree partitionings
+// once, and then evaluates PaQL posted to /query against warm state.
+//
+// Usage:
+//
+//	paqld -addr :8080 -galaxy 30000 -tpch 60000
+//	paqld -addr :8080 -load stocks=stocks.csv -load meals=meals.csv
+//
+// Datasets come from the synthetic benchmark generators (-galaxy/-tpch,
+// 0 disables) and/or typed CSV files (-load name=path, repeatable; the
+// header format is name:type as written by datagen and relation.WriteCSV).
+//
+// Endpoints:
+//
+//	POST /query     {"dataset":"galaxy","query":"SELECT PACKAGE(G) ...",
+//	                 "method":"sketchrefine","timeout_ms":10000}
+//	GET  /stats     service counters, cache hits, solve times, backtracks
+//	GET  /datasets  registered datasets
+//	GET  /healthz   liveness
+//
+// Admission control (-inflight, -queue) sheds overload with 429; each
+// request's deadline maps to context cancellation reaching into the
+// solver; SIGINT/SIGTERM drains in-flight solves before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/ilp"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// loadFlags collects repeated -load name=path flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		galaxyN  = flag.Int("galaxy", 30000, "preload the synthetic Galaxy dataset at this size (0 disables)")
+		tpchN    = flag.Int("tpch", 0, "preload the synthetic TPC-H dataset at this size (0 disables)")
+		seed     = flag.Int64("seed", 1, "generator seed for synthetic datasets")
+		tau      = flag.Float64("tau", 0.10, "partition size threshold as a fraction of each dataset")
+		workers  = flag.Int("workers", 0, "partition-build worker pool (0 = GOMAXPROCS)")
+		racers   = flag.Int("racers", 1, "sketchrefine refinement orders raced per query (1 = deterministic)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request evaluation deadline")
+		maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
+		maxNodes = flag.Int("maxnodes", ilp.DefaultMaxNodes, "solver branch-and-bound node budget per ILP")
+		inflight = flag.Int("inflight", 0, "max concurrently evaluating queries (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "max queries queued beyond -inflight (0 = 4x inflight, -1 = none)")
+	)
+	flag.Var(&loads, "load", "load a CSV dataset as name=path (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, loads, *galaxyN, *tpchN, *seed, *tau, *workers, *racers,
+		*timeout, *maxTime, *maxNodes, *inflight, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "paqld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float64,
+	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue int) error {
+	srv := server.New(server.Config{
+		MaxInFlight:    inflight,
+		MaxQueued:      queue,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTime,
+	})
+	dcfg := server.DatasetConfig{
+		TauFrac: tau,
+		Workers: workers,
+		Racers:  racers,
+		Seed:    seed,
+		Solver:  ilp.Options{TimeLimit: maxTime, MaxNodes: maxNodes, Gap: 1e-4},
+	}
+
+	registered := 0
+	register := func(name string, rel *relation.Relation) error {
+		t0 := time.Now()
+		ds, err := server.NewDataset(name, rel, dcfg)
+		if err != nil {
+			return err
+		}
+		srv.Register(ds)
+		registered++
+		log.Printf("dataset %q: %d rows, %d groups, partitioned in %v",
+			name, rel.Len(), ds.Partitioning().NumGroups(), time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	if galaxyN > 0 {
+		if err := register("galaxy", workload.Galaxy(galaxyN, seed)); err != nil {
+			return err
+		}
+	}
+	if tpchN > 0 {
+		if err := register("tpch", workload.TPCH(tpchN, seed)); err != nil {
+			return err
+		}
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -load %q, want name=path", spec)
+		}
+		rel, err := relation.LoadCSV(path)
+		if err != nil {
+			return fmt.Errorf("loading %q: %w", path, err)
+		}
+		if err := register(name, rel); err != nil {
+			return err
+		}
+	}
+	if registered == 0 {
+		return fmt.Errorf("no datasets (use -galaxy/-tpch or -load)")
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("paqld listening on %s (%d dataset(s))", addr, registered)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v, draining in-flight solves", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), maxTime+10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	return httpSrv.Shutdown(ctx)
+}

@@ -26,7 +26,10 @@ func main() {
 	flag.Parse()
 
 	full := workload.TPCH(*n, 1)
-	queries := workload.TPCHQueries(full)
+	queries, err := workload.TPCHQueries(full)
+	if err != nil {
+		log.Fatal(err)
+	}
 	attrs := workload.WorkloadAttrs(queries)
 	opt := ilp.Options{TimeLimit: 60 * time.Second, MaxNodes: 100000, Gap: 1e-4}
 

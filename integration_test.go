@@ -34,8 +34,8 @@ func TestEndToEndWorkloadConsistency(t *testing.T) {
 	galaxy := workload.Galaxy(4000, 5)
 	tpch := workload.TPCH(8000, 5)
 	sets := []ds{
-		{"galaxy", galaxy, workload.GalaxyQueries(galaxy)},
-		{"tpch", tpch, workload.TPCHQueries(tpch)},
+		{"galaxy", galaxy, mustQueries(workload.GalaxyQueries(galaxy))},
+		{"tpch", tpch, mustQueries(workload.TPCHQueries(tpch))},
 	}
 	opt := ilp.Options{MaxNodes: 50000, Gap: 1e-4, TimeLimit: 20 * time.Second}
 	for _, set := range sets {

@@ -9,7 +9,10 @@ import (
 
 func TestFig1ShapesHold(t *testing.T) {
 	var buf bytes.Buffer
-	e := NewEnv(Config{GalaxyN: 3000, TPCHN: 3000, Seed: 1, Out: &buf})
+	e, err := NewEnv(Config{GalaxyN: 3000, TPCHN: 3000, Seed: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := e.Fig1(4, 3*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +65,11 @@ func TestFig3SubsetOrdering(t *testing.T) {
 
 func smallEnvNoSolver(t testing.TB) *Env {
 	t.Helper()
-	return NewEnv(Config{GalaxyN: 3000, TPCHN: 6000, Seed: 1})
+	e, err := NewEnv(Config{GalaxyN: 3000, TPCHN: 6000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
 }
 
 func TestFig4PartitioningTimes(t *testing.T) {
@@ -89,7 +96,10 @@ func TestScalabilityGalaxySmall(t *testing.T) {
 		t.Skip("scalability experiment in -short mode")
 	}
 	var buf bytes.Buffer
-	e := NewEnv(Config{GalaxyN: 3000, TPCHN: 3000, Seed: 1, Out: &buf})
+	e, err := NewEnv(Config{GalaxyN: 3000, TPCHN: 3000, Seed: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := e.Scalability(Galaxy)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +132,10 @@ func TestScalabilityTPCHSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scalability experiment in -short mode")
 	}
-	e := NewEnv(Config{GalaxyN: 3000, TPCHN: 8000, Seed: 1})
+	e, err := NewEnv(Config{GalaxyN: 3000, TPCHN: 8000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := e.Scalability(TPCH)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +160,10 @@ func TestTauSweepSmall(t *testing.T) {
 		t.Skip("tau sweep in -short mode")
 	}
 	var buf bytes.Buffer
-	e := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1, Out: &buf})
+	e, err := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := e.TauSweep(Galaxy, 0.30)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +186,10 @@ func TestCoverageSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("coverage experiment in -short mode")
 	}
-	e := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1})
+	e, err := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := e.Coverage(TPCH)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +217,10 @@ func TestEpsilonRepairSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("epsilon repair in -short mode")
 	}
-	e := NewEnv(Config{GalaxyN: 2500, TPCHN: 4000, Seed: 1})
+	e, err := NewEnv(Config{GalaxyN: 2500, TPCHN: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := e.EpsilonRepair(1.0)
 	if err != nil {
 		t.Fatal(err)

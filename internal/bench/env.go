@@ -105,8 +105,10 @@ type Env struct {
 	parts map[Dataset]map[string]*partition.Partitioning
 }
 
-// NewEnv generates the datasets and workloads.
-func NewEnv(cfg Config) *Env {
+// NewEnv generates the datasets and workloads. Workload construction can
+// fail (a dataset missing a workload attribute); the error is propagated
+// so callers can report it instead of crashing.
+func NewEnv(cfg Config) (*Env, error) {
 	cfg = cfg.withDefaults()
 	e := &Env{
 		cfg:     cfg,
@@ -118,11 +120,16 @@ func NewEnv(cfg Config) *Env {
 	}
 	e.rels[Galaxy] = workload.Galaxy(cfg.GalaxyN, cfg.Seed)
 	e.rels[TPCH] = workload.TPCH(cfg.TPCHN, cfg.Seed)
-	e.queries[Galaxy] = workload.GalaxyQueries(e.rels[Galaxy])
-	e.queries[TPCH] = workload.TPCHQueries(e.rels[TPCH])
+	var err error
+	if e.queries[Galaxy], err = workload.GalaxyQueries(e.rels[Galaxy]); err != nil {
+		return nil, err
+	}
+	if e.queries[TPCH], err = workload.TPCHQueries(e.rels[TPCH]); err != nil {
+		return nil, err
+	}
 	e.attrs[Galaxy] = workload.WorkloadAttrs(e.queries[Galaxy])
 	e.attrs[TPCH] = workload.WorkloadAttrs(e.queries[TPCH])
-	return e
+	return e, nil
 }
 
 // Config returns the effective configuration.

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sketchrefine"
+	"repro/internal/translate"
+)
+
+// LoadGenConfig configures the paqld load generator.
+type LoadGenConfig struct {
+	// Addr is the base URL of a running paqld (e.g. "http://:8080"). The
+	// target must serve the same datasets this Env generates — start it
+	// with matching -galaxy/-tpch/-seed/-tau flags — or the differential
+	// check will report objective mismatches. Empty starts an in-process
+	// paqld on a loopback port.
+	Addr string
+	// N is the number of concurrent requests; 0 means 64.
+	N int
+	// TimeoutMS is the per-request deadline sent to the server; 0 means
+	// 60000.
+	TimeoutMS int64
+}
+
+// LoadGenResult summarizes one load-generation run.
+type LoadGenResult struct {
+	Requests   int
+	OK         int
+	Infeasible int
+	Rejected   int // 429s: admission control shedding load
+	Errors     int // transport failures and non-2xx/429 statuses
+	Mismatches []string
+	Elapsed    time.Duration
+}
+
+// loadCase is one (dataset, method, query) combination with its
+// in-process ground truth.
+type loadCase struct {
+	dataset, method, paql string
+	infeasible            bool
+	objective             string
+	// truncated marks a wall-clock-truncated in-process incumbent: its
+	// objective depends on machine load, so the differential check skips
+	// the byte comparison for this case.
+	truncated bool
+}
+
+// LoadGen fires N concurrent mixed package queries (direct +
+// sketchrefine, feasible + infeasible) at a paqld instance and
+// differentially checks every response against in-process
+// engine.Evaluate results over the same datasets. It returns an error
+// when any response mismatches the in-process ground truth.
+func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
+	if cfg.N <= 0 {
+		cfg.N = 64
+	}
+	if cfg.TimeoutMS <= 0 {
+		cfg.TimeoutMS = 60000
+	}
+	dcfg := server.DatasetConfig{
+		TauFrac: e.cfg.TauFrac,
+		Workers: e.cfg.Workers,
+		Solver:  e.cfg.Solver,
+		Seed:    e.cfg.Seed,
+		Racers:  1, // determinism: the differential check needs one refinement order
+	}
+
+	// In-process ground truth: one server.Dataset per dataset, same
+	// configuration a matching paqld builds.
+	fmt.Fprintf(e.cfg.Out, "building in-process reference engines...\n")
+	cases, refDS, err := e.buildLoadCases(dcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	base := cfg.Addr
+	var shutdown func()
+	if base == "" {
+		base, shutdown, err = e.startInProcess(dcfg, refDS)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		fmt.Fprintf(e.cfg.Out, "started in-process paqld at %s\n", base)
+	}
+
+	client := &http.Client{Timeout: time.Duration(cfg.TimeoutMS)*time.Millisecond + 30*time.Second}
+	res := &LoadGenResult{Requests: cfg.N}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.N; i++ {
+		c := cases[i%len(cases)]
+		wg.Add(1)
+		go func(c loadCase) {
+			defer wg.Done()
+			verdict := e.fireOne(client, base, c, cfg.TimeoutMS)
+			mu.Lock()
+			defer mu.Unlock()
+			switch verdict.kind {
+			case "ok":
+				res.OK++
+			case "infeasible":
+				res.Infeasible++
+			case "rejected":
+				res.Rejected++
+			default:
+				res.Errors++
+			}
+			if verdict.mismatch != "" {
+				res.Mismatches = append(res.Mismatches, verdict.mismatch)
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	fmt.Fprintf(e.cfg.Out, "loadgen: %d requests in %v (%.1f qps): %d ok, %d infeasible, %d rejected(429), %d errors, %d mismatches\n",
+		res.Requests, res.Elapsed.Round(time.Millisecond),
+		float64(res.Requests)/res.Elapsed.Seconds(),
+		res.OK, res.Infeasible, res.Rejected, res.Errors, len(res.Mismatches))
+	for i, m := range res.Mismatches {
+		if i == 10 {
+			fmt.Fprintf(e.cfg.Out, "  ... and %d more\n", len(res.Mismatches)-10)
+			break
+		}
+		fmt.Fprintf(e.cfg.Out, "  MISMATCH %s\n", m)
+	}
+	if len(res.Mismatches) > 0 {
+		return res, fmt.Errorf("loadgen: %d differential mismatches", len(res.Mismatches))
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("loadgen: %d request errors", res.Errors)
+	}
+	return res, nil
+}
+
+// buildLoadCases compiles the mixed corpus and computes in-process
+// ground truth for each case. It also returns the reference datasets so
+// an in-process target can reuse their partitionings (with fresh
+// engines) instead of rebuilding them.
+func (e *Env) buildLoadCases(dcfg server.DatasetConfig) ([]loadCase, map[Dataset]*server.Dataset, error) {
+	infeasiblePaQL := map[Dataset]string{
+		Galaxy: `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= -1
+MINIMIZE SUM(P.r)`,
+		TPCH: `SELECT PACKAGE(R) AS P FROM tpch R REPEAT 0
+SUCH THAT COUNT(P.*) = 4 AND SUM(P.quantity) <= -5
+MAXIMIZE SUM(P.totalprice)`,
+	}
+	var cases []loadCase
+	refDS := make(map[Dataset]*server.Dataset, 2)
+	for _, ds := range []Dataset{Galaxy, TPCH} {
+		rel := e.rels[ds]
+		ref, err := server.NewDataset(string(ds), rel, dcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		refDS[ds] = ref
+		var paqls []string
+		for _, q := range e.queries[ds] {
+			if q.Hard {
+				continue // DIRECT-killers would dominate the wall clock
+			}
+			paqls = append(paqls, q.PaQL)
+		}
+		paqls = append(paqls, infeasiblePaQL[ds])
+		for _, paql := range paqls {
+			spec, err := translate.Compile(paql, rel)
+			if err != nil {
+				return nil, nil, fmt.Errorf("loadgen: compiling against %s: %w", ds, err)
+			}
+			for _, method := range []string{server.MethodDirect, server.MethodSketchRefine} {
+				c := loadCase{dataset: string(ds), method: method, paql: paql}
+				r := ref.Engine(method).Evaluate(context.Background(), spec)
+				switch {
+				case r.Err == nil:
+					obj, oerr := r.Pkg.ObjectiveValue(spec)
+					if oerr != nil {
+						return nil, nil, oerr
+					}
+					c.objective = strconv.FormatFloat(obj, 'g', -1, 64)
+					c.truncated = r.Stats != nil && r.Stats.Truncated
+				case errors.Is(r.Err, core.ErrInfeasible), errors.Is(r.Err, sketchrefine.ErrFalseInfeasible):
+					c.infeasible = true
+				default:
+					return nil, nil, fmt.Errorf("loadgen: in-process %s/%s failed: %w", ds, method, r.Err)
+				}
+				cases = append(cases, c)
+			}
+		}
+	}
+	return cases, refDS, nil
+}
+
+// startInProcess boots a paqld over the Env's datasets on a loopback
+// port and returns its base URL and a shutdown function. It reuses the
+// reference datasets' partitionings — deterministic and immutable, so
+// rebuilding them would only duplicate the most expensive warm-up — but
+// gives the server fresh engines, keeping the solve paths independent.
+func (e *Env) startInProcess(dcfg server.DatasetConfig, refDS map[Dataset]*server.Dataset) (string, func(), error) {
+	// A deep admission queue: the generator's burst should complete and
+	// be differentially checked, not shed. (Against a remote paqld the
+	// target's own -inflight/-queue bounds apply, and 429s are counted
+	// as correct refusals.)
+	srv := server.New(server.Config{
+		MaxQueued:      4096,
+		DefaultTimeout: e.cfg.Solver.TimeLimit + time.Minute,
+	})
+	for _, ds := range []Dataset{Galaxy, TPCH} {
+		d, err := server.NewDatasetFromPartitioning(string(ds), e.rels[ds], refDS[ds].Partitioning(), dcfg)
+		if err != nil {
+			return "", nil, err
+		}
+		srv.Register(d)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = httpSrv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// fireVerdict classifies one response.
+type fireVerdict struct {
+	kind     string // ok | infeasible | rejected | error
+	mismatch string
+}
+
+func (e *Env) fireOne(client *http.Client, base string, c loadCase, timeoutMS int64) fireVerdict {
+	body, err := json.Marshal(server.QueryRequest{
+		Dataset: c.dataset, Query: c.paql, Method: c.method, TimeoutMS: timeoutMS,
+	})
+	if err != nil {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: marshal: %v", c.dataset, c.method, err)}
+	}
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: transport: %v", c.dataset, c.method, err)}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: read: %v", c.dataset, c.method, err)}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Admission control shedding load: a correct refusal, not a
+		// mismatch.
+		return fireVerdict{kind: "rejected"}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: status %d: %s", c.dataset, c.method, resp.StatusCode, raw)}
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: decode: %v", c.dataset, c.method, err)}
+	}
+	if qr.Infeasible != c.infeasible {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: infeasible=%v, in-process %v",
+			c.dataset, c.method, qr.Infeasible, c.infeasible)}
+	}
+	if qr.Infeasible {
+		return fireVerdict{kind: "infeasible"}
+	}
+	if qr.Truncated || c.truncated {
+		// A budget-truncated incumbent on either side is wall-clock
+		// dependent; the objective comparison would be noise, not a
+		// correctness signal.
+		return fireVerdict{kind: "ok"}
+	}
+	if qr.Objective != c.objective {
+		return fireVerdict{kind: "ok", mismatch: fmt.Sprintf("%s/%s: objective %q, in-process %q",
+			c.dataset, c.method, qr.Objective, c.objective)}
+	}
+	return fireVerdict{kind: "ok"}
+}
+
+// LoadGenQueries exposes the corpus size for tests.
+func (e *Env) LoadGenQueries() int {
+	n := 0
+	for _, ds := range []Dataset{Galaxy, TPCH} {
+		for _, q := range e.queries[ds] {
+			if !q.Hard {
+				n++
+			}
+		}
+		n++ // the infeasible query
+	}
+	return 2 * n // direct + sketchrefine
+}

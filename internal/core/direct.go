@@ -42,6 +42,9 @@ type EvalStats struct {
 	// proven optimum. Such results are feasible but depend on machine
 	// speed and load — a rerun with a larger budget could improve them.
 	Truncated bool
+	// Backtracks counts SketchRefine refinement backtracks (0 for DIRECT
+	// and NAIVE evaluations).
+	Backtracks int
 }
 
 // Add accumulates another stats record (used by SketchRefine).
@@ -61,6 +64,7 @@ func (s *EvalStats) Add(o *EvalStats) {
 	s.SolveTime += o.SolveTime
 	s.Subproblems += o.Subproblems
 	s.Truncated = s.Truncated || o.Truncated
+	s.Backtracks += o.Backtracks
 }
 
 // BuildILP translates the spec restricted to the given candidate rows

@@ -146,7 +146,8 @@ func (p *Package) Materialize(name string) *relation.Relation {
 	sort.Slice(order, func(a, b int) bool { return p.Rows[order[a]] < p.Rows[order[b]] })
 	for _, k := range order {
 		for c := 0; c < p.Mult[k]; c++ {
-			out.MustAppend(p.Rel.Row(p.Rows[k])...)
+			// Identical schemas by construction; AppendFrom cannot fail.
+			_ = out.AppendFrom(p.Rel, p.Rows[k])
 		}
 	}
 	return out

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -250,6 +251,39 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	// hits/misses/evictions instrument the solution cache for long-lived
+	// services (paqld's /stats endpoint); see CacheStats.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// CacheStats is a snapshot of the engine's solution-cache counters.
+type CacheStats struct {
+	// Hits counts Evaluate calls served from a completed or in-flight
+	// cache entry (duplicate solves shared with the owner count as hits).
+	Hits uint64
+	// Misses counts Evaluate calls that claimed a key and solved
+	// (including NoCache evaluations).
+	Misses uint64
+	// Evictions counts entries dropped to respect MaxCacheEntries.
+	Evictions uint64
+	// Entries is the current number of cached solutions.
+	Entries int
+}
+
+// Stats returns a point-in-time snapshot of the cache counters.
+func (e *Engine) Stats() CacheStats {
+	e.mu.Lock()
+	entries := len(e.cache)
+	e.mu.Unlock()
+	return CacheStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		Entries:   entries,
+	}
 }
 
 // DefaultMaxCacheEntries bounds the solution cache when
@@ -289,6 +323,7 @@ func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
 		ctx = context.Background()
 	}
 	if e.NoCache {
+		e.misses.Add(1)
 		return e.solve(ctx, spec)
 	}
 	key := SpecKey(spec)
@@ -317,6 +352,7 @@ func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
 				}
 				r.Cached = true
 				r.Time = 0 // the solve's cost was paid by the first caller
+				e.hits.Add(1)
 				return r
 			case <-ctx.Done():
 				return Result{Err: ctx.Err()}
@@ -329,12 +365,14 @@ func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
 		if limit > 0 && len(e.cache) >= limit {
 			for k := range e.cache {
 				delete(e.cache, k)
+				e.evictions.Add(1)
 				break
 			}
 		}
 		ent := &cacheEntry{done: make(chan struct{}), spec: spec}
 		e.cache[key] = ent
 		e.mu.Unlock()
+		e.misses.Add(1)
 
 		ent.res = e.solve(ctx, spec)
 		if !definitive(ent.res) {

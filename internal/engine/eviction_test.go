@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/translate"
+)
+
+// countingSolver is a trivially fast Solver that counts its Solve calls;
+// it returns a fixed single-tuple package for any spec.
+type countingSolver struct {
+	calls atomic.Int64
+}
+
+func (c *countingSolver) Name() string { return "counting" }
+
+func (c *countingSolver) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	c.calls.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, &core.EvalStats{}, err
+	}
+	pkg, err := core.NewPackage(spec.Rel, []int{0}, []int{1})
+	if err != nil {
+		return nil, &core.EvalStats{}, err
+	}
+	return pkg, &core.EvalStats{Subproblems: 1}, nil
+}
+
+// TestConcurrentCacheEvictionUnderLoad hammers one Engine from many
+// goroutines with far more distinct queries than MaxCacheEntries, so the
+// eviction path, the singleflight claim/drop path, and the hit path all
+// run concurrently under -race. This is the long-lived-service regression
+// test: paqld keeps one Engine per dataset alive across millions of
+// requests, and the cache must stay bounded without corrupting results.
+func TestConcurrentCacheEvictionUnderLoad(t *testing.T) {
+	rel := relation.New("t", relation.NewSchema(
+		relation.Column{Name: "x", Type: relation.Float},
+	))
+	for i := 0; i < 8; i++ {
+		rel.MustAppend(relation.F(float64(i)))
+	}
+
+	const (
+		maxEntries = 16
+		workers    = 32
+		distinct   = 40 * maxEntries // force constant eviction churn
+		iters      = 40
+	)
+	specs := make([]*core.Spec, distinct)
+	for i := range specs {
+		spec, err := translate.Compile(fmt.Sprintf(`
+SELECT PACKAGE(T) AS P FROM t T REPEAT 0
+SUCH THAT COUNT(P.*) = 1 AND SUM(P.x) <= %d
+MAXIMIZE SUM(P.x)`, 10+i), rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = spec
+	}
+
+	solver := &countingSolver{}
+	eng := engine.New(solver)
+	eng.MaxCacheEntries = maxEntries
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				spec := specs[(w*31+i*7)%distinct]
+				res := eng.Evaluate(context.Background(), spec)
+				if res.Err != nil {
+					t.Errorf("worker %d iter %d: %v", w, i, res.Err)
+					return
+				}
+				if res.Pkg == nil || res.Pkg.Size() != 1 {
+					t.Errorf("worker %d iter %d: bad package %v", w, i, res.Pkg)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := eng.CacheLen(); got > maxEntries {
+		t.Errorf("cache grew to %d entries, bound is %d", got, maxEntries)
+	}
+	st := eng.Stats()
+	total := st.Hits + st.Misses
+	if total != workers*iters {
+		t.Errorf("hits+misses = %d, want %d", total, workers*iters)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded despite distinct queries >> cache bound")
+	}
+	if solver.calls.Load() != int64(st.Misses) {
+		t.Errorf("solver calls %d != cache misses %d", solver.calls.Load(), st.Misses)
+	}
+	t.Logf("hits=%d misses=%d evictions=%d entries=%d solves=%d",
+		st.Hits, st.Misses, st.Evictions, st.Entries, solver.calls.Load())
+}
+
+// TestEvictionDoesNotCorruptInFlightSolves pins a subtle property: an
+// entry evicted while its solve is still in flight must still deliver
+// the owner's result to waiters that grabbed the entry before eviction.
+func TestEvictionDoesNotCorruptInFlightSolves(t *testing.T) {
+	rel := relation.New("t", relation.NewSchema(
+		relation.Column{Name: "x", Type: relation.Float},
+	))
+	rel.MustAppend(relation.F(1))
+
+	release := make(chan struct{})
+	slow := &gateSolver{gate: release}
+	eng := engine.New(slow)
+	eng.MaxCacheEntries = 1
+
+	spec, err := translate.Compile(`
+SELECT PACKAGE(T) AS P FROM t T REPEAT 0
+SUCH THAT COUNT(P.*) = 1 MAXIMIZE SUM(P.x)`, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan engine.Result, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- eng.Evaluate(context.Background(), spec) }()
+	}
+	// Let both goroutines attach to the same in-flight entry, then evict
+	// it by solving a different query in the size-1 cache.
+	time.Sleep(20 * time.Millisecond)
+	other, err := translate.Compile(`
+SELECT PACKAGE(T) AS P FROM t T REPEAT 0
+SUCH THAT COUNT(P.*) = 1 MINIMIZE SUM(P.x)`, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if res := eng.Evaluate(context.Background(), other); res.Err != nil {
+		t.Fatalf("evicting solve failed: %v", res.Err)
+	}
+	for i := 0; i < 2; i++ {
+		res := <-done
+		if res.Err != nil {
+			t.Fatalf("waiter %d: %v", i, res.Err)
+		}
+		if res.Pkg == nil || res.Pkg.Size() != 1 {
+			t.Fatalf("waiter %d: bad package", i)
+		}
+	}
+}
+
+// gateSolver blocks Solve until its gate closes.
+type gateSolver struct {
+	gate <-chan struct{}
+}
+
+func (g *gateSolver) Name() string { return "gate" }
+
+func (g *gateSolver) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, &core.EvalStats{}, ctx.Err()
+	}
+	pkg, err := core.NewPackage(spec.Rel, []int{0}, []int{1})
+	if err != nil {
+		return nil, &core.EvalStats{}, err
+	}
+	return pkg, &core.EvalStats{Subproblems: 1}, nil
+}

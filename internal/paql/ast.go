@@ -241,7 +241,11 @@ func (Agg) exprNode()     {}
 
 func (e NumLit) String() string { return trimFloat(e.Val) }
 
-func (e StrLit) String() string { return "'" + e.Val + "'" }
+// String renders the literal with embedded quotes doubled ('' escapes a
+// quote), so the output re-lexes to the same value.
+func (e StrLit) String() string {
+	return "'" + strings.ReplaceAll(e.Val, "'", "''") + "'"
+}
 
 func (e ColRef) String() string {
 	name := e.Name
@@ -254,18 +258,31 @@ func (e ColRef) String() string {
 	return name
 }
 
-func (e Arith) String() string {
-	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+// operand renders a sub-expression in operand position. Booleans and
+// comparisons bind looser than arithmetic/comparison operators, so when
+// one appears as an operand (the parser allows any parenthesized
+// expression there) it must be re-parenthesized for the rendering to
+// reparse to the same tree.
+func operand(e Expr) string {
+	switch e.(type) {
+	case Bool, Cmp, Between:
+		return "(" + e.String() + ")"
+	}
+	return e.String()
 }
 
-func (e Neg) String() string { return fmt.Sprintf("(-%s)", e.E) }
+func (e Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", operand(e.L), e.Op, operand(e.R))
+}
+
+func (e Neg) String() string { return fmt.Sprintf("(-%s)", operand(e.E)) }
 
 func (e Cmp) String() string {
-	return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R)
+	return fmt.Sprintf("%s %s %s", operand(e.L), e.Op, operand(e.R))
 }
 
 func (e Between) String() string {
-	return fmt.Sprintf("%s BETWEEN %s AND %s", e.E, e.Lo, e.Hi)
+	return fmt.Sprintf("%s BETWEEN %s AND %s", operand(e.E), operand(e.Lo), operand(e.Hi))
 }
 
 func (e Bool) String() string {

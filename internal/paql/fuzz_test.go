@@ -1,0 +1,119 @@
+package paql
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus: the benchmark workload's query shapes
+// plus edge cases for every lexer/parser production. The on-disk corpus
+// under testdata/fuzz/FuzzParse extends it with fuzzer-found inputs.
+var fuzzSeeds = []string{
+	// Workload-shaped queries (Galaxy and TPC-H benchmarks).
+	`SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 10 AND SUM(P.r) BETWEEN 190.1 AND 201.9
+MINIMIZE SUM(P.petrorad)`,
+	`SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 8 AND
+          SUM(P.u) BETWEEN 167.0 AND 169.1 AND
+          SUM(P.g) BETWEEN 157.2 AND 158.8 AND
+          SUM(P.z) BETWEEN 147.9 AND 149.4
+MAXIMIZE SUM(P.redshift)`,
+	`SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 12 AND
+          AVG(P.redshift) >= 0.6 AND
+          SUM(P.petrorad) <= 55.3
+MAXIMIZE SUM(P.dered_r)`,
+	`SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 5 AND MAX(P.redshift) <= 0.5
+MAXIMIZE SUM(P.petrorad)`,
+	`SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 10 AND
+          (SELECT COUNT(*) FROM P WHERE redshift > 0.5) >= 5 AND
+          SUM(P.g) <= 200
+MAXIMIZE SUM(P.redshift)`,
+	`SELECT PACKAGE(R) AS P FROM tpch R REPEAT 0
+SUCH THAT COUNT(P.*) = 15 AND SUM(P.quantity) BETWEEN 330 AND 430
+MAXIMIZE SUM(P.totalprice)`,
+	`SELECT PACKAGE(R) AS P FROM tpch R REPEAT 0
+SUCH THAT COUNT(P.*) = 8 AND AVG(P.acctbal) >= 4500
+MINIMIZE SUM(P.tax)`,
+	// The paper's Example 1 (meal planner) shape.
+	`SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2000 AND 2500
+MINIMIZE SUM(P.saturated_fat)`,
+	// Grammar edge cases.
+	`SELECT PACKAGE(A, B) AS P FROM t A, t B`,
+	`SELECT PACKAGE(T) FROM t T`,
+	`SELECT PACKAGE(t) FROM t`,
+	`SELECT PACKAGE(T) AS P FROM t T REPEAT 2 SUCH THAT COUNT(P.*) >= 1`,
+	`select package(t) as p from t where not (a < 1 or b > 2) and c <> 'x''y'`,
+	`SELECT PACKAGE(T) AS P FROM t SUCH THAT (SUM(P.a) + 2*SUM(P.b)) / 3 <= 10`,
+	`SELECT PACKAGE(T) AS P FROM t SUCH THAT SUM(P.a) - SUM(P.b) BETWEEN -1.5e-3 AND 1.5E3`,
+	`SELECT PACKAGE(T) AS P FROM t WHERE a BETWEEN 0.5 AND 1 -- comment
+SUCH THAT COUNT(P.*) = 1 MINIMIZE COUNT(P.*)`,
+	`SELECT PACKAGE(T) AS P FROM t MAXIMIZE SUM(P.x)`,
+	`SELECT PACKAGE(T) AS P FROM t WHERE -a * (b - .5) >= +2`,
+	// Invalid inputs that must error cleanly.
+	``,
+	`SELECT`,
+	`SELECT PACKAGE(`,
+	`SELECT PACKAGE() FROM t`,
+	`SELECT PACKAGE(T) AS P FROM t SUCH THAT`,
+	`SELECT PACKAGE(T) AS P FROM t REPEAT -1`,
+	`SELECT PACKAGE(T) AS P FROM t REPEAT 1.5`,
+	`SELECT PACKAGE(T) AS P FROM t WHERE 'unterminated`,
+	`SELECT PACKAGE(T) AS P FROM t WHERE a ; b`,
+	`SELECT PACKAGE(T) AS P FROM t trailing garbage`,
+	"SELECT PACKAGE(T) AS P FROM t WHERE a = 1\x00",
+	"\xc3\xa9 \xff SELECT",
+}
+
+// FuzzParse asserts the lexer/parser's crash-proofing contract: no input
+// may panic or hang, and every accepted query must render (String) back
+// to PaQL text that reparses to a fixpoint — the property the engine's
+// cache keys and traces rely on.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // paqld bounds request bodies; keep fuzzing throughput high
+		}
+		q, err := Parse(src)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("Parse returned both a query and error %v", err)
+			}
+			return
+		}
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("rendered query does not reparse: %v\ninput: %q\nrendered: %q", err, src, text)
+		}
+		if again := q2.String(); again != text {
+			t.Fatalf("rendering is not a fixpoint:\nfirst:  %q\nsecond: %q", text, again)
+		}
+	})
+}
+
+// TestFuzzSeedsParseDeterministically pins the corpus behavior under
+// plain `go test`: every seed either parses and round-trips or errors
+// with a "paql:"-prefixed message (never a panic).
+func TestFuzzSeedsParseDeterministically(t *testing.T) {
+	for i, src := range fuzzSeeds {
+		q, err := Parse(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "paql:") {
+				t.Errorf("seed %d: error %q lacks paql: prefix", i, err)
+			}
+			continue
+		}
+		if _, err := Parse(q.String()); err != nil {
+			t.Errorf("seed %d: rendered query does not reparse: %v", i, err)
+		}
+	}
+}

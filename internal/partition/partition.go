@@ -16,6 +16,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -99,7 +100,15 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 		return nil, fmt.Errorf("partition: input relation already has a %q column", "gid")
 	}
 	attrIdx := make([]int, len(opt.Attrs))
+	seenAttr := make(map[string]bool, len(opt.Attrs))
 	for i, a := range opt.Attrs {
+		key := strings.ToLower(a)
+		if seenAttr[key] {
+			// Duplicates would panic later when the representative
+			// relation's schema is built; reject them as a config error.
+			return nil, fmt.Errorf("partition: duplicate attribute %q", a)
+		}
+		seenAttr[key] = true
 		idx, err := rel.Schema().MustLookup(a)
 		if err != nil {
 			return nil, err

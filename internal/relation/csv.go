@@ -35,7 +35,8 @@ func WriteCSV(r *Relation, w io.Writer) error {
 			case Float:
 				rec[c] = strconv.FormatFloat(r.Float(row, c), 'g', -1, 64)
 			case Int:
-				rec[c] = strconv.FormatInt(r.Value(row, c).Int(), 10)
+				n, _ := r.Value(row, c).Int() // column type is Int by the switch
+				rec[c] = strconv.FormatInt(n, 10)
 			default:
 				rec[c] = r.Str(row, c)
 			}
@@ -57,11 +58,22 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
 	cols := make([]Column, len(header))
+	seen := make(map[string]bool, len(header))
 	for i, h := range header {
 		colName, tag := h, "s"
 		if j := strings.LastIndexByte(h, ':'); j >= 0 {
 			colName, tag = h[:j], h[j+1:]
 		}
+		if colName == "" {
+			return nil, fmt.Errorf("relation: CSV header column %d has an empty name", i+1)
+		}
+		key := strings.ToLower(colName)
+		if seen[key] {
+			// NewSchema panics on duplicates (schemas are normally program
+			// constants); a header from user data must be rejected here.
+			return nil, fmt.Errorf("relation: duplicate CSV header column %q", colName)
+		}
+		seen[key] = true
 		switch tag {
 		case "f":
 			cols[i] = Column{Name: colName, Type: Float}

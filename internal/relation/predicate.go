@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Predicate is a per-tuple boolean condition — the engine's representation
@@ -88,44 +89,56 @@ func cmpStrings(op CmpOp, a, b string) bool {
 	return false
 }
 
-// Compare is a predicate of the form "column op constant".
+// Compare is a predicate of the form "column op constant". It is safe
+// for concurrent evaluation (the engine races SketchRefine refinement
+// orders over one shared spec, so the same predicate is evaluated from
+// several goroutines, possibly against different relations).
 type Compare struct {
 	Col   string
 	Op    CmpOp
 	Const Value
 
-	colIdx int // resolved lazily; -2 = unresolved
-	res    *Relation
+	// cached holds the last (relation, column-index) resolution as an
+	// immutable snapshot swapped atomically: concurrent evaluators can
+	// never pair one relation's column index with another relation.
+	cached atomic.Pointer[compareResolution]
+}
+
+// compareResolution is one immutable column lookup.
+type compareResolution struct {
+	res *Relation
+	idx int
 }
 
 // NewCompare builds a comparison predicate on the named column.
 func NewCompare(col string, op CmpOp, c Value) *Compare {
-	return &Compare{Col: col, Op: op, Const: c, colIdx: -2}
+	return &Compare{Col: col, Op: op, Const: c}
 }
 
 // Eval implements Predicate.
 func (p *Compare) Eval(r *Relation, row int) bool {
-	if p.colIdx == -2 || p.res != r {
-		p.colIdx = r.Schema().Lookup(p.Col)
-		p.res = r
+	cr := p.cached.Load()
+	if cr == nil || cr.res != r {
+		cr = &compareResolution{res: r, idx: r.Schema().Lookup(p.Col)}
+		p.cached.Store(cr)
 	}
-	if p.colIdx < 0 {
+	if cr.idx < 0 {
 		return false
 	}
-	cell := r.Value(row, p.colIdx)
+	cell := r.Value(row, cr.idx)
 	if cell.Type() == String || p.Const.Type() == String {
 		if cell.Type() != String || p.Const.Type() != String {
 			return false
 		}
-		return cmpStrings(p.Op, cell.Str(), p.Const.Str())
+		return cmpStrings(p.Op, cell.s, p.Const.s)
 	}
-	return cmpFloats(p.Op, cell.Float(), p.Const.Float())
+	return cmpFloats(p.Op, cell.num(), p.Const.num())
 }
 
 // String implements Predicate.
 func (p *Compare) String() string {
 	if p.Const.Type() == String {
-		return fmt.Sprintf("%s %s '%s'", p.Col, p.Op, p.Const.Str())
+		return fmt.Sprintf("%s %s '%s'", p.Col, p.Op, p.Const.s)
 	}
 	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Const)
 }

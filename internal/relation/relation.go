@@ -1,9 +1,15 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrTypeMismatch is the typed error returned by Value accessors (and
+// wrapped by row/CSV construction errors) when a value is read as an
+// incompatible type. Callers can match it with errors.Is.
+var ErrTypeMismatch = errors.New("relation: type mismatch")
 
 // Value is a dynamically typed cell value. It is used at API boundaries
 // (row construction, CSV parsing, tests); hot paths use the typed column
@@ -27,36 +33,39 @@ func S(v string) Value { return Value{typ: String, s: v} }
 // Type returns the type of the value.
 func (v Value) Type() Type { return v.typ }
 
-// Float returns the value as a float64. Int values convert; String panics.
-func (v Value) Float() float64 {
+// Float returns the value as a float64. Int values convert; String
+// values return ErrTypeMismatch.
+func (v Value) Float() (float64, error) {
 	switch v.typ {
 	case Float:
-		return v.f
+		return v.f, nil
 	case Int:
-		return float64(v.i)
+		return float64(v.i), nil
 	default:
-		panic("relation: Float() on string value")
+		return 0, fmt.Errorf("%w: Float() on %s value", ErrTypeMismatch, v.typ)
 	}
 }
 
-// Int returns the value as an int64. Float values truncate; String panics.
-func (v Value) Int() int64 {
+// Int returns the value as an int64. Float values truncate; String
+// values return ErrTypeMismatch.
+func (v Value) Int() (int64, error) {
 	switch v.typ {
 	case Int:
-		return v.i
+		return v.i, nil
 	case Float:
-		return int64(v.f)
+		return int64(v.f), nil
 	default:
-		panic("relation: Int() on string value")
+		return 0, fmt.Errorf("%w: Int() on %s value", ErrTypeMismatch, v.typ)
 	}
 }
 
-// Str returns the value as a string (only valid for String values).
-func (v Value) Str() string {
+// Str returns the value as a string; numeric values return
+// ErrTypeMismatch.
+func (v Value) Str() (string, error) {
 	if v.typ != String {
-		panic("relation: Str() on numeric value")
+		return "", fmt.Errorf("%w: Str() on %s value", ErrTypeMismatch, v.typ)
 	}
-	return v.s
+	return v.s, nil
 }
 
 // String renders the value for display.
@@ -77,7 +86,21 @@ func (v Value) Equal(o Value) bool {
 	if v.typ == String || o.typ == String {
 		return v.typ == o.typ && v.s == o.s
 	}
-	return v.Float() == o.Float()
+	return v.num() == o.num()
+}
+
+// num returns the numeric value of a Float or Int Value and NaN for a
+// String value (package-internal fast path; exported accessors return
+// typed errors instead).
+func (v Value) num() float64 {
+	switch v.typ {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	default:
+		return math.NaN()
+	}
 }
 
 // column is the typed backing store for one attribute.
@@ -140,7 +163,11 @@ func (c *column) float(row int) float64 {
 	case Int:
 		return float64(c.i[row])
 	default:
-		panic("relation: numeric access to string column")
+		// Numeric access to a string column yields NaN instead of
+		// panicking: NaN poisons any comparison or aggregate, so a type
+		// confusion that slips past translate-time validation degrades to
+		// an infeasible/NaN answer rather than killing the process.
+		return math.NaN()
 	}
 }
 
@@ -188,22 +215,65 @@ func (r *Relation) Append(vals ...Value) error {
 }
 
 // MustAppend is Append but panics on error; intended for tests and
-// generators where schemas are static.
+// generators where schemas are static program constants. Paths that
+// materialize rows from user-loaded data use AppendFrom instead, which
+// cannot fail on type grounds.
 func (r *Relation) MustAppend(vals ...Value) {
 	if err := r.Append(vals...); err != nil {
 		panic(err)
 	}
 }
 
+// AppendFrom copies row src-row of src into r. The schemas must have
+// identical column types (names are not checked); it copies the typed
+// backing stores directly, with no Value boxing and no per-cell type
+// dispatch, so it cannot fail on data grounds.
+func (r *Relation) AppendFrom(src *Relation, row int) error {
+	if len(r.cols) != len(src.cols) {
+		return fmt.Errorf("%w: AppendFrom across schemas with %d vs %d columns",
+			ErrTypeMismatch, len(r.cols), len(src.cols))
+	}
+	// Validate every column before touching any store: failing midway
+	// would leave ragged columns (silent corruption on later appends).
+	for i, dst := range r.cols {
+		if dst.typ != src.cols[i].typ {
+			return fmt.Errorf("%w: AppendFrom column %q is %s, source is %s",
+				ErrTypeMismatch, r.schema.Col(i).Name, dst.typ, src.cols[i].typ)
+		}
+	}
+	for i, dst := range r.cols {
+		sc := src.cols[i]
+		switch dst.typ {
+		case Float:
+			dst.f = append(dst.f, sc.f[row])
+		case Int:
+			dst.i = append(dst.i, sc.i[row])
+		default:
+			dst.s = append(dst.s, sc.s[row])
+		}
+	}
+	r.n++
+	return nil
+}
+
 // Value returns the cell at (row, col).
 func (r *Relation) Value(row, col int) Value { return r.cols[col].value(row) }
 
-// Float returns the numeric cell at (row, col) as float64. It panics on
-// string columns; callers validate column types up front.
+// Float returns the numeric cell at (row, col) as float64. String
+// columns yield NaN; callers validate column types up front (the PaQL
+// translator rejects numeric aggregates over TEXT columns), so NaN only
+// appears when that validation is bypassed — and then it poisons the
+// result instead of crashing.
 func (r *Relation) Float(row, col int) float64 { return r.cols[col].float(row) }
 
-// Str returns the string cell at (row, col).
-func (r *Relation) Str(row, col int) string { return r.cols[col].s[row] }
+// Str returns the string cell at (row, col), or "" for numeric columns.
+func (r *Relation) Str(row, col int) string {
+	c := r.cols[col]
+	if c.typ != String {
+		return ""
+	}
+	return c.s[row]
+}
 
 // FloatColumn returns the backing float64 slice of a Float column, for
 // hot-path scans. It returns nil for non-Float columns.
@@ -257,31 +327,38 @@ func (r *Relation) Project(name string, colNames []string, rows []int) (*Relatio
 		cols[i] = r.schema.Col(j)
 	}
 	out := New(name, NewSchema(cols...))
-	appendRow := func(row int) {
+	appendRow := func(row int) error {
 		vals := make([]Value, len(idx))
 		for i, j := range idx {
 			vals[i] = r.Value(row, j)
 		}
-		out.MustAppend(vals...)
+		return out.Append(vals...)
 	}
 	if rows == nil {
 		for i := 0; i < r.n; i++ {
-			appendRow(i)
+			if err := appendRow(i); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		for _, i := range rows {
-			appendRow(i)
+			if err := appendRow(i); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
 }
 
 // Subset materializes the given rows into a new relation with the same
-// schema. Used to build scaled-down datasets and per-query tables.
+// schema. Used to build scaled-down datasets and per-query tables. The
+// copy goes through AppendFrom (identical schemas), so it cannot fail.
 func (r *Relation) Subset(name string, rows []int) *Relation {
 	out := New(name, r.schema)
 	for _, i := range rows {
-		out.MustAppend(r.Row(i)...)
+		// The schemas are identical by construction; the error is
+		// impossible.
+		_ = out.AppendFrom(r, i)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -103,14 +104,30 @@ func TestAppendTypeChecking(t *testing.T) {
 }
 
 func TestValueAccessors(t *testing.T) {
-	if F(2.5).Float() != 2.5 || I(7).Float() != 7 {
+	if f, err := F(2.5).Float(); err != nil || f != 2.5 {
 		t.Error("Float() accessor wrong")
 	}
-	if I(7).Int() != 7 || F(7.9).Int() != 7 {
+	if f, err := I(7).Float(); err != nil || f != 7 {
+		t.Error("Float() accessor wrong for Int")
+	}
+	if n, err := I(7).Int(); err != nil || n != 7 {
 		t.Error("Int() accessor wrong")
 	}
-	if S("hi").Str() != "hi" {
+	if n, err := F(7.9).Int(); err != nil || n != 7 {
+		t.Error("Int() accessor wrong for Float")
+	}
+	if s, err := S("hi").Str(); err != nil || s != "hi" {
 		t.Error("Str() accessor wrong")
+	}
+	// Mismatched reads return ErrTypeMismatch instead of panicking.
+	if _, err := S("hi").Float(); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Float() on string: err = %v, want ErrTypeMismatch", err)
+	}
+	if _, err := S("hi").Int(); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Int() on string: err = %v, want ErrTypeMismatch", err)
+	}
+	if _, err := F(1).Str(); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Str() on float: err = %v, want ErrTypeMismatch", err)
 	}
 	if !I(3).Equal(F(3)) {
 		t.Error("I(3) should equal F(3)")
@@ -276,10 +293,10 @@ func TestGroupBy(t *testing.T) {
 		t.Fatalf("got %d groups, want 2", len(groups))
 	}
 	// Sorted by key: "free" < "full".
-	if groups[0].Key.Str() != "free" || len(groups[0].Rows) != 5 {
+	if groups[0].Key.String() != "free" || len(groups[0].Rows) != 5 {
 		t.Errorf("group[0] = %v × %d, want free × 5", groups[0].Key, len(groups[0].Rows))
 	}
-	if groups[1].Key.Str() != "full" || len(groups[1].Rows) != 2 {
+	if groups[1].Key.String() != "full" || len(groups[1].Rows) != 2 {
 		t.Errorf("group[1] = %v × %d, want full × 2", groups[1].Key, len(groups[1].Rows))
 	}
 
@@ -293,10 +310,14 @@ func TestGroupBy(t *testing.T) {
 	prev := int64(-1)
 	total := 0
 	for _, g := range byServings {
-		if g.Key.Int() <= prev {
+		k, err := g.Key.Int()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k <= prev {
 			t.Error("integer groups not sorted by key")
 		}
-		prev = g.Key.Int()
+		prev = k
 		total += len(g.Rows)
 	}
 	if total != r.Len() {

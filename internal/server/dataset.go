@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ilp"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sketchrefine"
+)
+
+// Evaluation methods a dataset serves. NAIVE is deliberately absent: its
+// exponential self-join is the paper's cautionary baseline, not something
+// a service should expose to untrusted callers.
+const (
+	MethodDirect       = "direct"
+	MethodSketchRefine = "sketchrefine"
+)
+
+// DatasetConfig configures dataset registration: the offline
+// partitioning warmed at load time and the solver budgets shared by the
+// dataset's engines.
+type DatasetConfig struct {
+	// Attrs are the partitioning attributes. Empty means every Float
+	// column of the relation — a superset of any query's attributes, so
+	// SketchRefine can serve arbitrary queries over the dataset.
+	Attrs []string
+	// TauFrac is the partition size threshold as a fraction of the
+	// dataset; 0 means 0.10 (the paper's scalability setting).
+	TauFrac float64
+	// Workers bounds partition-build concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Solver is the per-ILP budget for both engines. Zero-valued fields
+	// get paqld defaults (30s, 200k nodes, 1e-4 gap).
+	Solver ilp.Options
+	// Seed steers SketchRefine's refinement order. Fixed per dataset so
+	// identical queries give identical answers across requests (and match
+	// an in-process evaluation with the same seed).
+	Seed int64
+	// Racers is the number of SketchRefine refinement orders raced per
+	// query. 0 or 1 keeps evaluation deterministic; the differential load
+	// checker requires 1.
+	Racers int
+}
+
+func (c DatasetConfig) withDefaults(rel *relation.Relation) DatasetConfig {
+	if len(c.Attrs) == 0 {
+		for i := 0; i < rel.Schema().Len(); i++ {
+			col := rel.Schema().Col(i)
+			if col.Type.Numeric() {
+				c.Attrs = append(c.Attrs, col.Name)
+			}
+		}
+	}
+	if c.TauFrac <= 0 {
+		c.TauFrac = 0.10
+	}
+	if c.Solver.TimeLimit == 0 {
+		c.Solver.TimeLimit = 30 * time.Second
+	}
+	if c.Solver.MaxNodes == 0 {
+		c.Solver.MaxNodes = ilp.DefaultMaxNodes
+	}
+	if c.Solver.Gap == 0 {
+		c.Solver.Gap = 1e-4
+	}
+	return c
+}
+
+// Dataset is one registered relation with its warm partitioning and
+// per-method engines. All fields are immutable after construction; the
+// engines' solution caches carry the mutable state.
+type Dataset struct {
+	name    string
+	rel     *relation.Relation
+	part    *partition.Partitioning
+	engines map[string]*engine.Engine
+	cfg     DatasetConfig
+}
+
+// NewDataset builds a served dataset: it partitions the relation up
+// front (the warm partitioning every SketchRefine query reuses) and
+// instantiates one engine per method, each with its own solution cache
+// shared across all requests that hit the dataset.
+func NewDataset(name string, rel *relation.Relation, cfg DatasetConfig) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset has no name")
+	}
+	if rel == nil || rel.Len() == 0 {
+		return nil, fmt.Errorf("server: dataset %q is empty", name)
+	}
+	cfg = cfg.withDefaults(rel)
+	tau := int(float64(rel.Len())*cfg.TauFrac) + 1
+	part, err := partition.Build(rel, partition.Options{
+		Attrs:         cfg.Attrs,
+		SizeThreshold: tau,
+		Workers:       cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: partitioning dataset %q: %w", name, err)
+	}
+	return NewDatasetFromPartitioning(name, rel, part, cfg)
+}
+
+// NewDatasetFromPartitioning builds a served dataset over a partitioning
+// that was already built for the relation (e.g. loaded from a warm
+// snapshot, or shared with an in-process differential checker — partition
+// building is the expensive part of registration). The engines and their
+// caches are always fresh.
+func NewDatasetFromPartitioning(name string, rel *relation.Relation, part *partition.Partitioning, cfg DatasetConfig) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset has no name")
+	}
+	if rel == nil || rel.Len() == 0 {
+		return nil, fmt.Errorf("server: dataset %q is empty", name)
+	}
+	if part == nil || part.Rel != rel {
+		return nil, fmt.Errorf("server: dataset %q: partitioning was built over a different relation", name)
+	}
+	cfg = cfg.withDefaults(rel)
+	ds := &Dataset{
+		name: name,
+		rel:  rel,
+		part: part,
+		cfg:  cfg,
+		engines: map[string]*engine.Engine{
+			MethodDirect: engine.New(engine.Direct{Opt: cfg.Solver}),
+			MethodSketchRefine: engine.New(engine.SketchRefine{
+				Part:   part,
+				Opt:    sketchrefine.Options{Solver: cfg.Solver, HybridSketch: true, Seed: cfg.Seed},
+				Racers: cfg.Racers,
+			}),
+		},
+	}
+	return ds, nil
+}
+
+// Name returns the dataset's registry name.
+func (d *Dataset) Name() string { return d.name }
+
+// Rel returns the underlying relation.
+func (d *Dataset) Rel() *relation.Relation { return d.rel }
+
+// Partitioning returns the warm offline partitioning.
+func (d *Dataset) Partitioning() *partition.Partitioning { return d.part }
+
+// SetEngine overrides the engine for one method (used by tests to
+// inject instrumented solvers). It must be called before the dataset is
+// registered with a serving Server.
+func (d *Dataset) SetEngine(method string, eng *engine.Engine) {
+	d.engines[method] = eng
+}
+
+// Engine returns the engine serving a method, or nil.
+func (d *Dataset) Engine(method string) *engine.Engine { return d.engines[method] }
+
+// Methods lists the methods the dataset serves, sorted.
+func (d *Dataset) Methods() []string {
+	out := make([]string, 0, len(d.engines))
+	for m := range d.engines {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

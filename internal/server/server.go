@@ -1,0 +1,619 @@
+// Package server implements paqld, the long-lived package-query service:
+// a JSON-over-HTTP API that parses, validates, translates, and evaluates
+// PaQL text against a registry of preloaded datasets with warm
+// partitionings.
+//
+// The paper's thesis is that package queries belong *inside* the data
+// system; this package is the serving layer that thesis implies. Each
+// dataset is registered once — relation loaded, quad-tree partitioning
+// built offline — and then every request reuses the warm partitioning
+// and a shared per-dataset solution cache, so repeated queries cost one
+// cache lookup instead of an ILP solve.
+//
+// The server is built to survive adversarial, concurrent workloads:
+//
+//   - no user input can panic the process — parse/translate errors are
+//     400s, unknown datasets 404s, infeasibility a structured verdict;
+//   - admission control bounds the in-flight solves and the waiting
+//     queue; overflow is refused immediately with 429 so load sheds at
+//     the edge instead of piling onto the solver;
+//   - every request carries a deadline mapped to context cancellation
+//     that reaches the simplex iterations of an in-flight solve;
+//   - shutdown drains in-flight solves before returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sketchrefine"
+	"repro/internal/translate"
+)
+
+// Config bounds the server's concurrency and per-request deadlines.
+type Config struct {
+	// MaxInFlight bounds concurrently evaluating queries; 0 means
+	// GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueued bounds requests admitted beyond MaxInFlight, waiting for
+	// a solve slot. 0 means 4×MaxInFlight; negative means no queue (a
+	// request either gets a slot immediately or is refused).
+	MaxQueued int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; 0 means 5m.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 4 * c.MaxInFlight
+	}
+	if c.MaxQueued < 0 {
+		c.MaxQueued = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the paqld request handler: a dataset registry plus admission
+// control and service counters. Create with New, register datasets, then
+// serve Handler with net/http.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+
+	slots    chan struct{} // in-flight solve slots
+	admitted atomic.Int64  // in-flight + queued
+
+	// lifeMu guards the drain state. A plain WaitGroup would be unsafe:
+	// WaitGroup.Add may not race Wait, and a request can arrive at the
+	// exact instant the last in-flight solve wakes a draining Shutdown.
+	lifeMu   sync.Mutex
+	active   int           // requests inside handleQuery
+	draining bool          // no new requests admitted
+	idle     chan struct{} // closed when draining and active == 0
+
+	ctr counters
+}
+
+// counters are the monotonically increasing service statistics.
+type counters struct {
+	queries     atomic.Uint64
+	ok          atomic.Uint64
+	infeasible  atomic.Uint64
+	truncated   atomic.Uint64
+	badRequest  atomic.Uint64
+	rejected    atomic.Uint64
+	timeouts    atomic.Uint64
+	failures    atomic.Uint64
+	solveNanos  atomic.Int64
+	backtracks  atomic.Uint64
+	subproblems atomic.Uint64
+}
+
+// New creates an empty server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		datasets: make(map[string]*Dataset),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Register adds a dataset to the registry. Registering a name twice
+// replaces the previous dataset (warm caches and all).
+func (s *Server) Register(ds *Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[ds.Name()] = ds
+}
+
+// Dataset looks up a registered dataset, or nil.
+func (s *Server) Dataset(name string) *Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.datasets[name]
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /query     evaluate a PaQL query (QueryRequest → QueryResponse)
+//	GET  /stats     service and cache statistics
+//	GET  /datasets  registered datasets
+//	GET  /healthz   liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+// enter registers a request with the drain tracker; it reports false
+// when the server is draining and the request must be refused.
+func (s *Server) enter() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// leave is enter's counterpart; the last request out wakes Shutdown.
+func (s *Server) leave() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.active--
+	if s.active == 0 && s.draining && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+}
+
+// Shutdown drains: new queries are refused with 503, and the call blocks
+// until every in-flight solve has finished or ctx expires. It does not
+// close the HTTP listener — pair it with http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifeMu.Lock()
+	s.draining = true
+	idle := s.idle
+	if idle == nil {
+		idle = make(chan struct{})
+		if s.active == 0 {
+			close(idle)
+		} else {
+			s.idle = idle
+		}
+	}
+	s.lifeMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown with %d request(s) still in flight: %w",
+			s.admitted.Load(), ctx.Err())
+	}
+}
+
+// isDraining reports the drain state (for /stats and admission).
+func (s *Server) isDraining() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	return s.draining
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset"`
+	// Query is the PaQL text.
+	Query string `json:"query"`
+	// Method selects the evaluation strategy: "direct" (default) or
+	// "sketchrefine".
+	Method string `json:"method,omitempty"`
+	// TimeoutMS bounds the evaluation; 0 applies the server default. The
+	// value is capped at the server's MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludeTuples adds the materialized package tuples to the response
+	// (row indices and multiplicities are always included).
+	IncludeTuples bool `json:"include_tuples,omitempty"`
+}
+
+// PackageRow is one distinct tuple of the answer package.
+type PackageRow struct {
+	Row  int `json:"row"`
+	Mult int `json:"mult"`
+}
+
+// EvalStatsJSON is the wire form of core.EvalStats.
+type EvalStatsJSON struct {
+	Subproblems  int     `json:"subproblems"`
+	Vars         int     `json:"vars"`
+	Rows         int     `json:"rows"`
+	SolverNodes  int     `json:"solver_nodes"`
+	LPIterations int     `json:"lp_iterations"`
+	Backtracks   int     `json:"backtracks"`
+	SolveTimeMS  float64 `json:"solve_time_ms"`
+	Truncated    bool    `json:"truncated"`
+}
+
+func statsJSON(st *core.EvalStats) *EvalStatsJSON {
+	if st == nil {
+		return nil
+	}
+	return &EvalStatsJSON{
+		Subproblems:  st.Subproblems,
+		Vars:         st.Vars,
+		Rows:         st.Rows,
+		SolverNodes:  st.SolverNodes,
+		LPIterations: st.LPIterations,
+		Backtracks:   st.Backtracks,
+		SolveTimeMS:  float64(st.SolveTime) / float64(time.Millisecond),
+		Truncated:    st.Truncated,
+	}
+}
+
+// QueryResponse is the body of a successful (HTTP 200) POST /query. A
+// 200 carries either a package or an infeasibility verdict — both are
+// definitive answers to the query.
+type QueryResponse struct {
+	Dataset string `json:"dataset"`
+	Method  string `json:"method"`
+	// Infeasible reports a proven (or SketchRefine-reported) "no such
+	// package" verdict; Objective and Rows are absent.
+	Infeasible bool `json:"infeasible,omitempty"`
+	// FalseInfeasible marks a SketchRefine infeasibility that Theorem 4
+	// does not make definitive (Section 4.4); a DIRECT retry could
+	// still find a package.
+	FalseInfeasible bool `json:"false_infeasible,omitempty"`
+	// Objective is the objective value formatted with strconv 'g'/-1 —
+	// byte-comparable across server and in-process evaluations.
+	Objective string  `json:"objective,omitempty"`
+	ObjValue  float64 `json:"obj_value,omitempty"`
+	Size      int     `json:"size,omitempty"`
+	Distinct  int     `json:"distinct,omitempty"`
+	// Truncated reports a budget-limited incumbent: feasible, but
+	// possibly suboptimal. Mirrors paqlcli's nonzero-exit contract.
+	Truncated bool           `json:"truncated,omitempty"`
+	Cached    bool           `json:"cached,omitempty"`
+	Rows      []PackageRow   `json:"rows,omitempty"`
+	Tuples    [][]string     `json:"tuples,omitempty"`
+	Stats     *EvalStatsJSON `json:"stats,omitempty"`
+	TimeMS    float64        `json:"time_ms"`
+}
+
+// errorResponse is the body of every non-200 response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before WriteHeader: an unencodable value (e.g. a NaN float
+	// that slipped into a response) must become a structured 500, not a
+	// 200 with an empty body.
+	body, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		body, _ = json.Marshal(errorResponse{Error: fmt.Sprintf("encoding response: %v", err)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body) // a client that hung up is not a server error
+	_, _ = w.Write([]byte("\n"))
+}
+
+func (s *Server) failf(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit claims an admission ticket and then a solve slot. It returns a
+// release function, or writes the refusal (429 on overflow, 503 while
+// draining, 504 when the deadline fires while queued) and returns nil.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) func() {
+	limit := int64(s.cfg.MaxInFlight + s.cfg.MaxQueued)
+	if s.admitted.Add(1) > limit {
+		s.admitted.Add(-1)
+		s.ctr.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.failf(w, http.StatusTooManyRequests,
+			"admission queue full (%d in flight + queued)", limit)
+		return nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() {
+			<-s.slots
+			s.admitted.Add(-1)
+		}
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		s.ctr.timeouts.Add(1)
+		s.failf(w, http.StatusGatewayTimeout, "deadline expired while queued")
+		return nil
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.failf(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.enter() {
+		s.failf(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	defer s.leave()
+	s.ctr.queries.Add(1)
+
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == "" {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	ds := s.Dataset(req.Dataset)
+	if ds == nil {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	method := req.Method
+	if method == "" {
+		method = MethodDirect
+	}
+	eng := ds.Engine(method)
+	if eng == nil {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusBadRequest, "unknown method %q (have %v)", method, ds.Methods())
+		return
+	}
+
+	// Compile before admission: parse/translate is cheap and a malformed
+	// query should not consume a solve slot.
+	spec, err := translate.Compile(req.Query, ds.Rel())
+	if err != nil {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		// Clamp in milliseconds before converting: a huge timeout_ms
+		// would overflow the Duration multiplication, wrap negative, and
+		// skip the cap.
+		if maxMS := s.cfg.MaxTimeout.Milliseconds(); req.TimeoutMS > maxMS {
+			req.TimeoutMS = maxMS
+		}
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release := s.admit(ctx, w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	res := eng.Evaluate(ctx, spec)
+	s.respond(w, r, req, method, spec, res)
+}
+
+// respond translates an engine result into the HTTP response.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, req QueryRequest, method string, spec *core.Spec, res engine.Result) {
+	if st := res.Stats; st != nil {
+		s.ctr.solveNanos.Add(int64(st.SolveTime))
+		s.ctr.backtracks.Add(uint64(st.Backtracks))
+		s.ctr.subproblems.Add(uint64(st.Subproblems))
+	}
+	resp := QueryResponse{
+		Dataset: req.Dataset,
+		Method:  method,
+		Cached:  res.Cached,
+		Stats:   statsJSON(res.Stats),
+		TimeMS:  float64(res.Time) / float64(time.Millisecond),
+	}
+	if err := res.Err; err != nil {
+		switch {
+		case errors.Is(err, core.ErrInfeasible), errors.Is(err, sketchrefine.ErrFalseInfeasible):
+			// A definitive verdict about the query, not a failure.
+			s.ctr.infeasible.Add(1)
+			resp.Infeasible = true
+			resp.FalseInfeasible = errors.Is(err, sketchrefine.ErrFalseInfeasible)
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.ctr.timeouts.Add(1)
+			s.failf(w, http.StatusGatewayTimeout, "evaluation deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// The client went away; nothing useful to write.
+			s.ctr.timeouts.Add(1)
+			s.failf(w, http.StatusGatewayTimeout, "request canceled")
+		default:
+			// Solver resource exhaustion and other evaluation failures:
+			// the query was valid but this budget could not answer it.
+			s.ctr.failures.Add(1)
+			s.failf(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		}
+		return
+	}
+
+	obj, err := res.Pkg.ObjectiveValue(spec)
+	if err != nil {
+		s.ctr.failures.Add(1)
+		s.failf(w, http.StatusInternalServerError, "objective evaluation: %v", err)
+		return
+	}
+	if math.IsNaN(obj) || math.IsInf(obj, 0) {
+		// NaN/Inf cells can enter via loaded CSV data; JSON cannot carry
+		// them and the value is meaningless as an optimum.
+		s.ctr.failures.Add(1)
+		s.failf(w, http.StatusUnprocessableEntity, "objective evaluated to %v (non-finite data in the aggregated columns)", obj)
+		return
+	}
+	s.ctr.ok.Add(1)
+	if res.Stats != nil && res.Stats.Truncated {
+		s.ctr.truncated.Add(1)
+		resp.Truncated = true
+	}
+	resp.Objective = strconv.FormatFloat(obj, 'g', -1, 64)
+	resp.ObjValue = obj
+	resp.Size = res.Pkg.Size()
+	resp.Distinct = res.Pkg.Distinct()
+	resp.Rows = make([]PackageRow, len(res.Pkg.Rows))
+	for i, row := range res.Pkg.Rows {
+		resp.Rows[i] = PackageRow{Row: row, Mult: res.Pkg.Mult[i]}
+	}
+	if req.IncludeTuples {
+		rel := spec.Rel
+		mat := res.Pkg.Materialize("package")
+		resp.Tuples = make([][]string, 0, mat.Len())
+		for i := 0; i < mat.Len(); i++ {
+			tup := make([]string, rel.Schema().Len())
+			for c := range tup {
+				tup[c] = mat.Value(i, c).String()
+			}
+			resp.Tuples = append(resp.Tuples, tup)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeMS    float64                 `json:"uptime_ms"`
+	Queries     uint64                  `json:"queries"`
+	OK          uint64                  `json:"ok"`
+	Infeasible  uint64                  `json:"infeasible"`
+	Truncated   uint64                  `json:"truncated"`
+	BadRequests uint64                  `json:"bad_requests"`
+	Rejected    uint64                  `json:"rejected"`
+	Timeouts    uint64                  `json:"timeouts"`
+	Failures    uint64                  `json:"failures"`
+	InFlight    int                     `json:"in_flight"`
+	Queued      int                     `json:"queued"`
+	Draining    bool                    `json:"draining"`
+	SolveTimeMS float64                 `json:"solve_time_ms_total"`
+	Backtracks  uint64                  `json:"backtracks_total"`
+	Subproblems uint64                  `json:"subproblems_total"`
+	Datasets    map[string]DatasetStats `json:"datasets"`
+}
+
+// DatasetStats summarizes one dataset and its per-method caches.
+type DatasetStats struct {
+	Rows   int                   `json:"rows"`
+	Groups int                   `json:"groups"`
+	Tau    int                   `json:"tau"`
+	Caches map[string]CacheStats `json:"caches"`
+}
+
+// CacheStats is the wire form of engine.CacheStats.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// Stats snapshots the service counters (also served at GET /stats).
+func (s *Server) Stats() StatsResponse {
+	inFlight := len(s.slots)
+	admitted := int(s.admitted.Load())
+	queued := admitted - inFlight
+	if queued < 0 {
+		queued = 0
+	}
+	resp := StatsResponse{
+		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		Queries:     s.ctr.queries.Load(),
+		OK:          s.ctr.ok.Load(),
+		Infeasible:  s.ctr.infeasible.Load(),
+		Truncated:   s.ctr.truncated.Load(),
+		BadRequests: s.ctr.badRequest.Load(),
+		Rejected:    s.ctr.rejected.Load(),
+		Timeouts:    s.ctr.timeouts.Load(),
+		Failures:    s.ctr.failures.Load(),
+		InFlight:    inFlight,
+		Queued:      queued,
+		Draining:    s.isDraining(),
+		SolveTimeMS: float64(s.ctr.solveNanos.Load()) / float64(time.Millisecond),
+		Backtracks:  s.ctr.backtracks.Load(),
+		Subproblems: s.ctr.subproblems.Load(),
+		Datasets:    make(map[string]DatasetStats),
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, ds := range s.datasets {
+		dst := DatasetStats{
+			Rows:   ds.Rel().Len(),
+			Groups: ds.Partitioning().NumGroups(),
+			Tau:    ds.Partitioning().Tau,
+			Caches: make(map[string]CacheStats),
+		}
+		for _, m := range ds.Methods() {
+			cs := ds.Engine(m).Stats()
+			dst.Caches[m] = CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Entries: cs.Entries}
+		}
+		resp.Datasets[name] = dst
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// DatasetInfo is one entry of GET /datasets.
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+	Attrs   []string `json:"partition_attrs"`
+	Groups  int      `json:"groups"`
+	Methods []string `json:"methods"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		cols := make([]string, ds.Rel().Schema().Len())
+		for i := range cols {
+			col := ds.Rel().Schema().Col(i)
+			cols[i] = fmt.Sprintf("%s:%s", col.Name, col.Type)
+		}
+		infos = append(infos, DatasetInfo{
+			Name:    ds.Name(),
+			Rows:    ds.Rel().Len(),
+			Columns: cols,
+			Attrs:   append([]string(nil), ds.Partitioning().Attrs...),
+			Groups:  ds.Partitioning().NumGroups(),
+			Methods: ds.Methods(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}

@@ -385,6 +385,7 @@ func (ev *evaluator) refineRec(st *state, queue []int, isRoot bool, maxBT int) (
 			return nil, nil, err
 		}
 		ev.backtracks++
+		ev.stats.Backtracks++
 		if ev.backtracks > maxBT {
 			return nil, failed, errRefineFailed
 		}

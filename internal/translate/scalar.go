@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/paql"
 	"repro/internal/relation"
@@ -29,19 +30,27 @@ import (
 
 // colResolver caches a column lookup per relation, so one compiled
 // closure can evaluate against both the input relation and the
-// representative relation.
+// representative relation. The cache is an atomically swapped immutable
+// snapshot: compiled predicates live in a spec that racing SketchRefine
+// lanes evaluate concurrently, against different relations.
 type colResolver struct {
 	name   string
-	cached *relation.Relation
-	idx    int
+	cached atomic.Pointer[colResolution]
+}
+
+// colResolution is one immutable (relation, index) lookup.
+type colResolution struct {
+	rel *relation.Relation
+	idx int
 }
 
 func (cr *colResolver) resolve(r *relation.Relation) int {
-	if cr.cached != r {
-		cr.idx = r.Schema().Lookup(cr.name)
-		cr.cached = r
+	c := cr.cached.Load()
+	if c == nil || c.rel != r {
+		c = &colResolution{rel: r, idx: r.Schema().Lookup(cr.name)}
+		cr.cached.Store(c)
 	}
-	return cr.idx
+	return c.idx
 }
 
 // scalarKind distinguishes numeric from string scalar expressions.
@@ -178,7 +187,7 @@ func CompilePredicate(e paql.Expr, schema relation.Schema, alias string) (relati
 		hi, okHi := constValue(x.Hi)
 		col, isCol := simpleColumn(x.E, alias)
 		if isCol && okLo && okHi {
-			if _, err := schema.MustLookup(col); err != nil {
+			if err := checkColLitTypes(col, schema, false); err != nil {
 				return nil, err
 			}
 			return &relation.Between{Col: col, Lo: lo, Hi: hi}, nil
@@ -208,6 +217,26 @@ func CompilePredicate(e paql.Expr, schema relation.Schema, alias string) (relati
 	}
 }
 
+// checkColLitTypes rejects a column/literal comparison whose types can
+// never match, so type confusions surface as translate-time errors
+// instead of silently-false predicates at evaluation time.
+func checkColLitTypes(col string, schema relation.Schema, litIsString bool) error {
+	idx, err := schema.MustLookup(col)
+	if err != nil {
+		return err
+	}
+	colIsString := schema.Col(idx).Type == relation.String
+	if colIsString != litIsString {
+		got := "a numeric"
+		if litIsString {
+			got = "a string"
+		}
+		return fmt.Errorf("translate: %w: column %q is %s, compared with %s literal",
+			relation.ErrTypeMismatch, col, schema.Col(idx).Type, got)
+	}
+	return nil
+}
+
 func compileComparison(x paql.Cmp, schema relation.Schema, alias string) (relation.Predicate, error) {
 	// Fast path: column ⋈ constant.
 	if col, ok := simpleColumn(x.L, alias); ok {
@@ -215,9 +244,15 @@ func compileComparison(x paql.Cmp, schema relation.Schema, alias string) (relati
 			return nil, err
 		}
 		if lit, ok := x.R.(paql.StrLit); ok {
+			if err := checkColLitTypes(col, schema, true); err != nil {
+				return nil, err
+			}
 			return relation.NewCompare(col, cmpOp(x.Op), relation.S(lit.Val)), nil
 		}
 		if v, ok := constValue(x.R); ok {
+			if err := checkColLitTypes(col, schema, false); err != nil {
+				return nil, err
+			}
 			return relation.NewCompare(col, cmpOp(x.Op), relation.F(v)), nil
 		}
 	}
@@ -227,9 +262,15 @@ func compileComparison(x paql.Cmp, schema relation.Schema, alias string) (relati
 			return nil, err
 		}
 		if lit, ok := x.L.(paql.StrLit); ok {
+			if err := checkColLitTypes(col, schema, true); err != nil {
+				return nil, err
+			}
 			return relation.NewCompare(col, flipOp(cmpOp(x.Op)), relation.S(lit.Val)), nil
 		}
 		if v, ok := constValue(x.L); ok {
+			if err := checkColLitTypes(col, schema, false); err != nil {
+				return nil, err
+			}
 			return relation.NewCompare(col, flipOp(cmpOp(x.Op)), relation.F(v)), nil
 		}
 	}

@@ -118,27 +118,42 @@ type Query struct {
 	SubsetFrac float64
 }
 
-// attrStats computes the mean of a numeric column, used to synthesize
+// attrMean computes the mean of a numeric column, used to synthesize
 // constraint bounds the way the paper does (attribute statistics scaled
-// by the expected package size).
-func attrMean(rel *relation.Relation, attr string) float64 {
+// by the expected package size). Unknown or non-numeric columns are
+// reported as errors so that a dataset missing a workload attribute
+// (e.g. a user-supplied CSV) fails loading instead of crashing.
+func attrMean(rel *relation.Relation, attr string) (float64, error) {
 	v, err := relation.Aggregate(rel, relation.Avg, attr, nil)
 	if err != nil {
-		panic(fmt.Sprintf("workload: %v", err))
+		return 0, fmt.Errorf("workload: %s: %w", rel.Name(), err)
 	}
-	return v
+	return v, nil
+}
+
+// attrMeans resolves several attribute means at once.
+func attrMeans(rel *relation.Relation, attrs ...string) (map[string]float64, error) {
+	out := make(map[string]float64, len(attrs))
+	for _, a := range attrs {
+		v, err := attrMean(rel, a)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = v
+	}
+	return out, nil
 }
 
 // GalaxyQueries builds the seven Galaxy benchmark queries with bounds
 // synthesized from the relation's own statistics, following Section 5.1
 // (original selection bounds multiplied by the expected package size).
-func GalaxyQueries(rel *relation.Relation) []Query {
-	mr := attrMean(rel, "r")
-	mu := attrMean(rel, "u")
-	mg := attrMean(rel, "g")
-	mz := attrMean(rel, "z")
-	mred := attrMean(rel, "redshift")
-	mpetro := attrMean(rel, "petrorad")
+// It fails if the relation lacks any of the Galaxy workload attributes.
+func GalaxyQueries(rel *relation.Relation) ([]Query, error) {
+	m, err := attrMeans(rel, "r", "u", "g", "z", "redshift", "petrorad", "ra", "dec", "i")
+	if err != nil {
+		return nil, err
+	}
+	mr, mu, mg, mz, mred, mpetro := m["r"], m["u"], m["g"], m["z"], m["redshift"], m["petrorad"]
 
 	q := func(name, paql string, hard, maximize bool, attrs ...string) Query {
 		return Query{Name: name, PaQL: paql, Attrs: attrs, Hard: hard, Maximize: maximize}
@@ -180,8 +195,8 @@ SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
 SUCH THAT COUNT(P.*) = 6 AND
           SUM(P.ra) BETWEEN %.3f AND %.3f AND
           SUM(P.dec) BETWEEN %.3f AND %.3f
-MINIMIZE SUM(P.r)`, 5.4*attrMean(rel, "ra"), 6.6*attrMean(rel, "ra"),
-			6*attrMean(rel, "dec")-120, 6*attrMean(rel, "dec")+120), false, false, "ra", "dec", "r"),
+MINIMIZE SUM(P.r)`, 5.4*m["ra"], 6.6*m["ra"],
+			6*m["dec"]-120, 6*m["dec"]+120), false, false, "ra", "dec", "r"),
 
 		// Q5: small follow-up set — 5 nearby galaxies (low redshift via
 		// MAX restriction), maximize total petroRad.
@@ -197,7 +212,7 @@ SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
 SUCH THAT COUNT(P.*) = 9 AND
           SUM(P.u) - SUM(P.g) BETWEEN %.4f AND %.4f AND
           SUM(P.i) BETWEEN %.4f AND %.4f
-MAXIMIZE SUM(P.dered_r)`, 9*(mu-mg)-0.2, 9*(mu-mg)+0.2, 8.98*attrMean(rel, "i"), 9.02*attrMean(rel, "i")),
+MAXIMIZE SUM(P.dered_r)`, 9*(mu-mg)-0.2, 9*(mu-mg)+0.2, 8.98*m["i"], 9.02*m["i"]),
 			true, true, "u", "g", "i", "dered_r"),
 
 		// Q7: conditional composition — at least half the package must
@@ -208,7 +223,7 @@ SUCH THAT COUNT(P.*) = 10 AND
           (SELECT COUNT(*) FROM P WHERE redshift > %.3f) >= 5 AND
           SUM(P.g) <= %.3f
 MAXIMIZE SUM(P.redshift)`, mred, 10.2*mg), false, true, "redshift", "g"),
-	}
+	}, nil
 }
 
 // WorkloadAttrs returns the union of the query attributes of a workload,

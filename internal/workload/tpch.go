@@ -79,15 +79,20 @@ var TPCHSubsetFraction = map[string]float64{
 // are synthesized from attribute statistics scaled by the expected
 // package size (the paper draws them uniformly from the attribute range;
 // statistics-based bounds keep every query feasible at every scale).
-func TPCHQueries(rel *relation.Relation) []Query {
-	mQty := attrMean(rel, "quantity")
-	mExt := attrMean(rel, "extendedprice")
-	mDisc := attrMean(rel, "discount")
-	mSupp := attrMean(rel, "supplycost")
-	mAvail := attrMean(rel, "availqty")
-	mTotal := attrMean(rel, "totalprice")
-	mAcct := attrMean(rel, "acctbal")
-	mRetail := attrMean(rel, "retailprice")
+func TPCHQueries(rel *relation.Relation) ([]Query, error) {
+	m, err := attrMeans(rel, "quantity", "extendedprice", "discount", "supplycost",
+		"availqty", "totalprice", "acctbal", "retailprice")
+	if err != nil {
+		return nil, err
+	}
+	mQty := m["quantity"]
+	mExt := m["extendedprice"]
+	mDisc := m["discount"]
+	mSupp := m["supplycost"]
+	mAvail := m["availqty"]
+	mTotal := m["totalprice"]
+	mAcct := m["acctbal"]
+	mRetail := m["retailprice"]
 
 	q := func(name, body string, hard, maximize bool, attrs ...string) Query {
 		paql := fmt.Sprintf("SELECT PACKAGE(R) AS P FROM tpch R REPEAT 0\n%s", body)
@@ -147,7 +152,7 @@ SUCH THAT COUNT(P.*) = 10 AND
           SUM(P.supplycost) <= %.2f
 MAXIMIZE SUM(P.totalprice)`, mExt, 10.5*mSupp),
 			false, true, "extendedprice", "supplycost", "totalprice"),
-	}
+	}, nil
 }
 
 // QueryTable materializes the per-query base table the paper's evaluation

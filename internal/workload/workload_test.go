@@ -153,8 +153,13 @@ func TestAllQueriesCompileAndSolve(t *testing.T) {
 		{Galaxy(800, 7), nil},
 		{TPCH(800, 7), nil},
 	}
-	datasets[0].queries = GalaxyQueries(datasets[0].rel)
-	datasets[1].queries = TPCHQueries(datasets[1].rel)
+	var err error
+	if datasets[0].queries, err = GalaxyQueries(datasets[0].rel); err != nil {
+		t.Fatal(err)
+	}
+	if datasets[1].queries, err = TPCHQueries(datasets[1].rel); err != nil {
+		t.Fatal(err)
+	}
 
 	for _, ds := range datasets {
 		if len(ds.queries) != 7 {
@@ -186,7 +191,10 @@ func TestAllQueriesCompileAndSolve(t *testing.T) {
 
 func TestWorkloadAttrsUnion(t *testing.T) {
 	rel := Galaxy(500, 4)
-	queries := GalaxyQueries(rel)
+	queries, err := GalaxyQueries(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	attrs := WorkloadAttrs(queries)
 	seen := make(map[string]bool)
 	for _, a := range attrs {
@@ -206,7 +214,11 @@ func TestWorkloadAttrsUnion(t *testing.T) {
 
 func TestQueryAttrsMatchCompiledSpecs(t *testing.T) {
 	rel := Galaxy(400, 5)
-	for _, q := range GalaxyQueries(rel) {
+	gq, err := GalaxyQueries(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range gq {
 		spec, err := translate.Compile(q.PaQL, rel)
 		if err != nil {
 			t.Fatal(err)
