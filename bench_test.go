@@ -36,14 +36,23 @@ var (
 	env     *bench.Env
 )
 
+// benchSolver maps the harness config to the internal solver budgets
+// (the benchmarks below exercise the internal strategy APIs directly).
+func benchSolver(e *bench.Env) ilp.Options {
+	cfg := e.Config()
+	return ilp.Options{TimeLimit: cfg.TimeLimit, MaxNodes: cfg.MaxNodes, Gap: cfg.Gap}
+}
+
 func getEnv() *bench.Env {
 	envOnce.Do(func() {
 		var err error
 		env, err = bench.NewEnv(bench.Config{
-			GalaxyN: 6000,
-			TPCHN:   12000,
-			Seed:    1,
-			Solver:  ilp.Options{MaxNodes: 50000, Gap: 1e-4, TimeLimit: 30 * time.Second},
+			GalaxyN:   6000,
+			TPCHN:     12000,
+			Seed:      1,
+			MaxNodes:  50000,
+			Gap:       1e-4,
+			TimeLimit: 30 * time.Second,
 		})
 		if err != nil {
 			panic(err)
@@ -175,7 +184,7 @@ func BenchmarkFigure4_PartitioningTPCH(b *testing.B) {
 // workload query at full scale (Figures 5 and 6's 100% points).
 func scalabilityBench(b *testing.B, ds bench.Dataset) {
 	e := getEnv()
-	solver := e.Config().Solver
+	solver := benchSolver(e)
 	for _, q := range e.Queries(ds) {
 		rel := workload.QueryTable(datasetRel(ds), q)
 		spec, err := translate.Compile(q.PaQL, rel)
@@ -258,7 +267,7 @@ func tauSweepBench(b *testing.B, ds bench.Dataset) {
 		b.Run("tau="+itoa(tau), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{
-					Solver: e.Config().Solver, HybridSketch: true,
+					Solver: benchSolver(e), HybridSketch: true,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -293,7 +302,7 @@ func BenchmarkFigure9_Coverage(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{
-					Solver: e.Config().Solver, HybridSketch: true,
+					Solver: benchSolver(e), HybridSketch: true,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -326,7 +335,7 @@ func BenchmarkSection521_EpsilonRepair(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, _, err := sketchrefine.Evaluate(spec, part, sketchrefine.Options{
-			Solver: e.Config().Solver, HybridSketch: true,
+			Solver: benchSolver(e), HybridSketch: true,
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/ilp"
 )
 
 func main() {
@@ -41,13 +40,15 @@ func main() {
 	flag.Parse()
 
 	env, err := bench.NewEnv(bench.Config{
-		GalaxyN: *galaxyN,
-		TPCHN:   *tpchN,
-		Seed:    *seed,
-		TauFrac: *tau,
-		Solver:  ilp.Options{TimeLimit: *timeout, MaxNodes: *maxNodes, Gap: 1e-4},
-		Workers: *workers,
-		Out:     os.Stdout,
+		GalaxyN:   *galaxyN,
+		TPCHN:     *tpchN,
+		Seed:      *seed,
+		TauFrac:   *tau,
+		TimeLimit: *timeout,
+		MaxNodes:  *maxNodes,
+		Gap:       1e-4,
+		Workers:   *workers,
+		Out:       os.Stdout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)

@@ -1,19 +1,21 @@
-// Command paqlcli evaluates a PaQL query against a CSV table.
+// Command paqlcli evaluates a PaQL query against a CSV table through
+// the paq SDK.
 //
 // Usage:
 //
 //	paqlcli -data table.csv [-query query.paql | -q "SELECT PACKAGE..."]
-//	        [-method naive|direct|sketchrefine] [-tau 0.1] [-timeout 60s]
-//	        [-workers 0] [-racers 1] [-deadline 0] [-out pkg.csv]
+//	        [-method auto|naive|direct|sketchrefine] [-tau 0.1]
+//	        [-timeout 60s] [-workers 0] [-racers 1] [-deadline 0]
+//	        [-explain] [-progress] [-out pkg.csv]
 //
 // The CSV header uses name:type fields (type f=float, i=int, s=string), as
 // written by the datagen tool and relation.WriteCSV. The chosen package is
 // printed with its objective value and optionally saved as CSV.
 //
-// Evaluation routes through the shared engine: -workers bounds the
-// partitioning fan-out, -racers races that many SketchRefine refinement
-// orders and keeps the first feasible package, and -deadline bounds the
-// whole evaluation via context cancellation (0 disables it).
+// -explain prints the prepared statement's plan — the chosen method and
+// why, the partitioning shape, and the ILP size — without solving.
+// -progress streams improving incumbents (objective + elapsed time) to
+// stderr while the solve runs, the SDK's anytime-results hook.
 package main
 
 import (
@@ -23,13 +25,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/ilp"
-	"repro/internal/naive"
-	"repro/internal/partition"
 	"repro/internal/relation"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
+	"repro/paq"
 )
 
 func main() {
@@ -37,18 +34,20 @@ func main() {
 		dataPath  = flag.String("data", "", "CSV file holding the input relation (required)")
 		queryPath = flag.String("query", "", "file holding the PaQL query text")
 		queryText = flag.String("q", "", "inline PaQL query text")
-		method    = flag.String("method", "direct", "evaluation method: naive, direct, or sketchrefine")
+		method    = flag.String("method", "auto", "evaluation method: auto, naive, direct, or sketchrefine")
 		tauFrac   = flag.Float64("tau", 0.10, "sketchrefine: partition size threshold as a fraction of the data")
 		timeout   = flag.Duration("timeout", 60*time.Second, "solver time limit per ILP")
-		maxNodes  = flag.Int("maxnodes", 200000, "solver branch-and-bound node budget per ILP")
+		maxNodes  = flag.Int("maxnodes", paq.DefaultNodeLimit, "solver branch-and-bound node budget per ILP")
 		workers   = flag.Int("workers", 0, "worker pool size for parallel partitioning (0 = GOMAXPROCS)")
 		racers    = flag.Int("racers", 1, "sketchrefine: refinement orders raced in parallel")
 		deadline  = flag.Duration("deadline", 0, "overall evaluation deadline (0 = none)")
+		explain   = flag.Bool("explain", false, "print the statement's plan (method, partitioning, ILP size) without solving")
+		progress  = flag.Bool("progress", false, "stream improving incumbents to stderr while solving")
 		outPath   = flag.String("out", "", "write the package as CSV to this path")
 		verbose   = flag.Bool("v", false, "print evaluation statistics")
 	)
 	flag.Parse()
-	truncated, err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *workers, *racers, *deadline, *outPath, *verbose)
+	truncated, err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *workers, *racers, *deadline, *explain, *progress, *outPath, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paqlcli:", err)
 		os.Exit(1)
@@ -62,7 +61,7 @@ func main() {
 	}
 }
 
-func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout time.Duration, maxNodes, workers, racers int, deadline time.Duration, outPath string, verbose bool) (truncated bool, err error) {
+func run(dataPath, queryPath, queryText, methodName string, tauFrac float64, timeout time.Duration, maxNodes, workers, racers int, deadline time.Duration, explain, progress bool, outPath string, verbose bool) (truncated bool, err error) {
 	if dataPath == "" {
 		return false, fmt.Errorf("-data is required")
 	}
@@ -77,73 +76,66 @@ func run(dataPath, queryPath, queryText, method string, tauFrac float64, timeout
 		}
 		src = string(b)
 	}
-	rel, err := relation.LoadCSV(dataPath)
+	method, err := paq.ParseMethod(methodName)
 	if err != nil {
 		return false, err
 	}
-	spec, err := translate.Compile(src, rel)
+
+	sess, err := paq.Open(paq.CSV(dataPath),
+		paq.WithMethod(method),
+		paq.WithTau(tauFrac),
+		paq.WithTimeLimit(timeout),
+		paq.WithNodeLimit(maxNodes),
+		paq.WithWorkers(workers),
+		paq.WithRacers(racers),
+	)
 	if err != nil {
 		return false, err
 	}
-	opt := ilp.Options{TimeLimit: timeout, MaxNodes: maxNodes, Gap: 1e-4}
-
-	var solver engine.Solver
-	switch method {
-	case "naive":
-		solver = engine.Naive{Opt: naive.Options{Timeout: timeout}}
-	case "direct":
-		solver = engine.Direct{Opt: opt}
-	case "sketchrefine":
-		attrs := spec.QueryAttrs()
-		if len(attrs) == 0 {
-			return false, fmt.Errorf("query has no numeric attributes to partition on")
-		}
-		tau := int(float64(rel.Len())*tauFrac) + 1
-		part, perr := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau, Workers: workers})
-		if perr != nil {
-			return false, perr
-		}
-		if verbose {
-			fmt.Printf("partitioned %d tuples into %d groups (τ=%d) in %v\n",
-				rel.Len(), part.NumGroups(), tau, part.BuildTime.Round(time.Millisecond))
-		}
-		solver = engine.SketchRefine{
-			Part:   part,
-			Opt:    sketchrefine.Options{Solver: opt, HybridSketch: true},
-			Racers: racers,
-		}
-	default:
-		return false, fmt.Errorf("unknown method %q", method)
+	stmt, err := sess.Prepare(src)
+	if err != nil {
+		return false, err
+	}
+	if explain || verbose {
+		fmt.Println(stmt.Plan())
+	}
+	if explain {
+		return false, nil
 	}
 
-	eng := engine.New(solver)
 	ctx := context.Background()
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	res := eng.Evaluate(ctx, spec)
-	if res.Err != nil {
-		return false, res.Err
+	var execOpts []paq.ExecOption
+	if progress {
+		execOpts = append(execOpts, paq.WithIncumbent(func(inc paq.Incumbent) {
+			tagged := ""
+			if inc.Sketch {
+				tagged = " (sketch)"
+			}
+			fmt.Fprintf(os.Stderr, "incumbent %d: objective %g after %v (%d nodes)%s\n",
+				inc.Seq, inc.Objective, inc.Elapsed.Round(time.Millisecond), inc.Nodes, tagged)
+		}))
 	}
-	pkg, stats := res.Pkg, res.Stats
-	// ilp.ResourceLimit incumbents: the strategies mark budget-truncated
-	// solves in Stats.Truncated; surface it to main for the warning and
-	// the nonzero exit.
-	truncated = stats != nil && stats.Truncated
-
-	obj, err := pkg.ObjectiveValue(spec)
+	res, err := stmt.Execute(ctx, execOpts...)
 	if err != nil {
 		return false, err
 	}
+	// Budget-truncated incumbents surface through Result.Truncated; main
+	// converts it into the warning and the nonzero exit.
+	truncated = res.Truncated
+
 	fmt.Printf("package: %d tuples (%d distinct), objective %g, %v\n",
-		pkg.Size(), pkg.Distinct(), obj, res.Time.Round(time.Millisecond))
-	if verbose && stats != nil {
-		fmt.Printf("stats: %d subproblem(s), largest %d vars × %d rows, %d B&B nodes, %d LP iterations\n",
-			stats.Subproblems, stats.Vars, stats.Rows, stats.SolverNodes, stats.LPIterations)
+		res.Size, res.Distinct, res.Objective, res.Time.Round(time.Millisecond))
+	if verbose && res.Stats != nil {
+		stats := res.Stats
+		fmt.Printf("stats: %d subproblem(s), largest %d vars × %d rows, %d B&B nodes, %d LP iterations, %d incumbent(s)\n",
+			stats.Subproblems, stats.Vars, stats.Rows, stats.SolverNodes, stats.LPIterations, res.Incumbents)
 	}
-	mat := pkg.Materialize("package")
+	mat := res.Package().Materialize("package")
 	if outPath != "" {
 		if err := relation.SaveCSV(mat, outPath); err != nil {
 			return false, err

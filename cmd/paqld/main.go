@@ -36,10 +36,10 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/ilp"
 	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/paq"
 )
 
 // loadFlags collects repeated -load name=path flags.
@@ -63,7 +63,7 @@ func main() {
 		racers   = flag.Int("racers", 1, "sketchrefine refinement orders raced per query (1 = deterministic)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request evaluation deadline")
 		maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
-		maxNodes = flag.Int("maxnodes", ilp.DefaultMaxNodes, "solver branch-and-bound node budget per ILP")
+		maxNodes = flag.Int("maxnodes", paq.DefaultNodeLimit, "solver branch-and-bound node budget per ILP")
 		inflight = flag.Int("inflight", 0, "max concurrently evaluating queries (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "max queries queued beyond -inflight (0 = 4x inflight, -1 = none)")
 	)
@@ -86,11 +86,13 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		MaxTimeout:     maxTime,
 	})
 	dcfg := server.DatasetConfig{
-		TauFrac: tau,
-		Workers: workers,
-		Racers:  racers,
-		Seed:    seed,
-		Solver:  ilp.Options{TimeLimit: maxTime, MaxNodes: maxNodes, Gap: 1e-4},
+		TauFrac:   tau,
+		Workers:   workers,
+		Racers:    racers,
+		Seed:      seed,
+		TimeLimit: maxTime,
+		MaxNodes:  maxNodes,
+		Gap:       1e-4,
 	}
 
 	registered := 0
@@ -102,8 +104,12 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		}
 		srv.Register(ds)
 		registered++
+		pi, err := ds.Partitioning()
+		if err != nil {
+			return fmt.Errorf("dataset %q: partitioning: %w", name, err)
+		}
 		log.Printf("dataset %q: %d rows, %d groups, partitioned in %v",
-			name, rel.Len(), ds.Partitioning().NumGroups(), time.Since(t0).Round(time.Millisecond))
+			name, rel.Len(), pi.Groups, time.Since(t0).Round(time.Millisecond))
 		return nil
 	}
 

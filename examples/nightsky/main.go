@@ -1,13 +1,14 @@
-// Night sky: the paper's Example 2. An astrophysicist looks for sets of
-// sky-grid cells that may contain unseen quasars: the overall redshift of
-// the selected cells must fall in a window, and sets are ranked by their
-// total quasar-likelihood score.
+// Night sky: the paper's Example 2, on the paq SDK. An astrophysicist
+// looks for sets of sky-grid cells that may contain unseen quasars: the
+// overall redshift of the selected cells must fall in a window, and
+// sets are ranked by their total quasar-likelihood score.
 //
-// The sky is divided into grid cells (one tuple per cell, aggregating the
-// synthetic Galaxy catalog), and the package query picks the best set of
-// eight cells. The example evaluates the query both with DIRECT and with
-// SKETCHREFINE over a quad-tree partitioning and compares the results —
-// the scalable path is what makes this workable on full-survey scales.
+// The sky is divided into grid cells (one tuple per cell, aggregating
+// the synthetic Galaxy catalog), and the package query picks the best
+// set of eight cells. The example evaluates the query both with DIRECT
+// and with SKETCHREFINE — two sessions over the same cells table, the
+// second lazily warming a quad-tree partitioning — and streams the
+// DIRECT solve's improving incumbents, the SDK's anytime-results hook.
 //
 // Run with: go run ./examples/nightsky
 package main
@@ -18,13 +19,9 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/ilp"
-	"repro/internal/partition"
 	"repro/internal/relation"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
 	"repro/internal/workload"
+	"repro/paq"
 )
 
 const query = `
@@ -39,46 +36,53 @@ func main() {
 	cells := buildCellGrid(40000, 40) // 40×40 grid over a 40k-galaxy catalog
 	fmt.Printf("sky grid: %d non-empty cells\n", cells.Len())
 
-	spec, err := translate.Compile(query, cells)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opt := ilp.Options{TimeLimit: 30 * time.Second, MaxNodes: 100000, Gap: 1e-4}
-
 	ctx := context.Background()
-	dRes := engine.New(engine.Direct{Opt: opt}).Evaluate(ctx, spec)
-	if dRes.Err != nil {
-		log.Fatal("DIRECT: ", dRes.Err)
+	opts := []paq.Option{
+		paq.WithTimeLimit(30 * time.Second),
+		paq.WithNodeLimit(100000),
 	}
-	direct, dTime := dRes.Pkg, dRes.Time
 
-	part, err := partition.Build(cells, partition.Options{
-		Attrs:         []string{"redshift", "likelihood", "brightness"},
-		SizeThreshold: cells.Len()/10 + 1,
-	})
+	direct, err := paq.Open(paq.Table(cells), append(opts, paq.WithMethod(paq.MethodDirect))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sRes := engine.New(engine.SketchRefine{
-		Part: part,
-		Opt:  sketchrefine.Options{Solver: opt, HybridSketch: true},
-	}).Evaluate(ctx, spec)
-	if sRes.Err != nil {
-		log.Fatal("SKETCHREFINE: ", sRes.Err)
+	dStmt, err := direct.Prepare(query)
+	if err != nil {
+		log.Fatal(err)
 	}
-	sketch, sTime := sRes.Pkg, sRes.Time
+	dRes, err := dStmt.Execute(ctx, paq.WithIncumbent(func(inc paq.Incumbent) {
+		fmt.Printf("  DIRECT incumbent %d: likelihood %.2f after %v\n",
+			inc.Seq, inc.Objective, inc.Elapsed.Round(time.Millisecond))
+	}))
+	if err != nil {
+		log.Fatal("DIRECT: ", err)
+	}
 
-	objD, _ := direct.ObjectiveValue(spec)
-	objS, _ := sketch.ObjectiveValue(spec)
-	fmt.Printf("DIRECT:       likelihood %.2f in %v\n", objD, dTime.Round(time.Millisecond))
+	sketchSess, err := paq.Open(paq.Table(cells), append(opts,
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs("redshift", "likelihood", "brightness"),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sStmt, err := sketchSess.Prepare(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sRes, err := sStmt.Execute(ctx)
+	if err != nil {
+		log.Fatal("SKETCHREFINE: ", err)
+	}
+
+	fmt.Printf("DIRECT:       likelihood %.2f in %v (%d incumbents)\n",
+		dRes.Objective, dRes.Time.Round(time.Millisecond), dRes.Incumbents)
 	fmt.Printf("SKETCHREFINE: likelihood %.2f in %v (ratio %.3f)\n",
-		objS, sTime.Round(time.Millisecond), objD/objS)
+		sRes.Objective, sRes.Time.Round(time.Millisecond), dRes.Objective/sRes.Objective)
 	fmt.Println("selected cells (SketchRefine):")
-	for k, row := range sketch.Rows {
+	for _, row := range sRes.Rows {
 		fmt.Printf("  cell(ra=%3.0f°, dec=%+3.0f°) galaxies=%4.0f redshift=%.2f likelihood=%.2f\n",
 			cells.Float(row, 0), cells.Float(row, 1), cells.Float(row, 2),
 			cells.Float(row, 4), cells.Float(row, 5))
-		_ = k
 	}
 }
 

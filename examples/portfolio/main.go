@@ -1,13 +1,13 @@
 // Portfolio: investment planning, one of the application domains the
-// paper's introduction motivates. Build a bond portfolio of exactly 12
-// positions within a budget, with average risk capped, at least four
-// investment-grade positions (a conditional count, expressed with the
-// sub-query form), and total duration bounded — maximizing yield.
+// paper's introduction motivates, on the paq SDK. Build a bond portfolio
+// of exactly 12 positions within a budget, with average risk capped, at
+// least four investment-grade positions (a conditional count, expressed
+// with the sub-query form), and total duration bounded — maximizing
+// yield.
 //
 // The example demonstrates REPEAT 1 (a bond can be bought twice) and
-// compares DIRECT with SKETCHREFINE, both routed through the shared
-// engine; the SketchRefine run races two seeded refinement orders and
-// keeps the first feasible portfolio.
+// compares DIRECT with SKETCHREFINE; the SketchRefine session races two
+// seeded refinement orders and keeps the first feasible portfolio.
 //
 // Run with: go run ./examples/portfolio
 package main
@@ -19,13 +19,8 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/ilp"
-	"repro/internal/partition"
 	"repro/internal/relation"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
+	"repro/paq"
 )
 
 const query = `
@@ -40,47 +35,45 @@ MAXIMIZE SUM(P.yield)`
 
 func main() {
 	bonds := generateBonds(20000, 3)
-
-	spec, err := translate.Compile(query, bonds)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opt := ilp.Options{TimeLimit: 30 * time.Second, MaxNodes: 100000, Gap: 1e-4}
-
 	ctx := context.Background()
-	dRes := engine.New(engine.Direct{Opt: opt}).Evaluate(ctx, spec)
-	if dRes.Err != nil {
-		log.Fatal("DIRECT: ", dRes.Err)
+	opts := []paq.Option{
+		paq.WithTimeLimit(30 * time.Second),
+		paq.WithNodeLimit(100000),
 	}
-	direct, dTime := dRes.Pkg, dRes.Time
 
-	part, err := partition.Build(bonds, partition.Options{
-		Attrs:         []string{"price", "risk", "duration", "yield"},
-		SizeThreshold: bonds.Len()/10 + 1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sRes := engine.New(engine.SketchRefine{
-		Part:   part,
-		Opt:    sketchrefine.Options{Solver: opt, HybridSketch: true},
-		Racers: 2,
-	}).Evaluate(ctx, spec)
-	if sRes.Err != nil {
-		log.Fatal("SKETCHREFINE: ", sRes.Err)
-	}
-	sketched, sTime := sRes.Pkg, sRes.Time
-
-	for _, m := range []struct {
+	type outcome struct {
 		name string
-		pkg  *core.Package
-		d    time.Duration
-	}{{"DIRECT", direct, dTime}, {"SKETCHREFINE", sketched, sTime}} {
-		yield, _ := m.pkg.ObjectiveValue(spec)
-		price, _ := relation.WeightedAggregate(bonds, relation.Sum, "price", m.pkg.Rows, m.pkg.Mult)
-		risk, _ := relation.WeightedAggregate(bonds, relation.Avg, "risk", m.pkg.Rows, m.pkg.Mult)
+		res  *paq.Result
+	}
+	var outcomes []outcome
+	run := func(name string, extra ...paq.Option) *paq.Result {
+		sess, err := paq.Open(paq.Table(bonds), append(append([]paq.Option{}, opts...), extra...)...)
+		if err != nil {
+			log.Fatal(name, ": ", err)
+		}
+		stmt, err := sess.Prepare(query)
+		if err != nil {
+			log.Fatal(name, ": ", err)
+		}
+		res, err := stmt.Execute(ctx)
+		if err != nil {
+			log.Fatal(name, ": ", err)
+		}
+		outcomes = append(outcomes, outcome{name: name, res: res})
+		return res
+	}
+	run("DIRECT", paq.WithMethod(paq.MethodDirect))
+	sketched := run("SKETCHREFINE",
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs("price", "risk", "duration", "yield"),
+		paq.WithRacers(2),
+	)
+
+	for _, m := range outcomes {
+		price, _ := relation.WeightedAggregate(bonds, relation.Sum, "price", m.res.Rows, m.res.Mult)
+		risk, _ := relation.WeightedAggregate(bonds, relation.Avg, "risk", m.res.Rows, m.res.Mult)
 		fmt.Printf("%-12s %2d positions, cost %8.0f, avg risk %.3f, yield %7.2f  (%v)\n",
-			m.name, m.pkg.Size(), price, risk, yield, m.d.Round(time.Millisecond))
+			m.name, m.res.Size, price, risk, m.res.Objective, m.res.Time.Round(time.Millisecond))
 	}
 
 	fmt.Println("\nSketchRefine portfolio:")

@@ -1,9 +1,11 @@
-// Quickstart: the paper's running example (Example 1, the meal planner).
+// Quickstart: the paper's running example (Example 1, the meal planner),
+// on the paq SDK.
 //
 // A dietitian wants three gluten-free meals totalling 2.0–2.5 kcal
 // (thousands), minimizing saturated fat. The program builds the Recipes
-// relation, compiles the PaQL query, evaluates it with DIRECT, and prints
-// the chosen package.
+// relation, opens a paq session over it, prepares the PaQL query (the
+// plan says DIRECT was chosen and why), executes it, and prints the
+// chosen package.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,10 +15,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/engine"
-	"repro/internal/ilp"
 	"repro/internal/relation"
-	"repro/internal/translate"
+	"repro/paq"
 )
 
 const query = `
@@ -52,24 +52,25 @@ func main() {
 		recipes.MustAppend(relation.S(m.name), relation.S(m.gluten), relation.F(m.kcal), relation.F(m.fat))
 	}
 
-	spec, err := translate.Compile(query, recipes)
+	sess, err := paq.Open(paq.Table(recipes))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := engine.New(engine.Direct{Opt: ilp.Options{}})
-	res := eng.Evaluate(context.Background(), spec)
-	if res.Err != nil {
-		log.Fatal(res.Err)
+	stmt, err := sess.Prepare(query)
+	if err != nil {
+		log.Fatal(err)
 	}
-	pkg, stats := res.Pkg, res.Stats
+	res, err := stmt.Execute(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("Daily meal plan:")
-	for k, row := range pkg.Rows {
+	for k, row := range res.Rows {
 		fmt.Printf("  %d× %-16s kcal %.2f  sat.fat %.1f\n",
-			pkg.Mult[k], recipes.Str(row, 0), recipes.Float(row, 2), recipes.Float(row, 3))
+			res.Mult[k], recipes.Str(row, 0), recipes.Float(row, 2), recipes.Float(row, 3))
 	}
-	kcal, _ := relation.WeightedAggregate(recipes, relation.Sum, "kcal", pkg.Rows, pkg.Mult)
-	fat, _ := pkg.ObjectiveValue(spec)
-	fmt.Printf("total: %.2f kcal, %.1f saturated fat (ILP: %d vars, %d nodes)\n",
-		kcal, fat, stats.Vars, stats.SolverNodes)
+	kcal, _ := relation.WeightedAggregate(recipes, relation.Sum, "kcal", res.Rows, res.Mult)
+	fmt.Printf("total: %.2f kcal, %.1f saturated fat (ILP: %d vars, %d nodes; plan: %s)\n",
+		kcal, res.Objective, res.Stats.Vars, res.Stats.SolverNodes, stmt.Plan().Method)
 }

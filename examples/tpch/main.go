@@ -1,7 +1,8 @@
 // TPC-H: runs the paper's TPC-H benchmark workload end to end on the
-// synthetic pre-joined table — per-query base tables (Figure 3), one
-// offline partitioning per table, and DIRECT vs SKETCHREFINE for each of
-// the seven queries, printing a miniature of Figure 6.
+// synthetic pre-joined table through the paq SDK — per-query base
+// tables (Figure 3), one session (and offline partitioning) per table,
+// and DIRECT vs SKETCHREFINE for each of the seven queries, printing a
+// miniature of Figure 6.
 //
 // Run with: go run ./examples/tpch [-n 40000]
 package main
@@ -13,12 +14,8 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/ilp"
-	"repro/internal/partition"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
 	"repro/internal/workload"
+	"repro/paq"
 )
 
 func main() {
@@ -31,50 +28,47 @@ func main() {
 		log.Fatal(err)
 	}
 	attrs := workload.WorkloadAttrs(queries)
-	opt := ilp.Options{TimeLimit: 60 * time.Second, MaxNodes: 100000, Gap: 1e-4}
+	opts := []paq.Option{
+		paq.WithTimeLimit(60 * time.Second),
+		paq.WithNodeLimit(100000),
+		paq.WithPartitionAttrs(attrs...),
+	}
 
 	fmt.Printf("TPC-H workload on %d tuples (workload attributes: %v)\n\n", full.Len(), attrs)
 	fmt.Printf("%-4s %9s %12s %12s %8s\n", "Q", "rows", "DIRECT", "SKETCHREF", "ratio")
 	for _, q := range queries {
 		rel := workload.QueryTable(full, q)
-		spec, err := translate.Compile(q.PaQL, rel)
-		if err != nil {
-			log.Fatalf("%s: %v", q.Name, err)
-		}
-		part, err := partition.Build(rel, partition.Options{
-			Attrs:         attrs,
-			SizeThreshold: rel.Len()/10 + 1,
-		})
+		sess, err := paq.Open(paq.Table(rel), opts...)
 		if err != nil {
 			log.Fatalf("%s: %v", q.Name, err)
 		}
 
 		ctx := context.Background()
-		dRes := engine.New(engine.Direct{Opt: opt}).Evaluate(ctx, spec)
-		dPkg, dTime, dErr := dRes.Pkg, dRes.Time, dRes.Err
-		sRes := engine.New(engine.SketchRefine{
-			Part: part,
-			Opt:  sketchrefine.Options{Solver: opt, HybridSketch: true},
-		}).Evaluate(ctx, spec)
-		sPkg, sTime, sErr := sRes.Pkg, sRes.Time, sRes.Err
+		exec := func(m paq.Method) (*paq.Result, error) {
+			stmt, err := sess.Prepare(q.PaQL, paq.WithMethod(m))
+			if err != nil {
+				return nil, err
+			}
+			return stmt.Execute(ctx)
+		}
+		dRes, dErr := exec(paq.MethodDirect)
+		sRes, sErr := exec(paq.MethodSketchRefine)
 
 		ratio := "—"
 		if dErr == nil && sErr == nil {
-			od, _ := dPkg.ObjectiveValue(spec)
-			os, _ := sPkg.ObjectiveValue(spec)
-			r := od / os
+			r := dRes.Objective / sRes.Objective
 			if !q.Maximize {
-				r = os / od
+				r = sRes.Objective / dRes.Objective
 			}
 			ratio = fmt.Sprintf("%.3f", r)
 		}
-		cell := func(d time.Duration, err error) string {
+		cell := func(res *paq.Result, err error) string {
 			if err != nil {
 				return "FAIL"
 			}
-			return d.Round(time.Millisecond).String()
+			return res.Time.Round(time.Millisecond).String()
 		}
 		fmt.Printf("%-4s %9d %12s %12s %8s\n",
-			q.Name, rel.Len(), cell(dTime, dErr), cell(sTime, sErr), ratio)
+			q.Name, rel.Len(), cell(dRes, dErr), cell(sRes, sErr), ratio)
 	}
 }

@@ -6,15 +6,11 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/partition"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
+	"repro/paq"
 )
 
 // BatchResult records one batch-evaluation run: many package queries
-// answered over one shared offline partitioning by the engine's worker
+// answered over one shared offline partitioning by the session's worker
 // pool.
 type BatchResult struct {
 	Dataset   Dataset
@@ -29,13 +25,13 @@ type BatchResult struct {
 	Objectives []float64
 }
 
-// batchSpecs generates a deterministic parameter-sweep workload over the
-// dataset: the same structural package query with varied cardinalities
-// and bounds — the shape of a production query stream, where many
-// clients ask for similar packages over one relation. A fraction of the
-// queries are exact duplicates to exercise the engine's solution cache.
-func (e *Env) batchSpecs(ds Dataset, n int) ([]*core.Spec, error) {
-	rel := e.rels[ds]
+// batchQueries generates a deterministic parameter-sweep workload over
+// the dataset: the same structural package query with varied
+// cardinalities and bounds — the shape of a production query stream,
+// where many clients ask for similar packages over one relation. A
+// fraction of the queries are exact duplicates to exercise the
+// session's solution cache.
+func (e *Env) batchQueries(ds Dataset, n int) ([]string, error) {
 	rng := rand.New(rand.NewSource(e.cfg.Seed * 7919))
 	var template func(card int, frac float64) string
 	switch ds {
@@ -56,63 +52,64 @@ MAXIMIZE SUM(P.extendedprice)`, card, float64(card)*(20+30*frac))
 	default:
 		return nil, fmt.Errorf("bench: unknown dataset %q", ds)
 	}
-	specs := make([]*core.Spec, 0, n)
+	queries := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		card := 3 + rng.Intn(5)
 		frac := rng.Float64()
 		if i >= 4 && i%4 == 0 {
 			// Every fourth query repeats an earlier one verbatim: the
 			// solution cache should answer it without a solve.
-			specs = append(specs, specs[rng.Intn(len(specs))])
+			queries = append(queries, queries[rng.Intn(len(queries))])
 			continue
 		}
-		spec, err := translate.Compile(template(card, frac), rel)
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, spec)
+		queries = append(queries, template(card, frac))
 	}
-	return specs, nil
+	return queries, nil
 }
 
-// Batch partitions the dataset once (in parallel) and evaluates a
-// deterministic stream of n package queries over the shared partitioning
-// with the engine's worker pool. Identical queries hit the solution
-// cache. The returned objectives are independent of the worker count —
-// the differential tests assert exactly that.
+// Batch opens a caching session over the dataset, warms its shared
+// partitioning (in parallel), and evaluates a deterministic stream of n
+// package queries with the session's worker pool. Identical queries hit
+// the solution cache. The returned objectives are independent of the
+// worker count — the differential tests assert exactly that.
 func (e *Env) Batch(ds Dataset, n, workers int) (*BatchResult, error) {
-	rel := e.rels[ds]
-	specs, err := e.batchSpecs(ds, n)
+	queries, err := e.batchQueries(ds, n)
 	if err != nil {
 		return nil, err
 	}
-
-	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
-	part, err := partition.Build(rel, partition.Options{
-		Attrs:         e.attrs[ds],
-		SizeThreshold: tau,
-		Workers:       workers,
-	})
+	sess, err := paq.Open(paq.Table(e.rels[ds]),
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs(e.attrs[ds]...),
+		paq.WithTau(e.cfg.TauFrac),
+		paq.WithWorkers(workers),
+		paq.WithTimeLimit(e.cfg.TimeLimit),
+		paq.WithNodeLimit(e.cfg.MaxNodes),
+		paq.WithGap(e.cfg.Gap),
+	)
 	if err != nil {
 		return nil, err
 	}
-
-	eng := engine.New(engine.SketchRefine{
-		Part: part,
-		Opt:  sketchrefine.Options{Solver: e.cfg.Solver, HybridSketch: true},
-	})
-	eng.Workers = workers
+	pi, err := sess.Partitioning() // warm the shared partitioning up front
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]*paq.Stmt, len(queries))
+	for i, q := range queries {
+		if stmts[i], err = sess.Prepare(q); err != nil {
+			return nil, err
+		}
+	}
 
 	t0 := time.Now()
-	results := eng.EvaluateBatch(context.Background(), specs)
+	results := sess.ExecuteBatch(context.Background(), stmts)
 	res := &BatchResult{
 		Dataset:   ds,
 		Queries:   n,
 		Workers:   workers,
-		Partition: part.BuildTime,
+		Partition: time.Duration(pi.BuildMS * float64(time.Millisecond)),
 		Eval:      time.Since(t0),
 	}
-	for i, r := range results {
+	for _, r := range results {
 		if r.Cached {
 			res.CacheHits++
 		}
@@ -120,11 +117,7 @@ func (e *Env) Batch(ds Dataset, n, workers int) (*BatchResult, error) {
 			res.Failed++
 			continue
 		}
-		obj, oerr := r.Pkg.ObjectiveValue(specs[i])
-		if oerr != nil {
-			return nil, oerr
-		}
-		res.Objectives = append(res.Objectives, obj)
+		res.Objectives = append(res.Objectives, r.Objective)
 	}
 	fmt.Fprintf(e.cfg.Out, "%-7s %3d queries  workers=%-2d  partition %8s  batch %8s  cachehits %d  failed %d\n",
 		ds, n, workers, fmtDur(res.Partition), fmtDur(res.Eval), res.CacheHits, res.Failed)

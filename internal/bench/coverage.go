@@ -4,21 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/partition"
-	"repro/internal/relation"
-	"repro/internal/translate"
+	"repro/paq"
 )
-
-// recompile parses and translates PaQL text against a relation (used
-// when experiments re-materialize tables).
-func recompile(paql string, rel *relation.Relation) (*core.Spec, *relation.Relation, error) {
-	spec, err := translate.Compile(paql, rel)
-	if err != nil {
-		return nil, nil, err
-	}
-	return spec, rel, nil
-}
 
 // CoveragePoint is one (query, coverage) measurement of Figure 9.
 type CoveragePoint struct {
@@ -42,7 +29,9 @@ type CoverageResult struct {
 // Coverage reproduces Figure 9: the effect of partitioning coverage —
 // partitioning on subsets (coverage < 1), exactly (= 1), and supersets
 // (> 1) of each query's attributes — on SketchRefine's response time
-// (as a ratio to the coverage-1 time) and approximation ratio.
+// (as a ratio to the coverage-1 time) and approximation ratio. Each
+// variant is a fresh session whose partitioning attributes are pinned
+// with WithPartitionAttrs.
 func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
 	res := &CoverageResult{Dataset: ds}
 	out := e.cfg.Out
@@ -52,11 +41,12 @@ func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
 	all := e.attrs[ds]
 	var ratios []float64
 	for _, q := range e.queries[ds] {
-		spec, rel, err := e.compile(ds, q)
+		dStmt, err := e.prepare(ds, q, paq.MethodDirect)
 		if err != nil {
 			return nil, err
 		}
-		d := e.runDirect(spec, spec.BaseRows())
+		d := e.runDirect(dStmt, nil)
+		rel := e.queryTable(ds, q)
 
 		// Coverage variants: drop query attributes one at a time
 		// (coverage < 1), the query attributes exactly (= 1), and grow
@@ -76,12 +66,18 @@ func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
 
 		baseTime := 0.0
 		for _, attrs := range variants {
-			tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
-			p, err := partition.Build(rel, partition.Options{Attrs: attrs, SizeThreshold: tau})
+			sess, err := paq.Open(paq.Table(rel), e.sessionOpts(
+				paq.WithMethod(paq.MethodSketchRefine),
+				paq.WithPartitionAttrs(attrs...),
+			)...)
 			if err != nil {
 				return nil, err
 			}
-			s := e.runSketchRefine(spec, p, e.cfg.Seed)
+			stmt, err := sess.Prepare(q.PaQL)
+			if err != nil {
+				return nil, err
+			}
+			s := e.runSketchRefine(stmt, nil, e.cfg.Seed)
 			pt := CoveragePoint{
 				Query:    q.Name,
 				Coverage: float64(len(attrs)) / float64(len(q.Attrs)),
@@ -131,38 +127,46 @@ type EpsilonRepairResult struct {
 // EpsilonRepair runs the TPC-H Q2 radius-limit repair experiment.
 func (e *Env) EpsilonRepair(eps float64) (*EpsilonRepairResult, error) {
 	var q = e.queries[TPCH][1] // Q2, the minimization query
-	spec, rel, err := e.compile(TPCH, q)
+	dStmt, err := e.prepare(TPCH, q, paq.MethodDirect)
 	if err != nil {
 		return nil, err
 	}
-	d := e.runDirect(spec, spec.BaseRows())
+	d := e.runDirect(dStmt, nil)
 	if d.Err != nil {
 		return nil, fmt.Errorf("bench: epsilon repair baseline failed: %w", d.Err)
 	}
 	res := &EpsilonRepairResult{Query: q.Name, Epsilon: eps}
 
-	// Without radius condition.
-	p0, err := e.partitioning(TPCH, q)
+	// Without radius condition (the cached workload-attrs session).
+	s0Stmt, err := e.prepare(TPCH, q, paq.MethodSketchRefine)
 	if err != nil {
 		return nil, err
 	}
-	s0 := e.runSketchRefine(spec, p0, e.cfg.Seed)
+	s0 := e.runSketchRefine(s0Stmt, nil, e.cfg.Seed)
 	if s0.Err == nil {
 		res.RatioNoOmega = approxRatio(q.Maximize, d.Objective, s0.Objective)
 	}
 
 	// With ω from Equation 1 over the query attributes.
-	omega, err := partition.RadiusForEpsilon(rel, q.Attrs, eps, q.Maximize)
+	rel := e.queryTable(TPCH, q)
+	omega, err := paq.RadiusForEpsilon(rel, q.Attrs, eps, q.Maximize)
 	if err != nil {
 		return nil, err
 	}
 	res.Omega = omega
-	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
-	p1, err := partition.Build(rel, partition.Options{Attrs: q.Attrs, SizeThreshold: tau, RadiusLimit: omega})
+	sess, err := paq.Open(paq.Table(rel), e.sessionOpts(
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs(q.Attrs...),
+		paq.WithRadiusLimit(omega),
+	)...)
 	if err != nil {
 		return nil, err
 	}
-	s1 := e.runSketchRefine(spec, p1, e.cfg.Seed)
+	s1Stmt, err := sess.Prepare(q.PaQL)
+	if err != nil {
+		return nil, err
+	}
+	s1 := e.runSketchRefine(s1Stmt, nil, e.cfg.Seed)
 	if s1.Err == nil {
 		res.RatioOmega = approxRatio(q.Maximize, d.Objective, s1.Objective)
 	}

@@ -5,6 +5,10 @@
 // (bench_test.go wraps them as Go benchmarks; cmd/benchrunner exposes
 // them on the command line).
 //
+// The harness consumes the solve path exclusively through the public
+// paq SDK — sessions, prepared statements, row-subset executions — so
+// it measures exactly what an embedding application would see.
+//
 // The protocol follows Section 5.1: per-dataset workloads of seven
 // package queries, offline partitioning on the union of the workload's
 // query attributes with τ = 10% of the dataset and no radius condition,
@@ -14,19 +18,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ilp"
-	"repro/internal/partition"
 	"repro/internal/relation"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
 	"repro/internal/workload"
+	"repro/paq"
 )
 
 // Config sets the experiment scale and budgets.
@@ -40,11 +41,13 @@ type Config struct {
 	// TauFrac is the partition size threshold as a fraction of the
 	// dataset (the paper's scalability experiments use 10%).
 	TauFrac float64
-	// Solver is the per-ILP budget for both DIRECT and SketchRefine
-	// (the stand-in for the paper's CPLEX memory ceiling and one-hour
-	// cap). DIRECT failures under this budget reproduce the paper's
-	// missing data points.
-	Solver ilp.Options
+	// TimeLimit, MaxNodes, and Gap are the per-ILP solver budgets for
+	// both DIRECT and SketchRefine (the stand-in for the paper's CPLEX
+	// memory ceiling and one-hour cap). DIRECT failures under this
+	// budget reproduce the paper's missing data points.
+	TimeLimit time.Duration
+	MaxNodes  int
+	Gap       float64
 	// Workers bounds the goroutines used for parallel partitioning and
 	// batch query evaluation; 0 means GOMAXPROCS, 1 forces sequential.
 	// Results are identical for every setting.
@@ -66,14 +69,14 @@ func (c Config) withDefaults() Config {
 	if c.TauFrac == 0 {
 		c.TauFrac = 0.10
 	}
-	if c.Solver.MaxNodes == 0 {
-		c.Solver.MaxNodes = 50000
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 50000
 	}
-	if c.Solver.Gap == 0 {
-		c.Solver.Gap = 1e-4 // CPLEX's default relative MIP gap
+	if c.Gap == 0 {
+		c.Gap = 1e-4 // CPLEX's default relative MIP gap
 	}
-	if c.Solver.TimeLimit == 0 {
-		c.Solver.TimeLimit = 60 * time.Second
+	if c.TimeLimit == 0 {
+		c.TimeLimit = 60 * time.Second
 	}
 	if c.Out == nil {
 		c.Out = io.Discard
@@ -90,8 +93,8 @@ const (
 	TPCH   Dataset = "tpch"
 )
 
-// Env caches the generated datasets, per-query tables, and partitionings
-// across experiments.
+// Env caches the generated datasets, per-query tables, and warm paq
+// sessions across experiments.
 type Env struct {
 	cfg Config
 
@@ -100,9 +103,9 @@ type Env struct {
 	attrs   map[Dataset][]string
 	// qtables caches the materialized per-query base tables (Figure 3).
 	qtables map[Dataset]map[string]*relation.Relation
-	// parts caches per-query-table partitionings keyed by dataset/query
-	// at the default τ.
-	parts map[Dataset]map[string]*partition.Partitioning
+	// sessions caches one uncached-solve session per query table,
+	// partitioned on the workload attributes at the default τ.
+	sessions map[Dataset]map[string]*paq.Session
 }
 
 // NewEnv generates the datasets and workloads. Workload construction can
@@ -111,12 +114,12 @@ type Env struct {
 func NewEnv(cfg Config) (*Env, error) {
 	cfg = cfg.withDefaults()
 	e := &Env{
-		cfg:     cfg,
-		rels:    make(map[Dataset]*relation.Relation),
-		queries: make(map[Dataset][]workload.Query),
-		attrs:   make(map[Dataset][]string),
-		qtables: map[Dataset]map[string]*relation.Relation{Galaxy: {}, TPCH: {}},
-		parts:   map[Dataset]map[string]*partition.Partitioning{Galaxy: {}, TPCH: {}},
+		cfg:      cfg,
+		rels:     make(map[Dataset]*relation.Relation),
+		queries:  make(map[Dataset][]workload.Query),
+		attrs:    make(map[Dataset][]string),
+		qtables:  map[Dataset]map[string]*relation.Relation{Galaxy: {}, TPCH: {}},
+		sessions: map[Dataset]map[string]*paq.Session{Galaxy: {}, TPCH: {}},
 	}
 	e.rels[Galaxy] = workload.Galaxy(cfg.GalaxyN, cfg.Seed)
 	e.rels[TPCH] = workload.TPCH(cfg.TPCHN, cfg.Seed)
@@ -148,20 +151,47 @@ func (e *Env) queryTable(ds Dataset, q workload.Query) *relation.Relation {
 	return t
 }
 
-// partitioning returns (and caches) the default-τ workload-attribute
-// partitioning of a query table.
-func (e *Env) partitioning(ds Dataset, q workload.Query) (*partition.Partitioning, error) {
-	if p, ok := e.parts[ds][q.Name]; ok {
-		return p, nil
+// sessionOpts are the protocol-wide session options: the configured
+// budgets, and no solution cache — every measurement is a real solve.
+func (e *Env) sessionOpts(extra ...paq.Option) []paq.Option {
+	opts := []paq.Option{
+		paq.WithTau(e.cfg.TauFrac),
+		paq.WithWorkers(e.cfg.Workers),
+		paq.WithTimeLimit(e.cfg.TimeLimit),
+		paq.WithNodeLimit(e.cfg.MaxNodes),
+		paq.WithGap(e.cfg.Gap),
+		paq.WithoutCache(),
 	}
-	rel := e.queryTable(ds, q)
-	tau := int(float64(rel.Len())*e.cfg.TauFrac) + 1
-	p, err := partition.Build(rel, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau, Workers: e.cfg.Workers})
+	return append(opts, extra...)
+}
+
+// session returns (and caches) the paq session over a query table,
+// partitioned on the dataset's workload attributes at the default τ.
+func (e *Env) session(ds Dataset, q workload.Query) (*paq.Session, error) {
+	if s, ok := e.sessions[ds][q.Name]; ok {
+		return s, nil
+	}
+	s, err := paq.Open(paq.Table(e.queryTable(ds, q)),
+		e.sessionOpts(paq.WithPartitionAttrs(e.attrs[ds]...), paq.WithSeed(e.cfg.Seed))...)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s: %w", ds, q.Name, err)
+	}
+	e.sessions[ds][q.Name] = s
+	return s, nil
+}
+
+// prepare compiles a workload query on its cached session with a fixed
+// method.
+func (e *Env) prepare(ds Dataset, q workload.Query, m paq.Method) (*paq.Stmt, error) {
+	s, err := e.session(ds, q)
 	if err != nil {
 		return nil, err
 	}
-	e.parts[ds][q.Name] = p
-	return p, nil
+	stmt, err := s.Prepare(q.PaQL, paq.WithMethod(m))
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s: %w", ds, q.Name, err)
+	}
+	return stmt, nil
 }
 
 // Measurement is the outcome of one evaluation run.
@@ -171,48 +201,39 @@ type Measurement struct {
 	Err       error
 }
 
-// runDirect evaluates the spec with DIRECT over the given rows.
-func (e *Env) runDirect(spec *core.Spec, rows []int) Measurement {
+// measure wraps one execution into a Measurement.
+func measure(exec func() (*paq.Result, error)) Measurement {
 	t0 := time.Now()
-	pkg, _, err := core.SolveRows(spec, rows, nil, e.cfg.Solver)
+	res, err := exec()
 	m := Measurement{Time: time.Since(t0), Err: err}
 	if err == nil {
-		m.Objective, m.Err = pkg.ObjectiveValue(spec)
+		m.Objective = res.Objective
 	}
 	return m
 }
 
-// runSketchRefine evaluates the spec with SketchRefine over a (possibly
-// restricted) partitioning.
-func (e *Env) runSketchRefine(spec *core.Spec, part *partition.Partitioning, seed int64) Measurement {
-	opt := sketchrefine.Options{
-		Solver:       e.cfg.Solver,
-		HybridSketch: true,
-		Seed:         seed,
-	}
-	if seed == 0 {
-		// The protocol always shuffles the refinement order, but Seed 0
-		// means "no shuffle" to the evaluator; reproduce the historical
-		// seed-0 shuffle through the compatibility field instead.
-		opt.Rand = rand.New(rand.NewSource(0))
-	}
-	t0 := time.Now()
-	pkg, _, err := sketchrefine.Evaluate(spec, part, opt)
-	m := Measurement{Time: time.Since(t0), Err: err}
-	if err == nil {
-		m.Objective, m.Err = pkg.ObjectiveValue(spec)
-	}
-	return m
+// runDirect evaluates a DIRECT statement over a row subset (nil = the
+// whole base relation).
+func (e *Env) runDirect(stmt *paq.Stmt, rows []int) Measurement {
+	return measure(func() (*paq.Result, error) {
+		if rows == nil {
+			return stmt.Execute(context.Background())
+		}
+		return stmt.Execute(context.Background(), paq.WithRows(rows))
+	})
 }
 
-// compile translates a workload query against its base table.
-func (e *Env) compile(ds Dataset, q workload.Query) (*core.Spec, *relation.Relation, error) {
-	rel := e.queryTable(ds, q)
-	spec, err := translate.Compile(q.PaQL, rel)
-	if err != nil {
-		return nil, nil, fmt.Errorf("bench: %s/%s: %w", ds, q.Name, err)
-	}
-	return spec, rel, nil
+// runSketchRefine evaluates a SketchRefine statement over a row subset
+// (restricting the warm partitioning), with a per-run refinement-order
+// seed.
+func (e *Env) runSketchRefine(stmt *paq.Stmt, rows []int, seed int64) Measurement {
+	return measure(func() (*paq.Result, error) {
+		opts := []paq.ExecOption{paq.WithExecSeed(seed)}
+		if rows != nil {
+			opts = append(opts, paq.WithRows(rows))
+		}
+		return stmt.Execute(context.Background(), opts...)
+	})
 }
 
 // approxRatio computes the paper's empirical approximation ratio.

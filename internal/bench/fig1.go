@@ -1,14 +1,14 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/lp"
-	"repro/internal/naive"
 	"repro/internal/relation"
 	"repro/internal/workload"
+	"repro/paq"
 )
 
 // Fig1Point is one cardinality measurement of Figure 1.
@@ -42,32 +42,52 @@ func (e *Env) Fig1(maxCard int, sqlTimeout time.Duration) (*Fig1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Two sessions over the same 100 tuples: the naive baseline gets the
+	// SQL timeout as its enumeration budget, DIRECT the configured ILP
+	// budgets.
+	sqlSess, err := paq.Open(paq.Table(rel),
+		paq.WithMethod(paq.MethodNaive), paq.WithTimeLimit(sqlTimeout), paq.WithoutCache())
+	if err != nil {
+		return nil, err
+	}
+	ilpSess, err := paq.Open(paq.Table(rel), e.sessionOpts(paq.WithMethod(paq.MethodDirect))...)
+	if err != nil {
+		return nil, err
+	}
 	for card := 1; card <= maxCard; card++ {
 		// The Figure 1 query shape: exact cardinality, a SUM window wide
 		// enough to be feasible at every cardinality, minimize objective.
-		spec := &core.Spec{
-			Rel:    rel,
-			Repeat: 0,
-			Constraints: []core.Constraint{
-				{Coef: core.UnitCoef{}, Op: lp.EQ, RHS: float64(card), Desc: "COUNT(P.*) = c"},
-				{Coef: core.AttrCoef{Attr: "r"}, Op: lp.LE, RHS: float64(card) * 1.05 * mr, Desc: "SUM(P.r) <= hi"},
-				{Coef: core.AttrCoef{Attr: "r"}, Op: lp.GE, RHS: float64(card) * 0.7 * mr, Desc: "SUM(P.r) >= lo"},
-			},
-			Objective: &core.Objective{Maximize: false, Coef: core.AttrCoef{Attr: "redshift"}, Desc: "SUM(P.redshift)"},
-		}
+		paql := fmt.Sprintf(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = %d AND SUM(P.r) BETWEEN %v AND %v
+MINIMIZE SUM(P.redshift)`, card, float64(card)*0.7*mr, float64(card)*1.05*mr)
 		pt := Fig1Point{Cardinality: card}
 
+		sqlStmt, err := sqlSess.Prepare(paql)
+		if err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
-		nv, err := naive.Evaluate(spec, naive.Options{Timeout: sqlTimeout})
-		pt.SQL = Measurement{Time: time.Since(t0), Err: err}
-		if err == naive.ErrTimeout {
+		sqlRes, sqlErr := sqlStmt.Execute(context.Background())
+		pt.SQL = Measurement{Time: time.Since(t0)}
+		switch {
+		case sqlErr == nil && sqlRes.Truncated:
+			// The budget expired with a feasible (possibly suboptimal)
+			// package in hand — the "SQL gave up" data point.
 			pt.SQLTimedOut = true
-			pt.SQL.Err = nil
-		} else if err == nil {
-			pt.SQL.Objective = nv.Objective
+		case errors.Is(sqlErr, paq.ErrBudget):
+			pt.SQLTimedOut = true
+		case sqlErr != nil:
+			pt.SQL.Err = sqlErr
+		default:
+			pt.SQL.Objective = sqlRes.Objective
 		}
 
-		pt.ILP = e.runDirect(spec, spec.BaseRows())
+		ilpStmt, err := ilpSess.Prepare(paql)
+		if err != nil {
+			return nil, err
+		}
+		pt.ILP = e.runDirect(ilpStmt, nil)
 
 		sqlCell := fmtDur(pt.SQL.Time)
 		if pt.SQLTimedOut {

@@ -13,10 +13,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/server"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
+	"repro/paq"
 )
 
 // LoadGenConfig configures the paqld load generator.
@@ -59,9 +57,9 @@ type loadCase struct {
 
 // LoadGen fires N concurrent mixed package queries (direct +
 // sketchrefine, feasible + infeasible) at a paqld instance and
-// differentially checks every response against in-process
-// engine.Evaluate results over the same datasets. It returns an error
-// when any response mismatches the in-process ground truth.
+// differentially checks every response against in-process paq
+// executions over the same datasets. It returns an error when any
+// response mismatches the in-process ground truth.
 func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	if cfg.N <= 0 {
 		cfg.N = 64
@@ -70,16 +68,18 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 		cfg.TimeoutMS = 60000
 	}
 	dcfg := server.DatasetConfig{
-		TauFrac: e.cfg.TauFrac,
-		Workers: e.cfg.Workers,
-		Solver:  e.cfg.Solver,
-		Seed:    e.cfg.Seed,
-		Racers:  1, // determinism: the differential check needs one refinement order
+		TauFrac:   e.cfg.TauFrac,
+		Workers:   e.cfg.Workers,
+		TimeLimit: e.cfg.TimeLimit,
+		MaxNodes:  e.cfg.MaxNodes,
+		Gap:       e.cfg.Gap,
+		Seed:      e.cfg.Seed,
+		Racers:    1, // determinism: the differential check needs one refinement order
 	}
 
 	// In-process ground truth: one server.Dataset per dataset, same
 	// configuration a matching paqld builds.
-	fmt.Fprintf(e.cfg.Out, "building in-process reference engines...\n")
+	fmt.Fprintf(e.cfg.Out, "building in-process reference sessions...\n")
 	cases, refDS, err := e.buildLoadCases(dcfg)
 	if err != nil {
 		return nil, err
@@ -88,7 +88,7 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	base := cfg.Addr
 	var shutdown func()
 	if base == "" {
-		base, shutdown, err = e.startInProcess(dcfg, refDS)
+		base, shutdown, err = e.startInProcess(refDS)
 		if err != nil {
 			return nil, err
 		}
@@ -148,9 +148,9 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 }
 
 // buildLoadCases compiles the mixed corpus and computes in-process
-// ground truth for each case. It also returns the reference datasets so
-// an in-process target can reuse their partitionings (with fresh
-// engines) instead of rebuilding them.
+// ground truth for each case through the datasets' paq sessions. It
+// also returns the reference datasets so an in-process target can reuse
+// their partitionings (with fresh caches) instead of rebuilding them.
 func (e *Env) buildLoadCases(dcfg server.DatasetConfig) ([]loadCase, map[Dataset]*server.Dataset, error) {
 	infeasiblePaQL := map[Dataset]string{
 		Galaxy: `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
@@ -177,26 +177,26 @@ MAXIMIZE SUM(P.totalprice)`,
 			paqls = append(paqls, q.PaQL)
 		}
 		paqls = append(paqls, infeasiblePaQL[ds])
-		for _, paql := range paqls {
-			spec, err := translate.Compile(paql, rel)
-			if err != nil {
-				return nil, nil, fmt.Errorf("loadgen: compiling against %s: %w", ds, err)
-			}
+		for _, paqlText := range paqls {
 			for _, method := range []string{server.MethodDirect, server.MethodSketchRefine} {
-				c := loadCase{dataset: string(ds), method: method, paql: paql}
-				r := ref.Engine(method).Evaluate(context.Background(), spec)
+				m, err := paq.ParseMethod(method)
+				if err != nil {
+					return nil, nil, err
+				}
+				stmt, err := ref.Session().Prepare(paqlText, paq.WithMethod(m))
+				if err != nil {
+					return nil, nil, fmt.Errorf("loadgen: preparing against %s: %w", ds, err)
+				}
+				c := loadCase{dataset: string(ds), method: method, paql: paqlText}
+				r, execErr := stmt.Execute(context.Background())
 				switch {
-				case r.Err == nil:
-					obj, oerr := r.Pkg.ObjectiveValue(spec)
-					if oerr != nil {
-						return nil, nil, oerr
-					}
-					c.objective = strconv.FormatFloat(obj, 'g', -1, 64)
-					c.truncated = r.Stats != nil && r.Stats.Truncated
-				case errors.Is(r.Err, core.ErrInfeasible), errors.Is(r.Err, sketchrefine.ErrFalseInfeasible):
+				case execErr == nil:
+					c.objective = strconv.FormatFloat(r.Objective, 'g', -1, 64)
+					c.truncated = r.Truncated
+				case errors.Is(execErr, paq.ErrInfeasible):
 					c.infeasible = true
 				default:
-					return nil, nil, fmt.Errorf("loadgen: in-process %s/%s failed: %w", ds, method, r.Err)
+					return nil, nil, fmt.Errorf("loadgen: in-process %s/%s failed: %w", ds, method, execErr)
 				}
 				cases = append(cases, c)
 			}
@@ -206,21 +206,26 @@ MAXIMIZE SUM(P.totalprice)`,
 }
 
 // startInProcess boots a paqld over the Env's datasets on a loopback
-// port and returns its base URL and a shutdown function. It reuses the
-// reference datasets' partitionings — deterministic and immutable, so
-// rebuilding them would only duplicate the most expensive warm-up — but
-// gives the server fresh engines, keeping the solve paths independent.
-func (e *Env) startInProcess(dcfg server.DatasetConfig, refDS map[Dataset]*server.Dataset) (string, func(), error) {
+// port and returns its base URL and a shutdown function. The server's
+// datasets are clones of the reference sessions: the partitionings —
+// deterministic and immutable, the most expensive warm-up — are shared,
+// while the engines and solution caches are fresh, keeping the solve
+// paths independent.
+func (e *Env) startInProcess(refDS map[Dataset]*server.Dataset) (string, func(), error) {
 	// A deep admission queue: the generator's burst should complete and
 	// be differentially checked, not shed. (Against a remote paqld the
 	// target's own -inflight/-queue bounds apply, and 429s are counted
 	// as correct refusals.)
 	srv := server.New(server.Config{
 		MaxQueued:      4096,
-		DefaultTimeout: e.cfg.Solver.TimeLimit + time.Minute,
+		DefaultTimeout: e.cfg.TimeLimit + time.Minute,
 	})
 	for _, ds := range []Dataset{Galaxy, TPCH} {
-		d, err := server.NewDatasetFromPartitioning(string(ds), e.rels[ds], refDS[ds].Partitioning(), dcfg)
+		sess, err := refDS[ds].Session().Clone()
+		if err != nil {
+			return "", nil, err
+		}
+		d, err := server.NewDatasetFromSession(string(ds), sess)
 		if err != nil {
 			return "", nil, err
 		}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+
+	"repro/paq"
 )
 
 // ScalabilityFractions are the dataset fractions of Figures 5 and 6.
@@ -38,8 +40,8 @@ type ScalabilityResult struct {
 // vs SKETCHREFINE response time on 10–100% of each query's base table,
 // with per-query mean/median approximation ratios. The partitioning is
 // computed once on the full table (workload attributes, τ = TauFrac·n,
-// no radius condition) and restricted to each sample, exactly like the
-// paper's protocol.
+// no radius condition) and restricted to each sample — WithRows —
+// exactly like the paper's protocol.
 func (e *Env) Scalability(ds Dataset) (*ScalabilityResult, error) {
 	res := &ScalabilityResult{
 		Dataset:     ds,
@@ -56,20 +58,21 @@ func (e *Env) Scalability(ds Dataset) (*ScalabilityResult, error) {
 	fmt.Fprintf(out, "%-4s %-5s %9s %12s %12s %8s\n", "Q", "frac", "rows", "DIRECT", "SKETCHREF", "ratio")
 
 	for _, q := range e.queries[ds] {
-		spec, rel, err := e.compile(ds, q)
+		dStmt, err := e.prepare(ds, q, paq.MethodDirect)
 		if err != nil {
 			return nil, err
 		}
-		part, err := e.partitioning(ds, q)
+		sStmt, err := e.prepare(ds, q, paq.MethodSketchRefine)
 		if err != nil {
 			return nil, err
 		}
+		rel := e.queryTable(ds, q)
 		var ratios []float64
 		for fi, frac := range ScalabilityFractions {
 			rows := sampleFraction(rel.Len(), frac, e.cfg.Seed+int64(fi))
 			pt := ScalabilityPoint{Query: q.Name, Fraction: frac, Rows: len(rows), Hard: q.Hard}
-			pt.Direct = e.runDirect(spec, rows)
-			pt.Sketch = e.runSketchRefine(spec, part.Restrict(rows), e.cfg.Seed+int64(fi))
+			pt.Direct = e.runDirect(dStmt, rows)
+			pt.Sketch = e.runSketchRefine(sStmt, rows, e.cfg.Seed+int64(fi))
 			if pt.Direct.Err == nil && pt.Sketch.Err == nil {
 				pt.Ratio = approxRatio(q.Maximize, pt.Direct.Objective, pt.Sketch.Objective)
 				ratios = append(ratios, pt.Ratio)

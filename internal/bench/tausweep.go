@@ -3,7 +3,7 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/partition"
+	"repro/paq"
 )
 
 // TauPoint is one (query, τ) measurement of Figures 7/8.
@@ -28,8 +28,9 @@ type TauSweepResult struct {
 // TauSweep reproduces Figure 7 (Galaxy, 30% of the data) and Figure 8
 // (TPC-H, full data): the impact of the partition size threshold τ on
 // SketchRefine's response time and approximation ratio. τ ranges over
-// powers of four from n/2 down to 32, re-partitioning each time
-// (workload attributes, no radius condition).
+// powers of four from n/2 down to 32, opening a fresh session (and
+// with it a fresh partitioning) each time (workload attributes, no
+// radius condition).
 func (e *Env) TauSweep(ds Dataset, fraction float64) (*TauSweepResult, error) {
 	res := &TauSweepResult{Dataset: ds, Fraction: fraction, Direct: make(map[string]Measurement)}
 	out := e.cfg.Out
@@ -42,39 +43,47 @@ func (e *Env) TauSweep(ds Dataset, fraction float64) (*TauSweepResult, error) {
 	fmt.Fprintf(out, "%-4s %9s %8s %12s %12s %8s\n", "Q", "τ", "groups", "SKETCHREF", "DIRECT", "ratio")
 
 	for _, q := range e.queries[ds] {
-		spec, rel, err := e.compile(ds, q)
+		rel := e.queryTable(ds, q)
+		sub := rel
+		if fraction < 1 {
+			rows := sampleFraction(rel.Len(), fraction, e.cfg.Seed)
+			// Materialize the sampled table so partitioning and
+			// evaluation see the same relation.
+			sub = rel.Subset(rel.Name(), rows)
+		}
+		dSess, err := paq.Open(paq.Table(sub), e.sessionOpts(paq.WithMethod(paq.MethodDirect))...)
 		if err != nil {
 			return nil, err
 		}
-		rows := sampleFraction(rel.Len(), fraction, e.cfg.Seed)
-		sub := rel
-		subSpec := spec
-		if fraction < 1 {
-			sub = rel.Subset(rel.Name(), rows)
-			// Recompile against the sampled table so partitioning and
-			// evaluation see the same relation.
-			subSpec2, _, err := recompile(q.PaQL, sub)
-			if err != nil {
-				return nil, err
-			}
-			subSpec = subSpec2
+		dStmt, err := dSess.Prepare(q.PaQL)
+		if err != nil {
+			return nil, err
 		}
-		d := e.runDirect(subSpec, subSpec.BaseRows())
+		d := e.runDirect(dStmt, nil)
 		res.Direct[q.Name] = d
 
 		for tau := sub.Len() / 2; tau >= 32; tau /= 4 {
-			p, err := partition.Build(sub, partition.Options{Attrs: e.attrs[ds], SizeThreshold: tau})
+			sess, err := paq.Open(paq.Table(sub), e.sessionOpts(
+				paq.WithMethod(paq.MethodSketchRefine),
+				paq.WithPartitionAttrs(e.attrs[ds]...),
+				paq.WithTauTuples(tau),
+			)...)
 			if err != nil {
 				return nil, err
 			}
-			s := e.runSketchRefine(subSpec, p, e.cfg.Seed)
-			pt := TauPoint{Query: q.Name, Tau: tau, Groups: p.NumGroups(), Sketch: s}
+			stmt, err := sess.Prepare(q.PaQL)
+			if err != nil {
+				return nil, err
+			}
+			s := e.runSketchRefine(stmt, nil, e.cfg.Seed)
+			pi := stmt.Plan().Partitioning
+			pt := TauPoint{Query: q.Name, Tau: tau, Groups: pi.Groups, Sketch: s}
 			if d.Err == nil && s.Err == nil {
 				pt.Ratio = approxRatio(q.Maximize, d.Objective, s.Objective)
 			}
 			res.Points = append(res.Points, pt)
 			fmt.Fprintf(out, "%-4s %9d %8d %12s %12s %8s\n",
-				q.Name, tau, p.NumGroups(), fmtMeasure(s), fmtMeasure(d), fmtRatio(pt.Ratio))
+				q.Name, tau, pi.Groups, fmtMeasure(s), fmtMeasure(d), fmtRatio(pt.Ratio))
 		}
 	}
 	return res, nil

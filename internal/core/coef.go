@@ -53,7 +53,7 @@ func (c AttrCoef) Bind(r *relation.Relation) (func(int) float64, error) {
 		return nil, err
 	}
 	if !r.Schema().Col(idx).Type.Numeric() {
-		return nil, fmt.Errorf("core: aggregate over non-numeric column %q", c.Attr)
+		return nil, fmt.Errorf("core: %w: aggregate over non-numeric column %q", relation.ErrTypeMismatch, c.Attr)
 	}
 	return func(row int) float64 { return r.Float(row, idx) }, nil
 }
@@ -79,7 +79,7 @@ func (c ShiftedAttrCoef) Bind(r *relation.Relation) (func(int) float64, error) {
 		return nil, err
 	}
 	if !r.Schema().Col(idx).Type.Numeric() {
-		return nil, fmt.Errorf("core: aggregate over non-numeric column %q", c.Attr)
+		return nil, fmt.Errorf("core: %w: aggregate over non-numeric column %q", relation.ErrTypeMismatch, c.Attr)
 	}
 	s := c.Shift
 	return func(row int) float64 { return r.Float(row, idx) + s }, nil

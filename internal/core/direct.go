@@ -131,6 +131,68 @@ func BuildILP(spec *Spec, rows []int, hi []float64) (*ilp.Problem, error) {
 	return prob, nil
 }
 
+// Incumbent is one improving feasible solution surfaced while a solve
+// is still running — the unit of the anytime-results stream. Rows and
+// Mult describe the incumbent package in the coordinates of the relation
+// the subproblem was solved over (the input relation, or — when Sketch
+// is true — the representative relation R̃). Objective is the
+// subproblem's objective value including the spec's constant offset;
+// for a DIRECT solve it is the package objective itself.
+type Incumbent struct {
+	Rows []int
+	Mult []int
+	// Objective is the incumbent's objective value.
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored when the
+	// incumbent was found.
+	Nodes int
+	// Subproblem identifies which ILP solve produced the incumbent
+	// (always 0 for DIRECT; SketchRefine numbers its sketch/refine
+	// solves in evaluation order).
+	Subproblem int
+	// Sketch marks incumbents of solves over the representative
+	// relation (SketchRefine's sketch and hybrid-sketch queries), whose
+	// Rows index R̃ rather than the input relation.
+	Sketch bool
+}
+
+// IncumbentFunc receives improving incumbents as they are found. It is
+// called synchronously from inside the solver: implementations must be
+// fast and must not call back into the evaluation.
+type IncumbentFunc func(Incumbent)
+
+// hookSolver installs an ilp-level incumbent callback that maps raw
+// solution vectors over rows back to package coordinates and forwards
+// them to fn. A nil fn returns opt unchanged.
+func hookSolver(opt ilp.Options, spec *Spec, rows []int, sub int, sketch bool, fn IncumbentFunc) ilp.Options {
+	if fn == nil {
+		return opt
+	}
+	offset := 0.0
+	if spec.Objective != nil {
+		offset = spec.Objective.Offset
+	}
+	opt.OnIncumbent = func(x []float64, obj float64, nodes int) {
+		pkgRows := make([]int, 0, len(rows))
+		pkgMult := make([]int, 0, len(rows))
+		for j, v := range x {
+			if m := int(math.Round(v)); m > 0 {
+				pkgRows = append(pkgRows, rows[j])
+				pkgMult = append(pkgMult, m)
+			}
+		}
+		fn(Incumbent{
+			Rows:       pkgRows,
+			Mult:       pkgMult,
+			Objective:  obj + offset,
+			Nodes:      nodes,
+			Subproblem: sub,
+			Sketch:     sketch,
+		})
+	}
+	return opt
+}
+
 // SolveRows evaluates the spec restricted to the given candidate rows
 // with the DIRECT strategy: build one ILP and solve it. hi optionally
 // overrides per-variable upper bounds. The returned error is
@@ -144,6 +206,15 @@ func SolveRows(spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package,
 // deadline aborts the underlying branch-and-bound search and returns the
 // context's error.
 func SolveRowsCtx(ctx context.Context, spec *Spec, rows []int, hi []float64, opt ilp.Options) (*Package, *EvalStats, error) {
+	return SolveRowsStream(ctx, spec, rows, hi, opt, 0, nil)
+}
+
+// SolveRowsStream is SolveRowsCtx with anytime results: every improving
+// incumbent the branch-and-bound search installs is forwarded to fn
+// (tagged with subproblem number sub) before the final answer is
+// returned. A nil fn degrades to a plain solve.
+func SolveRowsStream(ctx context.Context, spec *Spec, rows []int, hi []float64, opt ilp.Options, sub int, fn IncumbentFunc) (*Package, *EvalStats, error) {
+	opt = hookSolver(opt, spec, rows, sub, false, fn)
 	stats := &EvalStats{Subproblems: 1}
 	t0 := time.Now()
 	prob, err := BuildILP(spec, rows, hi)
@@ -200,8 +271,16 @@ func Direct(spec *Spec, opt ilp.Options) (*Package, *EvalStats, error) {
 
 // DirectCtx is Direct under a context (see SolveRowsCtx).
 func DirectCtx(ctx context.Context, spec *Spec, opt ilp.Options) (*Package, *EvalStats, error) {
+	return DirectStream(ctx, spec, opt, nil)
+}
+
+// DirectStream is DirectCtx with anytime results: improving incumbents
+// of the single ILP solve are forwarded to fn as they are found, each a
+// feasible (possibly suboptimal) package over the input relation. A nil
+// fn degrades to a plain solve.
+func DirectStream(ctx context.Context, spec *Spec, opt ilp.Options, fn IncumbentFunc) (*Package, *EvalStats, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, &EvalStats{}, err
 	}
-	return SolveRowsCtx(ctx, spec, spec.BaseRows(), nil, opt)
+	return SolveRowsStream(ctx, spec, spec.BaseRows(), nil, opt, 0, fn)
 }

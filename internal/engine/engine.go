@@ -48,6 +48,16 @@ type Solver interface {
 	Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error)
 }
 
+// StreamingSolver is implemented by strategies that can surface
+// improving incumbents while a solve is still running (anytime
+// results). Direct and SketchRefine implement it; Naive does not (its
+// enumeration has no incumbent stream worth forwarding).
+type StreamingSolver interface {
+	Solver
+	// SolveStream is Solve with an incumbent callback; fn may be nil.
+	SolveStream(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) (*core.Package, *core.EvalStats, error)
+}
+
 // Direct is the paper's DIRECT strategy: one ILP over the whole base
 // relation, solved by the black-box solver.
 type Direct struct {
@@ -60,6 +70,11 @@ func (Direct) Name() string { return "direct" }
 // Solve implements Solver.
 func (d Direct) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
 	return core.DirectCtx(ctx, spec, d.Opt)
+}
+
+// SolveStream implements StreamingSolver.
+func (d Direct) SolveStream(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) (*core.Package, *core.EvalStats, error) {
+	return core.DirectStream(ctx, spec, d.Opt, fn)
 }
 
 // Naive is the traditional-SQL self-join baseline of Section 2. It only
@@ -104,7 +119,7 @@ type SketchRefine struct {
 	// Part is the offline partitioning the strategy refines over. It is
 	// shared read-only across all concurrent evaluations.
 	Part *partition.Partitioning
-	// Opt configures the evaluation; Opt.Seed/Opt.Rand steer lane 0's
+	// Opt configures the evaluation; Opt.Seed steers lane 0's
 	// refinement order (the one a non-racing evaluation would use).
 	Opt sketchrefine.Options
 	// Racers is the number of refinement orders raced per query; 0 or 1
@@ -113,34 +128,30 @@ type SketchRefine struct {
 	Racers int
 	// Seed is the base seed for the extra racer lanes only (lane i>0
 	// shuffles with Seed+i, skipping Opt.Seed so no lane duplicates lane
-	// 0's order); 0 means 1. Lane 0 is steered by Opt.Seed/Opt.Rand, not
-	// by this field.
+	// 0's order); 0 means 1. Lane 0 is steered by Opt.Seed, not by this
+	// field.
 	Seed int64
 }
 
 // Name implements Solver.
 func (SketchRefine) Name() string { return "sketchrefine" }
 
-// randSeedMu serializes seed draws from a caller-supplied deprecated
-// Opt.Rand: the generator is not safe for the concurrent Solve calls the
-// Solver contract requires, so the engine consumes it one draw at a time.
-var randSeedMu sync.Mutex
-
 // Solve implements Solver.
 func (s SketchRefine) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
-	if s.Opt.Rand != nil {
-		// The Solver contract requires concurrent-safe Solve calls, but a
-		// shared *rand.Rand is stateful and racy. Convert it to a drawn
-		// seed per evaluation: still caller-steered randomness, but each
-		// evaluation gets a private generator.
-		randSeedMu.Lock()
-		seed := s.Opt.Rand.Int63()
-		randSeedMu.Unlock()
-		if seed == 0 {
-			seed = 1
-		}
-		s.Opt.Rand = nil
-		s.Opt.Seed = seed
+	if s.Racers <= 1 {
+		return sketchrefine.EvaluateCtx(ctx, spec, s.Part, s.Opt)
+	}
+	return s.race(ctx, spec)
+}
+
+// SolveStream implements StreamingSolver. With Racers > 1 every lane
+// forwards its incumbents to fn, which must therefore be safe for
+// concurrent calls; lanes are independent searches, so the stream's
+// objectives are a progress signal, not a monotone sequence. With a
+// nil callback it behaves exactly like Solve.
+func (s SketchRefine) SolveStream(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) (*core.Package, *core.EvalStats, error) {
+	if fn != nil {
+		s.Opt.OnIncumbent = fn
 	}
 	if s.Racers <= 1 {
 		return sketchrefine.EvaluateCtx(ctx, spec, s.Part, s.Opt)
@@ -177,9 +188,8 @@ func (s SketchRefine) race(ctx context.Context, spec *core.Spec) (*core.Package,
 			// distinct, reproducible seeds. Skip 0 (which would mean "no
 			// shuffle") and lane 0's own seed, so no racer duplicates the
 			// configured order.
-			opt.Rand = nil
 			seed := base + int64(lane)
-			for seed == 0 || (s.Opt.Rand == nil && seed == s.Opt.Seed) {
+			for seed == 0 || seed == s.Opt.Seed {
 				seed += int64(s.Racers)
 			}
 			opt.Seed = seed
@@ -319,12 +329,23 @@ func New(s Solver) *Engine {
 // they are never retained, and a duplicate that was waiting on a solve
 // aborted by the *owner's* context retries with its own.
 func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
+	return e.EvaluateStream(ctx, spec, nil)
+}
+
+// EvaluateStream is Evaluate with anytime results: while the solve is
+// running, every improving incumbent is forwarded to fn (see
+// core.IncumbentFunc). The incumbent stream comes from a live solve
+// only — a cache hit returns the finished result immediately with no
+// intermediate incumbents, and a caller that joins an in-flight
+// duplicate solve shares its result but not its stream (the callback
+// was bound by the first caller). A nil fn is exactly Evaluate.
+func (e *Engine) EvaluateStream(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if e.NoCache {
 		e.misses.Add(1)
-		return e.solve(ctx, spec)
+		return e.solve(ctx, spec, fn)
 	}
 	key := SpecKey(spec)
 
@@ -374,7 +395,7 @@ func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
 		e.mu.Unlock()
 		e.misses.Add(1)
 
-		ent.res = e.solve(ctx, spec)
+		ent.res = e.solve(ctx, spec, fn)
 		if !definitive(ent.res) {
 			// Drop the entry before waking waiters so their retry finds
 			// the key free.
@@ -413,9 +434,18 @@ func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (e *Engine) solve(ctx context.Context, spec *core.Spec) Result {
+func (e *Engine) solve(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) Result {
 	t0 := time.Now()
-	pkg, stats, err := e.Solver.Solve(ctx, spec)
+	var (
+		pkg   *core.Package
+		stats *core.EvalStats
+		err   error
+	)
+	if ss, ok := e.Solver.(StreamingSolver); ok && fn != nil {
+		pkg, stats, err = ss.SolveStream(ctx, spec, fn)
+	} else {
+		pkg, stats, err = e.Solver.Solve(ctx, spec)
+	}
 	return Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
 }
 

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -299,17 +298,17 @@ func TestSpecKeyAnonymousPredicates(t *testing.T) {
 	}
 }
 
-// TestSharedRandConcurrentBatch: the deprecated Options.Rand is stateful
-// and not concurrency-safe; the engine must not hand it to concurrent
-// evaluations (this test exists to fail under -race if it ever does).
-func TestSharedRandConcurrentBatch(t *testing.T) {
+// TestSeededConcurrentBatch: a shared seed must be safe for concurrent
+// evaluations (each gets a private generator; this test fails under
+// -race if any shared mutable state sneaks back into the shuffle path).
+func TestSeededConcurrentBatch(t *testing.T) {
 	part, specs := galaxyProblem(t, 800, 8)
 	eng := engine.New(engine.SketchRefine{
 		Part: part,
 		Opt: sketchrefine.Options{
 			Solver:       solverOpt(),
 			HybridSketch: true,
-			Rand:         rand.New(rand.NewSource(9)),
+			Seed:         9,
 		},
 	})
 	eng.Workers = 4

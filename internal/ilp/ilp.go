@@ -95,6 +95,14 @@ type Options struct {
 	// time limit). DIRECT keeps it off, reproducing the paper's hard
 	// solver failures.
 	AcceptIncumbent bool
+	// OnIncumbent, when non-nil, is invoked from inside the search each
+	// time a strictly better integral incumbent is installed — the hook
+	// that turns a solve into an anytime computation. The callback
+	// receives a private copy of the solution vector, the objective in
+	// the problem's own sense, and the number of nodes explored so far.
+	// It runs synchronously on the solving goroutine: keep it cheap, and
+	// do not call back into the solver from it.
+	OnIncumbent func(x []float64, obj float64, nodes int)
 }
 
 // DefaultMaxNodes is the node budget used when Options.MaxNodes is 0.
@@ -406,6 +414,11 @@ func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 			res.HasIncumbent = true
 			res.X = xi
 			res.Objective = o
+			if opt.OnIncumbent != nil {
+				cp := make([]float64, len(xi))
+				copy(cp, xi)
+				opt.OnIncumbent(cp, o, res.Nodes)
+			}
 			fixByReducedCost()
 		}
 	}

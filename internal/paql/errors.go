@@ -1,0 +1,32 @@
+package paql
+
+import "fmt"
+
+// Error is a lexical or syntactic PaQL error carrying its 1-based source
+// position, so tools (and the public SDK's ParseError) can point the
+// user at the offending spot instead of just describing it.
+type Error struct {
+	// Line and Col locate the error in the query text, both 1-based.
+	Line, Col int
+	// Msg is the human-readable description, without the position prefix.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("paql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// position converts a byte offset in src to a 1-based line and column.
+func position(src string, pos int) (line, col int) {
+	line, col = 1, 1
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

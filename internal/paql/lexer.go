@@ -58,16 +58,8 @@ func lex(src string) ([]token, error) {
 }
 
 func (lx *lexer) errf(pos int, format string, args ...any) error {
-	line, col := 1, 1
-	for i := 0; i < pos && i < len(lx.src); i++ {
-		if lx.src[i] == '\n' {
-			line++
-			col = 1
-		} else {
-			col++
-		}
-	}
-	return fmt.Errorf("paql: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	line, col := position(lx.src, pos)
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (lx *lexer) next() (token, error) {

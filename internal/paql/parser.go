@@ -42,7 +42,8 @@ func (p *parser) errf(format string, args ...any) error {
 	if t.kind == tokEOF {
 		where = "end of query"
 	}
-	return fmt.Errorf("paql: at %q: %s", where, fmt.Sprintf(format, args...))
+	line, col := position(p.src, t.pos)
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf("at %q: %s", where, fmt.Sprintf(format, args...))}
 }
 
 func (p *parser) expectKeyword(kw string) error {

@@ -2,29 +2,27 @@ package server
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/ilp"
-	"repro/internal/partition"
 	"repro/internal/relation"
-	"repro/internal/sketchrefine"
+	"repro/paq"
 )
 
 // Evaluation methods a dataset serves. NAIVE is deliberately absent: its
 // exponential self-join is the paper's cautionary baseline, not something
-// a service should expose to untrusted callers.
+// a service should expose to untrusted callers. The names resolve
+// through paq.ParseMethod — the repository's single source of method
+// names.
 const (
-	MethodDirect       = "direct"
-	MethodSketchRefine = "sketchrefine"
+	MethodDirect       = string(paq.MethodDirect)
+	MethodSketchRefine = string(paq.MethodSketchRefine)
 )
 
 // DatasetConfig configures dataset registration: the offline
 // partitioning warmed at load time and the solver budgets shared by the
-// dataset's engines.
+// dataset's per-method engines.
 type DatasetConfig struct {
-	// Attrs are the partitioning attributes. Empty means every Float
+	// Attrs are the partitioning attributes. Empty means every numeric
 	// column of the relation — a superset of any query's attributes, so
 	// SketchRefine can serve arbitrary queries over the dataset.
 	Attrs []string
@@ -33,9 +31,11 @@ type DatasetConfig struct {
 	TauFrac float64
 	// Workers bounds partition-build concurrency; 0 means GOMAXPROCS.
 	Workers int
-	// Solver is the per-ILP budget for both engines. Zero-valued fields
-	// get paqld defaults (30s, 200k nodes, 1e-4 gap).
-	Solver ilp.Options
+	// TimeLimit, MaxNodes, and Gap are the per-ILP solver budgets.
+	// Zero-valued fields get paqld defaults (30s, 200k nodes, 1e-4 gap).
+	TimeLimit time.Duration
+	MaxNodes  int
+	Gap       float64
 	// Seed steers SketchRefine's refinement order. Fixed per dataset so
 	// identical queries give identical answers across requests (and match
 	// an in-process evaluation with the same seed).
@@ -46,45 +46,59 @@ type DatasetConfig struct {
 	Racers int
 }
 
-func (c DatasetConfig) withDefaults(rel *relation.Relation) DatasetConfig {
-	if len(c.Attrs) == 0 {
+// options lowers the config to paq session options.
+func (c DatasetConfig) options(rel *relation.Relation) []paq.Option {
+	attrs := c.Attrs
+	if len(attrs) == 0 {
 		for i := 0; i < rel.Schema().Len(); i++ {
 			col := rel.Schema().Col(i)
 			if col.Type.Numeric() {
-				c.Attrs = append(c.Attrs, col.Name)
+				attrs = append(attrs, col.Name)
 			}
 		}
 	}
-	if c.TauFrac <= 0 {
-		c.TauFrac = 0.10
+	tau := c.TauFrac
+	if tau <= 0 {
+		tau = 0.10
 	}
-	if c.Solver.TimeLimit == 0 {
-		c.Solver.TimeLimit = 30 * time.Second
+	tl := c.TimeLimit
+	if tl == 0 {
+		tl = 30 * time.Second
 	}
-	if c.Solver.MaxNodes == 0 {
-		c.Solver.MaxNodes = ilp.DefaultMaxNodes
+	gap := c.Gap
+	if gap == 0 {
+		gap = 1e-4
 	}
-	if c.Solver.Gap == 0 {
-		c.Solver.Gap = 1e-4
+	opts := []paq.Option{
+		paq.WithTau(tau),
+		paq.WithWorkers(c.Workers),
+		paq.WithTimeLimit(tl),
+		paq.WithGap(gap),
+		paq.WithSeed(c.Seed),
+		paq.WithRacers(c.Racers),
+		paq.WithWarmPartitioning(),
 	}
-	return c
+	if len(attrs) > 0 {
+		opts = append(opts, paq.WithPartitionAttrs(attrs...))
+	}
+	if c.MaxNodes > 0 {
+		opts = append(opts, paq.WithNodeLimit(c.MaxNodes))
+	}
+	return opts
 }
 
-// Dataset is one registered relation with its warm partitioning and
-// per-method engines. All fields are immutable after construction; the
-// engines' solution caches carry the mutable state.
+// Dataset is one registered relation wrapped in a warm paq session: the
+// offline partitioning is built at registration, and the session's
+// per-method solution caches are shared across all requests that hit
+// the dataset.
 type Dataset struct {
-	name    string
-	rel     *relation.Relation
-	part    *partition.Partitioning
-	engines map[string]*engine.Engine
-	cfg     DatasetConfig
+	name string
+	sess *paq.Session
 }
 
-// NewDataset builds a served dataset: it partitions the relation up
-// front (the warm partitioning every SketchRefine query reuses) and
-// instantiates one engine per method, each with its own solution cache
-// shared across all requests that hit the dataset.
+// NewDataset builds a served dataset: it opens a paq session over the
+// relation with an eagerly warmed partitioning (the expensive part of
+// registration) and per-method solution caches.
 func NewDataset(name string, rel *relation.Relation, cfg DatasetConfig) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: dataset has no name")
@@ -92,77 +106,44 @@ func NewDataset(name string, rel *relation.Relation, cfg DatasetConfig) (*Datase
 	if rel == nil || rel.Len() == 0 {
 		return nil, fmt.Errorf("server: dataset %q is empty", name)
 	}
-	cfg = cfg.withDefaults(rel)
-	tau := int(float64(rel.Len())*cfg.TauFrac) + 1
-	part, err := partition.Build(rel, partition.Options{
-		Attrs:         cfg.Attrs,
-		SizeThreshold: tau,
-		Workers:       cfg.Workers,
-	})
+	sess, err := paq.Open(paq.Table(rel), cfg.options(rel)...)
 	if err != nil {
-		return nil, fmt.Errorf("server: partitioning dataset %q: %w", name, err)
+		return nil, fmt.Errorf("server: dataset %q: %w", name, err)
 	}
-	return NewDatasetFromPartitioning(name, rel, part, cfg)
+	return &Dataset{name: name, sess: sess}, nil
 }
 
-// NewDatasetFromPartitioning builds a served dataset over a partitioning
-// that was already built for the relation (e.g. loaded from a warm
-// snapshot, or shared with an in-process differential checker — partition
-// building is the expensive part of registration). The engines and their
-// caches are always fresh.
-func NewDatasetFromPartitioning(name string, rel *relation.Relation, part *partition.Partitioning, cfg DatasetConfig) (*Dataset, error) {
+// NewDatasetFromSession wraps an existing warm session (e.g. one shared
+// with an in-process differential checker) as a served dataset. Clone
+// the session first if the caches must stay independent.
+func NewDatasetFromSession(name string, sess *paq.Session) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: dataset has no name")
 	}
-	if rel == nil || rel.Len() == 0 {
-		return nil, fmt.Errorf("server: dataset %q is empty", name)
+	if sess == nil {
+		return nil, fmt.Errorf("server: dataset %q has no session", name)
 	}
-	if part == nil || part.Rel != rel {
-		return nil, fmt.Errorf("server: dataset %q: partitioning was built over a different relation", name)
-	}
-	cfg = cfg.withDefaults(rel)
-	ds := &Dataset{
-		name: name,
-		rel:  rel,
-		part: part,
-		cfg:  cfg,
-		engines: map[string]*engine.Engine{
-			MethodDirect: engine.New(engine.Direct{Opt: cfg.Solver}),
-			MethodSketchRefine: engine.New(engine.SketchRefine{
-				Part:   part,
-				Opt:    sketchrefine.Options{Solver: cfg.Solver, HybridSketch: true, Seed: cfg.Seed},
-				Racers: cfg.Racers,
-			}),
-		},
-	}
-	return ds, nil
+	return &Dataset{name: name, sess: sess}, nil
 }
 
 // Name returns the dataset's registry name.
 func (d *Dataset) Name() string { return d.name }
 
+// Session returns the dataset's paq session.
+func (d *Dataset) Session() *paq.Session { return d.sess }
+
 // Rel returns the underlying relation.
-func (d *Dataset) Rel() *relation.Relation { return d.rel }
+func (d *Dataset) Rel() *relation.Relation { return d.sess.Rel() }
 
-// Partitioning returns the warm offline partitioning.
-func (d *Dataset) Partitioning() *partition.Partitioning { return d.part }
-
-// SetEngine overrides the engine for one method (used by tests to
-// inject instrumented solvers). It must be called before the dataset is
-// registered with a serving Server.
-func (d *Dataset) SetEngine(method string, eng *engine.Engine) {
-	d.engines[method] = eng
-}
-
-// Engine returns the engine serving a method, or nil.
-func (d *Dataset) Engine(method string) *engine.Engine { return d.engines[method] }
+// Partitioning describes the warm offline partitioning.
+func (d *Dataset) Partitioning() (*paq.PartitionInfo, error) { return d.sess.Partitioning() }
 
 // Methods lists the methods the dataset serves, sorted.
 func (d *Dataset) Methods() []string {
-	out := make([]string, 0, len(d.engines))
-	for m := range d.engines {
-		out = append(out, m)
-	}
-	sort.Strings(out)
-	return out
+	return []string{MethodDirect, MethodSketchRefine}
+}
+
+// serves reports whether the dataset exposes a method.
+func (d *Dataset) serves(m paq.Method) bool {
+	return m == paq.MethodDirect || m == paq.MethodSketchRefine
 }

@@ -1,14 +1,13 @@
 // Package server implements paqld, the long-lived package-query service:
-// a JSON-over-HTTP API that parses, validates, translates, and evaluates
-// PaQL text against a registry of preloaded datasets with warm
-// partitionings.
+// a JSON-over-HTTP API that prepares, plans, and executes PaQL text
+// against a registry of preloaded datasets with warm partitionings.
 //
 // The paper's thesis is that package queries belong *inside* the data
 // system; this package is the serving layer that thesis implies. Each
-// dataset is registered once — relation loaded, quad-tree partitioning
-// built offline — and then every request reuses the warm partitioning
-// and a shared per-dataset solution cache, so repeated queries cost one
-// cache lookup instead of an ILP solve.
+// dataset is registered once — a paq session opened, its quad-tree
+// partitioning built offline — and then every request reuses the warm
+// session and its shared per-method solution caches, so repeated
+// queries cost one cache lookup instead of an ILP solve.
 //
 // The server is built to survive adversarial, concurrent workloads:
 //
@@ -20,6 +19,12 @@
 //   - every request carries a deadline mapped to context cancellation
 //     that reaches the simplex iterations of an in-flight solve;
 //   - shutdown drains in-flight solves before returning.
+//
+// EXPLAIN is first-class: a request with "explain": true returns the
+// statement's typed plan — chosen method and why, partitioning shape,
+// ILP size — without solving. Executions count their improving ILP
+// incumbents (the anytime-results stream), surfaced per response and
+// in aggregate at GET /stats.
 package server
 
 import (
@@ -36,10 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
+	"repro/paq"
 )
 
 // Config bounds the server's concurrency and per-request deadlines.
@@ -111,6 +113,8 @@ type counters struct {
 	rejected    atomic.Uint64
 	timeouts    atomic.Uint64
 	failures    atomic.Uint64
+	explains    atomic.Uint64
+	incumbents  atomic.Uint64
 	solveNanos  atomic.Int64
 	backtracks  atomic.Uint64
 	subproblems atomic.Uint64
@@ -144,7 +148,7 @@ func (s *Server) Dataset(name string) *Dataset {
 
 // Handler returns the HTTP API:
 //
-//	POST /query     evaluate a PaQL query (QueryRequest → QueryResponse)
+//	POST /query     evaluate (or explain) a PaQL query (QueryRequest → QueryResponse)
 //	GET  /stats     service and cache statistics
 //	GET  /datasets  registered datasets
 //	GET  /healthz   liveness
@@ -220,9 +224,12 @@ type QueryRequest struct {
 	Dataset string `json:"dataset"`
 	// Query is the PaQL text.
 	Query string `json:"query"`
-	// Method selects the evaluation strategy: "direct" (default) or
-	// "sketchrefine".
+	// Method selects the evaluation strategy: "direct" (the default),
+	// "sketchrefine", or "auto" (the planner chooses and the response's
+	// plan/stats say why).
 	Method string `json:"method,omitempty"`
+	// Explain, when true, returns the statement's plan without solving.
+	Explain bool `json:"explain,omitempty"`
 	// TimeoutMS bounds the evaluation; 0 applies the server default. The
 	// value is capped at the server's MaxTimeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -237,7 +244,7 @@ type PackageRow struct {
 	Mult int `json:"mult"`
 }
 
-// EvalStatsJSON is the wire form of core.EvalStats.
+// EvalStatsJSON is the wire form of paq.Stats.
 type EvalStatsJSON struct {
 	Subproblems  int     `json:"subproblems"`
 	Vars         int     `json:"vars"`
@@ -249,7 +256,7 @@ type EvalStatsJSON struct {
 	Truncated    bool    `json:"truncated"`
 }
 
-func statsJSON(st *core.EvalStats) *EvalStatsJSON {
+func statsJSON(st *paq.Stats) *EvalStatsJSON {
 	if st == nil {
 		return nil
 	}
@@ -266,11 +273,13 @@ func statsJSON(st *core.EvalStats) *EvalStatsJSON {
 }
 
 // QueryResponse is the body of a successful (HTTP 200) POST /query. A
-// 200 carries either a package or an infeasibility verdict — both are
-// definitive answers to the query.
+// 200 carries a package, an infeasibility verdict, or — for explain
+// requests — the plan; all are definitive answers to the request.
 type QueryResponse struct {
 	Dataset string `json:"dataset"`
 	Method  string `json:"method"`
+	// Plan is the typed EXPLAIN output (explain requests only).
+	Plan *paq.Plan `json:"plan,omitempty"`
 	// Infeasible reports a proven (or SketchRefine-reported) "no such
 	// package" verdict; Objective and Rows are absent.
 	Infeasible bool `json:"infeasible,omitempty"`
@@ -286,12 +295,15 @@ type QueryResponse struct {
 	Distinct  int     `json:"distinct,omitempty"`
 	// Truncated reports a budget-limited incumbent: feasible, but
 	// possibly suboptimal. Mirrors paqlcli's nonzero-exit contract.
-	Truncated bool           `json:"truncated,omitempty"`
-	Cached    bool           `json:"cached,omitempty"`
-	Rows      []PackageRow   `json:"rows,omitempty"`
-	Tuples    [][]string     `json:"tuples,omitempty"`
-	Stats     *EvalStatsJSON `json:"stats,omitempty"`
-	TimeMS    float64        `json:"time_ms"`
+	Truncated bool `json:"truncated,omitempty"`
+	Cached    bool `json:"cached,omitempty"`
+	// Incumbents counts the improving ILP incumbents found during the
+	// solve (0 for cache hits) — the anytime-results signal.
+	Incumbents int            `json:"incumbents,omitempty"`
+	Rows       []PackageRow   `json:"rows,omitempty"`
+	Tuples     [][]string     `json:"tuples,omitempty"`
+	Stats      *EvalStatsJSON `json:"stats,omitempty"`
+	TimeMS     float64        `json:"time_ms"`
 }
 
 // errorResponse is the body of every non-200 response.
@@ -376,23 +388,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failf(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
-	method := req.Method
-	if method == "" {
-		method = MethodDirect
+	methodName := req.Method
+	if methodName == "" {
+		methodName = MethodDirect
 	}
-	eng := ds.Engine(method)
-	if eng == nil {
+	method, err := paq.ParseMethod(methodName)
+	if err != nil || !ds.serves(method) && method != paq.MethodAuto {
 		s.ctr.badRequest.Add(1)
-		s.failf(w, http.StatusBadRequest, "unknown method %q (have %v)", method, ds.Methods())
+		s.failf(w, http.StatusBadRequest, "unknown method %q (have %v)", req.Method, ds.Methods())
 		return
 	}
 
-	// Compile before admission: parse/translate is cheap and a malformed
-	// query should not consume a solve slot.
-	spec, err := translate.Compile(req.Query, ds.Rel())
+	// Prepare before admission: parse/translate/plan is cheap against a
+	// warm partitioning, and a malformed query should not consume a
+	// solve slot.
+	stmt, err := ds.Session().Prepare(req.Query, paq.WithMethod(method))
 	if err != nil {
-		s.ctr.badRequest.Add(1)
-		s.failf(w, http.StatusBadRequest, "%v", err)
+		var pe *paq.ParseError
+		if errors.As(err, &pe) || errors.Is(err, paq.ErrTypeMismatch) {
+			s.ctr.badRequest.Add(1)
+			s.failf(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.ctr.failures.Add(1)
+		s.failf(w, http.StatusInternalServerError, "prepare: %v", err)
+		return
+	}
+
+	if req.Explain {
+		// EXPLAIN answers from the plan alone — no solve, no slot.
+		s.ctr.explains.Add(1)
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Dataset: req.Dataset,
+			Method:  string(stmt.Method()),
+			Plan:    stmt.Plan(),
+		})
 		return
 	}
 
@@ -418,54 +448,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res := eng.Evaluate(ctx, spec)
-	s.respond(w, r, req, method, spec, res)
+	res, execErr := stmt.Execute(ctx)
+	s.respond(w, req, stmt, res, execErr)
 }
 
-// respond translates an engine result into the HTTP response.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, req QueryRequest, method string, spec *core.Spec, res engine.Result) {
-	if st := res.Stats; st != nil {
-		s.ctr.solveNanos.Add(int64(st.SolveTime))
-		s.ctr.backtracks.Add(uint64(st.Backtracks))
-		s.ctr.subproblems.Add(uint64(st.Subproblems))
-	}
+// respond translates an execution outcome into the HTTP response.
+func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt, res *paq.Result, execErr error) {
 	resp := QueryResponse{
 		Dataset: req.Dataset,
-		Method:  method,
-		Cached:  res.Cached,
-		Stats:   statsJSON(res.Stats),
-		TimeMS:  float64(res.Time) / float64(time.Millisecond),
+		Method:  string(stmt.Method()),
 	}
-	if err := res.Err; err != nil {
+	if res != nil {
+		if st := res.Stats; st != nil {
+			s.ctr.solveNanos.Add(int64(st.SolveTime))
+			s.ctr.backtracks.Add(uint64(st.Backtracks))
+			s.ctr.subproblems.Add(uint64(st.Subproblems))
+		}
+		s.ctr.incumbents.Add(uint64(res.Incumbents))
+		resp.Cached = res.Cached
+		resp.Incumbents = res.Incumbents
+		resp.Stats = statsJSON(res.Stats)
+		resp.TimeMS = float64(res.Time) / float64(time.Millisecond)
+	}
+	if execErr != nil {
 		switch {
-		case errors.Is(err, core.ErrInfeasible), errors.Is(err, sketchrefine.ErrFalseInfeasible):
-			// A definitive verdict about the query, not a failure.
+		case errors.Is(execErr, paq.ErrInfeasible):
+			// A definitive verdict about the query, not a failure
+			// (ErrFalseInfeasible satisfies ErrInfeasible too).
 			s.ctr.infeasible.Add(1)
 			resp.Infeasible = true
-			resp.FalseInfeasible = errors.Is(err, sketchrefine.ErrFalseInfeasible)
+			resp.FalseInfeasible = errors.Is(execErr, paq.ErrFalseInfeasible)
 			writeJSON(w, http.StatusOK, resp)
-		case errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(execErr, paq.ErrTimeout):
 			s.ctr.timeouts.Add(1)
 			s.failf(w, http.StatusGatewayTimeout, "evaluation deadline exceeded")
-		case errors.Is(err, context.Canceled):
+		case errors.Is(execErr, context.Canceled):
 			// The client went away; nothing useful to write.
 			s.ctr.timeouts.Add(1)
 			s.failf(w, http.StatusGatewayTimeout, "request canceled")
 		default:
-			// Solver resource exhaustion and other evaluation failures:
+			// Solver budget exhaustion and other evaluation failures:
 			// the query was valid but this budget could not answer it.
 			s.ctr.failures.Add(1)
-			s.failf(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+			s.failf(w, http.StatusUnprocessableEntity, "evaluation failed: %v", execErr)
 		}
 		return
 	}
 
-	obj, err := res.Pkg.ObjectiveValue(spec)
-	if err != nil {
-		s.ctr.failures.Add(1)
-		s.failf(w, http.StatusInternalServerError, "objective evaluation: %v", err)
-		return
-	}
+	obj := res.Objective
 	if math.IsNaN(obj) || math.IsInf(obj, 0) {
 		// NaN/Inf cells can enter via loaded CSV data; JSON cannot carry
 		// them and the value is meaningless as an optimum.
@@ -474,24 +504,25 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, req QueryReques
 		return
 	}
 	s.ctr.ok.Add(1)
-	if res.Stats != nil && res.Stats.Truncated {
+	if res.Truncated {
 		s.ctr.truncated.Add(1)
 		resp.Truncated = true
 	}
 	resp.Objective = strconv.FormatFloat(obj, 'g', -1, 64)
 	resp.ObjValue = obj
-	resp.Size = res.Pkg.Size()
-	resp.Distinct = res.Pkg.Distinct()
-	resp.Rows = make([]PackageRow, len(res.Pkg.Rows))
-	for i, row := range res.Pkg.Rows {
-		resp.Rows[i] = PackageRow{Row: row, Mult: res.Pkg.Mult[i]}
+	resp.Size = res.Size
+	resp.Distinct = res.Distinct
+	resp.Rows = make([]PackageRow, len(res.Rows))
+	for i, row := range res.Rows {
+		resp.Rows[i] = PackageRow{Row: row, Mult: res.Mult[i]}
 	}
 	if req.IncludeTuples {
-		rel := spec.Rel
-		mat := res.Pkg.Materialize("package")
+		ds := s.Dataset(req.Dataset)
+		mat := res.Package().Materialize("package")
+		nCols := ds.Rel().Schema().Len()
 		resp.Tuples = make([][]string, 0, mat.Len())
 		for i := 0; i < mat.Len(); i++ {
-			tup := make([]string, rel.Schema().Len())
+			tup := make([]string, nCols)
 			for c := range tup {
 				tup[c] = mat.Value(i, c).String()
 			}
@@ -503,15 +534,19 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, req QueryReques
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	UptimeMS    float64                 `json:"uptime_ms"`
-	Queries     uint64                  `json:"queries"`
-	OK          uint64                  `json:"ok"`
-	Infeasible  uint64                  `json:"infeasible"`
-	Truncated   uint64                  `json:"truncated"`
-	BadRequests uint64                  `json:"bad_requests"`
-	Rejected    uint64                  `json:"rejected"`
-	Timeouts    uint64                  `json:"timeouts"`
-	Failures    uint64                  `json:"failures"`
+	UptimeMS    float64 `json:"uptime_ms"`
+	Queries     uint64  `json:"queries"`
+	OK          uint64  `json:"ok"`
+	Infeasible  uint64  `json:"infeasible"`
+	Truncated   uint64  `json:"truncated"`
+	BadRequests uint64  `json:"bad_requests"`
+	Rejected    uint64  `json:"rejected"`
+	Timeouts    uint64  `json:"timeouts"`
+	Failures    uint64  `json:"failures"`
+	Explains    uint64  `json:"explains"`
+	// Incumbents is the total number of improving ILP incumbents found
+	// across all executions — the anytime-results counter.
+	Incumbents  uint64                  `json:"incumbents_total"`
 	InFlight    int                     `json:"in_flight"`
 	Queued      int                     `json:"queued"`
 	Draining    bool                    `json:"draining"`
@@ -529,7 +564,7 @@ type DatasetStats struct {
 	Caches map[string]CacheStats `json:"caches"`
 }
 
-// CacheStats is the wire form of engine.CacheStats.
+// CacheStats is the wire form of paq.CacheStats.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -555,6 +590,8 @@ func (s *Server) Stats() StatsResponse {
 		Rejected:    s.ctr.rejected.Load(),
 		Timeouts:    s.ctr.timeouts.Load(),
 		Failures:    s.ctr.failures.Load(),
+		Explains:    s.ctr.explains.Load(),
+		Incumbents:  s.ctr.incumbents.Load(),
 		InFlight:    inFlight,
 		Queued:      queued,
 		Draining:    s.isDraining(),
@@ -568,13 +605,14 @@ func (s *Server) Stats() StatsResponse {
 	for name, ds := range s.datasets {
 		dst := DatasetStats{
 			Rows:   ds.Rel().Len(),
-			Groups: ds.Partitioning().NumGroups(),
-			Tau:    ds.Partitioning().Tau,
 			Caches: make(map[string]CacheStats),
 		}
-		for _, m := range ds.Methods() {
-			cs := ds.Engine(m).Stats()
-			dst.Caches[m] = CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Entries: cs.Entries}
+		if pi, err := ds.Partitioning(); err == nil {
+			dst.Groups = pi.Groups
+			dst.Tau = pi.Tau
+		}
+		for m, cs := range ds.Session().CacheStats() {
+			dst.Caches[string(m)] = CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Entries: cs.Entries}
 		}
 		resp.Datasets[name] = dst
 	}
@@ -604,14 +642,17 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			col := ds.Rel().Schema().Col(i)
 			cols[i] = fmt.Sprintf("%s:%s", col.Name, col.Type)
 		}
-		infos = append(infos, DatasetInfo{
+		info := DatasetInfo{
 			Name:    ds.Name(),
 			Rows:    ds.Rel().Len(),
 			Columns: cols,
-			Attrs:   append([]string(nil), ds.Partitioning().Attrs...),
-			Groups:  ds.Partitioning().NumGroups(),
 			Methods: ds.Methods(),
-		})
+		}
+		if pi, err := ds.Partitioning(); err == nil {
+			info.Attrs = pi.Attrs
+			info.Groups = pi.Groups
+		}
+		infos = append(infos, info)
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })

@@ -15,21 +15,19 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/ilp"
 	"repro/internal/relation"
-	"repro/internal/sketchrefine"
-	"repro/internal/translate"
 	"repro/internal/workload"
+	"repro/paq"
 )
 
-// testSolver is the common solver budget: generous enough that every
-// non-hard workload query solves, bounded enough that a runaway query
-// cannot stall CI.
-var testSolver = ilp.Options{TimeLimit: 30 * time.Second, MaxNodes: 100000, Gap: 1e-4}
-
+// testDatasetConfig is the common configuration: solver budgets
+// generous enough that every non-hard workload query solves, bounded
+// enough that a runaway query cannot stall CI.
 func testDatasetConfig() DatasetConfig {
-	return DatasetConfig{TauFrac: 0.10, Workers: 0, Seed: 7, Racers: 1, Solver: testSolver}
+	return DatasetConfig{
+		TauFrac: 0.10, Workers: 0, Seed: 7, Racers: 1,
+		TimeLimit: 30 * time.Second, MaxNodes: 100000, Gap: 1e-4,
+	}
 }
 
 // buildCorpus returns the two registered datasets plus a mixed query
@@ -160,25 +158,25 @@ func TestServerDifferentialLoad(t *testing.T) {
 		if _, ok := refs[c]; ok {
 			continue
 		}
-		spec, err := translate.Compile(c.paql, rels[c.dataset])
-		if err != nil {
-			t.Fatalf("%s/%s: reference compile: %v", c.dataset, c.method, err)
-		}
-		res := refDS[c.dataset].Engine(c.method).Evaluate(context.Background(), spec)
-		if res.Err != nil {
-			if errors.Is(res.Err, core.ErrInfeasible) || errors.Is(res.Err, sketchrefine.ErrFalseInfeasible) {
-				refs[c] = refResult{infeasible: true}
-				continue
-			}
-			t.Fatalf("%s/%s: reference evaluation failed: %v", c.dataset, c.method, res.Err)
-		}
-		obj, err := res.Pkg.ObjectiveValue(spec)
+		m, err := paq.ParseMethod(c.method)
 		if err != nil {
 			t.Fatal(err)
 		}
+		stmt, err := refDS[c.dataset].Session().Prepare(c.paql, paq.WithMethod(m))
+		if err != nil {
+			t.Fatalf("%s/%s: reference prepare: %v", c.dataset, c.method, err)
+		}
+		res, execErr := stmt.Execute(context.Background())
+		if execErr != nil {
+			if errors.Is(execErr, paq.ErrInfeasible) {
+				refs[c] = refResult{infeasible: true}
+				continue
+			}
+			t.Fatalf("%s/%s: reference evaluation failed: %v", c.dataset, c.method, execErr)
+		}
 		refs[c] = refResult{
-			objective: strconv.FormatFloat(obj, 'g', -1, 64),
-			truncated: res.Stats != nil && res.Stats.Truncated,
+			objective: strconv.FormatFloat(res.Objective, 'g', -1, 64),
+			truncated: res.Truncated,
 		}
 	}
 
@@ -290,7 +288,7 @@ func (b *blockingSolver) Solve(ctx context.Context, spec *core.Spec) (*core.Pack
 
 // tinyDataset registers a 4-row dataset whose direct engine uses the
 // given solver.
-func tinyDataset(t *testing.T, srv *Server, solver engine.Solver) string {
+func tinyDataset(t *testing.T, srv *Server, solver paq.Solver) string {
 	t.Helper()
 	rel := relation.New("tiny", relation.NewSchema(
 		relation.Column{Name: "x", Type: relation.Float},
@@ -302,9 +300,9 @@ func tinyDataset(t *testing.T, srv *Server, solver engine.Solver) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := engine.New(solver)
-	eng.NoCache = true // every request must reach the solver
-	ds.SetEngine(MethodDirect, eng)
+	// SetSolver's engines never cache, so every request reaches the
+	// solver (blocking tests depend on it).
+	ds.Session().SetSolver(paq.MethodDirect, solver)
 	srv.Register(ds)
 	return `SELECT PACKAGE(T) AS P FROM tiny T REPEAT 0
 SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.x)`
@@ -542,5 +540,95 @@ SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.r)`,
 	}
 	if len(qr.Tuples[0]) != rels["galaxy"].Schema().Len() {
 		t.Fatalf("tuple width %d, want %d", len(qr.Tuples[0]), rels["galaxy"].Schema().Len())
+	}
+}
+
+// TestExplainRequest: "explain": true returns the statement's typed
+// plan — method, reason, ILP size, partitioning shape — without
+// consuming a solve.
+func TestExplainRequest(t *testing.T) {
+	rels := testRelations(t)
+	srv := New(Config{})
+	ds, err := NewDataset("galaxy", rels["galaxy"], testDatasetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(ds)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, raw := mustPostQuery(t, ts.Client(), ts.URL, QueryRequest{
+		Dataset: "galaxy",
+		Method:  MethodSketchRefine,
+		Explain: true,
+		Query: `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.r)`,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Plan == nil {
+		t.Fatal("explain response has no plan")
+	}
+	if qr.Plan.Method != paq.MethodSketchRefine {
+		t.Errorf("plan method %q, want sketchrefine", qr.Plan.Method)
+	}
+	if qr.Plan.Variables == 0 || qr.Plan.Constraints == 0 {
+		t.Errorf("plan has empty ILP size: %+v", qr.Plan)
+	}
+	if qr.Plan.Partitioning == nil || qr.Plan.Partitioning.Groups == 0 {
+		t.Errorf("sketchrefine plan lacks partitioning info: %+v", qr.Plan)
+	}
+	if qr.Rows != nil || qr.Objective != "" {
+		t.Error("explain response carries solve results")
+	}
+	st := srv.Stats()
+	if st.Explains != 1 {
+		t.Errorf("stats.Explains = %d, want 1", st.Explains)
+	}
+	if st.OK != 0 {
+		t.Errorf("explain counted as a solved query (ok=%d)", st.OK)
+	}
+}
+
+// TestIncumbentCountSurfaced: executions count their improving ILP
+// incumbents, per response and in aggregate at /stats.
+func TestIncumbentCountSurfaced(t *testing.T) {
+	rels := testRelations(t)
+	srv := New(Config{})
+	ds, err := NewDataset("galaxy", rels["galaxy"], testDatasetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(ds)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, raw := mustPostQuery(t, ts.Client(), ts.URL, QueryRequest{
+		Dataset: "galaxy",
+		Query: `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= 2.0
+MAXIMIZE SUM(P.petrorad)`,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Incumbents == 0 {
+		t.Error("response reports zero incumbents for a fresh solve")
+	}
+	st := srv.Stats()
+	if st.Incumbents == 0 {
+		t.Error("/stats incumbents_total is zero after a solve")
+	}
+	if st.Incumbents != uint64(qr.Incumbents) {
+		t.Errorf("/stats incumbents_total = %d, response reported %d", st.Incumbents, qr.Incumbents)
 	}
 }

@@ -1,7 +1,6 @@
 package sketchrefine
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -74,44 +73,24 @@ func TestSeedStability(t *testing.T) {
 	}
 }
 
-// TestSeedMatchesRand pins the compatibility contract: Options.Seed must
-// shuffle exactly like the deprecated Options.Rand seeded with the same
-// value, so existing callers can migrate without changing results.
-func TestSeedMatchesRand(t *testing.T) {
+// TestSeedReproducible pins Seed's contract after the removal of the
+// caller-owned-generator field: every nonzero seed shuffles with a
+// private generator, so repeated evaluations with equal options — even
+// interleaved with other seeds — return the identical package.
+func TestSeedReproducible(t *testing.T) {
 	spec, part := seedTestProblem(t)
 	for _, seed := range []int64{1, 5, 23} {
-		viaSeed, _, err := Evaluate(spec, part, Options{HybridSketch: true, Seed: seed})
+		first, _, err := Evaluate(spec, part, Options{HybridSketch: true, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaRand, _, err := Evaluate(spec, part, Options{
-			HybridSketch: true,
-			Rand:         rand.New(rand.NewSource(seed)),
-		})
+		if _, _, err := Evaluate(spec, part, Options{HybridSketch: true, Seed: seed + 1}); err != nil {
+			t.Fatal(err)
+		}
+		again, _, err := Evaluate(spec, part, Options{HybridSketch: true, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		equalPackages(t, "seed-vs-rand", viaSeed, viaRand)
+		equalPackages(t, "seed-reproducible", first, again)
 	}
-}
-
-// TestRandReuseWasTheTrap documents why Rand is deprecated: passing one
-// generator to two evaluations mutates it between calls, so the second
-// call sees a different order than a fresh generator would give — while
-// Seed hands every evaluation its own private generator.
-func TestRandReuseWasTheTrap(t *testing.T) {
-	spec, part := seedTestProblem(t)
-	shared := rand.New(rand.NewSource(5))
-	firstUse, _, err := Evaluate(spec, part, Options{HybridSketch: true, Rand: shared})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// A second evaluation with the same (now-advanced) generator is NOT
-	// guaranteed to match; Seed is. We only assert the Seed side — the
-	// Rand side's drift is exactly the reason for the deprecation.
-	again, _, err := Evaluate(spec, part, Options{HybridSketch: true, Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	equalPackages(t, "seed-reproducible", firstUse, again)
 }

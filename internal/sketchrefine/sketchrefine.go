@@ -49,18 +49,18 @@ type Options struct {
 	// Seed, when nonzero, shuffles the initial refinement order
 	// (Algorithm 2 starts from an arbitrary order) with a private
 	// generator seeded here. Equal seeds give equal orders, every
-	// evaluation is reproducible, and — unlike Rand — a seed can be
-	// shared across concurrent evaluations safely. Zero keeps the
-	// deterministic ascending group order (unless Rand is set).
+	// evaluation is reproducible, and a seed can be shared across
+	// concurrent evaluations safely. Zero keeps the deterministic
+	// ascending group order.
 	Seed int64
-	// Rand seeds the initial refinement order like Seed, but from a
-	// caller-owned generator. Nil keeps the deterministic group order.
-	//
-	// Deprecated: *rand.Rand is stateful — passing the same generator to
-	// two evaluations gives different orders (and racing evaluations
-	// would data-race on it). Prefer Seed. When both are set, Rand wins
-	// for backward compatibility.
-	Rand *rand.Rand
+	// OnIncumbent, when non-nil, receives every improving incumbent of
+	// every ILP subproblem (sketch, hybrid sketch, refine, and merge
+	// solves) as it is found, turning the evaluation into an anytime
+	// computation. Incumbents are tagged with their subproblem number;
+	// sketch and hybrid-sketch incumbents have Sketch set (their rows —
+	// when present — index the representative relation, not the input).
+	// The callback runs synchronously on the solving goroutine.
+	OnIncumbent core.IncumbentFunc
 }
 
 // DefaultMaxBacktracks bounds refinement backtracking when
@@ -110,6 +110,26 @@ type evaluator struct {
 	repRow map[int]int
 
 	backtracks int
+	// subs numbers the ILP subproblems in evaluation order for incumbent
+	// tagging.
+	subs int
+}
+
+// incumbentHook returns the IncumbentFunc for the next ILP subproblem,
+// tagging forwarded incumbents with the subproblem number and the
+// sketch flag, or nil when no caller is listening.
+func (ev *evaluator) incumbentHook(sketch bool) core.IncumbentFunc {
+	sub := ev.subs
+	ev.subs++
+	fn := ev.opt.OnIncumbent
+	if fn == nil {
+		return nil
+	}
+	return func(inc core.Incumbent) {
+		inc.Subproblem = sub
+		inc.Sketch = sketch
+		fn(inc)
+	}
 }
 
 // Evaluate runs SketchRefine on a compiled query over a partitioned
@@ -235,7 +255,7 @@ func (ev *evaluator) sketch() (*state, error) {
 		Constraints: ev.spec.Constraints,
 		Objective:   ev.spec.Objective,
 	}
-	pkg, st, err := core.SolveRowsCtx(ev.ctx, sketchSpec, repRows, hi, ev.opt.Solver)
+	pkg, st, err := core.SolveRowsStream(ev.ctx, sketchSpec, repRows, hi, ev.opt.Solver, 0, ev.incumbentHook(true))
 	ev.stats.Add(st)
 	if err != nil {
 		return nil, err
@@ -293,7 +313,7 @@ func (ev *evaluator) refineGroup(st *state, gid int) (*state, error) {
 			Desc: c.Desc,
 		})
 	}
-	pkg, stats, err := core.SolveRowsCtx(ev.ctx, sub, ev.eligible[gid], nil, ev.opt.Solver)
+	pkg, stats, err := core.SolveRowsStream(ev.ctx, sub, ev.eligible[gid], nil, ev.opt.Solver, 0, ev.incumbentHook(false))
 	ev.stats.Add(stats)
 	if err != nil {
 		return nil, err
@@ -328,11 +348,8 @@ func (ev *evaluator) initialOrder(st *state) []int {
 			order = append(order, gid)
 		}
 	}
-	rng := ev.opt.Rand
-	if rng == nil && ev.opt.Seed != 0 {
-		rng = rand.New(rand.NewSource(ev.opt.Seed))
-	}
-	if rng != nil {
+	if ev.opt.Seed != 0 {
+		rng := rand.New(rand.NewSource(ev.opt.Seed))
 		rng.Shuffle(len(order), func(i, j int) {
 			order[i], order[j] = order[j], order[i]
 		})
@@ -506,9 +523,22 @@ func (ev *evaluator) hybridSketchFor(gid int) (*state, error) {
 	} else {
 		prob.LP.Maximize = true
 	}
+	solverOpt := ev.opt.Solver
+	if fn := ev.incumbentHook(true); fn != nil {
+		offset := 0.0
+		if ev.spec.Objective != nil {
+			offset = ev.spec.Objective.Offset
+		}
+		// Hybrid incumbents span two domains (original tuples of one
+		// group plus other groups' representatives), so no single row
+		// mapping is faithful; forward objective progress only.
+		solverOpt.OnIncumbent = func(x []float64, obj float64, nodes int) {
+			fn(core.Incumbent{Objective: obj + offset, Nodes: nodes})
+		}
+	}
 	sub := &core.EvalStats{Subproblems: 1, Vars: n, Rows: len(prob.LP.B), BuildTime: time.Since(t0)}
 	t1 := time.Now()
-	res, err := ilp.SolveCtx(ev.ctx, prob, ev.opt.Solver)
+	res, err := ilp.SolveCtx(ev.ctx, prob, solverOpt)
 	sub.SolveTime = time.Since(t1)
 	ev.stats.Add(sub)
 	if err != nil {
@@ -548,7 +578,7 @@ func (ev *evaluator) failOrMerge() (*core.Package, *core.EvalStats, error) {
 	if !ev.opt.MergeOnFailure {
 		return nil, ev.stats, ErrFalseInfeasible
 	}
-	pkg, st, err := core.SolveRowsCtx(ev.ctx, ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver)
+	pkg, st, err := core.SolveRowsStream(ev.ctx, ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver, 0, ev.incumbentHook(false))
 	ev.stats.Add(st)
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {

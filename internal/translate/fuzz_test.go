@@ -30,9 +30,9 @@ func FuzzCompile(f *testing.F) {
 		`SELECT PACKAGE(T) AS P FROM t T REPEAT 0 SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.a)`,
 		`SELECT PACKAGE(T) AS P FROM t T WHERE c = 'x' SUCH THAT SUM(P.a) BETWEEN 0 AND 1`,
 		`SELECT PACKAGE(T) AS P FROM t SUCH THAT AVG(P.b) >= 1 AND MAX(P.a) <= 2`,
-		`SELECT PACKAGE(T) AS P FROM t SUCH THAT SUM(P.c) <= 1`,          // aggregate over TEXT
-		`SELECT PACKAGE(T) AS P FROM t WHERE c > 5`,                      // string col vs numeric literal
-		`SELECT PACKAGE(T) AS P FROM t WHERE a = 'x'`,                    // numeric col vs string literal
+		`SELECT PACKAGE(T) AS P FROM t SUCH THAT SUM(P.c) <= 1`,            // aggregate over TEXT
+		`SELECT PACKAGE(T) AS P FROM t WHERE c > 5`,                        // string col vs numeric literal
+		`SELECT PACKAGE(T) AS P FROM t WHERE a = 'x'`,                      // numeric col vs string literal
 		`SELECT PACKAGE(T) AS P FROM t SUCH THAT SUM(P.a) * SUM(P.b) <= 1`, // non-linear
 		`SELECT PACKAGE(T) AS P FROM t SUCH THAT (SELECT SUM(a) FROM P WHERE c = 'y''z') >= 0`,
 		`SELECT PACKAGE(T) AS P FROM t SUCH THAT MIN(P.nope) >= 0`,

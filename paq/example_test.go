@@ -1,0 +1,62 @@
+package paq_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/relation"
+	"repro/paq"
+)
+
+// ExampleSession_Prepare is the 10-line embedded lifecycle: open a
+// session over an in-memory table, prepare a PaQL query, inspect the
+// plan, and execute with incumbent streaming.
+func ExampleSession_Prepare() {
+	fruit := relation.New("Fruit", relation.NewSchema(
+		relation.Column{Name: "name", Type: relation.String},
+		relation.Column{Name: "kcal", Type: relation.Float},
+		relation.Column{Name: "fiber", Type: relation.Float},
+	))
+	for _, f := range []struct {
+		name        string
+		kcal, fiber float64
+	}{
+		{"apple", 95, 4.4}, {"banana", 105, 3.1}, {"orange", 62, 3.1},
+		{"pear", 101, 5.5}, {"kiwi", 42, 2.1}, {"mango", 201, 5.4},
+	} {
+		fruit.MustAppend(relation.S(f.name), relation.F(f.kcal), relation.F(f.fiber))
+	}
+
+	sess, err := paq.Open(paq.Table(fruit))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stmt, err := sess.Prepare(`
+SELECT PACKAGE(F) AS P FROM Fruit F REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) <= 250
+MAXIMIZE SUM(P.fiber)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("method:", stmt.Plan().Method)
+
+	res, err := stmt.Execute(context.Background(),
+		paq.WithIncumbent(func(inc paq.Incumbent) {
+			// Improving feasible packages stream here while the solver runs.
+			_ = inc.Objective
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, row := range res.Rows {
+		fmt.Printf("%d× %s\n", res.Mult[i], fruit.Str(row, 0))
+	}
+	fmt.Printf("fiber: %.1f\n", res.Objective)
+	// Output:
+	// method: direct
+	// 1× apple
+	// 1× pear
+	// 1× kiwi
+	// fiber: 12.0
+}

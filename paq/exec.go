@@ -1,0 +1,242 @@
+package paq
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/par"
+	"repro/internal/sketchrefine"
+)
+
+// Incumbent is one improving feasible solution streamed while a solve
+// is still running — the unit of anytime results. For a DIRECT solve it
+// is a feasible (possibly suboptimal) package over the input relation;
+// SketchRefine streams the incumbents of its subproblems (tagged with
+// Subproblem; Sketch marks solves over the representative relation,
+// whose Rows — when present — index R̃ rather than the input).
+type Incumbent struct {
+	// Objective is the incumbent's objective value (for DIRECT: the
+	// package objective, including any constant offset).
+	Objective float64 `json:"objective"`
+	// Rows and Mult are the incumbent package (nil for hybrid-sketch
+	// incumbents, which span two domains).
+	Rows []int `json:"rows,omitempty"`
+	Mult []int `json:"mult,omitempty"`
+	// Nodes is the branch-and-bound node count when the incumbent was
+	// found; Elapsed the wall-clock time since Execute began.
+	Nodes   int           `json:"nodes"`
+	Elapsed time.Duration `json:"elapsed"`
+	// Seq numbers the incumbents of this execution from 1.
+	Seq int `json:"seq"`
+	// Subproblem and Sketch locate the incumbent within a SketchRefine
+	// evaluation (always 0/false for DIRECT).
+	Subproblem int  `json:"subproblem,omitempty"`
+	Sketch     bool `json:"sketch,omitempty"`
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Rows and Mult are the answer package: distinct input-relation rows
+	// with multiplicities.
+	Rows []int
+	Mult []int
+	// Objective is the package's objective value (0 for
+	// feasibility-only queries).
+	Objective float64
+	// Size is the package cardinality (Σ multiplicities); Distinct the
+	// number of distinct tuples.
+	Size, Distinct int
+	// Stats records the evaluation work (cache hits carry the original
+	// solve's stats).
+	Stats *Stats
+	// Truncated reports a budget-limited incumbent: feasible, but
+	// possibly suboptimal — rerunning with a larger budget could
+	// improve it.
+	Truncated bool
+	// Cached reports the result was served from the session's solution
+	// cache; Time is the wall-clock evaluation time (0 for cache hits).
+	Cached bool
+	Time   time.Duration
+	// Incumbents counts the improving incumbents streamed during the
+	// solve (0 for cache hits).
+	Incumbents int
+	// Err is set only by ExecuteBatch (Execute returns errors
+	// directly); it carries the same typed taxonomy.
+	Err error
+
+	pkg  *core.Package
+	spec *core.Spec
+}
+
+// Package returns the answer as a core package value (for
+// materialization into a relation via Package().Materialize).
+func (r *Result) Package() *Package { return r.pkg }
+
+// execCfg is the per-execution configuration.
+type execCfg struct {
+	fn      func(Incumbent)
+	rows    []int
+	seed    int64
+	seedSet bool
+}
+
+// ExecOption configures one Execute call.
+type ExecOption struct{ apply func(*execCfg) }
+
+// WithIncumbent streams improving incumbents to fn as they are found,
+// turning the solve into an anytime computation. fn runs synchronously
+// on the solving goroutine (serialized even when refinement orders
+// race): keep it cheap. Cache hits return immediately and stream
+// nothing.
+func WithIncumbent(fn func(Incumbent)) ExecOption {
+	return ExecOption{apply: func(c *execCfg) { c.fn = fn }}
+}
+
+// WithRows restricts the evaluation to a subset of the relation's rows
+// — the paper's protocol for derived smaller datasets. Row-subset
+// executions bypass the solution cache and evaluate the single
+// configured refinement order (WithRacers does not apply). Not
+// supported by MethodNaive.
+func WithRows(rows []int) ExecOption {
+	return ExecOption{apply: func(c *execCfg) { c.rows = rows }}
+}
+
+// WithExecSeed overrides the session's SketchRefine refinement-order
+// seed for this execution only. Reseeded executions bypass the
+// solution cache (their answer depends on the order) and evaluate that
+// single order deterministically (WithRacers does not apply).
+func WithExecSeed(seed int64) ExecOption {
+	return ExecOption{apply: func(c *execCfg) { c.seed = seed; c.seedSet = true }}
+}
+
+// Execute evaluates the prepared statement and returns the answer
+// package. Failures map onto the typed taxonomy: errors.Is(err,
+// ErrInfeasible) for "no such package", ErrTimeout for an expired ctx
+// deadline, ErrBudget for exhausted solver budgets. Identical
+// statements (same constraints, objective, and relation) are answered
+// from the session's solution cache when possible.
+func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ec execCfg
+	for _, o := range opts {
+		o.apply(&ec)
+	}
+	t0 := time.Now()
+
+	// The incumbent hook: incumbents are always counted (Result and the
+	// session's anytime counter) and forwarded to the caller when asked.
+	// Racing refinement orders share the hook, so the whole callback —
+	// sequencing and the user fn — runs under one mutex.
+	var (
+		hookMu sync.Mutex
+		nInc   int
+	)
+	fn := ec.fn
+	hook := func(inc core.Incumbent) {
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		nInc++
+		st.sess.incumbents.Add(1)
+		if fn != nil {
+			fn(Incumbent{
+				Objective:  inc.Objective,
+				Rows:       inc.Rows,
+				Mult:       inc.Mult,
+				Nodes:      inc.Nodes,
+				Elapsed:    time.Since(t0),
+				Seq:        nInc,
+				Subproblem: inc.Subproblem,
+				Sketch:     inc.Sketch,
+			})
+		}
+	}
+
+	var res engine.Result
+	if ec.rows != nil || ec.seedSet {
+		res = st.executeBespoke(ctx, ec, hook)
+	} else {
+		eng := st.sess.engineFor(st.method, st.part)
+		res = eng.EvaluateStream(ctx, st.spec, hook)
+	}
+	if res.Err != nil {
+		return nil, mapEvalErr(res.Err)
+	}
+	// Copy the package slices: the underlying *core.Package may live in
+	// the session's solution cache and be shared by every future cache
+	// hit — a caller mutating its Result must not corrupt it.
+	out := &Result{
+		Rows:       append([]int(nil), res.Pkg.Rows...),
+		Mult:       append([]int(nil), res.Pkg.Mult...),
+		Size:       res.Pkg.Size(),
+		Distinct:   res.Pkg.Distinct(),
+		Stats:      res.Stats,
+		Truncated:  res.Stats != nil && res.Stats.Truncated,
+		Cached:     res.Cached,
+		Time:       res.Time,
+		Incumbents: nInc,
+		pkg:        res.Pkg,
+		spec:       st.spec,
+	}
+	obj, err := res.Pkg.ObjectiveValue(st.spec)
+	if err != nil {
+		return nil, mapEvalErr(err)
+	}
+	out.Objective = obj
+	return out, nil
+}
+
+// executeBespoke runs row-subset or reseeded executions outside the
+// engine path (their answers are not cacheable under the statement's
+// key).
+func (st *Stmt) executeBespoke(ctx context.Context, ec execCfg, hook core.IncumbentFunc) engine.Result {
+	t0 := time.Now()
+	fail := func(err error) engine.Result {
+		return engine.Result{Err: err, Time: time.Since(t0)}
+	}
+	switch st.method {
+	case MethodNaive:
+		return fail(fmt.Errorf("%w: naive evaluation over row subsets", ErrUnsupported))
+	case MethodSketchRefine:
+		part := st.part
+		if ec.rows != nil {
+			part = part.Restrict(ec.rows)
+		}
+		opt := st.sess.sketchOptions()
+		if ec.seedSet {
+			opt.Seed = ec.seed
+		}
+		opt.OnIncumbent = hook
+		pkg, stats, err := sketchrefine.EvaluateCtx(ctx, st.spec, part, opt)
+		return engine.Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
+	default: // direct
+		rows := st.spec.BaseRows()
+		if ec.rows != nil {
+			rows = st.spec.FilterRows(ec.rows)
+		}
+		pkg, stats, err := core.SolveRowsStream(ctx, st.spec, rows, nil, st.sess.cfg.solverOptions(), 0, hook)
+		return engine.Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
+	}
+}
+
+// ExecuteBatch evaluates many prepared statements concurrently on the
+// session's worker pool (WithWorkers), sharing the strategy state and
+// solution caches, and returns the results in input order. Every slot
+// is filled: per-statement failures are reported in Result.Err, not
+// returned.
+func (s *Session) ExecuteBatch(ctx context.Context, stmts []*Stmt, opts ...ExecOption) []*Result {
+	out := make([]*Result, len(stmts))
+	par.For(len(stmts), s.cfg.workers, func(i int) {
+		r, err := stmts[i].Execute(ctx, opts...)
+		if err != nil {
+			r = &Result{Err: err}
+		}
+		out[i] = r
+	})
+	return out
+}

@@ -1,0 +1,65 @@
+package paq_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// forbiddenImports are the internal solve-path packages no consumer may
+// reach around the SDK for. internal/relation (the data container) and
+// internal/workload (synthetic data generators) are deliberately not on
+// the list — they carry data, not evaluation.
+var forbiddenImports = []string{
+	"repro/internal/core",
+	"repro/internal/engine",
+	"repro/internal/ilp",
+	"repro/internal/lp",
+	"repro/internal/naive",
+	"repro/internal/paql",
+	"repro/internal/partition",
+	"repro/internal/sketchrefine",
+	"repro/internal/translate",
+}
+
+// TestConsumersImportOnlyPaq enforces the SDK boundary: every command,
+// example, and the benchmark harness reaches the solve path exclusively
+// through repro/paq. It parses the import list of every non-test Go
+// file under cmd/, examples/, and internal/bench.
+func TestConsumersImportOnlyPaq(t *testing.T) {
+	forbidden := make(map[string]bool, len(forbiddenImports))
+	for _, p := range forbiddenImports {
+		forbidden[p] = true
+	}
+	for _, dir := range []string{"../cmd", "../examples", "../internal/bench"} {
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ipath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if forbidden[ipath] {
+					t.Errorf("%s imports solve-path package %s directly; consume repro/paq instead", path, ipath)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package paq is the embeddable SDK for package queries — the stable,
+// public entry point to this reproduction of "Scalable Package Queries
+// in Relational Database Systems" (Brucato et al., PVLDB 2016).
+//
+// A package query selects a *set* of tuples (a "package") that
+// collectively satisfy global constraints and optimize a global
+// objective; PaQL is its declarative SQL-like surface language. This
+// package wraps the whole pipeline — parse → ILP translation → strategy
+// selection → solve — behind an explicit prepare/plan/execute
+// lifecycle:
+//
+//	sess, err := paq.Open(paq.CSV("recipes.csv"))
+//	stmt, err := sess.Prepare(`SELECT PACKAGE(R) AS P FROM recipes R ...`)
+//	fmt.Println(stmt.Plan())                    // EXPLAIN: method, why, ILP size
+//	res, err := stmt.Execute(ctx,
+//	    paq.WithIncumbent(func(inc paq.Incumbent) { ... })) // anytime results
+//
+// A Session owns one input relation, lazily warmed offline
+// partitionings (one per distinct attribute set), and per-strategy
+// solution caches. A Stmt is a compiled query with a typed Plan — the
+// chosen evaluation method and why, the partitioning shape, and the ILP
+// size — so EXPLAIN is a first-class operation. Execute streams
+// improving incumbents of the underlying branch-and-bound solve to an
+// optional callback, turning every solve into an anytime computation.
+//
+// Failures are reported through a typed error taxonomy — ErrInfeasible,
+// ErrTimeout, ErrBudget, ErrTypeMismatch, ErrUnsupported, and
+// *ParseError — with full errors.Is/As support; see errors.go.
+//
+// Every consumer in this repository (paqlcli, paqld, the benchmark
+// harness, and all examples) builds on this package alone.
+package paq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Package is the answer to a package query: distinct tuple rows of the
+// input relation with their multiplicities.
+type Package = core.Package
+
+// Stats records the work done by one evaluation (ILP sizes, solver
+// nodes, subproblems, refinement backtracks).
+type Stats = core.EvalStats
+
+// CacheStats is a snapshot of one strategy's solution-cache counters.
+type CacheStats = engine.CacheStats
+
+// Solver is the pluggable evaluation-strategy interface of the
+// underlying engine; it is exported for test seams (see
+// Session.SetSolver), not for everyday use.
+type Solver = engine.Solver
+
+// Source is where Open loads the input relation from.
+type Source interface {
+	load() (*relation.Relation, error)
+}
+
+type csvSource struct{ path string }
+
+func (s csvSource) load() (*relation.Relation, error) { return relation.LoadCSV(s.path) }
+
+// CSV sources the input relation from a typed CSV file (header fields
+// are name:type with type f=float, i=int, s=string, as written by the
+// datagen tool).
+func CSV(path string) Source { return csvSource{path: path} }
+
+type tableSource struct{ rel *relation.Relation }
+
+func (s tableSource) load() (*relation.Relation, error) {
+	if s.rel == nil {
+		return nil, fmt.Errorf("paq: nil relation")
+	}
+	return s.rel, nil
+}
+
+// Table sources the input relation from an in-memory table.
+func Table(rel *relation.Relation) Source { return tableSource{rel: rel} }
+
+// Session is an open package-query session over one input relation. It
+// lazily builds and caches offline partitionings (one per distinct
+// attribute set) and keeps one solution-caching engine per evaluation
+// strategy, all shared by every statement prepared on it. A Session is
+// safe for concurrent use.
+type Session struct {
+	rel *relation.Relation
+	cfg config
+
+	mu        sync.Mutex
+	parts     map[string]*lazyPart
+	engines   map[string]*engine.Engine
+	overrides map[Method]*engine.Engine
+
+	incumbents atomic.Uint64
+}
+
+// lazyPart builds one partitioning at most once, racing callers
+// blocking on the same build.
+type lazyPart struct {
+	once sync.Once
+	part *partition.Partitioning
+	err  error
+}
+
+// Open loads and validates the input relation and returns a session
+// over it. Partitionings are built lazily on first need (or eagerly
+// with WithWarmPartitioning); solver budgets, the evaluation method,
+// and partitioning shape come from the options.
+func Open(src Source, opts ...Option) (*Session, error) {
+	if src == nil {
+		return nil, fmt.Errorf("paq: nil source")
+	}
+	rel, err := src.load()
+	if err != nil {
+		return nil, err
+	}
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("paq: input relation %q is empty", rel.Name())
+	}
+	cfg := defaults()
+	for _, o := range opts {
+		if err := o.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	s := &Session{
+		rel:     rel,
+		cfg:     cfg,
+		parts:   make(map[string]*lazyPart),
+		engines: make(map[string]*engine.Engine),
+	}
+	if cfg.warm {
+		if _, err := s.sessionPartitioning(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Rel returns the session's input relation (read-only; mutating it
+// invalidates every prepared statement and cached solution).
+func (s *Session) Rel() *relation.Relation { return s.rel }
+
+// Clone returns a new session over the same relation with fresh engines
+// and solution caches, applying any additional options on top of the
+// original configuration. Already-built partitionings are shared —
+// they are immutable and expensive — unless an option changes the
+// partitioning shape (τ or the radius limit), in which case they are
+// dropped and rebuilt lazily.
+func (s *Session) Clone(opts ...Option) (*Session, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		if err := o.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	c := &Session{
+		rel:     s.rel,
+		cfg:     cfg,
+		parts:   make(map[string]*lazyPart),
+		engines: make(map[string]*engine.Engine),
+	}
+	if cfg.tauFrac == s.cfg.tauFrac && cfg.tauAbs == s.cfg.tauAbs && cfg.radius == s.cfg.radius {
+		s.mu.Lock()
+		for k, p := range s.parts {
+			c.parts[k] = p
+		}
+		s.mu.Unlock()
+	}
+	if cfg.warm {
+		if _, err := c.sessionPartitioning(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// tau resolves the partition size threshold for this session's relation.
+func (s *Session) tau() int {
+	if s.cfg.tauAbs > 0 {
+		return s.cfg.tauAbs
+	}
+	return int(float64(s.rel.Len())*s.cfg.tauFrac) + 1
+}
+
+// partitionAttrsFor resolves the partitioning attributes for a query:
+// the explicitly configured set, else the query's own attributes
+// (coverage 1, the paper's recommended setting), else every numeric
+// column.
+func (s *Session) partitionAttrsFor(queryAttrs []string) []string {
+	if len(s.cfg.partAttrs) > 0 {
+		return s.cfg.partAttrs
+	}
+	if len(queryAttrs) > 0 {
+		return queryAttrs
+	}
+	return s.numericColumns()
+}
+
+func (s *Session) numericColumns() []string {
+	var attrs []string
+	for i := 0; i < s.rel.Schema().Len(); i++ {
+		col := s.rel.Schema().Col(i)
+		if col.Type.Numeric() {
+			attrs = append(attrs, col.Name)
+		}
+	}
+	return attrs
+}
+
+// partKey canonicalizes an attribute set for the partitioning cache.
+func partKey(attrs []string) string {
+	lower := make([]string, len(attrs))
+	for i, a := range attrs {
+		lower[i] = strings.ToLower(a)
+	}
+	sort.Strings(lower)
+	return strings.Join(lower, ",")
+}
+
+// partitioningFor returns (building at most once) the partitioning over
+// the given attributes.
+func (s *Session) partitioningFor(attrs []string) (*partition.Partitioning, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("paq: no numeric attributes to partition on")
+	}
+	key := partKey(attrs)
+	s.mu.Lock()
+	lp, ok := s.parts[key]
+	if !ok {
+		lp = &lazyPart{}
+		s.parts[key] = lp
+	}
+	s.mu.Unlock()
+	lp.once.Do(func() {
+		lp.part, lp.err = partition.Build(s.rel, partition.Options{
+			Attrs:         attrs,
+			SizeThreshold: s.tau(),
+			RadiusLimit:   s.cfg.radius,
+			Workers:       s.cfg.workers,
+		})
+	})
+	return lp.part, lp.err
+}
+
+// sessionPartitioning is the session-wide partitioning: the configured
+// attribute set, or every numeric column — a superset of any query's
+// attributes, so it can serve arbitrary queries (the setting a
+// long-lived service wants warm).
+func (s *Session) sessionPartitioning() (*partition.Partitioning, error) {
+	return s.partitioningFor(s.partitionAttrsFor(nil))
+}
+
+// PartitionInfo describes one offline partitioning (for EXPLAIN plans
+// and service dashboards).
+type PartitionInfo struct {
+	Attrs  []string `json:"attrs"`
+	Groups int      `json:"groups"`
+	Tau    int      `json:"tau"`
+	Radius float64  `json:"radius,omitempty"`
+	// BuildMS is the offline build cost in milliseconds.
+	BuildMS float64 `json:"build_ms"`
+}
+
+func infoOf(p *partition.Partitioning) *PartitionInfo {
+	return &PartitionInfo{
+		Attrs:   append([]string(nil), p.Attrs...),
+		Groups:  p.NumGroups(),
+		Tau:     p.Tau,
+		Radius:  p.Omega,
+		BuildMS: float64(p.BuildTime.Microseconds()) / 1000,
+	}
+}
+
+// Partitioning warms (if necessary) and describes the session-wide
+// partitioning.
+func (s *Session) Partitioning() (*PartitionInfo, error) {
+	p, err := s.sessionPartitioning()
+	if err != nil {
+		return nil, err
+	}
+	return infoOf(p), nil
+}
+
+// engineFor returns (creating at most once) the engine serving a
+// method; part must be non-nil for MethodSketchRefine and is part of
+// the engine's identity, so distinct partitionings get distinct
+// solution caches.
+func (s *Session) engineFor(m Method, part *partition.Partitioning) *engine.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.overrides[m]; ok {
+		return e
+	}
+	key := string(m)
+	if m == MethodSketchRefine {
+		key += "|" + partKey(part.Attrs)
+	}
+	if e, ok := s.engines[key]; ok {
+		return e
+	}
+	var solver engine.Solver
+	switch m {
+	case MethodNaive:
+		solver = engine.Naive{Opt: naive.Options{Timeout: s.cfg.timeLimit}}
+	case MethodSketchRefine:
+		solver = engine.SketchRefine{
+			Part:   part,
+			Opt:    s.sketchOptions(),
+			Racers: s.cfg.racers,
+		}
+	default:
+		solver = engine.Direct{Opt: s.cfg.solverOptions()}
+	}
+	e := engine.New(solver)
+	e.Workers = s.cfg.workers
+	e.NoCache = s.cfg.noCache
+	e.MaxCacheEntries = s.cfg.cacheEntries
+	s.engines[key] = e
+	return e
+}
+
+// SetSolver replaces the engine serving a method with one wrapping the
+// given solver — a seam for tests that need to inject instrumented or
+// blocking strategies. The injected engine never caches, so every
+// execution reaches the solver. It must be called before the session
+// serves traffic.
+func (s *Session) SetSolver(m Method, solver Solver) {
+	e := engine.New(solver)
+	e.Workers = s.cfg.workers
+	e.NoCache = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.overrides == nil {
+		s.overrides = make(map[Method]*engine.Engine)
+	}
+	s.overrides[m] = e
+}
+
+// CacheStats snapshots the solution-cache counters of every engine the
+// session has instantiated, aggregated per method.
+func (s *Session) CacheStats() map[Method]CacheStats {
+	s.mu.Lock()
+	engines := make(map[Method][]*engine.Engine)
+	for key, e := range s.engines {
+		m := Method(strings.SplitN(key, "|", 2)[0])
+		engines[m] = append(engines[m], e)
+	}
+	for m, e := range s.overrides {
+		engines[m] = append(engines[m], e)
+	}
+	s.mu.Unlock()
+	out := make(map[Method]CacheStats, len(engines))
+	for m, es := range engines {
+		var agg CacheStats
+		for _, e := range es {
+			cs := e.Stats()
+			agg.Hits += cs.Hits
+			agg.Misses += cs.Misses
+			agg.Evictions += cs.Evictions
+			agg.Entries += cs.Entries
+		}
+		out[m] = agg
+	}
+	return out
+}
+
+// Incumbents reports the total number of improving incumbents streamed
+// by this session's executions — the anytime-results counter a serving
+// layer surfaces in its statistics.
+func (s *Session) Incumbents() uint64 { return s.incumbents.Load() }
+
+// RadiusForEpsilon computes the radius limit ω that guarantees a
+// (1±ε)-style approximation bound over the given attributes (Equation 1
+// of the paper); pass the result to WithRadiusLimit.
+func RadiusForEpsilon(rel *relation.Relation, attrs []string, eps float64, maximize bool) (float64, error) {
+	return partition.RadiusForEpsilon(rel, attrs, eps, maximize)
+}

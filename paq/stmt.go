@@ -1,0 +1,219 @@
+package paq
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/paql"
+	"repro/internal/partition"
+	"repro/internal/translate"
+)
+
+// autoDirectMaxVars is the base-relation size up to which MethodAuto
+// stays with a single ILP; beyond it, the search-tree blowup the paper
+// documents makes SketchRefine the default.
+const autoDirectMaxVars = 2000
+
+// Stmt is a prepared package query: parsed, validated, translated
+// against the session's relation, and planned — the evaluation method
+// is chosen (and justified) at Prepare time, so Plan answers EXPLAIN
+// without solving anything.
+type Stmt struct {
+	sess   *Session
+	query  string
+	spec   *core.Spec
+	method Method
+	reason string
+	// part is the partitioning the statement refines over (nil unless
+	// the method is sketchrefine).
+	part *partition.Partitioning
+	plan *Plan
+}
+
+// Plan is the typed EXPLAIN output of a prepared statement: the chosen
+// evaluation method with the reason it was picked, the ILP size, and —
+// for SketchRefine — the partitioning shape.
+type Plan struct {
+	// Method is the chosen evaluation strategy.
+	Method Method `json:"method"`
+	// Reason says why the planner picked it.
+	Reason string `json:"reason"`
+	// Relation and Rows describe the input.
+	Relation string `json:"relation"`
+	Rows     int    `json:"rows"`
+	// Variables is the number of ILP variables after base-relation
+	// elimination (the rows passing WHERE and MIN/MAX restrictions).
+	Variables int `json:"variables"`
+	// Constraints is the number of linear constraint rows; Restrictions
+	// the number of per-tuple eliminations lowered from MIN/MAX
+	// predicates.
+	Constraints  int `json:"constraints"`
+	Restrictions int `json:"restrictions,omitempty"`
+	// Repeat is the REPEAT bound (-1 = unlimited repetition).
+	Repeat int `json:"repeat"`
+	// Objective renders the optimization criterion ("" for
+	// feasibility-only queries).
+	Objective string `json:"objective,omitempty"`
+	// Partitioning describes the offline partitioning (sketchrefine
+	// only).
+	Partitioning *PartitionInfo `json:"partitioning,omitempty"`
+	// CacheKey fingerprints the optimization problem: two statements
+	// with equal keys describe the same problem and share solution-cache
+	// entries. Stable across sessions over identically named relations.
+	CacheKey string `json:"cache_key"`
+}
+
+// String renders the plan for terminals (the -explain output).
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method:       %s\n", p.Method)
+	fmt.Fprintf(&b, "reason:       %s\n", p.Reason)
+	fmt.Fprintf(&b, "relation:     %s (%d rows, %d eligible)\n", p.Relation, p.Rows, p.Variables)
+	fmt.Fprintf(&b, "ilp:          %d variables × %d constraints", p.Variables, p.Constraints)
+	if p.Restrictions > 0 {
+		fmt.Fprintf(&b, " (+%d tuple restrictions)", p.Restrictions)
+	}
+	b.WriteString("\n")
+	if p.Repeat >= 0 {
+		fmt.Fprintf(&b, "repeat:       %d (each tuple at most %d×)\n", p.Repeat, p.Repeat+1)
+	} else {
+		fmt.Fprintf(&b, "repeat:       unlimited\n")
+	}
+	if p.Objective != "" {
+		fmt.Fprintf(&b, "objective:    %s\n", p.Objective)
+	}
+	if pi := p.Partitioning; pi != nil {
+		fmt.Fprintf(&b, "partitioning: %d groups, τ=%d, attrs [%s], built in %.0fms\n",
+			pi.Groups, pi.Tau, strings.Join(pi.Attrs, " "), pi.BuildMS)
+	}
+	fmt.Fprintf(&b, "cache-key:    %s", p.CacheKey)
+	return b.String()
+}
+
+// MarshalPlan is Plan as indented JSON (what paqld returns for
+// "explain": true requests).
+func (p *Plan) MarshalPlan() ([]byte, error) { return json.MarshalIndent(p, "", "  ") }
+
+// Prepare parses, validates, and translates a PaQL query against the
+// session's relation, chooses the evaluation method (resolving
+// MethodAuto and lazily warming the partitioning a SketchRefine plan
+// needs), and returns the prepared statement. Parse failures are
+// *ParseError; type errors in the translation satisfy
+// errors.Is(err, ErrTypeMismatch).
+//
+// The only option valid here is WithMethod, overriding the session's
+// default for this statement.
+func (s *Session) Prepare(query string, opts ...Option) (*Stmt, error) {
+	cfg := s.cfg
+	if err := applyPrepare(&cfg, opts); err != nil {
+		return nil, err
+	}
+	q, err := paql.Parse(query)
+	if err != nil {
+		return nil, mapParseErr(err)
+	}
+	spec, err := translate.Translate(q, s.rel)
+	if err != nil {
+		return nil, mapTranslateErr(err)
+	}
+	st := &Stmt{sess: s, query: query, spec: spec}
+	if err := st.resolveMethod(cfg.method); err != nil {
+		return nil, err
+	}
+	st.buildPlan()
+	return st, nil
+}
+
+// resolveMethod picks the statement's evaluation method, warming the
+// partitioning when SketchRefine needs one.
+func (st *Stmt) resolveMethod(m Method) error {
+	s := st.sess
+	nBase := len(st.spec.BaseRows())
+	switch m {
+	case MethodDirect, MethodNaive:
+		st.method = m
+		st.reason = "method fixed by WithMethod"
+		return nil
+	case MethodSketchRefine:
+		part, err := s.partitioningFor(s.partitionAttrsFor(st.spec.QueryAttrs()))
+		if err != nil {
+			return err
+		}
+		st.method = m
+		st.reason = "method fixed by WithMethod"
+		st.part = part
+		return nil
+	}
+	// MethodAuto.
+	if nBase <= autoDirectMaxVars {
+		st.method = MethodDirect
+		st.reason = fmt.Sprintf("auto: %d eligible tuples fit a single ILP (threshold %d)", nBase, autoDirectMaxVars)
+		return nil
+	}
+	part, err := s.partitioningFor(s.partitionAttrsFor(st.spec.QueryAttrs()))
+	if err != nil {
+		st.method = MethodDirect
+		st.reason = fmt.Sprintf("auto: %d eligible tuples exceed the single-ILP threshold, but no partitioning is available (%v); falling back to DIRECT", nBase, err)
+		return nil
+	}
+	st.method = MethodSketchRefine
+	st.reason = fmt.Sprintf("auto: %d eligible tuples exceed the single-ILP threshold (%d); refining over %d groups (τ=%d)",
+		nBase, autoDirectMaxVars, part.NumGroups(), part.Tau)
+	st.part = part
+	return nil
+}
+
+// buildPlan materializes the typed plan once at Prepare.
+func (st *Stmt) buildPlan() {
+	spec := st.spec
+	plan := &Plan{
+		Method:       st.method,
+		Reason:       st.reason,
+		Relation:     st.sess.rel.Name(),
+		Rows:         st.sess.rel.Len(),
+		Variables:    len(spec.BaseRows()),
+		Constraints:  len(spec.Constraints),
+		Restrictions: len(spec.Restrictions),
+		Repeat:       spec.Repeat,
+		CacheKey:     stableCacheKey(spec),
+	}
+	if spec.Objective != nil {
+		plan.Objective = spec.Objective.String()
+	}
+	if st.part != nil {
+		plan.Partitioning = infoOf(st.part)
+	}
+	st.plan = plan
+}
+
+// Plan returns the statement's typed EXPLAIN output. It never solves.
+func (st *Stmt) Plan() *Plan { return st.plan }
+
+// Query returns the original PaQL text.
+func (st *Stmt) Query() string { return st.query }
+
+// Method returns the statement's resolved evaluation method.
+func (st *Stmt) Method() Method { return st.method }
+
+// QueryAttrs returns the numeric attributes the query aggregates over
+// (what partitioning coverage is measured against).
+func (st *Stmt) QueryAttrs() []string { return st.spec.QueryAttrs() }
+
+// stableCacheKey fingerprints the optimization problem for display. It
+// is the engine's cache key with the relation's memory address (process
+// identity) replaced by its name and size, hashed so EXPLAIN output
+// stays one line; equal keys ⇒ equal problems over identically named
+// relations.
+func stableCacheKey(spec *core.Spec) string {
+	key := engine.SpecKey(spec)
+	if i := strings.Index(key, ";"); i > 0 {
+		key = fmt.Sprintf("rel=%s/%d%s", spec.Rel.Name(), spec.Rel.Len(), key[i:])
+	}
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8])
+}
