@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest) or all")
 		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
 		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -36,6 +36,7 @@ func main() {
 		batchN   = flag.Int("batchn", 24, "number of queries in the batch experiment")
 		lgAddr   = flag.String("paqld", "", "loadgen: base URL of a running paqld (empty = start one in-process)")
 		lgN      = flag.Int("loadn", 64, "loadgen: number of concurrent queries")
+		ingestN  = flag.Int("ingestops", 1000, "ingest: interleaved insert/delete operations before the differential check")
 	)
 	flag.Parse()
 
@@ -88,6 +89,15 @@ func main() {
 		return err
 	})
 	run("fig6eps", func() error { _, err := env.EpsilonRepair(1.0); return err })
+	run("ingest", func() error {
+		// Apply -ingestops interleaved inserts/deletes to a live Galaxy
+		// session (incremental partition maintenance, zero rebuilds), then
+		// differentially check every workload query against a partitioning
+		// rebuilt from scratch over the same final data: objectives must
+		// stay within the reported quality bound.
+		_, err := env.Ingest(bench.IngestConfig{Ops: *ingestN})
+		return err
+	})
 	run("loadgen", func() error {
 		// Fire -loadn concurrent mixed queries (direct + sketchrefine,
 		// feasible + infeasible) at a paqld and differentially check every

@@ -1,0 +1,124 @@
+// Command linkcheck validates the relative links of Markdown files: the
+// docs CI job runs it over README.md and docs/*.md so documentation
+// cannot drift away from the tree it describes.
+//
+// Usage:
+//
+//	linkcheck README.md docs/*.md
+//
+// For every [text](target) and [text]: target reference it checks that
+// a relative target exists on disk (anchors are checked against the
+// target file's headings, GitHub-slug style). External schemes
+// (http/https/mailto) are not fetched. Exit status 1 lists every broken
+// link.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links; images share the syntax.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings for anchor extraction.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// slug lowers a heading to its GitHub anchor: lower-case, spaces to
+// dashes, punctuation dropped.
+func slug(heading string) string {
+	// Inline code/links inside headings keep their text.
+	heading = regexp.MustCompile("`([^`]*)`").ReplaceAllString(heading, "$1")
+	heading = linkRe.ReplaceAllStringFunc(heading, func(m string) string {
+		if i := strings.Index(m, "]("); i >= 0 {
+			return strings.TrimPrefix(m[:i], "[")
+		}
+		return m
+	})
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchors returns the set of heading anchors of a markdown file.
+func anchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		out[slug(m[1])] = true
+	}
+	return out, nil
+}
+
+// checkFile returns one message per broken link in the file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	dir := filepath.Dir(path)
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external; not fetched
+		}
+		file, anchor, _ := strings.Cut(target, "#")
+		resolved := path
+		if file != "" {
+			resolved = filepath.Join(dir, file)
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q: %v", path, target, err))
+				continue
+			}
+		}
+		if anchor != "" && strings.HasSuffix(strings.ToLower(resolved), ".md") {
+			hs, err := anchors(resolved)
+			if err != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q: %v", path, target, err))
+				continue
+			}
+			if !hs[anchor] {
+				broken = append(broken, fmt.Sprintf("%s: broken anchor %q (no such heading in %s)", path, target, resolved))
+			}
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		broken, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for _, msg := range broken {
+			fmt.Fprintln(os.Stderr, "linkcheck:", msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(os.Args)-1)
+}

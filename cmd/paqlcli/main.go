@@ -4,22 +4,32 @@
 // Usage:
 //
 //	paqlcli -data table.csv [-query query.paql | -q "SELECT PACKAGE..."]
-//	        [-method auto|naive|direct|sketchrefine] [-tau 0.1]
-//	        [-timeout 60s] [-workers 0] [-racers 1] [-deadline 0]
+//	        [-append extra.csv] [-method auto|naive|direct|sketchrefine]
+//	        [-tau 0.1] [-timeout 60s] [-workers 0] [-racers 1] [-deadline 0]
 //	        [-explain] [-progress] [-out pkg.csv]
 //
 // The CSV header uses name:type fields (type f=float, i=int, s=string), as
 // written by the datagen tool and relation.WriteCSV. The chosen package is
 // printed with its objective value and optionally saved as CSV.
 //
+// -append ingests the rows of another CSV (same column types) into the
+// session before solving — the live-dataset path: the partitioning is
+// maintained incrementally and the dataset version advances, exactly as
+// paqld's POST /datasets/{name}/rows does.
 // -explain prints the prepared statement's plan — the chosen method and
 // why, the partitioning shape, and the ILP size — without solving.
 // -progress streams improving incumbents (objective + elapsed time) to
 // stderr while the solve runs, the SDK's anytime-results hook.
+//
+// Exit status: 0 for a proven optimum; 1 for operational failures
+// (I/O, infeasibility, timeouts); 2 for usage and PaQL parse errors —
+// consistently, whether or not -explain is set — and for packages
+// truncated by a solver budget (feasible but possibly suboptimal).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,88 +39,139 @@ import (
 	"repro/paq"
 )
 
+// options collects the command-line configuration of one run.
+type options struct {
+	dataPath   string
+	appendPath string
+	queryPath  string
+	queryText  string
+	method     string
+	tauFrac    float64
+	timeout    time.Duration
+	maxNodes   int
+	workers    int
+	racers     int
+	deadline   time.Duration
+	explain    bool
+	progress   bool
+	outPath    string
+	verbose    bool
+}
+
+// usageError marks a command-line usage failure (missing/conflicting
+// flags), which exits 2 like a parse failure.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// exitCode classifies a run outcome:
+//
+//	0 — success (proven optimum, or -explain printed a plan)
+//	1 — operational failure (I/O, infeasible, timeout, solver failure)
+//	2 — the user's input is at fault (usage or PaQL parse error), or the
+//	    package is a budget-truncated incumbent (possibly suboptimal)
+func exitCode(err error, truncated bool) int {
+	switch {
+	case err == nil && !truncated:
+		return 0
+	case err == nil:
+		return 2
+	default:
+		var pe *paq.ParseError
+		var ue usageError
+		if errors.As(err, &pe) || errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+}
+
 func main() {
-	var (
-		dataPath  = flag.String("data", "", "CSV file holding the input relation (required)")
-		queryPath = flag.String("query", "", "file holding the PaQL query text")
-		queryText = flag.String("q", "", "inline PaQL query text")
-		method    = flag.String("method", "auto", "evaluation method: auto, naive, direct, or sketchrefine")
-		tauFrac   = flag.Float64("tau", 0.10, "sketchrefine: partition size threshold as a fraction of the data")
-		timeout   = flag.Duration("timeout", 60*time.Second, "solver time limit per ILP")
-		maxNodes  = flag.Int("maxnodes", paq.DefaultNodeLimit, "solver branch-and-bound node budget per ILP")
-		workers   = flag.Int("workers", 0, "worker pool size for parallel partitioning (0 = GOMAXPROCS)")
-		racers    = flag.Int("racers", 1, "sketchrefine: refinement orders raced in parallel")
-		deadline  = flag.Duration("deadline", 0, "overall evaluation deadline (0 = none)")
-		explain   = flag.Bool("explain", false, "print the statement's plan (method, partitioning, ILP size) without solving")
-		progress  = flag.Bool("progress", false, "stream improving incumbents to stderr while solving")
-		outPath   = flag.String("out", "", "write the package as CSV to this path")
-		verbose   = flag.Bool("v", false, "print evaluation statistics")
-	)
+	var o options
+	flag.StringVar(&o.dataPath, "data", "", "CSV file holding the input relation (required)")
+	flag.StringVar(&o.appendPath, "append", "", "CSV file whose rows are ingested into the session before solving")
+	flag.StringVar(&o.queryPath, "query", "", "file holding the PaQL query text")
+	flag.StringVar(&o.queryText, "q", "", "inline PaQL query text")
+	flag.StringVar(&o.method, "method", "auto", "evaluation method: auto, naive, direct, or sketchrefine")
+	flag.Float64Var(&o.tauFrac, "tau", 0.10, "sketchrefine: partition size threshold as a fraction of the data")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "solver time limit per ILP")
+	flag.IntVar(&o.maxNodes, "maxnodes", paq.DefaultNodeLimit, "solver branch-and-bound node budget per ILP")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size for parallel partitioning (0 = GOMAXPROCS)")
+	flag.IntVar(&o.racers, "racers", 1, "sketchrefine: refinement orders raced in parallel")
+	flag.DurationVar(&o.deadline, "deadline", 0, "overall evaluation deadline (0 = none)")
+	flag.BoolVar(&o.explain, "explain", false, "print the statement's plan (method, partitioning, ILP size) without solving")
+	flag.BoolVar(&o.progress, "progress", false, "stream improving incumbents to stderr while solving")
+	flag.StringVar(&o.outPath, "out", "", "write the package as CSV to this path")
+	flag.BoolVar(&o.verbose, "v", false, "print evaluation statistics")
 	flag.Parse()
-	truncated, err := run(*dataPath, *queryPath, *queryText, *method, *tauFrac, *timeout, *maxNodes, *workers, *racers, *deadline, *explain, *progress, *outPath, *verbose)
+
+	truncated, err := run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paqlcli:", err)
-		os.Exit(1)
-	}
-	if truncated {
+	} else if truncated {
 		// A budget-exhausted solve accepted a best-effort incumbent: the
 		// package is feasible but possibly suboptimal. Report it loudly
 		// and exit nonzero so scripts cannot mistake it for an optimum.
 		fmt.Fprintln(os.Stderr, "paqlcli: warning: solver resource limit reached; the package is a truncated incumbent and may be suboptimal (raise -timeout/-maxnodes for a proven optimum)")
-		os.Exit(2)
 	}
+	os.Exit(exitCode(err, truncated))
 }
 
-func run(dataPath, queryPath, queryText, methodName string, tauFrac float64, timeout time.Duration, maxNodes, workers, racers int, deadline time.Duration, explain, progress bool, outPath string, verbose bool) (truncated bool, err error) {
-	if dataPath == "" {
-		return false, fmt.Errorf("-data is required")
+func run(o options) (truncated bool, err error) {
+	if o.dataPath == "" {
+		return false, usageError{"-data is required"}
 	}
-	src := queryText
+	src := o.queryText
 	if src == "" {
-		if queryPath == "" {
-			return false, fmt.Errorf("provide a query with -query or -q")
+		if o.queryPath == "" {
+			return false, usageError{"provide a query with -query or -q"}
 		}
-		b, err := os.ReadFile(queryPath)
+		b, err := os.ReadFile(o.queryPath)
 		if err != nil {
 			return false, err
 		}
 		src = string(b)
 	}
-	method, err := paq.ParseMethod(methodName)
+	method, err := paq.ParseMethod(o.method)
 	if err != nil {
-		return false, err
+		return false, usageError{err.Error()}
 	}
 
-	sess, err := paq.Open(paq.CSV(dataPath),
+	sess, err := paq.Open(paq.CSV(o.dataPath),
 		paq.WithMethod(method),
-		paq.WithTau(tauFrac),
-		paq.WithTimeLimit(timeout),
-		paq.WithNodeLimit(maxNodes),
-		paq.WithWorkers(workers),
-		paq.WithRacers(racers),
+		paq.WithTau(o.tauFrac),
+		paq.WithTimeLimit(o.timeout),
+		paq.WithNodeLimit(o.maxNodes),
+		paq.WithWorkers(o.workers),
+		paq.WithRacers(o.racers),
 	)
 	if err != nil {
 		return false, err
+	}
+	if o.appendPath != "" {
+		if err := appendCSV(sess, o.appendPath); err != nil {
+			return false, err
+		}
 	}
 	stmt, err := sess.Prepare(src)
 	if err != nil {
 		return false, err
 	}
-	if explain || verbose {
+	if o.explain || o.verbose {
 		fmt.Println(stmt.Plan())
 	}
-	if explain {
+	if o.explain {
 		return false, nil
 	}
 
 	ctx := context.Background()
-	if deadline > 0 {
+	if o.deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, deadline)
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
 		defer cancel()
 	}
 	var execOpts []paq.ExecOption
-	if progress {
+	if o.progress {
 		execOpts = append(execOpts, paq.WithIncumbent(func(inc paq.Incumbent) {
 			tagged := ""
 			if inc.Sketch {
@@ -130,21 +191,43 @@ func run(dataPath, queryPath, queryText, methodName string, tauFrac float64, tim
 
 	fmt.Printf("package: %d tuples (%d distinct), objective %g, %v\n",
 		res.Size, res.Distinct, res.Objective, res.Time.Round(time.Millisecond))
-	if verbose && res.Stats != nil {
+	if o.verbose && res.Stats != nil {
 		stats := res.Stats
 		fmt.Printf("stats: %d subproblem(s), largest %d vars × %d rows, %d B&B nodes, %d LP iterations, %d incumbent(s)\n",
 			stats.Subproblems, stats.Vars, stats.Rows, stats.SolverNodes, stats.LPIterations, res.Incumbents)
 	}
 	mat := res.Package().Materialize("package")
-	if outPath != "" {
-		if err := relation.SaveCSV(mat, outPath); err != nil {
+	if o.outPath != "" {
+		if err := relation.SaveCSV(mat, o.outPath); err != nil {
 			return false, err
 		}
-		fmt.Printf("wrote %s\n", outPath)
+		fmt.Printf("wrote %s\n", o.outPath)
 	} else {
 		if err := relation.WriteCSV(mat, os.Stdout); err != nil {
 			return false, err
 		}
 	}
 	return truncated, nil
+}
+
+// appendCSV ingests every row of a CSV file (same column types as the
+// session's relation) through the live-dataset path, printing the
+// resulting dataset version and maintenance summary.
+func appendCSV(sess *paq.Session, path string) error {
+	extra, err := relation.LoadCSV(path)
+	if err != nil {
+		return err
+	}
+	rows := make([][]relation.Value, 0, extra.Len())
+	for _, i := range extra.AllRows() {
+		rows = append(rows, extra.Row(i))
+	}
+	ids, version, err := sess.InsertRows(rows)
+	if err != nil {
+		return fmt.Errorf("appending %s: %w", path, err)
+	}
+	ms := sess.MaintStats()
+	fmt.Fprintf(os.Stderr, "paqlcli: appended %d row(s) from %s (dataset version %d; %d split(s), %d merge(s))\n",
+		len(ids), path, version, ms.Splits, ms.Merges)
+	return nil
 }

@@ -13,11 +13,18 @@
 //
 // Endpoints:
 //
-//	POST /query     {"dataset":"galaxy","query":"SELECT PACKAGE(G) ...",
-//	                 "method":"sketchrefine","timeout_ms":10000}
-//	GET  /stats     service counters, cache hits, solve times, backtracks
-//	GET  /datasets  registered datasets
-//	GET  /healthz   liveness
+//	POST /query                 {"dataset":"galaxy","query":"SELECT PACKAGE(G) ...",
+//	                             "method":"sketchrefine","timeout_ms":10000}
+//	POST /datasets/{name}/rows  {"insert":[[...]],"delete":[7,12],
+//	                             "update":[{"row":3,"values":[...]}]} — live
+//	                             ingestion: partitionings are maintained
+//	                             incrementally (never rebuilt) and stale cached
+//	                             solutions invalidated; responses carry the new
+//	                             dataset version
+//	GET  /stats                 service counters, cache hits/invalidations, dataset
+//	                            versions, partition-maintenance ops, solve times
+//	GET  /datasets              registered datasets (schema, version, partitioning)
+//	GET  /healthz               liveness
 //
 // Admission control (-inflight, -queue) sheds overload with 429; each
 // request's deadline maps to context cancellation reaching into the

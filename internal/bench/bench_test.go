@@ -274,3 +274,41 @@ func TestMeanMedian(t *testing.T) {
 		t.Errorf("empty series: %g %g", mean, median)
 	}
 }
+
+// TestIngestDifferential is the acceptance gate for live datasets:
+// ≥1000 interleaved insert/delete ops on the Galaxy workload, then every
+// query solved over the maintained partitioning must land within the
+// reported quality bound of a from-scratch rebuild, with zero full
+// repartitions on the hot path.
+func TestIngestDifferential(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEnv(Config{GalaxyN: 2500, TPCHN: 2500, Seed: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Ingest(IngestConfig{Ops: 1000})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if res.Ops != 1000 || res.Inserted+res.Deleted != 1000 {
+		t.Errorf("op accounting: %+v", res)
+	}
+	if res.Maint.Rebuilds != 0 {
+		t.Errorf("hot path repartitioned %d times", res.Maint.Rebuilds)
+	}
+	if res.Maint.Inserts == 0 || res.Maint.Deletes == 0 {
+		t.Errorf("maintenance saw no routed ops: %+v", res.Maint)
+	}
+	if len(res.Queries) == 0 {
+		t.Fatal("no queries differentially checked")
+	}
+	for _, q := range res.Queries {
+		if q.Maintained.Err != nil || q.Rebuilt.Err != nil {
+			t.Errorf("%s: maintained err %v, rebuilt err %v", q.Query, q.Maintained.Err, q.Rebuilt.Err)
+		}
+	}
+	if !strings.Contains(buf.String(), "Continuous ingest") {
+		t.Error("missing printed header")
+	}
+	t.Log(buf.String())
+}

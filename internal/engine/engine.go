@@ -262,11 +262,12 @@ type Engine struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	// hits/misses/evictions instrument the solution cache for long-lived
-	// services (paqld's /stats endpoint); see CacheStats.
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	// hits/misses/evictions/invalidations instrument the solution cache
+	// for long-lived services (paqld's /stats endpoint); see CacheStats.
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
 }
 
 // CacheStats is a snapshot of the engine's solution-cache counters.
@@ -279,6 +280,9 @@ type CacheStats struct {
 	Misses uint64
 	// Evictions counts entries dropped to respect MaxCacheEntries.
 	Evictions uint64
+	// Invalidations counts entries dropped because their input relation
+	// moved past the version they were solved at (see InvalidateRel).
+	Invalidations uint64
 	// Entries is the current number of cached solutions.
 	Entries int
 }
@@ -289,11 +293,42 @@ func (e *Engine) Stats() CacheStats {
 	entries := len(e.cache)
 	e.mu.Unlock()
 	return CacheStats{
-		Hits:      e.hits.Load(),
-		Misses:    e.misses.Load(),
-		Evictions: e.evictions.Load(),
-		Entries:   entries,
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		Evictions:     e.evictions.Load(),
+		Invalidations: e.invalidations.Load(),
+		Entries:       entries,
 	}
+}
+
+// InvalidateRel drops every completed cache entry whose spec reads the
+// given relation at a version older than the relation's current one.
+// Because SpecKey embeds the version, such entries can never be hit
+// again; dropping them eagerly releases the packages they pin without
+// flushing entries for other relations or for the current version.
+// In-flight entries are left alone (their owner is still solving; they
+// are keyed under the version the solve started at and will be dropped
+// by the next invalidation if stale). It returns the number of entries
+// dropped.
+func (e *Engine) InvalidateRel(rel *relation.Relation) int {
+	current := rel.Version()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dropped := 0
+	for key, ent := range e.cache {
+		if ent.spec.Rel != rel || ent.ver == current {
+			continue
+		}
+		select {
+		case <-ent.done:
+		default:
+			continue // still solving
+		}
+		delete(e.cache, key)
+		dropped++
+	}
+	e.invalidations.Add(uint64(dropped))
+	return dropped
 }
 
 // DefaultMaxCacheEntries bounds the solution cache when
@@ -311,6 +346,9 @@ type cacheEntry struct {
 	done chan struct{}
 	res  Result
 	spec *core.Spec
+	// ver is the relation version the entry was keyed (and solved) at;
+	// InvalidateRel compares it against the live version.
+	ver uint64
 }
 
 // New returns an engine using the given strategy and the default worker
@@ -390,7 +428,7 @@ func (e *Engine) EvaluateStream(ctx context.Context, spec *core.Spec, fn core.In
 				break
 			}
 		}
-		ent := &cacheEntry{done: make(chan struct{}), spec: spec}
+		ent := &cacheEntry{done: make(chan struct{}), spec: spec, ver: spec.Rel.Version()}
 		e.cache[key] = ent
 		e.mu.Unlock()
 		e.misses.Add(1)
@@ -475,9 +513,13 @@ func (e *Engine) CacheLen() int {
 }
 
 // SpecKey fingerprints a compiled query for the solution cache: the
-// input relation's identity plus the canonical rendering of the REPEAT
-// bound, base predicate, restrictions, constraints, and objective. Two
-// specs with equal keys describe the same optimization problem. (The
+// input relation's identity *at its current version* plus the canonical
+// rendering of the REPEAT bound, base predicate, restrictions,
+// constraints, and objective. Two specs with equal keys describe the
+// same optimization problem over the same data; mutating the relation
+// bumps its version, so entries solved against older data become
+// unreachable instead of being served stale (InvalidateRel reclaims
+// them). (The
 // relation's address is sound as identity because every cache entry
 // pins its relation for the entry's lifetime.) Predicates without a
 // faithful rendering — a FuncPred with no Desc prints "<func>" — fall
@@ -488,7 +530,7 @@ func (e *Engine) CacheLen() int {
 // translated queries never pay either fallback.
 func SpecKey(spec *core.Spec) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "rel=%p;repeat=%d", spec.Rel, spec.Repeat)
+	fmt.Fprintf(&b, "rel=%p@v%d;repeat=%d", spec.Rel, spec.Rel.Version(), spec.Repeat)
 	pred := func(tag string, p relation.Predicate) {
 		s := p.String()
 		if s == "<func>" {

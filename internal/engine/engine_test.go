@@ -455,3 +455,56 @@ func TestConcurrentEnginesSharedPartitioning(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionedCacheInvalidation: mutating the relation makes cached
+// entries unreachable (version-keyed SpecKey) and InvalidateRel reclaims
+// exactly the stale ones, counting them.
+func TestVersionedCacheInvalidation(t *testing.T) {
+	rel := workload.Galaxy(300, 11)
+	spec, err := translate.Compile(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= 4
+MAXIMIZE SUM(P.petrorad)`, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Direct{Opt: solverOpt()})
+
+	r1 := eng.Evaluate(context.Background(), spec)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if hit := eng.Evaluate(context.Background(), spec); !hit.Cached {
+		t.Fatal("identical query on unchanged data must hit the cache")
+	}
+
+	// Mutate the relation: the old entry's key can never match again…
+	if err := rel.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	r2 := eng.Evaluate(context.Background(), spec)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.Cached {
+		t.Fatal("query after a mutation must not be served from the stale entry")
+	}
+	if eng.CacheLen() != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (stale + fresh)", eng.CacheLen())
+	}
+
+	// …and InvalidateRel reclaims exactly the stale one.
+	if dropped := eng.InvalidateRel(rel); dropped != 1 {
+		t.Fatalf("InvalidateRel dropped %d entries, want 1", dropped)
+	}
+	if eng.CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries after invalidation, want 1", eng.CacheLen())
+	}
+	if got := eng.Stats().Invalidations; got != 1 {
+		t.Fatalf("Invalidations = %d, want 1", got)
+	}
+	// The fresh entry still serves.
+	if hit := eng.Evaluate(context.Background(), spec); !hit.Cached {
+		t.Fatal("current-version entry must survive invalidation")
+	}
+}

@@ -241,8 +241,9 @@ func (Agg) exprNode()     {}
 
 func (e NumLit) String() string { return trimFloat(e.Val) }
 
-// String renders the literal with embedded quotes doubled ('' escapes a
-// quote), so the output re-lexes to the same value.
+// String renders the literal with embedded quotes doubled — two
+// adjacent single quotes encode one — so the output re-lexes to the
+// same value.
 func (e StrLit) String() string {
 	return "'" + strings.ReplaceAll(e.Val, "'", "''") + "'"
 }

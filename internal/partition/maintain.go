@@ -1,0 +1,696 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file implements incremental partition maintenance: the live-data
+// counterpart of the paper's offline partitioner. The offline algorithm
+// assumes a static relation; a long-lived service cannot afford a full
+// repartition on every ingested batch, so a Maintainer keeps an existing
+// Partitioning valid under interleaved inserts, deletes, and updates:
+//
+//   - new rows are routed to the leaf cell (group) with the nearest
+//     centroid, exactly the cell a quad-tree descent would reach;
+//   - a group exceeding the size threshold τ (or, when enforced, the
+//     radius limit ω) is split in place with the same deterministic
+//     quadrant recursion the offline builder uses;
+//   - a group falling below the fill floor is merged into its nearest
+//     sibling (and re-split if the merge overshoots τ);
+//   - group centroids are maintained incrementally from running sums,
+//     and radii as conservative upper bounds via the triangle
+//     inequality, periodically "healed" back to exact values so the
+//     bound cannot drift without limit.
+//
+// SketchRefine's quality guarantees (Theorem 3) are stated in terms of
+// the maximum group radius; because maintenance tracks a sound upper
+// bound on every radius, the guarantee degrades gracefully — the
+// maintained partitioning is exactly as good as a rebuilt one whose ω
+// equals MaxRadiusBound — instead of silently. QualityBound exposes the
+// resulting multiplicative factor.
+
+// MaintOptions configures a Maintainer.
+type MaintOptions struct {
+	// MinFill is the merge floor: a group shrinking below it is merged
+	// into its nearest sibling. 0 means τ/4; negative disables merging.
+	MinFill int
+	// HealEvery is the number of mutations a group absorbs between
+	// exact centroid/radius recomputations (the self-healing cadence).
+	// 0 means 32; negative disables healing (bounds then only grow).
+	HealEvery int
+}
+
+// MaintStats counts maintenance work, monotonically.
+type MaintStats struct {
+	// Inserts, Deletes, and Updates count routed row mutations.
+	Inserts, Deletes, Updates uint64
+	// Splits counts groups split for exceeding τ (or ω); Merges counts
+	// underfull groups folded into a sibling.
+	Splits, Merges uint64
+	// Heals counts exact centroid/radius recomputations (self-healing).
+	Heals uint64
+	// Rebuilds counts full from-scratch repartitions. The maintainer
+	// itself never rebuilds — the field exists so callers can assert the
+	// hot path stayed incremental.
+	Rebuilds uint64
+}
+
+// gState is the maintainer's bookkeeping for one group.
+type gState struct {
+	// sums holds per-column value sums over the group's member rows for
+	// every numeric column of the relation (the representative tuple is
+	// sums/count). Indexed like Maintainer.numIdx.
+	sums []float64
+	// ops counts mutations since the last exact recomputation.
+	ops int
+	// noSplit marks a group whose last radius-driven split attempt was
+	// degenerate (duplicate points); cleared on the next membership
+	// change so the maintainer does not retry hopeless splits every op.
+	noSplit bool
+	// dirty marks the group's representative row as stale.
+	dirty bool
+}
+
+// Maintainer keeps one Partitioning valid and its representatives fresh
+// under interleaved row inserts, deletes, and updates. It mutates the
+// Partitioning in place (Groups, GID, Reps), so readers must be
+// serialized against maintenance by the caller — paq.Session holds a
+// read-write lock around the solve path. A Maintainer is not itself
+// safe for concurrent use.
+type Maintainer struct {
+	p   *Partitioning
+	opt MaintOptions
+	// numIdx are the relation's numeric column indices in schema order
+	// (the representative relation's attribute order).
+	numIdx []int
+	// attrPos maps each partitioning attribute (p.AttrIdx order) to its
+	// position in numIdx.
+	attrPos []int
+	groups  []*gState
+	stats   MaintStats
+	// structChanged records that the group set changed shape since the
+	// last representative flush (splits, merges, drops), forcing a full
+	// Reps rebuild instead of in-place cell updates.
+	structChanged bool
+}
+
+// NewMaintainer wraps an existing partitioning for incremental
+// maintenance. The partitioning must satisfy its invariants; its groups
+// are adopted as-is (radii become the initial — exact — bounds).
+func NewMaintainer(p *Partitioning, opt MaintOptions) *Maintainer {
+	if opt.MinFill == 0 {
+		opt.MinFill = p.Tau / 4
+	}
+	if opt.HealEvery == 0 {
+		opt.HealEvery = 32
+	}
+	m := &Maintainer{p: p, opt: opt}
+	schema := p.Rel.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Col(i).Type.Numeric() {
+			m.numIdx = append(m.numIdx, i)
+		}
+	}
+	m.attrPos = make([]int, len(p.AttrIdx))
+	for a, idx := range p.AttrIdx {
+		m.attrPos[a] = -1
+		for pos, c := range m.numIdx {
+			if c == idx {
+				m.attrPos[a] = pos
+			}
+		}
+	}
+	m.groups = make([]*gState, len(p.Groups))
+	for gid := range p.Groups {
+		m.groups[gid] = m.exactState(&p.Groups[gid])
+	}
+	return m
+}
+
+// Partitioning returns the maintained partitioning (the same pointer
+// the maintainer was built around; it is updated in place).
+func (m *Maintainer) Partitioning() *Partitioning { return m.p }
+
+// Stats returns the maintenance counters.
+func (m *Maintainer) Stats() MaintStats { return m.stats }
+
+// exactState computes a group's bookkeeping from scratch and overwrites
+// its centroid and radius with exact values.
+func (m *Maintainer) exactState(g *Group) *gState {
+	st := &gState{sums: make([]float64, len(m.numIdx)), dirty: true}
+	for _, r := range g.Rows {
+		for pos, c := range m.numIdx {
+			st.sums[pos] += m.p.Rel.Float(r, c)
+		}
+	}
+	g.Centroid = m.centroidOf(st, len(g.Rows))
+	g.Radius = relation.Radius(m.p.Rel, m.p.AttrIdx, g.Rows, g.Centroid)
+	return st
+}
+
+// centroidOf derives the partitioning-attribute centroid from running
+// sums.
+func (m *Maintainer) centroidOf(st *gState, count int) []float64 {
+	out := make([]float64, len(m.attrPos))
+	if count == 0 {
+		return out
+	}
+	for a, pos := range m.attrPos {
+		if pos >= 0 {
+			out[a] = st.sums[pos] / float64(count)
+		}
+	}
+	return out
+}
+
+// distInf is the L∞ distance between a row and a centroid over the
+// partitioning attributes — the same metric as Definition 2's radius.
+func (m *Maintainer) distInf(row int, centroid []float64) float64 {
+	d := 0.0
+	for a, c := range m.p.AttrIdx {
+		v := math.Abs(m.p.Rel.Float(row, c) - centroid[a])
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func distInfVec(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		v := math.Abs(a[i] - b[i])
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// nearestGroup returns the gid with the centroid closest to the row
+// (lowest gid on ties — deterministic), excluding `skip` (-1 for none).
+func (m *Maintainer) nearestGroup(row, skip int) int {
+	best, bestD := -1, math.Inf(1)
+	for gid := range m.p.Groups {
+		if gid == skip {
+			continue
+		}
+		if d := m.distInf(row, m.p.Groups[gid].Centroid); d < bestD {
+			best, bestD = gid, d
+		}
+	}
+	return best
+}
+
+// Insert routes freshly appended (live) rows of the relation into the
+// partitioning: each row joins the group with the nearest centroid, and
+// any group pushed past τ (or past ω when a radius limit is enforced)
+// is split in place. Call it after appending the rows to the relation.
+func (m *Maintainer) Insert(rows ...int) error {
+	for _, row := range rows {
+		if err := m.insertOne(row); err != nil {
+			return err
+		}
+		m.stats.Inserts++
+	}
+	m.flushReps()
+	return nil
+}
+
+func (m *Maintainer) insertOne(row int) error {
+	if row < 0 || row >= m.p.Rel.Len() || m.p.Rel.Deleted(row) {
+		return fmt.Errorf("partition: insert of invalid row %d", row)
+	}
+	// Grow the gid map to cover appended rows.
+	for len(m.p.GID) < m.p.Rel.Len() {
+		m.p.GID = append(m.p.GID, -1)
+	}
+	if m.p.GID[row] != -1 {
+		return fmt.Errorf("partition: row %d is already in group %d", row, m.p.GID[row])
+	}
+	gid := m.nearestGroup(row, -1)
+	if gid < 0 {
+		// Every group was deleted away: found a new first cell.
+		m.p.Groups = append(m.p.Groups, Group{ID: 0, Rows: []int{row}})
+		m.groups = append(m.groups, nil)
+		m.groups[0] = m.exactState(&m.p.Groups[0])
+		m.p.GID[row] = 0
+		m.structChanged = true
+		return nil
+	}
+	g, st := &m.p.Groups[gid], m.groups[gid]
+	g.Rows = insertSorted(g.Rows, row)
+	for pos, c := range m.numIdx {
+		st.sums[pos] += m.p.Rel.Float(row, c)
+	}
+	oldC := g.Centroid
+	g.Centroid = m.centroidOf(st, len(g.Rows))
+	shift := distInfVec(oldC, g.Centroid)
+	g.Radius = math.Max(g.Radius+shift, m.distInf(row, g.Centroid))
+	m.p.GID[row] = gid
+	st.ops++
+	st.noSplit = false
+	st.dirty = true
+	m.healMaybe(gid)
+	m.splitMaybe(gid)
+	return nil
+}
+
+// Delete removes just-tombstoned rows from their groups. Call it after
+// tombstoning the rows in the relation (their cells must still be
+// readable, which relation.Delete guarantees).
+func (m *Maintainer) Delete(rows ...int) error {
+	for _, row := range rows {
+		if err := m.deleteOne(row); err != nil {
+			return err
+		}
+		m.stats.Deletes++
+	}
+	m.flushReps()
+	return nil
+}
+
+func (m *Maintainer) deleteOne(row int) error {
+	if row < 0 || row >= len(m.p.GID) {
+		return fmt.Errorf("partition: delete of unknown row %d", row)
+	}
+	gid := m.p.GID[row]
+	if gid < 0 {
+		return fmt.Errorf("partition: row %d is in no group", row)
+	}
+	g, st := &m.p.Groups[gid], m.groups[gid]
+	g.Rows = removeSorted(g.Rows, row)
+	m.p.GID[row] = -1
+	if len(g.Rows) == 0 {
+		m.dropGroup(gid)
+		return nil
+	}
+	for pos, c := range m.numIdx {
+		st.sums[pos] -= m.p.Rel.Float(row, c)
+	}
+	oldC := g.Centroid
+	g.Centroid = m.centroidOf(st, len(g.Rows))
+	// Surviving members were within Radius of the old centroid; after
+	// the centroid moves by shift they are within Radius+shift of the
+	// new one (triangle inequality).
+	g.Radius += distInfVec(oldC, g.Centroid)
+	st.ops++
+	st.noSplit = false
+	st.dirty = true
+	m.healMaybe(gid)
+	m.mergeMaybe(gid)
+	return nil
+}
+
+// Update re-routes live rows whose attribute values were changed in
+// place (relation.Set). Call it after the cells change: the row's old
+// contribution to its group is unknown, so the group is recomputed
+// exactly and the row re-routed as a fresh insert.
+func (m *Maintainer) Update(rows ...int) error {
+	for _, row := range rows {
+		if row < 0 || row >= len(m.p.GID) || m.p.Rel.Deleted(row) {
+			return fmt.Errorf("partition: update of invalid row %d", row)
+		}
+		gid := m.p.GID[row]
+		if gid < 0 {
+			return fmt.Errorf("partition: row %d is in no group", row)
+		}
+		g := &m.p.Groups[gid]
+		g.Rows = removeSorted(g.Rows, row)
+		m.p.GID[row] = -1
+		if len(g.Rows) == 0 {
+			m.dropGroup(gid)
+		} else {
+			m.groups[gid] = m.exactState(g)
+			m.groups[gid].ops = 0
+			m.stats.Heals++
+			m.mergeMaybe(gid)
+		}
+		if err := m.insertOne(row); err != nil {
+			return err
+		}
+		m.stats.Updates++
+	}
+	m.flushReps()
+	return nil
+}
+
+// healMaybe recomputes a group exactly once enough mutations have
+// accumulated, collapsing the radius bound back to the true radius.
+func (m *Maintainer) healMaybe(gid int) {
+	if m.opt.HealEvery < 0 {
+		return
+	}
+	st := m.groups[gid]
+	if st.ops < m.opt.HealEvery {
+		return
+	}
+	g := &m.p.Groups[gid]
+	m.groups[gid] = m.exactState(g)
+	m.stats.Heals++
+}
+
+// splitMaybe splits a group violating τ (or ω) with the offline
+// builder's deterministic quadrant recursion. The first replacement
+// keeps the slot; the rest are appended, so surviving gids stay stable.
+func (m *Maintainer) splitMaybe(gid int) {
+	g := &m.p.Groups[gid]
+	over := len(g.Rows) > m.p.Tau
+	if !over && m.p.Omega > 0 && g.Radius > m.p.Omega && !m.groups[gid].noSplit {
+		// Radius splits go through an exact heal first: splitting on a
+		// loose bound would churn groups whose true radius is fine.
+		m.groups[gid] = m.exactState(g)
+		m.stats.Heals++
+		over = g.Radius > m.p.Omega
+		if !over {
+			return
+		}
+	}
+	if !over {
+		return
+	}
+	b := &treeBuilder{rel: m.p.Rel, attrIdx: m.p.AttrIdx, maxDepth: 64}
+	parts := b.buildGroups(g.Rows, 0, m.p.Tau, m.p.Omega)
+	if len(parts) <= 1 {
+		// Degenerate (duplicate points): no split exists. Remember, so
+		// the next mutations don't retry until membership changes.
+		m.groups[gid].noSplit = true
+		return
+	}
+	m.stats.Splits++
+	m.structChanged = true
+	assign := func(slot int, ng Group) {
+		ng.ID = slot
+		m.p.Groups[slot] = ng
+		for _, r := range ng.Rows {
+			m.p.GID[r] = slot
+		}
+		m.groups[slot] = m.exactState(&m.p.Groups[slot])
+	}
+	assign(gid, parts[0])
+	for _, ng := range parts[1:] {
+		slot := len(m.p.Groups)
+		m.p.Groups = append(m.p.Groups, Group{})
+		m.groups = append(m.groups, nil)
+		assign(slot, ng)
+	}
+}
+
+// mergeMaybe folds an underfull group into its nearest sibling,
+// re-splitting the result if the merge overshoots τ.
+func (m *Maintainer) mergeMaybe(gid int) {
+	if m.opt.MinFill < 0 || len(m.p.Groups) <= 1 {
+		return
+	}
+	g := &m.p.Groups[gid]
+	if len(g.Rows) >= m.opt.MinFill {
+		return
+	}
+	// Nearest sibling by centroid distance (lowest gid on ties).
+	best, bestD := -1, math.Inf(1)
+	for other := range m.p.Groups {
+		if other == gid {
+			continue
+		}
+		if d := distInfVec(g.Centroid, m.p.Groups[other].Centroid); d < bestD {
+			best, bestD = other, d
+		}
+	}
+	if best < 0 {
+		return
+	}
+	m.stats.Merges++
+	t, ts := &m.p.Groups[best], m.groups[best]
+	srcRows, srcC, srcR := g.Rows, g.Centroid, g.Radius
+	t.Rows = mergeSorted(t.Rows, srcRows)
+	for pos := range ts.sums {
+		ts.sums[pos] += m.groups[gid].sums[pos]
+	}
+	oldC := t.Centroid
+	t.Centroid = m.centroidOf(ts, len(t.Rows))
+	// Every point of either side is within its old radius of its old
+	// centroid; bound both against the merged centroid.
+	t.Radius = math.Max(
+		t.Radius+distInfVec(oldC, t.Centroid),
+		srcR+distInfVec(srcC, t.Centroid))
+	for _, r := range srcRows {
+		m.p.GID[r] = best
+	}
+	ts.ops++
+	ts.noSplit = false
+	ts.dirty = true
+	// Drop the emptied source slot first so the split below sees dense
+	// ids. dropGroup may move the last group into gid — best tracks it.
+	g.Rows = nil
+	last := len(m.p.Groups) - 1
+	m.dropGroup(gid)
+	if best == last {
+		best = gid
+	}
+	m.healMaybe(best)
+	m.splitMaybe(best)
+}
+
+// dropGroup removes a (now empty) group slot, keeping gids dense by
+// moving the last group into the vacated slot.
+func (m *Maintainer) dropGroup(gid int) {
+	last := len(m.p.Groups) - 1
+	if gid != last {
+		m.p.Groups[gid] = m.p.Groups[last]
+		m.p.Groups[gid].ID = gid
+		m.groups[gid] = m.groups[last]
+		for _, r := range m.p.Groups[gid].Rows {
+			m.p.GID[r] = gid
+		}
+	}
+	m.p.Groups = m.p.Groups[:last]
+	m.groups = m.groups[:last]
+	m.structChanged = true
+}
+
+// flushReps refreshes the representative relation after a batch: cell
+// updates in place for dirty groups, or a full (cheap, O(m)) rebuild
+// when the group set itself changed shape.
+func (m *Maintainer) flushReps() {
+	if m.structChanged || m.p.Reps == nil || m.p.Reps.Len() != len(m.p.Groups) {
+		m.p.Reps = m.repsFromSums()
+		m.structChanged = false
+		for _, st := range m.groups {
+			st.dirty = false
+		}
+		return
+	}
+	for gid, st := range m.groups {
+		if !st.dirty {
+			continue
+		}
+		count := len(m.p.Groups[gid].Rows)
+		for pos := range m.numIdx {
+			// Reps schema is gid followed by the numeric columns in
+			// numIdx order; column pos+1 is the pos-th numeric mean.
+			mean := 0.0
+			if count > 0 {
+				mean = st.sums[pos] / float64(count)
+			}
+			// The schemas are fixed; Set cannot fail here.
+			_ = m.p.Reps.Set(gid, pos+1, relation.F(mean))
+		}
+		st.dirty = false
+	}
+}
+
+// repsFromSums rebuilds the representative relation from the maintained
+// sums (same schema as buildReps, without rescanning members).
+func (m *Maintainer) repsFromSums() *relation.Relation {
+	schema := m.p.Rel.Schema()
+	cols := []relation.Column{{Name: "gid", Type: relation.Int}}
+	for _, c := range m.numIdx {
+		cols = append(cols, relation.Column{Name: schema.Col(c).Name, Type: relation.Float})
+	}
+	reps := relation.New(m.p.Rel.Name()+"_reps", relation.NewSchema(cols...))
+	for gid, st := range m.groups {
+		vals := make([]relation.Value, 0, 1+len(st.sums))
+		vals = append(vals, relation.I(int64(gid)))
+		count := len(m.p.Groups[gid].Rows)
+		for _, s := range st.sums {
+			mean := 0.0
+			if count > 0 {
+				mean = s / float64(count)
+			}
+			vals = append(vals, relation.F(mean))
+		}
+		reps.MustAppend(vals...)
+	}
+	return reps
+}
+
+// MaxRadiusBound returns the maintained upper bound on the largest
+// group radius — the effective ω of the partitioning. SketchRefine's
+// guarantees for a maintained partitioning are those of an offline
+// partitioning built with this radius limit.
+func (m *Maintainer) MaxRadiusBound() float64 {
+	max := 0.0
+	for _, g := range m.p.Groups {
+		if g.Radius > max {
+			max = g.Radius
+		}
+	}
+	return max
+}
+
+// QualityBound returns the multiplicative factor F ≥ 1 by which a
+// SketchRefine objective over the maintained partitioning may trail one
+// over a freshly rebuilt partitioning, under Theorem 3's analysis: the
+// maintained partitioning behaves like an offline one with
+// ω = MaxRadiusBound, giving ε = ω·γ⁻¹ via Equation 1 (γ = ε for
+// maximization, ε/(1+ε) for minimization against the smallest non-zero
+// |t.attr| of the live data) and F = (1+ε)⁶. The bound is conservative
+// — it grows with radius drift and collapses back as groups heal — and
+// +Inf when the data admits no multiplicative guarantee (zero-valued
+// attributes), mirroring RadiusForEpsilon.
+func (m *Maintainer) QualityBound(maximize bool) float64 {
+	omega := m.MaxRadiusBound()
+	if omega == 0 {
+		return 1
+	}
+	minAbs := math.Inf(1)
+	rel := m.p.Rel
+	for _, c := range m.p.AttrIdx {
+		for r := 0; r < rel.Len(); r++ {
+			if rel.Deleted(r) {
+				continue
+			}
+			if v := math.Abs(rel.Float(r, c)); v > 0 && v < minAbs {
+				minAbs = v
+			}
+		}
+	}
+	if math.IsInf(minAbs, 1) {
+		return math.Inf(1)
+	}
+	var eps float64
+	if maximize {
+		eps = omega / minAbs
+	} else {
+		// γ = ε/(1+ε) ⇒ ε = γ/(1-γ), unbounded once γ ≥ 1.
+		gamma := omega / minAbs
+		if gamma >= 1 {
+			return math.Inf(1)
+		}
+		eps = gamma / (1 - gamma)
+	}
+	return math.Pow(1+eps, 6)
+}
+
+// CheckInvariants verifies the maintained partitioning: groups are
+// disjoint, cover exactly the live rows, respect τ, keep their member
+// lists sorted, agree with the gid map, carry centroids equal to the
+// member means, radii that are sound upper bounds on the true radii,
+// and representatives consistent with the centroids.
+func (m *Maintainer) CheckInvariants() error {
+	p := m.p
+	live := 0
+	seen := make(map[int]int)
+	for gid, g := range p.Groups {
+		if g.ID != gid {
+			return fmt.Errorf("partition: maintained group %d has ID %d", gid, g.ID)
+		}
+		if len(g.Rows) == 0 {
+			return fmt.Errorf("partition: maintained group %d is empty", gid)
+		}
+		if len(g.Rows) > p.Tau {
+			return fmt.Errorf("partition: maintained group %d has %d > τ=%d rows", gid, len(g.Rows), p.Tau)
+		}
+		if !sort.IntsAreSorted(g.Rows) {
+			return fmt.Errorf("partition: maintained group %d member list is not sorted", gid)
+		}
+		exactC := relation.Centroid(p.Rel, p.AttrIdx, g.Rows)
+		for a := range exactC {
+			if math.Abs(exactC[a]-g.Centroid[a]) > 1e-6*(1+math.Abs(exactC[a])) {
+				return fmt.Errorf("partition: maintained group %d centroid drift on %s: %g vs %g",
+					gid, p.Attrs[a], g.Centroid[a], exactC[a])
+			}
+		}
+		if exact := relation.Radius(p.Rel, p.AttrIdx, g.Rows, g.Centroid); g.Radius < exact-1e-9*(1+exact) {
+			return fmt.Errorf("partition: maintained group %d radius bound %g below true radius %g",
+				gid, g.Radius, exact)
+		}
+		for _, r := range g.Rows {
+			if p.Rel.Deleted(r) {
+				return fmt.Errorf("partition: maintained group %d contains deleted row %d", gid, r)
+			}
+			if prev, dup := seen[r]; dup {
+				return fmt.Errorf("partition: row %d in groups %d and %d", r, prev, gid)
+			}
+			seen[r] = gid
+			if p.GID[r] != gid {
+				return fmt.Errorf("partition: row %d gid %d, want %d", r, p.GID[r], gid)
+			}
+		}
+		live += len(g.Rows)
+	}
+	if live != p.Rel.Live() {
+		return fmt.Errorf("partition: maintained groups cover %d of %d live rows", live, p.Rel.Live())
+	}
+	for r, gid := range p.GID {
+		if gid >= 0 {
+			if _, ok := seen[r]; !ok {
+				return fmt.Errorf("partition: gid map names row %d in group %d, but the group lacks it", r, gid)
+			}
+		}
+	}
+	if p.Reps.Len() != len(p.Groups) {
+		return fmt.Errorf("partition: %d representatives for %d maintained groups", p.Reps.Len(), len(p.Groups))
+	}
+	gidCol := p.Reps.Schema().Lookup("gid")
+	for gid := range p.Groups {
+		if got := int(p.Reps.IntColumn(gidCol)[gid]); got != gid {
+			return fmt.Errorf("partition: representative row %d carries gid %d", gid, got)
+		}
+	}
+	return nil
+}
+
+// insertSorted inserts v into a sorted slice, keeping it sorted. It
+// always copies into fresh backing storage: group member slices can
+// alias one another (the degenerate-split fallback chunks one array
+// into several groups), so growing one in place could overwrite a
+// sibling group's members.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	out := make([]int, len(s)+1)
+	copy(out, s[:i])
+	out[i] = v
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+// removeSorted removes v from a sorted slice (no-op if absent).
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// mergeSorted merges two sorted slices into a new sorted slice.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -84,7 +84,7 @@ type Partitioning struct {
 // Build partitions the relation with the recursive quad-tree method.
 func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 	start := time.Now()
-	if rel.Len() == 0 {
+	if rel.Live() == 0 {
 		return nil, fmt.Errorf("partition: empty relation")
 	}
 	if opt.SizeThreshold < 1 {
@@ -140,6 +140,11 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 		Tau:     opt.SizeThreshold,
 		Omega:   opt.RadiusLimit,
 		Workers: opt.Workers,
+	}
+	// Rows outside any group — tombstoned rows of a mutated relation —
+	// carry gid -1, the same convention Restrict uses.
+	for i := range p.GID {
+		p.GID[i] = -1
 	}
 	for gid := range p.Groups {
 		p.Groups[gid].ID = gid
@@ -418,8 +423,8 @@ func (p *Partitioning) CheckInvariants() error {
 		}
 		total += len(g.Rows)
 	}
-	if total != p.Rel.Len() {
-		return fmt.Errorf("partition: groups cover %d of %d rows", total, p.Rel.Len())
+	if total != p.Rel.Live() {
+		return fmt.Errorf("partition: groups cover %d of %d live rows", total, p.Rel.Live())
 	}
 	if p.Reps.Len() != len(p.Groups) {
 		return fmt.Errorf("partition: %d representatives for %d groups", p.Reps.Len(), len(p.Groups))

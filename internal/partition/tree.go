@@ -44,7 +44,7 @@ func BuildTree(rel *relation.Relation, attrs []string, maxDepth int) (*Tree, err
 // 0 means runtime.GOMAXPROCS(0), 1 forces the sequential build.
 func BuildTreeWorkers(rel *relation.Relation, attrs []string, maxDepth, workers int) (*Tree, error) {
 	start := time.Now()
-	if rel.Len() == 0 {
+	if rel.Live() == 0 {
 		return nil, fmt.Errorf("partition: empty relation")
 	}
 	if len(attrs) == 0 || len(attrs) > 30 {

@@ -9,8 +9,11 @@ import (
 	"strings"
 )
 
-// WriteCSV writes the relation with a typed header row of the form
-// "name:type" (type ∈ {f, i, s}), so a round-trip preserves column types.
+// WriteCSV writes the relation's live rows with a typed header row of
+// the form "name:type" (type ∈ {f, i, s}), so a round-trip preserves
+// column types. Tombstoned rows are not written: a save/load cycle
+// yields the live dataset, not a resurrection of deleted rows (row
+// indices are compacted by the reload).
 func WriteCSV(r *Relation, w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := make([]string, r.Schema().Len())
@@ -30,6 +33,9 @@ func WriteCSV(r *Relation, w io.Writer) error {
 	}
 	rec := make([]string, r.Schema().Len())
 	for row := 0; row < r.Len(); row++ {
+		if r.Deleted(row) {
+			continue
+		}
 		for c := 0; c < r.Schema().Len(); c++ {
 			switch r.Schema().Col(c).Type {
 			case Float:

@@ -173,11 +173,28 @@ func (c *column) float(row int) float64 {
 
 // Relation is an in-memory table with a fixed schema and column-major
 // typed storage.
+//
+// A relation is mutable: Append adds rows, Set overwrites cells in
+// place, and Delete tombstones rows without renumbering the survivors
+// (physical row indices stay stable for the relation's lifetime, so
+// packages, partitionings, and caches can keep referring to them).
+// Every mutation bumps a monotonically increasing version; consumers
+// key derived state (solution caches, prepared statements) on it to
+// detect staleness. The relation itself is not synchronized — callers
+// that interleave mutations with reads serialize them (paq.Session
+// holds a read-write lock around the solve path).
 type Relation struct {
 	name   string
 	schema Schema
 	cols   []*column
 	n      int
+	// deleted tombstones rows; nil until the first Delete. Tombstoned
+	// rows keep their physical cells (stable indices) but are skipped by
+	// Select, AllRows, and Live.
+	deleted  []bool
+	nDeleted int
+	// version counts mutations (appends, deletes, cell updates).
+	version uint64
 }
 
 // New creates an empty relation with the given name and schema.
@@ -195,15 +212,120 @@ func (r *Relation) Name() string { return r.name }
 // Schema returns the relation's schema.
 func (r *Relation) Schema() Schema { return r.schema }
 
-// Len returns the number of rows.
+// Len returns the number of physical rows, including tombstoned ones.
+// Row indices range over [0, Len()); use Live for the count of
+// non-deleted rows.
 func (r *Relation) Len() int { return r.n }
 
-// Append adds one row. The number and types of values must match the
-// schema (Int↔Float coercion is permitted where lossless).
-func (r *Relation) Append(vals ...Value) error {
+// Live returns the number of non-deleted rows.
+func (r *Relation) Live() int { return r.n - r.nDeleted }
+
+// Version returns the mutation counter: it increases monotonically with
+// every Append, Delete, and Set. Two reads returning the same version
+// bracket an unchanged relation.
+func (r *Relation) Version() uint64 { return r.version }
+
+// Deleted reports whether a row has been tombstoned.
+func (r *Relation) Deleted(row int) bool {
+	return r.deleted != nil && r.deleted[row]
+}
+
+// Delete tombstones a row: its physical cells remain addressable (row
+// indices never shift) but Select, AllRows, and Live skip it. Deleting
+// an out-of-range or already-deleted row is an error, leaving the
+// relation unchanged.
+func (r *Relation) Delete(row int) error {
+	if row < 0 || row >= r.n {
+		return fmt.Errorf("relation: delete of row %d out of range [0, %d)", row, r.n)
+	}
+	if r.deleted != nil && r.deleted[row] {
+		return fmt.Errorf("relation: row %d is already deleted", row)
+	}
+	if r.deleted == nil {
+		r.deleted = make([]bool, r.n)
+	} else if len(r.deleted) < r.n {
+		r.deleted = append(r.deleted, make([]bool, r.n-len(r.deleted))...)
+	}
+	r.deleted[row] = true
+	r.nDeleted++
+	r.version++
+	return nil
+}
+
+// Set overwrites one cell in place (Int↔Float coercion permitted where
+// lossless, as in Append). The row may not be deleted.
+func (r *Relation) Set(row, col int, v Value) error {
+	if row < 0 || row >= r.n {
+		return fmt.Errorf("relation: set on row %d out of range [0, %d)", row, r.n)
+	}
+	if col < 0 || col >= len(r.cols) {
+		return fmt.Errorf("relation: set on column %d out of range [0, %d)", col, len(r.cols))
+	}
+	if r.Deleted(row) {
+		return fmt.Errorf("relation: set on deleted row %d", row)
+	}
+	c := r.cols[col]
+	switch c.typ {
+	case Float:
+		f, err := v.Float()
+		if err != nil {
+			return fmt.Errorf("%w (column %q)", err, r.schema.Col(col).Name)
+		}
+		c.f[row] = f
+	case Int:
+		if v.typ == Float && v.f != math.Trunc(v.f) {
+			return fmt.Errorf("relation: cannot store non-integral %g in BIGINT column %q", v.f, r.schema.Col(col).Name)
+		}
+		i, err := v.Int()
+		if err != nil {
+			return fmt.Errorf("%w (column %q)", err, r.schema.Col(col).Name)
+		}
+		c.i[row] = i
+	default:
+		s, err := v.Str()
+		if err != nil {
+			return fmt.Errorf("%w (column %q)", err, r.schema.Col(col).Name)
+		}
+		c.s[row] = s
+	}
+	r.version++
+	return nil
+}
+
+// CheckRow validates a row against the schema without mutating the
+// relation: the arity must match and every value must be storable in
+// its column (the same rules as Append). Callers that must keep a batch
+// of appends atomic validate every row first, then append.
+func (r *Relation) CheckRow(vals []Value) error {
 	if len(vals) != r.schema.Len() {
 		return fmt.Errorf("relation: row has %d values, schema %s has %d columns",
 			len(vals), r.name, r.schema.Len())
+	}
+	for i, v := range vals {
+		var ok bool
+		switch r.cols[i].typ {
+		case Float:
+			ok = v.typ == Float || v.typ == Int
+		case Int:
+			ok = v.typ == Int || (v.typ == Float && v.f == math.Trunc(v.f))
+		default:
+			ok = v.typ == String
+		}
+		if !ok {
+			return fmt.Errorf("relation: cannot store %s in %s column %q",
+				v.typ, r.cols[i].typ, r.schema.Col(i).Name)
+		}
+	}
+	return nil
+}
+
+// Append adds one row. The number and types of values must match the
+// schema (Int↔Float coercion is permitted where lossless). The row is
+// validated before any column store is touched, so a failed Append
+// leaves the relation unchanged.
+func (r *Relation) Append(vals ...Value) error {
+	if err := r.CheckRow(vals); err != nil {
+		return err
 	}
 	for i, v := range vals {
 		if err := r.cols[i].appendValue(v); err != nil {
@@ -211,6 +333,10 @@ func (r *Relation) Append(vals ...Value) error {
 		}
 	}
 	r.n++
+	if r.deleted != nil {
+		r.deleted = append(r.deleted, false)
+	}
+	r.version++
 	return nil
 }
 
@@ -253,6 +379,10 @@ func (r *Relation) AppendFrom(src *Relation, row int) error {
 		}
 	}
 	r.n++
+	if r.deleted != nil {
+		r.deleted = append(r.deleted, false)
+	}
+	r.version++
 	return nil
 }
 
@@ -301,11 +431,14 @@ func (r *Relation) Row(row int) []Value {
 	return out
 }
 
-// Select returns the indices of all rows satisfying pred. A nil predicate
-// selects every row.
+// Select returns the indices of all live (non-deleted) rows satisfying
+// pred. A nil predicate selects every live row.
 func (r *Relation) Select(pred Predicate) []int {
-	rows := make([]int, 0, r.n)
+	rows := make([]int, 0, r.Live())
 	for i := 0; i < r.n; i++ {
+		if r.Deleted(i) {
+			continue
+		}
 		if pred == nil || pred.Eval(r, i) {
 			rows = append(rows, i)
 		}
@@ -336,6 +469,9 @@ func (r *Relation) Project(name string, colNames []string, rows []int) (*Relatio
 	}
 	if rows == nil {
 		for i := 0; i < r.n; i++ {
+			if r.Deleted(i) {
+				continue
+			}
 			if err := appendRow(i); err != nil {
 				return nil, err
 			}
@@ -363,11 +499,14 @@ func (r *Relation) Subset(name string, rows []int) *Relation {
 	return out
 }
 
-// AllRows returns [0, 1, ..., n-1].
+// AllRows returns the indices of every live row, in ascending order
+// ([0, 1, ..., n-1] when nothing has been deleted).
 func (r *Relation) AllRows() []int {
-	rows := make([]int, r.n)
-	for i := range rows {
-		rows[i] = i
+	rows := make([]int, 0, r.Live())
+	for i := 0; i < r.n; i++ {
+		if !r.Deleted(i) {
+			rows = append(rows, i)
+		}
 	}
 	return rows
 }

@@ -548,3 +548,100 @@ func TestQuickCSVRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The mutation surface: tombstone deletes keep indices stable, Set
+// updates in place, and every mutation bumps the version.
+func TestMutationSurface(t *testing.T) {
+	r := New("t", NewSchema(Column{"id", Int}, Column{"v", Float}, Column{"s", String}))
+	for i := 0; i < 5; i++ {
+		r.MustAppend(I(int64(i)), F(float64(i)*1.5), S("x"))
+	}
+	v0 := r.Version()
+	if v0 == 0 {
+		t.Fatal("appends did not bump the version")
+	}
+	if r.Live() != 5 || r.Len() != 5 {
+		t.Fatalf("Live=%d Len=%d, want 5/5", r.Live(), r.Len())
+	}
+
+	if err := r.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() <= v0 {
+		t.Error("Delete did not bump the version")
+	}
+	if r.Live() != 4 || r.Len() != 5 {
+		t.Fatalf("after delete: Live=%d Len=%d, want 4/5", r.Live(), r.Len())
+	}
+	if !r.Deleted(2) || r.Deleted(3) {
+		t.Error("Deleted mask wrong")
+	}
+	if got := r.AllRows(); len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 3 || got[3] != 4 {
+		t.Errorf("AllRows = %v, want [0 1 3 4]", got)
+	}
+	if rows := r.Select(nil); len(rows) != 4 {
+		t.Errorf("Select(nil) = %v, want 4 live rows", rows)
+	}
+	if err := r.Delete(2); err == nil {
+		t.Error("double delete must fail")
+	}
+	if err := r.Delete(99); err == nil {
+		t.Error("out-of-range delete must fail")
+	}
+
+	// Physical cells of a deleted row stay addressable.
+	if got := r.Float(2, 1); got != 3.0 {
+		t.Errorf("deleted row cell = %g, want 3", got)
+	}
+
+	// Set: in-place update with type checking.
+	v1 := r.Version()
+	if err := r.Set(3, 1, F(42)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Float(3, 1) != 42 {
+		t.Error("Set did not update the cell")
+	}
+	if r.Version() <= v1 {
+		t.Error("Set did not bump the version")
+	}
+	if err := r.Set(3, 1, S("no")); err == nil {
+		t.Error("Set with a string into a Float column must fail")
+	}
+	if err := r.Set(3, 0, F(1.5)); err == nil {
+		t.Error("Set with a non-integral float into an Int column must fail")
+	}
+	if err := r.Set(2, 1, F(1)); err == nil {
+		t.Error("Set on a deleted row must fail")
+	}
+
+	// Appends after a delete extend the mask; new rows are live.
+	r.MustAppend(I(9), F(9), S("y"))
+	if r.Live() != 5 || r.Len() != 6 || r.Deleted(5) {
+		t.Fatalf("after append: Live=%d Len=%d Deleted(5)=%v", r.Live(), r.Len(), r.Deleted(5))
+	}
+}
+
+// Append validates the whole row before touching any column store, so a
+// failed append cannot leave ragged columns.
+func TestAppendAtomic(t *testing.T) {
+	r := New("t", NewSchema(Column{"a", Float}, Column{"b", Int}))
+	if err := r.Append(F(1), F(0.5)); err == nil {
+		t.Fatal("append with a non-integral value for an Int column must fail")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed append left %d rows", r.Len())
+	}
+	if err := r.Append(F(1), I(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Float(0, 0) != 1 || r.IntColumn(1)[0] != 2 {
+		t.Fatal("append after failed append corrupted the store")
+	}
+	if err := r.CheckRow([]Value{F(1)}); err == nil {
+		t.Error("CheckRow must reject wrong arity")
+	}
+	if err := r.CheckRow([]Value{F(1), I(1)}); err != nil {
+		t.Errorf("CheckRow rejected a valid row: %v", err)
+	}
+}

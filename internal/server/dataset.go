@@ -138,6 +138,10 @@ func (d *Dataset) Rel() *relation.Relation { return d.sess.Rel() }
 // Partitioning describes the warm offline partitioning.
 func (d *Dataset) Partitioning() (*paq.PartitionInfo, error) { return d.sess.Partitioning() }
 
+// Version returns the dataset's current version (bumped by every row
+// mutation).
+func (d *Dataset) Version() uint64 { return d.sess.Version() }
+
 // Methods lists the methods the dataset serves, sorted.
 func (d *Dataset) Methods() []string {
 	return []string{MethodDirect, MethodSketchRefine}

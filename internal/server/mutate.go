@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/relation"
+	"repro/paq"
+)
+
+// MutateRequest is the body of POST /datasets/{name}/rows: any
+// combination of inserts, deletes, and in-place updates, applied in
+// that order as one batch. Cell values are JSON scalars coerced by the
+// dataset's column types (numbers into BIGINT/DOUBLE columns — integral
+// values only for BIGINT — and strings into TEXT columns).
+type MutateRequest struct {
+	// Insert appends rows; each row lists one value per column, in
+	// schema order (see GET /datasets for the schema).
+	Insert [][]any `json:"insert,omitempty"`
+	// Delete tombstones rows by index (as returned in query responses
+	// and insert acknowledgements). Row indices are stable: deletes
+	// never renumber surviving rows.
+	Delete []int `json:"delete,omitempty"`
+	// Update overwrites live rows in place.
+	Update []UpdateRow `json:"update,omitempty"`
+}
+
+// UpdateRow is one in-place row replacement.
+type UpdateRow struct {
+	Row    int   `json:"row"`
+	Values []any `json:"values"`
+}
+
+// MaintJSON is the wire form of paq.MaintStats.
+type MaintJSON struct {
+	Inserts  uint64 `json:"inserts"`
+	Deletes  uint64 `json:"deletes"`
+	Updates  uint64 `json:"updates"`
+	Splits   uint64 `json:"splits"`
+	Merges   uint64 `json:"merges"`
+	Heals    uint64 `json:"heals"`
+	Rebuilds uint64 `json:"rebuilds"`
+}
+
+func maintJSON(ms paq.MaintStats) MaintJSON {
+	return MaintJSON{
+		Inserts: ms.Inserts, Deletes: ms.Deletes, Updates: ms.Updates,
+		Splits: ms.Splits, Merges: ms.Merges, Heals: ms.Heals, Rebuilds: ms.Rebuilds,
+	}
+}
+
+// MutateResponse is the body of a successful POST /datasets/{name}/rows.
+type MutateResponse struct {
+	Dataset string `json:"dataset"`
+	// Version is the dataset version after the batch (monotonically
+	// increasing with every mutation).
+	Version uint64 `json:"version"`
+	// InsertedRows are the row indices assigned to the inserted rows, in
+	// request order; use them for later deletes and updates.
+	InsertedRows []int `json:"inserted_rows,omitempty"`
+	Inserted     int   `json:"inserted"`
+	Deleted      int   `json:"deleted"`
+	Updated      int   `json:"updated"`
+	// Maintenance snapshots the dataset's cumulative incremental
+	// partition-maintenance counters after the batch.
+	Maintenance MaintJSON `json:"maintenance"`
+	TimeMS      float64   `json:"time_ms"`
+}
+
+// coerceRow lowers JSON scalars onto the relation's column types.
+func coerceRow(rel *relation.Relation, raw []any) ([]relation.Value, error) {
+	schema := rel.Schema()
+	if len(raw) != schema.Len() {
+		return nil, fmt.Errorf("row has %d values, schema has %d columns", len(raw), schema.Len())
+	}
+	vals := make([]relation.Value, len(raw))
+	for i, v := range raw {
+		col := schema.Col(i)
+		switch x := v.(type) {
+		case string:
+			if col.Type != relation.String {
+				return nil, fmt.Errorf("column %q (%s) cannot hold string %q", col.Name, col.Type, x)
+			}
+			vals[i] = relation.S(x)
+		case json.Number:
+			switch col.Type {
+			case relation.Int:
+				n, err := x.Int64()
+				if err != nil {
+					return nil, fmt.Errorf("column %q (BIGINT) cannot hold %v", col.Name, x)
+				}
+				vals[i] = relation.I(n)
+			case relation.Float:
+				f, err := x.Float64()
+				if err != nil {
+					return nil, fmt.Errorf("column %q (DOUBLE) cannot hold %v", col.Name, x)
+				}
+				vals[i] = relation.F(f)
+			default:
+				return nil, fmt.Errorf("column %q (%s) cannot hold number %v", col.Name, col.Type, x)
+			}
+		default:
+			return nil, fmt.Errorf("column %q: unsupported JSON value %v (want string or number)", col.Name, v)
+		}
+	}
+	return vals, nil
+}
+
+// handleMutate serves POST /datasets/{name}/rows: one admission-
+// controlled batch of inserts, deletes, and updates against a
+// registered dataset. The paq session applies each sub-batch
+// atomically (all-or-nothing); sub-batches are applied in insert →
+// delete → update order, and a failing sub-batch aborts the ones after
+// it (the response is then an error even though earlier sub-batches
+// committed — the reported version tells the client where it stands).
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		s.failf(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	defer s.leave()
+	s.ctr.mutations.Add(1)
+
+	ds := s.Dataset(r.PathValue("name"))
+	if ds == nil {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("name"))
+		return
+	}
+	var req MutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.UseNumber() // keep int64 cells exact; coerceRow resolves by column type
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Insert) == 0 && len(req.Delete) == 0 && len(req.Update) == 0 {
+		s.ctr.badRequest.Add(1)
+		s.failf(w, http.StatusBadRequest, "empty mutation (provide insert, delete, and/or update)")
+		return
+	}
+
+	// Coerce everything before admission: a malformed batch should not
+	// consume a slot.
+	rel := ds.Rel()
+	inserts := make([][]relation.Value, 0, len(req.Insert))
+	for i, raw := range req.Insert {
+		vals, err := coerceRow(rel, raw)
+		if err != nil {
+			s.ctr.badRequest.Add(1)
+			s.failf(w, http.StatusBadRequest, "insert row %d: %v", i, err)
+			return
+		}
+		inserts = append(inserts, vals)
+	}
+	updRows := make([]int, 0, len(req.Update))
+	updVals := make([][]relation.Value, 0, len(req.Update))
+	for i, u := range req.Update {
+		vals, err := coerceRow(rel, u.Values)
+		if err != nil {
+			s.ctr.badRequest.Add(1)
+			s.failf(w, http.StatusBadRequest, "update of row %d (entry %d): %v", u.Row, i, err)
+			return
+		}
+		updRows = append(updRows, u.Row)
+		updVals = append(updVals, vals)
+	}
+
+	// Mutations take the dataset write lock, so they wait on in-flight
+	// solves; run them through the same admission control as queries so
+	// ingestion bursts shed load at the edge too.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	release := s.admit(ctx, w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	t0 := time.Now()
+	sess := ds.Session()
+	resp := MutateResponse{Dataset: ds.Name()}
+	fail := func(status int, op string, err error) {
+		s.ctr.failures.Add(1)
+		s.failf(w, status, "%s: %v (dataset at version %d)", op, err, sess.Version())
+	}
+	if len(inserts) > 0 {
+		ids, _, err := sess.InsertRows(inserts)
+		if err != nil {
+			fail(http.StatusBadRequest, "insert", err)
+			return
+		}
+		resp.InsertedRows = ids
+		resp.Inserted = len(ids)
+		s.ctr.rowsInserted.Add(uint64(len(ids)))
+	}
+	if len(req.Delete) > 0 {
+		if _, err := sess.DeleteRows(req.Delete); err != nil {
+			fail(http.StatusBadRequest, "delete", err)
+			return
+		}
+		resp.Deleted = len(req.Delete)
+		s.ctr.rowsDeleted.Add(uint64(len(req.Delete)))
+	}
+	if len(updRows) > 0 {
+		if _, err := sess.UpdateRows(updRows, updVals); err != nil {
+			fail(http.StatusBadRequest, "update", err)
+			return
+		}
+		resp.Updated = len(updRows)
+		s.ctr.rowsUpdated.Add(uint64(len(updRows)))
+	}
+	resp.Version = sess.Version()
+	resp.Maintenance = maintJSON(sess.MaintStats())
+	resp.TimeMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}

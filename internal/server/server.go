@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/relation"
 	"repro/paq"
 )
 
@@ -118,6 +119,11 @@ type counters struct {
 	solveNanos  atomic.Int64
 	backtracks  atomic.Uint64
 	subproblems atomic.Uint64
+	// Mutation-path counters (POST /datasets/{name}/rows).
+	mutations    atomic.Uint64
+	rowsInserted atomic.Uint64
+	rowsDeleted  atomic.Uint64
+	rowsUpdated  atomic.Uint64
 }
 
 // New creates an empty server.
@@ -148,13 +154,15 @@ func (s *Server) Dataset(name string) *Dataset {
 
 // Handler returns the HTTP API:
 //
-//	POST /query     evaluate (or explain) a PaQL query (QueryRequest → QueryResponse)
-//	GET  /stats     service and cache statistics
-//	GET  /datasets  registered datasets
-//	GET  /healthz   liveness
+//	POST /query                 evaluate (or explain) a PaQL query (QueryRequest → QueryResponse)
+//	POST /datasets/{name}/rows  mutate a dataset (MutateRequest → MutateResponse)
+//	GET  /stats                 service and cache statistics
+//	GET  /datasets              registered datasets
+//	GET  /healthz               liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("POST /datasets/{name}/rows", s.handleMutate)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -517,17 +525,21 @@ func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt
 		resp.Rows[i] = PackageRow{Row: row, Mult: res.Mult[i]}
 	}
 	if req.IncludeTuples {
-		ds := s.Dataset(req.Dataset)
-		mat := res.Package().Materialize("package")
-		nCols := ds.Rel().Schema().Len()
-		resp.Tuples = make([][]string, 0, mat.Len())
-		for i := 0; i < mat.Len(); i++ {
-			tup := make([]string, nCols)
-			for c := range tup {
-				tup[c] = mat.Value(i, c).String()
+		// Materialization reads the live relation after Execute released
+		// the dataset lock; take it again so a concurrent mutation cannot
+		// tear the tuple values mid-serialization.
+		s.Dataset(req.Dataset).Session().View(func(*relation.Relation) {
+			mat := res.Package().Materialize("package")
+			nCols := mat.Schema().Len()
+			resp.Tuples = make([][]string, 0, mat.Len())
+			for i := 0; i < mat.Len(); i++ {
+				tup := make([]string, nCols)
+				for c := range tup {
+					tup[c] = mat.Value(i, c).String()
+				}
+				resp.Tuples = append(resp.Tuples, tup)
 			}
-			resp.Tuples = append(resp.Tuples, tup)
-		}
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -546,22 +558,33 @@ type StatsResponse struct {
 	Explains    uint64  `json:"explains"`
 	// Incumbents is the total number of improving ILP incumbents found
 	// across all executions — the anytime-results counter.
-	Incumbents  uint64                  `json:"incumbents_total"`
-	InFlight    int                     `json:"in_flight"`
-	Queued      int                     `json:"queued"`
-	Draining    bool                    `json:"draining"`
-	SolveTimeMS float64                 `json:"solve_time_ms_total"`
-	Backtracks  uint64                  `json:"backtracks_total"`
-	Subproblems uint64                  `json:"subproblems_total"`
-	Datasets    map[string]DatasetStats `json:"datasets"`
+	Incumbents uint64 `json:"incumbents_total"`
+	// Mutations counts POST /datasets/{name}/rows requests; RowsInserted
+	// / RowsDeleted / RowsUpdated the rows they carried.
+	Mutations    uint64                  `json:"mutations"`
+	RowsInserted uint64                  `json:"rows_inserted"`
+	RowsDeleted  uint64                  `json:"rows_deleted"`
+	RowsUpdated  uint64                  `json:"rows_updated"`
+	InFlight     int                     `json:"in_flight"`
+	Queued       int                     `json:"queued"`
+	Draining     bool                    `json:"draining"`
+	SolveTimeMS  float64                 `json:"solve_time_ms_total"`
+	Backtracks   uint64                  `json:"backtracks_total"`
+	Subproblems  uint64                  `json:"subproblems_total"`
+	Datasets     map[string]DatasetStats `json:"datasets"`
 }
 
 // DatasetStats summarizes one dataset and its per-method caches.
 type DatasetStats struct {
-	Rows   int                   `json:"rows"`
-	Groups int                   `json:"groups"`
-	Tau    int                   `json:"tau"`
-	Caches map[string]CacheStats `json:"caches"`
+	Rows int `json:"rows"`
+	// Version is the dataset's mutation counter (see MutateResponse).
+	Version uint64 `json:"version"`
+	Groups  int    `json:"groups"`
+	Tau     int    `json:"tau"`
+	// Maintenance is the cumulative incremental partition-maintenance
+	// work performed on the dataset's live partitionings.
+	Maintenance MaintJSON             `json:"maintenance"`
+	Caches      map[string]CacheStats `json:"caches"`
 }
 
 // CacheStats is the wire form of paq.CacheStats.
@@ -569,7 +592,10 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
+	// Invalidations counts cached solutions reclaimed because the
+	// dataset moved past the version they were solved at.
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
 }
 
 // Stats snapshots the service counters (also served at GET /stats).
@@ -581,38 +607,44 @@ func (s *Server) Stats() StatsResponse {
 		queued = 0
 	}
 	resp := StatsResponse{
-		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
-		Queries:     s.ctr.queries.Load(),
-		OK:          s.ctr.ok.Load(),
-		Infeasible:  s.ctr.infeasible.Load(),
-		Truncated:   s.ctr.truncated.Load(),
-		BadRequests: s.ctr.badRequest.Load(),
-		Rejected:    s.ctr.rejected.Load(),
-		Timeouts:    s.ctr.timeouts.Load(),
-		Failures:    s.ctr.failures.Load(),
-		Explains:    s.ctr.explains.Load(),
-		Incumbents:  s.ctr.incumbents.Load(),
-		InFlight:    inFlight,
-		Queued:      queued,
-		Draining:    s.isDraining(),
-		SolveTimeMS: float64(s.ctr.solveNanos.Load()) / float64(time.Millisecond),
-		Backtracks:  s.ctr.backtracks.Load(),
-		Subproblems: s.ctr.subproblems.Load(),
-		Datasets:    make(map[string]DatasetStats),
+		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+		Queries:      s.ctr.queries.Load(),
+		OK:           s.ctr.ok.Load(),
+		Infeasible:   s.ctr.infeasible.Load(),
+		Truncated:    s.ctr.truncated.Load(),
+		BadRequests:  s.ctr.badRequest.Load(),
+		Rejected:     s.ctr.rejected.Load(),
+		Timeouts:     s.ctr.timeouts.Load(),
+		Failures:     s.ctr.failures.Load(),
+		Explains:     s.ctr.explains.Load(),
+		Incumbents:   s.ctr.incumbents.Load(),
+		Mutations:    s.ctr.mutations.Load(),
+		RowsInserted: s.ctr.rowsInserted.Load(),
+		RowsDeleted:  s.ctr.rowsDeleted.Load(),
+		RowsUpdated:  s.ctr.rowsUpdated.Load(),
+		InFlight:     inFlight,
+		Queued:       queued,
+		Draining:     s.isDraining(),
+		SolveTimeMS:  float64(s.ctr.solveNanos.Load()) / float64(time.Millisecond),
+		Backtracks:   s.ctr.backtracks.Load(),
+		Subproblems:  s.ctr.subproblems.Load(),
+		Datasets:     make(map[string]DatasetStats),
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for name, ds := range s.datasets {
 		dst := DatasetStats{
-			Rows:   ds.Rel().Len(),
-			Caches: make(map[string]CacheStats),
+			Rows:        ds.Rel().Live(),
+			Version:     ds.Version(),
+			Maintenance: maintJSON(ds.Session().MaintStats()),
+			Caches:      make(map[string]CacheStats),
 		}
 		if pi, err := ds.Partitioning(); err == nil {
 			dst.Groups = pi.Groups
 			dst.Tau = pi.Tau
 		}
 		for m, cs := range ds.Session().CacheStats() {
-			dst.Caches[string(m)] = CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Entries: cs.Entries}
+			dst.Caches[string(m)] = CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Invalidations: cs.Invalidations, Entries: cs.Entries}
 		}
 		resp.Datasets[name] = dst
 	}
@@ -627,6 +659,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 type DatasetInfo struct {
 	Name    string   `json:"name"`
 	Rows    int      `json:"rows"`
+	Version uint64   `json:"version"`
 	Columns []string `json:"columns"`
 	Attrs   []string `json:"partition_attrs"`
 	Groups  int      `json:"groups"`
@@ -644,7 +677,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		info := DatasetInfo{
 			Name:    ds.Name(),
-			Rows:    ds.Rel().Len(),
+			Rows:    ds.Rel().Live(),
+			Version: ds.Version(),
 			Columns: cols,
 			Methods: ds.Methods(),
 		}

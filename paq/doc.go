@@ -1,0 +1,51 @@
+// Package paq is the embeddable SDK for package queries — the stable,
+// public entry point to this reproduction of "Scalable Package Queries
+// in Relational Database Systems" (Brucato et al., PVLDB 2016).
+//
+// A package query selects a *set* of tuples (a "package") that
+// collectively satisfy global constraints and optimize a global
+// objective; PaQL is its declarative SQL-like surface language (see
+// docs/PAQL.md for the full language reference). This package wraps the
+// whole pipeline — parse → ILP translation → strategy selection →
+// solve — behind an explicit prepare/plan/execute lifecycle:
+//
+//	sess, err := paq.Open(paq.CSV("recipes.csv"))
+//	stmt, err := sess.Prepare(`SELECT PACKAGE(R) AS P FROM recipes R ...`)
+//	fmt.Println(stmt.Plan())                    // EXPLAIN: method, why, ILP size
+//	res, err := stmt.Execute(ctx,
+//	    paq.WithIncumbent(func(inc paq.Incumbent) { ... })) // anytime results
+//
+// # Sessions, statements, plans
+//
+// A Session owns one input relation, lazily warmed offline
+// partitionings (one per distinct attribute set), and per-strategy
+// solution caches. A Stmt is a compiled query with a typed Plan — the
+// chosen evaluation method and why, the partitioning shape, and the ILP
+// size — so EXPLAIN is a first-class operation. Execute streams
+// improving incumbents of the underlying branch-and-bound solve to an
+// optional callback, turning every solve into an anytime computation.
+//
+// # Live datasets
+//
+// Sessions are not frozen snapshots: InsertRows, DeleteRows, and
+// UpdateRows mutate the dataset in place under a monotonically
+// increasing version (Session.Version). Mutations maintain every warm
+// partitioning incrementally — new rows are routed to the nearest leaf
+// cell, overfull cells split, underfull cells merge into their nearest
+// sibling — instead of repartitioning from scratch, and solution-cache
+// entries computed against older versions stop matching and are
+// reclaimed (CacheStats.Invalidations). Prepared statements stay valid:
+// their next Execute sees the new data. SketchRefine's approximation
+// guarantees degrade gracefully under maintenance: the session tracks a
+// sound upper bound on every group radius and exposes the resulting
+// factor via Session.QualityBound; see ExampleSession_InsertRows.
+//
+// # Errors
+//
+// Failures are reported through a typed error taxonomy — ErrInfeasible,
+// ErrTimeout, ErrBudget, ErrTypeMismatch, ErrUnsupported, and
+// *ParseError — with full errors.Is/As support; see errors.go.
+//
+// Every consumer in this repository (paqlcli, paqld, the benchmark
+// harness, and all examples) builds on this package alone.
+package paq

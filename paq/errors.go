@@ -50,6 +50,7 @@ var ErrFalseInfeasible error = falseInfeasible{}
 
 type falseInfeasible struct{}
 
+// Error implements the error interface.
 func (falseInfeasible) Error() string {
 	return "paq: no package found (query infeasible, or false infeasibility)"
 }
@@ -82,7 +83,10 @@ type taggedError struct {
 	cause    error
 }
 
-func (e *taggedError) Error() string   { return e.cause.Error() }
+// Error implements the error interface, reading like the cause.
+func (e *taggedError) Error() string { return e.cause.Error() }
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
 func (e *taggedError) Unwrap() []error { return []error{e.sentinel, e.cause} }
 
 func tag(sentinel, cause error) error { return &taggedError{sentinel: sentinel, cause: cause} }

@@ -60,3 +60,59 @@ MAXIMIZE SUM(P.fiber)`)
 	// 1× kiwi
 	// fiber: 12.0
 }
+
+// ExampleSession_InsertRows shows the live-dataset lifecycle: mutate
+// the dataset through the session — the partitioning is maintained
+// incrementally, stale cached solutions are invalidated, and the same
+// prepared statement picks up the new rows on its next execution.
+func ExampleSession_InsertRows() {
+	stocks := relation.New("Stocks", relation.NewSchema(
+		relation.Column{Name: "ticker", Type: relation.String},
+		relation.Column{Name: "price", Type: relation.Float},
+		relation.Column{Name: "yield", Type: relation.Float},
+	))
+	for _, s := range []struct {
+		ticker       string
+		price, yield float64
+	}{
+		{"AAA", 40, 1.1}, {"BBB", 60, 2.0}, {"CCC", 55, 1.4},
+		{"DDD", 30, 0.9}, {"EEE", 75, 2.2},
+	} {
+		stocks.MustAppend(relation.S(s.ticker), relation.F(s.price), relation.F(s.yield))
+	}
+
+	sess, err := paq.Open(paq.Table(stocks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pick 2 stocks, spend at most 100, maximize total yield.
+	stmt, err := sess.Prepare(`
+SELECT PACKAGE(S) AS P FROM Stocks S REPEAT 0
+SUCH THAT COUNT(P.*) = 2 AND SUM(P.price) <= 100
+MAXIMIZE SUM(P.yield)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stmt.Execute(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yield %.1f\n", res.Objective)
+
+	// A new listing arrives: insert it and re-execute the SAME
+	// statement — the dataset version moves, the stale cached solution
+	// is bypassed, and the better package wins.
+	if _, _, err := sess.InsertRows([][]relation.Value{
+		{relation.S("FFF"), relation.F(45), relation.F(3.0)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err = stmt.Execute(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yield %.1f after insert (version %d)\n", res.Objective, sess.Version())
+	// Output:
+	// yield 3.1
+	// yield 4.4 after insert (version 6)
+}

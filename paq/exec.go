@@ -129,6 +129,13 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 	}
 	t0 := time.Now()
 
+	// The whole evaluation — solve, incumbent callbacks, objective
+	// re-evaluation — runs under the dataset read lock, so mutations
+	// serialize against it (and must not be issued from inside a
+	// WithIncumbent callback, which would self-deadlock).
+	st.sess.dataMu.RLock()
+	defer st.sess.dataMu.RUnlock()
+
 	// The incumbent hook: incumbents are always counted (Result and the
 	// session's anytime counter) and forwarded to the caller when asked.
 	// Racing refinement orders share the hook, so the whole callback —

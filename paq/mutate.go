@@ -1,0 +1,255 @@
+package paq
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// MaintStats counts the incremental partition-maintenance work a
+// session has performed across all of its partitionings (see
+// Session.MaintStats).
+type MaintStats = partition.MaintStats
+
+// Version returns the session's dataset version: a monotonically
+// increasing counter bumped by every row mutation. Results, plans, and
+// cache entries are keyed to the version they were computed at, so two
+// equal versions bracket identical data.
+func (s *Session) Version() uint64 {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	return s.rel.Version()
+}
+
+// InsertRows appends rows to the dataset and routes them into every
+// warm partitioning incrementally (splitting any leaf pushed past τ) —
+// no partitioning is rebuilt from scratch. The whole batch is validated
+// against the schema before anything is applied, so a failed insert
+// leaves the dataset unchanged. It returns the row indices assigned to
+// the new rows (stable for the session's lifetime — use them with
+// DeleteRows/UpdateRows) and the new dataset version.
+//
+// Prepared statements stay valid across mutations: their next Execute
+// sees the new data, and solution-cache entries for older versions stop
+// matching (they are reclaimed, counted in CacheStats.Invalidations).
+// Do not call mutation methods from a WithIncumbent callback — the
+// callback runs under the session's read lock and would deadlock.
+func (s *Session) InsertRows(rows [][]relation.Value) ([]int, uint64, error) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if len(rows) == 0 {
+		return nil, s.rel.Version(), nil
+	}
+	for i, vals := range rows {
+		if err := s.rel.CheckRow(vals); err != nil {
+			return nil, s.rel.Version(), fmt.Errorf("paq: insert row %d: %w", i, err)
+		}
+	}
+	ids := make([]int, len(rows))
+	for i, vals := range rows {
+		ids[i] = s.rel.Len()
+		if err := s.rel.Append(vals...); err != nil {
+			// Unreachable: every row was validated above.
+			return nil, s.rel.Version(), fmt.Errorf("paq: insert row %d: %w", i, err)
+		}
+	}
+	if err := s.eachMaintainer(func(m *partition.Maintainer) error {
+		return m.Insert(ids...)
+	}); err != nil {
+		return nil, s.rel.Version(), err
+	}
+	s.invalidateStale()
+	return ids, s.rel.Version(), nil
+}
+
+// DeleteRows removes the given rows (by row index, as reported in
+// Result.Rows) from the dataset. Row indices are stable for the life of
+// a session — deleted rows are tombstoned, never renumbered — so a
+// package computed earlier still names the surviving rows correctly.
+// The batch is validated first (every index in range, live, and
+// distinct); a failed delete leaves the dataset unchanged. It returns
+// the new dataset version.
+func (s *Session) DeleteRows(rows []int) (uint64, error) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if len(rows) == 0 {
+		return s.rel.Version(), nil
+	}
+	seen := make(map[int]bool, len(rows))
+	for _, row := range rows {
+		if row < 0 || row >= s.rel.Len() {
+			return s.rel.Version(), fmt.Errorf("paq: delete of row %d out of range [0, %d)", row, s.rel.Len())
+		}
+		if s.rel.Deleted(row) {
+			return s.rel.Version(), fmt.Errorf("paq: row %d is already deleted", row)
+		}
+		if seen[row] {
+			return s.rel.Version(), fmt.Errorf("paq: row %d deleted twice in one batch", row)
+		}
+		seen[row] = true
+	}
+	for _, row := range rows {
+		if err := s.rel.Delete(row); err != nil {
+			return s.rel.Version(), err // unreachable: validated above
+		}
+	}
+	if err := s.eachMaintainer(func(m *partition.Maintainer) error {
+		return m.Delete(rows...)
+	}); err != nil {
+		return s.rel.Version(), err
+	}
+	s.invalidateStale()
+	return s.rel.Version(), nil
+}
+
+// UpdateRows overwrites the given live rows in place (vals[i] replaces
+// row rows[i]) and re-routes them through every warm partitioning —
+// the rows keep their indices but may move to different leaf cells.
+// The batch is validated first; a failed update leaves the dataset
+// unchanged. It returns the new dataset version.
+func (s *Session) UpdateRows(rows []int, vals [][]relation.Value) (uint64, error) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if len(rows) != len(vals) {
+		return s.rel.Version(), fmt.Errorf("paq: update of %d rows with %d value tuples", len(rows), len(vals))
+	}
+	if len(rows) == 0 {
+		return s.rel.Version(), nil
+	}
+	seen := make(map[int]bool, len(rows))
+	for i, row := range rows {
+		if row < 0 || row >= s.rel.Len() || s.rel.Deleted(row) {
+			return s.rel.Version(), fmt.Errorf("paq: update of invalid row %d", row)
+		}
+		if seen[row] {
+			return s.rel.Version(), fmt.Errorf("paq: row %d updated twice in one batch", row)
+		}
+		seen[row] = true
+		if err := s.rel.CheckRow(vals[i]); err != nil {
+			return s.rel.Version(), fmt.Errorf("paq: update row %d: %w", row, err)
+		}
+	}
+	for i, row := range rows {
+		for c, v := range vals[i] {
+			if err := s.rel.Set(row, c, v); err != nil {
+				return s.rel.Version(), err // unreachable: validated above
+			}
+		}
+	}
+	if err := s.eachMaintainer(func(m *partition.Maintainer) error {
+		return m.Update(rows...)
+	}); err != nil {
+		return s.rel.Version(), err
+	}
+	s.invalidateStale()
+	return s.rel.Version(), nil
+}
+
+// eachMaintainer applies one maintenance step to every built
+// partitioning, creating maintainers on first need. Caller holds the
+// write lock, so no partitioning build is in flight.
+func (s *Session) eachMaintainer(fn func(*partition.Maintainer) error) error {
+	s.mu.Lock()
+	parts := make([]*lazyPart, 0, len(s.parts))
+	for _, lp := range s.parts {
+		parts = append(parts, lp)
+	}
+	s.mu.Unlock()
+	for _, lp := range parts {
+		if lp.part == nil {
+			continue // failed (or never-run) build; it will rebuild lazily
+		}
+		if lp.maint == nil {
+			lp.maint = partition.NewMaintainer(lp.part, partition.MaintOptions{})
+		}
+		if err := fn(lp.maint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// invalidateStale reclaims solution-cache entries solved against older
+// dataset versions from every engine the session has instantiated.
+func (s *Session) invalidateStale() {
+	s.mu.Lock()
+	engines := make([]*engine.Engine, 0, len(s.engines)+len(s.overrides))
+	for _, e := range s.engines {
+		engines = append(engines, e)
+	}
+	for _, e := range s.overrides {
+		engines = append(engines, e)
+	}
+	s.mu.Unlock()
+	for _, e := range engines {
+		e.InvalidateRel(s.rel)
+	}
+}
+
+// View runs fn with the session's relation under the dataset read
+// lock, so concurrent mutations cannot interleave with fn's reads —
+// the consistency a serving layer needs when it materializes result
+// tuples after a solve. fn must not mutate the dataset or call
+// Execute/Prepare/mutation methods (the lock is not reentrant).
+func (s *Session) View(fn func(rel *relation.Relation)) {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	fn(s.rel)
+}
+
+// MaintStats sums the partition-maintenance counters across every warm
+// partitioning of the session (zero until the first mutation touches a
+// built partitioning). Rebuilds staying at zero is the contract that
+// ingestion never repartitions on the hot path.
+func (s *Session) MaintStats() MaintStats {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	s.mu.Lock()
+	parts := make([]*lazyPart, 0, len(s.parts))
+	for _, lp := range s.parts {
+		parts = append(parts, lp)
+	}
+	s.mu.Unlock()
+	var agg MaintStats
+	for _, lp := range parts {
+		if lp.maint == nil {
+			continue
+		}
+		st := lp.maint.Stats()
+		agg.Inserts += st.Inserts
+		agg.Deletes += st.Deletes
+		agg.Updates += st.Updates
+		agg.Splits += st.Splits
+		agg.Merges += st.Merges
+		agg.Heals += st.Heals
+		agg.Rebuilds += st.Rebuilds
+	}
+	return agg
+}
+
+// QualityBound reports the worst multiplicative SketchRefine quality
+// factor across the session's maintained partitionings (1 when nothing
+// has drifted; see partition.Maintainer.QualityBound). maximize selects
+// the sense of the queries being bounded.
+func (s *Session) QualityBound(maximize bool) float64 {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	s.mu.Lock()
+	parts := make([]*lazyPart, 0, len(s.parts))
+	for _, lp := range s.parts {
+		parts = append(parts, lp)
+	}
+	s.mu.Unlock()
+	bound := 1.0
+	for _, lp := range parts {
+		if lp.maint == nil {
+			continue
+		}
+		if b := lp.maint.QualityBound(maximize); b > bound {
+			bound = b
+		}
+	}
+	return bound
+}

@@ -1,0 +1,295 @@
+package paq_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+	"repro/paq"
+)
+
+const mutQuery = `
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 4 AND SUM(P.redshift) <= 5
+MAXIMIZE SUM(P.petrorad)`
+
+// galaxyRow materializes one row of a source relation as a Value slice.
+func galaxyRow(src *relation.Relation, row int) []relation.Value {
+	return src.Row(row)
+}
+
+// TestMutationsMaintainPartitioning drives interleaved inserts and
+// deletes through a SketchRefine session and differentially checks the
+// maintained partitioning against a session rebuilt from scratch over
+// the same final data: identical live rows must yield an objective
+// within the session's reported quality bound, with zero rebuilds.
+func TestMutationsMaintainPartitioning(t *testing.T) {
+	const base, pool = 1200, 400
+	full := workload.Galaxy(base+pool, 21)
+	live := full.Subset("galaxy", full.AllRows()[:base])
+
+	sess, err := paq.Open(paq.Table(live),
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs("redshift", "petrorad"),
+		paq.WithWarmPartitioning(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := sess.Version()
+
+	// Interleave: insert the pool rows four at a time, deleting two
+	// rows for every batch inserted.
+	next := base
+	del := 0
+	for next < base+pool {
+		batch := make([][]relation.Value, 0, 4)
+		for i := 0; i < 4 && next < base+pool; i++ {
+			batch = append(batch, galaxyRow(full, next))
+			next++
+		}
+		if _, _, err := sess.InsertRows(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.DeleteRows([]int{del, del + 1}); err != nil {
+			t.Fatal(err)
+		}
+		del += 2
+	}
+	if v := sess.Version(); v <= v0 {
+		t.Fatalf("version did not advance: %d -> %d", v0, v)
+	}
+	ms := sess.MaintStats()
+	if ms.Inserts == 0 || ms.Deletes == 0 {
+		t.Fatalf("maintenance saw no work: %+v", ms)
+	}
+	if ms.Rebuilds != 0 {
+		t.Fatalf("ingestion repartitioned from scratch %d times", ms.Rebuilds)
+	}
+
+	// Maintained solve.
+	stmt, err := sess.Prepare(mutQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stmt.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuilt-from-scratch solve over the same live rows.
+	rebuilt, err := paq.Open(paq.Table(sess.Rel().Subset("galaxy", sess.Rel().AllRows())),
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs("redshift", "petrorad"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstmt, err := rebuilt.Prepare(mutQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rstmt.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bound := sess.QualityBound(true)
+	if bound < 1 {
+		t.Fatalf("quality bound %g < 1", bound)
+	}
+	ratio := want.Objective / got.Objective
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if math.IsNaN(ratio) || ratio > bound {
+		t.Fatalf("maintained objective %g vs rebuilt %g: ratio %g exceeds quality bound %g",
+			got.Objective, want.Objective, ratio, bound)
+	}
+	t.Logf("maintained %g, rebuilt %g, ratio %.4f (bound %.4g), maint %+v",
+		got.Objective, want.Objective, ratio, bound, ms)
+}
+
+// TestMutationInvalidatesCache: a cached solution must not survive a
+// mutation that changes the answer, and the reclaimed entry is counted.
+func TestMutationInvalidatesCache(t *testing.T) {
+	rel := workload.Galaxy(400, 5)
+	sess, err := paq.Open(paq.Table(rel.Subset("galaxy", rel.AllRows())),
+		paq.WithMethod(paq.MethodDirect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sess.Prepare(mutQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := stmt.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := stmt.Execute(context.Background()); err != nil || !hit.Cached {
+		t.Fatalf("repeat on unchanged data: cached=%v err=%v", hit != nil && hit.Cached, err)
+	}
+
+	// Delete every row of the winning package: the old answer is gone.
+	if _, err := sess.DeleteRows(first.Rows); err != nil {
+		t.Fatal(err)
+	}
+	second, err := stmt.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("post-mutation execution served the stale cached package")
+	}
+	for _, row := range second.Rows {
+		for _, gone := range first.Rows {
+			if row == gone {
+				t.Fatalf("answer package contains deleted row %d", row)
+			}
+		}
+	}
+	cs := sess.CacheStats()[paq.MethodDirect]
+	if cs.Invalidations == 0 {
+		t.Fatalf("no cache invalidations counted: %+v", cs)
+	}
+}
+
+// TestMutationBatchesAtomic: a batch with any invalid member leaves the
+// dataset untouched.
+func TestMutationBatchesAtomic(t *testing.T) {
+	rel := workload.Galaxy(50, 2)
+	sess, err := paq.Open(paq.Table(rel.Subset("galaxy", rel.AllRows())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := sess.Version()
+
+	bad := galaxyRow(sess.Rel(), 0)
+	bad[1] = relation.S("not a number") // ra is Float
+	if _, _, err := sess.InsertRows([][]relation.Value{galaxyRow(sess.Rel(), 1), bad}); err == nil {
+		t.Fatal("insert with a mistyped row must fail")
+	}
+	if sess.Version() != v0 || sess.Rel().Len() != 50 {
+		t.Fatal("failed insert mutated the dataset")
+	}
+
+	if _, err := sess.DeleteRows([]int{1, 1}); err == nil {
+		t.Fatal("duplicate delete in one batch must fail")
+	}
+	if _, err := sess.DeleteRows([]int{99}); err == nil {
+		t.Fatal("out-of-range delete must fail")
+	}
+	if sess.Version() != v0 {
+		t.Fatal("failed delete mutated the dataset")
+	}
+
+	if _, err := sess.UpdateRows([]int{0}, nil); err == nil {
+		t.Fatal("update with mismatched rows/vals must fail")
+	}
+	if _, err := sess.UpdateRows([]int{0}, [][]relation.Value{bad}); err == nil {
+		t.Fatal("mistyped update must fail")
+	}
+	if sess.Version() != v0 {
+		t.Fatal("failed update mutated the dataset")
+	}
+}
+
+// TestUpdateRowsMovesAnswer: updating a tuple's values in place changes
+// the answer (and keeps row identity stable).
+func TestUpdateRowsMovesAnswer(t *testing.T) {
+	rel := relation.New("galaxy", relation.NewSchema(
+		relation.Column{Name: "redshift", Type: relation.Float},
+		relation.Column{Name: "petrorad", Type: relation.Float},
+	))
+	for i := 0; i < 6; i++ {
+		rel.MustAppend(relation.F(0.5), relation.F(float64(i)))
+	}
+	sess, err := paq.Open(paq.Table(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sess.Prepare(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 1
+MAXIMIZE SUM(P.petrorad)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0] != 5 || res.Objective != 5 {
+		t.Fatalf("pre-update answer %v obj %g, want row 5 obj 5", res.Rows, res.Objective)
+	}
+	if _, err := sess.UpdateRows([]int{2}, [][]relation.Value{{relation.F(0.5), relation.F(50)}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = stmt.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0] != 2 || res.Objective != 50 {
+		t.Fatalf("post-update answer %v obj %g, want row 2 obj 50", res.Rows, res.Objective)
+	}
+}
+
+// TestConcurrentExecuteAndMutate hammers a session with concurrent
+// executions and mutations; run under -race this asserts the dataset
+// lock fully serializes the solve path against ingestion.
+func TestConcurrentExecuteAndMutate(t *testing.T) {
+	full := workload.Galaxy(900, 13)
+	sess, err := paq.Open(paq.Table(full.Subset("galaxy", full.AllRows()[:600])),
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithPartitionAttrs("redshift", "petrorad"),
+		paq.WithWarmPartitioning(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sess.Prepare(mutQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := stmt.Execute(context.Background()); err != nil {
+					t.Errorf("execute: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := 600
+		for i := 0; i < 40; i++ {
+			if i%2 == 0 && next < 900 {
+				if _, _, err := sess.InsertRows([][]relation.Value{galaxyRow(full, next)}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				next++
+			} else {
+				if _, err := sess.DeleteRows([]int{i}); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if ms := sess.MaintStats(); ms.Rebuilds != 0 {
+		t.Errorf("concurrent ingestion triggered %d rebuilds", ms.Rebuilds)
+	}
+}

@@ -1,34 +1,3 @@
-// Package paq is the embeddable SDK for package queries — the stable,
-// public entry point to this reproduction of "Scalable Package Queries
-// in Relational Database Systems" (Brucato et al., PVLDB 2016).
-//
-// A package query selects a *set* of tuples (a "package") that
-// collectively satisfy global constraints and optimize a global
-// objective; PaQL is its declarative SQL-like surface language. This
-// package wraps the whole pipeline — parse → ILP translation → strategy
-// selection → solve — behind an explicit prepare/plan/execute
-// lifecycle:
-//
-//	sess, err := paq.Open(paq.CSV("recipes.csv"))
-//	stmt, err := sess.Prepare(`SELECT PACKAGE(R) AS P FROM recipes R ...`)
-//	fmt.Println(stmt.Plan())                    // EXPLAIN: method, why, ILP size
-//	res, err := stmt.Execute(ctx,
-//	    paq.WithIncumbent(func(inc paq.Incumbent) { ... })) // anytime results
-//
-// A Session owns one input relation, lazily warmed offline
-// partitionings (one per distinct attribute set), and per-strategy
-// solution caches. A Stmt is a compiled query with a typed Plan — the
-// chosen evaluation method and why, the partitioning shape, and the ILP
-// size — so EXPLAIN is a first-class operation. Execute streams
-// improving incumbents of the underlying branch-and-bound solve to an
-// optional callback, turning every solve into an anytime computation.
-//
-// Failures are reported through a typed error taxonomy — ErrInfeasible,
-// ErrTimeout, ErrBudget, ErrTypeMismatch, ErrUnsupported, and
-// *ParseError — with full errors.Is/As support; see errors.go.
-//
-// Every consumer in this repository (paqlcli, paqld, the benchmark
-// harness, and all examples) builds on this package alone.
 package paq
 
 import (
@@ -96,6 +65,12 @@ type Session struct {
 	rel *relation.Relation
 	cfg config
 
+	// dataMu serializes dataset mutations (InsertRows, DeleteRows,
+	// UpdateRows — write side) against the solve path (Prepare and
+	// Execute — read side). It is shared by every Clone of the session,
+	// since clones share the relation and its partitionings.
+	dataMu *sync.RWMutex
+
 	mu        sync.Mutex
 	parts     map[string]*lazyPart
 	engines   map[string]*engine.Engine
@@ -105,11 +80,14 @@ type Session struct {
 }
 
 // lazyPart builds one partitioning at most once, racing callers
-// blocking on the same build.
+// blocking on the same build. Once built, maint maintains it
+// incrementally under dataset mutations (created on the first
+// mutation; only ever touched under the session's write lock).
 type lazyPart struct {
-	once sync.Once
-	part *partition.Partitioning
-	err  error
+	once  sync.Once
+	part  *partition.Partitioning
+	err   error
+	maint *partition.Maintainer
 }
 
 // Open loads and validates the input relation and returns a session
@@ -136,6 +114,7 @@ func Open(src Source, opts ...Option) (*Session, error) {
 	s := &Session{
 		rel:     rel,
 		cfg:     cfg,
+		dataMu:  &sync.RWMutex{},
 		parts:   make(map[string]*lazyPart),
 		engines: make(map[string]*engine.Engine),
 	}
@@ -147,8 +126,10 @@ func Open(src Source, opts ...Option) (*Session, error) {
 	return s, nil
 }
 
-// Rel returns the session's input relation (read-only; mutating it
-// invalidates every prepared statement and cached solution).
+// Rel returns the session's input relation. Treat it as read-only:
+// mutate the dataset through InsertRows, DeleteRows, and UpdateRows,
+// which keep the partitionings maintained and the solution caches
+// coherent. Mutating the relation directly bypasses both.
 func (s *Session) Rel() *relation.Relation { return s.rel }
 
 // Clone returns a new session over the same relation with fresh engines
@@ -167,6 +148,7 @@ func (s *Session) Clone(opts ...Option) (*Session, error) {
 	c := &Session{
 		rel:     s.rel,
 		cfg:     cfg,
+		dataMu:  s.dataMu, // clones share the relation, so they share its lock
 		parts:   make(map[string]*lazyPart),
 		engines: make(map[string]*engine.Engine),
 	}
@@ -185,12 +167,13 @@ func (s *Session) Clone(opts ...Option) (*Session, error) {
 	return c, nil
 }
 
-// tau resolves the partition size threshold for this session's relation.
+// tau resolves the partition size threshold for this session's relation
+// (fractional τ is taken of the live row count at build time).
 func (s *Session) tau() int {
 	if s.cfg.tauAbs > 0 {
 		return s.cfg.tauAbs
 	}
-	return int(float64(s.rel.Len())*s.cfg.tauFrac) + 1
+	return int(float64(s.rel.Live())*s.cfg.tauFrac) + 1
 }
 
 // partitionAttrsFor resolves the partitioning attributes for a query:
@@ -368,6 +351,7 @@ func (s *Session) CacheStats() map[Method]CacheStats {
 			agg.Hits += cs.Hits
 			agg.Misses += cs.Misses
 			agg.Evictions += cs.Evictions
+			agg.Invalidations += cs.Invalidations
 			agg.Entries += cs.Entries
 		}
 		out[m] = agg

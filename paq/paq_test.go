@@ -62,15 +62,16 @@ func TestMealPlannerGolden(t *testing.T) {
 	}
 	plan := stmt.Plan()
 	want := paq.Plan{
-		Method:      paq.MethodDirect,
-		Reason:      "auto: 8 eligible tuples fit a single ILP (threshold 2000)",
-		Relation:    "Recipes",
-		Rows:        10,
-		Variables:   8, // the gluten-free tuples after WHERE elimination
-		Constraints: 3, // COUNT = 3, plus BETWEEN lowered to GE + LE
-		Repeat:      0,
-		Objective:   "MINIMIZE SUM(P.saturated_fat)",
-		CacheKey:    "08cc537f65da2720",
+		Method:         paq.MethodDirect,
+		Reason:         "auto: 8 eligible tuples fit a single ILP (threshold 2000)",
+		Relation:       "Recipes",
+		Rows:           10,
+		Variables:      8, // the gluten-free tuples after WHERE elimination
+		Constraints:    3, // COUNT = 3, plus BETWEEN lowered to GE + LE
+		Repeat:         0,
+		DatasetVersion: 10, // one bump per appended recipe
+		Objective:      "MINIMIZE SUM(P.saturated_fat)",
+		CacheKey:       "fd5ee7a80348d345",
 	}
 	got := *plan
 	if got != want {

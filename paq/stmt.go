@@ -56,6 +56,11 @@ type Plan struct {
 	Restrictions int `json:"restrictions,omitempty"`
 	// Repeat is the REPEAT bound (-1 = unlimited repetition).
 	Repeat int `json:"repeat"`
+	// DatasetVersion is the dataset version the statement was planned
+	// at. The plan is a snapshot: mutations after Prepare do not re-plan
+	// (Execute still sees the new data — the base relation is recomputed
+	// per solve), but row/variable counts here describe this version.
+	DatasetVersion uint64 `json:"dataset_version"`
 	// Objective renders the optimization criterion ("" for
 	// feasibility-only queries).
 	Objective string `json:"objective,omitempty"`
@@ -73,7 +78,7 @@ func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "method:       %s\n", p.Method)
 	fmt.Fprintf(&b, "reason:       %s\n", p.Reason)
-	fmt.Fprintf(&b, "relation:     %s (%d rows, %d eligible)\n", p.Relation, p.Rows, p.Variables)
+	fmt.Fprintf(&b, "relation:     %s (%d rows, %d eligible, v%d)\n", p.Relation, p.Rows, p.Variables, p.DatasetVersion)
 	fmt.Fprintf(&b, "ilp:          %d variables × %d constraints", p.Variables, p.Constraints)
 	if p.Restrictions > 0 {
 		fmt.Fprintf(&b, " (+%d tuple restrictions)", p.Restrictions)
@@ -117,6 +122,11 @@ func (s *Session) Prepare(query string, opts ...Option) (*Stmt, error) {
 	if err != nil {
 		return nil, mapParseErr(err)
 	}
+	// Translation, method resolution, and planning read the relation and
+	// may build a partitioning; hold the dataset read lock so mutations
+	// cannot interleave.
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	spec, err := translate.Translate(q, s.rel)
 	if err != nil {
 		return nil, mapTranslateErr(err)
@@ -172,15 +182,16 @@ func (st *Stmt) resolveMethod(m Method) error {
 func (st *Stmt) buildPlan() {
 	spec := st.spec
 	plan := &Plan{
-		Method:       st.method,
-		Reason:       st.reason,
-		Relation:     st.sess.rel.Name(),
-		Rows:         st.sess.rel.Len(),
-		Variables:    len(spec.BaseRows()),
-		Constraints:  len(spec.Constraints),
-		Restrictions: len(spec.Restrictions),
-		Repeat:       spec.Repeat,
-		CacheKey:     stableCacheKey(spec),
+		Method:         st.method,
+		Reason:         st.reason,
+		Relation:       st.sess.rel.Name(),
+		Rows:           st.sess.rel.Live(),
+		Variables:      len(spec.BaseRows()),
+		Constraints:    len(spec.Constraints),
+		Restrictions:   len(spec.Restrictions),
+		Repeat:         spec.Repeat,
+		DatasetVersion: st.sess.rel.Version(),
+		CacheKey:       stableCacheKey(spec),
 	}
 	if spec.Objective != nil {
 		plan.Objective = spec.Objective.String()
@@ -206,13 +217,13 @@ func (st *Stmt) QueryAttrs() []string { return st.spec.QueryAttrs() }
 
 // stableCacheKey fingerprints the optimization problem for display. It
 // is the engine's cache key with the relation's memory address (process
-// identity) replaced by its name and size, hashed so EXPLAIN output
-// stays one line; equal keys ⇒ equal problems over identically named
-// relations.
+// identity) replaced by its name, live size, and dataset version,
+// hashed so EXPLAIN output stays one line; equal keys ⇒ equal problems
+// over identically named relations with identical mutation histories.
 func stableCacheKey(spec *core.Spec) string {
 	key := engine.SpecKey(spec)
 	if i := strings.Index(key, ";"); i > 0 {
-		key = fmt.Sprintf("rel=%s/%d%s", spec.Rel.Name(), spec.Rel.Len(), key[i:])
+		key = fmt.Sprintf("rel=%s/%d@v%d%s", spec.Rel.Name(), spec.Rel.Live(), spec.Rel.Version(), key[i:])
 	}
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:8])
