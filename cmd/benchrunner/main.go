@@ -7,8 +7,15 @@
 //	benchrunner -exp fig5 -galaxy 60000 -tau 0.1
 //	benchrunner -exp fig1,fig3,fig9 -timeout 30s
 //
-// Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig6eps.
+// Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig6eps,
+// batch, loadgen, ingest, recover.
 // See EXPERIMENTS.md for what each reproduces and the expected shapes.
+//
+// -results writes every experiment's machine-readable record (p50/p95
+// solve times, recovery/replay costs, warm-start speedups) as JSON —
+// CI runs `-exp recover -results BENCH_results.json` and uploads the
+// file as an artifact, so the perf trajectory is queryable across the
+// repository's history.
 package main
 
 import (
@@ -23,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest,recover) or all")
 		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
 		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -37,6 +44,8 @@ func main() {
 		lgAddr   = flag.String("paqld", "", "loadgen: base URL of a running paqld (empty = start one in-process)")
 		lgN      = flag.Int("loadn", 64, "loadgen: number of concurrent queries")
 		ingestN  = flag.Int("ingestops", 1000, "ingest: interleaved insert/delete operations before the differential check")
+		recoverN = flag.Int("recoverops", 1000, "recover: acknowledged mutations before the randomized crash becomes possible")
+		results  = flag.String("results", "", "write machine-readable experiment results (BENCH_results.json) to this path")
 	)
 	flag.Parse()
 
@@ -89,6 +98,15 @@ func main() {
 		return err
 	})
 	run("fig6eps", func() error { _, err := env.EpsilonRepair(1.0); return err })
+	run("recover", func() error {
+		// Crash a durable store mid-ingest at a randomized point (torn
+		// WAL tail included) and differentially verify the recovered
+		// session against a never-crashed twin: version, row contents,
+		// SketchRefine objectives within the quality bound, zero
+		// acknowledged-mutation loss, zero warm-start repartitions.
+		_, err := env.Recover(bench.RecoverConfig{Ops: *recoverN})
+		return err
+	})
 	run("ingest", func() error {
 		// Apply -ingestops interleaved inserts/deletes to a live Galaxy
 		// session (incremental partition maintenance, zero rebuilds), then
@@ -126,4 +144,12 @@ func main() {
 		}
 		return nil
 	})
+
+	if *results != "" {
+		if err := env.WriteResults(*results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: writing results:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d experiment result(s) to %s\n", len(env.Results()), *results)
+	}
 }

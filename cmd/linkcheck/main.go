@@ -6,11 +6,14 @@
 //
 //	linkcheck README.md docs/*.md
 //
-// For every [text](target) and [text]: target reference it checks that
-// a relative target exists on disk (anchors are checked against the
-// target file's headings, GitHub-slug style). External schemes
-// (http/https/mailto) are not fetched. Exit status 1 lists every broken
-// link.
+// For every inline [text](target) link and reference-style
+// "[label]: target" definition it checks that a relative target exists
+// on disk. Anchors — including intra-document "(#heading)" links — are
+// checked against the target file's headings, GitHub-slug style:
+// lower-cased, punctuation dropped, spaces dashed, and duplicate
+// headings numbered "-1", "-2", … in document order, exactly as GitHub
+// renders them. External schemes (http/https/mailto) are not fetched.
+// Exit status 1 lists every broken link.
 package main
 
 import (
@@ -23,6 +26,9 @@ import (
 
 // linkRe matches inline markdown links; images share the syntax.
 var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// refDefRe matches reference-style link definitions: "[label]: target".
+var refDefRe = regexp.MustCompile(`(?m)^\s{0,3}\[[^\]]+\]:\s+(\S+)`)
 
 // headingRe matches ATX headings for anchor extraction.
 var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
@@ -51,14 +57,24 @@ func slug(heading string) string {
 }
 
 // anchors returns the set of heading anchors of a markdown file.
+// Repeated headings get GitHub's disambiguating "-1", "-2", … suffixes
+// in document order, so a link to the second "## Format" section
+// ("#format-1") resolves while a typo'd suffix does not.
 func anchors(path string) (map[string]bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string]bool)
+	count := make(map[string]int)
 	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
-		out[slug(m[1])] = true
+		s := slug(m[1])
+		if n := count[s]; n > 0 {
+			out[fmt.Sprintf("%s-%d", s, n)] = true
+		} else {
+			out[s] = true
+		}
+		count[s]++
 	}
 	return out, nil
 }
@@ -71,8 +87,14 @@ func checkFile(path string) ([]string, error) {
 	}
 	var broken []string
 	dir := filepath.Dir(path)
+	targets := make([]string, 0, 16)
 	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
-		target := m[1]
+		targets = append(targets, m[1])
+	}
+	for _, m := range refDefRe.FindAllStringSubmatch(string(data), -1) {
+		targets = append(targets, m[1])
+	}
+	for _, target := range targets {
 		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 			continue // external; not fetched
 		}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	paqlcli -data table.csv [-query query.paql | -q "SELECT PACKAGE..."]
-//	        [-append extra.csv] [-method auto|naive|direct|sketchrefine]
+//	        [-data-dir state/] [-append extra.csv]
+//	        [-method auto|naive|direct|sketchrefine]
 //	        [-tau 0.1] [-timeout 60s] [-workers 0] [-racers 1] [-deadline 0]
 //	        [-explain] [-progress] [-out pkg.csv]
 //
@@ -12,6 +13,12 @@
 // written by the datagen tool and relation.WriteCSV. The chosen package is
 // printed with its objective value and optionally saved as CSV.
 //
+// -data-dir makes the session durable: the first run seeds the
+// directory from -data (WAL + snapshot, see docs/PERSISTENCE.md), and
+// later runs reopen it instantly — dataset, version, and warm
+// partitionings recovered from disk, no CSV load and no repartitioning
+// (-data then becomes optional). Ingested rows (-append) persist
+// across runs; the session is flushed with a final snapshot on exit.
 // -append ingests the rows of another CSV (same column types) into the
 // session before solving — the live-dataset path: the partitioning is
 // maintained incrementally and the dataset version advances, exactly as
@@ -42,6 +49,7 @@ import (
 // options collects the command-line configuration of one run.
 type options struct {
 	dataPath   string
+	dataDir    string
 	appendPath string
 	queryPath  string
 	queryText  string
@@ -88,7 +96,8 @@ func exitCode(err error, truncated bool) int {
 
 func main() {
 	var o options
-	flag.StringVar(&o.dataPath, "data", "", "CSV file holding the input relation (required)")
+	flag.StringVar(&o.dataPath, "data", "", "CSV file holding the input relation (required unless -data-dir already holds state)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory: WAL + snapshots; reopens prepared sessions instantly")
 	flag.StringVar(&o.appendPath, "append", "", "CSV file whose rows are ingested into the session before solving")
 	flag.StringVar(&o.queryPath, "query", "", "file holding the PaQL query text")
 	flag.StringVar(&o.queryText, "q", "", "inline PaQL query text")
@@ -118,8 +127,8 @@ func main() {
 }
 
 func run(o options) (truncated bool, err error) {
-	if o.dataPath == "" {
-		return false, usageError{"-data is required"}
+	if o.dataPath == "" && o.dataDir == "" {
+		return false, usageError{"-data is required (or -data-dir with recoverable state)"}
 	}
 	src := o.queryText
 	if src == "" {
@@ -137,17 +146,34 @@ func run(o options) (truncated bool, err error) {
 		return false, usageError{err.Error()}
 	}
 
-	sess, err := paq.Open(paq.CSV(o.dataPath),
+	opts := []paq.Option{
 		paq.WithMethod(method),
 		paq.WithTau(o.tauFrac),
 		paq.WithTimeLimit(o.timeout),
 		paq.WithNodeLimit(o.maxNodes),
 		paq.WithWorkers(o.workers),
 		paq.WithRacers(o.racers),
-	)
+	}
+	var source paq.Source
+	if o.dataPath != "" {
+		source = paq.CSV(o.dataPath)
+	}
+	if o.dataDir != "" {
+		// Durable session: if the directory holds state the CSV is not
+		// even read — the dataset, its version, and its warm
+		// partitionings come back from the snapshot + WAL.
+		opts = append(opts, paq.WithDurability(o.dataDir))
+	}
+	sess, err := paq.Open(source, opts...)
 	if err != nil {
 		return false, err
 	}
+	defer func() {
+		// Flush-on-exit: fold this run's ingested rows into the snapshot.
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if o.appendPath != "" {
 		if err := appendCSV(sess, o.appendPath); err != nil {
 			return false, err

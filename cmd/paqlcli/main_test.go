@@ -152,3 +152,60 @@ MAXIMIZE SUM(P.petrorad)`
 		t.Fatal(err)
 	}
 }
+
+// TestDataDirReopen covers the durable-CLI lifecycle: the first run
+// seeds -data-dir from the CSV and ingests extra rows; the second run
+// reopens the directory alone — no -data — and must see the ingested
+// rows with the partitioning warm-started from disk.
+func TestDataDirReopen(t *testing.T) {
+	data := writeGalaxyCSV(t, 80, 2)
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	extraRel := workload.Galaxy(3, 99)
+	for _, i := range extraRel.AllRows() {
+		if err := extraRel.Set(i, extraRel.Schema().Lookup("petrorad"), relation.F(10_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := filepath.Join(t.TempDir(), "extra.csv")
+	if err := relation.SaveCSV(extraRel, extra); err != nil {
+		t.Fatal(err)
+	}
+
+	query := `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3
+MAXIMIZE SUM(P.petrorad)`
+
+	// Run 1: seed the store and ingest the dominant rows.
+	o := baseOpts(data)
+	o.dataDir = stateDir
+	o.appendPath = extra
+	o.queryText = query
+	o.outPath = filepath.Join(t.TempDir(), "pkg1.csv")
+	if truncated, err := run(o); err != nil || truncated {
+		t.Fatalf("seeding run: truncated=%v err=%v", truncated, err)
+	}
+
+	// Run 2: no -data, no -append — everything comes back from disk,
+	// including the ingested rows.
+	o2 := baseOpts("")
+	o2.dataDir = stateDir
+	o2.queryText = query
+	o2.outPath = filepath.Join(t.TempDir(), "pkg2.csv")
+	if truncated, err := run(o2); err != nil || truncated {
+		t.Fatalf("reopen run: truncated=%v err=%v", truncated, err)
+	}
+	pkg, err := relation.LoadCSV(o2.outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pkg.Schema().Lookup("petrorad")
+	if pkg.Len() != 3 {
+		t.Fatalf("package has %d tuples, want 3", pkg.Len())
+	}
+	for i := 0; i < pkg.Len(); i++ {
+		if pkg.Float(i, col) != 10_000 {
+			t.Fatalf("reopened session lost the ingested rows (petrorad %g)", pkg.Float(i, col))
+		}
+	}
+}

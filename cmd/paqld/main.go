@@ -28,7 +28,17 @@
 //
 // Admission control (-inflight, -queue) sheds overload with 429; each
 // request's deadline maps to context cancellation reaching into the
-// solver; SIGINT/SIGTERM drains in-flight solves before exiting.
+// solver; SIGINT/SIGTERM drains in-flight solves, then flushes every
+// durable dataset (final snapshot) before exiting.
+//
+// With -data-dir, datasets are durable: every mutation batch is
+// write-ahead logged before it is acknowledged, and a restart recovers
+// each dataset — snapshot + WAL replay — with its partitionings
+// warm-started instead of rebuilt. Datasets found under -data-dir that
+// no flag names are recovered and served too. A background maintenance
+// loop (-maintain-every) compacts datasets whose tombstone ratio
+// exceeds 25% and snapshots datasets whose WAL outgrows 8 MiB. See
+// docs/PERSISTENCE.md.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -73,19 +84,22 @@ func main() {
 		maxNodes = flag.Int("maxnodes", paq.DefaultNodeLimit, "solver branch-and-bound node budget per ILP")
 		inflight = flag.Int("inflight", 0, "max concurrently evaluating queries (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "max queries queued beyond -inflight (0 = 4x inflight, -1 = none)")
+		dataDir  = flag.String("data-dir", "", "durability root: per-dataset WAL + snapshots under <dir>/<name> (empty = in-memory only)")
+		maintEv  = flag.Duration("maintain-every", 15*time.Second, "background maintenance cadence (tombstone compaction, WAL-driven snapshots); 0 disables")
 	)
 	flag.Var(&loads, "load", "load a CSV dataset as name=path (repeatable)")
 	flag.Parse()
 
 	if err := run(*addr, loads, *galaxyN, *tpchN, *seed, *tau, *workers, *racers,
-		*timeout, *maxTime, *maxNodes, *inflight, *queue); err != nil {
+		*timeout, *maxTime, *maxNodes, *inflight, *queue, *dataDir, *maintEv); err != nil {
 		fmt.Fprintln(os.Stderr, "paqld:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float64,
-	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue int) error {
+	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue int,
+	dataDir string, maintEvery time.Duration) error {
 	srv := server.New(server.Config{
 		MaxInFlight:    inflight,
 		MaxQueued:      queue,
@@ -100,33 +114,68 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		TimeLimit: maxTime,
 		MaxNodes:  maxNodes,
 		Gap:       1e-4,
+		DataDir:   dataDir,
 	}
 
 	registered := 0
-	register := func(name string, rel *relation.Relation) error {
-		t0 := time.Now()
-		ds, err := server.NewDataset(name, rel, dcfg)
-		if err != nil {
-			return err
-		}
+	announce := func(name string, ds *server.Dataset, t0 time.Time) error {
 		srv.Register(ds)
 		registered++
 		pi, err := ds.Partitioning()
 		if err != nil {
 			return fmt.Errorf("dataset %q: partitioning: %w", name, err)
 		}
+		if d := ds.DurStats(); d.Durable && (d.ReplayedOps > 0 || d.WarmPartitionings > 0) {
+			log.Printf("dataset %q: recovered %d rows at version %d (%d WAL ops replayed, %d partitioning(s) warm-started) in %v",
+				name, ds.Rel().Live(), ds.Version(), d.ReplayedOps, d.WarmPartitionings,
+				time.Since(t0).Round(time.Millisecond))
+			return nil
+		}
 		log.Printf("dataset %q: %d rows, %d groups, partitioned in %v",
-			name, rel.Len(), pi.Groups, time.Since(t0).Round(time.Millisecond))
+			name, ds.Rel().Live(), pi.Groups, time.Since(t0).Round(time.Millisecond))
 		return nil
+	}
+	hasState := func(name string) bool {
+		if dataDir == "" {
+			return false
+		}
+		_, err := os.Stat(filepath.Join(dataDir, name, "snapshot.paqsnap"))
+		return err == nil
+	}
+	// load runs only when no durable state exists for the dataset:
+	// recovery would discard the seed relation unread, so generating
+	// 10⁵ synthetic rows (or re-reading a CSV) on every warm restart
+	// would waste exactly the boot time durability is meant to save.
+	register := func(name string, load func() (*relation.Relation, error)) error {
+		t0 := time.Now()
+		var ds *server.Dataset
+		var err error
+		if hasState(name) {
+			ds, err = server.OpenDataset(name, dcfg)
+		} else {
+			rel, lerr := load()
+			if lerr != nil {
+				return lerr
+			}
+			ds, err = server.NewDataset(name, rel, dcfg)
+		}
+		if err != nil {
+			return err
+		}
+		return announce(name, ds, t0)
 	}
 
 	if galaxyN > 0 {
-		if err := register("galaxy", workload.Galaxy(galaxyN, seed)); err != nil {
+		if err := register("galaxy", func() (*relation.Relation, error) {
+			return workload.Galaxy(galaxyN, seed), nil
+		}); err != nil {
 			return err
 		}
 	}
 	if tpchN > 0 {
-		if err := register("tpch", workload.TPCH(tpchN, seed)); err != nil {
+		if err := register("tpch", func() (*relation.Relation, error) {
+			return workload.TPCH(tpchN, seed), nil
+		}); err != nil {
 			return err
 		}
 	}
@@ -135,16 +184,62 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("bad -load %q, want name=path", spec)
 		}
-		rel, err := relation.LoadCSV(path)
-		if err != nil {
-			return fmt.Errorf("loading %q: %w", path, err)
-		}
-		if err := register(name, rel); err != nil {
+		if err := register(name, func() (*relation.Relation, error) {
+			rel, err := relation.LoadCSV(path)
+			if err != nil {
+				return nil, fmt.Errorf("loading %q: %w", path, err)
+			}
+			return rel, nil
+		}); err != nil {
 			return err
 		}
 	}
+	if dataDir != "" {
+		// Recover datasets left on disk by earlier runs that no flag
+		// names this time: a restarted service must not silently drop
+		// the data it was trusted with.
+		entries, err := os.ReadDir(dataDir)
+		if err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("scanning -data-dir: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() || srv.Dataset(name) != nil {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dataDir, name, "snapshot.paqsnap")); err != nil {
+				continue // not a dataset store (yet)
+			}
+			t0 := time.Now()
+			ds, err := server.OpenDataset(name, dcfg)
+			if err != nil {
+				return fmt.Errorf("recovering dataset %q: %w", name, err)
+			}
+			if err := announce(name, ds, t0); err != nil {
+				return err
+			}
+		}
+	}
 	if registered == 0 {
-		return fmt.Errorf("no datasets (use -galaxy/-tpch or -load)")
+		return fmt.Errorf("no datasets (use -galaxy/-tpch, -load, or a -data-dir with recoverable state)")
+	}
+
+	maintDone := make(chan struct{})
+	if maintEvery > 0 {
+		ticker := time.NewTicker(maintEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					for _, action := range srv.MaintainOnce() {
+						log.Printf("maintenance: %s", action)
+					}
+				case <-maintDone:
+					return
+				}
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -167,8 +262,21 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 
 	ctx, cancel := context.WithTimeout(context.Background(), maxTime+10*time.Second)
 	defer cancel()
+	close(maintDone)
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain: %v", err)
 	}
-	return httpSrv.Shutdown(ctx)
+	err := httpSrv.Shutdown(ctx)
+	// After the drain nothing is mutating: flush every durable dataset
+	// with a final snapshot so the restart replays nothing and loses
+	// nothing.
+	if cerr := srv.CloseDatasets(); cerr != nil {
+		log.Printf("flush: %v", cerr)
+		if err == nil {
+			err = cerr
+		}
+	} else if dataDir != "" {
+		log.Printf("flushed durable datasets to %s", dataDir)
+	}
+	return err
 }

@@ -106,6 +106,9 @@ type Env struct {
 	// sessions caches one uncached-solve session per query table,
 	// partitioned on the workload attributes at the default τ.
 	sessions map[Dataset]map[string]*paq.Session
+	// results accumulates machine-readable experiment records (see
+	// Record/WriteResults).
+	results []ExperimentResult
 }
 
 // NewEnv generates the datasets and workloads. Workload construction can

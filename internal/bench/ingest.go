@@ -195,6 +195,27 @@ func (e *Env) Ingest(cfg IngestConfig) (*IngestResult, error) {
 	res.Elapsed = time.Since(start)
 	fmt.Fprintf(e.cfg.Out, "quality bound %.4g; %d queries differentially checked in %v\n",
 		res.Bound, len(res.Queries), res.Elapsed.Round(time.Millisecond))
+
+	var solveMS []float64
+	for _, q := range res.Queries {
+		if q.Maintained.Err == nil {
+			solveMS = append(solveMS, float64(q.Maintained.Time)/float64(time.Millisecond))
+		}
+	}
+	e.Record(ExperimentResult{
+		Experiment: "ingest",
+		P50SolveMS: percentile(solveMS, 0.50),
+		P95SolveMS: percentile(solveMS, 0.95),
+		Extra: map[string]float64{
+			"ops":           float64(res.Ops),
+			"inserted":      float64(res.Inserted),
+			"deleted":       float64(res.Deleted),
+			"live_rows":     float64(res.LiveRows),
+			"quality_bound": res.Bound,
+			"splits":        float64(res.Maint.Splits),
+			"merges":        float64(res.Maint.Merges),
+		},
+	})
 	return res, firstViolation
 }
 

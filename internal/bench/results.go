@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+)
+
+// ExperimentResult is one machine-readable experiment record: the
+// perf-trajectory unit persisted to BENCH_results.json (CI uploads the
+// file as an artifact, so the numbers accumulate across the repo's
+// history instead of scrolling away in logs).
+type ExperimentResult struct {
+	Experiment string `json:"experiment"`
+	// P50SolveMS / P95SolveMS summarize the experiment's solve-time
+	// distribution (milliseconds).
+	P50SolveMS float64 `json:"p50_solve_ms,omitempty"`
+	P95SolveMS float64 `json:"p95_solve_ms,omitempty"`
+	// RecoveryMS is the crash-to-serving time (snapshot load + WAL
+	// replay + warm-start); ReplayedOps the row mutations replayed.
+	RecoveryMS  float64 `json:"recovery_ms,omitempty"`
+	ReplayedOps uint64  `json:"replayed_ops,omitempty"`
+	// RebuildMS is the cost of the alternative the warm-start avoided —
+	// loading the data and repartitioning from scratch — and
+	// WarmStartSpeedup the ratio RebuildMS/RecoveryMS.
+	RebuildMS        float64 `json:"rebuild_ms,omitempty"`
+	WarmStartSpeedup float64 `json:"warmstart_vs_rebuild_speedup,omitempty"`
+	// Extra carries experiment-specific scalars (op counts, bounds,
+	// ratios) that don't warrant first-class fields.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// ResultsFile is the BENCH_results.json document.
+type ResultsFile struct {
+	// Config echoes the experiment scale so trajectories compare
+	// like with like.
+	Config struct {
+		GalaxyN int   `json:"galaxy_n"`
+		TPCHN   int   `json:"tpch_n"`
+		Seed    int64 `json:"seed"`
+	} `json:"config"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// Record appends one experiment's machine-readable result (see
+// WriteResults). Non-finite metrics — a quality bound of +Inf when the
+// data admits no multiplicative guarantee, a NaN ratio from a failed
+// solve — cannot ride in JSON and are dropped from Extra (first-class
+// fields are zeroed), keeping the file valid without masking the rest
+// of the record.
+func (e *Env) Record(r ExperimentResult) {
+	for _, f := range []*float64{&r.P50SolveMS, &r.P95SolveMS, &r.RecoveryMS, &r.RebuildMS, &r.WarmStartSpeedup} {
+		if math.IsNaN(*f) || math.IsInf(*f, 0) {
+			*f = 0
+		}
+	}
+	for k, v := range r.Extra {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			delete(r.Extra, k)
+		}
+	}
+	e.results = append(e.results, r)
+}
+
+// Results returns the experiment results recorded so far.
+func (e *Env) Results() []ExperimentResult {
+	return append([]ExperimentResult(nil), e.results...)
+}
+
+// WriteResults persists every recorded experiment result as indented
+// JSON (benchrunner's -results flag routes it to BENCH_results.json).
+func (e *Env) WriteResults(path string) error {
+	var f ResultsFile
+	f.Config.GalaxyN = e.cfg.GalaxyN
+	f.Config.TPCHN = e.cfg.TPCHN
+	f.Config.Seed = e.cfg.Seed
+	f.Experiments = e.results
+	if f.Experiments == nil {
+		f.Experiments = []ExperimentResult{}
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// percentile returns the p-th percentile (0 ≤ p ≤ 1) of the series by
+// nearest-rank, 0 for an empty series.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p*float64(len(s)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(s) {
+		i = len(s)
+	}
+	return s[i-1]
+}

@@ -138,6 +138,12 @@ func (m *Maintainer) Partitioning() *Partitioning { return m.p }
 // Stats returns the maintenance counters.
 func (m *Maintainer) Stats() MaintStats { return m.stats }
 
+// RestoreStats overwrites the maintenance counters — the warm-start
+// path: a maintainer reconstructed from a durability snapshot continues
+// the counters of the maintainer it replaces, so a recovered service
+// reports cumulative (not since-boot) maintenance work.
+func (m *Maintainer) RestoreStats(st MaintStats) { m.stats = st }
+
 // exactState computes a group's bookkeeping from scratch and overwrites
 // its centroid and radius with exact values.
 func (m *Maintainer) exactState(g *Group) *gState {

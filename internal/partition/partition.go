@@ -338,6 +338,102 @@ func buildReps(p *Partitioning, workers int) *relation.Relation {
 // NumGroups returns the number of groups m.
 func (p *Partitioning) NumGroups() int { return len(p.Groups) }
 
+// Remap rewrites every row index through the remap produced by
+// relation.Compact (old index → new index, -1 for physically removed
+// rows) and rebuilds the gid map for the compacted relation. Group
+// membership, centroids, radii, and representatives are untouched:
+// compaction only renumbers rows, it does not move tuples between
+// groups. A group still naming a removed row is an invariant violation
+// (tombstoned rows must have been maintained out of their groups before
+// compaction) and is reported as an error with the partitioning left in
+// an unspecified state.
+//
+// Compaction preserves relative row order (survivors shift down), so
+// sorted member lists stay sorted.
+func (p *Partitioning) Remap(remap []int) error {
+	newLen := 0
+	for _, n := range remap {
+		if n >= 0 {
+			newLen++
+		}
+	}
+	gid := make([]int, newLen)
+	for i := range gid {
+		gid[i] = -1
+	}
+	for g := range p.Groups {
+		rows := p.Groups[g].Rows
+		for i, r := range rows {
+			if r < 0 || r >= len(remap) || remap[r] < 0 {
+				return fmt.Errorf("partition: remap of group %d member %d, which was compacted away", g, r)
+			}
+			rows[i] = remap[r]
+			gid[rows[i]] = g
+		}
+	}
+	p.GID = gid
+	return nil
+}
+
+// FromGroups reconstructs a partitioning from a serialized group set —
+// the warm-start path of the durability subsystem: groups (member rows,
+// centroids, radii) come from a snapshot, and the gid map and
+// representative relation are rebuilt from them without any quad-tree
+// recursion. The relation must already hold the snapshot's rows; the
+// groups must cover exactly its live rows (verified cheaply here; the
+// caller can run CheckInvariants for the full audit).
+func FromGroups(rel *relation.Relation, attrs []string, tau int, omega float64, workers int, groups []Group) (*Partitioning, error) {
+	if tau < 1 {
+		return nil, fmt.Errorf("partition: size threshold τ must be ≥ 1, got %d", tau)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("partition: no partitioning attributes")
+	}
+	attrIdx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx, err := rel.Schema().MustLookup(a)
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Schema().Col(idx).Type.Numeric() {
+			return nil, fmt.Errorf("partition: attribute %q is not numeric", a)
+		}
+		attrIdx[i] = idx
+	}
+	p := &Partitioning{
+		Rel:     rel,
+		Attrs:   append([]string(nil), attrs...),
+		AttrIdx: attrIdx,
+		GID:     make([]int, rel.Len()),
+		Groups:  groups,
+		Tau:     tau,
+		Omega:   omega,
+		Workers: workers,
+	}
+	for i := range p.GID {
+		p.GID[i] = -1
+	}
+	covered := 0
+	for gid := range p.Groups {
+		p.Groups[gid].ID = gid
+		for _, r := range p.Groups[gid].Rows {
+			if r < 0 || r >= rel.Len() || rel.Deleted(r) {
+				return nil, fmt.Errorf("partition: restored group %d names invalid row %d", gid, r)
+			}
+			if p.GID[r] != -1 {
+				return nil, fmt.Errorf("partition: restored row %d is in groups %d and %d", r, p.GID[r], gid)
+			}
+			p.GID[r] = gid
+			covered++
+		}
+	}
+	if covered != rel.Live() {
+		return nil, fmt.Errorf("partition: restored groups cover %d of %d live rows", covered, rel.Live())
+	}
+	p.Reps = buildReps(p, workers)
+	return p, nil
+}
+
 // Restrict derives a partitioning for a subset of the rows, keeping the
 // group structure and representatives and dropping rows outside the
 // subset. This is how the paper derives partitionings for scaled-down

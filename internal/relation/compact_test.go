@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"testing"
+)
+
+func compactFixture(t *testing.T, n int) *Relation {
+	t.Helper()
+	r := New("t", NewSchema(
+		Column{Name: "id", Type: Int},
+		Column{Name: "x", Type: Float},
+		Column{Name: "tag", Type: String},
+	))
+	for i := 0; i < n; i++ {
+		r.MustAppend(I(int64(i)), F(float64(i)*1.5), S(string(rune('a'+i%26))))
+	}
+	return r
+}
+
+func TestCompactRemovesTombstonesAndRemaps(t *testing.T) {
+	r := compactFixture(t, 10)
+	for _, row := range []int{0, 3, 4, 9} {
+		if err := r.Delete(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vBefore := r.Version()
+	remap := r.Compact()
+	if remap == nil {
+		t.Fatal("Compact returned nil remap with tombstones present")
+	}
+	if r.Version() != vBefore+1 {
+		t.Fatalf("Compact bumped version %d → %d, want exactly one bump", vBefore, r.Version())
+	}
+	if r.Len() != 6 || r.Live() != 6 {
+		t.Fatalf("Len/Live = %d/%d after compact, want 6/6", r.Len(), r.Live())
+	}
+	// Survivors keep relative order; remap points at their new slots.
+	wantIDs := []int64{1, 2, 5, 6, 7, 8}
+	for i, id := range wantIDs {
+		if got, _ := r.Value(i, 0).Int(); got != id {
+			t.Errorf("row %d id = %d, want %d", i, got, id)
+		}
+	}
+	for old, new := range remap {
+		switch old {
+		case 0, 3, 4, 9:
+			if new != -1 {
+				t.Errorf("remap[%d] = %d, want -1 (deleted)", old, new)
+			}
+		default:
+			if got, _ := r.Value(new, 0).Int(); got != int64(old) {
+				t.Errorf("remap[%d] = %d holds id %d", old, new, got)
+			}
+		}
+	}
+	// The tombstone state is fully reset: every row is live again.
+	for i := 0; i < r.Len(); i++ {
+		if r.Deleted(i) {
+			t.Errorf("row %d still tombstoned after compact", i)
+		}
+	}
+}
+
+func TestCompactNoTombstonesIsNoop(t *testing.T) {
+	r := compactFixture(t, 5)
+	v := r.Version()
+	if remap := r.Compact(); remap != nil {
+		t.Fatalf("Compact on a tombstone-free relation returned remap %v", remap)
+	}
+	if r.Version() != v {
+		t.Fatalf("no-op Compact bumped version %d → %d", v, r.Version())
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d after no-op compact, want 5", r.Len())
+	}
+}
+
+// TestCompactShrinksResidentRows is the regression test for unbounded
+// tombstone growth: after a heavy delete workload, Compact must shrink
+// the memory-resident physical row count (Len), not just the live count.
+func TestCompactShrinksResidentRows(t *testing.T) {
+	const n = 2000
+	r := compactFixture(t, n)
+	for i := 0; i < n; i += 2 {
+		if err := r.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d before compact, want %d (tombstones keep physical rows)", r.Len(), n)
+	}
+	r.Compact()
+	if r.Len() != n/2 {
+		t.Fatalf("Len = %d after compact, want %d (tombstoned rows reclaimed)", r.Len(), n/2)
+	}
+	if c := r.FloatColumn(1); len(c) != n/2 {
+		t.Fatalf("float column still holds %d cells, want %d", len(c), n/2)
+	}
+	// Appends after compaction land at the compacted end.
+	r.MustAppend(I(int64(n)), F(0), S("z"))
+	if r.Len() != n/2+1 || r.Live() != n/2+1 {
+		t.Fatalf("Len/Live = %d/%d after post-compact append", r.Len(), r.Live())
+	}
+}

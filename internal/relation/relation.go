@@ -225,6 +225,13 @@ func (r *Relation) Live() int { return r.n - r.nDeleted }
 // bracket an unchanged relation.
 func (r *Relation) Version() uint64 { return r.version }
 
+// RestoreVersion overwrites the mutation counter. It exists solely for
+// the durability subsystem, which reconstructs a relation from a
+// snapshot row by row: the rebuild's own Appends must not read as new
+// mutations — the persisted version is authoritative, and WAL replay
+// depends on it lining up.
+func (r *Relation) RestoreVersion(v uint64) { r.version = v }
+
 // Deleted reports whether a row has been tombstoned.
 func (r *Relation) Deleted(row int) bool {
 	return r.deleted != nil && r.deleted[row]
@@ -497,6 +504,72 @@ func (r *Relation) Subset(name string, rows []int) *Relation {
 		_ = out.AppendFrom(r, i)
 	}
 	return out
+}
+
+// Compact physically removes every tombstoned row, renumbering the
+// survivors downward while preserving their relative order, and returns
+// the remap from old to new row indices (-1 for removed rows). It
+// returns nil — and leaves the relation untouched, version included —
+// when there is nothing to reclaim.
+//
+// Compact is the one operation that breaks the "row indices are stable"
+// contract, so it must only run at explicit reclamation points (the
+// durability subsystem's snapshot/compaction cycle, or a service
+// shedding tombstone memory): every consumer holding row indices —
+// partitionings, cached packages, clients — must be remapped or
+// invalidated by the caller. The version is bumped exactly once, so
+// version-keyed caches stop matching automatically.
+func (r *Relation) Compact() []int {
+	if r.nDeleted == 0 {
+		return nil
+	}
+	remap := make([]int, r.n)
+	next := 0
+	for i := 0; i < r.n; i++ {
+		if r.deleted[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = next
+		next++
+	}
+	// Copy survivors into right-sized fresh arrays: filtering in place
+	// would keep the old backing capacity (and, for TEXT columns, the
+	// tombstoned rows' string headers) reachable — the memory this
+	// operation exists to release.
+	for _, c := range r.cols {
+		switch c.typ {
+		case Float:
+			kept := make([]float64, 0, next)
+			for i, v := range c.f {
+				if remap[i] >= 0 {
+					kept = append(kept, v)
+				}
+			}
+			c.f = kept
+		case Int:
+			kept := make([]int64, 0, next)
+			for i, v := range c.i {
+				if remap[i] >= 0 {
+					kept = append(kept, v)
+				}
+			}
+			c.i = kept
+		default:
+			kept := make([]string, 0, next)
+			for i, v := range c.s {
+				if remap[i] >= 0 {
+					kept = append(kept, v)
+				}
+			}
+			c.s = kept
+		}
+	}
+	r.n = next
+	r.deleted = nil
+	r.nDeleted = 0
+	r.version++
+	return remap
 }
 
 // AllRows returns the indices of every live row, in ascending order

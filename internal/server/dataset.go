@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/relation"
@@ -44,19 +45,17 @@ type DatasetConfig struct {
 	// query. 0 or 1 keeps evaluation deterministic; the differential load
 	// checker requires 1.
 	Racers int
+	// DataDir, when non-empty, makes the dataset durable: its WAL and
+	// snapshots live in DataDir/<name>. If that directory already holds
+	// state, registration recovers from it — the recovered dataset wins
+	// over the relation passed to NewDataset (which then only seeds a
+	// brand-new store).
+	DataDir string
 }
 
-// options lowers the config to paq session options.
-func (c DatasetConfig) options(rel *relation.Relation) []paq.Option {
-	attrs := c.Attrs
-	if len(attrs) == 0 {
-		for i := 0; i < rel.Schema().Len(); i++ {
-			col := rel.Schema().Col(i)
-			if col.Type.Numeric() {
-				attrs = append(attrs, col.Name)
-			}
-		}
-	}
+// budgetOptions lowers the relation-independent configuration (solver
+// budgets, partitioning shape, concurrency) to paq session options.
+func (c DatasetConfig) budgetOptions() []paq.Option {
 	tau := c.TauFrac
 	if tau <= 0 {
 		tau = 0.10
@@ -78,11 +77,26 @@ func (c DatasetConfig) options(rel *relation.Relation) []paq.Option {
 		paq.WithRacers(c.Racers),
 		paq.WithWarmPartitioning(),
 	}
-	if len(attrs) > 0 {
-		opts = append(opts, paq.WithPartitionAttrs(attrs...))
-	}
 	if c.MaxNodes > 0 {
 		opts = append(opts, paq.WithNodeLimit(c.MaxNodes))
+	}
+	return opts
+}
+
+// options lowers the config to paq session options.
+func (c DatasetConfig) options(rel *relation.Relation) []paq.Option {
+	attrs := c.Attrs
+	if len(attrs) == 0 {
+		for i := 0; i < rel.Schema().Len(); i++ {
+			col := rel.Schema().Col(i)
+			if col.Type.Numeric() {
+				attrs = append(attrs, col.Name)
+			}
+		}
+	}
+	opts := c.budgetOptions()
+	if len(attrs) > 0 {
+		opts = append(opts, paq.WithPartitionAttrs(attrs...))
 	}
 	return opts
 }
@@ -98,7 +112,10 @@ type Dataset struct {
 
 // NewDataset builds a served dataset: it opens a paq session over the
 // relation with an eagerly warmed partitioning (the expensive part of
-// registration) and per-method solution caches.
+// registration) and per-method solution caches. With DataDir set the
+// session is durable — and if the dataset's store directory already
+// holds a snapshot, the recovered state replaces rel entirely (its
+// partitionings warm-start from disk, skipping the offline build).
 func NewDataset(name string, rel *relation.Relation, cfg DatasetConfig) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("server: dataset has no name")
@@ -106,7 +123,35 @@ func NewDataset(name string, rel *relation.Relation, cfg DatasetConfig) (*Datase
 	if rel == nil || rel.Len() == 0 {
 		return nil, fmt.Errorf("server: dataset %q is empty", name)
 	}
-	sess, err := paq.Open(paq.Table(rel), cfg.options(rel)...)
+	opts := cfg.options(rel)
+	if cfg.DataDir != "" {
+		opts = append(opts, paq.WithDurability(filepath.Join(cfg.DataDir, name)))
+	}
+	sess, err := paq.Open(paq.Table(rel), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("server: dataset %q: %w", name, err)
+	}
+	return &Dataset{name: name, sess: sess}, nil
+}
+
+// OpenDataset recovers a durable dataset from DataDir/<name> alone — no
+// seed relation — for datasets discovered on disk at boot that no flag
+// or config mentions anymore. The schema (and with it the partitioning
+// attribute universe) comes from the snapshot; cfg supplies the solver
+// budgets.
+func OpenDataset(name string, cfg DatasetConfig) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset has no name")
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: dataset %q: OpenDataset needs a data dir", name)
+	}
+	// options(nil) would resolve the partitioning attribute default from
+	// the relation, which is not loaded yet; the recovered partitionings
+	// carry their own attribute sets, so the explicit-attrs option is
+	// simply omitted.
+	sess, err := paq.Open(nil, append(cfg.budgetOptions(),
+		paq.WithDurability(filepath.Join(cfg.DataDir, name)))...)
 	if err != nil {
 		return nil, fmt.Errorf("server: dataset %q: %w", name, err)
 	}
@@ -141,6 +186,14 @@ func (d *Dataset) Partitioning() (*paq.PartitionInfo, error) { return d.sess.Par
 // Version returns the dataset's current version (bumped by every row
 // mutation).
 func (d *Dataset) Version() uint64 { return d.sess.Version() }
+
+// DurStats reports the dataset's durability state (Durable=false for
+// in-memory datasets).
+func (d *Dataset) DurStats() paq.DurStats { return d.sess.DurStats() }
+
+// Close flushes a durable dataset (final snapshot) and closes its
+// store; a no-op for in-memory datasets.
+func (d *Dataset) Close() error { return d.sess.Close() }
 
 // Methods lists the methods the dataset serves, sorted.
 func (d *Dataset) Methods() []string {

@@ -59,6 +59,15 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines; 0 means 5m.
 	MaxTimeout time.Duration
+	// TombstoneRatio is the tombstoned fraction of a dataset's physical
+	// rows above which the maintenance pass compacts it (reclaiming the
+	// memory and, on durable datasets, snapshotting the result). 0 means
+	// 0.25; negative disables ratio-driven compaction.
+	TombstoneRatio float64
+	// WALMaxBytes is the write-ahead log size above which the
+	// maintenance pass snapshots a durable dataset (truncating the log).
+	// 0 means 8 MiB; negative disables size-driven snapshots.
+	WALMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.TombstoneRatio == 0 {
+		c.TombstoneRatio = 0.25
+	}
+	if c.WALMaxBytes == 0 {
+		c.WALMaxBytes = 8 << 20
 	}
 	return c
 }
@@ -124,6 +139,9 @@ type counters struct {
 	rowsInserted atomic.Uint64
 	rowsDeleted  atomic.Uint64
 	rowsUpdated  atomic.Uint64
+	// Background-maintenance counters (MaintainOnce).
+	compactions atomic.Uint64
+	snapshots   atomic.Uint64
 }
 
 // New creates an empty server.
@@ -224,6 +242,72 @@ func (s *Server) isDraining() bool {
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
 	return s.draining
+}
+
+// MaintainOnce runs one background-maintenance pass over every
+// dataset: a dataset whose tombstone ratio exceeds the configured
+// threshold is compacted (reclaiming resident memory), and a durable
+// dataset whose WAL has outgrown WALMaxBytes is snapshotted (folding
+// the log away). It returns a human-readable action log, one entry per
+// dataset acted on. paqld calls it on a timer; tests call it directly.
+func (s *Server) MaintainOnce() []string {
+	s.mu.RLock()
+	datasets := make([]*Dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		datasets = append(datasets, ds)
+	}
+	s.mu.RUnlock()
+	var actions []string
+	for _, ds := range datasets {
+		// Len/Live are plain fields mutated under the session's write
+		// lock; read them under the read side, not bare (this runs on a
+		// timer goroutine concurrent with HTTP mutations).
+		var phys, live int
+		ds.Session().View(func(rel *relation.Relation) { phys, live = rel.Len(), rel.Live() })
+		if s.cfg.TombstoneRatio > 0 && phys > 0 &&
+			float64(phys-live)/float64(phys) > s.cfg.TombstoneRatio {
+			reclaimed, err := ds.Session().Compact()
+			if err != nil {
+				actions = append(actions, fmt.Sprintf("%s: compact failed: %v", ds.Name(), err))
+				continue
+			}
+			s.ctr.compactions.Add(1)
+			actions = append(actions, fmt.Sprintf("%s: compacted %d tombstoned rows (%d resident)", ds.Name(), reclaimed, phys-reclaimed))
+			continue // a durable compact already snapshotted (empty WAL)
+		}
+		d := ds.DurStats()
+		needSnap := d.Durable && (d.Poisoned ||
+			(s.cfg.WALMaxBytes > 0 && d.WALBytes > s.cfg.WALMaxBytes))
+		if needSnap {
+			if err := ds.Session().Snapshot(); err != nil {
+				actions = append(actions, fmt.Sprintf("%s: snapshot failed: %v", ds.Name(), err))
+				continue
+			}
+			s.ctr.snapshots.Add(1)
+			actions = append(actions, fmt.Sprintf("%s: snapshotted (WAL was %d bytes)", ds.Name(), d.WALBytes))
+		}
+	}
+	return actions
+}
+
+// CloseDatasets flushes every durable dataset (final snapshot) and
+// closes its store — the last step of a graceful shutdown, after the
+// drain: no acknowledged mutation may be lost across the restart. The
+// first error is returned; every dataset is still attempted.
+func (s *Server) CloseDatasets() error {
+	s.mu.RLock()
+	datasets := make([]*Dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		datasets = append(datasets, ds)
+	}
+	s.mu.RUnlock()
+	var first error
+	for _, ds := range datasets {
+		if err := ds.Close(); err != nil && first == nil {
+			first = fmt.Errorf("server: closing dataset %q: %w", ds.Name(), err)
+		}
+	}
+	return first
 }
 
 // QueryRequest is the body of POST /query.
@@ -561,10 +645,14 @@ type StatsResponse struct {
 	Incumbents uint64 `json:"incumbents_total"`
 	// Mutations counts POST /datasets/{name}/rows requests; RowsInserted
 	// / RowsDeleted / RowsUpdated the rows they carried.
-	Mutations    uint64                  `json:"mutations"`
-	RowsInserted uint64                  `json:"rows_inserted"`
-	RowsDeleted  uint64                  `json:"rows_deleted"`
-	RowsUpdated  uint64                  `json:"rows_updated"`
+	Mutations    uint64 `json:"mutations"`
+	RowsInserted uint64 `json:"rows_inserted"`
+	RowsDeleted  uint64 `json:"rows_deleted"`
+	RowsUpdated  uint64 `json:"rows_updated"`
+	// Compactions and Snapshots count background-maintenance actions
+	// (tombstone reclamation and WAL-driven snapshots).
+	Compactions  uint64                  `json:"compactions"`
+	Snapshots    uint64                  `json:"snapshots"`
 	InFlight     int                     `json:"in_flight"`
 	Queued       int                     `json:"queued"`
 	Draining     bool                    `json:"draining"`
@@ -583,8 +671,52 @@ type DatasetStats struct {
 	Tau     int    `json:"tau"`
 	// Maintenance is the cumulative incremental partition-maintenance
 	// work performed on the dataset's live partitionings.
-	Maintenance MaintJSON             `json:"maintenance"`
-	Caches      map[string]CacheStats `json:"caches"`
+	Maintenance MaintJSON `json:"maintenance"`
+	// Durability describes the dataset's persistence state (absent for
+	// in-memory datasets).
+	Durability *DurJSON              `json:"durability,omitempty"`
+	Caches     map[string]CacheStats `json:"caches"`
+}
+
+// DurJSON is the wire form of paq.DurStats.
+type DurJSON struct {
+	// WALBytes is the current write-ahead log size — the bytes a crash
+	// would replay.
+	WALBytes int64 `json:"wal_bytes"`
+	// SnapshotVersion is the dataset version of the latest snapshot;
+	// SnapshotAgeMS how long ago it was written.
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	SnapshotAgeMS   float64 `json:"snapshot_age_ms"`
+	Snapshots       uint64  `json:"snapshots"`
+	Compactions     uint64  `json:"compactions"`
+	// ReplayedOps counts the row mutations replayed from the WAL when
+	// the dataset recovered at boot; WarmPartitionings the partitionings
+	// warm-started from its snapshot (offline builds the boot skipped).
+	ReplayedOps       uint64 `json:"replayed_ops"`
+	WarmPartitionings int    `json:"warm_partitionings"`
+	WALAppends        uint64 `json:"wal_appends"`
+	WALSyncs          uint64 `json:"wal_syncs"`
+	// Poisoned reports a compaction whose snapshot failed: mutations
+	// are refused until the maintenance pass snapshots successfully.
+	Poisoned bool `json:"poisoned,omitempty"`
+}
+
+func durJSON(d paq.DurStats) *DurJSON {
+	if !d.Durable {
+		return nil
+	}
+	return &DurJSON{
+		WALBytes:          d.WALBytes,
+		SnapshotVersion:   d.SnapshotVersion,
+		SnapshotAgeMS:     float64(d.SnapshotAge) / float64(time.Millisecond),
+		Snapshots:         d.Snapshots,
+		Compactions:       d.Compactions,
+		ReplayedOps:       d.ReplayedOps,
+		WarmPartitionings: d.WarmPartitionings,
+		WALAppends:        d.WALAppends,
+		WALSyncs:          d.WALSyncs,
+		Poisoned:          d.Poisoned,
+	}
 }
 
 // CacheStats is the wire form of paq.CacheStats.
@@ -622,6 +754,8 @@ func (s *Server) Stats() StatsResponse {
 		RowsInserted: s.ctr.rowsInserted.Load(),
 		RowsDeleted:  s.ctr.rowsDeleted.Load(),
 		RowsUpdated:  s.ctr.rowsUpdated.Load(),
+		Compactions:  s.ctr.compactions.Load(),
+		Snapshots:    s.ctr.snapshots.Load(),
 		InFlight:     inFlight,
 		Queued:       queued,
 		Draining:     s.isDraining(),
@@ -637,6 +771,7 @@ func (s *Server) Stats() StatsResponse {
 			Rows:        ds.Rel().Live(),
 			Version:     ds.Version(),
 			Maintenance: maintJSON(ds.Session().MaintStats()),
+			Durability:  durJSON(ds.DurStats()),
 			Caches:      make(map[string]CacheStats),
 		}
 		if pi, err := ds.Partitioning(); err == nil {

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), walFile)
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{byte(i)}, i))))
+		want = append(want, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	n, err := ReplayWAL(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("replayed %d records, want %d", n, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALGroupCommitConcurrent(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := w.Append([]byte(fmt.Sprintf("w%d-%d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	appends, syncs := w.GroupCommitStats()
+	if appends != writers*each {
+		t.Fatalf("appends = %d, want %d", appends, writers*each)
+	}
+	if syncs == 0 || syncs > appends {
+		t.Fatalf("syncs = %d out of range (0, %d]", syncs, appends)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReplayWAL(path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*each {
+		t.Fatalf("replayed %d records, want %d", n, writers*each)
+	}
+}
+
+func TestWALReopenAppends(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: garbage bytes after the last record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x07, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if _, err := ReplayWAL(path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("records = %v, want [first second]", got)
+	}
+}
+
+func TestWALResetTruncates(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != int64(len(walMagic)) {
+		t.Fatalf("size after reset = %d, want %d", w.Size(), len(walMagic))
+	}
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	var got []string
+	if _, err := ReplayWAL(path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "after" {
+		t.Fatalf("records = %v, want [after]", got)
+	}
+}
+
+func TestWALBadMagicIsCorrupt(t *testing.T) {
+	path := walPath(t)
+	if err := os.WriteFile(path, []byte("NOTAWAL0garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(path, func([]byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenWAL err = %v, want ErrCorrupt", err)
+	}
+}

@@ -40,6 +40,22 @@
 // sound upper bound on every group radius and exposes the resulting
 // factor via Session.QualityBound; see ExampleSession_InsertRows.
 //
+// # Durability
+//
+// Sessions are in-memory by default; WithDurability(dir) makes one
+// persistent. Every mutation batch is appended to a checksummed
+// write-ahead log — with group-commit fsync batching — before it is
+// applied, so an acknowledged mutation survives a crash;
+// Session.Snapshot (and Session.Close) folds the log into a compact
+// snapshot that also serializes every warm partitioning and its
+// maintenance state, reclaiming tombstoned rows via Session.Compact
+// along the way. Reopening the directory recovers the dataset —
+// snapshot plus WAL replay — with partitionings warm-started instead of
+// rebuilt, so a restarted service skips the offline quad-tree cost
+// SketchRefine amortizes. See Session.DurStats,
+// ExampleSession_durability, and docs/PERSISTENCE.md for formats and
+// the recovery protocol.
+//
 // # Errors
 //
 // Failures are reported through a typed error taxonomy — ErrInfeasible,

@@ -28,8 +28,15 @@ func (s *Session) Version() uint64 {
 // no partitioning is rebuilt from scratch. The whole batch is validated
 // against the schema before anything is applied, so a failed insert
 // leaves the dataset unchanged. It returns the row indices assigned to
-// the new rows (stable for the session's lifetime — use them with
+// the new rows (stable until the next Compact — use them with
 // DeleteRows/UpdateRows) and the new dataset version.
+//
+// On a durable session (WithDurability) the batch is staged to the
+// write-ahead log before it is applied and fsynced before it is
+// acknowledged, so a returned nil error means the mutation survives a
+// crash. The fsync happens after the dataset lock is released —
+// concurrent mutations share group-commit fsync rounds and solves are
+// never blocked behind a disk flush.
 //
 // Prepared statements stay valid across mutations: their next Execute
 // sees the new data, and solution-cache entries for older versions stop
@@ -38,70 +45,164 @@ func (s *Session) Version() uint64 {
 // callback runs under the session's read lock and would deadlock.
 func (s *Session) InsertRows(rows [][]relation.Value) ([]int, uint64, error) {
 	s.dataMu.Lock()
-	defer s.dataMu.Unlock()
 	if len(rows) == 0 {
-		return nil, s.rel.Version(), nil
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return nil, v, nil
 	}
+	if err := s.validateInsert(rows); err != nil {
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return nil, v, err
+	}
+	commit, err := s.stageLocked(func() (func() error, error) {
+		return s.st.StageInsert(s.rel.Schema(), s.rel.Version(), rows)
+	})
+	if err != nil {
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return nil, v, err
+	}
+	ids, err := s.applyInsert(rows)
+	s.failStagedLocked(err)
+	v := s.rel.Version()
+	s.dataMu.Unlock()
+	if err != nil {
+		return nil, v, err
+	}
+	if err := commit(); err != nil {
+		return nil, v, fmt.Errorf("paq: write-ahead log: %w", err)
+	}
+	return ids, v, nil
+}
+
+// stageLocked stages a mutation record when the session is durable,
+// returning a commit closure that is never nil (a no-op for in-memory
+// sessions). Caller holds the write lock.
+func (s *Session) stageLocked(stage func() (func() error, error)) (func() error, error) {
+	if s.st == nil {
+		return func() error { return nil }, nil
+	}
+	commit, err := stage()
+	if err != nil {
+		return nil, fmt.Errorf("paq: write-ahead log: %w", err)
+	}
+	return commit, nil
+}
+
+// failStagedLocked handles the (validation-unreachable) case of an
+// apply failing after its record was staged: the WAL now holds a
+// record memory never absorbed, so no later record could replay —
+// poison until a snapshot re-roots the base. Caller holds the write
+// lock.
+func (s *Session) failStagedLocked(applyErr error) {
+	if applyErr != nil && s.st != nil {
+		s.st.Poison(applyErr)
+	}
+}
+
+func (s *Session) validateInsert(rows [][]relation.Value) error {
 	for i, vals := range rows {
 		if err := s.rel.CheckRow(vals); err != nil {
-			return nil, s.rel.Version(), fmt.Errorf("paq: insert row %d: %w", i, err)
+			return fmt.Errorf("paq: insert row %d: %w", i, err)
 		}
 	}
+	return nil
+}
+
+// applyInsert is the post-validation, post-logging half of InsertRows
+// (shared with WAL replay). Caller holds the write lock.
+func (s *Session) applyInsert(rows [][]relation.Value) ([]int, error) {
 	ids := make([]int, len(rows))
 	for i, vals := range rows {
 		ids[i] = s.rel.Len()
 		if err := s.rel.Append(vals...); err != nil {
-			// Unreachable: every row was validated above.
-			return nil, s.rel.Version(), fmt.Errorf("paq: insert row %d: %w", i, err)
+			// Unreachable: every row was validated before.
+			return nil, fmt.Errorf("paq: insert row %d: %w", i, err)
 		}
 	}
 	if err := s.eachMaintainer(func(m *partition.Maintainer) error {
 		return m.Insert(ids...)
 	}); err != nil {
-		return nil, s.rel.Version(), err
+		return nil, err
 	}
 	s.invalidateStale()
-	return ids, s.rel.Version(), nil
+	return ids, nil
 }
 
 // DeleteRows removes the given rows (by row index, as reported in
-// Result.Rows) from the dataset. Row indices are stable for the life of
-// a session — deleted rows are tombstoned, never renumbered — so a
-// package computed earlier still names the surviving rows correctly.
+// Result.Rows) from the dataset. Row indices are stable between
+// compactions — deleted rows are tombstoned, never renumbered — so a
+// package computed earlier still names the surviving rows correctly
+// until an explicit Compact reclaims the tombstones.
 // The batch is validated first (every index in range, live, and
 // distinct); a failed delete leaves the dataset unchanged. It returns
 // the new dataset version.
 func (s *Session) DeleteRows(rows []int) (uint64, error) {
 	s.dataMu.Lock()
-	defer s.dataMu.Unlock()
 	if len(rows) == 0 {
-		return s.rel.Version(), nil
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, nil
 	}
+	if err := s.validateDelete(rows); err != nil {
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, err
+	}
+	commit, err := s.stageLocked(func() (func() error, error) {
+		return s.st.StageDelete(s.rel.Version(), rows)
+	})
+	if err != nil {
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, err
+	}
+	err = s.applyDelete(rows)
+	s.failStagedLocked(err)
+	v := s.rel.Version()
+	s.dataMu.Unlock()
+	if err != nil {
+		return v, err
+	}
+	if err := commit(); err != nil {
+		return v, fmt.Errorf("paq: write-ahead log: %w", err)
+	}
+	return v, nil
+}
+
+func (s *Session) validateDelete(rows []int) error {
 	seen := make(map[int]bool, len(rows))
 	for _, row := range rows {
 		if row < 0 || row >= s.rel.Len() {
-			return s.rel.Version(), fmt.Errorf("paq: delete of row %d out of range [0, %d)", row, s.rel.Len())
+			return fmt.Errorf("paq: delete of row %d out of range [0, %d)", row, s.rel.Len())
 		}
 		if s.rel.Deleted(row) {
-			return s.rel.Version(), fmt.Errorf("paq: row %d is already deleted", row)
+			return fmt.Errorf("paq: row %d is already deleted", row)
 		}
 		if seen[row] {
-			return s.rel.Version(), fmt.Errorf("paq: row %d deleted twice in one batch", row)
+			return fmt.Errorf("paq: row %d deleted twice in one batch", row)
 		}
 		seen[row] = true
 	}
+	return nil
+}
+
+// applyDelete is the post-validation, post-logging half of DeleteRows
+// (shared with WAL replay). Caller holds the write lock.
+func (s *Session) applyDelete(rows []int) error {
 	for _, row := range rows {
 		if err := s.rel.Delete(row); err != nil {
-			return s.rel.Version(), err // unreachable: validated above
+			return err // unreachable: validated before
 		}
 	}
 	if err := s.eachMaintainer(func(m *partition.Maintainer) error {
 		return m.Delete(rows...)
 	}); err != nil {
-		return s.rel.Version(), err
+		return err
 	}
 	s.invalidateStale()
-	return s.rel.Version(), nil
+	return nil
 }
 
 // UpdateRows overwrites the given live rows in place (vals[i] replaces
@@ -111,52 +212,98 @@ func (s *Session) DeleteRows(rows []int) (uint64, error) {
 // unchanged. It returns the new dataset version.
 func (s *Session) UpdateRows(rows []int, vals [][]relation.Value) (uint64, error) {
 	s.dataMu.Lock()
-	defer s.dataMu.Unlock()
 	if len(rows) != len(vals) {
-		return s.rel.Version(), fmt.Errorf("paq: update of %d rows with %d value tuples", len(rows), len(vals))
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, fmt.Errorf("paq: update of %d rows with %d value tuples", len(rows), len(vals))
 	}
 	if len(rows) == 0 {
-		return s.rel.Version(), nil
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, nil
 	}
+	if err := s.validateUpdate(rows, vals); err != nil {
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, err
+	}
+	commit, err := s.stageLocked(func() (func() error, error) {
+		return s.st.StageUpdate(s.rel.Schema(), s.rel.Version(), rows, vals)
+	})
+	if err != nil {
+		v := s.rel.Version()
+		s.dataMu.Unlock()
+		return v, err
+	}
+	err = s.applyUpdate(rows, vals)
+	s.failStagedLocked(err)
+	v := s.rel.Version()
+	s.dataMu.Unlock()
+	if err != nil {
+		return v, err
+	}
+	if err := commit(); err != nil {
+		return v, fmt.Errorf("paq: write-ahead log: %w", err)
+	}
+	return v, nil
+}
+
+func (s *Session) validateUpdate(rows []int, vals [][]relation.Value) error {
 	seen := make(map[int]bool, len(rows))
 	for i, row := range rows {
 		if row < 0 || row >= s.rel.Len() || s.rel.Deleted(row) {
-			return s.rel.Version(), fmt.Errorf("paq: update of invalid row %d", row)
+			return fmt.Errorf("paq: update of invalid row %d", row)
 		}
 		if seen[row] {
-			return s.rel.Version(), fmt.Errorf("paq: row %d updated twice in one batch", row)
+			return fmt.Errorf("paq: row %d updated twice in one batch", row)
 		}
 		seen[row] = true
 		if err := s.rel.CheckRow(vals[i]); err != nil {
-			return s.rel.Version(), fmt.Errorf("paq: update row %d: %w", row, err)
+			return fmt.Errorf("paq: update row %d: %w", row, err)
 		}
 	}
+	return nil
+}
+
+// applyUpdate is the post-validation, post-logging half of UpdateRows
+// (shared with WAL replay). Caller holds the write lock.
+func (s *Session) applyUpdate(rows []int, vals [][]relation.Value) error {
 	for i, row := range rows {
 		for c, v := range vals[i] {
 			if err := s.rel.Set(row, c, v); err != nil {
-				return s.rel.Version(), err // unreachable: validated above
+				return err // unreachable: validated before
 			}
 		}
 	}
 	if err := s.eachMaintainer(func(m *partition.Maintainer) error {
 		return m.Update(rows...)
 	}); err != nil {
-		return s.rel.Version(), err
+		return err
 	}
 	s.invalidateStale()
-	return s.rel.Version(), nil
+	return nil
 }
 
 // eachMaintainer applies one maintenance step to every built
-// partitioning, creating maintainers on first need. Caller holds the
-// write lock, so no partitioning build is in flight.
+// partitioning of every sibling session (clones with a different τ
+// hold their own partitionings over the same relation — leaving those
+// unmaintained would let them keep naming deleted rows), creating
+// maintainers on first need. Siblings with matching shapes share
+// lazyPart pointers, so the step is deduplicated by lazyPart. Caller
+// holds the write lock, so no partitioning build is in flight.
 func (s *Session) eachMaintainer(fn func(*partition.Maintainer) error) error {
-	s.mu.Lock()
-	parts := make([]*lazyPart, 0, len(s.parts))
-	for _, lp := range s.parts {
-		parts = append(parts, lp)
+	seen := make(map[*lazyPart]bool)
+	var parts []*lazyPart
+	for _, sib := range s.sibs.list() {
+		sib.mu.Lock()
+		for _, lp := range sib.parts {
+			if !seen[lp] {
+				seen[lp] = true
+				parts = append(parts, lp)
+			}
+		}
+		sib.mu.Unlock()
 	}
-	s.mu.Unlock()
 	for _, lp := range parts {
 		if lp.part == nil {
 			continue // failed (or never-run) build; it will rebuild lazily
@@ -172,17 +319,20 @@ func (s *Session) eachMaintainer(fn func(*partition.Maintainer) error) error {
 }
 
 // invalidateStale reclaims solution-cache entries solved against older
-// dataset versions from every engine the session has instantiated.
+// dataset versions from every engine every sibling session has
+// instantiated (the relation — and so the staleness — is shared).
 func (s *Session) invalidateStale() {
-	s.mu.Lock()
-	engines := make([]*engine.Engine, 0, len(s.engines)+len(s.overrides))
-	for _, e := range s.engines {
-		engines = append(engines, e)
+	var engines []*engine.Engine
+	for _, sib := range s.sibs.list() {
+		sib.mu.Lock()
+		for _, e := range sib.engines {
+			engines = append(engines, e)
+		}
+		for _, e := range sib.overrides {
+			engines = append(engines, e)
+		}
+		sib.mu.Unlock()
 	}
-	for _, e := range s.overrides {
-		engines = append(engines, e)
-	}
-	s.mu.Unlock()
 	for _, e := range engines {
 		e.InvalidateRel(s.rel)
 	}

@@ -24,6 +24,7 @@ type config struct {
 	noCache      bool
 	cacheEntries int
 	warm         bool
+	durDir       string
 }
 
 func defaults() config {
@@ -230,6 +231,28 @@ func WithCacheEntries(n int) Option {
 func WithWarmPartitioning() Option {
 	return opt(func(c *config) error {
 		c.warm = true
+		return nil
+	})
+}
+
+// WithDurability makes the session durable, persisting to dir: every
+// mutation batch is written ahead to a checksummed WAL (group-commit
+// fsynced, so a batch is durable before it is acknowledged), and
+// Session.Snapshot / Session.Close fold the log into a compact
+// snapshot that also serializes every warm partitioning and its
+// maintenance state.
+//
+// When dir already holds durable state, Open recovers from it instead
+// of loading the source: the latest snapshot is loaded, the WAL suffix
+// replayed, and partitionings warm-start without repeating the offline
+// quad-tree build. The source may then be nil. See docs/PERSISTENCE.md
+// for the file formats and the recovery protocol.
+func WithDurability(dir string) Option {
+	return opt(func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("paq: WithDurability needs a directory")
+		}
+		c.durDir = dir
 		return nil
 	})
 }

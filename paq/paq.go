@@ -12,6 +12,7 @@ import (
 	"repro/internal/naive"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 // Package is the answer to a package query: distinct tuple rows of the
@@ -77,6 +78,41 @@ type Session struct {
 	overrides map[Method]*engine.Engine
 
 	incumbents atomic.Uint64
+
+	// st is the durability store (nil for a purely in-memory session).
+	// It is shared by every Clone, like the relation it persists; all
+	// store operations run under the dataMu write lock except DurStats
+	// reads (read lock). warmParts and compactions are durability
+	// counters (see DurStats).
+	st          *store.Store
+	warmParts   int
+	compactions uint64
+
+	// sibs registers every session sharing this relation (the original
+	// and all its Clones). Compaction renumbers the shared relation, so
+	// it must remap the partitionings of every sibling — a clone with a
+	// different τ holds its own — not just the compacting session's.
+	sibs *siblings
+}
+
+// siblings is the shared registry of sessions over one relation.
+// Sessions are only ever added (they have no end-of-life separate from
+// the relation's).
+type siblings struct {
+	mu  sync.Mutex
+	all []*Session
+}
+
+func (sb *siblings) add(s *Session) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.all = append(sb.all, s)
+}
+
+func (sb *siblings) list() []*Session {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return append([]*Session(nil), sb.all...)
 }
 
 // lazyPart builds one partitioning at most once, racing callers
@@ -94,21 +130,61 @@ type lazyPart struct {
 // over it. Partitionings are built lazily on first need (or eagerly
 // with WithWarmPartitioning); solver budgets, the evaluation method,
 // and partitioning shape come from the options.
+//
+// With WithDurability, Open first looks for durable state in the
+// directory: if a snapshot exists, the session recovers from it —
+// snapshot plus WAL replay, partitionings warm-started — and the
+// source is not consulted (it may be nil); otherwise the source is
+// loaded and a baseline snapshot written so later mutations have a
+// durable base.
 func Open(src Source, opts ...Option) (*Session, error) {
-	if src == nil {
-		return nil, fmt.Errorf("paq: nil source")
-	}
-	rel, err := src.load()
-	if err != nil {
-		return nil, err
-	}
-	if rel.Len() == 0 {
-		return nil, fmt.Errorf("paq: input relation %q is empty", rel.Name())
-	}
 	cfg := defaults()
 	for _, o := range opts {
 		if err := o.apply(&cfg); err != nil {
 			return nil, err
+		}
+	}
+	var st *store.Store
+	var boot *store.Snapshot
+	if cfg.durDir != "" {
+		var err error
+		st, err = store.Open(cfg.durDir)
+		if err != nil {
+			return nil, err
+		}
+		boot = st.BootSnapshot()
+	}
+	var rel *relation.Relation
+	if boot != nil {
+		rel = boot.Rel
+		if rel.Len() == 0 {
+			// Mirror the empty-source rejection below: a store whose last
+			// snapshot holds zero rows (every row deleted, then closed)
+			// reopens to a session no query could run against.
+			st.Close()
+			return nil, fmt.Errorf("paq: durable state in %s holds an empty relation %q", cfg.durDir, rel.Name())
+		}
+	} else {
+		if src == nil {
+			if st != nil {
+				st.Close()
+				return nil, fmt.Errorf("paq: nil source and no durable state in %s", cfg.durDir)
+			}
+			return nil, fmt.Errorf("paq: nil source")
+		}
+		var err error
+		rel, err = src.load()
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		if rel.Len() == 0 {
+			if st != nil {
+				st.Close()
+			}
+			return nil, fmt.Errorf("paq: input relation %q is empty", rel.Name())
 		}
 	}
 	s := &Session{
@@ -117,9 +193,29 @@ func Open(src Source, opts ...Option) (*Session, error) {
 		dataMu:  &sync.RWMutex{},
 		parts:   make(map[string]*lazyPart),
 		engines: make(map[string]*engine.Engine),
+		st:      st,
+		sibs:    &siblings{},
+	}
+	s.sibs.add(s)
+	if boot != nil {
+		if err := s.recover(boot); err != nil {
+			st.Close()
+			return nil, err
+		}
 	}
 	if cfg.warm {
 		if _, err := s.sessionPartitioning(); err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+	}
+	if st != nil && boot == nil {
+		// Fresh durable session: persist the baseline (data + any warm
+		// partitioning) so the WAL has a snapshot to replay against.
+		if err := s.Snapshot(); err != nil {
+			st.Close()
 			return nil, err
 		}
 	}
@@ -151,7 +247,10 @@ func (s *Session) Clone(opts ...Option) (*Session, error) {
 		dataMu:  s.dataMu, // clones share the relation, so they share its lock
 		parts:   make(map[string]*lazyPart),
 		engines: make(map[string]*engine.Engine),
+		st:      s.st,   // ...and its durability store (one WAL per relation)
+		sibs:    s.sibs, // ...and the sibling registry compaction remaps through
 	}
+	s.sibs.add(c)
 	if cfg.tauFrac == s.cfg.tauFrac && cfg.tauAbs == s.cfg.tauAbs && cfg.radius == s.cfg.radius {
 		s.mu.Lock()
 		for k, p := range s.parts {
