@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/relation"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/workload"
 	"repro/paq"
 )
@@ -139,8 +140,7 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		if dataDir == "" {
 			return false
 		}
-		_, err := os.Stat(filepath.Join(dataDir, name, "snapshot.paqsnap"))
-		return err == nil
+		return store.HasState(filepath.Join(dataDir, name))
 	}
 	// load runs only when no durable state exists for the dataset:
 	// recovery would discard the seed relation unread, so generating
@@ -207,7 +207,7 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 			if !e.IsDir() || srv.Dataset(name) != nil {
 				continue
 			}
-			if _, err := os.Stat(filepath.Join(dataDir, name, "snapshot.paqsnap")); err != nil {
+			if !store.HasState(filepath.Join(dataDir, name)) {
 				continue // not a dataset store (yet)
 			}
 			t0 := time.Now()

@@ -6,10 +6,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"time"
 
 	"repro/internal/relation"
+	"repro/internal/store"
 	"repro/internal/workload"
 	"repro/paq"
 )
@@ -173,7 +173,7 @@ func (e *Env) Recover(cfg RecoverConfig) (*RecoverResult, error) {
 	// and a torn half-record is appended, as a kill mid-append would
 	// leave behind.
 	durable = nil
-	walPath := filepath.Join(dir, "wal.paqlog")
+	walPath := store.WALPath(dir)
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("bench: recover: tearing WAL: %w", err)

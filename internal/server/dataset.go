@@ -147,11 +147,18 @@ func OpenDataset(name string, cfg DatasetConfig) (*Dataset, error) {
 		return nil, fmt.Errorf("server: dataset %q: OpenDataset needs a data dir", name)
 	}
 	// options(nil) would resolve the partitioning attribute default from
-	// the relation, which is not loaded yet; the recovered partitionings
-	// carry their own attribute sets, so the explicit-attrs option is
-	// simply omitted.
-	sess, err := paq.Open(nil, append(cfg.budgetOptions(),
-		paq.WithDurability(filepath.Join(cfg.DataDir, name)))...)
+	// the relation, which is not loaded yet; with empty Attrs the warm
+	// build resolves the same all-numeric-columns default from the
+	// recovered schema and hits the restored partitioning. Explicit
+	// Attrs must still be passed through, or the warm build would key on
+	// the all-numeric default — missing the restored partitioning, paying
+	// a full rebuild at boot, and serving the wrong attribute set.
+	opts := append(cfg.budgetOptions(),
+		paq.WithDurability(filepath.Join(cfg.DataDir, name)))
+	if len(cfg.Attrs) > 0 {
+		opts = append(opts, paq.WithPartitionAttrs(cfg.Attrs...))
+	}
+	sess, err := paq.Open(nil, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("server: dataset %q: %w", name, err)
 	}

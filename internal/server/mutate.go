@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -185,14 +186,33 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	sess := ds.Session()
 	resp := MutateResponse{Dataset: ds.Name()}
-	fail := func(status int, op string, err error) {
+	// A mutation error is normally the client's fault (bad index, type
+	// mismatch): 400, nothing applied. ErrIndeterminate is the opposite:
+	// a storage fault after the batch was applied in memory — the rows
+	// are live and queryable at the reported version, only their
+	// durability is unknown — so it maps to 500 and the counters still
+	// record the applied rows. The message carries the version (and for
+	// inserts the assigned ids) a client needs to reconcile instead of
+	// blindly retrying.
+	fail := func(op string, err error) {
 		s.ctr.failures.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, paq.ErrIndeterminate) {
+			status = http.StatusInternalServerError
+		}
 		s.failf(w, status, "%s: %v (dataset at version %d)", op, err, sess.Version())
 	}
 	if len(inserts) > 0 {
 		ids, _, err := sess.InsertRows(inserts)
 		if err != nil {
-			fail(http.StatusBadRequest, "insert", err)
+			if errors.Is(err, paq.ErrIndeterminate) {
+				s.ctr.rowsInserted.Add(uint64(len(ids)))
+				s.ctr.failures.Add(1)
+				s.failf(w, http.StatusInternalServerError,
+					"insert: %v (rows %v applied in memory, dataset at version %d)", err, ids, sess.Version())
+				return
+			}
+			fail("insert", err)
 			return
 		}
 		resp.InsertedRows = ids
@@ -201,7 +221,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Delete) > 0 {
 		if _, err := sess.DeleteRows(req.Delete); err != nil {
-			fail(http.StatusBadRequest, "delete", err)
+			if errors.Is(err, paq.ErrIndeterminate) {
+				s.ctr.rowsDeleted.Add(uint64(len(req.Delete)))
+			}
+			fail("delete", err)
 			return
 		}
 		resp.Deleted = len(req.Delete)
@@ -209,7 +232,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(updRows) > 0 {
 		if _, err := sess.UpdateRows(updRows, updVals); err != nil {
-			fail(http.StatusBadRequest, "update", err)
+			if errors.Is(err, paq.ErrIndeterminate) {
+				s.ctr.rowsUpdated.Add(uint64(len(updRows)))
+			}
+			fail("update", err)
 			return
 		}
 		resp.Updated = len(updRows)

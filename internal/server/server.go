@@ -651,15 +651,15 @@ type StatsResponse struct {
 	RowsUpdated  uint64 `json:"rows_updated"`
 	// Compactions and Snapshots count background-maintenance actions
 	// (tombstone reclamation and WAL-driven snapshots).
-	Compactions  uint64                  `json:"compactions"`
-	Snapshots    uint64                  `json:"snapshots"`
-	InFlight     int                     `json:"in_flight"`
-	Queued       int                     `json:"queued"`
-	Draining     bool                    `json:"draining"`
-	SolveTimeMS  float64                 `json:"solve_time_ms_total"`
-	Backtracks   uint64                  `json:"backtracks_total"`
-	Subproblems  uint64                  `json:"subproblems_total"`
-	Datasets     map[string]DatasetStats `json:"datasets"`
+	Compactions uint64                  `json:"compactions"`
+	Snapshots   uint64                  `json:"snapshots"`
+	InFlight    int                     `json:"in_flight"`
+	Queued      int                     `json:"queued"`
+	Draining    bool                    `json:"draining"`
+	SolveTimeMS float64                 `json:"solve_time_ms_total"`
+	Backtracks  uint64                  `json:"backtracks_total"`
+	Subproblems uint64                  `json:"subproblems_total"`
+	Datasets    map[string]DatasetStats `json:"datasets"`
 }
 
 // DatasetStats summarizes one dataset and its per-method caches.

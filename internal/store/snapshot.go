@@ -316,22 +316,26 @@ func writeSnapshotFile(path string, s *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(header); err != nil {
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp) // don't leave an orphaned temp file behind
 		return err
+	}
+	if _, err := f.Write(header); err != nil {
+		return fail(err)
 	}
 	if _, err := f.Write(payload); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return syncDir(filepath.Dir(path))

@@ -99,6 +99,10 @@ func Open(dir string) (*Store, error) {
 	}
 	s := &Store{dir: dir}
 	snapPath := filepath.Join(dir, snapFile)
+	// A crash mid-snapshot (or a failed write before this process's
+	// cleanup existed) can leave a stale temp file; it was never renamed
+	// into place, so it holds nothing durable — drop it.
+	os.Remove(snapPath + ".tmp")
 	snap, err := readSnapshotFile(snapPath)
 	if err != nil {
 		return nil, err
@@ -135,6 +139,20 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// HasState reports whether dir holds a recoverable store — a snapshot
+// has been written there. Serving layers use it to decide between
+// recovering a dataset from disk and seeding it afresh, without
+// hard-coding the store's private file names.
+func HasState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, snapFile))
+	return err == nil
+}
+
+// WALPath returns the write-ahead log's path within a store directory
+// (for crash-injection harnesses that tear the log deliberately; normal
+// consumers never touch the file).
+func WALPath(dir string) string { return filepath.Join(dir, walFile) }
 
 // BootSnapshot returns the snapshot loaded at Open, or nil for a fresh
 // store. The returned relation is meant to be adopted as the live

@@ -139,17 +139,6 @@ func (w *WAL) Stage(payload []byte) (CommitToken, error) {
 	if len(payload) > maxWALRecord {
 		return CommitToken{}, fmt.Errorf("store: WAL record of %d bytes exceeds the %d-byte limit", len(payload), maxWALRecord)
 	}
-	// A poisoned WAL must refuse to WRITE, not merely refuse to
-	// acknowledge: a frame written after a failed write/fsync has a
-	// valid CRC and could survive on disk as a phantom record that
-	// replay would apply even though the caller was told the commit
-	// failed.
-	w.syncMu.Lock()
-	failed := w.failed
-	w.syncMu.Unlock()
-	if failed != nil {
-		return CommitToken{}, failed
-	}
 	frame := make([]byte, walFrameHeader+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
@@ -160,8 +149,21 @@ func (w *WAL) Stage(payload []byte) (CommitToken, error) {
 		w.mu.Unlock()
 		return CommitToken{}, fmt.Errorf("store: append to closed WAL")
 	}
-	if _, err := w.f.Write(frame); err != nil {
+	// A poisoned WAL must refuse to WRITE, not merely refuse to
+	// acknowledge: a frame written after a failed write/fsync has a
+	// valid CRC and could survive on disk as a phantom record that
+	// replay would apply even though the caller was told the commit
+	// failed. The check happens under mu because every poisoning site
+	// holds mu too (mu→syncMu, the order Reset established) — so no
+	// fsync failure can slip between this check and the write below.
+	w.syncMu.Lock()
+	failed := w.failed
+	w.syncMu.Unlock()
+	if failed != nil {
 		w.mu.Unlock()
+		return CommitToken{}, failed
+	}
+	if _, err := w.f.Write(frame); err != nil {
 		// The write may have landed partially: the file offset is past
 		// garbage that a later successful append would bury mid-log,
 		// turning a refused mutation into unrecoverable corruption at
@@ -169,16 +171,20 @@ func (w *WAL) Stage(payload []byte) (CommitToken, error) {
 		w.syncMu.Lock()
 		w.failed = fmt.Errorf("store: wal write: %w", err)
 		w.syncMu.Unlock()
+		w.mu.Unlock()
 		return CommitToken{}, err
 	}
 	w.size += int64(len(frame))
 	target := w.size
-	w.mu.Unlock()
-
+	// Build the token before releasing mu: Reset holds mu for its whole
+	// body, so the epoch read here cannot interleave with a truncation —
+	// which would pair a post-Reset epoch with a pre-truncation target,
+	// a token Commit could never correctly satisfy.
 	w.syncMu.Lock()
 	w.appends++
 	tok := CommitToken{epoch: w.epoch, target: target}
 	w.syncMu.Unlock()
+	w.mu.Unlock()
 	return tok, nil
 }
 
@@ -218,6 +224,12 @@ func (w *WAL) syncTo(tok CommitToken) error {
 			continue
 		}
 		w.syncing = true
+		// A Reset during the fsync invalidates covered: it refers to
+		// pre-truncation bytes, and blindly storing it into synced after
+		// Reset rewound synced to the header would let later commits see
+		// synced >= target and skip their fsync — acknowledging
+		// non-durable mutations.
+		epochAtStart := w.epoch
 		w.syncMu.Unlock()
 
 		w.mu.Lock()
@@ -231,16 +243,26 @@ func (w *WAL) syncTo(tok CommitToken) error {
 			err = f.Sync()
 		}
 
-		w.syncMu.Lock()
-		w.syncing = false
-		w.syncs++
 		if err != nil {
 			// A failed fsync leaves the kernel's dirty-page state unknown
 			// (fsyncgate): no later fsync can prove these bytes durable, so
 			// the WAL stays failed until a Reset truncates past the
-			// unprovable bytes.
+			// unprovable bytes. Poison while holding mu (mu→syncMu) so the
+			// flag cannot appear between Stage's under-mu check and its
+			// frame write — which would leave a phantom record on disk.
+			w.mu.Lock()
+			w.syncMu.Lock()
 			w.failed = fmt.Errorf("store: wal fsync: %w", err)
-		} else if covered > w.synced {
+			w.mu.Unlock()
+			w.syncing = false
+			w.syncs++
+			w.syncCond.Broadcast()
+			continue
+		}
+		w.syncMu.Lock()
+		w.syncing = false
+		w.syncs++
+		if w.epoch == epochAtStart && covered > w.synced {
 			w.synced = covered
 		}
 		w.syncCond.Broadcast()

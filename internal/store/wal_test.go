@@ -167,6 +167,64 @@ func TestWALResetTruncates(t *testing.T) {
 	}
 }
 
+// TestWALResetDuringCommitsKeepsSyncInvariant stresses Reset racing
+// group-commit fsyncs: a Reset that lands while a leader is mid-fsync
+// must not let the leader publish its pre-truncation offset as synced
+// (the epoch guard in syncTo), or later commits would see
+// synced >= target and return without any fsync — acknowledging
+// non-durable mutations.
+func TestWALResetDuringCommitsKeepsSyncInvariant(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := w.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 100; r++ {
+		if err := w.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		// Holding mu blocks Stage and Reset, so size and synced read as
+		// a consistent pair; synced > size is exactly the state that let
+		// commits skip their fsync before the epoch guard.
+		w.mu.Lock()
+		size := w.size
+		w.syncMu.Lock()
+		synced := w.synced
+		w.syncMu.Unlock()
+		w.mu.Unlock()
+		if synced > size {
+			t.Fatalf("after reset %d: synced = %d > size = %d; commits would skip their fsync", r, synced, size)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(path, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWALBadMagicIsCorrupt(t *testing.T) {
 	path := walPath(t)
 	if err := os.WriteFile(path, []byte("NOTAWAL0garbage"), 0o644); err != nil {

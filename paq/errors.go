@@ -38,6 +38,16 @@ var (
 	// ErrUnsupported: the chosen method cannot express the query (e.g.
 	// the naive baseline without an exact cardinality constraint).
 	ErrUnsupported = errors.New("paq: unsupported by the chosen method")
+	// ErrIndeterminate: a durable session's write-ahead commit (fsync)
+	// failed AFTER the mutation was applied in memory. The mutation is
+	// visible to queries at the returned version, its record may already
+	// be on disk, and a later snapshot persists the in-memory state — so
+	// it may well survive a crash despite the error. Callers must not
+	// blindly retry (a retry that succeeds duplicates the mutation);
+	// they should consult Version/DurStats and treat the outcome as
+	// unknown until the store heals. Mutations that fail BEFORE being
+	// applied (validation, staging) are ordinary errors, not this one.
+	ErrIndeterminate = errors.New("paq: durability indeterminate: mutation applied in memory, write-ahead commit failed")
 )
 
 // ErrFalseInfeasible marks a SketchRefine "no package found" verdict

@@ -26,17 +26,20 @@ func (s *Session) Version() uint64 {
 // InsertRows appends rows to the dataset and routes them into every
 // warm partitioning incrementally (splitting any leaf pushed past τ) —
 // no partitioning is rebuilt from scratch. The whole batch is validated
-// against the schema before anything is applied, so a failed insert
-// leaves the dataset unchanged. It returns the row indices assigned to
-// the new rows (stable until the next Compact — use them with
-// DeleteRows/UpdateRows) and the new dataset version.
+// against the schema before anything is applied, so a validation
+// failure leaves the dataset unchanged. It returns the row indices
+// assigned to the new rows (stable until the next Compact — use them
+// with DeleteRows/UpdateRows) and the new dataset version.
 //
 // On a durable session (WithDurability) the batch is staged to the
 // write-ahead log before it is applied and fsynced before it is
 // acknowledged, so a returned nil error means the mutation survives a
 // crash. The fsync happens after the dataset lock is released —
 // concurrent mutations share group-commit fsync rounds and solves are
-// never blocked behind a disk flush.
+// never blocked behind a disk flush. If that fsync fails, the error is
+// tagged ErrIndeterminate: the batch is already applied in memory (the
+// returned version includes it) but its durability is unknown — do not
+// blindly retry.
 //
 // Prepared statements stay valid across mutations: their next Execute
 // sees the new data, and solution-cache entries for older versions stop
@@ -71,9 +74,16 @@ func (s *Session) InsertRows(rows [][]relation.Value) ([]int, uint64, error) {
 		return nil, v, err
 	}
 	if err := commit(); err != nil {
-		return nil, v, fmt.Errorf("paq: write-ahead log: %w", err)
+		return ids, v, commitFailed(err)
 	}
 	return ids, v, nil
+}
+
+// commitFailed wraps a write-ahead commit (fsync) failure that happened
+// after the mutation was applied in memory: the outcome is
+// indeterminate (see ErrIndeterminate), not a clean refusal.
+func commitFailed(err error) error {
+	return tag(ErrIndeterminate, fmt.Errorf("paq: write-ahead log: %w", err))
 }
 
 // stageLocked stages a mutation record when the session is durable,
@@ -136,8 +146,10 @@ func (s *Session) applyInsert(rows [][]relation.Value) ([]int, error) {
 // package computed earlier still names the surviving rows correctly
 // until an explicit Compact reclaims the tombstones.
 // The batch is validated first (every index in range, live, and
-// distinct); a failed delete leaves the dataset unchanged. It returns
-// the new dataset version.
+// distinct); a validation failure leaves the dataset unchanged, while
+// on a durable session a write-ahead commit failure is tagged
+// ErrIndeterminate (the delete is applied in memory; see InsertRows).
+// It returns the new dataset version.
 func (s *Session) DeleteRows(rows []int) (uint64, error) {
 	s.dataMu.Lock()
 	if len(rows) == 0 {
@@ -166,7 +178,7 @@ func (s *Session) DeleteRows(rows []int) (uint64, error) {
 		return v, err
 	}
 	if err := commit(); err != nil {
-		return v, fmt.Errorf("paq: write-ahead log: %w", err)
+		return v, commitFailed(err)
 	}
 	return v, nil
 }
@@ -208,8 +220,10 @@ func (s *Session) applyDelete(rows []int) error {
 // UpdateRows overwrites the given live rows in place (vals[i] replaces
 // row rows[i]) and re-routes them through every warm partitioning —
 // the rows keep their indices but may move to different leaf cells.
-// The batch is validated first; a failed update leaves the dataset
-// unchanged. It returns the new dataset version.
+// The batch is validated first; a validation failure leaves the
+// dataset unchanged, while on a durable session a write-ahead commit
+// failure is tagged ErrIndeterminate (the update is applied in memory;
+// see InsertRows). It returns the new dataset version.
 func (s *Session) UpdateRows(rows []int, vals [][]relation.Value) (uint64, error) {
 	s.dataMu.Lock()
 	if len(rows) != len(vals) {
@@ -243,7 +257,7 @@ func (s *Session) UpdateRows(rows []int, vals [][]relation.Value) (uint64, error
 		return v, err
 	}
 	if err := commit(); err != nil {
-		return v, fmt.Errorf("paq: write-ahead log: %w", err)
+		return v, commitFailed(err)
 	}
 	return v, nil
 }
