@@ -39,6 +39,16 @@
 // loop (-maintain-every) compacts datasets whose tombstone ratio
 // exceeds 25% and snapshots datasets whose WAL outgrows 8 MiB. See
 // docs/PERSISTENCE.md.
+//
+// A durable paqld also serves the replication endpoints (GET
+// /repl/wal, GET /repl/snapshot, POST /repl/fence, POST
+// /repl/promote), so any instance can act as a leader. Started with
+// -follow <leader URL>, paqld is a follower instead: it bootstraps
+// every leader dataset from a snapshot, tails the leader's WAL
+// (cadence -repl-poll), serves read/solve traffic from the replicated
+// state (mutations are refused with 503), reports per-dataset
+// replication lag under /stats, and becomes a leader itself on POST
+// /repl/promote. See docs/REPLICATION.md.
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"time"
 
 	"repro/internal/relation"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -87,12 +98,14 @@ func main() {
 		queue    = flag.Int("queue", 0, "max queries queued beyond -inflight (0 = 4x inflight, -1 = none)")
 		dataDir  = flag.String("data-dir", "", "durability root: per-dataset WAL + snapshots under <dir>/<name> (empty = in-memory only)")
 		maintEv  = flag.Duration("maintain-every", 15*time.Second, "background maintenance cadence (tombstone compaction, WAL-driven snapshots); 0 disables")
+		follow   = flag.String("follow", "", "run as a follower of this leader paqld base URL (requires -data-dir; dataset flags are ignored)")
+		replPoll = flag.Duration("repl-poll", 250*time.Millisecond, "follower: WAL tail poll cadence")
 	)
 	flag.Var(&loads, "load", "load a CSV dataset as name=path (repeatable)")
 	flag.Parse()
 
 	if err := run(*addr, loads, *galaxyN, *tpchN, *seed, *tau, *workers, *racers,
-		*timeout, *maxTime, *maxNodes, *inflight, *queue, *dataDir, *maintEv); err != nil {
+		*timeout, *maxTime, *maxNodes, *inflight, *queue, *dataDir, *maintEv, *follow, *replPoll); err != nil {
 		fmt.Fprintln(os.Stderr, "paqld:", err)
 		os.Exit(1)
 	}
@@ -100,7 +113,7 @@ func main() {
 
 func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float64,
 	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue int,
-	dataDir string, maintEvery time.Duration) error {
+	dataDir string, maintEvery time.Duration, follow string, replPoll time.Duration) error {
 	srv := server.New(server.Config{
 		MaxInFlight:    inflight,
 		MaxQueued:      queue,
@@ -116,6 +129,10 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		MaxNodes:  maxNodes,
 		Gap:       1e-4,
 		DataDir:   dataDir,
+	}
+
+	if follow != "" && dataDir == "" {
+		return fmt.Errorf("-follow requires -data-dir (followers bootstrap into a durable store)")
 	}
 
 	registered := 0
@@ -165,6 +182,9 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		return announce(name, ds, t0)
 	}
 
+	if follow != "" {
+		galaxyN, tpchN, loads = 0, 0, nil // a follower's datasets come from its leader
+	}
 	if galaxyN > 0 {
 		if err := register("galaxy", func() (*relation.Relation, error) {
 			return workload.Galaxy(galaxyN, seed), nil
@@ -194,7 +214,7 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 			return err
 		}
 	}
-	if dataDir != "" {
+	if dataDir != "" && follow == "" {
 		// Recover datasets left on disk by earlier runs that no flag
 		// names this time: a restarted service must not silently drop
 		// the data it was trusted with.
@@ -220,8 +240,35 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 			}
 		}
 	}
-	if registered == 0 {
+	if registered == 0 && follow == "" {
 		return fmt.Errorf("no datasets (use -galaxy/-tpch, -load, or a -data-dir with recoverable state)")
+	}
+
+	// Every paqld is a replication node: leaders serve the WAL stream
+	// and answer fencing; a follower bootstraps from its leader, tails
+	// the shipped log, and can be promoted in place.
+	role := repl.RoleLeader
+	if follow != "" {
+		role = repl.RoleFollower
+	}
+	node, err := repl.NewNode(srv, repl.Config{
+		Role:         role,
+		Leader:       follow,
+		DataDir:      dataDir,
+		Dataset:      dcfg,
+		PollInterval: replPoll,
+	})
+	if err != nil {
+		return err
+	}
+	if follow != "" {
+		t0 := time.Now()
+		if err := node.Start(); err != nil {
+			return fmt.Errorf("following %s: %w", follow, err)
+		}
+		registered = len(node.Stats().Tails)
+		log.Printf("following %s: %d dataset(s) replicating (bootstrapped in %v)",
+			follow, registered, time.Since(t0).Round(time.Millisecond))
 	}
 
 	maintDone := make(chan struct{})
@@ -244,7 +291,7 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           node.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -263,10 +310,11 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 	ctx, cancel := context.WithTimeout(context.Background(), maxTime+10*time.Second)
 	defer cancel()
 	close(maintDone)
+	node.Stop() // stop tailing before the datasets flush and close
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain: %v", err)
 	}
-	err := httpSrv.Shutdown(ctx)
+	err = httpSrv.Shutdown(ctx)
 	// After the drain nothing is mutating: flush every durable dataset
 	// with a final snapshot so the restart replays nothing and loses
 	// nothing.

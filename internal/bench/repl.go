@@ -1,0 +1,645 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/paq"
+)
+
+// ReplConfig configures the replication differential experiment
+// (`benchrunner -exp repl`): a leader paqld and N followers absorb a
+// randomized mutation/solve workload under fault injection — stream
+// cuts mid-record on one follower, a leader snapshot that truncates
+// the shipped log under every tail, a follower crash-restart — and
+// finish with a leader kill and an explicit promotion. An in-memory
+// twin mirrors every acknowledged mutation; any divergence between it
+// and any replica is an error.
+type ReplConfig struct {
+	// Ops is the number of acknowledged leader mutations before the
+	// failover; 0 means 400. A further Ops/8 run against the promoted
+	// leader.
+	Ops int
+	// Followers is the replica count; minimum (and default) 2.
+	Followers int
+	// Seed drives the op interleaving and fault points; 0 means the
+	// Env's seed.
+	Seed int64
+	// Dir is the root durability directory (leader and follower stores
+	// under it); empty means a fresh temp dir (removed afterwards).
+	Dir string
+}
+
+// ReplResult summarizes the experiment.
+type ReplResult struct {
+	Followers                  int
+	Acked                      int
+	Inserted, Deleted, Updated int
+	// PostFailoverAcked counts mutations acknowledged by the promoted
+	// leader.
+	PostFailoverAcked int
+	// StreamCuts is the number of /repl/wal responses the fault injector
+	// truncated mid-record; Resyncs the snapshot re-bootstraps the
+	// followers performed (the leader-snapshot fault forces at least
+	// one).
+	StreamCuts uint64
+	Resyncs    uint64
+	// PromotedEpoch is the epoch the promoted follower now writes under
+	// (≥ 2); DrainedRecords what its final drain applied.
+	PromotedEpoch  uint64
+	DrainedRecords uint64
+	// Bound is the worst quality bound across all sessions; every
+	// follower's objective must stay within it of the twin's.
+	Bound   float64
+	Queries []IngestQueryResult
+	Elapsed time.Duration
+}
+
+// cuttingTransport injects stream faults: it truncates every cutEvery-th
+// /repl/wal response body at a random byte — usually mid-record — as a
+// connection dropped mid-transfer would.
+type cuttingTransport struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	n    int
+	cuts uint64
+}
+
+// cutEvery is the fault cadence: every 3rd WAL segment a cut follower
+// receives arrives truncated.
+const cutEvery = 3
+
+func (c *cuttingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK || !strings.HasSuffix(req.URL.Path, "/repl/wal") {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	c.mu.Lock()
+	c.n++
+	if c.n%cutEvery == 0 && len(body) > 1 {
+		body = body[:1+c.rng.Intn(len(body)-1)]
+		c.cuts++
+	}
+	c.mu.Unlock()
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+func (c *cuttingTransport) count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cuts
+}
+
+// replFollower is one running follower: its server, replication node,
+// and HTTP front.
+type replFollower struct {
+	srv     *server.Server
+	node    *repl.Node
+	httpSrv *http.Server
+	url     string
+	dir     string
+}
+
+// crash tears the follower down without closing its datasets — the
+// sessions are abandoned mid-flight, exactly as a kill would leave
+// them; only their own WALs carry the applied records across.
+func (f *replFollower) crash() {
+	f.node.Stop()
+	_ = f.httpSrv.Close()
+}
+
+func (f *replFollower) session() *paq.Session {
+	ds := f.srv.Dataset("galaxy")
+	if ds == nil {
+		return nil
+	}
+	return ds.Session()
+}
+
+// startReplFollower boots a follower over dir (bootstrapping from the
+// leader snapshot when dir is empty, resuming from local state when
+// not) and serves its API on a loopback port. cut, when non-nil,
+// injects stream faults into its tail.
+func (e *Env) startReplFollower(leaderURL, dir string, dsCfg server.DatasetConfig, cut *cuttingTransport) (*replFollower, error) {
+	srv := server.New(server.Config{MaxQueued: 4096, DefaultTimeout: e.cfg.TimeLimit + time.Minute})
+	var client *http.Client
+	if cut != nil {
+		client = &http.Client{Transport: cut, Timeout: 60 * time.Second}
+	}
+	node, err := repl.NewNode(srv, repl.Config{
+		Role:         repl.RoleFollower,
+		Leader:       leaderURL,
+		DataDir:      dir,
+		Dataset:      dsCfg,
+		PollInterval: 5 * time.Millisecond,
+		Client:       client,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := node.Start(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: node.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return &replFollower{
+		srv: srv, node: node, httpSrv: httpSrv,
+		url: "http://" + ln.Addr().String(), dir: dir,
+	}, nil
+}
+
+// replMutator drives acknowledged mutations through the leader's HTTP
+// API and mirrors each acknowledgement into the in-memory twin — the
+// ground truth every replica is later compared against.
+type replMutator struct {
+	client   *http.Client
+	twin     *paq.Session
+	full     *relation.Relation
+	base     int
+	rng      *rand.Rand
+	live     []int
+	nextPool int
+
+	acked, inserted, deleted, updated int
+}
+
+func jsonRow(row []relation.Value) ([]any, error) {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch v.Type() {
+		case relation.Int:
+			n, err := v.Int()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		case relation.Float:
+			f, err := v.Float()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		default:
+			s, err := v.Str()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+	}
+	return out, nil
+}
+
+func (m *replMutator) post(url string, req server.MutateRequest) (*server.MutateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.client.Post(url+"/datasets/galaxy/rows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var mr server.MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, err
+	}
+	return &mr, nil
+}
+
+// run applies ops acknowledged single-row mutations against url. Every
+// acknowledgement is mirrored into the twin, and the reported version
+// must match the twin's after the mirror — the per-op zero-loss
+// anchor.
+func (m *replMutator) run(url string, ops int) error {
+	for op := 0; op < ops; op++ {
+		var (
+			mr  *server.MutateResponse
+			err error
+		)
+		switch k := m.rng.Float64(); {
+		case (k < 0.5 && m.nextPool < m.full.Len()) || len(m.live) < m.base/2:
+			row := m.full.Row(m.nextPool % m.full.Len())
+			m.nextPool++
+			vals, jerr := jsonRow(row)
+			if jerr != nil {
+				return jerr
+			}
+			if mr, err = m.post(url, server.MutateRequest{Insert: [][]any{vals}}); err != nil {
+				return fmt.Errorf("insert op %d: %w", op, err)
+			}
+			if _, _, err := m.twin.InsertRows([][]relation.Value{row}); err != nil {
+				return fmt.Errorf("twin insert op %d: %w", op, err)
+			}
+			m.live = append(m.live, m.twin.Rel().Len()-1)
+			m.inserted++
+		case k < 0.8:
+			i := m.rng.Intn(len(m.live))
+			row := m.live[i]
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			if mr, err = m.post(url, server.MutateRequest{Delete: []int{row}}); err != nil {
+				return fmt.Errorf("delete op %d: %w", op, err)
+			}
+			if _, err := m.twin.DeleteRows([]int{row}); err != nil {
+				return fmt.Errorf("twin delete op %d: %w", op, err)
+			}
+			m.deleted++
+		default:
+			victim := m.live[m.rng.Intn(len(m.live))]
+			row := m.full.Row(m.rng.Intn(m.base))
+			vals, jerr := jsonRow(row)
+			if jerr != nil {
+				return jerr
+			}
+			if mr, err = m.post(url, server.MutateRequest{Update: []server.UpdateRow{{Row: victim, Values: vals}}}); err != nil {
+				return fmt.Errorf("update op %d: %w", op, err)
+			}
+			if _, err := m.twin.UpdateRows([]int{victim}, [][]relation.Value{row}); err != nil {
+				return fmt.Errorf("twin update op %d: %w", op, err)
+			}
+			m.updated++
+		}
+		m.acked++
+		if tv := m.twin.Version(); mr.Version != tv {
+			return fmt.Errorf("op %d: leader acknowledged version %d, twin at %d (streams diverged)", op, mr.Version, tv)
+		}
+	}
+	return nil
+}
+
+// waitReplCaughtUp blocks until the follower's galaxy tail reports
+// zero lag at or past version.
+func waitReplCaughtUp(f *replFollower, version uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var st repl.TailStats
+	for time.Now().Before(deadline) {
+		st = f.node.Stats().Tails["galaxy"]
+		if st.CaughtUp && st.Lag == 0 && st.LocalVersion >= version {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("follower %s never caught up to version %d: %+v", f.dir, version, st)
+}
+
+// replicaEqual compares a replica's relation cell-for-cell against the
+// twin's.
+func replicaEqual(who string, replica, twin *paq.Session) error {
+	if rv, tv := replica.Version(), twin.Version(); rv != tv {
+		return fmt.Errorf("%s: version %d, twin at %d (acknowledged mutations lost)", who, rv, tv)
+	}
+	ra, rb := replica.Rel(), twin.Rel()
+	if ra.Len() != rb.Len() || ra.Live() != rb.Live() {
+		return fmt.Errorf("%s: %d/%d rows, twin has %d/%d", who, ra.Len(), ra.Live(), rb.Len(), rb.Live())
+	}
+	for r := 0; r < ra.Len(); r++ {
+		if ra.Deleted(r) != rb.Deleted(r) {
+			return fmt.Errorf("%s: tombstone of row %d diverges", who, r)
+		}
+		if ra.Deleted(r) {
+			continue
+		}
+		for c := 0; c < ra.Schema().Len(); c++ {
+			if !ra.Value(r, c).Equal(rb.Value(r, c)) {
+				return fmt.Errorf("%s: cell (%d,%d) diverges: %v vs %v", who, r, c, ra.Value(r, c), rb.Value(r, c))
+			}
+		}
+	}
+	return nil
+}
+
+// Repl runs the leader/follower replication differential. Any
+// divergence between a replica and the twin — a lost acknowledged
+// mutation, a version mismatch, an objective beyond the quality bound,
+// a follower that never returns to zero lag after a fault — is an
+// error.
+func (e *Env) Repl(cfg ReplConfig) (*ReplResult, error) {
+	start := time.Now()
+	if cfg.Ops <= 0 {
+		cfg.Ops = 400
+	}
+	if cfg.Followers < 2 {
+		cfg.Followers = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = e.cfg.Seed
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "paq-repl-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	const convergeTimeout = 120 * time.Second
+	res := &ReplResult{Followers: cfg.Followers}
+	fail := func(format string, args ...any) (*ReplResult, error) {
+		return res, fmt.Errorf("bench: repl: "+format, args...)
+	}
+
+	base := e.cfg.GalaxyN
+	maxInserts := cfg.Ops + cfg.Ops/8 + 16
+	full := workload.Galaxy(base+maxInserts, e.cfg.Seed)
+	queries := e.queries[Galaxy]
+	attrs := e.attrs[Galaxy]
+	dsCfg := server.DatasetConfig{
+		Attrs: attrs, TauFrac: e.cfg.TauFrac, Workers: e.cfg.Workers,
+		TimeLimit: e.cfg.TimeLimit, MaxNodes: e.cfg.MaxNodes, Gap: e.cfg.Gap,
+		Seed: e.cfg.Seed, Racers: 1,
+	}
+
+	// Leader: a durable Galaxy dataset behind a replication node.
+	leaderCfg := dsCfg
+	leaderCfg.DataDir = filepath.Join(dir, "leader")
+	leaderDS, err := server.NewDataset("galaxy", full.Subset("galaxy", full.AllRows()[:base]), leaderCfg)
+	if err != nil {
+		return fail("leader dataset: %v", err)
+	}
+	leaderSrv := server.New(server.Config{MaxQueued: 4096, DefaultTimeout: e.cfg.TimeLimit + time.Minute})
+	leaderSrv.Register(leaderDS)
+	leaderNode, err := repl.NewNode(leaderSrv, repl.Config{Role: repl.RoleLeader})
+	if err != nil {
+		return fail("leader node: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("leader listen: %v", err)
+	}
+	leaderHTTP := &http.Server{Handler: leaderNode.Handler()}
+	go func() { _ = leaderHTTP.Serve(ln) }()
+	leaderURL := "http://" + ln.Addr().String()
+
+	// The in-memory twin: same initial data, same solver configuration,
+	// fed only by acknowledgements.
+	twin, err := paq.Open(paq.Table(full.Subset("galaxy", full.AllRows()[:base])), e.sessionOpts(
+		paq.WithPartitionAttrs(attrs...),
+		paq.WithSeed(e.cfg.Seed),
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithWarmPartitioning())...)
+	if err != nil {
+		return fail("twin: %v", err)
+	}
+
+	// Followers; follower 0's stream runs through the fault injector.
+	cut := &cuttingTransport{rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	fols := make([]*replFollower, cfg.Followers)
+	for i := range fols {
+		var c *cuttingTransport
+		if i == 0 {
+			c = cut
+		}
+		fols[i], err = e.startReplFollower(leaderURL, filepath.Join(dir, fmt.Sprintf("follower%d", i)), dsCfg, c)
+		if err != nil {
+			return fail("follower %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, f := range fols {
+			if f != nil {
+				f.crash()
+			}
+		}
+	}()
+
+	mut := &replMutator{
+		client: &http.Client{Timeout: 60 * time.Second},
+		twin:   twin, full: full, base: base,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		live: twin.Rel().AllRows(),
+	}
+
+	// ---- phase 1: mutations under stream cuts --------------------------
+	if err := mut.run(leaderURL, cfg.Ops/2); err != nil {
+		return fail("phase 1: %v", err)
+	}
+	for i, f := range fols {
+		if err := waitReplCaughtUp(f, twin.Version(), convergeTimeout); err != nil {
+			return fail("phase 1: follower %d: %v", i, err)
+		}
+	}
+
+	// ---- fault: leader snapshot truncates the shipped log --------------
+	// Every follower's byte cursor dies; all must resync from the new
+	// snapshot and return to zero lag. The twin mirrors the compaction
+	// so versions and row indices stay aligned.
+	if err := leaderDS.Session().Snapshot(); err != nil {
+		return fail("leader snapshot: %v", err)
+	}
+	if _, err := twin.Compact(); err != nil {
+		return fail("twin compact: %v", err)
+	}
+	mut.live = twin.Rel().AllRows()
+
+	// ---- phase 2: more mutations; follower 1 crash-restarts mid-way ----
+	if err := mut.run(leaderURL, cfg.Ops/4); err != nil {
+		return fail("phase 2: %v", err)
+	}
+	fols[1].crash()
+	if fols[1], err = e.startReplFollower(leaderURL, fols[1].dir, dsCfg, nil); err != nil {
+		return fail("follower 1 restart: %v", err)
+	}
+	if err := mut.run(leaderURL, cfg.Ops-cfg.Ops/2-cfg.Ops/4); err != nil {
+		return fail("phase 2b: %v", err)
+	}
+	for i, f := range fols {
+		if err := waitReplCaughtUp(f, twin.Version(), convergeTimeout); err != nil {
+			return fail("phase 2: follower %d: %v", i, err)
+		}
+	}
+
+	// ---- convergence: every replica equals the twin --------------------
+	for i, f := range fols {
+		st := f.node.Stats().Tails["galaxy"]
+		res.Resyncs += st.Resyncs
+		if err := replicaEqual(fmt.Sprintf("follower %d", i), f.session(), twin); err != nil {
+			return fail("%v", err)
+		}
+	}
+	res.StreamCuts = cut.count()
+	if res.StreamCuts == 0 {
+		return fail("fault injector cut no streams (faults never fired)")
+	}
+	if res.Resyncs == 0 {
+		return fail("no follower resynced across the leader snapshot (fault never bit)")
+	}
+	res.Acked = mut.acked
+
+	// ---- solve differential: followers vs twin -------------------------
+	solve := func(s *paq.Session, paql string) Measurement {
+		return measure(func() (*paq.Result, error) {
+			stmt, err := s.Prepare(paql, paq.WithMethod(paq.MethodSketchRefine))
+			if err != nil {
+				return nil, err
+			}
+			return stmt.Execute(context.Background())
+		})
+	}
+	var firstViolation error
+	for _, q := range queries {
+		if q.Hard {
+			continue // combinatorially hard for the ILP stand-in at any partitioning
+		}
+		bound := twin.QualityBound(q.Maximize)
+		for _, f := range fols {
+			if fb := f.session().QualityBound(q.Maximize); fb > bound {
+				bound = fb
+			}
+		}
+		if bound > res.Bound {
+			res.Bound = bound
+		}
+		ref := solve(twin, q.PaQL)
+		for i, f := range fols {
+			qr := IngestQueryResult{Query: fmt.Sprintf("%s/f%d", q.Name, i), Ratio: math.NaN()}
+			qr.Maintained = solve(f.session(), q.PaQL)
+			qr.Rebuilt = ref
+			fOK, tOK := qr.Maintained.Err == nil, ref.Err == nil
+			switch {
+			case fOK != tOK:
+				if firstViolation == nil {
+					firstViolation = fmt.Errorf("bench: repl: %s: feasibility diverged on follower %d (follower err %v, twin err %v)",
+						q.Name, i, qr.Maintained.Err, ref.Err)
+				}
+			case fOK:
+				lo, hi := qr.Maintained.Objective, ref.Objective
+				if math.Abs(lo) > math.Abs(hi) {
+					lo, hi = hi, lo
+				}
+				qr.Ratio = 1
+				if lo != hi {
+					qr.Ratio = math.Abs(hi) / math.Abs(lo)
+				}
+				if math.IsNaN(qr.Ratio) || qr.Ratio > bound {
+					if firstViolation == nil {
+						firstViolation = fmt.Errorf("bench: repl: %s: follower %d objective ratio %g exceeds quality bound %g (follower %g, twin %g)",
+							q.Name, i, qr.Ratio, bound, qr.Maintained.Objective, ref.Objective)
+					}
+				}
+			}
+			res.Queries = append(res.Queries, qr)
+		}
+	}
+	if firstViolation != nil {
+		return res, firstViolation
+	}
+
+	// ---- failover: kill the leader, promote follower 0 -----------------
+	// The shipped tail is fully drained (lag 0 above), so promotion must
+	// carry every acknowledged mutation across. The leader dies hard:
+	// listener closed, sessions abandoned.
+	_ = leaderHTTP.Close()
+	resp, err := mut.client.Post(fols[0].url+"/repl/promote", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return fail("promote: %v", err)
+	}
+	var pr repl.PromoteResult
+	perr := json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || perr != nil {
+		return fail("promote: HTTP %d (decode err %v)", resp.StatusCode, perr)
+	}
+	res.PromotedEpoch = pr.Epoch
+	res.DrainedRecords = pr.DrainedRecords
+	if pr.Epoch < 2 {
+		return fail("promotion kept epoch %d, want >= 2", pr.Epoch)
+	}
+	if got, want := pr.Datasets["galaxy"], twin.Version(); got != want {
+		return fail("promoted at version %d, twin at %d (acknowledged mutations lost in failover)", got, want)
+	}
+
+	// ---- life after failover -------------------------------------------
+	// The promoted leader accepts mutations; follower 1 re-points at it
+	// and converges — its cursor carries over because every follower
+	// writes its own WAL, which the new leader's version-indexed stream
+	// can resume from.
+	if err := mut.run(fols[0].url, cfg.Ops/8); err != nil {
+		return fail("post-failover mutations: %v", err)
+	}
+	res.PostFailoverAcked = cfg.Ops / 8
+	fols[1].crash()
+	if fols[1], err = e.startReplFollower(fols[0].url, fols[1].dir, dsCfg, nil); err != nil {
+		return fail("follower 1 re-point: %v", err)
+	}
+	if err := waitReplCaughtUp(fols[1], twin.Version(), convergeTimeout); err != nil {
+		return fail("post-failover: %v", err)
+	}
+	if err := replicaEqual("promoted leader", fols[0].session(), twin); err != nil {
+		return fail("%v", err)
+	}
+	if err := replicaEqual("re-pointed follower 1", fols[1].session(), twin); err != nil {
+		return fail("%v", err)
+	}
+	res.Inserted, res.Deleted, res.Updated = mut.inserted, mut.deleted, mut.updated
+	res.Elapsed = time.Since(start)
+
+	// ---- report ---------------------------------------------------------
+	fmt.Fprintf(e.cfg.Out, "Replication differential (Galaxy, %d rows; %d followers)\n", base, cfg.Followers)
+	fmt.Fprintf(e.cfg.Out, "%d acked mutations (%d ins / %d del / %d upd) + %d after failover; %d stream cuts, %d resyncs\n",
+		res.Acked, res.Inserted, res.Deleted, res.Updated, res.PostFailoverAcked, res.StreamCuts, res.Resyncs)
+	fmt.Fprintf(e.cfg.Out, "promoted follower 0 to epoch %d (drained %d records); all replicas converged with the twin\n",
+		res.PromotedEpoch, res.DrainedRecords)
+	fmt.Fprintf(e.cfg.Out, "%-10s %14s %14s %8s\n", "query", "follower", "twin", "ratio")
+	for _, qr := range res.Queries {
+		fmt.Fprintf(e.cfg.Out, "%-10s %14s %14s %8.4f\n",
+			qr.Query, fmtObjective(qr.Maintained), fmtObjective(qr.Rebuilt), qr.Ratio)
+	}
+	fmt.Fprintf(e.cfg.Out, "quality bound %.4g; %d follower solves differentially checked in %v\n",
+		res.Bound, len(res.Queries), res.Elapsed.Round(time.Millisecond))
+
+	var solveMS []float64
+	for _, q := range res.Queries {
+		if q.Maintained.Err == nil {
+			solveMS = append(solveMS, float64(q.Maintained.Time)/float64(time.Millisecond))
+		}
+	}
+	e.Record(ExperimentResult{
+		Experiment: "repl",
+		P50SolveMS: percentile(solveMS, 0.50),
+		P95SolveMS: percentile(solveMS, 0.95),
+		Extra: map[string]float64{
+			"followers":           float64(res.Followers),
+			"acked":               float64(res.Acked),
+			"post_failover_acked": float64(res.PostFailoverAcked),
+			"stream_cuts":         float64(res.StreamCuts),
+			"resyncs":             float64(res.Resyncs),
+			"promoted_epoch":      float64(res.PromotedEpoch),
+			"drained_records":     float64(res.DrainedRecords),
+			"quality_bound":       res.Bound,
+		},
+	})
+	return res, nil
+}

@@ -70,20 +70,46 @@ func (e *Env) Results() []ExperimentResult {
 
 // WriteResults persists every recorded experiment result as indented
 // JSON (benchrunner's -results flag routes it to BENCH_results.json).
+// An existing file is merged into, not clobbered: records from
+// experiments this run did not execute survive, and records from
+// experiments it did are replaced — so CI jobs running different
+// experiment subsets against the same artifact compose instead of the
+// last writer erasing the others. An unparseable existing file is
+// started over (the bench run's own results must never be lost to a
+// corrupt leftover).
 func (e *Env) WriteResults(path string) error {
 	var f ResultsFile
 	f.Config.GalaxyN = e.cfg.GalaxyN
 	f.Config.TPCHN = e.cfg.TPCHN
 	f.Config.Seed = e.cfg.Seed
-	f.Experiments = e.results
-	if f.Experiments == nil {
-		f.Experiments = []ExperimentResult{}
-	}
+	f.Experiments = e.mergeExisting(path)
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// mergeExisting folds this run's results over the experiments already
+// persisted at path: same-name records are superseded, others kept (in
+// their original order, ahead of the new ones).
+func (e *Env) mergeExisting(path string) []ExperimentResult {
+	fresh := make(map[string]bool, len(e.results))
+	for _, r := range e.results {
+		fresh[r.Experiment] = true
+	}
+	merged := []ExperimentResult{}
+	if data, err := os.ReadFile(path); err == nil {
+		var prev ResultsFile
+		if json.Unmarshal(data, &prev) == nil {
+			for _, r := range prev.Experiments {
+				if !fresh[r.Experiment] {
+					merged = append(merged, r)
+				}
+			}
+		}
+	}
+	return append(merged, e.results...)
 }
 
 // percentile returns the p-th percentile (0 ≤ p ≤ 1) of the series by

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteResultsMergesExisting pins the merge semantics of
+// WriteResults: CI jobs running different experiments against the same
+// BENCH_results.json must compose — the last writer re-records its own
+// experiments and keeps everyone else's.
+func TestWriteResultsMergesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	newEnv := func() *Env {
+		e, err := NewEnv(Config{GalaxyN: 1000, TPCHN: 1000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	read := func() []ExperimentResult {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f ResultsFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatal(err)
+		}
+		return f.Experiments
+	}
+
+	// Run 1 writes the recover experiment.
+	e1 := newEnv()
+	e1.Record(ExperimentResult{Experiment: "recover", RecoveryMS: 12})
+	if err := e1.WriteResults(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2 writes a different experiment: recover must survive.
+	e2 := newEnv()
+	e2.Record(ExperimentResult{Experiment: "repl", P50SolveMS: 3})
+	if err := e2.WriteResults(path); err != nil {
+		t.Fatal(err)
+	}
+	got := read()
+	if len(got) != 2 || got[0].Experiment != "recover" || got[1].Experiment != "repl" {
+		t.Fatalf("after second run: %+v (want recover then repl)", got)
+	}
+	if got[0].RecoveryMS != 12 {
+		t.Fatalf("recover record rewritten: %+v", got[0])
+	}
+
+	// Run 3 re-runs repl: its record is replaced, not duplicated.
+	e3 := newEnv()
+	e3.Record(ExperimentResult{Experiment: "repl", P50SolveMS: 7})
+	if err := e3.WriteResults(path); err != nil {
+		t.Fatal(err)
+	}
+	got = read()
+	if len(got) != 2 || got[1].Experiment != "repl" || got[1].P50SolveMS != 7 {
+		t.Fatalf("after repl re-run: %+v (want recover kept, repl replaced)", got)
+	}
+
+	// A corrupt leftover never blocks the write: start over with this
+	// run's results.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e4 := newEnv()
+	e4.Record(ExperimentResult{Experiment: "recover", RecoveryMS: 9})
+	if err := e4.WriteResults(path); err != nil {
+		t.Fatal(err)
+	}
+	got = read()
+	if len(got) != 1 || got[0].Experiment != "recover" || got[0].RecoveryMS != 9 {
+		t.Fatalf("after corrupt file: %+v (want just the fresh record)", got)
+	}
+
+	// An empty run still writes a valid document (experiments: [] when
+	// nothing existed before).
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := newEnv().WriteResults(empty); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Experiments []ExperimentResult `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Experiments == nil || len(f.Experiments) != 0 {
+		t.Fatalf("empty run wrote experiments=%v, want []", f.Experiments)
+	}
+}

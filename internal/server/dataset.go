@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/relation"
@@ -106,8 +107,9 @@ func (c DatasetConfig) options(rel *relation.Relation) []paq.Option {
 // per-method solution caches are shared across all requests that hit
 // the dataset.
 type Dataset struct {
-	name string
-	sess *paq.Session
+	name    string
+	sess    *paq.Session
+	replica atomic.Bool
 }
 
 // NewDataset builds a served dataset: it opens a paq session over the
@@ -198,9 +200,27 @@ func (d *Dataset) Version() uint64 { return d.sess.Version() }
 // in-memory datasets).
 func (d *Dataset) DurStats() paq.DurStats { return d.sess.DurStats() }
 
+// SetReplica marks (or unmarks) the dataset as a replication
+// follower. A replica applies its leader's WAL by physical row index,
+// so its row layout must never be renumbered out from under the
+// stream: background maintenance skips compaction and snapshotting for
+// it, and Close preserves the layout (the replica's own WAL carries
+// any tombstones across a restart). Promotion clears the mark, after
+// which the dataset is maintained like any other.
+func (d *Dataset) SetReplica(v bool) { d.replica.Store(v) }
+
+// IsReplica reports whether the dataset is a replication follower.
+func (d *Dataset) IsReplica() bool { return d.replica.Load() }
+
 // Close flushes a durable dataset (final snapshot) and closes its
-// store; a no-op for in-memory datasets.
-func (d *Dataset) Close() error { return d.sess.Close() }
+// store; a no-op for in-memory datasets. Replicas close without
+// compacting (see SetReplica).
+func (d *Dataset) Close() error {
+	if d.IsReplica() {
+		return d.sess.ClosePreservingLayout()
+	}
+	return d.sess.Close()
+}
 
 // Methods lists the methods the dataset serves, sorted.
 func (d *Dataset) Methods() []string {

@@ -125,6 +125,15 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	defer s.leave()
 	s.ctr.mutations.Add(1)
 
+	// The replication gate runs before any work: a follower (or a fenced
+	// ex-leader) refuses writes outright so a client retries against the
+	// current leader instead of splitting the brain.
+	if err := s.checkMutationGate(); err != nil {
+		s.ctr.rejected.Add(1)
+		s.failf(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
 	ds := s.Dataset(r.PathValue("name"))
 	if ds == nil {
 		s.ctr.badRequest.Add(1)

@@ -116,6 +116,13 @@ type Server struct {
 	draining bool          // no new requests admitted
 	idle     chan struct{} // closed when draining and active == 0
 
+	// replMu guards the replication hooks a repl.Node installs: a
+	// mutation gate (refuse writes on followers and fenced leaders) and
+	// a stats block surfaced under /stats "replication".
+	replMu    sync.RWMutex
+	mutGate   func() error
+	replStats func() any
+
 	ctr counters
 }
 
@@ -168,6 +175,36 @@ func (s *Server) Dataset(name string) *Dataset {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.datasets[name]
+}
+
+// SetMutationGate installs a check run before every mutation request;
+// a non-nil error refuses the batch with 503 (the client should retry
+// against the current leader). The replication layer uses it to make
+// followers and fenced ex-leaders read-only. Pass nil to clear.
+func (s *Server) SetMutationGate(gate func() error) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	s.mutGate = gate
+}
+
+// checkMutationGate returns the installed gate's verdict (nil when no
+// gate is installed).
+func (s *Server) checkMutationGate() error {
+	s.replMu.RLock()
+	gate := s.mutGate
+	s.replMu.RUnlock()
+	if gate == nil {
+		return nil
+	}
+	return gate()
+}
+
+// SetReplStats installs the provider of the /stats "replication"
+// block (role, epoch, per-dataset lag). Pass nil to clear.
+func (s *Server) SetReplStats(fn func() any) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	s.replStats = fn
 }
 
 // Handler returns the HTTP API:
@@ -259,6 +296,13 @@ func (s *Server) MaintainOnce() []string {
 	s.mu.RUnlock()
 	var actions []string
 	for _, ds := range datasets {
+		if ds.IsReplica() {
+			// A replica's layout mirrors its leader's byte-for-byte;
+			// compacting or snapshotting it locally would renumber rows out
+			// from under the replication stream. Its leader does the
+			// reclaiming; the follower picks it up through resync.
+			continue
+		}
 		// Len/Live are plain fields mutated under the session's write
 		// lock; read them under the read side, not bare (this runs on a
 		// timer goroutine concurrent with HTTP mutations).
@@ -660,6 +704,9 @@ type StatsResponse struct {
 	Backtracks  uint64                  `json:"backtracks_total"`
 	Subproblems uint64                  `json:"subproblems_total"`
 	Datasets    map[string]DatasetStats `json:"datasets"`
+	// Replication is the repl.Node's status block (role, epoch,
+	// per-dataset tail lag); absent when the node is not replicated.
+	Replication any `json:"replication,omitempty"`
 }
 
 // DatasetStats summarizes one dataset and its per-method caches.
@@ -764,6 +811,11 @@ func (s *Server) Stats() StatsResponse {
 		Subproblems:  s.ctr.subproblems.Load(),
 		Datasets:     make(map[string]DatasetStats),
 	}
+	s.replMu.RLock()
+	if s.replStats != nil {
+		resp.Replication = s.replStats()
+	}
+	s.replMu.RUnlock()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for name, ds := range s.datasets {

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file is the store's replication surface: file-level read access
+// to the WAL and snapshot that lets a leader ship its log to followers
+// without holding the owning session's locks. The WAL is append-only
+// between resets, so reading the file concurrently with appends is
+// safe: a reader sees a prefix of the record stream plus at most one
+// torn tail, which the framing walk stops cleanly before. Truncations
+// (snapshot resets) are detected by the caller via the snapshot
+// version, which changes on every reset.
+
+// ErrNotBoundary reports a replication read that does not land on a
+// record boundary — a stale offset after a WAL truncation, or a
+// version the log no longer covers. The follower's recovery is a full
+// resync from the current snapshot.
+var ErrNotBoundary = errors.New("store: offset is not a WAL record boundary")
+
+// WALStart is the offset of the first record in a WAL file (just past
+// the magic header) — the lowest valid replication offset.
+const WALStart = int64(len(walMagic))
+
+// RecordPreVersion parses only the kind and pre-version of an encoded
+// record payload — the replication path's version gate, which must not
+// pay a full decode (or need the schema) to decide whether a record is
+// already applied.
+func RecordPreVersion(payload []byte) (Kind, uint64, error) {
+	if len(payload) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	k := Kind(payload[0])
+	switch k {
+	case KindInsert, KindDelete, KindUpdate:
+	default:
+		return 0, 0, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, payload[0])
+	}
+	pre, n := binary.Uvarint(payload[1:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated record pre-version", ErrCorrupt)
+	}
+	return k, pre, nil
+}
+
+// ReadWALSegment reads complete, checksum-verified record frames from
+// the WAL at path, starting at byte offset from (which must be a
+// record boundary; WALStart for the beginning). maxEnd, when positive,
+// caps the absolute end offset — the leader passes its durable sync
+// watermark so a follower never receives bytes a leader crash could
+// take back. maxBytes, when positive, bounds the segment size (always
+// rounded down to whole records).
+//
+// It returns the framed bytes [from, end) and the end offset; an empty
+// segment with end == from means the follower is caught up. A from
+// that is not a boundary of the current file returns ErrNotBoundary.
+func ReadWALSegment(path string, from, maxEnd, maxBytes int64) ([]byte, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if from < WALStart {
+		from = WALStart
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
+	}
+	off := WALStart
+	onBoundary := off == from
+	end := off
+	for {
+		if maxEnd > 0 && off >= maxEnd {
+			break
+		}
+		rest := data[off:]
+		if int64(len(rest)) < walFrameHeader {
+			break // torn or empty tail
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length == 0 || length > maxWALRecord {
+			return nil, 0, fmt.Errorf("%w: %s: record at offset %d has impossible length %d", ErrCorrupt, path, off, length)
+		}
+		next := off + walFrameHeader + int64(length)
+		if next > int64(len(data)) {
+			break // torn payload at the tail
+		}
+		if maxEnd > 0 && next > maxEnd {
+			break // frame not yet fully covered by the durable watermark
+		}
+		if crc32.Checksum(data[off+walFrameHeader:next], castagnoli) != sum {
+			return nil, 0, fmt.Errorf("%w: %s: record at offset %d fails its checksum", ErrCorrupt, path, off)
+		}
+		if off == from {
+			onBoundary = true
+		}
+		if off >= from {
+			if maxBytes > 0 && next-from > maxBytes && end > from {
+				break // segment full; stop on the previous whole record
+			}
+			end = next
+		}
+		off = next
+	}
+	if off == from {
+		onBoundary = true // caught up exactly at the end of the record stream
+	}
+	if !onBoundary {
+		return nil, 0, fmt.Errorf("%w: %s: offset %d", ErrNotBoundary, path, from)
+	}
+	if end < from {
+		end = from
+	}
+	return data[from:end], end, nil
+}
+
+// OffsetOfVersion maps a dataset version to the WAL byte offset of the
+// first record a dataset at that version still needs — the follower's
+// crash-safe resume cursor (its own dataset version) translated into
+// the leader's log. A version the log has already folded away (it
+// predates every record and the records are not contiguous with it)
+// returns ErrNotBoundary: the follower must resync from the snapshot.
+// A version at or past the log's end returns the end offset (caught
+// up).
+func OffsetOfVersion(path string, version uint64) (int64, error) {
+	next := uint64(0) // version reached after the records walked so far
+	matched := false
+	end, err := scanWALOffsets(path, func(off int64, payload []byte) (bool, error) {
+		_, pre, err := RecordPreVersion(payload)
+		if err != nil {
+			return false, err
+		}
+		if version < pre {
+			// Records are version-contiguous, so a version below this
+			// record's base either predates the whole log or falls inside
+			// the previous record's batch — neither is resumable.
+			return false, fmt.Errorf("%w: version %d not on a record boundary (record base %d)", ErrNotBoundary, version, pre)
+		}
+		if version == pre {
+			matched = true
+			return true, nil // resume here
+		}
+		ops, err := recordOps(payload)
+		if err != nil {
+			return false, err
+		}
+		next = pre + uint64(ops)
+		return false, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !matched && version < next {
+		// version falls inside the log's final record.
+		return 0, fmt.Errorf("%w: version %d is mid-record", ErrNotBoundary, version)
+	}
+	return end, nil
+}
+
+// recordOps parses the row count of an encoded record without the
+// schema (kind byte, pre-version uvarint, count uvarint).
+func recordOps(payload []byte) (int, error) {
+	if _, _, err := RecordPreVersion(payload); err != nil {
+		return 0, err
+	}
+	rest := payload[1:]
+	_, n := binary.Uvarint(rest)
+	count, m := binary.Uvarint(rest[n:])
+	if m <= 0 || count > maxBatchRows {
+		return 0, fmt.Errorf("%w: truncated record batch count", ErrCorrupt)
+	}
+	return int(count), nil
+}
+
+// scanWALOffsets is scanWAL with the record's own offset passed to fn;
+// fn returning stop=true ends the walk and returns that offset.
+func scanWALOffsets(path string, fn func(off int64, payload []byte) (stop bool, err error)) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return 0, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
+	}
+	off := WALStart
+	for {
+		rest := data[off:]
+		if int64(len(rest)) < walFrameHeader {
+			return off, nil
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length == 0 || length > maxWALRecord {
+			return off, fmt.Errorf("%w: %s: record at offset %d has impossible length %d", ErrCorrupt, path, off, length)
+		}
+		if int64(len(rest)) < walFrameHeader+int64(length) {
+			return off, nil // torn tail
+		}
+		payload := rest[walFrameHeader : walFrameHeader+int64(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, fmt.Errorf("%w: %s: record at offset %d fails its checksum", ErrCorrupt, path, off)
+		}
+		stop, err := fn(off, payload)
+		if err != nil || stop {
+			return off, err
+		}
+		off += walFrameHeader + int64(length)
+	}
+}
+
+// ReadFrame reads one length-prefixed, checksummed record frame from a
+// replication stream — the same framing ReadWALSegment ships. A clean
+// end of stream is io.EOF; a stream cut mid-frame is
+// io.ErrUnexpectedEOF (the caller resumes from its last applied
+// record); a checksum mismatch is ErrCorrupt. It returns the payload
+// and the total frame length consumed.
+func ReadFrame(r io.Reader) ([]byte, int64, error) {
+	var hdr [walFrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxWALRecord {
+		return nil, 0, fmt.Errorf("%w: streamed record has impossible length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("%w: streamed record fails its checksum", ErrCorrupt)
+	}
+	return payload, walFrameHeader + int64(length), nil
+}
+
+// ReadSnapshotBytes returns the raw, verified bytes of a store
+// directory's snapshot file and the dataset version it holds — what a
+// leader serves to bootstrap a follower. The header and checksum are
+// verified (so a torn or corrupt file is never shipped) but the
+// payload is not fully decoded.
+func ReadSnapshotBytes(dir string) ([]byte, uint64, error) {
+	path := filepath.Join(dir, snapFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := verifySnapshotFrame(path, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	version, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: %s: truncated snapshot version", ErrCorrupt, path)
+	}
+	return data, version, nil
+}
+
+// verifySnapshotFrame checks a snapshot file's magic, length, and
+// checksum and returns its payload.
+func verifySnapshotFrame(path string, data []byte) ([]byte, error) {
+	if len(data) < len(snapMagic)+12 {
+		return nil, fmt.Errorf("%w: %s: truncated snapshot header", ErrCorrupt, path)
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: %s: bad snapshot magic", ErrCorrupt, path)
+	}
+	length := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+8:])
+	payload := data[len(snapMagic)+12:]
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: %s: snapshot holds %d payload bytes, header says %d", ErrCorrupt, path, len(payload), length)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: %s: snapshot fails its checksum", ErrCorrupt, path)
+	}
+	return payload, nil
+}
+
+// InstallSnapshot bootstraps (or resyncs) a follower's store directory
+// from snapshot bytes shipped by a leader: the frame is fully verified
+// — header, checksum, and a complete decode — written atomically, and
+// the WAL is created fresh (a shipped snapshot re-roots the store, so
+// any previous log contents are invalid). The directory must not be in
+// use by an open Store.
+func InstallSnapshot(dir string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, snapFile)
+	payload, err := verifySnapshotFrame(path, data)
+	if err != nil {
+		return err
+	}
+	if _, err := decodeSnapshot(payload); err != nil {
+		return fmt.Errorf("install snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	w, err := CreateWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return err
+	}
+	return w.Close()
+}

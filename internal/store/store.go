@@ -72,8 +72,10 @@ type Store struct {
 // (surfaced by paqld's /stats).
 type Stats struct {
 	// WALBytes is the current WAL size (records since the last
-	// snapshot).
-	WALBytes int64
+	// snapshot); WALSynced the durably fsynced prefix of it — the only
+	// bytes replication may ship.
+	WALBytes  int64
+	WALSynced int64
 	// SnapshotVersion is the dataset version the latest snapshot holds.
 	SnapshotVersion uint64
 	// SnapshotAge is the time since the latest snapshot was written
@@ -305,6 +307,7 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 func (s *Store) Stats() Stats {
 	st := Stats{
 		WALBytes:        s.wal.Size(),
+		WALSynced:       s.wal.SyncedSize(),
 		SnapshotVersion: s.snapVersion,
 		Snapshots:       s.snapshots,
 		ReplayedOps:     s.replayedOps,

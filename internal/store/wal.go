@@ -283,6 +283,16 @@ func (w *WAL) Size() int64 {
 	return w.size
 }
 
+// SyncedSize returns the durable watermark: the byte offset every
+// fsync so far has covered. Replication ships only bytes below it — a
+// record beyond the watermark could vanish in a crash, and a follower
+// that applied it would silently diverge from the recovered leader.
+func (w *WAL) SyncedSize() int64 {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.synced
+}
+
 // GroupCommitStats reports (appends, fsyncs) since the WAL was opened;
 // fsyncs < appends is group commit batching concurrent commits.
 func (w *WAL) GroupCommitStats() (appends, syncs uint64) {

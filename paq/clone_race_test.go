@@ -1,0 +1,86 @@
+package paq_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/paq"
+)
+
+// TestCloneBatchRacesMutations drives ExecuteBatch on a clone while
+// the original session mutates the shared relation — the service
+// pattern of solving on one handle while ingestion runs on another.
+// Clones share the relation's write lock, so every Execute must see a
+// consistent snapshot; the race detector (this test's real assertion)
+// catches any access outside it.
+func TestCloneBatchRacesMutations(t *testing.T) {
+	sess, err := paq.Open(paq.Table(durTable(t, 150, 3)), durOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := sess.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := make([]*paq.Stmt, 4)
+	for i := range stmts {
+		if stmts[i], err = clone.Prepare(durQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const mutOps = 120
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		live := sess.Rel().AllRows()
+		for op := 0; op < mutOps; op++ {
+			switch k := rng.Float64(); {
+			case k < 0.5 || len(live) < 60:
+				if _, _, err := sess.InsertRows([][]relation.Value{durRow(rng)}); err != nil {
+					t.Errorf("insert op %d: %v", op, err)
+					return
+				}
+				live = append(live, sess.Rel().Len()-1)
+			default:
+				i := rng.Intn(len(live))
+				row := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if _, err := sess.DeleteRows([]int{row}); err != nil {
+					t.Errorf("delete op %d: %v", op, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Batches race the mutation stream; a mid-stream solve may land on
+	// any version, so only panics and data races are failures here.
+	ctx := context.Background()
+	for round := 0; round < 6; round++ {
+		for _, res := range clone.ExecuteBatch(ctx, stmts) {
+			if res == nil {
+				t.Fatal("ExecuteBatch left a nil result slot")
+			}
+		}
+	}
+	wg.Wait()
+
+	// Quiesced, the clone must solve cleanly over the mutated relation.
+	for i, res := range clone.ExecuteBatch(ctx, stmts) {
+		if res == nil {
+			t.Fatal("ExecuteBatch left a nil result slot")
+		}
+		if res.Err != nil {
+			t.Fatalf("statement %d after quiesce: %v", i, res.Err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("statement %d returned an empty package", i)
+		}
+	}
+}

@@ -23,8 +23,10 @@ type DurStats struct {
 	// Dir is the store directory.
 	Dir string `json:"dir,omitempty"`
 	// WALBytes is the current write-ahead log size — the bytes a crash
-	// would replay.
-	WALBytes int64 `json:"wal_bytes"`
+	// would replay. WALSyncedBytes is the durably fsynced prefix of it:
+	// the replication watermark (a leader ships only synced bytes).
+	WALBytes       int64 `json:"wal_bytes"`
+	WALSyncedBytes int64 `json:"wal_synced_bytes"`
 	// SnapshotVersion is the dataset version held by the latest
 	// snapshot; SnapshotAge the time since it was written.
 	SnapshotVersion uint64        `json:"snapshot_version"`
@@ -63,6 +65,7 @@ func (s *Session) DurStats() DurStats {
 		Durable:           true,
 		Dir:               s.st.Dir(),
 		WALBytes:          st.WALBytes,
+		WALSyncedBytes:    st.WALSynced,
 		SnapshotVersion:   st.SnapshotVersion,
 		SnapshotAge:       st.SnapshotAge,
 		Snapshots:         st.Snapshots,
@@ -268,6 +271,31 @@ func (s *Session) compactLocked() (int, error) {
 	s.compactions++
 	s.invalidateStale() // reaches every sibling's engines
 	return reclaimed, nil
+}
+
+// ClosePreservingLayout closes a durable session without ever
+// renumbering rows. A replica that applies a leader's log by physical
+// row index must keep its layout — tombstones included — identical to
+// the leader's, and the snapshot format only holds compacted
+// relations. So: with no tombstones present this is exactly Close (the
+// compaction inside the snapshot is a no-op); with tombstones the
+// final snapshot is skipped and the session's own WAL remains the
+// durable record — recovery replays it and rebuilds the tombstones in
+// place. Nothing acknowledged is lost either way.
+func (s *Session) ClosePreservingLayout() error {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if s.st == nil || s.st.IsClosed() {
+		return nil
+	}
+	var err error
+	if s.rel.Len() == s.rel.Live() {
+		err = s.snapshotLocked()
+	}
+	if cerr := s.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close flushes and closes a durable session: a final snapshot folds

@@ -1,0 +1,103 @@
+package paq_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/store"
+	"repro/paq"
+)
+
+// TestWALReplayIdempotence is the replay-idempotence property behind
+// both crash recovery and WAL-shipping replication: replaying any
+// prefix of the log twice must land in exactly the state of replaying
+// it once. The PreVersion carried by every record is what makes this
+// hold — a record below the recovered version is already folded in and
+// must be skipped, never re-applied. Three phases pin it down:
+//
+//  1. Two recoveries of the same WAL (no snapshot between) replay the
+//     same records and agree exactly.
+//  2. A WAL full of pre-snapshot records — rewritten wholesale under a
+//     newer snapshot, the worst case of the snapshot-rename/WAL-
+//     truncate crash window — replays zero ops and changes nothing.
+//  3. Fresh records appended after that stale prefix replay exactly
+//     once while the prefix still skips.
+func TestWALReplayIdempotence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := durOpts(paq.WithDurability(dir))
+
+			s1, err := paq.Open(paq.Table(durTable(t, 120, seed)), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			walPath := store.WALPath(s1.DurStats().Dir)
+			// One single-row mutation per op: one WAL record each, so
+			// ReplayedOps (a record count) must come back as exactly this.
+			const prefixOps = 25
+			applyStream(t, prefixOps, seed, s1)
+			walPre, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 1: recover twice off the same log; both replays see the
+			// full prefix and agree with the live session. s1 is abandoned,
+			// not closed — a close would fold the log away.
+			s2, err := paq.Open(nil, opts...)
+			if err != nil {
+				t.Fatalf("first recovery: %v", err)
+			}
+			if got := s2.DurStats().ReplayedOps; got != prefixOps {
+				t.Fatalf("first recovery replayed %d ops, want %d", got, prefixOps)
+			}
+			sessionsEqual(t, s1, s2)
+			s3, err := paq.Open(nil, opts...)
+			if err != nil {
+				t.Fatalf("second recovery: %v", err)
+			}
+			if got := s3.DurStats().ReplayedOps; got != prefixOps {
+				t.Fatalf("second recovery replayed %d ops, want %d (replay must be idempotent)", got, prefixOps)
+			}
+			sessionsEqual(t, s1, s3)
+
+			// Phase 2: snapshot (folds the prefix, truncates the log), then
+			// resurrect the pre-snapshot WAL bytes behind the snapshot's
+			// back. Every record now predates the snapshot: recovery must
+			// skip them all and reproduce the snapshot state untouched.
+			if err := s3.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			midVersion := s3.Version()
+			if err := os.WriteFile(walPath, walPre, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s4, err := paq.Open(nil, opts...)
+			if err != nil {
+				t.Fatalf("recovery over stale WAL: %v", err)
+			}
+			if got := s4.DurStats().ReplayedOps; got != 0 {
+				t.Fatalf("recovery replayed %d pre-snapshot ops, want 0 (double-apply)", got)
+			}
+			if got := s4.Version(); got != midVersion {
+				t.Fatalf("recovery over stale WAL at version %d, want %d", got, midVersion)
+			}
+			sessionsEqual(t, s3, s4)
+
+			// Phase 3: new mutations append after the stale prefix. Recovery
+			// must skip the prefix and replay exactly the suffix, once.
+			const suffixOps = 15
+			applyStream(t, suffixOps, seed+100, s4)
+			s5, err := paq.Open(nil, opts...)
+			if err != nil {
+				t.Fatalf("recovery over mixed WAL: %v", err)
+			}
+			if got := s5.DurStats().ReplayedOps; got != suffixOps {
+				t.Fatalf("mixed-WAL recovery replayed %d ops, want %d (stale prefix must skip, suffix apply once)", got, suffixOps)
+			}
+			sessionsEqual(t, s4, s5)
+		})
+	}
+}
