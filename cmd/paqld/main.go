@@ -48,7 +48,9 @@
 // (cadence -repl-poll), serves read/solve traffic from the replicated
 // state (mutations are refused with 503), reports per-dataset
 // replication lag under /stats, and becomes a leader itself on POST
-// /repl/promote. See docs/REPLICATION.md.
+// /repl/promote. Leader epochs and fences persist in
+// <data-dir>/repl_state.json, so a fenced ex-leader restarts read-only
+// instead of splitting the brain. See docs/REPLICATION.md.
 package main
 
 import (
@@ -260,6 +262,13 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 	})
 	if err != nil {
 		return err
+	}
+	// Epoch and fence state persist in <data-dir>/repl_state.json; say
+	// so at boot, since a fenced node looks healthy until a write fails.
+	if st := node.Stats(); st.FencedBy > 0 {
+		log.Printf("replication: fenced by epoch %d — mutations refused until this node is re-pointed or promoted", st.FencedBy)
+	} else if st.Epoch > 1 {
+		log.Printf("replication: resuming at epoch %d", st.Epoch)
 	}
 	if follow != "" {
 		t0 := time.Now()

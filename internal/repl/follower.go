@@ -123,9 +123,25 @@ func (n *Node) Start() error {
 	}
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		// A sibling goroutine may already have opened and registered its
+		// dataset; without a tail it would serve stale, never-updating
+		// data and hold its store's file handles forever. Undo them.
+		for _, t := range tails {
+			if t == nil {
+				continue
+			}
+			n.srv.Deregister(t.name)
+			t.mu.Lock()
+			ds := t.ds
+			t.mu.Unlock()
+			if ds != nil {
+				_ = ds.Close()
+			}
+		}
+		return err
 	}
 
 	n.tailMu.Lock()
@@ -290,6 +306,15 @@ func (n *Node) pollOnce(t *tail) (bool, error) {
 		}
 	}
 
+	// An epoch below the highest this node has seen means the stream
+	// comes from a fenced ex-leader (or a leader that lost its epoch in
+	// a restart): applying it would silently diverge from the current
+	// leader. Refuse before any byte is applied; the operator repoints
+	// the follower via the surfaced error.
+	if known := n.observeEpoch(epoch); epoch < known {
+		return fail(fmt.Errorf("repl: %s: leader epoch regressed (%d < %d); refusing stale stream — repoint this follower at the current leader", t.name, epoch, known))
+	}
+
 	consumed, applied, skipped, aerr := applyStream(sess, resp.Body)
 
 	t.mu.Lock()
@@ -414,6 +439,10 @@ func (n *Node) resyncTail(t *tail) error {
 	if err != nil {
 		return fmt.Errorf("repl: resync %s: %w", t.name, err)
 	}
+	// Same replica mark bootstrap sets: without it, background
+	// maintenance would compact or snapshot the re-opened replica,
+	// renumbering the physical rows the leader's stream addresses.
+	ds.SetReplica(true)
 	n.srv.Register(ds)
 	t.mu.Lock()
 	t.ds = ds

@@ -78,7 +78,9 @@ type Config struct {
 	PollInterval time.Duration
 	// MaxSegmentBytes caps one /repl/wal response; 0 means 4 MiB.
 	MaxSegmentBytes int64
-	// Epoch is the node's initial leader epoch; 0 means 1.
+	// Epoch is the node's initial leader epoch; 0 means 1. A higher
+	// epoch persisted in DataDir (by a past promotion or stream
+	// observation) wins over this value.
 	Epoch uint64
 	// Client issues the follower's HTTP requests; nil means a default
 	// client with a 60s timeout.
@@ -99,6 +101,11 @@ type Node struct {
 	epoch    uint64
 	fencedBy uint64 // epoch that fenced this node; 0 when unfenced
 	promoted bool   // Promote ran (or is running)
+
+	// stateMu serializes writes of the persisted replication state so
+	// two concurrent persists cannot land on disk out of order. Always
+	// taken before mu, never while holding it.
+	stateMu sync.Mutex
 
 	tailMu  sync.Mutex
 	tails   map[string]*tail
@@ -167,9 +174,56 @@ func NewNode(srv *server.Server, cfg Config) (*Node, error) {
 		tails:  make(map[string]*tail),
 		stop:   make(chan struct{}),
 	}
+	if cfg.DataDir != "" {
+		// The persisted epoch and fence outlive the process: a leader
+		// fenced at epoch N must restart fenced, and a promoted leader
+		// must restart at its adopted epoch — not at the default — or a
+		// failed-over cluster splits its brain on the first restart.
+		st, err := loadState(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		if st.Epoch > n.epoch {
+			n.epoch = st.Epoch
+		}
+		n.fencedBy = st.FencedBy
+	}
 	srv.SetMutationGate(n.gate)
 	srv.SetReplStats(func() any { return n.Stats() })
 	return n, nil
+}
+
+// persist writes the node's current epoch and fence to the data dir
+// (a no-op for in-memory nodes).
+func (n *Node) persist() error {
+	if n.cfg.DataDir == "" {
+		return nil
+	}
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	n.mu.Lock()
+	st := persistentState{Epoch: n.epoch, FencedBy: n.fencedBy}
+	n.mu.Unlock()
+	return saveState(n.cfg.DataDir, st)
+}
+
+// observeEpoch records a leader epoch seen on the replication stream
+// and returns the highest epoch this node now knows of. A new high is
+// adopted and persisted, so a follower restart cannot be talked back
+// down by a stale ex-leader.
+func (n *Node) observeEpoch(epoch uint64) uint64 {
+	n.mu.Lock()
+	known := n.epoch
+	adopted := epoch > n.epoch
+	if adopted {
+		n.epoch = epoch
+		known = epoch
+	}
+	n.mu.Unlock()
+	if adopted {
+		_ = n.persist() // best-effort; the in-memory high already guards this process
+	}
+	return known
 }
 
 // gate is the server's mutation gate: only an unfenced leader writes.
@@ -241,11 +295,20 @@ func (n *Node) handleFence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.mu.Lock()
-	if req.Epoch > n.epoch && req.Epoch > n.fencedBy {
+	fenced := req.Epoch > n.epoch && req.Epoch > n.fencedBy
+	if fenced {
 		n.fencedBy = req.Epoch
 	}
 	resp := map[string]any{"epoch": n.epoch, "fenced": n.fencedBy > 0, "fenced_by": n.fencedBy}
 	n.mu.Unlock()
+	if fenced {
+		// Make the fence durable before acknowledging it: the promoted
+		// leader counts on this node staying read-only across restarts.
+		if err := n.persist(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("persisting fence: %v", err)})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -300,7 +363,12 @@ func (n *Node) Promote(ctx context.Context) (*PromoteResult, error) {
 	n.tailMu.Unlock()
 
 	res := &PromoteResult{Datasets: make(map[string]uint64), LeaderReachable: true}
-	maxEpoch := n.cfg.Epoch
+	n.mu.Lock()
+	maxEpoch := n.epoch
+	if n.fencedBy > maxEpoch {
+		maxEpoch = n.fencedBy
+	}
+	n.mu.Unlock()
 	for _, t := range tails {
 		drained, reachable := n.drainTail(ctx, t)
 		res.DrainedRecords += drained
@@ -315,6 +383,20 @@ func (n *Node) Promote(ctx context.Context) (*PromoteResult, error) {
 	}
 
 	newEpoch := maxEpoch + 1
+	// Adopt the epoch durably BEFORE fencing the old leader or taking
+	// writes: a crash right after the fence must restart this node as
+	// the epoch-N leader, not as a stale follower of a leader it fenced.
+	if n.cfg.DataDir != "" {
+		n.stateMu.Lock()
+		err := saveState(n.cfg.DataDir, persistentState{Epoch: newEpoch})
+		n.stateMu.Unlock()
+		if err != nil {
+			n.mu.Lock()
+			n.promoted = false // leave the node retryable
+			n.mu.Unlock()
+			return nil, fmt.Errorf("repl: persisting promotion epoch: %w", err)
+		}
+	}
 	n.fenceLeader(newEpoch)
 
 	// The datasets are replicas no longer: normal maintenance
@@ -332,6 +414,7 @@ func (n *Node) Promote(ctx context.Context) (*PromoteResult, error) {
 	n.mu.Lock()
 	n.role = RoleLeader
 	n.epoch = newEpoch
+	n.fencedBy = 0 // the adopted epoch outranks any fence this node saw
 	n.mu.Unlock()
 	res.Epoch = newEpoch
 	return res, nil

@@ -170,6 +170,14 @@ func (s *Server) Register(ds *Dataset) {
 	s.datasets[ds.Name()] = ds
 }
 
+// Deregister removes a dataset from the registry (a no-op for unknown
+// names). It does not close the dataset — the caller owns that.
+func (s *Server) Deregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.datasets, name)
+}
+
 // Dataset looks up a registered dataset, or nil.
 func (s *Server) Dataset(name string) *Dataset {
 	s.mu.RLock()

@@ -56,69 +56,122 @@ func RecordPreVersion(payload []byte) (Kind, uint64, error) {
 // caps the absolute end offset — the leader passes its durable sync
 // watermark so a follower never receives bytes a leader crash could
 // take back. maxBytes, when positive, bounds the segment size (always
-// rounded down to whole records).
+// rounded down to whole records, but never below one: the record that
+// exceeds the cap on its own still ships whole).
 //
 // It returns the framed bytes [from, end) and the end offset; an empty
 // segment with end == from means the follower is caught up. A from
 // that is not a boundary of the current file returns ErrNotBoundary.
+//
+// Only the requested range is read and verified — a poll near the tail
+// of a large WAL costs the segment, not the whole file. Boundary
+// validity of from is checked locally: within the durable watermark
+// frames tile exactly, so an offset whose frame fails to parse, fails
+// its checksum, or overruns the watermark was not a boundary (the
+// leader pairs this with the base_version check, which catches offsets
+// into a truncated WAL incarnation).
 func ReadWALSegment(path string, from, maxEnd, maxBytes int64) ([]byte, int64, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
+	}
+	defer f.Close()
+	var magic [WALStart]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	// effEnd is the last byte this read may ship: the durable watermark
+	// when the caller supplies one, the current file size otherwise.
+	// With a watermark, frames tile [WALStart, effEnd) exactly — the
+	// writer only advances it past complete records — which is what
+	// makes torn-looking frames below it a boundary violation rather
+	// than a tail still being written.
+	effEnd := fi.Size()
+	durable := maxEnd > 0
+	if durable && maxEnd < effEnd {
+		effEnd = maxEnd
 	}
 	if from < WALStart {
 		from = WALStart
 	}
-	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
-		return nil, 0, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
+	if from > effEnd {
+		return nil, 0, fmt.Errorf("%w: %s: offset %d is past the durable end %d", ErrNotBoundary, path, from, effEnd)
 	}
-	off := WALStart
-	onBoundary := off == from
-	end := off
-	for {
-		if maxEnd > 0 && off >= maxEnd {
-			break
+	if from == effEnd {
+		return nil, from, nil // caught up
+	}
+	notBoundary := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s: offset %d (%s)", ErrNotBoundary, path, from, fmt.Sprintf(format, args...))
+	}
+
+	want := effEnd - from
+	if maxBytes > 0 && maxBytes < want {
+		want = maxBytes
+	}
+	if want < walFrameHeader && effEnd-from >= walFrameHeader {
+		want = walFrameHeader // always enough to parse the first header
+	}
+	buf := make([]byte, want)
+	if _, err := f.ReadAt(buf, from); err != nil {
+		return nil, 0, fmt.Errorf("store: reading WAL segment %s@%d: %w", path, from, err)
+	}
+
+	var end int64 // verified whole-frame bytes, relative to from
+	for off := int64(0); off < int64(len(buf)); {
+		first := off == 0
+		if off+walFrameHeader > int64(len(buf)) {
+			break // segment full mid-header; stop on the previous whole record
 		}
-		rest := data[off:]
-		if int64(len(rest)) < walFrameHeader {
-			break // torn or empty tail
-		}
-		length := binary.LittleEndian.Uint32(rest[0:4])
-		sum := binary.LittleEndian.Uint32(rest[4:8])
+		length := int64(binary.LittleEndian.Uint32(buf[off : off+4]))
+		sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
 		if length == 0 || length > maxWALRecord {
-			return nil, 0, fmt.Errorf("%w: %s: record at offset %d has impossible length %d", ErrCorrupt, path, off, length)
+			if first {
+				return nil, 0, notBoundary("impossible record length %d", length)
+			}
+			return nil, 0, fmt.Errorf("%w: %s: record at offset %d has impossible length %d", ErrCorrupt, path, from+off, length)
 		}
-		next := off + walFrameHeader + int64(length)
-		if next > int64(len(data)) {
-			break // torn payload at the tail
+		next := off + walFrameHeader + length
+		if from+next > effEnd {
+			if first && durable {
+				return nil, 0, notBoundary("record overruns durable end %d", effEnd)
+			}
+			break // torn tail past the watermark (no-watermark reads only)
 		}
-		if maxEnd > 0 && next > maxEnd {
-			break // frame not yet fully covered by the durable watermark
-		}
-		if crc32.Checksum(data[off+walFrameHeader:next], castagnoli) != sum {
-			return nil, 0, fmt.Errorf("%w: %s: record at offset %d fails its checksum", ErrCorrupt, path, off)
-		}
-		if off == from {
-			onBoundary = true
-		}
-		if off >= from {
-			if maxBytes > 0 && next-from > maxBytes && end > from {
+		if next > int64(len(buf)) {
+			if !first {
 				break // segment full; stop on the previous whole record
 			}
-			end = next
+			// The first record alone exceeds maxBytes: ship it whole anyway.
+			grown := make([]byte, next)
+			copy(grown, buf)
+			if _, err := f.ReadAt(grown[len(buf):], from+int64(len(buf))); err != nil {
+				return nil, 0, fmt.Errorf("store: reading WAL segment %s@%d: %w", path, from, err)
+			}
+			buf = grown
 		}
+		if crc32.Checksum(buf[off+walFrameHeader:next], castagnoli) != sum {
+			if first {
+				return nil, 0, notBoundary("record fails its checksum")
+			}
+			return nil, 0, fmt.Errorf("%w: %s: record at offset %d fails its checksum", ErrCorrupt, path, from+off)
+		}
+		end = next
 		off = next
 	}
-	if off == from {
-		onBoundary = true // caught up exactly at the end of the record stream
+	if end == 0 {
+		if durable {
+			// from < effEnd yet no whole frame fits before the durable end:
+			// a real boundary below the watermark always starts a complete
+			// frame, so the cursor is mid-record.
+			return nil, 0, notBoundary("no complete record before durable end %d", effEnd)
+		}
+		return nil, from, nil // only a torn tail ahead; caught up
 	}
-	if !onBoundary {
-		return nil, 0, fmt.Errorf("%w: %s: offset %d", ErrNotBoundary, path, from)
-	}
-	if end < from {
-		end = from
-	}
-	return data[from:end], end, nil
+	return buf[:end], from + end, nil
 }
 
 // OffsetOfVersion maps a dataset version to the WAL byte offset of the

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// segWAL writes a WAL of the given payloads and returns its path, the
+// byte offset of each record frame (plus the end offset as the final
+// element), and the synced size.
+func segWAL(t *testing.T, payloads [][]byte) (path string, bounds []int64, synced int64) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "seg.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := WALStart
+	bounds = append(bounds, off)
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		off += walFrameHeader + int64(len(p))
+		bounds = append(bounds, off)
+	}
+	synced = w.SyncedSize()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if synced != off {
+		t.Fatalf("synced %d bytes, frames end at %d", synced, off)
+	}
+	return path, bounds, synced
+}
+
+func TestReadWALSegmentBoundaries(t *testing.T) {
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 20),
+		bytes.Repeat([]byte{2}, 35),
+		bytes.Repeat([]byte{3}, 11),
+	}
+	path, bounds, synced := segWAL(t, payloads)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full read from the start ships every frame.
+	seg, end, err := ReadWALSegment(path, WALStart, synced, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != synced || !bytes.Equal(seg, raw[WALStart:synced]) {
+		t.Fatalf("full segment: end %d (want %d), %d bytes (want %d)", end, synced, len(seg), synced-WALStart)
+	}
+
+	// Reading from a mid-stream boundary ships the remaining frames —
+	// and must not require rescanning what precedes it.
+	seg, end, err = ReadWALSegment(path, bounds[1], synced, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != synced || !bytes.Equal(seg, raw[bounds[1]:synced]) {
+		t.Fatalf("tail segment: end %d, %d bytes", end, len(seg))
+	}
+
+	// At the durable end: empty segment, caught up.
+	seg, end, err = ReadWALSegment(path, synced, synced, 1<<20)
+	if err != nil || len(seg) != 0 || end != synced {
+		t.Fatalf("caught-up read: seg %d bytes, end %d, err %v", len(seg), end, err)
+	}
+
+	// Non-boundary offsets are refused, including ones past the durable
+	// end (a cursor from a longer, pre-crash incarnation of the log).
+	for _, from := range []int64{WALStart + 3, bounds[1] + 1, bounds[2] - 1, synced + 5} {
+		if _, _, err := ReadWALSegment(path, from, synced, 1<<20); !errors.Is(err, ErrNotBoundary) {
+			t.Fatalf("offset %d: got %v, want ErrNotBoundary", from, err)
+		}
+	}
+}
+
+func TestReadWALSegmentCaps(t *testing.T) {
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 100),
+		bytes.Repeat([]byte{2}, 30),
+		bytes.Repeat([]byte{3}, 30),
+	}
+	path, bounds, synced := segWAL(t, payloads)
+
+	// maxBytes rounds down to whole records...
+	seg, end, err := ReadWALSegment(path, WALStart, synced, bounds[2]-WALStart+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != bounds[2] {
+		t.Fatalf("capped segment ends at %d, want %d", end, bounds[2])
+	}
+	if int64(len(seg)) != bounds[2]-WALStart {
+		t.Fatalf("capped segment is %d bytes", len(seg))
+	}
+
+	// ...but never below one record: a first record bigger than the cap
+	// still ships whole.
+	seg, end, err = ReadWALSegment(path, WALStart, synced, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != bounds[1] || int64(len(seg)) != bounds[1]-WALStart {
+		t.Fatalf("oversized first record: end %d, %d bytes (want end %d)", end, len(seg), bounds[1])
+	}
+
+	// The durable watermark bounds the read even when the file is
+	// longer: bytes past it could vanish in a leader crash.
+	seg, end, err = ReadWALSegment(path, WALStart, bounds[1], 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != bounds[1] || int64(len(seg)) != bounds[1]-WALStart {
+		t.Fatalf("watermark-capped segment: end %d, %d bytes", end, len(seg))
+	}
+}
+
+func TestReadWALSegmentCorruption(t *testing.T) {
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 40),
+		bytes.Repeat([]byte{2}, 40),
+		bytes.Repeat([]byte{3}, 40),
+	}
+	path, bounds, synced := segWAL(t, payloads)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the third record's payload.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[bounds[2]+walFrameHeader+5] ^= 0xFF
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A segment covering the corrupt record reports corruption...
+	if _, _, err := ReadWALSegment(path, WALStart, synced, 1<<20); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt mid-segment record: got %v, want ErrCorrupt", err)
+	}
+	// ...while a cursor landing exactly on it cannot be told apart from
+	// a stale non-boundary offset — either way the follower must resync.
+	if _, _, err := ReadWALSegment(path, bounds[2], synced, 1<<20); !errors.Is(err, ErrNotBoundary) {
+		t.Fatalf("cursor on corrupt record: got %v, want ErrNotBoundary", err)
+	}
+	// Frames before the corruption still ship.
+	seg, end, err := ReadWALSegment(path, WALStart, bounds[2], 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != bounds[2] || int64(len(seg)) != bounds[2]-WALStart {
+		t.Fatalf("pre-corruption segment: end %d, %d bytes", end, len(seg))
+	}
+}
