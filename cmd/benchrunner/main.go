@@ -19,10 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -50,6 +53,11 @@ func main() {
 		results  = flag.String("results", "", "write machine-readable experiment results (BENCH_results.json) to this path")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the context threaded through every
+	// experiment, aborting in-flight solves instead of orphaning them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	env, err := bench.NewEnv(bench.Config{
 		GalaxyN:   *galaxyN,
@@ -85,28 +93,28 @@ func main() {
 		fmt.Printf("(%s finished in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("fig1", func() error { _, err := env.Fig1(*maxCard, *sqlCap); return err })
+	run("fig1", func() error { _, err := env.Fig1(ctx, *maxCard, *sqlCap); return err })
 	run("fig3", func() error { _, err := env.Fig3(); return err })
 	run("fig4", func() error { _, err := env.Fig4(); return err })
-	run("fig5", func() error { _, err := env.Scalability(bench.Galaxy); return err })
-	run("fig6", func() error { _, err := env.Scalability(bench.TPCH); return err })
-	run("fig7", func() error { _, err := env.TauSweep(bench.Galaxy, 0.30); return err })
-	run("fig8", func() error { _, err := env.TauSweep(bench.TPCH, 1.00); return err })
+	run("fig5", func() error { _, err := env.Scalability(ctx, bench.Galaxy); return err })
+	run("fig6", func() error { _, err := env.Scalability(ctx, bench.TPCH); return err })
+	run("fig7", func() error { _, err := env.TauSweep(ctx, bench.Galaxy, 0.30); return err })
+	run("fig8", func() error { _, err := env.TauSweep(ctx, bench.TPCH, 1.00); return err })
 	run("fig9", func() error {
-		if _, err := env.Coverage(bench.Galaxy); err != nil {
+		if _, err := env.Coverage(ctx, bench.Galaxy); err != nil {
 			return err
 		}
-		_, err := env.Coverage(bench.TPCH)
+		_, err := env.Coverage(ctx, bench.TPCH)
 		return err
 	})
-	run("fig6eps", func() error { _, err := env.EpsilonRepair(1.0); return err })
+	run("fig6eps", func() error { _, err := env.EpsilonRepair(ctx, 1.0); return err })
 	run("recover", func() error {
 		// Crash a durable store mid-ingest at a randomized point (torn
 		// WAL tail included) and differentially verify the recovered
 		// session against a never-crashed twin: version, row contents,
 		// SketchRefine objectives within the quality bound, zero
 		// acknowledged-mutation loss, zero warm-start repartitions.
-		_, err := env.Recover(bench.RecoverConfig{Ops: *recoverN})
+		_, err := env.Recover(ctx, bench.RecoverConfig{Ops: *recoverN})
 		return err
 	})
 	run("repl", func() error {
@@ -119,7 +127,7 @@ func main() {
 		// acked-mutation loss, cell-for-cell convergence, follower
 		// objectives within the quality bound, lag back to zero after
 		// every fault.
-		_, err := env.Repl(bench.ReplConfig{Ops: *replN, Followers: *replF})
+		_, err := env.Repl(ctx, bench.ReplConfig{Ops: *replN, Followers: *replF})
 		return err
 	})
 	run("ingest", func() error {
@@ -128,7 +136,7 @@ func main() {
 		// differentially check every workload query against a partitioning
 		// rebuilt from scratch over the same final data: objectives must
 		// stay within the reported quality bound.
-		_, err := env.Ingest(bench.IngestConfig{Ops: *ingestN})
+		_, err := env.Ingest(ctx, bench.IngestConfig{Ops: *ingestN})
 		return err
 	})
 	run("loadgen", func() error {
@@ -137,7 +145,7 @@ func main() {
 		// response against in-process engine evaluations. With -paqld set,
 		// the target must have been started with matching
 		// -galaxy/-tpch/-seed/-tau flags.
-		_, err := env.LoadGen(bench.LoadGenConfig{Addr: *lgAddr, N: *lgN})
+		_, err := env.LoadGen(ctx, bench.LoadGenConfig{Addr: *lgAddr, N: *lgN})
 		return err
 	})
 	run("batch", func() error {
@@ -147,13 +155,13 @@ func main() {
 		// and shares it across the run's queries; objectives are
 		// identical for every setting — only the wall clock differs.
 		for _, ds := range []bench.Dataset{bench.Galaxy, bench.TPCH} {
-			if _, err := env.Batch(ds, *batchN, 1); err != nil {
+			if _, err := env.Batch(ctx, ds, *batchN, 1); err != nil {
 				return err
 			}
 			if *workers == 1 {
 				continue // the pooled run would duplicate the baseline
 			}
-			if _, err := env.Batch(ds, *batchN, *workers); err != nil {
+			if _, err := env.Batch(ctx, ds, *batchN, *workers); err != nil {
 				return err
 			}
 		}

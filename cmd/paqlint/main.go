@@ -1,0 +1,186 @@
+// Command paqlint runs the project's invariant analyzers (package
+// repro/internal/lint, catalogued in docs/INVARIANTS.md) in two modes:
+//
+// Standalone, over package patterns (the CI gate):
+//
+//	go build -o paqlint ./cmd/paqlint
+//	./paqlint ./...
+//
+// As a `go vet` tool, speaking cmd/go's unitchecker protocol, which
+// also gets vet's incremental caching for free:
+//
+//	go vet -vettool=$(pwd)/paqlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Suppression: //lint:ignore <analyzer> <justification> on the
+// offending line or the line above; an undocumented suppression is
+// itself a finding.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	// cmd/go probes a vettool twice before using it: `-V=full` for the
+	// build-cache fingerprint and `-flags` for the flag inventory.
+	// Handle both, then the single *.cfg argument of a vet unit, then
+	// fall through to standalone package patterns.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(vetUnit(args[0]))
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads patterns (default ./...) from the current directory
+// and prints every finding.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("paqlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: paqlint [packages]\n       go vet -vettool=$(which paqlint) [packages]\n\nChecks:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paqlint:", err)
+		return 2
+	}
+	findings, err := driver.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paqlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON cmd/go writes for one vet unit (one package).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package under the unitchecker protocol:
+// type-check cfg.GoFiles against the export data cmd/go already built
+// (PackageFile), run the suite, write the (empty — paqlint exchanges
+// no facts) .vetx output, and report findings on stderr with exit 2,
+// matching x/tools' unitchecker so cmd/go renders them as vet output.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paqlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "paqlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// cmd/go requires the facts file to exist even for a no-fact tool.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "paqlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paqlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := driver.CheckFiles(fset, cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "paqlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	findings, err := driver.Run([]*driver.Package{{
+		ImportPath: cfg.ImportPath,
+		Path:       cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paqlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion answers `-V=full` with a line whose trailing field
+// changes whenever the binary does, so cmd/go's build cache
+// invalidates vet results when the tool is rebuilt.
+func printVersion() {
+	name := os.Args[0]
+	h := sha256.New()
+	if f, err := os.Open(name); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}

@@ -116,7 +116,7 @@ func buildCellGrid(galaxies, gridSize int) *relation.Relation {
 		c.redshift += cat.Float(row, zIdx)
 	}
 
-	cells := relation.New("cells", relation.NewSchema(
+	cells := relation.New("cells", mustSchema(
 		relation.Column{Name: "ra", Type: relation.Float},
 		relation.Column{Name: "dec", Type: relation.Float},
 		relation.Column{Name: "galaxies", Type: relation.Float},
@@ -131,7 +131,7 @@ func buildCellGrid(galaxies, gridSize int) *relation.Relation {
 		meanR := c.r / float64(c.n)
 		meanZ := c.redshift / float64(c.n)
 		likelihood := meanZ * (25 - meanR) // brighter + redder ⇒ higher score
-		cells.MustAppend(
+		mustAppend(cells,
 			relation.F(float64(key[0])/float64(gridSize)*360),
 			relation.F(float64(key[1])/float64(gridSize)*180-90),
 			relation.F(float64(c.n)),
@@ -141,4 +141,20 @@ func buildCellGrid(galaxies, gridSize int) *relation.Relation {
 		)
 	}
 	return cells
+}
+
+// mustSchema and mustAppend build the example's constant table; an
+// error here is a broken example, so panicking is fine in main.
+func mustSchema(cols ...relation.Column) relation.Schema {
+	s, err := relation.NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustAppend(r *relation.Relation, vals ...relation.Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
 }

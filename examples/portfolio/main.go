@@ -89,7 +89,7 @@ func main() {
 // with risk), risk, rating (5 = AAA-ish), and duration.
 func generateBonds(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	bonds := relation.New("bonds", relation.NewSchema(
+	bonds := relation.New("bonds", mustSchema(
 		relation.Column{Name: "price", Type: relation.Float},
 		relation.Column{Name: "yield", Type: relation.Float},
 		relation.Column{Name: "risk", Type: relation.Float},
@@ -106,7 +106,7 @@ func generateBonds(n int, seed int64) *relation.Relation {
 		if rating < 1 {
 			rating = 1
 		}
-		bonds.MustAppend(
+		mustAppend(bonds,
 			relation.F(200+rng.Float64()*1800),
 			relation.F(yield),
 			relation.F(risk),
@@ -115,4 +115,20 @@ func generateBonds(n int, seed int64) *relation.Relation {
 		)
 	}
 	return bonds
+}
+
+// mustSchema and mustAppend build the example's constant table; an
+// error here is a broken example, so panicking is fine in main.
+func mustSchema(cols ...relation.Column) relation.Schema {
+	s, err := relation.NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustAppend(r *relation.Relation, vals ...relation.Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
 }

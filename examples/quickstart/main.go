@@ -28,7 +28,7 @@ SUCH THAT COUNT(P.*) = 3 AND
 MINIMIZE SUM(P.saturated_fat)`
 
 func main() {
-	recipes := relation.New("Recipes", relation.NewSchema(
+	recipes := relation.New("Recipes", mustSchema(
 		relation.Column{Name: "name", Type: relation.String},
 		relation.Column{Name: "gluten", Type: relation.String},
 		relation.Column{Name: "kcal", Type: relation.Float},
@@ -49,7 +49,7 @@ func main() {
 		{"tofu stir fry", "free", 0.58, 0.9},
 		{"fruit plate", "free", 0.30, 0.1},
 	} {
-		recipes.MustAppend(relation.S(m.name), relation.S(m.gluten), relation.F(m.kcal), relation.F(m.fat))
+		mustAppend(recipes, relation.S(m.name), relation.S(m.gluten), relation.F(m.kcal), relation.F(m.fat))
 	}
 
 	sess, err := paq.Open(paq.Table(recipes))
@@ -73,4 +73,20 @@ func main() {
 	kcal, _ := relation.WeightedAggregate(recipes, relation.Sum, "kcal", res.Rows, res.Mult)
 	fmt.Printf("total: %.2f kcal, %.1f saturated fat (ILP: %d vars, %d nodes; plan: %s)\n",
 		kcal, res.Objective, res.Stats.Vars, res.Stats.SolverNodes, stmt.Plan().Method)
+}
+
+// mustSchema and mustAppend build the example's constant table; an
+// error here is a broken example, so panicking is fine in main.
+func mustSchema(cols ...relation.Column) relation.Schema {
+	s, err := relation.NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustAppend(r *relation.Relation, vals ...relation.Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/internal/sketchrefine"
 	"repro/internal/translate"
 	"repro/internal/workload"
@@ -128,12 +129,12 @@ func TestQuickPipelineFeasibility(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 100 + rng.Intn(200)
-		rel := relation.New("items", relation.NewSchema(
+		rel := relation.New("items", reltest.Schema(
 			relation.Column{Name: "cost", Type: relation.Float},
 			relation.Column{Name: "value", Type: relation.Float},
 		))
 		for i := 0; i < n; i++ {
-			rel.MustAppend(relation.F(1+rng.Float64()*9), relation.F(1+rng.Float64()*9))
+			reltest.Append(rel, relation.F(1+rng.Float64()*9), relation.F(1+rng.Float64()*9))
 		}
 		card := 2 + rng.Intn(5)
 		// Anchor feasibility at a random package.
@@ -184,12 +185,12 @@ MAXIMIZE SUM(P.value)`
 // pipeline: with ω from ε, SketchRefine is within (1±ε)⁶ of DIRECT.
 func TestApproximationBoundEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	rel := relation.New("items", relation.NewSchema(
+	rel := relation.New("items", reltest.Schema(
 		relation.Column{Name: "cost", Type: relation.Float},
 		relation.Column{Name: "value", Type: relation.Float},
 	))
 	for i := 0; i < 240; i++ {
-		rel.MustAppend(relation.F(2+rng.Float64()*8), relation.F(2+rng.Float64()*8))
+		reltest.Append(rel, relation.F(2+rng.Float64()*8), relation.F(2+rng.Float64()*8))
 	}
 	paql := `
 SELECT PACKAGE(I) AS P FROM items I REPEAT 0

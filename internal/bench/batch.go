@@ -72,7 +72,7 @@ MAXIMIZE SUM(P.extendedprice)`, card, float64(card)*(20+30*frac))
 // package queries with the session's worker pool. Identical queries hit
 // the solution cache. The returned objectives are independent of the
 // worker count — the differential tests assert exactly that.
-func (e *Env) Batch(ds Dataset, n, workers int) (*BatchResult, error) {
+func (e *Env) Batch(ctx context.Context, ds Dataset, n, workers int) (*BatchResult, error) {
 	queries, err := e.batchQueries(ds, n)
 	if err != nil {
 		return nil, err
@@ -101,7 +101,7 @@ func (e *Env) Batch(ds Dataset, n, workers int) (*BatchResult, error) {
 	}
 
 	t0 := time.Now()
-	results := sess.ExecuteBatch(context.Background(), stmts)
+	results := sess.ExecuteBatch(ctx, stmts)
 	res := &BatchResult{
 		Dataset:   ds,
 		Queries:   n,

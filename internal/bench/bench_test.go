@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ func TestFig1ShapesHold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Fig1(4, 3*time.Second)
+	res, err := e.Fig1(context.Background(), 4, 3*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestScalabilityGalaxySmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Scalability(Galaxy)
+	res, err := e.Scalability(context.Background(), Galaxy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestScalabilityTPCHSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Scalability(TPCH)
+	res, err := e.Scalability(context.Background(), TPCH)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestTauSweepSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.TauSweep(Galaxy, 0.30)
+	res, err := e.TauSweep(context.Background(), Galaxy, 0.30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestCoverageSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Coverage(TPCH)
+	res, err := e.Coverage(context.Background(), TPCH)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestEpsilonRepairSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.EpsilonRepair(1.0)
+	res, err := e.EpsilonRepair(context.Background(), 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestIngestDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Ingest(IngestConfig{Ops: 1000})
+	res, err := e.Ingest(context.Background(), IngestConfig{Ops: 1000})
 	if err != nil {
 		t.Fatalf("%v\n%s", err, buf.String())
 	}
@@ -325,7 +326,7 @@ func TestRecoverDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Recover(RecoverConfig{Ops: 1000})
+	res, err := e.Recover(context.Background(), RecoverConfig{Ops: 1000})
 	if err != nil {
 		t.Fatalf("%v\n%s", err, buf.String())
 	}
@@ -374,7 +375,7 @@ func TestReplDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Repl(ReplConfig{Ops: 240})
+	res, err := e.Repl(context.Background(), ReplConfig{Ops: 240})
 	if err != nil {
 		t.Fatalf("%v\n%s", err, buf.String())
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,7 +33,7 @@ type CoverageResult struct {
 // (as a ratio to the coverage-1 time) and approximation ratio. Each
 // variant is a fresh session whose partitioning attributes are pinned
 // with WithPartitionAttrs.
-func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
+func (e *Env) Coverage(ctx context.Context, ds Dataset) (*CoverageResult, error) {
 	res := &CoverageResult{Dataset: ds}
 	out := e.cfg.Out
 	fmt.Fprintf(out, "Figure 9 (%s): partitioning coverage vs runtime ratio\n", ds)
@@ -45,7 +46,7 @@ func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := e.runDirect(dStmt, nil)
+		d := e.runDirect(ctx, dStmt, nil)
 		rel := e.queryTable(ds, q)
 
 		// Coverage variants: drop query attributes one at a time
@@ -77,7 +78,7 @@ func (e *Env) Coverage(ds Dataset) (*CoverageResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			s := e.runSketchRefine(stmt, nil, e.cfg.Seed)
+			s := e.runSketchRefine(ctx, stmt, nil, e.cfg.Seed)
 			pt := CoveragePoint{
 				Query:    q.Name,
 				Coverage: float64(len(attrs)) / float64(len(q.Attrs)),
@@ -125,13 +126,13 @@ type EpsilonRepairResult struct {
 }
 
 // EpsilonRepair runs the TPC-H Q2 radius-limit repair experiment.
-func (e *Env) EpsilonRepair(eps float64) (*EpsilonRepairResult, error) {
+func (e *Env) EpsilonRepair(ctx context.Context, eps float64) (*EpsilonRepairResult, error) {
 	var q = e.queries[TPCH][1] // Q2, the minimization query
 	dStmt, err := e.prepare(TPCH, q, paq.MethodDirect)
 	if err != nil {
 		return nil, err
 	}
-	d := e.runDirect(dStmt, nil)
+	d := e.runDirect(ctx, dStmt, nil)
 	if d.Err != nil {
 		return nil, fmt.Errorf("bench: epsilon repair baseline failed: %w", d.Err)
 	}
@@ -142,7 +143,7 @@ func (e *Env) EpsilonRepair(eps float64) (*EpsilonRepairResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s0 := e.runSketchRefine(s0Stmt, nil, e.cfg.Seed)
+	s0 := e.runSketchRefine(ctx, s0Stmt, nil, e.cfg.Seed)
 	if s0.Err == nil {
 		res.RatioNoOmega = approxRatio(q.Maximize, d.Objective, s0.Objective)
 	}
@@ -166,7 +167,7 @@ func (e *Env) EpsilonRepair(eps float64) (*EpsilonRepairResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	s1 := e.runSketchRefine(s1Stmt, nil, e.cfg.Seed)
+	s1 := e.runSketchRefine(ctx, s1Stmt, nil, e.cfg.Seed)
 	if s1.Err == nil {
 		res.RatioOmega = approxRatio(q.Maximize, d.Objective, s1.Objective)
 	}

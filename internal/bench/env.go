@@ -216,26 +216,27 @@ func measure(exec func() (*paq.Result, error)) Measurement {
 }
 
 // runDirect evaluates a DIRECT statement over a row subset (nil = the
-// whole base relation).
-func (e *Env) runDirect(stmt *paq.Stmt, rows []int) Measurement {
+// whole base relation) under the experiment's context, so cancelling
+// the experiment cancels the in-flight solve.
+func (e *Env) runDirect(ctx context.Context, stmt *paq.Stmt, rows []int) Measurement {
 	return measure(func() (*paq.Result, error) {
 		if rows == nil {
-			return stmt.Execute(context.Background())
+			return stmt.Execute(ctx)
 		}
-		return stmt.Execute(context.Background(), paq.WithRows(rows))
+		return stmt.Execute(ctx, paq.WithRows(rows))
 	})
 }
 
 // runSketchRefine evaluates a SketchRefine statement over a row subset
 // (restricting the warm partitioning), with a per-run refinement-order
-// seed.
-func (e *Env) runSketchRefine(stmt *paq.Stmt, rows []int, seed int64) Measurement {
+// seed, under the experiment's context.
+func (e *Env) runSketchRefine(ctx context.Context, stmt *paq.Stmt, rows []int, seed int64) Measurement {
 	return measure(func() (*paq.Result, error) {
 		opts := []paq.ExecOption{paq.WithExecSeed(seed)}
 		if rows != nil {
 			opts = append(opts, paq.WithRows(rows))
 		}
-		return stmt.Execute(context.Background(), opts...)
+		return stmt.Execute(ctx, opts...)
 	})
 }
 

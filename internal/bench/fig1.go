@@ -30,7 +30,7 @@ type Fig1Result struct {
 // ILP formulation stays flat. The paper uses 100 SDSS tuples and
 // cardinalities 1–7 (SQL needed ~24 hours at 7; sqlTimeout caps each
 // naive run here).
-func (e *Env) Fig1(maxCard int, sqlTimeout time.Duration) (*Fig1Result, error) {
+func (e *Env) Fig1(ctx context.Context, maxCard int, sqlTimeout time.Duration) (*Fig1Result, error) {
 	const n = 100
 	rel := workload.Galaxy(n, e.cfg.Seed)
 	out := e.cfg.Out
@@ -68,7 +68,7 @@ MINIMIZE SUM(P.redshift)`, card, float64(card)*0.7*mr, float64(card)*1.05*mr)
 			return nil, err
 		}
 		t0 := time.Now()
-		sqlRes, sqlErr := sqlStmt.Execute(context.Background())
+		sqlRes, sqlErr := sqlStmt.Execute(ctx)
 		pt.SQL = Measurement{Time: time.Since(t0)}
 		switch {
 		case sqlErr == nil && sqlRes.Truncated:
@@ -87,7 +87,7 @@ MINIMIZE SUM(P.redshift)`, card, float64(card)*0.7*mr, float64(card)*1.05*mr)
 		if err != nil {
 			return nil, err
 		}
-		pt.ILP = e.runDirect(ilpStmt, nil)
+		pt.ILP = e.runDirect(ctx, ilpStmt, nil)
 
 		sqlCell := fmtDur(pt.SQL.Time)
 		if pt.SQLTimedOut {

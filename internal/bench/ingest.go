@@ -64,7 +64,7 @@ type IngestResult struct {
 // the same final data, both sides must agree on feasibility, and the
 // maintainer must report zero full repartitions. Any violation is an
 // error.
-func (e *Env) Ingest(cfg IngestConfig) (*IngestResult, error) {
+func (e *Env) Ingest(ctx context.Context, cfg IngestConfig) (*IngestResult, error) {
 	start := time.Now()
 	if cfg.Ops <= 0 {
 		cfg.Ops = 1000
@@ -150,7 +150,7 @@ func (e *Env) Ingest(cfg IngestConfig) (*IngestResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			return stmt.Execute(context.Background())
+			return stmt.Execute(ctx)
 		})
 	}
 	var firstViolation error

@@ -60,7 +60,7 @@ type loadCase struct {
 // differentially checks every response against in-process paq
 // executions over the same datasets. It returns an error when any
 // response mismatches the in-process ground truth.
-func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
+func (e *Env) LoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenResult, error) {
 	if cfg.N <= 0 {
 		cfg.N = 64
 	}
@@ -80,7 +80,7 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	// In-process ground truth: one server.Dataset per dataset, same
 	// configuration a matching paqld builds.
 	fmt.Fprintf(e.cfg.Out, "building in-process reference sessions...\n")
-	cases, refDS, err := e.buildLoadCases(dcfg)
+	cases, refDS, err := e.buildLoadCases(ctx, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 	base := cfg.Addr
 	var shutdown func()
 	if base == "" {
-		base, shutdown, err = e.startInProcess(refDS)
+		base, shutdown, err = e.startInProcess(ctx, refDS)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +106,7 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 		wg.Add(1)
 		go func(c loadCase) {
 			defer wg.Done()
-			verdict := e.fireOne(client, base, c, cfg.TimeoutMS)
+			verdict := e.fireOne(ctx, client, base, c, cfg.TimeoutMS)
 			mu.Lock()
 			defer mu.Unlock()
 			switch verdict.kind {
@@ -151,7 +151,7 @@ func (e *Env) LoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
 // ground truth for each case through the datasets' paq sessions. It
 // also returns the reference datasets so an in-process target can reuse
 // their partitionings (with fresh caches) instead of rebuilding them.
-func (e *Env) buildLoadCases(dcfg server.DatasetConfig) ([]loadCase, map[Dataset]*server.Dataset, error) {
+func (e *Env) buildLoadCases(ctx context.Context, dcfg server.DatasetConfig) ([]loadCase, map[Dataset]*server.Dataset, error) {
 	infeasiblePaQL := map[Dataset]string{
 		Galaxy: `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
 SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= -1
@@ -188,7 +188,7 @@ MAXIMIZE SUM(P.totalprice)`,
 					return nil, nil, fmt.Errorf("loadgen: preparing against %s: %w", ds, err)
 				}
 				c := loadCase{dataset: string(ds), method: method, paql: paqlText}
-				r, execErr := stmt.Execute(context.Background())
+				r, execErr := stmt.Execute(ctx)
 				switch {
 				case execErr == nil:
 					c.objective = strconv.FormatFloat(r.Objective, 'g', -1, 64)
@@ -211,7 +211,7 @@ MAXIMIZE SUM(P.totalprice)`,
 // deterministic and immutable, the most expensive warm-up — are shared,
 // while the engines and solution caches are fresh, keeping the solve
 // paths independent.
-func (e *Env) startInProcess(refDS map[Dataset]*server.Dataset) (string, func(), error) {
+func (e *Env) startInProcess(ctx context.Context, refDS map[Dataset]*server.Dataset) (string, func(), error) {
 	// A deep admission queue: the generator's burst should complete and
 	// be differentially checked, not shed. (Against a remote paqld the
 	// target's own -inflight/-queue bounds apply, and 429s are counted
@@ -238,10 +238,12 @@ func (e *Env) startInProcess(refDS map[Dataset]*server.Dataset) (string, func(),
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() { _ = httpSrv.Serve(ln) }()
 	shutdown := func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Bounded drain under the experiment's context: cancelling the
+		// experiment also abandons the graceful shutdown.
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
-		_ = httpSrv.Shutdown(ctx)
+		_ = srv.Shutdown(sctx)
+		_ = httpSrv.Shutdown(sctx)
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
 }
@@ -252,14 +254,19 @@ type fireVerdict struct {
 	mismatch string
 }
 
-func (e *Env) fireOne(client *http.Client, base string, c loadCase, timeoutMS int64) fireVerdict {
+func (e *Env) fireOne(ctx context.Context, client *http.Client, base string, c loadCase, timeoutMS int64) fireVerdict {
 	body, err := json.Marshal(server.QueryRequest{
 		Dataset: c.dataset, Query: c.paql, Method: c.method, TimeoutMS: timeoutMS,
 	})
 	if err != nil {
 		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: marshal: %v", c.dataset, c.method, err)}
 	}
-	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: request: %v", c.dataset, c.method, err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return fireVerdict{kind: "error", mismatch: fmt.Sprintf("%s/%s: transport: %v", c.dataset, c.method, err)}
 	}

@@ -62,7 +62,7 @@ type RecoverResult struct {
 // contents, feasibility, objectives beyond the quality bound, a lost
 // acknowledged mutation, or a full repartition on the warm-start path —
 // is an error.
-func (e *Env) Recover(cfg RecoverConfig) (*RecoverResult, error) {
+func (e *Env) Recover(ctx context.Context, cfg RecoverConfig) (*RecoverResult, error) {
 	start := time.Now()
 	if cfg.Ops <= 0 {
 		cfg.Ops = 1000
@@ -260,7 +260,7 @@ func (e *Env) Recover(cfg RecoverConfig) (*RecoverResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			return stmt.Execute(context.Background())
+			return stmt.Execute(ctx)
 		})
 	}
 	var firstViolation error

@@ -345,7 +345,7 @@ func replicaEqual(who string, replica, twin *paq.Session) error {
 // mutation, a version mismatch, an objective beyond the quality bound,
 // a follower that never returns to zero lag after a fault — is an
 // error.
-func (e *Env) Repl(cfg ReplConfig) (*ReplResult, error) {
+func (e *Env) Repl(ctx context.Context, cfg ReplConfig) (*ReplResult, error) {
 	start := time.Now()
 	if cfg.Ops <= 0 {
 		cfg.Ops = 400
@@ -505,7 +505,7 @@ func (e *Env) Repl(cfg ReplConfig) (*ReplResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			return stmt.Execute(context.Background())
+			return stmt.Execute(ctx)
 		})
 	}
 	var firstViolation error

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/paq"
@@ -42,7 +43,7 @@ type ScalabilityResult struct {
 // computed once on the full table (workload attributes, τ = TauFrac·n,
 // no radius condition) and restricted to each sample — WithRows —
 // exactly like the paper's protocol.
-func (e *Env) Scalability(ds Dataset) (*ScalabilityResult, error) {
+func (e *Env) Scalability(ctx context.Context, ds Dataset) (*ScalabilityResult, error) {
 	res := &ScalabilityResult{
 		Dataset:     ds,
 		MeanRatio:   make(map[string]float64),
@@ -71,8 +72,8 @@ func (e *Env) Scalability(ds Dataset) (*ScalabilityResult, error) {
 		for fi, frac := range ScalabilityFractions {
 			rows := sampleFraction(rel.Len(), frac, e.cfg.Seed+int64(fi))
 			pt := ScalabilityPoint{Query: q.Name, Fraction: frac, Rows: len(rows), Hard: q.Hard}
-			pt.Direct = e.runDirect(dStmt, rows)
-			pt.Sketch = e.runSketchRefine(sStmt, rows, e.cfg.Seed+int64(fi))
+			pt.Direct = e.runDirect(ctx, dStmt, rows)
+			pt.Sketch = e.runSketchRefine(ctx, sStmt, rows, e.cfg.Seed+int64(fi))
 			if pt.Direct.Err == nil && pt.Sketch.Err == nil {
 				pt.Ratio = approxRatio(q.Maximize, pt.Direct.Objective, pt.Sketch.Objective)
 				ratios = append(ratios, pt.Ratio)

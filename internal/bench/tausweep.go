@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/paq"
@@ -31,7 +32,7 @@ type TauSweepResult struct {
 // powers of four from n/2 down to 32, opening a fresh session (and
 // with it a fresh partitioning) each time (workload attributes, no
 // radius condition).
-func (e *Env) TauSweep(ds Dataset, fraction float64) (*TauSweepResult, error) {
+func (e *Env) TauSweep(ctx context.Context, ds Dataset, fraction float64) (*TauSweepResult, error) {
 	res := &TauSweepResult{Dataset: ds, Fraction: fraction, Direct: make(map[string]Measurement)}
 	out := e.cfg.Out
 	fig := "Figure 7"
@@ -59,7 +60,7 @@ func (e *Env) TauSweep(ds Dataset, fraction float64) (*TauSweepResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := e.runDirect(dStmt, nil)
+		d := e.runDirect(ctx, dStmt, nil)
 		res.Direct[q.Name] = d
 
 		for tau := sub.Len() / 2; tau >= 32; tau /= 4 {
@@ -75,7 +76,7 @@ func (e *Env) TauSweep(ds Dataset, fraction float64) (*TauSweepResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			s := e.runSketchRefine(stmt, nil, e.cfg.Seed)
+			s := e.runSketchRefine(ctx, stmt, nil, e.cfg.Seed)
 			pi := stmt.Plan().Partitioning
 			pt := TauPoint{Query: q.Name, Tau: tau, Groups: pi.Groups, Sketch: s}
 			if d.Err == nil && s.Err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -10,11 +11,12 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/lp"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 // recipes builds the running-example relation of the paper.
 func recipes() *relation.Relation {
-	r := relation.New("recipes", relation.NewSchema(
+	r := relation.New("recipes", reltest.Schema(
 		relation.Column{Name: "name", Type: relation.String},
 		relation.Column{Name: "gluten", Type: relation.String},
 		relation.Column{Name: "kcal", Type: relation.Float},
@@ -35,7 +37,7 @@ func recipes() *relation.Relation {
 		{"fish", "free", 0.9, 1.5, 0},
 	}
 	for _, x := range rows {
-		r.MustAppend(relation.S(x.name), relation.S(x.gluten), relation.F(x.kcal), relation.F(x.fat), relation.F(x.carb))
+		reltest.Append(r, relation.S(x.name), relation.S(x.gluten), relation.F(x.kcal), relation.F(x.fat), relation.F(x.carb))
 	}
 	return r
 }
@@ -133,7 +135,7 @@ func TestDirectInfeasible(t *testing.T) {
 	// Demand an impossible calorie total.
 	spec.Constraints[1].RHS = 100
 	_, _, err := Direct(spec, ilp.Options{})
-	if err == nil || err != ErrInfeasible {
+	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -297,9 +299,9 @@ func TestDirectFeasibilityOnly(t *testing.T) {
 func TestDirectResourceLimit(t *testing.T) {
 	// A hard subset-sum-like instance with a 1-node budget.
 	rng := rand.New(rand.NewSource(3))
-	rel := relation.New("t", relation.NewSchema(relation.Column{Name: "v", Type: relation.Float}))
+	rel := relation.New("t", reltest.Schema(relation.Column{Name: "v", Type: relation.Float}))
 	for i := 0; i < 40; i++ {
-		rel.MustAppend(relation.F(1 + rng.Float64()))
+		reltest.Append(rel, relation.F(1+rng.Float64()))
 	}
 	spec := &Spec{
 		Rel:    rel,
@@ -441,13 +443,13 @@ func TestCoefBindErrors(t *testing.T) {
 func TestQuickDirectMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		rel := relation.New("t", relation.NewSchema(
+		rel := relation.New("t", reltest.Schema(
 			relation.Column{Name: "a", Type: relation.Float},
 			relation.Column{Name: "b", Type: relation.Float},
 		))
 		n := 4 + rng.Intn(6)
 		for i := 0; i < n; i++ {
-			rel.MustAppend(relation.F(rng.Float64()*10), relation.F(rng.NormFloat64()*5))
+			reltest.Append(rel, relation.F(rng.Float64()*10), relation.F(rng.NormFloat64()*5))
 		}
 		card := 1 + rng.Intn(3)
 		spec := &Spec{
@@ -481,7 +483,7 @@ func TestQuickDirectMatchesBruteForce(t *testing.T) {
 			}
 		}
 		if math.IsNaN(best) {
-			return err == ErrInfeasible
+			return errors.Is(err, ErrInfeasible)
 		}
 		if err != nil {
 			return false

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/internal/translate"
 )
 
@@ -41,11 +42,11 @@ func (c *countingSolver) Solve(ctx context.Context, spec *core.Spec) (*core.Pack
 // test: paqld keeps one Engine per dataset alive across millions of
 // requests, and the cache must stay bounded without corrupting results.
 func TestConcurrentCacheEvictionUnderLoad(t *testing.T) {
-	rel := relation.New("t", relation.NewSchema(
+	rel := relation.New("t", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 	))
 	for i := 0; i < 8; i++ {
-		rel.MustAppend(relation.F(float64(i)))
+		reltest.Append(rel, relation.F(float64(i)))
 	}
 
 	const (
@@ -113,10 +114,10 @@ MAXIMIZE SUM(P.x)`, 10+i), rel)
 // entry evicted while its solve is still in flight must still deliver
 // the owner's result to waiters that grabbed the entry before eviction.
 func TestEvictionDoesNotCorruptInFlightSolves(t *testing.T) {
-	rel := relation.New("t", relation.NewSchema(
+	rel := relation.New("t", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 	))
-	rel.MustAppend(relation.F(1))
+	reltest.Append(rel, relation.F(1))
 
 	release := make(chan struct{})
 	slow := &gateSolver{gate: release}

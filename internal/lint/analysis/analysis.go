@@ -1,0 +1,69 @@
+// Package analysis is a self-contained, dependency-free subset of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named
+// check, a Pass hands it one type-checked package, and Report emits
+// findings. The repo builds hermetically from the standard library
+// alone (no module downloads), so the x/tools framework is mirrored
+// here rather than imported; the shapes are kept source-compatible so
+// the analyzers can migrate to x/tools unchanged if the dependency
+// ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name must be a valid Go
+// identifier; it is how //lint:ignore directives and the paqlint
+// command line refer to the check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is the one-paragraph help text: first sentence = summary.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// pass.Report. The result value is unused by the paqlint driver
+	// (kept for x/tools source compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one type-checked package to an Analyzer's Run.
+type Pass struct {
+	// Analyzer is the check being run (for self-identification).
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for all Files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several analyzers exempt test code (ctxflow, nopanic); the
+// check is positional so it works for any node the analyzer holds.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= 8 && name[len(name)-8:] == "_test.go"
+}

@@ -1,0 +1,136 @@
+// Package analysistest runs one analyzer over a fixture module and
+// checks its findings against `// want` expectations in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest for
+// this repo's stdlib-only framework.
+//
+// A fixture is a real Go module (its own go.mod) under an analyzer's
+// testdata/ directory — testdata is invisible to the outer build, and
+// a real module means fixtures are loaded through the exact same
+// `go list` + export-data pipeline as production runs, so the tests
+// exercise the driver too.
+//
+// Expectations annotate the offending line:
+//
+//	bad()  // want "regexp matching the message"
+//	worse() // want "first finding" "second finding"
+//
+// Every finding must match an expectation on its line and every
+// expectation must be matched by a finding; both directions fail the
+// test. Findings suppressed by //lint:ignore never reach matching,
+// which lets fixtures assert the suppression contract as well.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// wantRE extracts the quoted regexps of one want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// commentRE finds the want clause itself.
+var commentRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one unmatched want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run loads the fixture module rooted at dir, applies the analyzer to
+// the packages matched by patterns (default ./...), and reports any
+// divergence between findings and want comments via t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := driver.Load(abs, patterns...)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages under %s match %v", dir, patterns)
+	}
+	expects, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		if !claim(expects, f.Pos.Filename, f.Pos.Line, f.Message) {
+			t.Errorf("%s:%d: unexpected finding: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if e.re != nil {
+			t.Errorf("%s:%d: no finding matched want %s", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim consumes the first unclaimed expectation matching the finding.
+func claim(expects []expectation, file string, line int, msg string) bool {
+	for i := range expects {
+		e := &expects[i]
+		if e.re != nil && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.re = nil
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants walks every loaded file's comments for want clauses.
+func collectWants(pkgs []*driver.Package) ([]expectation, error) {
+	var out []expectation
+	seen := make(map[string]bool) // files shared between a base package and its test variant
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.File(f.Pos()).Name()
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := commentRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(m[1], -1) {
+						pat := q[1 : len(q)-1]
+						if q[0] == '"' {
+							var err error
+							if pat, err = strconv.Unquote(q); err != nil {
+								return nil, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+// Package ctxflow enforces context propagation (PR 1): cancellation is
+// threaded through every solver, so a function that already holds a
+// context.Context must hand it on instead of minting a fresh root with
+// context.Background() or context.TODO() — a fresh root silently
+// detaches the callee from the caller's deadline and cancellation (the
+// seed findings made `-timeout` a no-op for in-flight bench solves).
+//
+// Two rules, both skipping package main and _test.go files:
+//
+//  1. Scope rule (all configured packages): inside any function whose
+//     own parameters — or an enclosing function literal's — include a
+//     context.Context, calls to context.Background()/TODO() are
+//     flagged. The defaulting idiom `ctx = context.Background()`
+//     (plain assignment to an existing Context variable, as used by
+//     nil-ctx guards) is exempt.
+//  2. Root ban (BanPackages): on the bench/solve paths, Background and
+//     TODO are flagged even with no Context in scope — those packages
+//     always run under a caller's context, so needing a root means a
+//     parameter is missing.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the two rules.
+type Config struct {
+	// Packages: import-path prefixes where the scope rule applies.
+	Packages []string
+	// BanPackages: prefixes where Background/TODO are banned outright.
+	BanPackages []string
+}
+
+// New returns the analyzer for one configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxflow",
+		Doc: "a function holding a context.Context must pass it on: " +
+			"context.Background()/TODO() sever the caller's deadline and cancellation",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if pass.Pkg.Name() == "main" {
+				return nil, nil
+			}
+			scoped := under(pass.Pkg.Path(), cfg.Packages)
+			banned := under(pass.Pkg.Path(), cfg.BanPackages)
+			if !scoped && !banned {
+				return nil, nil
+			}
+			for _, f := range pass.Files {
+				if len(f.Decls) > 0 && pass.IsTestFile(f.Decls[0].Pos()) {
+					continue
+				}
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					w := &walker{pass: pass, banned: banned}
+					w.fn(fd.Type, fd.Body, false)
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+// walker traverses one top-level function and its literals, tracking
+// whether a context.Context is available in the enclosing scope chain.
+type walker struct {
+	pass   *analysis.Pass
+	banned bool
+	// exempt marks Background/TODO calls cleared by the defaulting
+	// idiom before the walk descends into them.
+	exempt map[*ast.CallExpr]bool
+}
+
+// fn walks one function body; inScope says whether an enclosing
+// literal already provides a Context.
+func (w *walker) fn(ft *ast.FuncType, body *ast.BlockStmt, inScope bool) {
+	has := inScope || hasCtxParam(w.pass, ft)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.fn(n.Type, n.Body, has)
+			return false
+		case *ast.AssignStmt:
+			// Defaulting idiom: `ctx = context.Background()` onto an
+			// existing Context variable (the nil-ctx guard every
+			// public entry point uses).
+			if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && isCtxType(w.pass.TypesInfo.TypeOf(id)) {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok && rootCtxCall(w.pass, call) != "" {
+						if w.exempt == nil {
+							w.exempt = make(map[*ast.CallExpr]bool)
+						}
+						w.exempt[call] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name := rootCtxCall(w.pass, n)
+			if name == "" || w.exempt[n] {
+				return true
+			}
+			switch {
+			case has:
+				w.pass.Reportf(n.Pos(),
+					"context.%s() discards the context.Context already in scope; pass it through", name)
+			case w.banned:
+				w.pass.Reportf(n.Pos(),
+					"context.%s() creates a fresh root on a path that always runs under a caller's context; accept and thread a ctx parameter", name)
+			}
+		}
+		return true
+	})
+}
+
+// rootCtxCall returns "Background" or "TODO" if the call is
+// context.Background() or context.TODO(), else "".
+func rootCtxCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if n := fn.Name(); n == "Background" || n == "TODO" {
+		return n
+	}
+	return ""
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// under reports whether path equals or lies beneath any prefix.
+func under(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxflow"
+)
+
+// TestFixtures proves the scope rule (ctx in scope, including through
+// function literals), the defaulting-idiom exemption, the root ban on
+// bench-style packages, and the package-main exemption.
+func TestFixtures(t *testing.T) {
+	a := ctxflow.New(ctxflow.Config{
+		Packages:    []string{"fixture"},
+		BanPackages: []string{"fixture/bench"},
+	})
+	analysistest.Run(t, "testdata", a)
+}

@@ -1,0 +1,16 @@
+// Package bench exercises the root ban.
+package bench
+
+import "context"
+
+func helper(ctx context.Context) {}
+
+// Run has no ctx parameter; on a banned path that is the bug.
+func Run() {
+	helper(context.Background()) // want `creates a fresh root on a path that always runs under a caller's context`
+}
+
+// Threaded is the fixed form.
+func Threaded(ctx context.Context) {
+	helper(ctx)
+}

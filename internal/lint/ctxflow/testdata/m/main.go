@@ -1,0 +1,4 @@
+// Command m: package main keeps the right to mint roots.
+package main
+
+func main() { run(nil) }

@@ -1,0 +1,9 @@
+package main
+
+import "context"
+
+func helper(ctx context.Context) {}
+
+func run(ctx context.Context) {
+	helper(context.Background()) // package main is exempt
+}

@@ -1,0 +1,142 @@
+package driver_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// panicky is a throwaway analyzer reporting every panic call, used to
+// exercise the driver's suppression machinery.
+var panicky = &analysis.Analyzer{
+	Name: "panicky",
+	Doc:  "reports panic calls (driver test helper)",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						pass.Reportf(call.Pos(), "panic call")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// writeModule materializes a single-package module in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestIgnoreDirectives pins the suppression contract: a justified
+// directive on the offending line or the line above suppresses exactly
+// its named analyzers; a directive without a justification is itself a
+// finding and suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpfix\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+func a() {
+	//lint:ignore panicky covered: same-line directives work too
+	panic("suppressed by line above")
+}
+
+func b() {
+	panic("suppressed same line") //lint:ignore panicky covered: inline
+}
+
+func c() {
+	//lint:ignore otherchecker not this analyzer
+	panic("reported: name mismatch")
+}
+
+func d() {
+	//lint:ignore panicky
+	panic("reported: no justification")
+}
+`,
+	})
+	pkgs, err := driver.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := driver.Run(pkgs, []*analysis.Analyzer{panicky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+":"+f.Message)
+	}
+	want := map[string]int{
+		"panicky:panic call": 2, // c() and d()
+		"paqlint:malformed //lint:ignore directive: want //lint:ignore <analyzer>[,...] <justification>": 1,
+	}
+	counts := map[string]int{}
+	for _, g := range got {
+		counts[g]++
+	}
+	for msg, n := range want {
+		if counts[msg] != n {
+			t.Errorf("finding %q: got %d, want %d\nall: %v", msg, counts[msg], n, got)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("total findings = %d, want 3: %v", len(findings), got)
+	}
+}
+
+// TestLoadTestVariants pins the loader's package selection: for a
+// package with in-package tests the test variant subsumes the base
+// package (no duplicate findings), and external _test packages load as
+// their own unit.
+func TestLoadTestVariants(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":        "module tmpfix\n\ngo 1.22\n",
+		"p/p.go":        "package p\n\nfunc F() { panic(1) }\n",
+		"p/in_test.go":  "package p\n\nimport \"testing\"\n\nfunc TestIn(t *testing.T) { F() }\n",
+		"p/ext_test.go": "package p_test\n\nimport (\n\t\"testing\"\n\n\t\"tmpfix/p\"\n)\n\nfunc TestExt(t *testing.T) { p.F() }\n",
+	})
+	pkgs, err := driver.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	joined := strings.Join(paths, "; ")
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages (%s), want variant + external test only", len(pkgs), joined)
+	}
+	if !strings.Contains(joined, "tmpfix/p [tmpfix/p.test]") || !strings.Contains(joined, "tmpfix/p_test") {
+		t.Fatalf("loaded %s; want the in-package variant and the external test package", joined)
+	}
+	findings, err := driver.Run(pkgs, []*analysis.Analyzer{panicky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one (no base/variant duplication)", findings)
+	}
+}

@@ -1,0 +1,141 @@
+// Package errcmp enforces the typed error taxonomy's errors.Is
+// semantics (PR 3/5): the project's sentinel errors form a hierarchy
+// (ErrFalseInfeasible ⊂ ErrInfeasible, tagged causes wrap their
+// sentinel), so comparing an error to a sentinel with == or != is
+// semantically wrong — it answers "is this exact value" when the
+// taxonomy's contract is "is this kind of failure". The analyzer flags
+// ==/!= and switch-case comparisons against any package-level error
+// variable named Err* declared inside the configured module, in test
+// files too (the seed findings were in internal/core/core_test.go).
+//
+// The one legitimate place to compare sentinels by identity is inside
+// an Is(error) bool method — that is how the hierarchy itself is
+// implemented — so such methods are exempt.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the check to the module(s) whose sentinels carry
+// errors.Is semantics; stdlib sentinels like io.EOF, which are
+// documented to be returned unwrapped, stay comparable.
+type Config struct {
+	// PackagePrefixes: a variable counts as a project sentinel when its
+	// defining package's import path equals or lies beneath one of
+	// these prefixes.
+	PackagePrefixes []string
+}
+
+// New returns the analyzer for one module configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errcmp",
+		Doc: "project sentinel errors must be tested with errors.Is/As, never ==/!=: " +
+			"the taxonomy wraps and subtypes sentinels, so identity comparison gives wrong answers",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if isIsMethod(pass, n) {
+							return false
+						}
+					case *ast.BinaryExpr:
+						if n.Op != token.EQL && n.Op != token.NEQ {
+							return true
+						}
+						for _, op := range []ast.Expr{n.X, n.Y} {
+							if v, ok := sentinel(pass, op, cfg.PackagePrefixes); ok {
+								pass.Reportf(n.Pos(),
+									"%s compared with %s; use errors.Is (the taxonomy wraps sentinels, so identity comparison is wrong)",
+									v.Name(), n.Op)
+							}
+						}
+					case *ast.SwitchStmt:
+						if n.Tag == nil {
+							return true
+						}
+						for _, stmt := range n.Body.List {
+							cc, ok := stmt.(*ast.CaseClause)
+							if !ok {
+								continue
+							}
+							for _, e := range cc.List {
+								if v, ok := sentinel(pass, e, cfg.PackagePrefixes); ok {
+									pass.Reportf(e.Pos(),
+										"switch case compares %s by identity; use errors.Is in an if/else chain",
+										v.Name())
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// sentinel reports whether expr denotes a package-level error variable
+// named Err* defined in a package under one of the prefixes.
+func sentinel(pass *analysis.Pass, expr ast.Expr, prefixes []string) (*types.Var, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil, false
+	}
+	// Package level means declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	if !implementsError(v.Type()) {
+		return nil, false
+	}
+	path := v.Pkg().Path()
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") || (strings.HasSuffix(p, "/") && strings.HasPrefix(path, p)) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errType != nil && types.Implements(t, errType)
+}
+
+// isIsMethod reports whether the declaration is a method or function
+// named Is with signature func(error) bool — the sanctioned home of
+// sentinel identity comparison.
+func isIsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return implementsError(sig.Params().At(0).Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}

@@ -1,0 +1,17 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errcmp"
+)
+
+// TestFixtures proves ==/!=/switch comparisons against module
+// sentinels are caught — locally and across packages — while
+// errors.Is, stdlib sentinels, non-error Err* names, and Is methods
+// stay clean.
+func TestFixtures(t *testing.T) {
+	a := errcmp.New(errcmp.Config{PackagePrefixes: []string{"fixture"}})
+	analysistest.Run(t, "testdata", a)
+}

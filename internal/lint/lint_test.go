@@ -1,0 +1,132 @@
+package lint_test
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+// dataOnly are the internal packages deliberately outside the SDK
+// boundary: they carry data or infrastructure, not evaluation, so
+// consumers may import them directly. Every internal/ directory must
+// be classified here or in lint.SDKForbidden — a new package cannot
+// dodge the decision.
+var dataOnly = map[string]string{
+	"bench":    "the harness is itself a consumer (and is bound by the boundary as one)",
+	"lint":     "developer tooling; never on the solve path",
+	"par":      "generic worker pool; no solver knowledge",
+	"relation": "the data container",
+	"reltest":  "test-only construction helpers; never on the solve path",
+	"repl":     "replication plumbing over the store",
+	"server":   "the service layer consumers embed or talk to",
+	"store":    "durability substrate",
+	"workload": "synthetic data generators",
+}
+
+// panicAllowed are the internal packages exempt from the no-panic
+// contract, with the reasons docs/INVARIANTS.md documents.
+var panicAllowed = map[string]string{
+	"bench":    "experiment harness, not a serving path",
+	"lint":     "developer tooling, never linked into paqld",
+	"reltest":  "panicking by design: test helpers for constant schemas/rows",
+	"workload": "boot-time generators fed by program constants, not requests",
+}
+
+// internalDirs lists the checked-out internal/ packages.
+func internalDirs(t *testing.T) []string {
+	t.Helper()
+	ents, err := os.ReadDir("../../internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// TestBoundaryConfigTracksTree replaces paq/imports_test.go's
+// hand-rolled list with a sync guarantee: every internal package is
+// either forbidden to consumers or explicitly classified data-only,
+// and every configured path still exists on disk.
+func TestBoundaryConfigTracksTree(t *testing.T) {
+	forbidden := make(map[string]bool)
+	for _, p := range lint.SDKForbidden {
+		name, ok := strings.CutPrefix(p, lint.Module+"/internal/")
+		if !ok || strings.Contains(name, "/") {
+			t.Errorf("SDKForbidden entry %q is not a direct internal package", p)
+			continue
+		}
+		forbidden[name] = true
+	}
+	onDisk := internalDirs(t)
+	for _, name := range onDisk {
+		_, isForbidden := forbidden[name]
+		_, isData := dataOnly[name]
+		switch {
+		case isForbidden && isData:
+			t.Errorf("internal/%s is both forbidden and data-only; pick one", name)
+		case !isForbidden && !isData:
+			t.Errorf("internal/%s is unclassified: add it to lint.SDKForbidden or document it as data-only here", name)
+		}
+	}
+	disk := make(map[string]bool, len(onDisk))
+	for _, d := range onDisk {
+		disk[d] = true
+	}
+	for name := range forbidden {
+		if !disk[name] {
+			t.Errorf("lint.SDKForbidden names internal/%s, which no longer exists", name)
+		}
+	}
+}
+
+// TestNoPanicConfigTracksTree gives the no-panic contract the same
+// guarantee: every internal package is bound or documented exempt.
+func TestNoPanicConfigTracksTree(t *testing.T) {
+	bound := make(map[string]bool)
+	for _, p := range lint.NoPanicPackages {
+		if name, ok := strings.CutPrefix(p, lint.Module+"/internal/"); ok {
+			bound[name] = true
+		}
+	}
+	for _, name := range internalDirs(t) {
+		_, exempt := panicAllowed[name]
+		switch {
+		case bound[name] && exempt:
+			t.Errorf("internal/%s is both bound by nopanic and exempt; pick one", name)
+		case !bound[name] && !exempt:
+			t.Errorf("internal/%s is unclassified: add it to lint.NoPanicPackages or document the exemption here", name)
+		}
+	}
+}
+
+// TestPaqlintCleanOnTree is the merge gate in test form: the full
+// analyzer suite over the whole repository, test variants included,
+// must report nothing. CI also runs cmd/paqlint standalone and under
+// `go vet -vettool`; this copy keeps plain `go test ./...` sufficient
+// to catch an invariant regression.
+func TestPaqlintCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	pkgs, err := driver.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := driver.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,217 @@
+// Package lockorder enforces the WAL's mu→syncMu lock order (the PR 5
+// group-commit race class). Within the configured packages, a function
+// that holds the inner mutex (syncMu) may not acquire the outer mutex
+// (mu) — every site that needs both takes mu first — and the group
+// commit condition variable (syncCond) may only Wait while syncMu is
+// held.
+//
+// The check is an intra-procedural, syntactic simulation: statements
+// are scanned in order, Lock/Unlock on the configured fields toggle a
+// held set keyed by receiver expression, and defer'd Unlocks
+// deliberately do not release (the mutex stays held for the rest of
+// the body, which is exactly the window the order rule protects).
+// Branch bodies are scanned with a copy of the held set, so lock state
+// changes inside a branch do not leak into the code after it — the
+// scan under-approximates cross-branch flows rather than inventing
+// false positives. Function literals start with an empty held set
+// (they run on other goroutines or after return).
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config names the mutex fields whose order is law.
+type Config struct {
+	// Packages: import-path prefixes the rule applies to.
+	Packages []string
+	// Outer is the field name of the mutex acquired second (syncMu):
+	// while it is held, Inner may not be acquired.
+	Outer string
+	// Inner is the field name of the mutex acquired first (mu).
+	Inner string
+	// Cond is the field name of the condition variable that must only
+	// Wait under Outer ("" disables the cond check).
+	Cond string
+}
+
+// New returns the analyzer for one lock-order configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc: "lock order within the store is mu→syncMu: " +
+			"never acquire mu while holding syncMu, and only Wait on syncCond under syncMu",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if !under(pass.Pkg.Path(), cfg.Packages) {
+				return nil, nil
+			}
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					s := &scanner{pass: pass, cfg: cfg}
+					s.block(fd.Body.List, map[string]bool{})
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+// scanner walks one function.
+type scanner struct {
+	pass *analysis.Pass
+	cfg  Config
+}
+
+// block scans statements in order, mutating held ("<recv>" strings for
+// receivers whose Outer mutex is locked).
+func (s *scanner) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		s.stmt(st, held)
+	}
+}
+
+// stmt dispatches one statement.
+func (s *scanner) stmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		s.expr(st.X, held, true)
+	case *ast.DeferStmt:
+		// A defer'd Outer Unlock keeps the region held to the end of
+		// the body (correct for order checking); a defer'd Lock is
+		// nonsense we simply don't model. Still scan the arguments and
+		// any function literal being deferred.
+		s.expr(st.Call.Fun, held, false)
+	case *ast.GoStmt:
+		s.expr(st.Call.Fun, held, false)
+	case *ast.AssignStmt:
+		for _, e := range append(append([]ast.Expr{}, st.Lhs...), st.Rhs...) {
+			s.expr(e, held, false)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held, false)
+		}
+	case *ast.BlockStmt:
+		s.block(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.block(st.Body.List, copyOf(held))
+		if st.Else != nil {
+			s.stmt(st.Else, copyOf(held))
+		}
+	case *ast.ForStmt:
+		s.block(st.Body.List, copyOf(held))
+	case *ast.RangeStmt:
+		s.block(st.Body.List, copyOf(held))
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, copyOf(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, copyOf(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.block(cc.Body, copyOf(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	}
+}
+
+// expr handles lock-relevant call expressions; track says whether
+// state changes apply to the caller's held set (false inside nested
+// expressions where evaluation order is unspecified — there we only
+// check, conservatively, against the current state).
+func (s *scanner) expr(e ast.Expr, held map[string]bool, track bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		if fl, ok := e.(*ast.FuncLit); ok {
+			s.block(fl.Body.List, map[string]bool{})
+		}
+		return
+	}
+	for _, arg := range call.Args {
+		s.expr(arg, held, false)
+	}
+	method, field, recv := s.mutexCall(call)
+	if method == "" {
+		if fl, ok := call.Fun.(*ast.FuncLit); ok {
+			s.block(fl.Body.List, map[string]bool{})
+		}
+		return
+	}
+	switch {
+	case field == s.cfg.Outer && method == "Lock":
+		if track {
+			held[recv] = true
+		}
+	case field == s.cfg.Outer && method == "Unlock":
+		if track {
+			delete(held, recv)
+		}
+	case field == s.cfg.Inner && method == "Lock" && held[recv]:
+		s.pass.Reportf(call.Pos(),
+			"%s.%s.Lock() while %s.%s is held; the established order is %s→%s",
+			recv, s.cfg.Inner, recv, s.cfg.Outer, s.cfg.Inner, s.cfg.Outer)
+	case s.cfg.Cond != "" && field == s.cfg.Cond && method == "Wait" && !held[recv]:
+		s.pass.Reportf(call.Pos(),
+			"%s.%s.Wait() outside %s.%s; Wait must run under the mutex the cond was built on",
+			recv, s.cfg.Cond, recv, s.cfg.Outer)
+	}
+}
+
+// mutexCall decomposes calls of the shape <recv>.<field>.<method>()
+// where field is one of the configured names, returning the method,
+// field, and the receiver expression rendered as a stable string.
+func (s *scanner) mutexCall(call *ast.CallExpr) (method, field, recv string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	name := inner.Sel.Name
+	if name != s.cfg.Outer && name != s.cfg.Inner && name != s.cfg.Cond {
+		return "", "", ""
+	}
+	return sel.Sel.Name, name, types.ExprString(inner.X)
+}
+
+// copyOf clones a held set for branch-local scanning.
+func copyOf(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// under reports whether path equals or lies beneath any prefix.
+func under(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockorder"
+)
+
+// TestFixtures proves mu-under-syncMu and naked cond waits are caught
+// while the established order, explicit releases, branch-local lock
+// state, and goroutine bodies stay clean.
+func TestFixtures(t *testing.T) {
+	a := lockorder.New(lockorder.Config{
+		Packages: []string{"fixture/a"},
+		Outer:    "syncMu",
+		Inner:    "mu",
+		Cond:     "syncCond",
+	})
+	analysistest.Run(t, "testdata", a)
+}

@@ -1,0 +1,84 @@
+// Package a exercises the mu→syncMu order and the cond-wait rule.
+package a
+
+import "sync"
+
+// W mirrors the WAL's two-mutex group-commit shape.
+type W struct {
+	mu       sync.Mutex
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	ready    bool
+}
+
+// Bad acquires the inner mutex while holding the outer one.
+func (w *W) Bad() {
+	w.syncMu.Lock()
+	w.mu.Lock() // want `w\.mu\.Lock\(\) while w\.syncMu is held`
+	w.mu.Unlock()
+	w.syncMu.Unlock()
+}
+
+// BadUnderDefer: a defer'd unlock holds syncMu to the end of the body.
+func (w *W) BadUnderDefer() {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock() // want `w\.mu\.Lock\(\) while w\.syncMu is held`
+	w.mu.Unlock()
+}
+
+// Good takes the locks in the established order.
+func (w *W) Good() {
+	w.mu.Lock()
+	w.syncMu.Lock()
+	w.syncMu.Unlock()
+	w.mu.Unlock()
+}
+
+// Released may take mu after syncMu is explicitly released.
+func (w *W) Released() {
+	w.syncMu.Lock()
+	w.syncMu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+// BadWait waits without the mutex the cond was built on.
+func (w *W) BadWait() {
+	w.syncCond.Wait() // want `w\.syncCond\.Wait\(\) outside w\.syncMu`
+}
+
+// GoodWait is the canonical cond loop.
+func (w *W) GoodWait() {
+	w.syncMu.Lock()
+	for !w.ready {
+		w.syncCond.Wait()
+	}
+	w.syncMu.Unlock()
+}
+
+// BranchRelease: an unlock inside a branch must not leak held state
+// into the branch body's remainder, nor a branch lock into the outer
+// flow (the scan is branch-local by copy).
+func (w *W) BranchRelease(leader bool) {
+	w.syncMu.Lock()
+	if leader {
+		w.syncMu.Unlock()
+		w.mu.Lock()
+		w.mu.Unlock()
+		w.syncMu.Lock()
+	} else {
+		w.syncCond.Wait()
+	}
+	w.syncMu.Unlock()
+}
+
+// Goroutine bodies start with an empty held set.
+func (w *W) Spawn() {
+	w.syncMu.Lock()
+	go func() {
+		w.mu.Lock()
+		w.mu.Unlock()
+	}()
+	w.syncMu.Unlock()
+}

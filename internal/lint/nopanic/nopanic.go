@@ -1,0 +1,83 @@
+// Package nopanic enforces the crash-proof query path (PR 2): no user
+// input may panic the process, so library packages on the query path
+// return typed errors instead of calling panic, log.Fatal*, log.Panic*,
+// or os.Exit. Package main keeps its prerogative to die (flag parsing,
+// startup), tests may panic freely, and recover-based control flow is
+// not used in this codebase, so the rule is a flat ban inside the
+// configured packages.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config lists the packages bound by the no-panic contract.
+type Config struct {
+	// Packages: import-path prefixes the rule applies to.
+	Packages []string
+}
+
+// fatalFuncs are the process-terminating stdlib calls the rule bans
+// alongside the panic builtin, keyed by package path then name.
+var fatalFuncs = map[string]map[string]bool{
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	"os":  {"Exit": true},
+}
+
+// New returns the analyzer for one configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "nopanic",
+		Doc: "query-path library packages must not panic or exit: " +
+			"failures surface as typed errors so no user input can crash the process",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if pass.Pkg.Name() == "main" || !under(pass.Pkg.Path(), cfg.Packages) {
+				return nil, nil
+			}
+			for _, f := range pass.Files {
+				if f.Pos().IsValid() && pass.IsTestFile(f.Pos()) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && fun.Name == "panic" {
+							pass.Reportf(call.Pos(),
+								"panic on the query path; return a typed error instead (no user input may crash the process)")
+						}
+					case *ast.SelectorExpr:
+						fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+						if !ok || fn.Pkg() == nil {
+							return true
+						}
+						if fatalFuncs[fn.Pkg().Path()][fn.Name()] {
+							pass.Reportf(call.Pos(),
+								"%s.%s on the query path; return a typed error instead (only package main may exit)",
+								fn.Pkg().Name(), fn.Name())
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// under reports whether path equals or lies beneath any prefix.
+func under(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nopanic"
+)
+
+// TestFixtures proves panic/log.Fatal*/os.Exit are caught on
+// configured packages, that unconfigured packages keep the option, and
+// that a justified //lint:ignore suppresses.
+func TestFixtures(t *testing.T) {
+	a := nopanic.New(nopanic.Config{Packages: []string{"fixture/lib"}})
+	analysistest.Run(t, "testdata", a)
+}

@@ -1,0 +1,7 @@
+// Package free sits outside the configured no-panic packages.
+package free
+
+// Do may panic: generators and tooling keep the option.
+func Do() {
+	panic("fine here")
+}

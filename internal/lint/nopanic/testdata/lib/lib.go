@@ -1,0 +1,31 @@
+// Package lib is on the configured no-panic path.
+package lib
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// ErrBad is the typed error Do should return instead.
+var ErrBad = errors.New("bad input")
+
+// Do shows every banned call.
+func Do(n int) error {
+	if n == 0 {
+		panic("zero") // want `panic on the query path`
+	}
+	if n == 1 {
+		log.Fatalf("one: %d", n) // want `log\.Fatalf on the query path`
+	}
+	if n == 2 {
+		os.Exit(2) // want `os\.Exit on the query path`
+	}
+	return ErrBad
+}
+
+// Suppressed documents its exception and is left alone.
+func Suppressed() {
+	//lint:ignore nopanic fixture: exercising the documented escape hatch
+	panic("allowed with justification")
+}

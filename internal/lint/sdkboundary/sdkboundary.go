@@ -1,0 +1,72 @@
+// Package sdkboundary enforces the SDK-only solve path (PR 3): every
+// command, example, and the benchmark harness reaches the solver
+// exclusively through the public repro/paq package, never by importing
+// the solve-path internals directly. It replaces the hand-rolled
+// parser walk that used to live in paq/imports_test.go, and unlike
+// that test it also covers _test.go files and new files the moment
+// they are written, because it runs as a compiler-style check rather
+// than a directory walk with a hard-coded root.
+package sdkboundary
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config makes the boundary declarative so the analysistest fixtures
+// (and any future module split) can instantiate the same check against
+// a different package tree.
+type Config struct {
+	// Consumers are import-path prefixes of the packages bound by the
+	// rule (a package matches if it equals a prefix or sits below it).
+	Consumers []string
+	// Forbidden are the exact import paths of solve-path internals.
+	Forbidden []string
+}
+
+// New returns the analyzer for one boundary configuration.
+func New(cfg Config) *analysis.Analyzer {
+	forbidden := make(map[string]bool, len(cfg.Forbidden))
+	for _, p := range cfg.Forbidden {
+		forbidden[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "sdkboundary",
+		Doc: "consumers must reach the solve path only through the SDK: " +
+			"packages under the configured consumer prefixes may not import solve-path internals",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			path := pass.Pkg.Path()
+			// External test packages ("p_test") are bound by the same
+			// rule as the package they test.
+			if !matches(strings.TrimSuffix(path, "_test"), cfg.Consumers) {
+				return nil, nil
+			}
+			for _, f := range pass.Files {
+				for _, imp := range f.Imports {
+					target, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if forbidden[target] {
+						pass.Reportf(imp.Pos(),
+							"%s imports solve-path package %s directly; consume repro/paq instead",
+							path, target)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+// matches reports whether path equals, or lies beneath, any prefix.
+func matches(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

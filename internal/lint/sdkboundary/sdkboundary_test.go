@@ -1,0 +1,19 @@
+package sdkboundary_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sdkboundary"
+)
+
+// TestFixtures proves the boundary fires on consumer imports of
+// solve-path internals and stays quiet for the SDK facade, for
+// packages inside the boundary, and for clean consumers.
+func TestFixtures(t *testing.T) {
+	a := sdkboundary.New(sdkboundary.Config{
+		Consumers: []string{"fixture/cmd", "fixture/examples", "fixture/internal/bench"},
+		Forbidden: []string{"fixture/internal/core", "fixture/internal/engine"},
+	})
+	analysistest.Run(t, "testdata", a)
+}

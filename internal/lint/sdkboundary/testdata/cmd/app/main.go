@@ -1,0 +1,12 @@
+// Command app is a consumer: it must reach the solve path via paq.
+package main
+
+import (
+	"fixture/internal/core" // want `imports solve-path package fixture/internal/core directly`
+	"fixture/paq"
+)
+
+func main() {
+	_ = core.Solve()
+	_ = paq.Solve()
+}

@@ -1,0 +1,6 @@
+// Command demo is a clean consumer: SDK only.
+package main
+
+import "fixture/paq"
+
+func main() { _ = paq.Solve() }

@@ -1,0 +1,10 @@
+// Package bench is a consumer: the harness measures through the SDK.
+package bench
+
+import (
+	"fixture/internal/engine" // want `imports solve-path package fixture/internal/engine directly`
+	"fixture/paq"
+)
+
+// Measure exists to use the imports.
+func Measure() int { return engine.Run() + paq.Solve() }

@@ -1,0 +1,5 @@
+// Package core stands in for a solve-path internal.
+package core
+
+// Solve is the internal entry point consumers must not reach.
+func Solve() int { return 42 }

@@ -1,0 +1,7 @@
+// Package engine stands in for a second solve-path internal.
+package engine
+
+import "fixture/internal/core"
+
+// Run may import core: engine is inside the boundary, not a consumer.
+func Run() int { return core.Solve() }

@@ -1,0 +1,7 @@
+// Package paq stands in for the public SDK facade.
+package paq
+
+import "fixture/internal/core"
+
+// Solve wraps the internal entry point for consumers.
+func Solve() int { return core.Solve() }

@@ -12,16 +12,17 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/lp"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 func itemsRel(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	r := relation.New("items", relation.NewSchema(
+	r := relation.New("items", reltest.Schema(
 		relation.Column{Name: "a", Type: relation.Float},
 		relation.Column{Name: "b", Type: relation.Float},
 	))
 	for i := 0; i < n; i++ {
-		r.MustAppend(relation.F(1+rng.Float64()*9), relation.F(rng.Float64()*10))
+		reltest.Append(r, relation.F(1+rng.Float64()*9), relation.F(rng.Float64()*10))
 	}
 	return r
 }

@@ -517,7 +517,11 @@ func (m *Maintainer) repsFromSums() *relation.Relation {
 	for _, c := range m.numIdx {
 		cols = append(cols, relation.Column{Name: schema.Col(c).Name, Type: relation.Float})
 	}
-	reps := relation.New(m.p.Rel.Name()+"_reps", relation.NewSchema(cols...))
+	// The maintained partitioning built this same schema when it was
+	// constructed (Partition and BuildTree both reject gid collisions),
+	// so the error is impossible.
+	repSchema, _ := relation.NewSchema(cols...)
+	reps := relation.New(m.p.Rel.Name()+"_reps", repSchema)
 	for gid, st := range m.groups {
 		vals := make([]relation.Value, 0, 1+len(st.sums))
 		vals = append(vals, relation.I(int64(gid)))
@@ -529,7 +533,8 @@ func (m *Maintainer) repsFromSums() *relation.Relation {
 			}
 			vals = append(vals, relation.F(mean))
 		}
-		reps.MustAppend(vals...)
+		// Fixed numeric schema; Append cannot fail.
+		_ = reps.Append(vals...)
 	}
 	return reps
 }

@@ -7,18 +7,19 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 // maintRel builds a small numeric relation for maintenance tests.
 func maintRel(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	r := relation.New("pts", relation.NewSchema(
+	r := relation.New("pts", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 		relation.Column{Name: "y", Type: relation.Float},
 		relation.Column{Name: "w", Type: relation.Float},
 	))
 	for i := 0; i < n; i++ {
-		r.MustAppend(relation.F(rng.NormFloat64()*10), relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()))
+		reltest.Append(r, relation.F(rng.NormFloat64()*10), relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()))
 	}
 	return r
 }
@@ -40,7 +41,7 @@ func TestMaintainerInsertRoutesAndSplits(t *testing.T) {
 		var rows []int
 		for i := 0; i < 20; i++ {
 			rows = append(rows, rel.Len())
-			rel.MustAppend(relation.F(rng.NormFloat64()*10), relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()))
+			reltest.Append(rel, relation.F(rng.NormFloat64()*10), relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()))
 		}
 		if err := m.Insert(rows...); err != nil {
 			t.Fatal(err)
@@ -117,7 +118,7 @@ func applyOps(t *testing.T, seed int64, nOps int, check bool) (*relation.Relatio
 		switch r := rng.Float64(); {
 		case r < 0.45 || len(live) < 5:
 			row := rel.Len()
-			rel.MustAppend(relation.F(rng.NormFloat64()*10), relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()))
+			reltest.Append(rel, relation.F(rng.NormFloat64()*10), relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()))
 			if err := m.Insert(row); err != nil {
 				t.Fatal(err)
 			}
@@ -233,12 +234,12 @@ func TestMaintainerQualityBound(t *testing.T) {
 // maintained insert into one such group must not overwrite a sibling's
 // members.
 func TestMaintainerAliasedChunksSurviveInsert(t *testing.T) {
-	rel := relation.New("dups", relation.NewSchema(
+	rel := relation.New("dups", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 		relation.Column{Name: "y", Type: relation.Float},
 	))
 	for i := 0; i < 8; i++ {
-		rel.MustAppend(relation.F(1), relation.F(1)) // all identical → degenerate split
+		reltest.Append(rel, relation.F(1), relation.F(1)) // all identical → degenerate split
 	}
 	p, err := Build(rel, Options{Attrs: []string{"x", "y"}, SizeThreshold: 4, Workers: 1})
 	if err != nil {
@@ -246,7 +247,7 @@ func TestMaintainerAliasedChunksSurviveInsert(t *testing.T) {
 	}
 	m := NewMaintainer(p, MaintOptions{})
 	row := rel.Len()
-	rel.MustAppend(relation.F(1), relation.F(1))
+	reltest.Append(rel, relation.F(1), relation.F(1))
 	if err := m.Insert(row); err != nil {
 		t.Fatal(err)
 	}

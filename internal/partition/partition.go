@@ -104,8 +104,6 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 	for i, a := range opt.Attrs {
 		key := strings.ToLower(a)
 		if seenAttr[key] {
-			// Duplicates would panic later when the representative
-			// relation's schema is built; reject them as a config error.
 			return nil, fmt.Errorf("partition: duplicate attribute %q", a)
 		}
 		seenAttr[key] = true
@@ -152,7 +150,11 @@ func Build(rel *relation.Relation, opt Options) (*Partitioning, error) {
 			p.GID[r] = gid
 		}
 	}
-	p.Reps = buildReps(p, opt.Workers)
+	reps, err := buildReps(p, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	p.Reps = reps
 	p.BuildTime = time.Since(start)
 	return p, nil
 }
@@ -309,7 +311,7 @@ func chunkRows(rows []int, size int) [][]int {
 // Group centroids are computed concurrently by up to `workers`
 // goroutines (0 means GOMAXPROCS, 1 sequential) into per-group slots and
 // appended in gid order, so the relation is identical for any setting.
-func buildReps(p *Partitioning, workers int) *relation.Relation {
+func buildReps(p *Partitioning, workers int) (*relation.Relation, error) {
 	schema := p.Rel.Schema()
 	cols := []relation.Column{{Name: "gid", Type: relation.Int}}
 	var numIdx []int
@@ -319,20 +321,29 @@ func buildReps(p *Partitioning, workers int) *relation.Relation {
 			numIdx = append(numIdx, i)
 		}
 	}
+	repSchema, err := relation.NewSchema(cols...)
+	if err != nil {
+		// The input relation carries a column named "gid" (the entry
+		// points reject this, but a restored or hand-built partitioning
+		// could still reach here).
+		return nil, fmt.Errorf("partition: representative schema: %w", err)
+	}
 	means := make([][]float64, len(p.Groups))
 	par.For(len(p.Groups), workers, func(gi int) {
 		means[gi] = relation.Centroid(p.Rel, numIdx, p.Groups[gi].Rows)
 	})
-	reps := relation.New(p.Rel.Name()+"_reps", relation.NewSchema(cols...))
+	reps := relation.New(p.Rel.Name()+"_reps", repSchema)
 	for gi, g := range p.Groups {
 		vals := make([]relation.Value, 0, 1+len(means[gi]))
 		vals = append(vals, relation.I(int64(g.ID)))
 		for _, m := range means[gi] {
 			vals = append(vals, relation.F(m))
 		}
-		reps.MustAppend(vals...)
+		if err := reps.Append(vals...); err != nil {
+			return nil, fmt.Errorf("partition: representative row: %w", err)
+		}
 	}
-	return reps
+	return reps, nil
 }
 
 // NumGroups returns the number of groups m.
@@ -430,7 +441,11 @@ func FromGroups(rel *relation.Relation, attrs []string, tau int, omega float64, 
 	if covered != rel.Live() {
 		return nil, fmt.Errorf("partition: restored groups cover %d of %d live rows", covered, rel.Live())
 	}
-	p.Reps = buildReps(p, workers)
+	reps, err := buildReps(p, workers)
+	if err != nil {
+		return nil, err
+	}
+	p.Reps = reps
 	return p, nil
 }
 
@@ -477,7 +492,9 @@ func (p *Partitioning) Restrict(rows []int) *Partitioning {
 			out.GID[r] = gid
 		}
 	}
-	out.Reps = buildReps(out, p.Workers)
+	// p.Reps was built from the identical schema; the error is
+	// impossible.
+	out.Reps, _ = buildReps(out, p.Workers)
 	return out
 }
 

@@ -7,17 +7,18 @@ import (
 	"testing/quick"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 func randomRel(t testing.TB, n int, seed int64) *relation.Relation {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	r := relation.New("pts", relation.NewSchema(
+	r := relation.New("pts", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 		relation.Column{Name: "y", Type: relation.Float},
 	))
 	for i := 0; i < n; i++ {
-		r.MustAppend(relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()*100))
+		reltest.Append(r, relation.F(rng.NormFloat64()*10), relation.F(rng.Float64()*100))
 	}
 	return r
 }
@@ -62,9 +63,9 @@ func TestBuildRadiusLimit(t *testing.T) {
 func TestBuildDuplicateTuples(t *testing.T) {
 	// All-identical tuples cannot be split spatially; the chunking
 	// fallback must still enforce τ.
-	rel := relation.New("dup", relation.NewSchema(relation.Column{Name: "v", Type: relation.Float}))
+	rel := relation.New("dup", reltest.Schema(relation.Column{Name: "v", Type: relation.Float}))
 	for i := 0; i < 100; i++ {
-		rel.MustAppend(relation.F(7))
+		reltest.Append(rel, relation.F(7))
 	}
 	p, err := Build(rel, Options{Attrs: []string{"v"}, SizeThreshold: 10})
 	if err != nil {
@@ -110,21 +111,21 @@ func TestBuildErrors(t *testing.T) {
 			t.Errorf("case %d: bad options accepted", i)
 		}
 	}
-	empty := relation.New("e", relation.NewSchema(relation.Column{Name: "x", Type: relation.Float}))
+	empty := relation.New("e", reltest.Schema(relation.Column{Name: "x", Type: relation.Float}))
 	if _, err := Build(empty, Options{Attrs: []string{"x"}, SizeThreshold: 5}); err == nil {
 		t.Error("empty relation accepted")
 	}
-	strRel := relation.New("s", relation.NewSchema(relation.Column{Name: "s", Type: relation.String}))
-	strRel.MustAppend(relation.S("a"))
+	strRel := relation.New("s", reltest.Schema(relation.Column{Name: "s", Type: relation.String}))
+	reltest.Append(strRel, relation.S("a"))
 	if _, err := Build(strRel, Options{Attrs: []string{"s"}, SizeThreshold: 5}); err == nil {
 		t.Error("string partitioning attribute accepted")
 	}
 }
 
 func TestIntColumnsArePartitionable(t *testing.T) {
-	rel := relation.New("ints", relation.NewSchema(relation.Column{Name: "k", Type: relation.Int}))
+	rel := relation.New("ints", reltest.Schema(relation.Column{Name: "k", Type: relation.Int}))
 	for i := 0; i < 64; i++ {
-		rel.MustAppend(relation.I(int64(i % 8)))
+		reltest.Append(rel, relation.I(int64(i%8)))
 	}
 	p, err := Build(rel, Options{Attrs: []string{"k"}, SizeThreshold: 16})
 	if err != nil {
@@ -177,9 +178,9 @@ func TestRestrict(t *testing.T) {
 }
 
 func TestRadiusForEpsilon(t *testing.T) {
-	rel := relation.New("t", relation.NewSchema(relation.Column{Name: "a", Type: relation.Float}))
+	rel := relation.New("t", reltest.Schema(relation.Column{Name: "a", Type: relation.Float}))
 	for _, v := range []float64{2, 4, 8, -3} {
-		rel.MustAppend(relation.F(v))
+		reltest.Append(rel, relation.F(v))
 	}
 	// maximize: γ = ε; min |a| = 2 → ω = 0.5·2 = 1.
 	w, err := RadiusForEpsilon(rel, []string{"a"}, 0.5, true)
@@ -203,8 +204,8 @@ func TestRadiusForEpsilon(t *testing.T) {
 	if _, err := RadiusForEpsilon(rel, []string{"zz"}, 0.1, true); err == nil {
 		t.Error("unknown attribute accepted")
 	}
-	zero := relation.New("z", relation.NewSchema(relation.Column{Name: "a", Type: relation.Float}))
-	zero.MustAppend(relation.F(0))
+	zero := relation.New("z", reltest.Schema(relation.Column{Name: "a", Type: relation.Float}))
+	reltest.Append(zero, relation.F(0))
 	w, err = RadiusForEpsilon(zero, []string{"a"}, 0.5, true)
 	if err != nil || w != 0 {
 		t.Errorf("all-zero column: ω = %g err %v, want 0 nil", w, err)
@@ -232,13 +233,13 @@ func TestHighDimensionalPartitioning(t *testing.T) {
 		attrs[i] = string(rune('a' + i))
 		cols[i] = relation.Column{Name: attrs[i], Type: relation.Float}
 	}
-	rel := relation.New("hd", relation.NewSchema(cols...))
+	rel := relation.New("hd", reltest.Schema(cols...))
 	for i := 0; i < 3000; i++ {
 		vals := make([]relation.Value, 8)
 		for j := range vals {
 			vals[j] = relation.F(rng.NormFloat64())
 		}
-		rel.MustAppend(vals...)
+		reltest.Append(rel, vals...)
 	}
 	p, err := Build(rel, Options{Attrs: attrs, SizeThreshold: 200})
 	if err != nil {
@@ -254,7 +255,7 @@ func TestQuickPartitioningInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(300)
-		rel := relation.New("t", relation.NewSchema(
+		rel := relation.New("t", reltest.Schema(
 			relation.Column{Name: "x", Type: relation.Float},
 			relation.Column{Name: "y", Type: relation.Float},
 		))
@@ -262,11 +263,11 @@ func TestQuickPartitioningInvariants(t *testing.T) {
 			// Mix of clustered and uniform data, sometimes degenerate.
 			switch rng.Intn(3) {
 			case 0:
-				rel.MustAppend(relation.F(rng.NormFloat64()), relation.F(rng.NormFloat64()))
+				reltest.Append(rel, relation.F(rng.NormFloat64()), relation.F(rng.NormFloat64()))
 			case 1:
-				rel.MustAppend(relation.F(5), relation.F(5))
+				reltest.Append(rel, relation.F(5), relation.F(5))
 			default:
-				rel.MustAppend(relation.F(rng.Float64()*1000), relation.F(0))
+				reltest.Append(rel, relation.F(rng.Float64()*1000), relation.F(0))
 			}
 		}
 		tau := 1 + rng.Intn(50)
@@ -292,9 +293,9 @@ func TestQuickEpsilonRadiusBoundsTuples(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 10 + rng.Intn(100)
-		rel := relation.New("t", relation.NewSchema(relation.Column{Name: "v", Type: relation.Float}))
+		rel := relation.New("t", reltest.Schema(relation.Column{Name: "v", Type: relation.Float}))
 		for i := 0; i < n; i++ {
-			rel.MustAppend(relation.F(1 + rng.Float64()*9)) // values in [1, 10]
+			reltest.Append(rel, relation.F(1+rng.Float64()*9)) // values in [1, 10]
 		}
 		eps := 0.1 + rng.Float64()*0.9
 		omega, err := RadiusForEpsilon(rel, []string{"v"}, eps, true)

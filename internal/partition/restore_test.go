@@ -5,17 +5,18 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 func restoreFixture(t *testing.T, n int, seed int64) *relation.Relation {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	r := relation.New("pts", relation.NewSchema(
+	r := relation.New("pts", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 		relation.Column{Name: "y", Type: relation.Float},
 	))
 	for i := 0; i < n; i++ {
-		r.MustAppend(relation.F(rng.Float64()*100), relation.F(rng.Float64()*100))
+		reltest.Append(r, relation.F(rng.Float64()*100), relation.F(rng.Float64()*100))
 	}
 	return r
 }
@@ -114,7 +115,7 @@ func TestRemapAfterCompact(t *testing.T) {
 		t.Fatalf("after compact+remap: %v", err)
 	}
 	// Maintenance continues against the renumbered rows.
-	rel.MustAppend(relation.F(50), relation.F(50))
+	reltest.Append(rel, relation.F(50), relation.F(50))
 	if err := m.Insert(rel.Len() - 1); err != nil {
 		t.Fatal(err)
 	}

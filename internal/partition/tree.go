@@ -50,6 +50,12 @@ func BuildTreeWorkers(rel *relation.Relation, attrs []string, maxDepth, workers 
 	if len(attrs) == 0 || len(attrs) > 30 {
 		return nil, fmt.Errorf("partition: need 1–30 partitioning attributes, got %d", len(attrs))
 	}
+	if rel.Schema().Lookup("gid") >= 0 {
+		// The representative relations derived from this tree prepend a
+		// gid column; reject the collision here so CoarsestForRadius
+		// cannot fail later.
+		return nil, fmt.Errorf("partition: input relation already has a %q column", "gid")
+	}
 	attrIdx := make([]int, len(attrs))
 	for i, a := range attrs {
 		idx, err := rel.Schema().MustLookup(a)
@@ -133,7 +139,9 @@ func (t *Tree) CoarsestForRadius(omega float64, tau int) *Partitioning {
 		}
 	}
 	walk(t.Root)
-	p.Reps = buildReps(p, t.Workers)
+	// BuildTreeWorkers rejected relations with a gid column, so the
+	// representative schema cannot collide; the error is impossible.
+	p.Reps, _ = buildReps(p, t.Workers)
 	return p
 }
 

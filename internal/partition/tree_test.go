@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 func TestBuildTreeAndCoarsest(t *testing.T) {
@@ -78,7 +79,7 @@ func TestBuildTreeErrors(t *testing.T) {
 	if _, err := BuildTree(rel, []string{"missing"}, 0); err == nil {
 		t.Error("unknown attribute accepted")
 	}
-	empty := relation.New("e", relation.NewSchema(relation.Column{Name: "x", Type: relation.Float}))
+	empty := relation.New("e", reltest.Schema(relation.Column{Name: "x", Type: relation.Float}))
 	if _, err := BuildTree(empty, []string{"x"}, 0); err == nil {
 		t.Error("empty relation accepted")
 	}

@@ -6,13 +6,13 @@ import (
 
 func compactFixture(t *testing.T, n int) *Relation {
 	t.Helper()
-	r := New("t", NewSchema(
+	r := New("t", mustSchema(
 		Column{Name: "id", Type: Int},
 		Column{Name: "x", Type: Float},
 		Column{Name: "tag", Type: String},
 	))
 	for i := 0; i < n; i++ {
-		r.MustAppend(I(int64(i)), F(float64(i)*1.5), S(string(rune('a'+i%26))))
+		r.mustAppend(I(int64(i)), F(float64(i)*1.5), S(string(rune('a'+i%26))))
 	}
 	return r
 }
@@ -98,7 +98,7 @@ func TestCompactShrinksResidentRows(t *testing.T) {
 		t.Fatalf("float column still holds %d cells, want %d", len(c), n/2)
 	}
 	// Appends after compaction land at the compacted end.
-	r.MustAppend(I(int64(n)), F(0), S("z"))
+	r.mustAppend(I(int64(n)), F(0), S("z"))
 	if r.Len() != n/2+1 || r.Live() != n/2+1 {
 		t.Fatalf("Len/Live = %d/%d after post-compact append", r.Len(), r.Live())
 	}

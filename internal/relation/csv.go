@@ -75,8 +75,6 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 		}
 		key := strings.ToLower(colName)
 		if seen[key] {
-			// NewSchema panics on duplicates (schemas are normally program
-			// constants); a header from user data must be rejected here.
 			return nil, fmt.Errorf("relation: duplicate CSV header column %q", colName)
 		}
 		seen[key] = true
@@ -89,7 +87,11 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 			cols[i] = Column{Name: colName, Type: String}
 		}
 	}
-	r := New(name, NewSchema(cols...))
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: CSV header: %w", err)
+	}
+	r := New(name, schema)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {

@@ -1,0 +1,18 @@
+package relation
+
+// mustSchema is NewSchema for in-package tests, where column lists are
+// program constants and a duplicate is a broken test.
+func mustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// mustAppend is Append for in-package tests with constant rows.
+func (r *Relation) mustAppend(vals ...Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
+}

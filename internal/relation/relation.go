@@ -7,8 +7,9 @@ import (
 )
 
 // ErrTypeMismatch is the typed error returned by Value accessors (and
-// wrapped by row/CSV construction errors) when a value is read as an
-// incompatible type. Callers can match it with errors.Is.
+// wrapped by schema/row/CSV construction errors) when a value is read as
+// an incompatible type or a schema is malformed. Callers can match it
+// with errors.Is.
 var ErrTypeMismatch = errors.New("relation: type mismatch")
 
 // Value is a dynamically typed cell value. It is used at API boundaries
@@ -347,16 +348,6 @@ func (r *Relation) Append(vals ...Value) error {
 	return nil
 }
 
-// MustAppend is Append but panics on error; intended for tests and
-// generators where schemas are static program constants. Paths that
-// materialize rows from user-loaded data use AppendFrom instead, which
-// cannot fail on type grounds.
-func (r *Relation) MustAppend(vals ...Value) {
-	if err := r.Append(vals...); err != nil {
-		panic(err)
-	}
-}
-
 // AppendFrom copies row src-row of src into r. The schemas must have
 // identical column types (names are not checked); it copies the typed
 // backing stores directly, with no Value boxing and no per-cell type
@@ -466,7 +457,11 @@ func (r *Relation) Project(name string, colNames []string, rows []int) (*Relatio
 		idx[i] = j
 		cols[i] = r.schema.Col(j)
 	}
-	out := New(name, NewSchema(cols...))
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(name, schema)
 	appendRow := func(row int) error {
 		vals := make([]Value, len(idx))
 		for i, j := range idx {

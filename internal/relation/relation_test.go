@@ -11,7 +11,7 @@ import (
 
 func recipeRelation(t *testing.T) *Relation {
 	t.Helper()
-	r := New("recipes", NewSchema(
+	r := New("recipes", mustSchema(
 		Column{"name", String},
 		Column{"gluten", String},
 		Column{"kcal", Float},
@@ -32,13 +32,13 @@ func recipeRelation(t *testing.T) *Relation {
 		{"tofu", "free", 0.6, 0.9, 2},
 	}
 	for _, x := range rows {
-		r.MustAppend(S(x.name), S(x.gluten), F(x.kcal), F(x.fat), I(x.servings))
+		r.mustAppend(S(x.name), S(x.gluten), F(x.kcal), F(x.fat), I(x.servings))
 	}
 	return r
 }
 
 func TestSchemaLookupCaseInsensitive(t *testing.T) {
-	s := NewSchema(Column{"Kcal", Float}, Column{"Name", String})
+	s := mustSchema(Column{"Kcal", Float}, Column{"Name", String})
 	if got := s.Lookup("kcal"); got != 0 {
 		t.Errorf("Lookup(kcal) = %d, want 0", got)
 	}
@@ -50,31 +50,45 @@ func TestSchemaLookupCaseInsensitive(t *testing.T) {
 	}
 }
 
-func TestSchemaDuplicatePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewSchema with duplicate columns did not panic")
-		}
-	}()
-	NewSchema(Column{"a", Float}, Column{"A", Int})
+// TestSchemaDuplicateError is the nopanic regression test: a malformed
+// schema — duplicate column names reach NewSchema from CSV headers,
+// snapshot files, and projection lists — must surface as an
+// ErrTypeMismatch-family error, never a panic.
+func TestSchemaDuplicateError(t *testing.T) {
+	_, err := NewSchema(Column{"a", Float}, Column{"A", Int})
+	if err == nil {
+		t.Fatal("NewSchema with duplicate columns returned no error")
+	}
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("duplicate-column error = %v, want ErrTypeMismatch family", err)
+	}
+	if _, err := mustSchema(Column{"a", Float}).Extend(Column{"A", Int}); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("Extend collision error = %v, want ErrTypeMismatch family", err)
+	}
+	if _, err := recipeRelation(t).Project("p", []string{"kcal", "KCAL"}, nil); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("Project duplicate-column error = %v, want ErrTypeMismatch family", err)
+	}
 }
 
 func TestSchemaExtendAndEqual(t *testing.T) {
-	s := NewSchema(Column{"a", Float})
-	s2 := s.Extend(Column{"b", Int})
+	s := mustSchema(Column{"a", Float})
+	s2, err := s.Extend(Column{"b", Int})
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
 	if s2.Len() != 2 {
 		t.Fatalf("extended schema len = %d, want 2", s2.Len())
 	}
 	if s.Equal(s2) {
 		t.Error("schemas of different length compare equal")
 	}
-	if !s2.Equal(NewSchema(Column{"a", Float}, Column{"b", Int})) {
+	if !s2.Equal(mustSchema(Column{"a", Float}, Column{"b", Int})) {
 		t.Error("identical schemas compare unequal")
 	}
 }
 
 func TestAppendTypeChecking(t *testing.T) {
-	r := New("t", NewSchema(Column{"f", Float}, Column{"i", Int}, Column{"s", String}))
+	r := New("t", mustSchema(Column{"f", Float}, Column{"i", Int}, Column{"s", String}))
 	if err := r.Append(F(1.5), I(2), S("x")); err != nil {
 		t.Fatalf("valid append failed: %v", err)
 	}
@@ -329,9 +343,9 @@ func TestGroupBy(t *testing.T) {
 }
 
 func TestGroupByFloat(t *testing.T) {
-	r := New("t", NewSchema(Column{"v", Float}))
+	r := New("t", mustSchema(Column{"v", Float}))
 	for _, v := range []float64{1.5, 2.5, 1.5, 3.5} {
-		r.MustAppend(F(v))
+		r.mustAppend(F(v))
 	}
 	groups, err := GroupBy(r, "v", nil)
 	if err != nil {
@@ -363,10 +377,10 @@ func TestSortRowsBy(t *testing.T) {
 }
 
 func TestCentroidAndRadius(t *testing.T) {
-	r := New("t", NewSchema(Column{"x", Float}, Column{"y", Float}))
-	r.MustAppend(F(0), F(0))
-	r.MustAppend(F(2), F(4))
-	r.MustAppend(F(4), F(2))
+	r := New("t", mustSchema(Column{"x", Float}, Column{"y", Float}))
+	r.mustAppend(F(0), F(0))
+	r.mustAppend(F(2), F(4))
+	r.mustAppend(F(4), F(2))
 	cols := []int{0, 1}
 	c := Centroid(r, cols, r.AllRows())
 	if c[0] != 2 || c[1] != 2 {
@@ -470,9 +484,9 @@ func TestQuickWeightedAggregateConsistency(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(40)
-		r := New("t", NewSchema(Column{"v", Float}))
+		r := New("t", mustSchema(Column{"v", Float}))
 		for i := 0; i < n; i++ {
-			r.MustAppend(F(rng.NormFloat64() * 10))
+			r.mustAppend(F(rng.NormFloat64() * 10))
 		}
 		rows := r.AllRows()
 		ones := make([]int, n)
@@ -496,9 +510,9 @@ func TestQuickGroupByPartitions(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(60)
-		r := New("t", NewSchema(Column{"k", Int}))
+		r := New("t", mustSchema(Column{"k", Int}))
 		for i := 0; i < n; i++ {
-			r.MustAppend(I(int64(rng.Intn(5))))
+			r.mustAppend(I(int64(rng.Intn(5))))
 		}
 		groups, err := GroupBy(r, "k", nil)
 		if err != nil {
@@ -525,9 +539,9 @@ func TestQuickCSVRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(30)
-		r := New("t", NewSchema(Column{"f", Float}, Column{"i", Int}))
+		r := New("t", mustSchema(Column{"f", Float}, Column{"i", Int}))
 		for i := 0; i < n; i++ {
-			r.MustAppend(F(rng.NormFloat64()), I(rng.Int63n(1000)-500))
+			r.mustAppend(F(rng.NormFloat64()), I(rng.Int63n(1000)-500))
 		}
 		var buf bytes.Buffer
 		if err := WriteCSV(r, &buf); err != nil {
@@ -552,9 +566,9 @@ func TestQuickCSVRoundTrip(t *testing.T) {
 // The mutation surface: tombstone deletes keep indices stable, Set
 // updates in place, and every mutation bumps the version.
 func TestMutationSurface(t *testing.T) {
-	r := New("t", NewSchema(Column{"id", Int}, Column{"v", Float}, Column{"s", String}))
+	r := New("t", mustSchema(Column{"id", Int}, Column{"v", Float}, Column{"s", String}))
 	for i := 0; i < 5; i++ {
-		r.MustAppend(I(int64(i)), F(float64(i)*1.5), S("x"))
+		r.mustAppend(I(int64(i)), F(float64(i)*1.5), S("x"))
 	}
 	v0 := r.Version()
 	if v0 == 0 {
@@ -616,7 +630,7 @@ func TestMutationSurface(t *testing.T) {
 	}
 
 	// Appends after a delete extend the mask; new rows are live.
-	r.MustAppend(I(9), F(9), S("y"))
+	r.mustAppend(I(9), F(9), S("y"))
 	if r.Live() != 5 || r.Len() != 6 || r.Deleted(5) {
 		t.Fatalf("after append: Live=%d Len=%d Deleted(5)=%v", r.Live(), r.Len(), r.Deleted(5))
 	}
@@ -625,7 +639,7 @@ func TestMutationSurface(t *testing.T) {
 // Append validates the whole row before touching any column store, so a
 // failed append cannot leave ragged columns.
 func TestAppendAtomic(t *testing.T) {
-	r := New("t", NewSchema(Column{"a", Float}, Column{"b", Int}))
+	r := New("t", mustSchema(Column{"a", Float}, Column{"b", Int}))
 	if err := r.Append(F(1), F(0.5)); err == nil {
 		t.Fatal("append with a non-integral value for an Int column must fail")
 	}

@@ -57,19 +57,23 @@ type Schema struct {
 	index map[string]int
 }
 
-// NewSchema builds a schema from the given columns. It panics if a column
-// name is duplicated, since schemas are almost always program constants and
-// a duplicate is a programming error.
-func NewSchema(cols ...Column) Schema {
+// NewSchema builds a schema from the given columns. A duplicated column
+// name (names are case-insensitive) is an ErrTypeMismatch-family error:
+// schemas reach this constructor from user-controlled surfaces — CSV
+// headers, snapshot files, projection lists — so a malformed one must
+// surface as a typed error, never crash the process. Tests and
+// generators with constant schemas use reltest.Schema or a local
+// panicking wrapper.
+func NewSchema(cols ...Column) (Schema, error) {
 	s := Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
 	for i, c := range cols {
 		key := strings.ToLower(c.Name)
 		if _, dup := s.index[key]; dup {
-			panic(fmt.Sprintf("relation: duplicate column %q in schema", c.Name))
+			return Schema{}, fmt.Errorf("%w: duplicate column %q in schema", ErrTypeMismatch, c.Name)
 		}
 		s.index[key] = i
 	}
-	return s
+	return s, nil
 }
 
 // Len returns the number of columns.
@@ -99,8 +103,9 @@ func (s Schema) MustLookup(name string) (int, error) {
 	return i, nil
 }
 
-// Extend returns a new schema with extra columns appended.
-func (s Schema) Extend(cols ...Column) Schema {
+// Extend returns a new schema with extra columns appended. A column
+// name colliding with an existing one is an error, as in NewSchema.
+func (s Schema) Extend(cols ...Column) (Schema, error) {
 	return NewSchema(append(s.Columns(), cols...)...)
 }
 

@@ -1,0 +1,31 @@
+// Package reltest provides panicking construction helpers for tests and
+// other non-serving code that builds relations from program constants.
+//
+// The relation package itself returns typed errors from its
+// constructors — user-controlled surfaces (CSV headers, snapshot files,
+// projection lists) must never crash the process, and the nopanic
+// invariant (docs/INVARIANTS.md) holds it to that. Tests, by contrast,
+// build schemas and rows from literals, where an error is a broken test
+// and panicking is the right response. These helpers keep that
+// convenience without putting a panic back on the query path.
+package reltest
+
+import "repro/internal/relation"
+
+// Schema builds a schema from constant columns, panicking on duplicate
+// names.
+func Schema(cols ...relation.Column) relation.Schema {
+	s, err := relation.NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Append appends one constant row, panicking if it does not fit the
+// schema.
+func Append(r *relation.Relation, vals ...relation.Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
+}

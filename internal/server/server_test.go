@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/internal/workload"
 	"repro/paq"
 )
@@ -290,11 +291,11 @@ func (b *blockingSolver) Solve(ctx context.Context, spec *core.Spec) (*core.Pack
 // given solver.
 func tinyDataset(t *testing.T, srv *Server, solver paq.Solver) string {
 	t.Helper()
-	rel := relation.New("tiny", relation.NewSchema(
+	rel := relation.New("tiny", reltest.Schema(
 		relation.Column{Name: "x", Type: relation.Float},
 	))
 	for i := 0; i < 4; i++ {
-		rel.MustAppend(relation.F(float64(i + 1)))
+		reltest.Append(rel, relation.F(float64(i+1)))
 	}
 	ds, err := NewDataset("tiny", rel, testDatasetConfig())
 	if err != nil {

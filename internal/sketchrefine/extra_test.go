@@ -9,6 +9,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 // TestDynamicPartitioningEndToEnd runs SketchRefine over a partitioning
@@ -89,16 +90,16 @@ func TestEvalStatsAdd(t *testing.T) {
 // clusters where greedy refinement of the "rich" cluster first exhausts
 // the budget needed by a mandatory group.
 func TestBacktrackingExercised(t *testing.T) {
-	rel := relation.New("items", relation.NewSchema(
+	rel := relation.New("items", reltest.Schema(
 		relation.Column{Name: "a", Type: relation.Float},
 		relation.Column{Name: "b", Type: relation.Float},
 	))
 	// Group-like clusters: low-a cluster and high-a cluster.
 	for i := 0; i < 12; i++ {
-		rel.MustAppend(relation.F(1+0.01*float64(i)), relation.F(10))
+		reltest.Append(rel, relation.F(1+0.01*float64(i)), relation.F(10))
 	}
 	for i := 0; i < 12; i++ {
-		rel.MustAppend(relation.F(9+0.01*float64(i)), relation.F(11))
+		reltest.Append(rel, relation.F(9+0.01*float64(i)), relation.F(11))
 	}
 	part := buildPart(t, rel, 12, 0)
 	// Budget forces a mix: 4 tuples, SUM(a) in [20, 22] — two from each

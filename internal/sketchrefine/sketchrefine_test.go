@@ -12,6 +12,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/internal/translate"
 )
 
@@ -19,14 +20,14 @@ import (
 // category column.
 func genRel(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	r := relation.New("items", relation.NewSchema(
+	r := relation.New("items", reltest.Schema(
 		relation.Column{Name: "a", Type: relation.Float},
 		relation.Column{Name: "b", Type: relation.Float},
 		relation.Column{Name: "cat", Type: relation.String},
 	))
 	cats := []string{"x", "y", "z"}
 	for i := 0; i < n; i++ {
-		r.MustAppend(
+		reltest.Append(r,
 			relation.F(1+rng.Float64()*9),
 			relation.F(1+rng.Float64()*9),
 			relation.S(cats[rng.Intn(len(cats))]),
@@ -205,13 +206,13 @@ func TestSketchRefineMergeOnFailure(t *testing.T) {
 	// original problem is feasible: demand a very tight SUM window that
 	// only specific original tuples hit. With MergeOnFailure the engine
 	// must still find it.
-	rel := relation.New("items", relation.NewSchema(
+	rel := relation.New("items", reltest.Schema(
 		relation.Column{Name: "a", Type: relation.Float},
 		relation.Column{Name: "b", Type: relation.Float},
 	))
 	vals := []float64{1.0, 9.0, 1.1, 8.9, 1.2, 8.8, 5.01, 4.99}
 	for _, v := range vals {
-		rel.MustAppend(relation.F(v), relation.F(v))
+		reltest.Append(rel, relation.F(v), relation.F(v))
 	}
 	part := buildPart(t, rel, 2, 0)
 	spec := &core.Spec{

@@ -162,19 +162,18 @@ func decodeSnapshot(payload []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: snapshot claims %d×%d cells but only %d payload bytes remain",
 			ErrCorrupt, nrows, ncols, d.r.Len())
 	}
-	// NewSchema panics on duplicate column names; a corrupt or hostile
-	// snapshot must fail with ErrCorrupt instead.
-	seen := make(map[string]bool, len(cols))
 	for _, c := range cols {
 		if c.Name == "" {
 			return nil, fmt.Errorf("%w: empty column name", ErrCorrupt)
 		}
-		if seen[c.Name] {
-			return nil, fmt.Errorf("%w: duplicate column %q", ErrCorrupt, c.Name)
-		}
-		seen[c.Name] = true
 	}
-	rel := relation.New(name, relation.NewSchema(cols...))
+	// A duplicate column name (case-insensitive) in a corrupt or hostile
+	// snapshot surfaces as a schema error; report it as corruption.
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	rel := relation.New(name, schema)
 	// Decode column-major into value grids, then append row-wise.
 	grid := make([][]relation.Value, nrows)
 	for r := range grid {

@@ -9,17 +9,18 @@ import (
 
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 func storeFixtureRel(t *testing.T, n int) *relation.Relation {
 	t.Helper()
-	r := relation.New("stars", relation.NewSchema(
+	r := relation.New("stars", reltest.Schema(
 		relation.Column{Name: "id", Type: relation.Int},
 		relation.Column{Name: "mag", Type: relation.Float},
 		relation.Column{Name: "name", Type: relation.String},
 	))
 	for i := 0; i < n; i++ {
-		r.MustAppend(relation.I(int64(i)), relation.F(float64(i)*0.25), relation.S(fmt.Sprintf("s-%d", i)))
+		reltest.Append(r, relation.I(int64(i)), relation.F(float64(i)*0.25), relation.S(fmt.Sprintf("s-%d", i)))
 	}
 	return r
 }

@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 // fuzzRel is a small mixed-type relation the compile fuzzer targets: a
 // numeric Float column, an Int column, and a String column, so arbitrary
 // query text can hit every type-checking path.
 func fuzzRel() *relation.Relation {
-	rel := relation.New("t", relation.NewSchema(
+	rel := relation.New("t", reltest.Schema(
 		relation.Column{Name: "a", Type: relation.Float},
 		relation.Column{Name: "b", Type: relation.Int},
 		relation.Column{Name: "c", Type: relation.String},
 	))
-	rel.MustAppend(relation.F(1.5), relation.I(2), relation.S("x"))
-	rel.MustAppend(relation.F(-3), relation.I(0), relation.S("y'z"))
-	rel.MustAppend(relation.F(0), relation.I(7), relation.S(""))
+	reltest.Append(rel, relation.F(1.5), relation.I(2), relation.S("x"))
+	reltest.Append(rel, relation.F(-3), relation.I(0), relation.S("y'z"))
+	reltest.Append(rel, relation.F(0), relation.I(7), relation.S(""))
 	return rel
 }
 

@@ -10,10 +10,11 @@ import (
 	"repro/internal/lp"
 	"repro/internal/paql"
 	"repro/internal/relation"
+	"repro/internal/reltest"
 )
 
 func recipesRel() *relation.Relation {
-	r := relation.New("recipes", relation.NewSchema(
+	r := relation.New("recipes", reltest.Schema(
 		relation.Column{Name: "name", Type: relation.String},
 		relation.Column{Name: "gluten", Type: relation.String},
 		relation.Column{Name: "kcal", Type: relation.Float},
@@ -35,7 +36,7 @@ func recipesRel() *relation.Relation {
 		{"fish", "free", 0.9, 1.5, 0, 25},
 	}
 	for _, x := range rows {
-		r.MustAppend(relation.S(x.name), relation.S(x.gluten), relation.F(x.kcal),
+		reltest.Append(r, relation.S(x.name), relation.S(x.gluten), relation.F(x.kcal),
 			relation.F(x.fat), relation.F(x.carbs), relation.F(x.protein))
 	}
 	return r
@@ -366,14 +367,14 @@ func TestTheorem1ILPToPaQL(t *testing.T) {
 	//      s.t. 2x1 + 3x2 + 1x3 <= 5
 	//           4x1 + 1x2 + 2x3 <= 11
 	//           x integer >= 0
-	rel := relation.New("ilprel", relation.NewSchema(
+	rel := relation.New("ilprel", reltest.Schema(
 		relation.Column{Name: "attr_obj", Type: relation.Float},
 		relation.Column{Name: "attr_1", Type: relation.Float},
 		relation.Column{Name: "attr_2", Type: relation.Float},
 	))
-	rel.MustAppend(relation.F(3), relation.F(2), relation.F(4))
-	rel.MustAppend(relation.F(5), relation.F(3), relation.F(1))
-	rel.MustAppend(relation.F(4), relation.F(1), relation.F(2))
+	reltest.Append(rel, relation.F(3), relation.F(2), relation.F(4))
+	reltest.Append(rel, relation.F(5), relation.F(3), relation.F(1))
+	reltest.Append(rel, relation.F(4), relation.F(1), relation.F(2))
 
 	spec := compileOK(t, `
 SELECT PACKAGE(R) AS P FROM ilprel R

@@ -32,7 +32,7 @@ var GalaxyAttrs = []string{"ra", "dec", "u", "g", "r", "i", "z", "redshift", "pe
 // base brightness, redshift is heavy-tailed, and petroRad is log-normal.
 func Galaxy(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	rel := relation.New("galaxy", relation.NewSchema(
+	rel := relation.New("galaxy", mustSchema(
 		relation.Column{Name: "objid", Type: relation.Int},
 		relation.Column{Name: "ra", Type: relation.Float},
 		relation.Column{Name: "dec", Type: relation.Float},
@@ -73,7 +73,7 @@ func Galaxy(n int, seed int64) *relation.Relation {
 		}
 		petro := math.Exp(rng.NormFloat64()*0.6 + 1.2)
 		extinction := math.Abs(rng.NormFloat64()) * 0.15
-		rel.MustAppend(
+		mustAppend(rel,
 			relation.I(int64(idx)),
 			relation.F(round3(ra)), relation.F(round3(dec)),
 			relation.F(round3(u)), relation.F(round3(g)), relation.F(round3(r)),

@@ -1,0 +1,22 @@
+package workload
+
+import "repro/internal/relation"
+
+// The generators build relations from program constants at boot time —
+// there is no user input to degrade for, so a construction error is a
+// broken generator and panics (workload is documented panic-exempt in
+// docs/INVARIANTS.md).
+
+func mustSchema(cols ...relation.Column) relation.Schema {
+	s, err := relation.NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustAppend(r *relation.Relation, vals ...relation.Value) {
+	if err := r.Append(vals...); err != nil {
+		panic(err)
+	}
+}

@@ -21,7 +21,7 @@ var TPCHAttrs = []string{
 // subset sizes (tuples with non-NULL query attributes in the paper).
 func TPCH(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	rel := relation.New("tpch", relation.NewSchema(
+	rel := relation.New("tpch", mustSchema(
 		relation.Column{Name: "rowid", Type: relation.Int},
 		relation.Column{Name: "quantity", Type: relation.Float},
 		relation.Column{Name: "extendedprice", Type: relation.Float},
@@ -46,7 +46,7 @@ func TPCH(n int, seed int64) *relation.Relation {
 		availqty := float64(1 + rng.Intn(9999))
 		totalprice := 1000 + rng.Float64()*99000 // order total, independent of this lineitem
 		acctbal := -999 + rng.Float64()*10999    // c_acctbal ~ [-999, 10000]
-		rel.MustAppend(
+		mustAppend(rel,
 			relation.I(int64(idx)),
 			relation.F(quantity),
 			relation.F(round2(extended)),

@@ -10,18 +10,19 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/paq"
 )
 
 func durTable(t *testing.T, n int, seed int64) *relation.Relation {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	rel := relation.New("items", relation.NewSchema(
+	rel := relation.New("items", reltest.Schema(
 		relation.Column{Name: "cost", Type: relation.Float},
 		relation.Column{Name: "gain", Type: relation.Float},
 	))
 	for i := 0; i < n; i++ {
-		rel.MustAppend(relation.F(1+rng.Float64()*9), relation.F(1+rng.Float64()*9))
+		reltest.Append(rel, relation.F(1+rng.Float64()*9), relation.F(1+rng.Float64()*9))
 	}
 	return rel
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/paq"
 )
 
@@ -14,7 +15,7 @@ import (
 // session over an in-memory table, prepare a PaQL query, inspect the
 // plan, and execute with incumbent streaming.
 func ExampleSession_Prepare() {
-	fruit := relation.New("Fruit", relation.NewSchema(
+	fruit := relation.New("Fruit", reltest.Schema(
 		relation.Column{Name: "name", Type: relation.String},
 		relation.Column{Name: "kcal", Type: relation.Float},
 		relation.Column{Name: "fiber", Type: relation.Float},
@@ -26,7 +27,7 @@ func ExampleSession_Prepare() {
 		{"apple", 95, 4.4}, {"banana", 105, 3.1}, {"orange", 62, 3.1},
 		{"pear", 101, 5.5}, {"kiwi", 42, 2.1}, {"mango", 201, 5.4},
 	} {
-		fruit.MustAppend(relation.S(f.name), relation.F(f.kcal), relation.F(f.fiber))
+		reltest.Append(fruit, relation.S(f.name), relation.F(f.kcal), relation.F(f.fiber))
 	}
 
 	sess, err := paq.Open(paq.Table(fruit))
@@ -67,7 +68,7 @@ MAXIMIZE SUM(P.fiber)`)
 // incrementally, stale cached solutions are invalidated, and the same
 // prepared statement picks up the new rows on its next execution.
 func ExampleSession_InsertRows() {
-	stocks := relation.New("Stocks", relation.NewSchema(
+	stocks := relation.New("Stocks", reltest.Schema(
 		relation.Column{Name: "ticker", Type: relation.String},
 		relation.Column{Name: "price", Type: relation.Float},
 		relation.Column{Name: "yield", Type: relation.Float},
@@ -79,7 +80,7 @@ func ExampleSession_InsertRows() {
 		{"AAA", 40, 1.1}, {"BBB", 60, 2.0}, {"CCC", 55, 1.4},
 		{"DDD", 30, 0.9}, {"EEE", 75, 2.2},
 	} {
-		stocks.MustAppend(relation.S(s.ticker), relation.F(s.price), relation.F(s.yield))
+		reltest.Append(stocks, relation.S(s.ticker), relation.F(s.price), relation.F(s.yield))
 	}
 
 	sess, err := paq.Open(paq.Table(stocks))
@@ -130,7 +131,7 @@ func ExampleSession_durability() {
 	}
 	defer os.RemoveAll(dir)
 
-	meals := relation.New("Meals", relation.NewSchema(
+	meals := relation.New("Meals", reltest.Schema(
 		relation.Column{Name: "name", Type: relation.String},
 		relation.Column{Name: "kcal", Type: relation.Float},
 		relation.Column{Name: "protein", Type: relation.Float},
@@ -142,7 +143,7 @@ func ExampleSession_durability() {
 		{"oats", 350, 12}, {"eggs", 210, 18}, {"salad", 120, 4},
 		{"steak", 480, 42}, {"soup", 190, 9}, {"tofu", 160, 15},
 	} {
-		meals.MustAppend(relation.S(m.name), relation.F(m.kcal), relation.F(m.protein))
+		reltest.Append(meals, relation.S(m.name), relation.F(m.kcal), relation.F(m.protein))
 	}
 
 	sess, err := paq.Open(paq.Table(meals), paq.WithDurability(dir))

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/internal/workload"
 	"repro/paq"
 )
@@ -201,12 +202,12 @@ func TestMutationBatchesAtomic(t *testing.T) {
 // TestUpdateRowsMovesAnswer: updating a tuple's values in place changes
 // the answer (and keeps row identity stable).
 func TestUpdateRowsMovesAnswer(t *testing.T) {
-	rel := relation.New("galaxy", relation.NewSchema(
+	rel := relation.New("galaxy", reltest.Schema(
 		relation.Column{Name: "redshift", Type: relation.Float},
 		relation.Column{Name: "petrorad", Type: relation.Float},
 	))
 	for i := 0; i < 6; i++ {
-		rel.MustAppend(relation.F(0.5), relation.F(float64(i)))
+		reltest.Append(rel, relation.F(0.5), relation.F(float64(i)))
 	}
 	sess, err := paq.Open(paq.Table(rel))
 	if err != nil {

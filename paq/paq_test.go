@@ -8,13 +8,14 @@ import (
 	"time"
 
 	"repro/internal/relation"
+	"repro/internal/reltest"
 	"repro/internal/workload"
 	"repro/paq"
 )
 
 // mealRelation builds the paper's Example 1 table (the quickstart data).
 func mealRelation() *relation.Relation {
-	recipes := relation.New("Recipes", relation.NewSchema(
+	recipes := relation.New("Recipes", reltest.Schema(
 		relation.Column{Name: "name", Type: relation.String},
 		relation.Column{Name: "gluten", Type: relation.String},
 		relation.Column{Name: "kcal", Type: relation.Float},
@@ -35,7 +36,7 @@ func mealRelation() *relation.Relation {
 		{"tofu stir fry", "free", 0.58, 0.9},
 		{"fruit plate", "free", 0.30, 0.1},
 	} {
-		recipes.MustAppend(relation.S(m.name), relation.S(m.gluten), relation.F(m.kcal), relation.F(m.fat))
+		reltest.Append(recipes, relation.S(m.name), relation.S(m.gluten), relation.F(m.kcal), relation.F(m.fat))
 	}
 	return recipes
 }
