@@ -8,7 +8,7 @@
 //	benchrunner -exp fig1,fig3,fig9 -timeout 30s
 //
 // Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig6eps,
-// batch, loadgen, ingest, recover, repl.
+// batch, loadgen, ingest, recover, repl, advise.
 // See EXPERIMENTS.md for what each reproduces and the expected shapes.
 //
 // -results writes every experiment's machine-readable record (p50/p95
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest,recover,repl) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest,recover,repl,advise) or all")
 		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
 		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -49,6 +49,8 @@ func main() {
 		ingestN  = flag.Int("ingestops", 1000, "ingest: interleaved insert/delete operations before the differential check")
 		recoverN = flag.Int("recoverops", 1000, "recover: acknowledged mutations before the randomized crash becomes possible")
 		replN    = flag.Int("replops", 400, "repl: acknowledged leader mutations before the failover")
+		adviseW  = flag.Int("advisewarmup", 8, "advise: workload rounds the advisor learns over before measurement")
+		adviseR  = flag.Int("adviserounds", 3, "advise: measured workload rounds")
 		replF    = flag.Int("followers", 2, "repl: follower count (minimum 2)")
 		results  = flag.String("results", "", "write machine-readable experiment results (BENCH_results.json) to this path")
 	)
@@ -128,6 +130,17 @@ func main() {
 		// objectives within the quality bound, lag back to zero after
 		// every fault.
 		_, err := env.Repl(ctx, bench.ReplConfig{Ops: *replN, Followers: *replF})
+		return err
+	})
+	run("advise", func() error {
+		// An advisor-enabled session and a fixed-heuristic twin
+		// (WithoutAdvisor) evaluate the same mixed Galaxy + TPC-H
+		// workload with MethodAuto. After -advisewarmup learning rounds
+		// the adaptive total solve time must not exceed the fixed
+		// heuristic's (within slack) with every objective inside the
+		// quality bound, and a close + reopen must restore the learned
+		// state: non-cold plans, zero partitioning builds on hot sets.
+		_, err := env.Advise(ctx, bench.AdviseConfig{Warmup: *adviseW, Rounds: *adviseR})
 		return err
 	})
 	run("ingest", func() error {

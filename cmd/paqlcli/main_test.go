@@ -2,8 +2,10 @@ package main
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -150,6 +152,69 @@ MAXIMIZE SUM(P.petrorad)`
 	}
 	if err := os.Remove(o.outPath); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = orig
+	return <-done
+}
+
+// Regression: -explain on a valid query must exit 0 and print the
+// plan's adaptive block — the advisor's decision is part of EXPLAIN
+// output, not an internal detail.
+func TestExplainPrintsAdaptiveBlock(t *testing.T) {
+	data := writeGalaxyCSV(t, 60, 1)
+	o := baseOpts(data)
+	o.explain = true
+	o.queryText = `SELECT PACKAGE(G) AS P FROM galaxy G
+SUCH THAT COUNT(P.*) = 2
+MAXIMIZE SUM(P.petrorad)`
+
+	var truncated bool
+	var err error
+	out := captureStdout(t, func() { truncated, err = run(o) })
+	if err != nil {
+		t.Fatalf("explain run failed: %v", err)
+	}
+	if code := exitCode(err, truncated); code != 0 {
+		t.Errorf("explain run exit code %d, want 0", code)
+	}
+	if !strings.Contains(out, "adaptive:") {
+		t.Errorf("-explain output missing the adaptive block:\n%s", out)
+	}
+	if !strings.Contains(out, "method:") {
+		t.Errorf("-explain output missing the method line:\n%s", out)
+	}
+
+	// And the exit-code matrix must hold on the same query when it is
+	// broken: -explain never masks a parse failure as success.
+	o.queryText = "SELECT PACKAGE("
+	truncated, err = run(o)
+	if err == nil {
+		t.Fatal("broken query with -explain did not fail")
+	}
+	if code := exitCode(err, truncated); code != 2 {
+		t.Errorf("broken query with -explain exit code %d, want 2", code)
 	}
 }
 

@@ -37,8 +37,11 @@
 // warm-started instead of rebuilt. Datasets found under -data-dir that
 // no flag names are recovered and served too. A background maintenance
 // loop (-maintain-every) compacts datasets whose tombstone ratio
-// exceeds 25% and snapshots datasets whose WAL outgrows 8 MiB. See
-// docs/PERSISTENCE.md.
+// exceeds 25% and snapshots datasets whose WAL outgrows 8 MiB, and on
+// the same cadence runs the partitioning advisor: hot attribute sets
+// mined from the query log are pre-warmed, cold warm sets evicted,
+// and the advisor's learned state persisted so a restart keeps its
+// tuning (see docs/ADVISOR.md). See docs/PERSISTENCE.md.
 //
 // A durable paqld also serves the replication endpoints (GET
 // /repl/wal, GET /repl/snapshot, POST /repl/fence, POST
@@ -290,6 +293,9 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 				case <-ticker.C:
 					for _, action := range srv.MaintainOnce() {
 						log.Printf("maintenance: %s", action)
+					}
+					for _, action := range srv.AdviseOnce() {
+						log.Printf("advisor: %s", action)
 					}
 				case <-maintDone:
 					return

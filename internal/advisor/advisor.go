@@ -1,0 +1,664 @@
+// Package advisor is the workload-driven self-tuning subsystem: it
+// turns cheap observed execution signals into (1) an adaptive
+// evaluation-method choice per query shape and (2) a partitioning
+// advisor that mines recurring attribute sets so hot partitionings can
+// be pre-warmed and cold ones evicted under a budget.
+//
+// The design is deliberately statistics-free in the cost-model sense:
+// there is no selectivity estimation and nothing to keep calibrated.
+// Each (query shape, method) pair accumulates an exponentially weighted
+// moving average of observed solve time, failure rate, and objective
+// gap; decisions are a bandit-style loop over those observations —
+// fall back to the planner's fixed heuristic while cold, probe
+// under-sampled alternatives, then exploit the cheapest method whose
+// observed objective quality stays within tolerance, with a periodic
+// staleness probe so a regressed choice is eventually re-checked.
+//
+// The advisor is advisory by construction: it never builds anything on
+// the solve path, never fails a query, and its persisted state is a
+// sidecar the rest of recovery ignores if unreadable. Everything is
+// deterministic — sequence counters, not clocks or RNGs — so identical
+// workloads tune identically.
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Config tunes the advisor. The zero value means defaults.
+type Config struct {
+	// MinSamples is how many outcomes a method needs before its score is
+	// trusted: the fallback stays in charge until it has MinSamples, and
+	// alternatives are probed until they do too. Default 3.
+	MinSamples int
+	// ProbeEvery re-checks a non-chosen candidate after that many
+	// consecutive exploit decisions on one shape, so a method that
+	// regressed (or improved) after its last samples is eventually
+	// re-observed. Default 32.
+	ProbeEvery uint64
+	// Alpha is the EWMA smoothing factor for all per-method signals
+	// (higher = faster to adapt, noisier). Default 0.3.
+	Alpha float64
+	// FailPenalty multiplies a method's mean solve time by
+	// (1 + FailPenalty·failRate): a method that times out is scored as
+	// if it were that much slower. Default 4.
+	FailPenalty float64
+	// GapTolerance is the observed relative objective gap (vs the best
+	// objective seen for the shape) beyond which a method is ineligible
+	// for exploitation — speed never buys answers worse than this,
+	// unless every candidate is beyond it. Default 0.10.
+	GapTolerance float64
+	// HotUses is how many times an attribute set must recur before the
+	// partitioning advisor calls it hot. Default 3.
+	HotUses uint64
+	// MaxShapes and MaxSets bound the tracked state; least-recently-seen
+	// entries are evicted past the cap. Defaults 256 each.
+	MaxShapes int
+	MaxSets   int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 32
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.FailPenalty <= 0 {
+		c.FailPenalty = 4
+	}
+	if c.GapTolerance <= 0 {
+		c.GapTolerance = 0.10
+	}
+	if c.HotUses == 0 {
+		c.HotUses = 3
+	}
+	if c.MaxShapes <= 0 {
+		c.MaxShapes = 256
+	}
+	if c.MaxSets <= 0 {
+		c.MaxSets = 256
+	}
+	return c
+}
+
+// Outcome is one execution's observed record, reported by the session
+// after every real (non-cached) solve.
+type Outcome struct {
+	// Shape identifies the query's structure (see engine.ShapeKey);
+	// Method names the strategy that ran.
+	Shape  string
+	Method string
+	// SolveMS is the wall-clock evaluation time in milliseconds;
+	// Backtracks the SketchRefine refinement backtracks (0 for direct).
+	SolveMS    float64
+	Backtracks int
+	// Failed marks timeouts, exhausted budgets, and operational errors —
+	// the method did not produce an answer. Infeasible is NOT a failure:
+	// a definitive "no such package" is a correct answer and its solve
+	// time still informs the score.
+	Failed     bool
+	Infeasible bool
+	// Truncated marks a budget-limited incumbent: feasible but possibly
+	// suboptimal (scored as half a failure).
+	Truncated bool
+	// HasObjective, Objective, and Maximize feed the per-shape objective
+	// gap (skipped for feasibility-only queries and failures).
+	HasObjective bool
+	Objective    float64
+	Maximize     bool
+}
+
+// MethodScore is one candidate's observed evidence at decision time
+// (rendered in the plan's Adaptive block).
+type MethodScore struct {
+	Method string `json:"method"`
+	// N is how many outcomes the score rests on (0 = never observed).
+	N uint64 `json:"n"`
+	// MeanMS, FailRate, and Gap are the EWMA signals; Score is the
+	// penalized time the decision compares (lower is better).
+	MeanMS   float64 `json:"mean_ms"`
+	FailRate float64 `json:"fail_rate,omitempty"`
+	Gap      float64 `json:"gap,omitempty"`
+	Score    float64 `json:"score"`
+}
+
+// Decision is the advisor's answer for one prepared statement.
+type Decision struct {
+	// Method is the chosen strategy; Fallback what the fixed heuristic
+	// would have picked (and what cold decisions return).
+	Method   string `json:"method"`
+	Fallback string `json:"fallback"`
+	// Cold marks a decision made on insufficient evidence (the fallback
+	// wins); Probe marks a deliberate exploration of an under-sampled or
+	// stale alternative.
+	Cold  bool `json:"cold,omitempty"`
+	Probe bool `json:"probe,omitempty"`
+	// Reason explains the decision in one human-readable line.
+	Reason string `json:"reason"`
+	// Scores snapshots the evidence for every candidate, in the order
+	// they were offered.
+	Scores []MethodScore `json:"scores,omitempty"`
+}
+
+// SetInfo describes one mined attribute set.
+type SetInfo struct {
+	Key   string   `json:"key"`
+	Attrs []string `json:"attrs"`
+	// Uses counts queries that wanted this set; LastVersion is the
+	// dataset version at its most recent use.
+	Uses        uint64 `json:"uses"`
+	LastVersion uint64 `json:"last_version"`
+	// Prewarmed marks sets whose partitioning the advisor built (or
+	// adopted) during a maintenance pass.
+	Prewarmed bool `json:"prewarmed,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the advisor's counters.
+type Stats struct {
+	Outcomes  uint64 `json:"outcomes"`
+	Shapes    int    `json:"shapes"`
+	Decisions uint64 `json:"decisions"`
+	Cold      uint64 `json:"cold_decisions"`
+	Probes    uint64 `json:"probes"`
+	Sets      int    `json:"sets_tracked"`
+	HotSets   int    `json:"hot_sets"`
+}
+
+// methodStats is the EWMA evidence for one (shape, method) pair.
+type methodStats struct {
+	N          uint64  `json:"n"`
+	MS         float64 `json:"ms"`
+	Fail       float64 `json:"fail"`
+	Backtracks float64 `json:"backtracks"`
+	GapN       uint64  `json:"gap_n,omitempty"`
+	Gap        float64 `json:"gap,omitempty"`
+	LastSeq    uint64  `json:"last_seq"`
+}
+
+// shapeState is everything tracked for one query shape.
+type shapeState struct {
+	Methods    map[string]*methodStats `json:"methods"`
+	BestObj    float64                 `json:"best_obj,omitempty"`
+	HasBest    bool                    `json:"has_best,omitempty"`
+	Maximize   bool                    `json:"maximize,omitempty"`
+	SinceProbe uint64                  `json:"since_probe,omitempty"`
+	LastSeq    uint64                  `json:"last_seq"`
+}
+
+// setState is the mined record of one attribute set.
+type setState struct {
+	Attrs       []string `json:"attrs"`
+	Uses        uint64   `json:"uses"`
+	LastVersion uint64   `json:"last_version"`
+	LastSeq     uint64   `json:"last_seq"`
+	Prewarmed   bool     `json:"prewarmed,omitempty"`
+}
+
+// Advisor is one session's adaptive state. Safe for concurrent use.
+type Advisor struct {
+	cfg Config
+
+	mu        sync.Mutex
+	seq       uint64 // logical clock: every Observe/Decide/ObserveSet tick
+	outcomes  uint64
+	decisions uint64
+	cold      uint64
+	probes    uint64
+	shapes    map[string]*shapeState
+	sets      map[string]*setState
+}
+
+// New returns an advisor with the given configuration (zero-valued
+// fields get defaults).
+func New(cfg Config) *Advisor {
+	return &Advisor{
+		cfg:    cfg.withDefaults(),
+		shapes: make(map[string]*shapeState),
+		sets:   make(map[string]*setState),
+	}
+}
+
+func (a *Advisor) shapeLocked(key string) *shapeState {
+	ss := a.shapes[key]
+	if ss == nil {
+		ss = &shapeState{Methods: make(map[string]*methodStats)}
+		a.shapes[key] = ss
+	}
+	return ss
+}
+
+// Observe records one execution outcome.
+func (a *Advisor) Observe(o Outcome) {
+	if o.Shape == "" || o.Method == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	a.outcomes++
+	ss := a.shapeLocked(o.Shape)
+	ss.LastSeq = a.seq
+	ms := ss.Methods[o.Method]
+	if ms == nil {
+		ms = &methodStats{}
+		ss.Methods[o.Method] = ms
+	}
+	ms.N++
+	ms.LastSeq = a.seq
+	ewma := func(cur, x float64, first bool) float64 {
+		if first {
+			return x
+		}
+		return a.cfg.Alpha*x + (1-a.cfg.Alpha)*cur
+	}
+	first := ms.N == 1
+	ms.MS = ewma(ms.MS, o.SolveMS, first)
+	ms.Backtracks = ewma(ms.Backtracks, float64(o.Backtracks), first)
+	fail := 0.0
+	switch {
+	case o.Failed:
+		fail = 1
+	case o.Truncated:
+		fail = 0.5
+	}
+	ms.Fail = ewma(ms.Fail, fail, first)
+	if o.HasObjective && !o.Failed && !o.Infeasible &&
+		!math.IsNaN(o.Objective) && !math.IsInf(o.Objective, 0) {
+		if !ss.HasBest || betterObj(o.Maximize, o.Objective, ss.BestObj) {
+			ss.BestObj, ss.HasBest, ss.Maximize = o.Objective, true, o.Maximize
+		}
+		g := gapOf(ss.Maximize, o.Objective, ss.BestObj)
+		ms.Gap = ewma(ms.Gap, g, ms.GapN == 0)
+		ms.GapN++
+	}
+	a.trimShapesLocked()
+}
+
+func betterObj(maximize bool, x, best float64) bool {
+	if maximize {
+		return x > best
+	}
+	return x < best
+}
+
+// gapOf is the relative shortfall of obj against the best objective
+// observed for the shape (0 when obj is at least as good; absolute when
+// best is ~0).
+func gapOf(maximize bool, obj, best float64) float64 {
+	diff := obj - best
+	if maximize {
+		diff = best - obj
+	}
+	if diff <= 0 || math.IsNaN(diff) {
+		return 0
+	}
+	if den := math.Abs(best); den > 1e-12 {
+		return diff / den
+	}
+	return diff
+}
+
+// score is the penalized time the decision loop minimizes.
+func (a *Advisor) score(ms *methodStats) float64 {
+	return ms.MS * (1 + a.cfg.FailPenalty*ms.Fail)
+}
+
+// Decide picks the method for one prepared statement. fallback is what
+// the fixed planner heuristic chose (always among candidates); the
+// candidate order breaks ties and orders probes, so callers must keep
+// it deterministic.
+func (a *Advisor) Decide(shape, fallback string, candidates []string) Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	a.decisions++
+	ss := a.shapeLocked(shape)
+	ss.LastSeq = a.seq
+	dec := Decision{Method: fallback, Fallback: fallback}
+	for _, m := range candidates {
+		sc := MethodScore{Method: m}
+		if ms := ss.Methods[m]; ms != nil {
+			sc.N, sc.MeanMS, sc.FailRate, sc.Gap = ms.N, ms.MS, ms.Fail, ms.Gap
+			sc.Score = a.score(ms)
+		}
+		dec.Scores = append(dec.Scores, sc)
+	}
+	min := uint64(a.cfg.MinSamples)
+	fb := ss.Methods[fallback]
+	if fb == nil || fb.N < min {
+		var n uint64
+		if fb != nil {
+			n = fb.N
+		}
+		a.cold++
+		dec.Cold = true
+		dec.Reason = fmt.Sprintf("cold: %d/%d runs observed for %s; using the planner heuristic", n, min, fallback)
+		return dec
+	}
+	// Probe under-sampled alternatives before trusting any comparison.
+	for _, m := range candidates {
+		if m == fallback {
+			continue
+		}
+		ms := ss.Methods[m]
+		if ms == nil || ms.N < min {
+			var n uint64
+			if ms != nil {
+				n = ms.N
+			}
+			a.probes++
+			ss.SinceProbe = 0
+			dec.Method = m
+			dec.Probe = true
+			dec.Reason = fmt.Sprintf("probe: %s has %d/%d runs observed", m, n, min)
+			return dec
+		}
+	}
+	// Every candidate is sampled: exploit the lowest penalized time among
+	// methods whose observed objective gap stays within tolerance (all of
+	// them, if none qualifies). The fallback is considered first, so ties
+	// keep the heuristic's choice.
+	ordered := make([]string, 0, len(candidates))
+	ordered = append(ordered, fallback)
+	for _, m := range candidates {
+		if m != fallback {
+			ordered = append(ordered, m)
+		}
+	}
+	pick, eligible := "", false
+	var pickScore float64
+	for pass := 0; pass < 2 && pick == ""; pass++ {
+		for _, m := range ordered {
+			ms := ss.Methods[m]
+			if pass == 0 && ms.Gap > a.cfg.GapTolerance {
+				continue
+			}
+			if sc := a.score(ms); pick == "" || sc < pickScore {
+				pick, pickScore = m, sc
+				eligible = pass == 0
+			}
+		}
+	}
+	dec.Method = pick
+	best := ss.Methods[pick]
+	if pick == fallback {
+		dec.Reason = fmt.Sprintf("observed: fallback %s ≈%.1fms (n=%d) remains best of %d candidates", pick, best.MS, best.N, len(candidates))
+	} else {
+		dec.Reason = fmt.Sprintf("observed: %s ≈%.1fms (n=%d) beats fallback %s ≈%.1fms (n=%d)",
+			pick, best.MS, best.N, fallback, fb.MS, fb.N)
+	}
+	if !eligible {
+		dec.Reason += fmt.Sprintf(" (all candidates exceed the %.0f%% objective-gap tolerance)", a.cfg.GapTolerance*100)
+	}
+	// Staleness refresh: after ProbeEvery consecutive exploits on this
+	// shape, re-observe the least recently seen alternative.
+	ss.SinceProbe++
+	if len(ordered) > 1 && ss.SinceProbe >= a.cfg.ProbeEvery {
+		stale, staleSeq := "", uint64(math.MaxUint64)
+		for _, m := range ordered {
+			if m == pick {
+				continue
+			}
+			if ms := ss.Methods[m]; ms.LastSeq < staleSeq {
+				stale, staleSeq = m, ms.LastSeq
+			}
+		}
+		if stale != "" {
+			a.probes++
+			ss.SinceProbe = 0
+			dec.Method = stale
+			dec.Probe = true
+			dec.Reason = fmt.Sprintf("probe: refreshing %s (stale for %d decisions)", stale, a.cfg.ProbeEvery)
+		}
+	}
+	return dec
+}
+
+// trimShapesLocked evicts least-recently-seen shapes past the cap.
+func (a *Advisor) trimShapesLocked() {
+	for len(a.shapes) > a.cfg.MaxShapes {
+		victim, victimSeq := "", uint64(math.MaxUint64)
+		for k, ss := range a.shapes {
+			if ss.LastSeq < victimSeq {
+				victim, victimSeq = k, ss.LastSeq
+			}
+		}
+		delete(a.shapes, victim)
+	}
+}
+
+// ObserveSet records one query's demand for a partitioning attribute
+// set — the input to the hot-set miner.
+func (a *Advisor) ObserveSet(key string, attrs []string, version uint64) {
+	if key == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	st := a.sets[key]
+	if st == nil {
+		st = &setState{Attrs: append([]string(nil), attrs...)}
+		a.sets[key] = st
+	}
+	st.Uses++
+	st.LastVersion = version
+	st.LastSeq = a.seq
+	for len(a.sets) > a.cfg.MaxSets {
+		victim, victimSeq := "", uint64(math.MaxUint64)
+		for k, s := range a.sets {
+			if !s.Prewarmed && s.LastSeq < victimSeq {
+				victim, victimSeq = k, s.LastSeq
+			}
+		}
+		if victim == "" {
+			break // every tracked set is prewarmed; nothing safe to forget
+		}
+		delete(a.sets, victim)
+	}
+}
+
+// HotSets returns the attribute sets recurring often enough to pre-warm,
+// most-used first (ties broken by key for determinism).
+func (a *Advisor) HotSets() []SetInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []SetInfo
+	for k, st := range a.sets {
+		if st.Uses >= a.cfg.HotUses {
+			out = append(out, a.setInfoLocked(k, st))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Uses != out[j].Uses {
+			return out[i].Uses > out[j].Uses
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func (a *Advisor) setInfoLocked(key string, st *setState) SetInfo {
+	return SetInfo{
+		Key:         key,
+		Attrs:       append([]string(nil), st.Attrs...),
+		Uses:        st.Uses,
+		LastVersion: st.LastVersion,
+		Prewarmed:   st.Prewarmed,
+	}
+}
+
+// SetInfo looks up one mined set (ok=false when never observed).
+func (a *Advisor) SetInfo(key string) (SetInfo, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.sets[key]
+	if st == nil {
+		return SetInfo{}, false
+	}
+	return a.setInfoLocked(key, st), true
+}
+
+// EvictionOrder sorts keys least-recently-used first — the order a
+// budget-bound caller should evict warm partitionings in. Keys the
+// advisor never saw sort first (nothing argues for keeping them).
+func (a *Advisor) EvictionOrder(keys []string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := append([]string(nil), keys...)
+	seqOf := func(k string) uint64 {
+		if st := a.sets[k]; st != nil {
+			return st.LastSeq
+		}
+		return 0
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := seqOf(out[i]), seqOf(out[j])
+		if si != sj {
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// MarkPrewarmed records that the set's partitioning is advisor-managed
+// (built or adopted by a maintenance pass); ClearPrewarmed undoes it on
+// eviction. Prewarmed sets may serve covered subsets (see paq).
+func (a *Advisor) MarkPrewarmed(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.sets[key]
+	if st == nil {
+		st = &setState{}
+		a.sets[key] = st
+	}
+	st.Prewarmed = true
+}
+
+// ClearPrewarmed marks the set's partitioning as no longer warm.
+func (a *Advisor) ClearPrewarmed(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.sets[key]; st != nil {
+		st.Prewarmed = false
+	}
+}
+
+// IsPrewarmed reports whether the set is advisor-managed warm.
+func (a *Advisor) IsPrewarmed(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.sets[key]
+	return st != nil && st.Prewarmed
+}
+
+// PrewarmedKeys lists the advisor-managed warm set keys, sorted.
+func (a *Advisor) PrewarmedKeys() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for k, st := range a.sets {
+		if st.Prewarmed {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots the advisor's counters.
+func (a *Advisor) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Stats{
+		Outcomes:  a.outcomes,
+		Shapes:    len(a.shapes),
+		Decisions: a.decisions,
+		Cold:      a.cold,
+		Probes:    a.probes,
+		Sets:      len(a.sets),
+	}
+	for _, s := range a.sets {
+		if s.Uses >= a.cfg.HotUses {
+			st.HotSets++
+		}
+	}
+	return st
+}
+
+// persistedState is the advisor's durable form (JSON inside the store's
+// framed sidecar file). The configuration is NOT persisted: a restart
+// keeps the evidence but follows the current process's tuning.
+type persistedState struct {
+	Seq       uint64                 `json:"seq"`
+	Outcomes  uint64                 `json:"outcomes"`
+	Decisions uint64                 `json:"decisions"`
+	Cold      uint64                 `json:"cold"`
+	Probes    uint64                 `json:"probes"`
+	Shapes    map[string]*shapeState `json:"shapes"`
+	Sets      map[string]*setState   `json:"sets"`
+}
+
+// MarshalState serializes the advisor's evidence for persistence.
+func (a *Advisor) MarshalState() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return json.Marshal(persistedState{
+		Seq:       a.seq,
+		Outcomes:  a.outcomes,
+		Decisions: a.decisions,
+		Cold:      a.cold,
+		Probes:    a.probes,
+		Shapes:    a.shapes,
+		Sets:      a.sets,
+	})
+}
+
+// RestoreState replaces the advisor's evidence with a previously
+// marshaled state. The state is advisory: callers should treat an error
+// as "start cold", never as a recovery failure.
+func (a *Advisor) RestoreState(data []byte) error {
+	var ps persistedState
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return fmt.Errorf("advisor: undecodable state: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq = ps.Seq
+	a.outcomes = ps.Outcomes
+	a.decisions = ps.Decisions
+	a.cold = ps.Cold
+	a.probes = ps.Probes
+	a.shapes = make(map[string]*shapeState)
+	for k, ss := range ps.Shapes {
+		if ss == nil {
+			continue
+		}
+		if ss.Methods == nil {
+			ss.Methods = make(map[string]*methodStats)
+		}
+		for m, mst := range ss.Methods {
+			if mst == nil {
+				delete(ss.Methods, m)
+			}
+		}
+		a.shapes[k] = ss
+	}
+	a.sets = make(map[string]*setState)
+	for k, st := range ps.Sets {
+		if st != nil {
+			a.sets[k] = st
+		}
+	}
+	a.trimShapesLocked()
+	return nil
+}

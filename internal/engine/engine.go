@@ -564,3 +564,49 @@ func SpecKey(spec *core.Spec) string {
 	}
 	return key
 }
+
+// ShapeKey fingerprints a query's *structure* for the adaptive
+// planner: unlike SpecKey it deliberately ignores the data (no
+// relation identity, no version, no constraint right-hand sides — only
+// an order-of-magnitude size bucket), so executions of the same query
+// template at different constants and dataset versions pool their
+// observed outcomes. Two statements with equal shape keys are expected
+// to behave alike under each evaluation method — which is exactly the
+// granularity the advisor scores at.
+func ShapeKey(spec *core.Spec) string {
+	var b strings.Builder
+	// log2 bucket of the eligible-row count: method trade-offs shift
+	// with problem size, but pooling within a 2x band keeps shapes warm
+	// across inserts and deletes.
+	bucket := 0
+	for n := len(spec.BaseRows()); n > 0; n >>= 1 {
+		bucket++
+	}
+	fmt.Fprintf(&b, "rel=%s;size=2^%d;repeat=%d", spec.Rel.Name(), bucket, spec.Repeat)
+	pred := func(tag string, p relation.Predicate) {
+		s := p.String()
+		if s == "<func>" {
+			fmt.Fprintf(&b, ";%s=<func>@%p", tag, p)
+			return
+		}
+		fmt.Fprintf(&b, ";%s=%s", tag, s)
+	}
+	if spec.Base != nil {
+		pred("base", spec.Base)
+	}
+	for _, r := range spec.Restrictions {
+		pred("restrict", r)
+	}
+	// Constraint structure without the RHS constants.
+	for _, c := range spec.Constraints {
+		fmt.Fprintf(&b, ";cons=%s %s", c.Coef, c.Op)
+	}
+	if o := spec.Objective; o != nil {
+		sense := "min"
+		if o.Maximize {
+			sense = "max"
+		}
+		fmt.Fprintf(&b, ";obj=%s %s", sense, o.Coef)
+	}
+	return b.String()
+}

@@ -508,3 +508,54 @@ MAXIMIZE SUM(P.petrorad)`, rel)
 		t.Fatal("current-version entry must survive invalidation")
 	}
 }
+
+// TestShapeKeyPoolsTemplates: the adaptive planner's shape key must
+// pool executions of one query template across constants and dataset
+// versions, while still separating genuinely different structures.
+func TestShapeKeyPoolsTemplates(t *testing.T) {
+	rel := workload.Galaxy(200, 3)
+	compile := func(q string) *core.Spec {
+		spec, err := translate.Compile(q, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	const tmpl = `
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= %.3f
+MAXIMIZE SUM(P.petrorad)`
+	a := compile(fmt.Sprintf(tmpl, 2.5))
+	b := compile(fmt.Sprintf(tmpl, 9.75)) // same template, different RHS
+	if engine.ShapeKey(a) != engine.ShapeKey(b) {
+		t.Errorf("same template at different constants got distinct shapes:\n%s\n%s",
+			engine.ShapeKey(a), engine.ShapeKey(b))
+	}
+	// A version bump must not move the shape (unlike SpecKey).
+	before := engine.ShapeKey(a)
+	if err := rel.Set(0, 1, relation.F(123)); err != nil {
+		t.Fatal(err)
+	}
+	if engine.ShapeKey(a) != before {
+		t.Error("dataset version leaked into the shape key")
+	}
+	if engine.SpecKey(a) == engine.SpecKey(b) {
+		t.Error("SpecKey lost its RHS sensitivity")
+	}
+	// Different structure (extra constraint) → different shape.
+	c := compile(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= 2.5 AND SUM(P.ra) >= 1
+MAXIMIZE SUM(P.petrorad)`)
+	if engine.ShapeKey(a) == engine.ShapeKey(c) {
+		t.Error("different constraint structures share a shape")
+	}
+	// Different objective sense → different shape.
+	d := compile(`
+SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= 2.5
+MINIMIZE SUM(P.petrorad)`)
+	if engine.ShapeKey(a) == engine.ShapeKey(d) {
+		t.Error("different objective senses share a shape")
+	}
+}

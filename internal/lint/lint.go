@@ -37,6 +37,7 @@ var SDKConsumers = []string{
 // data, not evaluation. The sync test in lint_test.go asserts this
 // list tracks the actual internal/ directory set.
 var SDKForbidden = []string{
+	Module + "/internal/advisor",
 	Module + "/internal/core",
 	Module + "/internal/engine",
 	Module + "/internal/ilp",
@@ -56,6 +57,7 @@ var SDKForbidden = []string{
 // internal/lint (developer tooling, never linked into paqld).
 var NoPanicPackages = []string{
 	Module + "/paq",
+	Module + "/internal/advisor",
 	Module + "/internal/core",
 	Module + "/internal/engine",
 	Module + "/internal/ilp",

@@ -342,6 +342,45 @@ func (s *Server) MaintainOnce() []string {
 	return actions
 }
 
+// AdviseOnce runs one advisor maintenance pass over every dataset:
+// partitionings for hot attribute sets are pre-warmed, cold warm sets
+// beyond the budget evicted, and (on durable datasets) the advisor's
+// evidence persisted. Replicas are included — pre-warming only builds
+// in-memory quad-trees over the existing layout, never renumbers rows,
+// and a follower that is promoted wants its hot sets already warm. It
+// returns a human-readable action log; paqld calls it on the
+// maintenance timer, tests call it directly.
+func (s *Server) AdviseOnce() []string {
+	s.mu.RLock()
+	datasets := make([]*Dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		datasets = append(datasets, ds)
+	}
+	s.mu.RUnlock()
+	var actions []string
+	for _, ds := range datasets {
+		pass := ds.Session().AdvisorMaintain()
+		if len(pass.Prewarmed) == 0 && len(pass.Shared) == 0 && len(pass.Evicted) == 0 {
+			continue
+		}
+		msg := ds.Name() + ":"
+		if len(pass.Prewarmed) > 0 {
+			msg += fmt.Sprintf(" prewarmed %v", pass.Prewarmed)
+		}
+		if len(pass.Shared) > 0 {
+			msg += fmt.Sprintf(" shared %v", pass.Shared)
+		}
+		if len(pass.Evicted) > 0 {
+			msg += fmt.Sprintf(" evicted %v", pass.Evicted)
+		}
+		if pass.Persisted {
+			msg += " (persisted)"
+		}
+		actions = append(actions, msg)
+	}
+	return actions
+}
+
 // CloseDatasets flushes every durable dataset (final snapshot) and
 // closes its store — the last step of a graceful shutdown, after the
 // drain: no acknowledged mutation may be lost across the restart. The
@@ -731,6 +770,12 @@ type DatasetStats struct {
 	// in-memory datasets).
 	Durability *DurJSON              `json:"durability,omitempty"`
 	Caches     map[string]CacheStats `json:"caches"`
+	// WarmSets lists the dataset's warm partitionings with the advisor's
+	// evidence (uses, last-used version, prewarmed/pinned) — what makes
+	// advisor evictions observable. Advisor is the adaptive planner's
+	// counter block.
+	WarmSets []paq.WarmSet     `json:"warm_sets,omitempty"`
+	Advisor  *paq.AdvisorStats `json:"advisor,omitempty"`
 }
 
 // DurJSON is the wire form of paq.DurStats.
@@ -840,6 +885,10 @@ func (s *Server) Stats() StatsResponse {
 		}
 		for m, cs := range ds.Session().CacheStats() {
 			dst.Caches[string(m)] = CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Invalidations: cs.Invalidations, Entries: cs.Entries}
+		}
+		dst.WarmSets = ds.Session().WarmSets()
+		if as := ds.Session().AdvisorStats(); as.Enabled {
+			dst.Advisor = &as
 		}
 		resp.Datasets[name] = dst
 	}

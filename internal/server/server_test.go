@@ -633,3 +633,74 @@ MAXIMIZE SUM(P.petrorad)`,
 		t.Errorf("/stats incumbents_total = %d, response reported %d", st.Incumbents, qr.Incumbents)
 	}
 }
+
+// TestAdvisorStatsExposed: warm partitionings and the adaptive
+// planner's counters are observable at /stats, and AdviseOnce's
+// adoption of a hot attribute set shows up there as a prewarmed set.
+func TestAdvisorStatsExposed(t *testing.T) {
+	srv := New(Config{})
+	ds, err := NewDataset("galaxy", workload.Galaxy(500, 3), testDatasetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(ds)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.r)`
+	for i := 0; i < 3; i++ {
+		status, raw := mustPostQuery(t, ts.Client(), ts.URL, QueryRequest{Dataset: "galaxy", Query: q, Method: "auto"})
+		if status != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, status, raw)
+		}
+	}
+	// Three uses make the dataset's (fixed) attribute set hot; the
+	// advisor pass adopts the warm partitioning as advisor-managed.
+	if acts := srv.AdviseOnce(); len(acts) == 0 {
+		t.Fatal("AdviseOnce took no action on a hot attribute set")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	dst, ok := st.Datasets["galaxy"]
+	if !ok {
+		t.Fatalf("no galaxy dataset in /stats: %s", raw)
+	}
+	if len(dst.WarmSets) == 0 {
+		t.Fatal("/stats reports no warm_sets")
+	}
+	var prewarmed, pinned bool
+	for _, ws := range dst.WarmSets {
+		prewarmed = prewarmed || ws.Prewarmed
+		pinned = pinned || ws.Pinned
+		if ws.Uses < 3 {
+			t.Errorf("warm set %v uses = %d, want the three queries counted", ws.Attrs, ws.Uses)
+		}
+	}
+	if !prewarmed || !pinned {
+		t.Errorf("warm sets %+v: want the session set both pinned and advisor-adopted", dst.WarmSets)
+	}
+	if dst.Advisor == nil {
+		t.Fatal("/stats has no advisor block")
+	}
+	if dst.Advisor.Decisions < 3 || dst.Advisor.HotSets < 1 {
+		t.Errorf("advisor block %+v does not reflect the workload", dst.Advisor)
+	}
+	for _, field := range []string{`"warm_sets"`, `"last_used_version"`, `"advisor"`, `"hot_sets"`} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Errorf("/stats JSON is missing %s", field)
+		}
+	}
+}

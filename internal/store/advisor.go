@@ -1,0 +1,41 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// advFile is the advisor-state sidecar inside a store directory. It is
+// deliberately NOT part of the snapshot: the snapshot format is strict
+// (trailing bytes are corruption), replication ships it verbatim, and
+// advisor evidence is advisory — a dataset must recover perfectly
+// without it. The sidecar shares the snapshot's framing (magic +
+// length + CRC-32C) and atomic tmp+fsync+rename write path.
+const advFile = "advisor.paqadv"
+
+// advMagic begins every advisor sidecar; the trailing digits version
+// the format. The payload is the advisor's own serialization (JSON
+// today) — the store stores bytes, it does not interpret them.
+const advMagic = "PAQADV01"
+
+// SaveAdvisorState atomically persists the advisor's serialized
+// evidence next to the snapshot. Callable at any time — the sidecar is
+// independent of the WAL, so it works even on a closed or poisoned
+// store (a final flush on Close must not be refused).
+func (s *Store) SaveAdvisorState(payload []byte) error {
+	return writeFramedFile(filepath.Join(s.dir, advFile), advMagic, payload)
+}
+
+// LoadAdvisorState reads the persisted advisor evidence. A missing
+// sidecar is (nil, nil) — a fresh or pre-advisor store; a corrupt one
+// is ErrCorrupt, which callers should treat as "start cold", never as
+// a recovery failure.
+func (s *Store) LoadAdvisorState() ([]byte, error) {
+	return readFramedFile(filepath.Join(s.dir, advFile), advMagic)
+}
+
+// reapAdvisorTmp drops a temp file a crash mid-save may have left (it
+// was never renamed into place, so it holds nothing durable).
+func reapAdvisorTmp(dir string) {
+	os.Remove(filepath.Join(dir, advFile) + ".tmp")
+}

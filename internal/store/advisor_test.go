@@ -1,0 +1,120 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdvisorStateRoundtrip: the sidecar survives a store close/reopen,
+// and a fresh store has none.
+func TestAdvisorStateRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.LoadAdvisorState(); err != nil || got != nil {
+		t.Fatalf("fresh store advisor state = %q, %v; want nil, nil", got, err)
+	}
+	payload := []byte(`{"shapes":{"q":{"methods":{}}}}`)
+	if err := s.SaveAdvisorState(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.LoadAdvisorState()
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reloaded advisor state = %q, %v; want original payload", got, err)
+	}
+	// Overwrite is atomic and last-writer-wins.
+	if err := s2.SaveAdvisorState([]byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.LoadAdvisorState(); string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+}
+
+// TestAdvisorStateCorruptionDetected: every damaged form surfaces as
+// ErrCorrupt — never garbage bytes handed to the advisor.
+func TestAdvisorStateCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SaveAdvisorState([]byte("advisor evidence payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, advFile)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated header": pristine[:len(advMagic)+4],
+		"bad magic":        append([]byte("NOTADV99"), pristine[len(advMagic):]...),
+		"flipped payload": func() []byte {
+			d := append([]byte(nil), pristine...)
+			d[len(d)-1] ^= 0x40
+			return d
+		}(),
+		"short payload": pristine[:len(pristine)-3],
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadAdvisorState(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// A corrupt sidecar must NOT fail store recovery: Open succeeds.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt advisor sidecar failed store Open: %v", err)
+	}
+	s2.Close()
+}
+
+// TestAdvisorTmpReaped: a crash mid-save leaves a temp file that Open
+// must drop, keeping the last complete sidecar authoritative.
+func TestAdvisorTmpReaped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveAdvisorState([]byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	tmp := filepath.Join(dir, advFile) + ".tmp"
+	if err := os.WriteFile(tmp, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("stale advisor temp file survived Open")
+	}
+	if got, err := s2.LoadAdvisorState(); err != nil || string(got) != "complete" {
+		t.Fatalf("sidecar after reap = %q, %v", got, err)
+	}
+}

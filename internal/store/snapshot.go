@@ -296,19 +296,26 @@ func decodeSnapshot(payload []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// writeSnapshotFile frames (magic + length + CRC-32C + payload) and
-// writes the snapshot atomically: into a temp file, fsynced, renamed
-// over the target, directory fsynced. A crash at any point leaves
-// either the old snapshot or the new one — never a torn mix.
+// writeSnapshotFile frames and writes the snapshot atomically (see
+// writeFramedFile).
 func writeSnapshotFile(path string, s *Snapshot) error {
 	payload, err := encodeSnapshot(s)
 	if err != nil {
 		return err
 	}
-	header := make([]byte, len(snapMagic)+12)
-	copy(header, snapMagic)
-	binary.LittleEndian.PutUint64(header[len(snapMagic):], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(header[len(snapMagic)+8:], crc32.Checksum(payload, castagnoli))
+	return writeFramedFile(path, snapMagic, payload)
+}
+
+// writeFramedFile frames (magic + length + CRC-32C + payload) and
+// writes a durable file atomically: into a temp file, fsynced, renamed
+// over the target, directory fsynced. A crash at any point leaves
+// either the old file or the new one — never a torn mix. The snapshot
+// and the advisor sidecar share this path.
+func writeFramedFile(path, magic string, payload []byte) error {
+	header := make([]byte, len(magic)+12)
+	copy(header, magic)
+	binary.LittleEndian.PutUint64(header[len(magic):], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[len(magic)+8:], crc32.Checksum(payload, castagnoli))
 
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -343,6 +350,20 @@ func writeSnapshotFile(path string, s *Snapshot) error {
 // readSnapshotFile loads and verifies a snapshot. A missing file is
 // (nil, nil): a fresh store.
 func readSnapshotFile(path string) (*Snapshot, error) {
+	payload, err := readFramedFile(path, snapMagic)
+	if err != nil || payload == nil {
+		return nil, err
+	}
+	s, err := decodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// readFramedFile loads and verifies a framed file written by
+// writeFramedFile, returning its payload. A missing file is (nil, nil).
+func readFramedFile(path, magic string) ([]byte, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -350,26 +371,22 @@ func readSnapshotFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(snapMagic)+12 {
-		return nil, fmt.Errorf("%w: %s: truncated snapshot header", ErrCorrupt, path)
+	if len(data) < len(magic)+12 {
+		return nil, fmt.Errorf("%w: %s: truncated header", ErrCorrupt, path)
 	}
-	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("%w: %s: bad snapshot magic", ErrCorrupt, path)
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
 	}
-	length := binary.LittleEndian.Uint64(data[len(snapMagic):])
-	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+8:])
-	payload := data[len(snapMagic)+12:]
+	length := binary.LittleEndian.Uint64(data[len(magic):])
+	sum := binary.LittleEndian.Uint32(data[len(magic)+8:])
+	payload := data[len(magic)+12:]
 	if uint64(len(payload)) != length {
-		return nil, fmt.Errorf("%w: %s: snapshot holds %d payload bytes, header says %d", ErrCorrupt, path, len(payload), length)
+		return nil, fmt.Errorf("%w: %s: holds %d payload bytes, header says %d", ErrCorrupt, path, len(payload), length)
 	}
 	if crc32.Checksum(payload, castagnoli) != sum {
-		return nil, fmt.Errorf("%w: %s: snapshot fails its checksum", ErrCorrupt, path)
+		return nil, fmt.Errorf("%w: %s: fails its checksum", ErrCorrupt, path)
 	}
-	s, err := decodeSnapshot(payload)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return s, nil
+	return payload, nil
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.

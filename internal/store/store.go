@@ -103,8 +103,10 @@ func Open(dir string) (*Store, error) {
 	snapPath := filepath.Join(dir, snapFile)
 	// A crash mid-snapshot (or a failed write before this process's
 	// cleanup existed) can leave a stale temp file; it was never renamed
-	// into place, so it holds nothing durable — drop it.
+	// into place, so it holds nothing durable — drop it. Same for the
+	// advisor sidecar's temp file.
 	os.Remove(snapPath + ".tmp")
+	reapAdvisorTmp(dir)
 	snap, err := readSnapshotFile(snapPath)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,237 @@
+package paq
+
+import (
+	"sort"
+
+	"repro/internal/advisor"
+)
+
+// WarmSet describes one warm (built, in-memory) partitioning together
+// with the advisor's evidence about it — the observability surface for
+// eviction decisions (paqld exposes it via /stats).
+type WarmSet struct {
+	Attrs  []string `json:"attrs"`
+	Groups int      `json:"groups"`
+	// Uses counts queries that wanted exactly this attribute set;
+	// LastUsedVersion is the dataset version at its most recent use
+	// (both zero when the advisor never saw the set — e.g. a disabled
+	// advisor or a set built before mining began).
+	Uses            uint64 `json:"uses"`
+	LastUsedVersion uint64 `json:"last_used_version"`
+	// Prewarmed marks advisor-managed sets (built or adopted by
+	// AdvisorMaintain; subject to the warm-set budget). Pinned marks the
+	// session-wide partitioning, which is never evicted.
+	Prewarmed bool `json:"prewarmed,omitempty"`
+	Pinned    bool `json:"pinned,omitempty"`
+}
+
+// WarmSets lists the session's warm partitionings, sorted by attribute
+// key for determinism.
+func (s *Session) WarmSets() []WarmSet {
+	pinned := partKey(s.partitionAttrsFor(nil))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.parts))
+	for k, lp := range s.parts {
+		if lp.built.Load() {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]WarmSet, 0, len(keys))
+	for _, k := range keys {
+		lp := s.parts[k]
+		ws := WarmSet{
+			Attrs:  append([]string(nil), lp.part.Attrs...),
+			Groups: lp.part.NumGroups(),
+			Pinned: k == pinned,
+		}
+		if s.adv != nil {
+			if si, ok := s.adv.SetInfo(k); ok {
+				ws.Uses = si.Uses
+				ws.LastUsedVersion = si.LastVersion
+				ws.Prewarmed = si.Prewarmed
+			}
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// AdvisorStats snapshots the session's adaptive-planning and
+// partitioning-advisor counters.
+type AdvisorStats struct {
+	// Enabled is false under WithoutAdvisor; every other field is then
+	// zero.
+	Enabled bool `json:"enabled"`
+	// Outcomes/Decisions/ColdDecisions/Probes and Shapes are the
+	// method-choice loop's counters (see internal/advisor).
+	Outcomes      uint64 `json:"outcomes"`
+	Decisions     uint64 `json:"decisions"`
+	ColdDecisions uint64 `json:"cold_decisions"`
+	Probes        uint64 `json:"probes"`
+	Shapes        int    `json:"shapes"`
+	// SetsTracked and HotSets are the attribute-set miner's counters.
+	SetsTracked int `json:"sets_tracked"`
+	HotSets     int `json:"hot_sets"`
+	// PartBuilds counts offline partitioning builds this session paid;
+	// SharedServes counts queries served by an overlapping warm superset
+	// instead; Prewarmed and Evicted count AdvisorMaintain's actions.
+	PartBuilds   uint64 `json:"part_builds"`
+	SharedServes uint64 `json:"shared_serves"`
+	Prewarmed    uint64 `json:"prewarmed"`
+	Evicted      uint64 `json:"evicted"`
+}
+
+// AdvisorStats snapshots the advisor's counters (Enabled=false under
+// WithoutAdvisor, with build counters still reported).
+func (s *Session) AdvisorStats() AdvisorStats {
+	st := AdvisorStats{Enabled: s.adv != nil}
+	if s.adv != nil {
+		a := s.adv.Stats()
+		st.Outcomes = a.Outcomes
+		st.Decisions = a.Decisions
+		st.ColdDecisions = a.Cold
+		st.Probes = a.Probes
+		st.Shapes = a.Shapes
+		st.SetsTracked = a.Sets
+		st.HotSets = a.HotSets
+	}
+	s.mu.Lock()
+	st.PartBuilds = s.partBuilds
+	st.SharedServes = s.advShared
+	st.Prewarmed = s.advPrewarmed
+	st.Evicted = s.advEvicted
+	s.mu.Unlock()
+	return st
+}
+
+// AdvisorPass reports what one AdvisorMaintain pass did.
+type AdvisorPass struct {
+	// Prewarmed lists hot attribute sets whose partitioning this pass
+	// built (or adopted, if a query had already built it); Shared lists
+	// hot sets left to an overlapping prewarmed superset; Evicted lists
+	// warm sets dropped to fit the budget.
+	Prewarmed []string `json:"prewarmed,omitempty"`
+	Shared    []string `json:"shared,omitempty"`
+	Evicted   []string `json:"evicted,omitempty"`
+	// Persisted reports whether the advisor's evidence was flushed to
+	// the durability store.
+	Persisted bool `json:"persisted,omitempty"`
+}
+
+// AdvisorMaintain runs one partitioning-advisor maintenance pass: it
+// pre-warms partitionings for attribute sets the workload uses often
+// (sharing across overlapping sets where a prewarmed superset already
+// covers a subset), evicts the least-recently-used warm sets beyond
+// the WithWarmSetBudget, and — on a durable session — persists the
+// advisor's evidence so a restart keeps the tuning. The pass is meant
+// for a maintenance ticker (paqld runs it alongside snapshotting), off
+// the query path. A no-op under WithoutAdvisor.
+func (s *Session) AdvisorMaintain() AdvisorPass {
+	var pass AdvisorPass
+	if s.adv == nil {
+		return pass
+	}
+	hot := s.adv.HotSets()
+	// Build supersets first: a wide set built early can absorb narrower
+	// hot sets below it in the same pass, saving their builds entirely.
+	sort.SliceStable(hot, func(i, j int) bool {
+		return len(hot[i].Attrs) > len(hot[j].Attrs)
+	})
+	s.dataMu.RLock()
+	for _, h := range hot {
+		if _, shared, ok := s.lookupWarm(h.Attrs); ok {
+			if shared {
+				pass.Shared = append(pass.Shared, h.Key)
+			} else if !s.adv.IsPrewarmed(h.Key) {
+				// A query already built the exact set; adopt it so it can
+				// serve covered subsets and falls under the budget.
+				s.adv.MarkPrewarmed(h.Key)
+				pass.Prewarmed = append(pass.Prewarmed, h.Key)
+				s.mu.Lock()
+				s.advPrewarmed++
+				s.mu.Unlock()
+			}
+			continue
+		}
+		if _, err := s.partitioningFor(h.Attrs); err != nil {
+			continue // advisory: an unbuildable set is just skipped
+		}
+		s.adv.MarkPrewarmed(h.Key)
+		pass.Prewarmed = append(pass.Prewarmed, h.Key)
+		s.mu.Lock()
+		s.advPrewarmed++
+		s.mu.Unlock()
+	}
+	s.dataMu.RUnlock()
+	pass.Evicted = s.evictWarmSets()
+	if s.st != nil {
+		// Store writes run under the dataset write lock (briefly — the
+		// sidecar write is independent of the WAL).
+		s.dataMu.Lock()
+		if err := s.saveAdvisorState(); err == nil {
+			pass.Persisted = true
+		}
+		s.dataMu.Unlock()
+	}
+	return pass
+}
+
+// evictWarmSets drops least-recently-used advisor-managed warm sets
+// beyond the budget (the session-wide partitioning is pinned and never
+// counted). Evicting deletes the partitioning and its SketchRefine
+// engine (whose solution cache keys row indices into that
+// partitioning); a later query for the set rebuilds it lazily.
+func (s *Session) evictWarmSets() []string {
+	budget := s.cfg.warmBudget
+	if budget < 0 {
+		return nil // unbounded
+	}
+	pinned := partKey(s.partitionAttrsFor(nil))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var managed []string
+	for k, lp := range s.parts {
+		if k != pinned && lp.built.Load() && s.adv.IsPrewarmed(k) {
+			managed = append(managed, k)
+		}
+	}
+	if len(managed) <= budget {
+		return nil
+	}
+	order := s.adv.EvictionOrder(managed)
+	evict := order[:len(managed)-budget]
+	for _, k := range evict {
+		delete(s.parts, k)
+		delete(s.engines, string(MethodSketchRefine)+"|"+k)
+		s.adv.ClearPrewarmed(k)
+		s.advEvicted++
+	}
+	s.partsDirty = true
+	return append([]string(nil), evict...)
+}
+
+// saveAdvisorState flushes the advisor's evidence to the store's
+// sidecar. Callers hold the dataset write lock. Nil when there is
+// nothing to persist (no advisor, or an in-memory session).
+func (s *Session) saveAdvisorState() error {
+	if s.adv == nil || s.st == nil {
+		return nil
+	}
+	payload, err := s.adv.MarshalState()
+	if err != nil {
+		return err
+	}
+	return s.st.SaveAdvisorState(payload)
+}
+
+// reportOutcome feeds one execution's observed record to the advisor
+// (no-op without one, or for statements prepared before the advisor
+// computed a shape).
+func (s *Session) reportOutcome(o advisor.Outcome) {
+	if s.adv == nil || o.Shape == "" {
+		return
+	}
+	s.adv.Observe(o)
+}

@@ -1,0 +1,381 @@
+package paq_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/reltest"
+	"repro/internal/workload"
+	"repro/paq"
+)
+
+// abcRelation builds a small table with three numeric columns, so
+// different queries demand different partitioning attribute sets.
+func abcRelation(n int) *relation.Relation {
+	rel := relation.New("t", reltest.Schema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+		relation.Column{Name: "c", Type: relation.Float},
+	))
+	for i := 0; i < n; i++ {
+		reltest.Append(rel,
+			relation.F(float64(i%17)), relation.F(float64(i%23)), relation.F(float64(i%11)))
+	}
+	return rel
+}
+
+const (
+	abcQueryA = `SELECT PACKAGE(T) AS P FROM t T REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.a)`
+	abcQueryB = `SELECT PACKAGE(T) AS P FROM t T REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.b)`
+	abcQueryAB = `SELECT PACKAGE(T) AS P FROM t T REPEAT 0
+SUCH THAT COUNT(P.*) = 2 AND SUM(P.a) >= 0 MAXIMIZE SUM(P.b)`
+)
+
+// TestCacheKeyMethodFlips pins the plan-cache-key contract under the
+// adaptive planner: at a fixed dataset version, every method gets its
+// own key (the advisor may flip methods between otherwise identical
+// statements, and a flipped statement must never hit another method's
+// cached solution), while re-planning the same method reproduces the
+// same key.
+func TestCacheKeyMethodFlips(t *testing.T) {
+	rel := workload.Galaxy(400, 3)
+	sess, err := paq.Open(paq.Table(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.r)`
+	keyOf := func(opts ...paq.Option) string {
+		t.Helper()
+		stmt, err := sess.Prepare(q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt.Plan().CacheKey
+	}
+	keys := map[paq.Method]string{
+		paq.MethodDirect:       keyOf(paq.WithMethod(paq.MethodDirect)),
+		paq.MethodNaive:        keyOf(paq.WithMethod(paq.MethodNaive)),
+		paq.MethodSketchRefine: keyOf(paq.WithMethod(paq.MethodSketchRefine)),
+	}
+	for m1, k1 := range keys {
+		for m2, k2 := range keys {
+			if m1 != m2 && k1 == k2 {
+				t.Errorf("methods %s and %s share cache key %s", m1, m2, k1)
+			}
+		}
+	}
+	// The key depends on the resolved method, not how it was resolved:
+	// auto (which picks direct here) matches the fixed-direct key, and
+	// re-planning reproduces keys exactly.
+	if got := keyOf(); got != keys[paq.MethodDirect] {
+		t.Errorf("auto-resolved direct key %s != fixed direct key %s", got, keys[paq.MethodDirect])
+	}
+	if got := keyOf(paq.WithMethod(paq.MethodSketchRefine)); got != keys[paq.MethodSketchRefine] {
+		t.Errorf("sketchrefine key not stable across prepares: %s vs %s", got, keys[paq.MethodSketchRefine])
+	}
+
+	// Solution caches never leak across a method flip: executing direct
+	// then sketchrefine gives each method its own miss (a stale hit
+	// would return the other method's package).
+	if _, err := must(sess.Prepare(q, paq.WithMethod(paq.MethodDirect))).Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := must(sess.Prepare(q, paq.WithMethod(paq.MethodSketchRefine))).Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cs := sess.CacheStats()
+	if cs[paq.MethodDirect].Misses != 1 || cs[paq.MethodDirect].Hits != 0 {
+		t.Errorf("direct cache stats %+v, want exactly one miss", cs[paq.MethodDirect])
+	}
+	if cs[paq.MethodSketchRefine].Misses != 1 || cs[paq.MethodSketchRefine].Hits != 0 {
+		t.Errorf("sketchrefine cache stats %+v, want exactly one miss (no cross-method hit)", cs[paq.MethodSketchRefine])
+	}
+}
+
+func must(stmt *paq.Stmt, err error) *paq.Stmt {
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}
+
+// stubSolver is an injected strategy with a fixed latency; it always
+// returns the first eligible row, so both methods agree on the
+// objective and the advisor's gap gate stays neutral.
+type stubSolver struct {
+	name  string
+	delay time.Duration
+}
+
+func (s stubSolver) Name() string { return s.name }
+func (s stubSolver) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
+	time.Sleep(s.delay)
+	rows := spec.BaseRows()
+	return &core.Package{Rel: spec.Rel, Rows: rows[:1], Mult: []int{1}}, &core.EvalStats{}, nil
+}
+
+// TestAdvisorLearnsFasterMethod drives the full bandit loop: the fixed
+// heuristic nominates sketchrefine (the input exceeds the single-ILP
+// threshold), but the injected solvers make direct much faster — so
+// after the cold phase (3 fallback runs) and the probe phase (3 runs of
+// the alternative), the advisor flips the plan to direct.
+func TestAdvisorLearnsFasterMethod(t *testing.T) {
+	rel := workload.Galaxy(2500, 7)
+	sess, err := paq.Open(paq.Table(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetSolver(paq.MethodDirect, stubSolver{name: "direct", delay: time.Millisecond})
+	sess.SetSolver(paq.MethodSketchRefine, stubSolver{name: "sketchrefine", delay: 25 * time.Millisecond})
+	q := `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.r)`
+
+	run := func() *paq.Plan {
+		t.Helper()
+		stmt, err := sess.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stmt.Execute(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return stmt.Plan()
+	}
+	for i := 0; i < 3; i++ {
+		p := run()
+		if a := p.Adaptive; a == nil || !a.Cold || p.Method != paq.MethodSketchRefine {
+			t.Fatalf("run %d: want cold sketchrefine (the heuristic), got method=%s adaptive=%+v", i, p.Method, p.Adaptive)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p := run()
+		if a := p.Adaptive; a == nil || !a.Probe || p.Method != paq.MethodDirect {
+			t.Fatalf("probe run %d: want direct probe, got method=%s adaptive=%+v", i, p.Method, p.Adaptive)
+		}
+	}
+	stmt, err := sess.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stmt.Plan()
+	if p.Method != paq.MethodDirect {
+		t.Fatalf("after warm-up the advisor still plans %s, want direct", p.Method)
+	}
+	a := p.Adaptive
+	if a == nil || a.Cold || a.Probe {
+		t.Fatalf("exploit decision marked cold/probe: %+v", a)
+	}
+	if !strings.Contains(p.Reason, "adaptive: observed") || !strings.Contains(a.Reason, "beats fallback") {
+		t.Errorf("exploit reason %q / %q does not explain the flip", p.Reason, a.Reason)
+	}
+	if a.Fallback != paq.MethodSketchRefine {
+		t.Errorf("fallback recorded as %s, want sketchrefine", a.Fallback)
+	}
+	if len(a.Scores) != 2 {
+		t.Errorf("adaptive block carries %d scores, want evidence for both candidates", len(a.Scores))
+	}
+	st := sess.AdvisorStats()
+	if !st.Enabled || st.Outcomes < 6 || st.ColdDecisions < 3 || st.Probes < 3 {
+		t.Errorf("advisor stats %+v do not reflect the warm-up", st)
+	}
+}
+
+// TestAdvisorEvictsColdWarmSets: two attribute sets go hot, the budget
+// admits one — the maintenance pass adopts both, then evicts the least
+// recently used, and WarmSets/AdvisorStats make the eviction visible.
+func TestAdvisorEvictsColdWarmSets(t *testing.T) {
+	sess, err := paq.Open(paq.Table(abcRelation(60)), paq.WithWarmSetBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Prepare(abcQueryA, paq.WithMethod(paq.MethodSketchRefine)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Prepare(abcQueryB, paq.WithMethod(paq.MethodSketchRefine)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pass := sess.AdvisorMaintain()
+	if len(pass.Prewarmed) != 2 {
+		t.Fatalf("maintenance adopted %v, want both hot sets", pass.Prewarmed)
+	}
+	if len(pass.Evicted) != 1 || pass.Evicted[0] != "a" {
+		t.Fatalf("evicted %v, want the LRU set [a]", pass.Evicted)
+	}
+	var keys []string
+	for _, ws := range sess.WarmSets() {
+		keys = append(keys, strings.Join(ws.Attrs, ","))
+		if ws.Attrs[0] == "b" && (!ws.Prewarmed || ws.Uses != 3) {
+			t.Errorf("surviving warm set %+v lost its advisor evidence", ws)
+		}
+	}
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Errorf("warm sets after eviction: %v, want only [b]", keys)
+	}
+	if st := sess.AdvisorStats(); st.Evicted != 1 || st.Prewarmed != 2 {
+		t.Errorf("advisor stats %+v, want prewarmed=2 evicted=1", st)
+	}
+	// The evicted set is not gone forever: demand rebuilds it lazily.
+	stmt, err := sess.Prepare(abcQueryA, paq.WithMethod(paq.MethodSketchRefine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvisorSharesSupersetPartitioning: a hot two-attribute set gets
+// prewarmed; a later query over a covered single attribute is served by
+// that superset partitioning instead of paying its own build.
+func TestAdvisorSharesSupersetPartitioning(t *testing.T) {
+	sess, err := paq.Open(paq.Table(abcRelation(60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mine demand for {a,b} without building anything (small input: auto
+	// plans direct).
+	for i := 0; i < 3; i++ {
+		stmt, err := sess.Prepare(abcQueryAB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stmt.Method() != paq.MethodDirect {
+			t.Fatalf("small auto query planned %s, want direct", stmt.Method())
+		}
+	}
+	pass := sess.AdvisorMaintain()
+	if len(pass.Prewarmed) != 1 || pass.Prewarmed[0] != "a,b" {
+		t.Fatalf("maintenance prewarmed %v, want [a,b]", pass.Prewarmed)
+	}
+	stmt, err := sess.Prepare(abcQueryA, paq.WithMethod(paq.MethodSketchRefine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := stmt.Plan().Partitioning
+	if pi == nil || strings.Join(pi.Attrs, ",") != "a,b" {
+		t.Fatalf("plan partitioning %+v, want the warm [a b] superset", pi)
+	}
+	if !strings.Contains(stmt.Plan().Reason, "served by the warm partitioning") {
+		t.Errorf("reason %q does not surface the sharing", stmt.Plan().Reason)
+	}
+	if _, err := stmt.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.AdvisorStats()
+	if st.SharedServes != 1 {
+		t.Errorf("shared serves = %d, want 1", st.SharedServes)
+	}
+	if st.PartBuilds != 1 {
+		t.Errorf("part builds = %d, want only the maintenance build", st.PartBuilds)
+	}
+}
+
+// TestAdvisorStatePersists: a durable session's advisor evidence and
+// warm sets survive Close/Open — the restarted session re-plans hot
+// queries without a cold phase and without rebuilding partitionings.
+func TestAdvisorStatePersists(t *testing.T) {
+	dir := t.TempDir()
+	rel := workload.Galaxy(2500, 7)
+	q := `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.r)`
+
+	// WithoutCache: cache hits are not workload evidence (the advisor
+	// skips them), and this test needs three real solves.
+	sess, err := paq.Open(paq.Table(rel), paq.WithDurability(dir), paq.WithoutCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		stmt, err := sess.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stmt.Execute(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sess.AdvisorStats().PartBuilds; got != 1 {
+		t.Fatalf("first session paid %d builds, want 1", got)
+	}
+	pass := sess.AdvisorMaintain()
+	if !pass.Persisted {
+		t.Fatal("maintenance pass did not persist advisor state")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := paq.Open(nil, paq.WithDurability(dir), paq.WithoutCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.AdvisorStats()
+	if st.Outcomes < 3 || st.SetsTracked < 1 {
+		t.Fatalf("restored advisor stats %+v, want the first session's evidence", st)
+	}
+	var prewarmed int
+	for _, ws := range re.WarmSets() {
+		if ws.Prewarmed {
+			prewarmed++
+		}
+	}
+	if prewarmed == 0 {
+		t.Fatal("no prewarmed warm set survived the restart")
+	}
+	// Re-planning the hot query needs no cold restart and no rebuild:
+	// the partitioning warm-started from the snapshot and the advisor's
+	// sample counts carried over (the next decision is the probe phase,
+	// not the cold phase).
+	stmt, err := re.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := stmt.Plan().Adaptive; a == nil || a.Cold {
+		t.Errorf("restarted session re-plans cold: %+v", a)
+	}
+	if _, err := stmt.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.AdvisorStats().PartBuilds; got != 0 {
+		t.Errorf("restarted session paid %d partitioning builds on the hot set, want 0", got)
+	}
+}
+
+// TestWithoutAdvisor pins the opt-out: no Adaptive block, no mining, no
+// outcome tracking — the session behaves exactly like the fixed
+// heuristic (the bench harness's A/B twin relies on this).
+func TestWithoutAdvisor(t *testing.T) {
+	sess, err := paq.Open(paq.Table(mealRelation()), paq.WithoutAdvisor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sess.Prepare(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Plan().Adaptive != nil {
+		t.Error("WithoutAdvisor plan still carries an Adaptive block")
+	}
+	if _, err := stmt.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.AdvisorStats()
+	if st.Enabled || st.Outcomes != 0 || st.Decisions != 0 || st.SetsTracked != 0 {
+		t.Errorf("disabled advisor accumulated state: %+v", st)
+	}
+	if pass := sess.AdvisorMaintain(); len(pass.Prewarmed)+len(pass.Shared)+len(pass.Evicted) != 0 || pass.Persisted {
+		t.Errorf("disabled advisor's maintenance pass did work: %+v", pass)
+	}
+}

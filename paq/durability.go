@@ -94,6 +94,7 @@ func (s *Session) recover(boot *store.Snapshot) error {
 		m.RestoreStats(ps.Stats)
 		lp := &lazyPart{part: p, maint: m}
 		lp.once.Do(func() {}) // mark built: partitioningFor must not rebuild
+		lp.built.Store(true)
 		s.parts[partKey(ps.Attrs)] = lp
 		s.warmParts++
 	}
@@ -149,10 +150,17 @@ func (s *Session) snapshotLocked() error {
 	if s.st == nil {
 		return fmt.Errorf("paq: session has no durability store (see WithDurability)")
 	}
-	if s.rel.Len() == s.rel.Live() && !s.st.Dirty(s.rel.Version()) {
+	// The advisor's evidence rides every flush as a best-effort sidecar
+	// write — advisory state must never fail (or dirty) the snapshot.
+	_ = s.saveAdvisorState()
+	s.mu.Lock()
+	partsDirty := s.partsDirty
+	s.mu.Unlock()
+	if s.rel.Len() == s.rel.Live() && !s.st.Dirty(s.rel.Version()) && !partsDirty {
 		// Nothing to fold in: no tombstones to reclaim, no WAL records,
-		// and the latest snapshot already holds this exact version. Skip
-		// the O(dataset) rewrite — this is every read-only run's Close.
+		// the latest snapshot already holds this exact version, and no
+		// partitioning was built or evicted since. Skip the O(dataset)
+		// rewrite — this is every read-only run's Close.
 		return nil
 	}
 	compacted, err := s.compactLocked()
@@ -174,6 +182,9 @@ func (s *Session) snapshotLocked() error {
 		}
 		return fmt.Errorf("paq: snapshot: %w", err)
 	}
+	s.mu.Lock()
+	s.partsDirty = false
+	s.mu.Unlock()
 	return nil
 }
 

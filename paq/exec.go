@@ -2,10 +2,12 @@ package paq
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/par"
@@ -164,14 +166,45 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 		}
 	}
 
+	// Bespoke executions (row subsets, reseeds) bypass the engine and are
+	// not representative workload evidence, so they skip the advisor.
+	bespoke := ec.rows != nil || ec.seedSet
 	var res engine.Result
-	if ec.rows != nil || ec.seedSet {
+	if bespoke {
 		res = st.executeBespoke(ctx, ec, hook)
 	} else {
-		eng := st.sess.engineFor(st.method, st.part)
+		part := st.part
+		if st.method == MethodSketchRefine {
+			// Re-resolve the partitioning by attribute set: the advisor's
+			// maintenance pass may have evicted the one the plan captured,
+			// and refining over an evicted copy would read row indices a
+			// later compaction has renumbered.
+			live, err := st.sess.livePartitioning(st.part)
+			if err != nil {
+				return nil, err
+			}
+			part = live
+		}
+		eng := st.sess.engineFor(st.method, part)
 		res = eng.EvaluateStream(ctx, st.spec, hook)
 	}
 	if res.Err != nil {
+		// A canceled caller says nothing about the method; everything else
+		// is evidence (a definitive "no such package" is a correct answer,
+		// timeouts and exhausted budgets are failures).
+		if !bespoke && !errors.Is(res.Err, context.Canceled) {
+			o := advisor.Outcome{
+				Shape:   st.shape,
+				Method:  string(st.method),
+				SolveMS: float64(res.Time.Microseconds()) / 1000,
+			}
+			if errors.Is(mapEvalErr(res.Err), ErrInfeasible) {
+				o.Infeasible = true
+			} else {
+				o.Failed = true
+			}
+			st.sess.reportOutcome(o)
+		}
 		return nil, mapEvalErr(res.Err)
 	}
 	// Copy the package slices: the underlying *core.Package may live in
@@ -195,6 +228,23 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 		return nil, mapEvalErr(err)
 	}
 	out.Objective = obj
+	if !bespoke && !res.Cached {
+		o := advisor.Outcome{
+			Shape:     st.shape,
+			Method:    string(st.method),
+			SolveMS:   float64(res.Time.Microseconds()) / 1000,
+			Truncated: out.Truncated,
+		}
+		if res.Stats != nil {
+			o.Backtracks = res.Stats.Backtracks
+		}
+		if st.spec.Objective != nil {
+			o.HasObjective = true
+			o.Objective = obj
+			o.Maximize = st.spec.Objective.Maximize
+		}
+		st.sess.reportOutcome(o)
+	}
 	return out, nil
 }
 
@@ -210,7 +260,10 @@ func (st *Stmt) executeBespoke(ctx context.Context, ec execCfg, hook core.Incumb
 	case MethodNaive:
 		return fail(fmt.Errorf("%w: naive evaluation over row subsets", ErrUnsupported))
 	case MethodSketchRefine:
-		part := st.part
+		part, err := st.sess.livePartitioning(st.part)
+		if err != nil {
+			return fail(err)
+		}
 		if ec.rows != nil {
 			part = part.Restrict(ec.rows)
 		}

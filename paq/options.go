@@ -25,15 +25,18 @@ type config struct {
 	cacheEntries int
 	warm         bool
 	durDir       string
+	noAdvisor    bool
+	warmBudget   int
 }
 
 func defaults() config {
 	return config{
-		method:    MethodAuto,
-		tauFrac:   0.10,
-		timeLimit: 60 * time.Second,
-		maxNodes:  ilp.DefaultMaxNodes,
-		gap:       1e-4,
+		method:     MethodAuto,
+		tauFrac:    0.10,
+		timeLimit:  60 * time.Second,
+		maxNodes:   ilp.DefaultMaxNodes,
+		gap:        1e-4,
+		warmBudget: DefaultWarmSetBudget,
 	}
 }
 
@@ -231,6 +234,36 @@ func WithCacheEntries(n int) Option {
 func WithWarmPartitioning() Option {
 	return opt(func(c *config) error {
 		c.warm = true
+		return nil
+	})
+}
+
+// WithoutAdvisor disables the session's adaptive planner: MethodAuto
+// always follows the fixed heuristic, executions report no outcomes,
+// and no attribute-set mining, pre-warming, or eviction happens. The
+// seam for A/B comparisons (the bench harness's fixed-heuristic twin)
+// and for callers that need byte-stable planning.
+func WithoutAdvisor() Option {
+	return opt(func(c *config) error {
+		c.noAdvisor = true
+		return nil
+	})
+}
+
+// DefaultWarmSetBudget is how many advisor-managed warm partitionings a
+// session keeps when WithWarmSetBudget is not given.
+const DefaultWarmSetBudget = 8
+
+// WithWarmSetBudget bounds the number of warm partitionings the
+// advisor's maintenance pass keeps; least-recently-used sets beyond the
+// budget are evicted (the session-wide partitioning is pinned and never
+// counts). Negative means unbounded.
+func WithWarmSetBudget(n int) Option {
+	return opt(func(c *config) error {
+		if n == 0 {
+			return fmt.Errorf("paq: warm-set budget must be positive (or negative for unbounded)")
+		}
+		c.warmBudget = n
 		return nil
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/naive"
@@ -77,6 +78,20 @@ type Session struct {
 	engines   map[string]*engine.Engine
 	overrides map[Method]*engine.Engine
 
+	// adv is the session's adaptive planner + partitioning advisor (nil
+	// with WithoutAdvisor). partBuilds counts the offline partitioning
+	// builds this session paid; advShared counts queries served by an
+	// overlapping warm superset instead of a build; advPrewarmed and
+	// advEvicted count AdvisorMaintain's actions; partsDirty marks warm
+	// sets built or evicted since the last snapshot (so a restart keeps
+	// them). All five counters are guarded by mu.
+	adv          *advisor.Advisor
+	partBuilds   uint64
+	advShared    uint64
+	advPrewarmed uint64
+	advEvicted   uint64
+	partsDirty   bool
+
 	incumbents atomic.Uint64
 
 	// st is the durability store (nil for a purely in-memory session).
@@ -124,6 +139,12 @@ type lazyPart struct {
 	part  *partition.Partitioning
 	err   error
 	maint *partition.Maintainer
+	// built flips to true when part is usable (successful build or
+	// warm-start from a snapshot). It lets the advisor's warm-set lookup
+	// check availability without risking a blocking build under a lock:
+	// atomic Load after the builder's Store gives the happens-before
+	// needed to read part lock-free.
+	built atomic.Bool
 }
 
 // Open loads and validates the input relation and returns a session
@@ -196,11 +217,21 @@ func Open(src Source, opts ...Option) (*Session, error) {
 		st:      st,
 		sibs:    &siblings{},
 	}
+	if !cfg.noAdvisor {
+		s.adv = advisor.New(advisor.Config{})
+	}
 	s.sibs.add(s)
 	if boot != nil {
 		if err := s.recover(boot); err != nil {
 			st.Close()
 			return nil, err
+		}
+	}
+	if s.adv != nil && st != nil {
+		// Reload the advisor's persisted evidence; a missing or corrupt
+		// sidecar just starts the advisor cold — never a recovery failure.
+		if payload, err := st.LoadAdvisorState(); err == nil && payload != nil {
+			_ = s.adv.RestoreState(payload)
 		}
 	}
 	if cfg.warm {
@@ -249,6 +280,11 @@ func (s *Session) Clone(opts ...Option) (*Session, error) {
 		engines: make(map[string]*engine.Engine),
 		st:      s.st,   // ...and its durability store (one WAL per relation)
 		sibs:    s.sibs, // ...and the sibling registry compaction remaps through
+	}
+	if !cfg.noAdvisor {
+		// A clone learns afresh: its options may change solver budgets or
+		// τ, which would invalidate the original's timing evidence.
+		c.adv = advisor.New(advisor.Config{})
 	}
 	s.sibs.add(c)
 	if cfg.tauFrac == s.cfg.tauFrac && cfg.tauAbs == s.cfg.tauAbs && cfg.radius == s.cfg.radius {
@@ -331,8 +367,116 @@ func (s *Session) partitioningFor(attrs []string) (*partition.Partitioning, erro
 			RadiusLimit:   s.cfg.radius,
 			Workers:       s.cfg.workers,
 		})
+		if lp.err == nil {
+			lp.built.Store(true)
+			s.mu.Lock()
+			s.partBuilds++
+			s.partsDirty = true
+			s.mu.Unlock()
+		}
 	})
 	return lp.part, lp.err
+}
+
+// lookupWarm returns an already-built partitioning that can serve a
+// query over attrs without building anything: the exact attribute set
+// if warm, else the smallest advisor-prewarmed superset (a quad-tree
+// over a superset of the query's attributes partitions at least as
+// finely on them, so SketchRefine's radius reasoning still holds).
+// shared reports whether a superset — rather than the exact set — was
+// used. It never triggers a build.
+func (s *Session) lookupWarm(attrs []string) (p *partition.Partitioning, shared bool, ok bool) {
+	key := partKey(attrs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lp, found := s.parts[key]; found && lp.built.Load() {
+		return lp.part, false, true
+	}
+	if s.adv == nil {
+		return nil, false, false
+	}
+	want := strings.Split(key, ",")
+	var bestKey string
+	var best *lazyPart
+	for k, lp := range s.parts {
+		if !lp.built.Load() || !s.adv.IsPrewarmed(k) {
+			continue
+		}
+		if !subsetOf(want, strings.Split(k, ",")) {
+			continue
+		}
+		if best == nil || len(lp.part.Attrs) < len(best.part.Attrs) ||
+			(len(lp.part.Attrs) == len(best.part.Attrs) && k < bestKey) {
+			best, bestKey = lp, k
+		}
+	}
+	if best == nil {
+		return nil, false, false
+	}
+	return best.part, true, true
+}
+
+// subsetOf reports whether every element of want appears in have; both
+// slices are sorted lowercase key components.
+func subsetOf(want, have []string) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// partitioningForQuery resolves the partitioning serving a query over
+// attrs: a warm exact or prewarmed-superset partitioning when one
+// exists (no build), else the usual build-once path for the exact set.
+// shared reports whether an overlapping superset served instead of the
+// exact set.
+func (s *Session) partitioningForQuery(attrs []string) (p *partition.Partitioning, shared bool, err error) {
+	if p, shared, ok := s.lookupWarm(attrs); ok {
+		if shared {
+			s.mu.Lock()
+			s.advShared++
+			s.mu.Unlock()
+		}
+		return p, shared, nil
+	}
+	p, err = s.partitioningFor(attrs)
+	return p, false, err
+}
+
+// observeAttrDemand feeds the advisor's query-log miner: the attribute
+// set this statement would partition on, at the current dataset
+// version. No-op without an advisor.
+func (s *Session) observeAttrDemand(attrs []string) {
+	if s.adv == nil || len(attrs) == 0 {
+		return
+	}
+	s.adv.ObserveSet(partKey(attrs), attrs, s.rel.Version())
+}
+
+// livePartitioning re-resolves a planned partitioning by attribute set
+// at execution time. The advisor's maintenance pass may have evicted
+// the one the plan captured; refining over an evicted partitioning
+// would read stale row indices after a compaction, so Execute always
+// goes through the live map (rebuilding on a miss).
+func (s *Session) livePartitioning(planned *partition.Partitioning) (*partition.Partitioning, error) {
+	if planned == nil {
+		return nil, fmt.Errorf("paq: no partitioning planned")
+	}
+	key := partKey(planned.Attrs)
+	s.mu.Lock()
+	lp, ok := s.parts[key]
+	s.mu.Unlock()
+	if ok && lp.built.Load() {
+		return lp.part, nil
+	}
+	return s.partitioningFor(planned.Attrs)
 }
 
 // sessionPartitioning is the session-wide partitioning: the configured

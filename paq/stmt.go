@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/paql"
@@ -33,6 +34,38 @@ type Stmt struct {
 	// the method is sketchrefine).
 	part *partition.Partitioning
 	plan *Plan
+	// shape is the advisor's structural query key (empty without an
+	// advisor); adaptive is the advisor's decision record for MethodAuto
+	// statements.
+	shape    string
+	adaptive *AdaptiveInfo
+}
+
+// AdaptiveInfo is the advisor's decision record inside a plan: what the
+// bandit loop chose, against what fallback, and on what evidence — so
+// EXPLAIN shows not just the method but why the workload history picked
+// it.
+type AdaptiveInfo struct {
+	// Shape fingerprints the query's structure (constants abstracted
+	// away): statements with equal shapes share advisor evidence.
+	Shape string `json:"shape"`
+	// Chosen is the advisor's pick; Fallback what the fixed heuristic
+	// would have chosen.
+	Chosen   Method `json:"chosen"`
+	Fallback Method `json:"fallback"`
+	// Cold marks a decision made on insufficient evidence (the fallback
+	// wins); Probe a deliberate exploration of an under-sampled or stale
+	// alternative.
+	Cold  bool `json:"cold,omitempty"`
+	Probe bool `json:"probe,omitempty"`
+	// Reason is the advisor's one-line justification.
+	Reason string `json:"reason"`
+	// Scores snapshots the observed evidence per candidate.
+	Scores []advisor.MethodScore `json:"scores,omitempty"`
+	// SharedPartitioning names the attribute set of the warm superset
+	// partitioning serving this query, when the advisor shared one
+	// instead of building the query's exact set.
+	SharedPartitioning []string `json:"shared_partitioning,omitempty"`
 }
 
 // Plan is the typed EXPLAIN output of a prepared statement: the chosen
@@ -67,6 +100,9 @@ type Plan struct {
 	// Partitioning describes the offline partitioning (sketchrefine
 	// only).
 	Partitioning *PartitionInfo `json:"partitioning,omitempty"`
+	// Adaptive is the advisor's decision record (MethodAuto statements
+	// on sessions with the advisor enabled; nil otherwise).
+	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
 	// CacheKey fingerprints the optimization problem: two statements
 	// with equal keys describe the same problem and share solution-cache
 	// entries. Stable across sessions over identically named relations.
@@ -95,6 +131,12 @@ func (p *Plan) String() string {
 	if pi := p.Partitioning; pi != nil {
 		fmt.Fprintf(&b, "partitioning: %d groups, τ=%d, attrs [%s], built in %.0fms\n",
 			pi.Groups, pi.Tau, strings.Join(pi.Attrs, " "), pi.BuildMS)
+	}
+	if a := p.Adaptive; a != nil {
+		fmt.Fprintf(&b, "adaptive:     %s\n", a.Reason)
+		if len(a.SharedPartitioning) > 0 {
+			fmt.Fprintf(&b, "adaptive:     sharing warm partitioning over [%s]\n", strings.Join(a.SharedPartitioning, " "))
+		}
 	}
 	fmt.Fprintf(&b, "cache-key:    %s", p.CacheKey)
 	return b.String()
@@ -140,42 +182,118 @@ func (s *Session) Prepare(query string, opts ...Option) (*Stmt, error) {
 }
 
 // resolveMethod picks the statement's evaluation method, warming the
-// partitioning when SketchRefine needs one.
+// partitioning when SketchRefine needs one. For MethodAuto on a session
+// with the advisor enabled, the fixed heuristic only nominates the
+// fallback: the advisor's bandit loop decides among the candidates the
+// session can serve without building anything new, and the decision is
+// recorded in the plan's Adaptive block.
 func (st *Stmt) resolveMethod(m Method) error {
 	s := st.sess
 	nBase := len(st.spec.BaseRows())
+	if s.adv != nil {
+		st.shape = engine.ShapeKey(st.spec)
+	}
 	switch m {
 	case MethodDirect, MethodNaive:
 		st.method = m
 		st.reason = "method fixed by WithMethod"
 		return nil
 	case MethodSketchRefine:
-		part, err := s.partitioningFor(s.partitionAttrsFor(st.spec.QueryAttrs()))
+		attrs := s.partitionAttrsFor(st.spec.QueryAttrs())
+		s.observeAttrDemand(attrs)
+		part, shared, err := s.partitioningForQuery(attrs)
 		if err != nil {
 			return err
 		}
 		st.method = m
 		st.reason = "method fixed by WithMethod"
+		if shared {
+			st.reason += fmt.Sprintf("; served by the warm partitioning over [%s]", strings.Join(part.Attrs, " "))
+		}
 		st.part = part
 		return nil
 	}
-	// MethodAuto.
+	// MethodAuto: compute the fixed heuristic's choice first — it is the
+	// answer without an advisor, and the advisor's fallback with one.
+	attrs := s.partitionAttrsFor(st.spec.QueryAttrs())
+	s.observeAttrDemand(attrs)
+	var fallback Method
+	var fallbackReason string
+	var part *partition.Partitioning
+	var sharedAttrs []string
 	if nBase <= autoDirectMaxVars {
-		st.method = MethodDirect
-		st.reason = fmt.Sprintf("auto: %d eligible tuples fit a single ILP (threshold %d)", nBase, autoDirectMaxVars)
+		fallback = MethodDirect
+		fallbackReason = fmt.Sprintf("auto: %d eligible tuples fit a single ILP (threshold %d)", nBase, autoDirectMaxVars)
+		// Small inputs never pay a partitioning build just to offer the
+		// advisor an alternative — but an already-warm set costs nothing.
+		if p, shared, ok := s.lookupWarm(attrs); ok {
+			part = p
+			if shared {
+				sharedAttrs = append([]string(nil), p.Attrs...)
+			}
+		}
+	} else {
+		p, shared, err := s.partitioningForQuery(attrs)
+		if err != nil {
+			fallback = MethodDirect
+			fallbackReason = fmt.Sprintf("auto: %d eligible tuples exceed the single-ILP threshold, but no partitioning is available (%v); falling back to DIRECT", nBase, err)
+		} else {
+			part = p
+			if shared {
+				sharedAttrs = append([]string(nil), p.Attrs...)
+			}
+			fallback = MethodSketchRefine
+			fallbackReason = fmt.Sprintf("auto: %d eligible tuples exceed the single-ILP threshold (%d); refining over %d groups (τ=%d)",
+				nBase, autoDirectMaxVars, part.NumGroups(), part.Tau)
+		}
+	}
+	if s.adv == nil {
+		st.method = fallback
+		st.reason = fallbackReason
+		if fallback == MethodSketchRefine {
+			st.part = part
+		}
 		return nil
 	}
-	part, err := s.partitioningFor(s.partitionAttrsFor(st.spec.QueryAttrs()))
-	if err != nil {
-		st.method = MethodDirect
-		st.reason = fmt.Sprintf("auto: %d eligible tuples exceed the single-ILP threshold, but no partitioning is available (%v); falling back to DIRECT", nBase, err)
-		return nil
+	candidates := []string{string(MethodDirect)}
+	if part != nil {
+		candidates = append(candidates, string(MethodSketchRefine))
 	}
-	st.method = MethodSketchRefine
-	st.reason = fmt.Sprintf("auto: %d eligible tuples exceed the single-ILP threshold (%d); refining over %d groups (τ=%d)",
-		nBase, autoDirectMaxVars, part.NumGroups(), part.Tau)
-	st.part = part
+	dec := s.adv.Decide(st.shape, string(fallback), candidates)
+	st.method = Method(dec.Method)
+	if dec.Cold {
+		// Cold decisions are the heuristic's verbatim: the plan reads
+		// identically to a session without the advisor.
+		st.reason = fallbackReason
+	} else {
+		st.reason = "adaptive: " + dec.Reason
+	}
+	if st.method == MethodSketchRefine {
+		st.part = part
+	}
+	st.adaptive = &AdaptiveInfo{
+		Shape:    shapeHash(st.shape),
+		Chosen:   st.method,
+		Fallback: fallback,
+		Cold:     dec.Cold,
+		Probe:    dec.Probe,
+		Reason:   dec.Reason,
+		Scores:   dec.Scores,
+	}
+	if st.method == MethodSketchRefine && len(sharedAttrs) > 0 {
+		st.adaptive.SharedPartitioning = sharedAttrs
+	}
 	return nil
+}
+
+// shapeHash compresses a shape key for display (the raw key spells out
+// the whole query structure).
+func shapeHash(shape string) string {
+	if shape == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(shape))
+	return hex.EncodeToString(sum[:8])
 }
 
 // buildPlan materializes the typed plan once at Prepare.
@@ -191,7 +309,7 @@ func (st *Stmt) buildPlan() {
 		Restrictions:   len(spec.Restrictions),
 		Repeat:         spec.Repeat,
 		DatasetVersion: st.sess.rel.Version(),
-		CacheKey:       stableCacheKey(spec),
+		CacheKey:       stableCacheKey(st.method, spec),
 	}
 	if spec.Objective != nil {
 		plan.Objective = spec.Objective.String()
@@ -199,6 +317,7 @@ func (st *Stmt) buildPlan() {
 	if st.part != nil {
 		plan.Partitioning = infoOf(st.part)
 	}
+	plan.Adaptive = st.adaptive
 	st.plan = plan
 }
 
@@ -216,15 +335,19 @@ func (st *Stmt) Method() Method { return st.method }
 func (st *Stmt) QueryAttrs() []string { return st.spec.QueryAttrs() }
 
 // stableCacheKey fingerprints the optimization problem for display. It
-// is the engine's cache key with the relation's memory address (process
-// identity) replaced by its name, live size, and dataset version,
-// hashed so EXPLAIN output stays one line; equal keys ⇒ equal problems
-// over identically named relations with identical mutation histories.
-func stableCacheKey(spec *core.Spec) string {
+// is the engine's cache key — prefixed with the resolved method, since
+// each method has its own solution cache and the advisor may flip
+// methods between otherwise identical statements — with the relation's
+// memory address (process identity) replaced by its name, live size,
+// and dataset version, hashed so EXPLAIN output stays one line; equal
+// keys ⇒ the same method solving the same problem over identically
+// named relations with identical mutation histories.
+func stableCacheKey(m Method, spec *core.Spec) string {
 	key := engine.SpecKey(spec)
 	if i := strings.Index(key, ";"); i > 0 {
 		key = fmt.Sprintf("rel=%s/%d@v%d%s", spec.Rel.Name(), spec.Rel.Live(), spec.Rel.Version(), key[i:])
 	}
+	key = fmt.Sprintf("method=%s;%s", m, key)
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:8])
 }
