@@ -8,7 +8,7 @@
 //	benchrunner -exp fig1,fig3,fig9 -timeout 30s
 //
 // Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig6eps,
-// batch, loadgen, ingest, recover, repl, advise.
+// batch, loadgen, ingest, recover, repl, advise, qos.
 // See EXPERIMENTS.md for what each reproduces and the expected shapes.
 //
 // -results writes every experiment's machine-readable record (p50/p95
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest,recover,repl,advise) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiments (fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig6eps,batch,loadgen,ingest,recover,repl,advise,qos) or all")
 		galaxyN  = flag.Int("galaxy", 30000, "Galaxy dataset size")
 		tpchN    = flag.Int("tpch", 60000, "TPC-H dataset size")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -52,6 +52,7 @@ func main() {
 		adviseW  = flag.Int("advisewarmup", 8, "advise: workload rounds the advisor learns over before measurement")
 		adviseR  = flag.Int("adviserounds", 3, "advise: measured workload rounds")
 		replF    = flag.Int("followers", 2, "repl: follower count (minimum 2)")
+	qosN     = flag.Int("qossolves", 48, "qos: measured solves per phase (quiescent and saturated)")
 		results  = flag.String("results", "", "write machine-readable experiment results (BENCH_results.json) to this path")
 	)
 	flag.Parse()
@@ -141,6 +142,17 @@ func main() {
 		// quality bound, and a close + reopen must restore the learned
 		// state: non-cold plans, zero partitioning builds on hot sets.
 		_, err := env.Advise(ctx, bench.AdviseConfig{Warmup: *adviseW, Rounds: *adviseR})
+		return err
+	})
+	run("qos", func() error {
+		// Measure a steady solve stream quiescent, then again while a
+		// saturating mutation stream holds the server's single ingest
+		// slot and queue. Snapshot pinning must keep p95 solve latency
+		// within 1.5x of the quiescent baseline, every solve must report
+		// a version the dataset actually passed through, and the worst
+		// snapshot-pin wait must stay inside the stall budget — "ingest
+		// never blocks solves", measured.
+		_, err := env.QoS(ctx, bench.QoSConfig{Solves: *qosN})
 		return err
 	})
 	run("ingest", func() error {

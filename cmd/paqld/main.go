@@ -26,10 +26,15 @@
 //	GET  /datasets              registered datasets (schema, version, partitioning)
 //	GET  /healthz               liveness
 //
-// Admission control (-inflight, -queue) sheds overload with 429; each
-// request's deadline maps to context cancellation reaching into the
-// solver; SIGINT/SIGTERM drains in-flight solves, then flushes every
-// durable dataset (final snapshot) before exiting.
+// Admission control runs two QoS classes — solves (-inflight, -queue)
+// and mutations (-ingest-inflight, -ingest-queue) — with per-dataset
+// fair sharing inside each; overflow sheds with 429, and a deadline
+// that fires while queued returns 504. Solves execute against pinned
+// copy-on-write snapshots, so an ingestion burst saturating its class
+// never blocks them (see docs/CONCURRENCY.md). Each request's deadline
+// maps to context cancellation reaching into the solver;
+// SIGINT/SIGTERM drains in-flight solves, then flushes every durable
+// dataset (final snapshot) before exiting.
 //
 // With -data-dir, datasets are durable: every mutation batch is
 // write-ahead logged before it is acknowledged, and a restart recovers
@@ -101,6 +106,8 @@ func main() {
 		maxNodes = flag.Int("maxnodes", paq.DefaultNodeLimit, "solver branch-and-bound node budget per ILP")
 		inflight = flag.Int("inflight", 0, "max concurrently evaluating queries (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "max queries queued beyond -inflight (0 = 4x inflight, -1 = none)")
+		ingestIF = flag.Int("ingest-inflight", 0, "max concurrently applying mutation batches, a separate QoS class from -inflight (0 = same as -inflight)")
+		ingestQ  = flag.Int("ingest-queue", 0, "max mutation batches queued beyond -ingest-inflight (0 = 4x ingest-inflight, -1 = none)")
 		dataDir  = flag.String("data-dir", "", "durability root: per-dataset WAL + snapshots under <dir>/<name> (empty = in-memory only)")
 		maintEv  = flag.Duration("maintain-every", 15*time.Second, "background maintenance cadence (tombstone compaction, WAL-driven snapshots); 0 disables")
 		follow   = flag.String("follow", "", "run as a follower of this leader paqld base URL (requires -data-dir; dataset flags are ignored)")
@@ -110,20 +117,22 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, loads, *galaxyN, *tpchN, *seed, *tau, *workers, *racers,
-		*timeout, *maxTime, *maxNodes, *inflight, *queue, *dataDir, *maintEv, *follow, *replPoll); err != nil {
+		*timeout, *maxTime, *maxNodes, *inflight, *queue, *ingestIF, *ingestQ, *dataDir, *maintEv, *follow, *replPoll); err != nil {
 		fmt.Fprintln(os.Stderr, "paqld:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float64,
-	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue int,
+	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue, ingestIF, ingestQ int,
 	dataDir string, maintEvery time.Duration, follow string, replPoll time.Duration) error {
 	srv := server.New(server.Config{
-		MaxInFlight:    inflight,
-		MaxQueued:      queue,
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxTime,
+		MaxInFlight:       inflight,
+		MaxQueued:         queue,
+		IngestMaxInFlight: ingestIF,
+		IngestMaxQueued:   ingestQ,
+		DefaultTimeout:    timeout,
+		MaxTimeout:        maxTime,
 	})
 	dcfg := server.DatasetConfig{
 		TauFrac:   tau,

@@ -1,0 +1,482 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/paq"
+)
+
+// QoSConfig configures the ingest-vs-solve quality-of-service
+// experiment (`benchrunner -exp qos`): a quiescent solve-latency
+// baseline, then the same solve stream re-measured while a saturating
+// mutation stream hammers the ingest class. Snapshot pinning is on
+// trial — solves must keep their latency (within DegradeLimit) and
+// every solve must report a version the dataset actually passed
+// through.
+type QoSConfig struct {
+	// Solves is the number of measured solves per phase; 0 means 48.
+	Solves int
+	// Mutators is the number of concurrent mutation streams; 0 means 4.
+	// The server is configured with a single ingest slot, so anything
+	// above 1 keeps the ingest class saturated (its queue non-empty)
+	// for the whole measured phase.
+	Mutators int
+	// DegradeLimit is the allowed p95 ratio saturated/quiescent; 0
+	// means 1.5 (the acceptance bound). A small absolute slack is
+	// always added on top to absorb timer granularity at toy scales.
+	DegradeLimit float64
+	// Seed drives the mutation mix; 0 means the Env's seed.
+	Seed int64
+}
+
+// QoSResult summarizes the experiment.
+type QoSResult struct {
+	Solves                     int // measured solves per phase
+	QuiescentP50, QuiescentP95 time.Duration
+	SaturatedP50, SaturatedP95 time.Duration
+	// Degradation is p95 saturated / p95 quiescent.
+	Degradation float64
+	// MutationsAcked counts acknowledged mutations during the
+	// saturated phase; MutationsShed the 429s the ingest class
+	// returned (shedding is the class doing its job, not an error).
+	MutationsAcked int
+	MutationsShed  int
+	// VersionSpan is lastVersion-firstVersion observed by the
+	// saturated solve stream — proof the mutation stream actually
+	// interleaved with the measured solves.
+	VersionSpan uint64
+	// PinMaxWait is the worst single snapshot-pin wait any solve paid
+	// on the dataset's mutation lock (from /stats pinning); the
+	// "ingest never blocks solves" observable.
+	PinMaxWait time.Duration
+	// IngestWait is the total time mutation batches spent queued in
+	// the ingest class — evidence the stream was saturating.
+	IngestWait time.Duration
+	Elapsed    time.Duration
+}
+
+// pinStallBudget bounds the worst acceptable snapshot-pin wait: a pin
+// only ever waits for the tail of one in-flight mutation batch, so
+// anything beyond this means solves are queueing behind ingest again.
+const pinStallBudget = 250 * time.Millisecond
+
+// qosSolve is one measured solve: wall latency and the version the
+// response reports it was pinned at.
+type qosSolve struct {
+	lat     time.Duration
+	version uint64
+}
+
+// qosMutator streams single-row mutations at the server as fast as
+// acknowledgements return: inserts from a private pool of generator
+// rows, updates and deletes only of rows it inserted itself (the base
+// data stays intact, so the solve problem is comparable across
+// phases).
+type qosMutator struct {
+	client      *http.Client
+	base        string
+	rng         *rand.Rand
+	pool        [][]any // rows not yet inserted
+	owned       []int   // row ids of live rows this mutator inserted
+	acked       int
+	shed        int
+	ackedShared *atomic.Int64 // cross-mutator total the measurer watches
+}
+
+func (m *qosMutator) post(req server.MutateRequest) (*server.MutateResponse, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := m.client.Post(m.base+"/datasets/galaxy/rows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return nil, true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var mr server.MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, false, err
+	}
+	return &mr, false, nil
+}
+
+// run streams mutations until stop closes.
+func (m *qosMutator) run(stop <-chan struct{}) error {
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		var (
+			mr   *server.MutateResponse
+			shed bool
+			err  error
+		)
+		switch k := m.rng.Float64(); {
+		case (k < 0.5 || len(m.owned) < 4) && len(m.pool) > 0:
+			row := m.pool[0]
+			if mr, shed, err = m.post(server.MutateRequest{Insert: [][]any{row}}); err != nil {
+				return fmt.Errorf("insert: %w", err)
+			}
+			if mr != nil {
+				m.pool = m.pool[1:]
+				m.owned = append(m.owned, mr.InsertedRows...)
+			}
+		case k < 0.75 && len(m.owned) > 4:
+			i := m.rng.Intn(len(m.owned))
+			row := m.owned[i]
+			if mr, shed, err = m.post(server.MutateRequest{Delete: []int{row}}); err != nil {
+				return fmt.Errorf("delete: %w", err)
+			}
+			if mr != nil {
+				m.owned = append(m.owned[:i], m.owned[i+1:]...)
+			}
+		case len(m.owned) > 0:
+			victim := m.owned[m.rng.Intn(len(m.owned))]
+			vals := m.pool[m.rng.Intn(len(m.pool))] // any schema-shaped row
+			if mr, shed, err = m.post(server.MutateRequest{Update: []server.UpdateRow{{Row: victim, Values: vals}}}); err != nil {
+				return fmt.Errorf("update: %w", err)
+			}
+		default:
+			continue
+		}
+		if shed {
+			m.shed++
+			continue
+		}
+		m.acked++
+		m.ackedShared.Add(1)
+	}
+}
+
+// QoS measures solve latency quiescent vs under a saturating mutation
+// stream against an in-process paqld with split solve/ingest admission
+// classes. It fails when p95 under saturation exceeds DegradeLimit ×
+// quiescent, when any solve reports a torn version (one the dataset
+// never passed through, or one that runs backwards), when a solve is
+// shed or errors, or when the worst snapshot-pin wait exceeds the
+// stall budget — the three faces of "ingest never blocks solves".
+func (e *Env) QoS(ctx context.Context, cfg QoSConfig) (*QoSResult, error) {
+	start := time.Now()
+	if cfg.Solves <= 0 {
+		cfg.Solves = 48
+	}
+	if cfg.Mutators <= 0 {
+		cfg.Mutators = 4
+	}
+	if cfg.DegradeLimit <= 0 {
+		cfg.DegradeLimit = 1.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = e.cfg.Seed
+	}
+	res := &QoSResult{Solves: cfg.Solves}
+	fail := func(format string, args ...any) (*QoSResult, error) {
+		return res, fmt.Errorf("bench: qos: "+format, args...)
+	}
+
+	// A private Galaxy relation (the Env's is shared with other
+	// experiments) with an insert pool behind it. The session caches no
+	// solutions: a cache hit costs ~nothing and every mutation would
+	// invalidate it, so leaving it on would gift the quiescent phase an
+	// unearned speedup and the comparison would measure the cache, not
+	// the pinning.
+	base := e.cfg.GalaxyN
+	attrs := e.attrs[Galaxy]
+	full := workload.Galaxy(2*base, cfg.Seed)
+	sess, err := paq.Open(paq.Table(full.Subset("galaxy", full.AllRows()[:base])), e.sessionOpts(
+		paq.WithPartitionAttrs(attrs...),
+		paq.WithSeed(e.cfg.Seed),
+		paq.WithMethod(paq.MethodSketchRefine),
+		paq.WithWarmPartitioning(),
+		paq.WithoutCache())...)
+	if err != nil {
+		return fail("session: %v", err)
+	}
+	ds, err := server.NewDatasetFromSession("galaxy", sess)
+	if err != nil {
+		return fail("dataset: %v", err)
+	}
+
+	// One ingest slot and more mutators than slots: the ingest class
+	// stays saturated (queue non-empty) throughout the measured phase.
+	// Solves get their own slots, so the only coupling left is the one
+	// under test — the relation's mutation lock.
+	srv := server.New(server.Config{
+		MaxInFlight: 4, MaxQueued: 256,
+		IngestMaxInFlight: 1, IngestMaxQueued: 256,
+		DefaultTimeout: e.cfg.TimeLimit + time.Minute,
+	})
+	srv.Register(ds)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+	defer func() {
+		// Bounded drain under the experiment's context: cancelling the
+		// experiment also abandons the graceful shutdown.
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+		_ = httpSrv.Shutdown(sctx)
+	}()
+
+	var queries []workload.Query
+	for _, q := range e.queries[Galaxy] {
+		if !q.Hard {
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		return fail("no feasible Galaxy queries")
+	}
+
+	client := &http.Client{Timeout: e.cfg.TimeLimit + time.Minute}
+	timeoutMS := int64(e.cfg.TimeLimit / time.Millisecond)
+	solveOnce := func(q workload.Query) (qosSolve, error) {
+		body, err := json.Marshal(server.QueryRequest{
+			Dataset: "galaxy", Query: q.PaQL,
+			Method: server.MethodSketchRefine, TimeoutMS: timeoutMS,
+		})
+		if err != nil {
+			return qosSolve{}, err
+		}
+		t0 := time.Now()
+		resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return qosSolve{}, fmt.Errorf("%s: transport: %w", q.Name, err)
+		}
+		defer resp.Body.Close()
+		lat := time.Since(t0)
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+			return qosSolve{}, fmt.Errorf("%s: HTTP %d (a solve was refused or blocked): %s", q.Name, resp.StatusCode, msg)
+		}
+		var qr server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return qosSolve{}, fmt.Errorf("%s: decode: %w", q.Name, err)
+		}
+		if qr.Infeasible {
+			return qosSolve{}, fmt.Errorf("%s: went infeasible (mutation stream broke the base data)", q.Name)
+		}
+		return qosSolve{lat: lat, version: qr.Version}, nil
+	}
+
+	// measurePhase records at least n solves and keeps measuring until
+	// minDur has elapsed and satisfied (when given) reports true — at
+	// toy scales solves finish in milliseconds, and without a wall-clock
+	// floor the saturated phase would end before the mutation stream
+	// built any queue. The hard cap turns a never-satisfied condition
+	// into a diagnosable failure instead of an infinite loop.
+	measurePhase := func(n int, minDur time.Duration, satisfied func() bool) ([]qosSolve, error) {
+		out := make([]qosSolve, 0, n)
+		t0 := time.Now()
+		for i := 0; ; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if i >= n && time.Since(t0) >= minDur && (satisfied == nil || satisfied()) {
+				return out, nil
+			}
+			if i >= 200*n || time.Since(t0) > minDur+2*time.Minute {
+				return nil, fmt.Errorf("phase never reached its floor after %d solves in %v", i, time.Since(t0))
+			}
+			s, err := solveOnce(queries[i%len(queries)])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+
+	// Warm-up (plans, partitioning view, first pins), then the
+	// quiescent baseline.
+	for _, q := range queries {
+		if _, err := solveOnce(q); err != nil {
+			return fail("warm-up: %v", err)
+		}
+	}
+	quiescent, err := measurePhase(cfg.Solves, 0, nil)
+	if err != nil {
+		return fail("quiescent phase: %v", err)
+	}
+
+	// Saturated phase: the same solve stream with cfg.Mutators mutation
+	// streams hammering the single ingest slot underneath it. The phase
+	// floor — one second of wall clock and a minimum acknowledged
+	// mutation count — guarantees the measured solves genuinely overlap
+	// a loaded ingest queue at any dataset scale.
+	const minMutations = 200
+	var ackedTotal atomic.Int64
+	stop := make(chan struct{})
+	muts := make([]*qosMutator, cfg.Mutators)
+	errs := make([]error, cfg.Mutators)
+	var wg sync.WaitGroup
+	for i := range muts {
+		pool := make([][]any, 0, base/cfg.Mutators)
+		for j := base + i; j < full.Len(); j += cfg.Mutators {
+			vals, jerr := jsonRow(full.Row(j))
+			if jerr != nil {
+				return fail("pool row: %v", jerr)
+			}
+			pool = append(pool, vals)
+		}
+		muts[i] = &qosMutator{
+			client:      &http.Client{Timeout: 60 * time.Second},
+			base:        baseURL,
+			rng:         rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			pool:        pool,
+			ackedShared: &ackedTotal,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = muts[i].run(stop)
+		}(i)
+	}
+	saturated, err := measurePhase(cfg.Solves, time.Second, func() bool {
+		return ackedTotal.Load() >= minMutations
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return fail("saturated phase: %v", err)
+	}
+	for i, merr := range errs {
+		if merr != nil {
+			return fail("mutator %d: %v", i, merr)
+		}
+	}
+	for _, m := range muts {
+		res.MutationsAcked += m.acked
+		res.MutationsShed += m.shed
+	}
+	if res.MutationsAcked == 0 {
+		return fail("mutation stream acknowledged nothing — the saturated phase was quiescent")
+	}
+
+	// Torn-version check: a solve's reported version must be one the
+	// dataset actually passed through (versions are dense, so the range
+	// suffices) and the sequential measurement stream must never see
+	// time run backwards.
+	v0, vEnd := quiescent[0].version, ds.Session().Version()
+	prev := uint64(0)
+	for i, s := range append(append([]qosSolve{}, quiescent...), saturated...) {
+		if s.version < v0 || s.version > vEnd {
+			return fail("solve %d reported torn version %d (dataset spanned %d..%d)", i, s.version, v0, vEnd)
+		}
+		if s.version < prev {
+			return fail("solve %d went backwards: version %d after %d", i, s.version, prev)
+		}
+		prev = s.version
+	}
+	res.VersionSpan = saturated[len(saturated)-1].version - saturated[0].version
+	if res.VersionSpan == 0 {
+		return fail("saturated solves all saw one version — the streams never interleaved")
+	}
+
+	// Admission + pinning accounting from /stats.
+	stats := srv.Stats()
+	solveQoS, ingestQoS := stats.QoS["solve"], stats.QoS["ingest"]
+	if solveQoS.Rejected != 0 || solveQoS.DeadlineExpired != 0 {
+		return fail("solve class shed load: %d rejected, %d expired", solveQoS.Rejected, solveQoS.DeadlineExpired)
+	}
+	res.IngestWait = time.Duration(ingestQoS.WaitMSTotal * float64(time.Millisecond))
+	if res.IngestWait == 0 && runtime.GOMAXPROCS(0) > 1 {
+		// On one CPU goroutines serialize, so two mutation handlers are
+		// almost never inside the admission window at once and queue waits
+		// legitimately read zero; anywhere with real parallelism, four
+		// continuous streams against one slot must collide.
+		return fail("ingest class never queued — the mutation stream was not saturating")
+	}
+	pin := stats.Datasets["galaxy"].Pinning
+	res.PinMaxWait = time.Duration(pin.MaxWaitMS * float64(time.Millisecond))
+	if res.PinMaxWait > pinStallBudget {
+		return fail("worst snapshot-pin wait %v exceeds %v — solves are blocking on the mutation lock", res.PinMaxWait, pinStallBudget)
+	}
+
+	lats := func(ss []qosSolve) []float64 {
+		out := make([]float64, len(ss))
+		for i, s := range ss {
+			out[i] = float64(s.lat) / float64(time.Millisecond)
+		}
+		return out
+	}
+	lq, ls := lats(quiescent), lats(saturated)
+	res.QuiescentP50 = time.Duration(percentile(lq, 0.50) * float64(time.Millisecond))
+	res.QuiescentP95 = time.Duration(percentile(lq, 0.95) * float64(time.Millisecond))
+	res.SaturatedP50 = time.Duration(percentile(ls, 0.50) * float64(time.Millisecond))
+	res.SaturatedP95 = time.Duration(percentile(ls, 0.95) * float64(time.Millisecond))
+	res.Degradation = float64(res.SaturatedP95) / float64(res.QuiescentP95)
+	res.Elapsed = time.Since(start)
+
+	// ---- report ---------------------------------------------------------
+	fmt.Fprintf(e.cfg.Out, "QoS under saturating ingest (Galaxy, %d rows; %d solves/phase, %d mutation streams over 1 ingest slot)\n",
+		base, cfg.Solves, cfg.Mutators)
+	fmt.Fprintf(e.cfg.Out, "quiescent  p50 %v  p95 %v\n", res.QuiescentP50.Round(time.Microsecond), res.QuiescentP95.Round(time.Microsecond))
+	fmt.Fprintf(e.cfg.Out, "saturated  p50 %v  p95 %v  (p95 ratio %.2f; %d mutations acked, %d shed, versions spanned %d)\n",
+		res.SaturatedP50.Round(time.Microsecond), res.SaturatedP95.Round(time.Microsecond),
+		res.Degradation, res.MutationsAcked, res.MutationsShed, res.VersionSpan)
+	fmt.Fprintf(e.cfg.Out, "pins %d, worst pin wait %v (budget %v); ingest queue wait %v total in %v\n",
+		pin.Pins, res.PinMaxWait, pinStallBudget, res.IngestWait.Round(time.Millisecond), res.Elapsed.Round(time.Millisecond))
+
+	e.Record(ExperimentResult{
+		Experiment: "qos",
+		P50SolveMS: percentile(ls, 0.50),
+		P95SolveMS: percentile(ls, 0.95),
+		Extra: map[string]float64{
+			"quiescent_p50_ms":  percentile(lq, 0.50),
+			"quiescent_p95_ms":  percentile(lq, 0.95),
+			"saturated_p50_ms":  percentile(ls, 0.50),
+			"saturated_p95_ms":  percentile(ls, 0.95),
+			"p95_degradation":   res.Degradation,
+			"mutations_acked":   float64(res.MutationsAcked),
+			"mutations_shed":    float64(res.MutationsShed),
+			"version_span":      float64(res.VersionSpan),
+			"pin_count":         float64(pin.Pins),
+			"pin_max_wait_ms":   pin.MaxWaitMS,
+			"ingest_wait_ms":    ingestQoS.WaitMSTotal,
+			"solves_per_phase":  float64(cfg.Solves),
+			"mutation_streams":  float64(cfg.Mutators),
+			"ingest_admitted":   float64(ingestQoS.Admitted),
+			"solve_admitted":    float64(solveQoS.Admitted),
+			"fairness_deferred": float64(ingestQoS.FairnessDeferrals),
+		},
+	})
+
+	// The acceptance bound, last so the record and report survive a
+	// failure for diagnosis. The absolute slack absorbs scheduler and
+	// timer granularity when the baseline is a few milliseconds; at
+	// paper scale it is noise against real solve times.
+	const slack = 20 * time.Millisecond
+	if res.SaturatedP95 > time.Duration(cfg.DegradeLimit*float64(res.QuiescentP95))+slack {
+		return fail("p95 degraded %.2fx under saturation (quiescent %v → saturated %v, limit %.2fx)",
+			res.Degradation, res.QuiescentP95, res.SaturatedP95, cfg.DegradeLimit)
+	}
+	return res, nil
+}

@@ -66,9 +66,18 @@ type ReplResult struct {
 	DrainedRecords uint64
 	// Bound is the worst quality bound across all sessions; every
 	// follower's objective must stay within it of the twin's.
-	Bound   float64
-	Queries []IngestQueryResult
-	Elapsed time.Duration
+	Bound float64
+	// InFlightReads counts solves the restarted follower served over
+	// its HTTP API while its tail was replaying the phase-2b mutation
+	// stream; InFlightInfeasible the subset that came back infeasible
+	// (served and version-checked — a data state, not an availability
+	// failure). ReadPinMaxWait is that follower's worst snapshot-pin
+	// wait on the mutation lock: "zero blocked reads", quantified.
+	InFlightReads      int
+	InFlightInfeasible int
+	ReadPinMaxWait     time.Duration
+	Queries            []IngestQueryResult
+	Elapsed            time.Duration
 }
 
 // cuttingTransport injects stream faults: it truncates every cutEvery-th
@@ -299,6 +308,70 @@ func (m *replMutator) run(url string, ops int) error {
 	return nil
 }
 
+// inflightReadStats summarizes the mid-replay read phase.
+type inflightReadStats struct {
+	reads       int
+	infeasible  int
+	lastVersion uint64
+	err         error
+}
+
+// inflightReads hammers a follower's query API until stop closes. The
+// follower is concurrently applying the leader's WAL, so every solve
+// exercises the MVCC path: it must be served (no 429/504 — a shed or
+// stalled read is a blocked read), and the pinned versions it reports
+// must never run backwards. Infeasible responses carry no version and
+// are counted separately.
+func inflightReads(client *http.Client, url, paql string, timeoutMS int64, stop <-chan struct{}) inflightReadStats {
+	var st inflightReadStats
+	var prev uint64
+	for {
+		select {
+		case <-stop:
+			return st
+		default:
+		}
+		body, err := json.Marshal(server.QueryRequest{
+			Dataset: "galaxy", Query: paql,
+			Method: server.MethodSketchRefine, TimeoutMS: timeoutMS,
+		})
+		if err != nil {
+			st.err = err
+			return st
+		}
+		resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			st.err = fmt.Errorf("read %d: transport: %w", st.reads, err)
+			return st
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			st.err = fmt.Errorf("read %d: %w", st.reads, rerr)
+			return st
+		}
+		if resp.StatusCode != http.StatusOK {
+			st.err = fmt.Errorf("read %d blocked or refused mid-replay: HTTP %d: %s", st.reads, resp.StatusCode, raw)
+			return st
+		}
+		var qr server.QueryResponse
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			st.err = fmt.Errorf("read %d: decode: %w", st.reads, err)
+			return st
+		}
+		st.reads++
+		if qr.Infeasible {
+			st.infeasible++
+			continue
+		}
+		if qr.Version < prev {
+			st.err = fmt.Errorf("read %d went backwards: version %d after %d", st.reads-1, qr.Version, prev)
+			return st
+		}
+		prev, st.lastVersion = qr.Version, qr.Version
+	}
+}
+
 // waitReplCaughtUp blocks until the follower's galaxy tail reports
 // zero lag at or past version.
 func waitReplCaughtUp(f *replFollower, version uint64, timeout time.Duration) error {
@@ -472,6 +545,26 @@ func (e *Env) Repl(ctx context.Context, cfg ReplConfig) (*ReplResult, error) {
 	if fols[1], err = e.startReplFollower(leaderURL, fols[1].dir, dsCfg, nil); err != nil {
 		return fail("follower 1 restart: %v", err)
 	}
+	// ---- phase 2b + in-flight reads ------------------------------------
+	// While the restarted follower 1 tails the remaining mutations, a
+	// reader hammers its query API: snapshot pinning must keep every
+	// solve served and version-consistent mid-replay.
+	var readPaql string
+	for _, q := range queries {
+		if !q.Hard {
+			readPaql = q.PaQL
+			break
+		}
+	}
+	readStop := make(chan struct{})
+	readDone := make(chan inflightReadStats, 1)
+	var stopReadsOnce sync.Once
+	stopReads := func() { stopReadsOnce.Do(func() { close(readStop) }) }
+	defer stopReads()
+	go func() {
+		readDone <- inflightReads(mut.client, fols[1].url, readPaql,
+			int64((e.cfg.TimeLimit+time.Minute)/time.Millisecond), readStop)
+	}()
 	if err := mut.run(leaderURL, cfg.Ops-cfg.Ops/2-cfg.Ops/4); err != nil {
 		return fail("phase 2b: %v", err)
 	}
@@ -479,6 +572,23 @@ func (e *Env) Repl(ctx context.Context, cfg ReplConfig) (*ReplResult, error) {
 		if err := waitReplCaughtUp(f, twin.Version(), convergeTimeout); err != nil {
 			return fail("phase 2: follower %d: %v", i, err)
 		}
+	}
+	stopReads()
+	rd := <-readDone
+	if rd.err != nil {
+		return fail("in-flight reads: %v", rd.err)
+	}
+	if rd.reads == 0 {
+		return fail("in-flight read phase served zero reads")
+	}
+	if tv := twin.Version(); rd.lastVersion > tv {
+		return fail("in-flight read pinned version %d beyond the twin's %d (torn version)", rd.lastVersion, tv)
+	}
+	res.InFlightReads, res.InFlightInfeasible = rd.reads, rd.infeasible
+	readPin := fols[1].srv.Stats().Datasets["galaxy"].Pinning
+	res.ReadPinMaxWait = time.Duration(readPin.MaxWaitMS * float64(time.Millisecond))
+	if res.ReadPinMaxWait > pinStallBudget {
+		return fail("in-flight reads: worst snapshot-pin wait %v exceeds %v — replay blocked reads", res.ReadPinMaxWait, pinStallBudget)
 	}
 
 	// ---- convergence: every replica equals the twin --------------------
@@ -612,6 +722,8 @@ func (e *Env) Repl(ctx context.Context, cfg ReplConfig) (*ReplResult, error) {
 		res.Acked, res.Inserted, res.Deleted, res.Updated, res.PostFailoverAcked, res.StreamCuts, res.Resyncs)
 	fmt.Fprintf(e.cfg.Out, "promoted follower 0 to epoch %d (drained %d records); all replicas converged with the twin\n",
 		res.PromotedEpoch, res.DrainedRecords)
+	fmt.Fprintf(e.cfg.Out, "%d in-flight reads served mid-replay (%d infeasible), zero blocked; worst pin wait %v\n",
+		res.InFlightReads, res.InFlightInfeasible, res.ReadPinMaxWait)
 	fmt.Fprintf(e.cfg.Out, "%-10s %14s %14s %8s\n", "query", "follower", "twin", "ratio")
 	for _, qr := range res.Queries {
 		fmt.Fprintf(e.cfg.Out, "%-10s %14s %14s %8.4f\n",
@@ -639,6 +751,8 @@ func (e *Env) Repl(ctx context.Context, cfg ReplConfig) (*ReplResult, error) {
 			"promoted_epoch":      float64(res.PromotedEpoch),
 			"drained_records":     float64(res.DrainedRecords),
 			"quality_bound":       res.Bound,
+			"inflight_reads":      float64(res.InFlightReads),
+			"inflight_pin_max_ms": float64(res.ReadPinMaxWait) / float64(time.Millisecond),
 		},
 	})
 	return res, nil

@@ -133,8 +133,25 @@ type SketchRefine struct {
 	Seed int64
 }
 
+// PartitionedSolver is implemented by strategies that refine over an
+// offline partitioning and can be rebound to a frozen view of it for
+// one call — the seam snapshot-pinned solves use to run over a
+// partitioning view whose relation matches their pinned version.
+type PartitionedSolver interface {
+	Solver
+	// WithPart returns a copy of the solver refining over part.
+	WithPart(part *partition.Partitioning) Solver
+}
+
 // Name implements Solver.
 func (SketchRefine) Name() string { return "sketchrefine" }
+
+// WithPart implements PartitionedSolver: the returned copy refines over
+// part (everything else — options, racers, seeds — is unchanged).
+func (s SketchRefine) WithPart(part *partition.Partitioning) Solver {
+	s.Part = part
+	return s
+}
 
 // Solve implements Solver.
 func (s SketchRefine) Solve(ctx context.Context, spec *core.Spec) (*core.Package, *core.EvalStats, error) {
@@ -316,7 +333,7 @@ func (e *Engine) InvalidateRel(rel *relation.Relation) int {
 	defer e.mu.Unlock()
 	dropped := 0
 	for key, ent := range e.cache {
-		if ent.spec.Rel != rel || ent.ver == current {
+		if ent.spec.Rel.Identity() != rel.Identity() || ent.ver == current {
 			continue
 		}
 		select {
@@ -378,12 +395,33 @@ func (e *Engine) Evaluate(ctx context.Context, spec *core.Spec) Result {
 // duplicate solve shares its result but not its stream (the callback
 // was bound by the first caller). A nil fn is exactly Evaluate.
 func (e *Engine) EvaluateStream(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) Result {
+	return e.evaluate(ctx, spec, e.Solver, fn)
+}
+
+// EvaluateStreamView is EvaluateStream with a per-call partitioning
+// view: when the engine's strategy implements PartitionedSolver, this
+// call solves over part instead of the strategy's baked-in live
+// partitioning, while still sharing the engine's solution cache — the
+// view holds the same groups at the same relation version, so keys and
+// results are interchangeable with head solves. A nil part (or a
+// non-partitioned strategy) behaves exactly like EvaluateStream.
+func (e *Engine) EvaluateStreamView(ctx context.Context, spec *core.Spec, part *partition.Partitioning, fn core.IncumbentFunc) Result {
+	solver := e.Solver
+	if part != nil {
+		if ps, ok := solver.(PartitionedSolver); ok {
+			solver = ps.WithPart(part)
+		}
+	}
+	return e.evaluate(ctx, spec, solver, fn)
+}
+
+func (e *Engine) evaluate(ctx context.Context, spec *core.Spec, solver Solver, fn core.IncumbentFunc) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if e.NoCache {
 		e.misses.Add(1)
-		return e.solve(ctx, spec, fn)
+		return e.solve(ctx, spec, solver, fn)
 	}
 	key := SpecKey(spec)
 
@@ -433,7 +471,7 @@ func (e *Engine) EvaluateStream(ctx context.Context, spec *core.Spec, fn core.In
 		e.mu.Unlock()
 		e.misses.Add(1)
 
-		ent.res = e.solve(ctx, spec, fn)
+		ent.res = e.solve(ctx, spec, solver, fn)
 		if !definitive(ent.res) {
 			// Drop the entry before waking waiters so their retry finds
 			// the key free.
@@ -472,17 +510,17 @@ func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (e *Engine) solve(ctx context.Context, spec *core.Spec, fn core.IncumbentFunc) Result {
+func (e *Engine) solve(ctx context.Context, spec *core.Spec, solver Solver, fn core.IncumbentFunc) Result {
 	t0 := time.Now()
 	var (
 		pkg   *core.Package
 		stats *core.EvalStats
 		err   error
 	)
-	if ss, ok := e.Solver.(StreamingSolver); ok && fn != nil {
+	if ss, ok := solver.(StreamingSolver); ok && fn != nil {
 		pkg, stats, err = ss.SolveStream(ctx, spec, fn)
 	} else {
-		pkg, stats, err = e.Solver.Solve(ctx, spec)
+		pkg, stats, err = solver.Solve(ctx, spec)
 	}
 	return Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
 }
@@ -530,7 +568,10 @@ func (e *Engine) CacheLen() int {
 // translated queries never pay either fallback.
 func SpecKey(spec *core.Spec) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "rel=%p@v%d;repeat=%d", spec.Rel, spec.Rel.Version(), spec.Repeat)
+	// Key on the relation's identity, not the view pointer: a snapshot
+	// and its head at the same version hold identical data, so solves
+	// pinned to different snapshots of one dataset share cache entries.
+	fmt.Fprintf(&b, "rel=%p@v%d;repeat=%d", spec.Rel.Identity(), spec.Rel.Version(), spec.Repeat)
 	pred := func(tag string, p relation.Predicate) {
 		s := p.String()
 		if s == "<func>" {

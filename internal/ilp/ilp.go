@@ -328,12 +328,16 @@ func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	// bound pruning and reduced-cost fixing finish the search. Skipped
 	// for very large problems where the pair scan would dominate.
 	const localSearchMaxVars = 4000
+	lsAct := make([]float64, p.LP.NumRows()) // reused across incumbents
 	localSearch := func(x []float64) {
 		if n > localSearchMaxVars {
 			return
 		}
 		m := p.LP.NumRows()
-		act := make([]float64, m)
+		act := lsAct
+		for i := 0; i < m; i++ {
+			act[i] = 0
+		}
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {
 				act[i] += p.LP.A[i][j] * x[j]

@@ -1,0 +1,68 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allocProblem builds a dense knapsack-style LP whose simplex run takes
+// many pivots — enough that any per-iteration allocation in the hot
+// loop (recomputeReducedCosts, chooseEntering, pivot, step) would
+// dominate the fixed setup cost and blow the regression bound below.
+func allocProblem() *Problem {
+	const n, m = 60, 8
+	rng := rand.New(rand.NewSource(5))
+	p := &Problem{
+		Maximize: true,
+		C:        make([]float64, n),
+		A:        make([][]float64, m),
+		Op:       make([]ConstraintOp, m),
+		B:        make([]float64, m),
+		Hi:       make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = 1 + rng.Float64()*9
+		p.Hi[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.A[i][j] = rng.Float64() * 5
+		}
+		p.Op[i] = LE
+		p.B[i] = float64(n) / 4
+	}
+	return p
+}
+
+// TestSolveAllocationsIterationFree pins the simplex's allocation
+// profile: everything Solve allocates is tableau setup — a fixed count
+// for a fixed problem shape, independent of how many pivots the solve
+// takes. The bound fails go test if the iteration loop starts
+// allocating (one alloc per pivot on this problem adds hundreds).
+func TestSolveAllocationsIterationFree(t *testing.T) {
+	p := allocProblem()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	if sol.Iterations < 30 {
+		t.Fatalf("fixture too easy: %d simplex iterations, want enough to expose per-iteration allocation", sol.Iterations)
+	}
+
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Setup allocates the tableau (one slice per row plus ~a dozen
+	// vectors and the Solution). 40 gives that headroom; per-iteration
+	// allocation would add at least sol.Iterations on top.
+	t.Logf("Solve: %.1f allocations, %d simplex iterations", avg, sol.Iterations)
+	if avg > 40 {
+		t.Errorf("Solve allocates %.1f objects (%d iterations); the simplex loop must not allocate per pivot", avg, sol.Iterations)
+	}
+}

@@ -185,6 +185,7 @@ type tableau struct {
 	lo, hi    []float64
 	d         []float64 // reduced costs c_j − c_Bᵀ T_j
 	c         []float64 // current-phase objective (maximize)
+	cb        []float64 // scratch: c over the basis (recomputeReducedCosts)
 	iter      int
 	maxIter   int
 	done      <-chan struct{} // cancellation signal, checked periodically
@@ -209,7 +210,7 @@ func (tb *tableau) value(j int) float64 {
 
 // recomputeReducedCosts sets d_j = c_j − c_Bᵀ T_j for all columns.
 func (tb *tableau) recomputeReducedCosts() {
-	cb := make([]float64, tb.m)
+	cb := tb.cb
 	for i, bj := range tb.basis {
 		cb[i] = tb.c[bj]
 	}
@@ -444,6 +445,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		hi:      make([]float64, nTotal),
 		d:       make([]float64, nTotal),
 		c:       make([]float64, nTotal),
+		cb:      make([]float64, m),
 		maxIter: 200*(m+n) + 5000,
 	}
 	if ctx != nil {

@@ -680,11 +680,18 @@ func insertSorted(s []int, v int) []int {
 	return out
 }
 
-// removeSorted removes v from a sorted slice (no-op if absent).
+// removeSorted removes v from a sorted slice (no-op if absent). Like
+// insertSorted it always copies into fresh backing storage: beyond the
+// aliasing hazard, a published partitioning view may still reference
+// the old slice, and shifting members in place would corrupt the frozen
+// view a lock-free solve is reading.
 func removeSorted(s []int, v int) []int {
 	i := sort.SearchInts(s, v)
 	if i < len(s) && s[i] == v {
-		return append(s[:i], s[i+1:]...)
+		out := make([]int, len(s)-1)
+		copy(out, s[:i])
+		copy(out[i:], s[i+1:])
+		return out
 	}
 	return s
 }

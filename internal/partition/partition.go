@@ -374,13 +374,19 @@ func (p *Partitioning) Remap(remap []int) error {
 	}
 	for g := range p.Groups {
 		rows := p.Groups[g].Rows
+		// Build the renumbered member list in fresh storage: a published
+		// partitioning view (see paq's snapshot pinning) shares these
+		// slices with lock-free readers, so rewriting in place would tear
+		// the frozen view mid-solve.
+		fresh := make([]int, len(rows))
 		for i, r := range rows {
 			if r < 0 || r >= len(remap) || remap[r] < 0 {
 				return fmt.Errorf("partition: remap of group %d member %d, which was compacted away", g, r)
 			}
-			rows[i] = remap[r]
-			gid[rows[i]] = g
+			fresh[i] = remap[r]
+			gid[fresh[i]] = g
 		}
+		p.Groups[g].Rows = fresh
 	}
 	p.GID = gid
 	return nil
@@ -496,6 +502,34 @@ func (p *Partitioning) Restrict(rows []int) *Partitioning {
 	// impossible.
 	out.Reps, _ = buildReps(out, p.Workers)
 	return out
+}
+
+// View returns a frozen copy of the partitioning bound to an immutable
+// snapshot of its relation, for lock-free solves: the caller pins a
+// relation snapshot, takes a view at the same version, and releases the
+// dataset lock — subsequent Maintainer work on the live partitioning
+// cannot tear the view. The Group structs and GID map are copied (the
+// Maintainer rewrites GID in place and replaces group fields); member
+// and centroid slices are shared read-only, which is safe because every
+// maintenance path writes fresh backing storage (see insertSorted,
+// removeSorted, Remap). Reps becomes its own relation snapshot, so
+// in-place representative refreshes copy-on-write around it.
+//
+// Callers must hold the same lock that serializes mutations while
+// taking the view (it reads the live structures).
+func (p *Partitioning) View(snap *relation.Relation) *Partitioning {
+	return &Partitioning{
+		Rel:       snap,
+		Attrs:     p.Attrs,
+		AttrIdx:   p.AttrIdx,
+		GID:       append([]int(nil), p.GID...),
+		Groups:    append([]Group(nil), p.Groups...),
+		Reps:      p.Reps.Snapshot(),
+		Tau:       p.Tau,
+		Omega:     p.Omega,
+		Workers:   p.Workers,
+		BuildTime: p.BuildTime,
+	}
 }
 
 // CheckInvariants verifies the structural guarantees of the partitioning:

@@ -1,0 +1,83 @@
+package relation
+
+import "testing"
+
+// The scan paths below sit inside every constraint evaluation and
+// objective pricing loop, so a single allocation per call multiplies by
+// solver-node count. These tests pin them at zero; go test fails if a
+// regression creeps in.
+
+func TestScanPathsAllocateZero(t *testing.T) {
+	r := compactFixture(t, 200)
+	if err := r.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("Float", func(t *testing.T) {
+		var sink float64
+		if avg := testing.AllocsPerRun(100, func() {
+			for row := 0; row < r.Len(); row++ {
+				sink += r.Float(row, 1)
+			}
+		}); avg != 0 {
+			t.Errorf("Float scan allocates %.1f per run, want 0", avg)
+		}
+		_ = sink
+	})
+
+	t.Run("FloatColumn", func(t *testing.T) {
+		var sink float64
+		if avg := testing.AllocsPerRun(100, func() {
+			col := r.FloatColumn(1)
+			for _, v := range col {
+				sink += v
+			}
+		}); avg != 0 {
+			t.Errorf("FloatColumn scan allocates %.1f per run, want 0", avg)
+		}
+		_ = sink
+	})
+
+	t.Run("IntColumn", func(t *testing.T) {
+		var sink int64
+		if avg := testing.AllocsPerRun(100, func() {
+			col := r.IntColumn(0)
+			for _, v := range col {
+				sink += v
+			}
+		}); avg != 0 {
+			t.Errorf("IntColumn scan allocates %.1f per run, want 0", avg)
+		}
+		_ = sink
+	})
+}
+
+// A snapshot's live-row index is computed once and cached (snapshots
+// are immutable, so it can never go stale): AllRows and nil-predicate
+// Select on a warm snapshot must allocate nothing per call.
+func TestSnapshotAllRowsAllocateZero(t *testing.T) {
+	r := compactFixture(t, 200)
+	for _, row := range []int{2, 50, 51, 180} {
+		if err := r.Delete(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	warm := snap.AllRows() // first call computes and caches
+
+	var sink int
+	if avg := testing.AllocsPerRun(100, func() {
+		sink += len(snap.AllRows())
+	}); avg != 0 {
+		t.Errorf("snapshot AllRows allocates %.1f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		sink += len(snap.Select(nil))
+	}); avg != 0 {
+		t.Errorf("snapshot Select(nil) allocates %.1f per run, want 0", avg)
+	}
+	_ = sink
+	if got := snap.AllRows(); len(got) != len(warm) {
+		t.Fatalf("cached AllRows changed length: %d then %d", len(warm), len(got))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrTypeMismatch is the typed error returned by Value accessors (and
@@ -11,6 +12,11 @@ import (
 // an incompatible type or a schema is malformed. Callers can match it
 // with errors.Is.
 var ErrTypeMismatch = errors.New("relation: type mismatch")
+
+// ErrImmutable is returned by every mutating method when called on a
+// snapshot (see Snapshot): snapshots are frozen views and only the head
+// relation accepts writes.
+var ErrImmutable = errors.New("relation: snapshot is immutable")
 
 // Value is a dynamically typed cell value. It is used at API boundaries
 // (row construction, CSV parsing, tests); hot paths use the typed column
@@ -182,8 +188,9 @@ func (c *column) float(row int) float64 {
 // Every mutation bumps a monotonically increasing version; consumers
 // key derived state (solution caches, prepared statements) on it to
 // detect staleness. The relation itself is not synchronized — callers
-// that interleave mutations with reads serialize them (paq.Session
-// holds a read-write lock around the solve path).
+// serialize mutations against Snapshot calls (paq.Session holds a
+// narrow mutation lock); readers holding a snapshot need no lock at
+// all, because mutations copy-on-write any storage a snapshot shares.
 type Relation struct {
 	name   string
 	schema Schema
@@ -196,6 +203,23 @@ type Relation struct {
 	nDeleted int
 	// version counts mutations (appends, deletes, cell updates).
 	version uint64
+
+	// Copy-on-write snapshot bookkeeping. head is set on snapshots and
+	// points at the relation the snapshot was taken from (the identity
+	// every version of a dataset shares); immutable marks a snapshot.
+	// shared/sharedDel are head-side flags: column i's backing array
+	// (resp. the tombstone bitmap) may be referenced by a live snapshot,
+	// so the next in-place write to it must clone first. Appends never
+	// need a clone — they write at physical indices no snapshot reaches.
+	head      *Relation
+	immutable bool
+	shared    []bool
+	sharedDel bool
+	// liveOnce/liveRows cache the live-row index on snapshots: a
+	// snapshot's row set is frozen, so AllRows/Select(nil) compute it
+	// once and every caller shares the same slice (read-only).
+	liveOnce sync.Once
+	liveRows []int
 }
 
 // New creates an empty relation with the given name and schema.
@@ -233,6 +257,93 @@ func (r *Relation) Version() uint64 { return r.version }
 // depends on it lining up.
 func (r *Relation) RestoreVersion(v uint64) { r.version = v }
 
+// Snapshot returns an immutable, version-stamped view of the relation's
+// current state. The view shares column storage with the head relation:
+// taking one copies only the slice headers, and later head mutations
+// clone just the columns (or tombstone bitmap) they touch, so snapshots
+// are cheap regardless of relation size. Snapshots reject every
+// mutating method with ErrImmutable; Snapshot of a snapshot returns the
+// snapshot itself.
+//
+// Concurrency contract: Snapshot must be serialized with mutations
+// (callers hold the same narrow lock that guards Append/Set/Delete),
+// but once taken, a snapshot may be read freely — without any lock —
+// while the head keeps mutating.
+func (r *Relation) Snapshot() *Relation {
+	if r.immutable {
+		return r
+	}
+	cols := make([]*column, len(r.cols))
+	for i, c := range r.cols {
+		cc := *c
+		cols[i] = &cc
+	}
+	if r.shared == nil {
+		r.shared = make([]bool, len(r.cols))
+	}
+	for i := range r.shared {
+		r.shared[i] = true
+	}
+	r.sharedDel = r.deleted != nil
+	return &Relation{
+		name:      r.name,
+		schema:    r.schema,
+		cols:      cols,
+		n:         r.n,
+		deleted:   r.deleted,
+		nDeleted:  r.nDeleted,
+		version:   r.version,
+		head:      r,
+		immutable: true,
+	}
+}
+
+// Identity returns the head relation this value is a version of:
+// snapshots return the relation they were taken from, heads return
+// themselves. Two views of the same dataset share an identity even
+// though they are distinct pointers, so caches keyed by identity and
+// version keep matching across snapshots.
+func (r *Relation) Identity() *Relation {
+	if r.head != nil {
+		return r.head
+	}
+	return r
+}
+
+// Immutable reports whether the relation is a frozen snapshot.
+func (r *Relation) Immutable() bool { return r.immutable }
+
+// cowCol clones column col's backing array when a live snapshot may
+// share it, so the in-place write about to happen cannot be observed
+// through the snapshot's copied slice header.
+func (r *Relation) cowCol(col int) {
+	if r.shared == nil || !r.shared[col] {
+		return
+	}
+	c := r.cols[col]
+	switch c.typ {
+	case Float:
+		c.f = append(make([]float64, 0, len(c.f)), c.f...)
+	case Int:
+		c.i = append(make([]int64, 0, len(c.i)), c.i...)
+	default:
+		c.s = append(make([]string, 0, len(c.s)), c.s...)
+	}
+	r.shared[col] = false
+}
+
+// cowDeleted clones the tombstone bitmap when a live snapshot may share
+// it (see cowCol).
+func (r *Relation) cowDeleted() {
+	if !r.sharedDel {
+		return
+	}
+	nd := make([]bool, len(r.deleted), r.n)
+	copy(nd, r.deleted)
+	r.deleted = nd
+	r.sharedDel = false
+}
+
 // Deleted reports whether a row has been tombstoned.
 func (r *Relation) Deleted(row int) bool {
 	return r.deleted != nil && r.deleted[row]
@@ -243,6 +354,9 @@ func (r *Relation) Deleted(row int) bool {
 // an out-of-range or already-deleted row is an error, leaving the
 // relation unchanged.
 func (r *Relation) Delete(row int) error {
+	if r.immutable {
+		return fmt.Errorf("%w: Delete on snapshot of %q", ErrImmutable, r.name)
+	}
 	if row < 0 || row >= r.n {
 		return fmt.Errorf("relation: delete of row %d out of range [0, %d)", row, r.n)
 	}
@@ -251,8 +365,12 @@ func (r *Relation) Delete(row int) error {
 	}
 	if r.deleted == nil {
 		r.deleted = make([]bool, r.n)
-	} else if len(r.deleted) < r.n {
-		r.deleted = append(r.deleted, make([]bool, r.n-len(r.deleted))...)
+		r.sharedDel = false
+	} else {
+		r.cowDeleted()
+		if len(r.deleted) < r.n {
+			r.deleted = append(r.deleted, make([]bool, r.n-len(r.deleted))...)
+		}
 	}
 	r.deleted[row] = true
 	r.nDeleted++
@@ -263,6 +381,9 @@ func (r *Relation) Delete(row int) error {
 // Set overwrites one cell in place (Int↔Float coercion permitted where
 // lossless, as in Append). The row may not be deleted.
 func (r *Relation) Set(row, col int, v Value) error {
+	if r.immutable {
+		return fmt.Errorf("%w: Set on snapshot of %q", ErrImmutable, r.name)
+	}
 	if row < 0 || row >= r.n {
 		return fmt.Errorf("relation: set on row %d out of range [0, %d)", row, r.n)
 	}
@@ -272,6 +393,7 @@ func (r *Relation) Set(row, col int, v Value) error {
 	if r.Deleted(row) {
 		return fmt.Errorf("relation: set on deleted row %d", row)
 	}
+	r.cowCol(col)
 	c := r.cols[col]
 	switch c.typ {
 	case Float:
@@ -332,6 +454,9 @@ func (r *Relation) CheckRow(vals []Value) error {
 // validated before any column store is touched, so a failed Append
 // leaves the relation unchanged.
 func (r *Relation) Append(vals ...Value) error {
+	if r.immutable {
+		return fmt.Errorf("%w: Append on snapshot of %q", ErrImmutable, r.name)
+	}
 	if err := r.CheckRow(vals); err != nil {
 		return err
 	}
@@ -353,6 +478,9 @@ func (r *Relation) Append(vals ...Value) error {
 // backing stores directly, with no Value boxing and no per-cell type
 // dispatch, so it cannot fail on data grounds.
 func (r *Relation) AppendFrom(src *Relation, row int) error {
+	if r.immutable {
+		return fmt.Errorf("%w: AppendFrom on snapshot of %q", ErrImmutable, r.name)
+	}
 	if len(r.cols) != len(src.cols) {
 		return fmt.Errorf("%w: AppendFrom across schemas with %d vs %d columns",
 			ErrTypeMismatch, len(r.cols), len(src.cols))
@@ -430,14 +558,19 @@ func (r *Relation) Row(row int) []Value {
 }
 
 // Select returns the indices of all live (non-deleted) rows satisfying
-// pred. A nil predicate selects every live row.
+// pred. A nil predicate selects every live row — on snapshots this
+// shares the cached index (see AllRows), so callers must treat the
+// result as read-only.
 func (r *Relation) Select(pred Predicate) []int {
+	if pred == nil {
+		return r.AllRows()
+	}
 	rows := make([]int, 0, r.Live())
 	for i := 0; i < r.n; i++ {
 		if r.Deleted(i) {
 			continue
 		}
-		if pred == nil || pred.Eval(r, i) {
+		if pred.Eval(r, i) {
 			rows = append(rows, i)
 		}
 	}
@@ -515,7 +648,9 @@ func (r *Relation) Subset(name string, rows []int) *Relation {
 // invalidated by the caller. The version is bumped exactly once, so
 // version-keyed caches stop matching automatically.
 func (r *Relation) Compact() []int {
-	if r.nDeleted == 0 {
+	if r.immutable || r.nDeleted == 0 {
+		// Snapshots are frozen views; reclamation happens on the head
+		// relation they were taken from.
 		return nil
 	}
 	remap := make([]int, r.n)
@@ -563,13 +698,30 @@ func (r *Relation) Compact() []int {
 	r.n = next
 	r.deleted = nil
 	r.nDeleted = 0
+	// Every column now owns a fresh backing array and the bitmap is
+	// gone, so no snapshot shares this storage anymore.
+	for i := range r.shared {
+		r.shared[i] = false
+	}
+	r.sharedDel = false
 	r.version++
 	return remap
 }
 
 // AllRows returns the indices of every live row, in ascending order
-// ([0, 1, ..., n-1] when nothing has been deleted).
+// ([0, 1, ..., n-1] when nothing has been deleted). On a snapshot the
+// row set is frozen, so the index is computed once and shared by every
+// caller — treat the result as read-only (the solve paths only iterate
+// it; anything that reorders rows copies first, like SortRowsBy).
 func (r *Relation) AllRows() []int {
+	if r.immutable {
+		r.liveOnce.Do(func() { r.liveRows = r.scanLive() })
+		return r.liveRows
+	}
+	return r.scanLive()
+}
+
+func (r *Relation) scanLive() []int {
 	rows := make([]int, 0, r.Live())
 	for i := 0; i < r.n; i++ {
 		if !r.Deleted(i) {

@@ -1,0 +1,183 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// rowImage is the serial twin of one live row: its index and cell
+// values captured while no mutation was running.
+type rowImage struct {
+	row  int
+	vals []string
+}
+
+// imageOf captures the live rows of r (indices and rendered cells) —
+// the serial-twin state a snapshot taken now must reproduce forever.
+func imageOf(r *Relation) []rowImage {
+	rows := r.AllRows()
+	out := make([]rowImage, len(rows))
+	for i, row := range rows {
+		vals := make([]string, r.Schema().Len())
+		for c := range vals {
+			vals[c] = r.Value(row, c).String()
+		}
+		out[i] = rowImage{row: row, vals: vals}
+	}
+	return out
+}
+
+// checkSnapshot asserts snap exposes exactly the row set and cell
+// values of its twin image.
+func checkSnapshot(snap *Relation, want []rowImage) error {
+	rows := snap.AllRows()
+	if len(rows) != len(want) {
+		return fmt.Errorf("snapshot v%d has %d live rows, twin has %d", snap.Version(), len(rows), len(want))
+	}
+	for i, row := range rows {
+		if row != want[i].row {
+			return fmt.Errorf("snapshot v%d live row %d is index %d, twin has %d", snap.Version(), i, row, want[i].row)
+		}
+		for c, wv := range want[i].vals {
+			if got := snap.Value(row, c).String(); got != wv {
+				return fmt.Errorf("snapshot v%d cell (%d,%d) = %q, twin has %q", snap.Version(), row, c, got, wv)
+			}
+		}
+	}
+	return nil
+}
+
+// TestSnapshotIsolationInterleaved is the MVCC property test at the
+// storage layer: a mutator applies a randomized interleaving of
+// Append/Delete/Set/Compact to head while reader goroutines repeatedly
+// re-verify previously taken snapshots against serial-twin images
+// captured at snapshot time. Any copy-on-write path that lets a head
+// mutation leak into a published snapshot fails the differential check;
+// any unsynchronized sharing fails the race detector.
+func TestSnapshotIsolationInterleaved(t *testing.T) {
+	const (
+		ops       = 400
+		snapEvery = 17
+		readers   = 4
+	)
+	r := compactFixture(t, 60)
+
+	type pinnedSnap struct {
+		snap *Relation
+		want []rowImage
+	}
+	var (
+		mu   sync.Mutex
+		pins []pinnedSnap
+	)
+	takeSnap := func() {
+		snap := r.Snapshot()
+		if snap.Version() != r.Version() {
+			t.Errorf("snapshot version %d != head version %d at capture", snap.Version(), r.Version())
+		}
+		mu.Lock()
+		pins = append(pins, pinnedSnap{snap: snap, want: imageOf(r)})
+		mu.Unlock()
+	}
+	takeSnap() // version 0 is pinned for the whole run
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				p := pins[rng.Intn(len(pins))]
+				mu.Unlock()
+				if err := checkSnapshot(p.snap, p.want); err != nil {
+					t.Error(err)
+					return
+				}
+				// Snapshots refuse mutations outright.
+				if err := p.snap.Delete(0); !errors.Is(err, ErrImmutable) {
+					t.Errorf("Delete on snapshot: err = %v, want ErrImmutable", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// The mutator runs on the test goroutine: it is the only writer, so
+	// imageOf captures between its ops are consistent by construction.
+	rng := rand.New(rand.NewSource(42))
+	id := int64(1000)
+	for op := 0; op < ops && !t.Failed(); op++ {
+		live := r.AllRows()
+		switch k := rng.Float64(); {
+		case k < 0.35 || len(live) < 10:
+			r.mustAppend(I(id), F(rng.Float64()*100), S(string(rune('a'+id%26))))
+			id++
+		case k < 0.55:
+			if err := r.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+		case k < 0.9:
+			row := live[rng.Intn(len(live))]
+			if err := r.Set(row, 1, F(-rng.Float64())); err != nil {
+				t.Fatalf("op %d set: %v", op, err)
+			}
+		default:
+			// Compaction renumbers head in place; every pinned snapshot
+			// must keep its own pre-compaction row set.
+			r.Compact()
+		}
+		if op%snapEvery == 0 {
+			takeSnap()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: every snapshot taken during the run still matches its
+	// serial twin, oldest (pre-mutation) first.
+	for i, p := range pins {
+		if err := checkSnapshot(p.snap, p.want); err != nil {
+			t.Errorf("pin %d after quiesce: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotAcrossCompactKeepsRowSet pins the compaction corner
+// deterministically: a snapshot taken before Compact must keep serving
+// the old row numbering and values after head renumbers.
+func TestSnapshotAcrossCompactKeepsRowSet(t *testing.T) {
+	r := compactFixture(t, 10)
+	for _, row := range []int{1, 4, 7} {
+		if err := r.Delete(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	want := imageOf(r)
+
+	if remap := r.Compact(); remap == nil {
+		t.Fatal("Compact returned nil remap with tombstones present")
+	}
+	if err := checkSnapshot(snap, want); err != nil {
+		t.Fatalf("after head compact: %v", err)
+	}
+	// Head moved on; the snapshot's version must still be its own.
+	if snap.Version() == r.Version() {
+		t.Fatalf("snapshot version %d tracked head across Compact", snap.Version())
+	}
+	// A snapshot taken after the compaction sees the new numbering.
+	if err := checkSnapshot(r.Snapshot(), imageOf(r)); err != nil {
+		t.Fatalf("post-compact snapshot: %v", err)
+	}
+}

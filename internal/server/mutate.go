@@ -181,12 +181,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		updVals = append(updVals, vals)
 	}
 
-	// Mutations take the dataset write lock, so they wait on in-flight
-	// solves; run them through the same admission control as queries so
-	// ingestion bursts shed load at the edge too.
+	// Mutations are admitted through the ingest QoS class — their own
+	// token bucket, so an ingestion burst sheds load at the edge without
+	// consuming solve slots (solves run against pinned snapshots and
+	// never wait on ingest either way).
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
-	release := s.admit(ctx, w)
+	release := s.admit(ctx, w, s.ingest, ds.Name())
 	if release == nil {
 		return
 	}

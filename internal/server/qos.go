@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// qosClass is one admission token bucket. The server runs two — solve
+// (POST /query) and ingest (POST /datasets/{name}/rows) — so a
+// saturating mutation stream competes for its own slots and can never
+// starve solves of admission, and vice versa. Within a class, slots are
+// shared with per-dataset fairness: while any other dataset has
+// requests waiting, a dataset is clamped to an equal split of the
+// class's slots (minimum one), but a lone-demand dataset may use the
+// whole class (the clamp is work-conserving).
+type qosClass struct {
+	name      string
+	max       int // concurrent slots
+	maxQueued int // admitted beyond max, waiting for a slot
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inFlight int
+	queued   int
+	held     map[string]int // slots held, per dataset
+	demand   map[string]int // held + waiting, per dataset
+
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	expired   atomic.Uint64 // deadlines fired while queued
+	deferrals atomic.Uint64 // waits imposed solely by the fairness clamp
+	waitNanos atomic.Int64
+	maxWait   atomic.Int64
+}
+
+func newQoSClass(name string, max, maxQueued int) *qosClass {
+	q := &qosClass{
+		name:      name,
+		max:       max,
+		maxQueued: maxQueued,
+		held:      make(map[string]int),
+		demand:    make(map[string]int),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// fairCapLocked is the most slots one dataset may hold while another
+// dataset is waiting: an equal split of the class's slots among the
+// datasets currently demanding them, never below one (so every dataset
+// always makes progress).
+func (q *qosClass) fairCapLocked() int {
+	n := len(q.demand)
+	if n <= 1 {
+		return q.max
+	}
+	c := q.max / n
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// othersWaitingLocked reports whether a dataset other than the given
+// one has requests queued (demand beyond its held slots).
+func (q *qosClass) othersWaitingLocked(dataset string) bool {
+	for d, dem := range q.demand {
+		if d != dataset && dem > q.held[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// canRunLocked reports whether a request for the dataset may claim a
+// slot now: the class has capacity, and the dataset is within its fair
+// share whenever someone else is waiting.
+func (q *qosClass) canRunLocked(dataset string) bool {
+	if q.inFlight >= q.max {
+		return false
+	}
+	if q.held[dataset] >= q.fairCapLocked() && q.othersWaitingLocked(dataset) {
+		return false
+	}
+	return true
+}
+
+func (q *qosClass) dropDemandLocked(dataset string) {
+	if q.demand[dataset]--; q.demand[dataset] <= 0 {
+		delete(q.demand, dataset)
+	}
+}
+
+// qosRefusal is why admission failed, ready to write as an HTTP error.
+type qosRefusal struct {
+	status int
+	msg    string
+}
+
+// admit claims a slot for one request of the given dataset, waiting in
+// the class's queue when the bucket is exhausted or the dataset is over
+// its fair share. It returns a release function, or a refusal (queue
+// overflow, or the context's deadline fired while queued).
+func (q *qosClass) admit(ctx context.Context, dataset string) (func(), *qosRefusal) {
+	q.mu.Lock()
+	if q.inFlight+q.queued >= q.max+q.maxQueued {
+		q.mu.Unlock()
+		q.rejected.Add(1)
+		return nil, &qosRefusal{
+			status: http.StatusTooManyRequests,
+			msg:    fmt.Sprintf("%s admission queue full (%d in flight + queued)", q.name, q.max+q.maxQueued),
+		}
+	}
+	q.queued++
+	q.demand[dataset]++
+	if !q.canRunLocked(dataset) {
+		// The wait below is fairness-imposed when capacity exists but the
+		// dataset is clamped to its share; count those separately so the
+		// clamp's effect is observable in /stats.
+		fairOnly := q.inFlight < q.max
+		// Cond waits cannot watch a context, so a watcher broadcasts when
+		// the deadline fires; the lock/unlock pair makes sure the waiter
+		// is parked (or has re-checked ctx.Err) before the broadcast.
+		stop := context.AfterFunc(ctx, func() {
+			q.mu.Lock()
+			//lint:ignore SA2001 empty critical section pairs the broadcast with parked waiters
+			q.mu.Unlock()
+			q.cond.Broadcast()
+		})
+		t0 := time.Now()
+		for !q.canRunLocked(dataset) && ctx.Err() == nil {
+			q.cond.Wait()
+		}
+		stop()
+		wait := int64(time.Since(t0))
+		q.waitNanos.Add(wait)
+		for {
+			cur := q.maxWait.Load()
+			if wait <= cur || q.maxWait.CompareAndSwap(cur, wait) {
+				break
+			}
+		}
+		if fairOnly {
+			q.deferrals.Add(1)
+		}
+		if ctx.Err() != nil {
+			q.queued--
+			q.dropDemandLocked(dataset)
+			q.mu.Unlock()
+			q.expired.Add(1)
+			return nil, &qosRefusal{status: http.StatusGatewayTimeout, msg: "deadline expired while queued"}
+		}
+	}
+	q.queued--
+	q.inFlight++
+	q.held[dataset]++
+	q.mu.Unlock()
+	q.admitted.Add(1)
+	return func() {
+		q.mu.Lock()
+		q.inFlight--
+		if q.held[dataset]--; q.held[dataset] <= 0 {
+			delete(q.held, dataset)
+		}
+		q.dropDemandLocked(dataset)
+		q.mu.Unlock()
+		q.cond.Broadcast()
+	}, nil
+}
+
+// QoSStats is the wire form of one admission class under /stats "qos".
+type QoSStats struct {
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueued   int `json:"max_queued"`
+	InFlight    int `json:"in_flight"`
+	Queued      int `json:"queued"`
+	// Admitted counts requests that claimed a slot; Rejected overflows
+	// of the class's queue; DeadlineExpired deadlines that fired while
+	// queued.
+	Admitted        uint64 `json:"admitted_total"`
+	Rejected        uint64 `json:"rejected_total"`
+	DeadlineExpired uint64 `json:"deadline_expired_total"`
+	// FairnessDeferrals counts waits imposed solely by the per-dataset
+	// fair-share clamp (capacity existed, the dataset was over its
+	// split while others queued).
+	FairnessDeferrals uint64  `json:"fairness_deferrals_total"`
+	WaitMSTotal       float64 `json:"wait_ms_total"`
+	MaxWaitMS         float64 `json:"max_wait_ms"`
+	// Datasets breaks the class's current occupancy down per dataset.
+	Datasets map[string]QoSDatasetStats `json:"datasets,omitempty"`
+}
+
+// QoSDatasetStats is one dataset's current occupancy of a class.
+type QoSDatasetStats struct {
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+}
+
+func (q *qosClass) stats() QoSStats {
+	q.mu.Lock()
+	st := QoSStats{
+		MaxInFlight: q.max,
+		MaxQueued:   q.maxQueued,
+		InFlight:    q.inFlight,
+		Queued:      q.queued,
+	}
+	if len(q.demand) > 0 {
+		st.Datasets = make(map[string]QoSDatasetStats, len(q.demand))
+		for d, dem := range q.demand {
+			st.Datasets[d] = QoSDatasetStats{InFlight: q.held[d], Queued: dem - q.held[d]}
+		}
+	}
+	q.mu.Unlock()
+	st.Admitted = q.admitted.Load()
+	st.Rejected = q.rejected.Load()
+	st.DeadlineExpired = q.expired.Load()
+	st.FairnessDeferrals = q.deferrals.Load()
+	st.WaitMSTotal = float64(q.waitNanos.Load()) / float64(time.Millisecond)
+	st.MaxWaitMS = float64(q.maxWait.Load()) / float64(time.Millisecond)
+	return st
+}

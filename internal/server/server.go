@@ -13,9 +13,12 @@
 //
 //   - no user input can panic the process — parse/translate errors are
 //     400s, unknown datasets 404s, infeasibility a structured verdict;
-//   - admission control bounds the in-flight solves and the waiting
-//     queue; overflow is refused immediately with 429 so load sheds at
-//     the edge instead of piling onto the solver;
+//   - admission control is two QoS classes — solve and ingest token
+//     buckets with per-dataset fairness — so a mutation storm cannot
+//     starve queries of admission (solves additionally run against
+//     pinned relation snapshots, so ingest never blocks them mid-solve);
+//     overflow of either class is refused immediately with 429 so load
+//     sheds at the edge instead of piling onto the solver;
 //   - every request carries a deadline mapped to context cancellation
 //     that reaches the simplex iterations of an in-flight solve;
 //   - shutdown drains in-flight solves before returning.
@@ -54,6 +57,14 @@ type Config struct {
 	// a solve slot. 0 means 4×MaxInFlight; negative means no queue (a
 	// request either gets a slot immediately or is refused).
 	MaxQueued int
+	// IngestMaxInFlight bounds concurrently applying mutation batches —
+	// the ingest QoS class, separate from the solve class so a
+	// saturating mutation stream cannot consume solve slots (nor the
+	// reverse). 0 means MaxInFlight.
+	IngestMaxInFlight int
+	// IngestMaxQueued bounds mutation requests waiting for an ingest
+	// slot. 0 means 4×IngestMaxInFlight; negative means no queue.
+	IngestMaxQueued int
 	// DefaultTimeout applies when a request carries no timeout_ms;
 	// 0 means 30s.
 	DefaultTimeout time.Duration
@@ -80,6 +91,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueued < 0 {
 		c.MaxQueued = 0
 	}
+	if c.IngestMaxInFlight <= 0 {
+		c.IngestMaxInFlight = c.MaxInFlight
+	}
+	if c.IngestMaxQueued == 0 {
+		c.IngestMaxQueued = 4 * c.IngestMaxInFlight
+	}
+	if c.IngestMaxQueued < 0 {
+		c.IngestMaxQueued = 0
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -105,8 +125,11 @@ type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 
-	slots    chan struct{} // in-flight solve slots
-	admitted atomic.Int64  // in-flight + queued
+	// solve and ingest are the two admission (QoS) classes: queries and
+	// mutation batches hold slots from separate token buckets with
+	// per-dataset fairness inside each (see qos.go).
+	solve  *qosClass
+	ingest *qosClass
 
 	// lifeMu guards the drain state. A plain WaitGroup would be unsafe:
 	// WaitGroup.Add may not race Wait, and a request can arrive at the
@@ -158,7 +181,8 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		start:    time.Now(),
 		datasets: make(map[string]*Dataset),
-		slots:    make(chan struct{}, cfg.MaxInFlight),
+		solve:    newQoSClass("solve", cfg.MaxInFlight, cfg.MaxQueued),
+		ingest:   newQoSClass("ingest", cfg.IngestMaxInFlight, cfg.IngestMaxQueued),
 	}
 }
 
@@ -277,8 +301,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-idle:
 		return nil
 	case <-ctx.Done():
+		s.lifeMu.Lock()
+		active := s.active
+		s.lifeMu.Unlock()
 		return fmt.Errorf("server: shutdown with %d request(s) still in flight: %w",
-			s.admitted.Load(), ctx.Err())
+			active, ctx.Err())
 	}
 }
 
@@ -476,6 +503,9 @@ type QueryResponse struct {
 	ObjValue  float64 `json:"obj_value,omitempty"`
 	Size      int     `json:"size,omitempty"`
 	Distinct  int     `json:"distinct,omitempty"`
+	// Version is the dataset version the solve was pinned at — the
+	// MVCC read point; every value above reflects exactly that version.
+	Version uint64 `json:"version,omitempty"`
 	// Truncated reports a budget-limited incumbent: feasible, but
 	// possibly suboptimal. Mirrors paqlcli's nonzero-exit contract.
 	Truncated bool `json:"truncated,omitempty"`
@@ -513,31 +543,24 @@ func (s *Server) failf(w http.ResponseWriter, status int, format string, args ..
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// admit claims an admission ticket and then a solve slot. It returns a
-// release function, or writes the refusal (429 on overflow, 503 while
-// draining, 504 when the deadline fires while queued) and returns nil.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter) func() {
-	limit := int64(s.cfg.MaxInFlight + s.cfg.MaxQueued)
-	if s.admitted.Add(1) > limit {
-		s.admitted.Add(-1)
+// admit claims a slot from the given QoS class for one request of the
+// named dataset. It returns a release function, or writes the refusal
+// (429 on class-queue overflow, 504 when the deadline fires while
+// queued) and returns nil.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, q *qosClass, dataset string) func() {
+	release, ref := q.admit(ctx, dataset)
+	if ref == nil {
+		return release
+	}
+	switch ref.status {
+	case http.StatusTooManyRequests:
 		s.ctr.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
-		s.failf(w, http.StatusTooManyRequests,
-			"admission queue full (%d in flight + queued)", limit)
-		return nil
-	}
-	select {
-	case s.slots <- struct{}{}:
-		return func() {
-			<-s.slots
-			s.admitted.Add(-1)
-		}
-	case <-ctx.Done():
-		s.admitted.Add(-1)
+	case http.StatusGatewayTimeout:
 		s.ctr.timeouts.Add(1)
-		s.failf(w, http.StatusGatewayTimeout, "deadline expired while queued")
-		return nil
 	}
+	s.failf(w, ref.status, "%s", ref.msg)
+	return nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -625,7 +648,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	release := s.admit(ctx, w)
+	release := s.admit(ctx, w, s.solve, req.Dataset)
 	if release == nil {
 		return
 	}
@@ -695,6 +718,7 @@ func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt
 	resp.ObjValue = obj
 	resp.Size = res.Size
 	resp.Distinct = res.Distinct
+	resp.Version = res.Version
 	resp.Rows = make([]PackageRow, len(res.Rows))
 	for i, row := range res.Rows {
 		resp.Rows[i] = PackageRow{Row: row, Mult: res.Mult[i]}
@@ -742,11 +766,15 @@ type StatsResponse struct {
 	RowsUpdated  uint64 `json:"rows_updated"`
 	// Compactions and Snapshots count background-maintenance actions
 	// (tombstone reclamation and WAL-driven snapshots).
-	Compactions uint64                  `json:"compactions"`
-	Snapshots   uint64                  `json:"snapshots"`
-	InFlight    int                     `json:"in_flight"`
-	Queued      int                     `json:"queued"`
-	Draining    bool                    `json:"draining"`
+	Compactions uint64 `json:"compactions"`
+	Snapshots   uint64 `json:"snapshots"`
+	// InFlight and Queued mirror the solve class's occupancy (the
+	// pre-QoS wire fields); QoS carries the full per-class breakdown
+	// ("solve" and "ingest" buckets with per-dataset fairness counters).
+	InFlight int                 `json:"in_flight"`
+	Queued   int                 `json:"queued"`
+	QoS      map[string]QoSStats `json:"qos"`
+	Draining bool                `json:"draining"`
 	SolveTimeMS float64                 `json:"solve_time_ms_total"`
 	Backtracks  uint64                  `json:"backtracks_total"`
 	Subproblems uint64                  `json:"subproblems_total"`
@@ -766,6 +794,11 @@ type DatasetStats struct {
 	// Maintenance is the cumulative incremental partition-maintenance
 	// work performed on the dataset's live partitionings.
 	Maintenance MaintJSON `json:"maintenance"`
+	// Pinning reports how this dataset's solves interacted with the
+	// mutation lock while pinning their snapshots: pin count, and the
+	// total / worst-case read-lock wait. max_wait_ms staying bounded by
+	// one batch apply is the observable "ingest never blocks solves".
+	Pinning PinJSON `json:"pinning"`
 	// Durability describes the dataset's persistence state (absent for
 	// in-memory datasets).
 	Durability *DurJSON              `json:"durability,omitempty"`
@@ -819,6 +852,21 @@ func durJSON(d paq.DurStats) *DurJSON {
 	}
 }
 
+// PinJSON is the wire form of paq.PinStats.
+type PinJSON struct {
+	Pins        uint64  `json:"pins"`
+	WaitMSTotal float64 `json:"wait_ms_total"`
+	MaxWaitMS   float64 `json:"max_wait_ms"`
+}
+
+func pinJSON(p paq.PinStats) PinJSON {
+	return PinJSON{
+		Pins:        p.Pins,
+		WaitMSTotal: float64(p.WaitTotal) / float64(time.Millisecond),
+		MaxWaitMS:   float64(p.WaitMax) / float64(time.Millisecond),
+	}
+}
+
 // CacheStats is the wire form of paq.CacheStats.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
@@ -832,12 +880,8 @@ type CacheStats struct {
 
 // Stats snapshots the service counters (also served at GET /stats).
 func (s *Server) Stats() StatsResponse {
-	inFlight := len(s.slots)
-	admitted := int(s.admitted.Load())
-	queued := admitted - inFlight
-	if queued < 0 {
-		queued = 0
-	}
+	solveStats := s.solve.stats()
+	ingestStats := s.ingest.stats()
 	resp := StatsResponse{
 		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
 		Queries:      s.ctr.queries.Load(),
@@ -856,8 +900,9 @@ func (s *Server) Stats() StatsResponse {
 		RowsUpdated:  s.ctr.rowsUpdated.Load(),
 		Compactions:  s.ctr.compactions.Load(),
 		Snapshots:    s.ctr.snapshots.Load(),
-		InFlight:     inFlight,
-		Queued:       queued,
+		InFlight:     solveStats.InFlight,
+		Queued:       solveStats.Queued,
+		QoS:          map[string]QoSStats{"solve": solveStats, "ingest": ingestStats},
 		Draining:     s.isDraining(),
 		SolveTimeMS:  float64(s.ctr.solveNanos.Load()) / float64(time.Millisecond),
 		Backtracks:   s.ctr.backtracks.Load(),
@@ -876,6 +921,7 @@ func (s *Server) Stats() StatsResponse {
 			Rows:        ds.Rel().Live(),
 			Version:     ds.Version(),
 			Maintenance: maintJSON(ds.Session().MaintStats()),
+			Pinning:     pinJSON(ds.Session().PinStats()),
 			Durability:  durJSON(ds.DurStats()),
 			Caches:      make(map[string]CacheStats),
 		}

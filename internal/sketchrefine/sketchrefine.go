@@ -151,7 +151,11 @@ func EvaluateCtx(ctx context.Context, spec *core.Spec, part *partition.Partition
 	if err := spec.Validate(); err != nil {
 		return nil, stats, err
 	}
-	if part.Rel != spec.Rel {
+	// Identity + version equality, not pointer equality: a solve pinned
+	// to a relation snapshot runs against a partitioning view whose Rel
+	// is a (possibly different) snapshot of the same dataset at the same
+	// version — the row indices line up exactly.
+	if part.Rel.Identity() != spec.Rel.Identity() || part.Rel.Version() != spec.Rel.Version() {
 		return nil, stats, fmt.Errorf("sketchrefine: partitioning was built over a different relation")
 	}
 	// Sub-problems accept budget-limited incumbents: SketchRefine's

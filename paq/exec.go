@@ -52,6 +52,11 @@ type Result struct {
 	// Size is the package cardinality (Σ multiplicities); Distinct the
 	// number of distinct tuples.
 	Size, Distinct int
+	// Version is the relation version the solve was pinned at: the
+	// whole execution — row set, constraints, objective — reflects
+	// exactly the dataset as of this version, no matter what mutations
+	// ran concurrently.
+	Version uint64
 	// Stats records the evaluation work (cache hits carry the original
 	// solve's stats).
 	Stats *Stats
@@ -131,12 +136,26 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 	}
 	t0 := time.Now()
 
-	// The whole evaluation — solve, incumbent callbacks, objective
-	// re-evaluation — runs under the dataset read lock, so mutations
-	// serialize against it (and must not be issued from inside a
-	// WithIncumbent callback, which would self-deadlock).
-	st.sess.dataMu.RLock()
-	defer st.sess.dataMu.RUnlock()
+	// Pin the execution: a brief read lock captures an immutable
+	// relation snapshot (and, for SketchRefine, a partitioning view at
+	// the same version), then the solve runs lock-free against the
+	// frozen state — a concurrent ingest stream proceeds on head and
+	// never stalls behind this solve. Incumbent callbacks run outside
+	// any session lock, so they may issue mutations.
+	pin, err := st.sess.pinExec(st)
+	if err != nil {
+		return nil, err
+	}
+	// Rebind the compiled spec to the snapshot (shallow copy: predicates
+	// and coefficients bind by attribute name at evaluation time). The
+	// solution cache keys on the relation's identity and version, so
+	// snapshot-bound solves share entries with head-bound ones.
+	spec := st.spec
+	if pin.snap != st.spec.Rel {
+		sc := *st.spec
+		sc.Rel = pin.snap
+		spec = &sc
+	}
 
 	// The incumbent hook: incumbents are always counted (Result and the
 	// session's anytime counter) and forwarded to the caller when asked.
@@ -171,22 +190,10 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 	bespoke := ec.rows != nil || ec.seedSet
 	var res engine.Result
 	if bespoke {
-		res = st.executeBespoke(ctx, ec, hook)
+		res = st.executeBespoke(ctx, ec, spec, pin, hook)
 	} else {
-		part := st.part
-		if st.method == MethodSketchRefine {
-			// Re-resolve the partitioning by attribute set: the advisor's
-			// maintenance pass may have evicted the one the plan captured,
-			// and refining over an evicted copy would read row indices a
-			// later compaction has renumbered.
-			live, err := st.sess.livePartitioning(st.part)
-			if err != nil {
-				return nil, err
-			}
-			part = live
-		}
-		eng := st.sess.engineFor(st.method, part)
-		res = eng.EvaluateStream(ctx, st.spec, hook)
+		eng := st.sess.engineFor(st.method, pin.part)
+		res = eng.EvaluateStreamView(ctx, spec, pin.view, hook)
 	}
 	if res.Err != nil {
 		// A canceled caller says nothing about the method; everything else
@@ -215,15 +222,19 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 		Mult:       append([]int(nil), res.Pkg.Mult...),
 		Size:       res.Pkg.Size(),
 		Distinct:   res.Pkg.Distinct(),
+		Version:    spec.Rel.Version(),
 		Stats:      res.Stats,
 		Truncated:  res.Stats != nil && res.Stats.Truncated,
 		Cached:     res.Cached,
 		Time:       res.Time,
 		Incumbents: nInc,
 		pkg:        res.Pkg,
-		spec:       st.spec,
+		spec:       spec,
 	}
-	obj, err := res.Pkg.ObjectiveValue(st.spec)
+	// Evaluate the objective against the pinned snapshot, not head: a
+	// mutation racing this solve must not make the reported objective
+	// disagree with the version the package was chosen at.
+	obj, err := res.Pkg.ObjectiveValue(spec)
 	if err != nil {
 		return nil, mapEvalErr(err)
 	}
@@ -250,8 +261,9 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 
 // executeBespoke runs row-subset or reseeded executions outside the
 // engine path (their answers are not cacheable under the statement's
-// key).
-func (st *Stmt) executeBespoke(ctx context.Context, ec execCfg, hook core.IncumbentFunc) engine.Result {
+// key). spec is the snapshot-bound spec and pin the pinned state, so
+// bespoke solves are as lock-free as engine ones.
+func (st *Stmt) executeBespoke(ctx context.Context, ec execCfg, spec *core.Spec, pin pinned, hook core.IncumbentFunc) engine.Result {
 	t0 := time.Now()
 	fail := func(err error) engine.Result {
 		return engine.Result{Err: err, Time: time.Since(t0)}
@@ -260,10 +272,7 @@ func (st *Stmt) executeBespoke(ctx context.Context, ec execCfg, hook core.Incumb
 	case MethodNaive:
 		return fail(fmt.Errorf("%w: naive evaluation over row subsets", ErrUnsupported))
 	case MethodSketchRefine:
-		part, err := st.sess.livePartitioning(st.part)
-		if err != nil {
-			return fail(err)
-		}
+		part := pin.view
 		if ec.rows != nil {
 			part = part.Restrict(ec.rows)
 		}
@@ -272,14 +281,14 @@ func (st *Stmt) executeBespoke(ctx context.Context, ec execCfg, hook core.Incumb
 			opt.Seed = ec.seed
 		}
 		opt.OnIncumbent = hook
-		pkg, stats, err := sketchrefine.EvaluateCtx(ctx, st.spec, part, opt)
+		pkg, stats, err := sketchrefine.EvaluateCtx(ctx, spec, part, opt)
 		return engine.Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
 	default: // direct
-		rows := st.spec.BaseRows()
+		rows := spec.BaseRows()
 		if ec.rows != nil {
-			rows = st.spec.FilterRows(ec.rows)
+			rows = spec.FilterRows(ec.rows)
 		}
-		pkg, stats, err := core.SolveRowsStream(ctx, st.spec, rows, nil, st.sess.cfg.solverOptions(), 0, hook)
+		pkg, stats, err := core.SolveRowsStream(ctx, spec, rows, nil, st.sess.cfg.solverOptions(), 0, hook)
 		return engine.Result{Pkg: pkg, Stats: stats, Err: err, Time: time.Since(t0)}
 	}
 }

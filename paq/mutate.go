@@ -44,8 +44,10 @@ func (s *Session) Version() uint64 {
 // Prepared statements stay valid across mutations: their next Execute
 // sees the new data, and solution-cache entries for older versions stop
 // matching (they are reclaimed, counted in CacheStats.Invalidations).
-// Do not call mutation methods from a WithIncumbent callback — the
-// callback runs under the session's read lock and would deadlock.
+// Mutations and solves do not block each other: a solve pins an
+// immutable relation snapshot and runs lock-free (so mutation methods
+// may even be called from a WithIncumbent callback), while mutations
+// take the narrow write lock only for the apply itself.
 func (s *Session) InsertRows(rows [][]relation.Value) ([]int, uint64, error) {
 	s.dataMu.Lock()
 	if len(rows) == 0 {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/core"
@@ -68,10 +69,18 @@ type Session struct {
 	cfg config
 
 	// dataMu serializes dataset mutations (InsertRows, DeleteRows,
-	// UpdateRows — write side) against the solve path (Prepare and
-	// Execute — read side). It is shared by every Clone of the session,
-	// since clones share the relation and its partitionings.
+	// UpdateRows — write side) against snapshot pinning and planning
+	// (Prepare, and the brief pin at the start of Execute — read side).
+	// It is shared by every Clone of the session, since clones share the
+	// relation and its partitionings. Solves do NOT run under it: they
+	// pin an immutable relation snapshot (plus a partitioning view) and
+	// evaluate lock-free, so a mutation stream never stalls behind an
+	// in-flight solve and vice versa.
 	dataMu *sync.RWMutex
+
+	// pin caches the current-version relation snapshot, shared by every
+	// Clone (one snapshot per relation version serves all siblings).
+	pin *pinCache
 
 	mu        sync.Mutex
 	parts     map[string]*lazyPart
@@ -130,6 +139,80 @@ func (sb *siblings) list() []*Session {
 	return append([]*Session(nil), sb.all...)
 }
 
+// pinCache caches one immutable relation snapshot per version so that
+// pinning a solve at steady state (no mutation since the last pin) is
+// a single atomic load — no allocation, no copying. It is shared by
+// every Clone of a session, exactly like the relation it snapshots.
+type pinCache struct {
+	// mu serializes snapshot creation (Relation.Snapshot writes the
+	// head's copy-on-write flags, so concurrent read-locked pinners must
+	// not race it).
+	mu   sync.Mutex
+	snap atomic.Pointer[relation.Relation]
+
+	// pins counts executions pinned; waitNanos and maxWait record the
+	// time spent acquiring the dataset read lock while pinning — the
+	// only instant a solve can wait on the mutation lock, so a bounded
+	// maxWait is the observable proof that ingest never blocks solves
+	// for longer than one in-flight batch apply.
+	pins      atomic.Uint64
+	waitNanos atomic.Int64
+	maxWait   atomic.Int64
+}
+
+// observeWait records one pin's lock-acquisition wait.
+func (pc *pinCache) observeWait(wait time.Duration) {
+	pc.pins.Add(1)
+	w := int64(wait)
+	pc.waitNanos.Add(w)
+	for {
+		cur := pc.maxWait.Load()
+		if w <= cur || pc.maxWait.CompareAndSwap(cur, w) {
+			return
+		}
+	}
+}
+
+// PinStats reports how executions interacted with the mutation lock
+// while pinning their snapshots. Pins counts pinned executions (shared
+// across Clones, like the snapshot cache itself); WaitTotal and WaitMax
+// are the cumulative and worst-case time an execution spent acquiring
+// the dataset read lock before its solve went lock-free. A WaitMax
+// bounded by one mutation batch's apply time is the expected steady
+// state; large values mean solves are stalling behind ingest.
+type PinStats struct {
+	Pins      uint64
+	WaitTotal time.Duration
+	WaitMax   time.Duration
+}
+
+// PinStats snapshots the session's pin-wait counters.
+func (s *Session) PinStats() PinStats {
+	return PinStats{
+		Pins:      s.pin.pins.Load(),
+		WaitTotal: time.Duration(s.pin.waitNanos.Load()),
+		WaitMax:   time.Duration(s.pin.maxWait.Load()),
+	}
+}
+
+// at returns the cached snapshot of rel at its current version,
+// refreshing the cache if a mutation has moved the version since the
+// last pin. The caller must hold the dataset read lock (so the version
+// cannot move underneath the check).
+func (pc *pinCache) at(rel *relation.Relation) *relation.Relation {
+	if snap := pc.snap.Load(); snap != nil && snap.Version() == rel.Version() {
+		return snap
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if snap := pc.snap.Load(); snap != nil && snap.Version() == rel.Version() {
+		return snap
+	}
+	snap := rel.Snapshot()
+	pc.snap.Store(snap)
+	return snap
+}
+
 // lazyPart builds one partitioning at most once, racing callers
 // blocking on the same build. Once built, maint maintains it
 // incrementally under dataset mutations (created on the first
@@ -145,6 +228,29 @@ type lazyPart struct {
 	// atomic Load after the builder's Store gives the happens-before
 	// needed to read part lock-free.
 	built atomic.Bool
+	// view caches the frozen partitioning view bound to the current
+	// pinned relation snapshot. Snapshot pointers are one-per-version
+	// (see pinCache), so pointer equality on view.Rel is exactly "view
+	// is current". viewMu serializes rebuilds after a mutation.
+	viewMu sync.Mutex
+	view   atomic.Pointer[partition.Partitioning]
+}
+
+// viewAt returns (building at most once per version) the frozen view of
+// lp.part bound to the pinned snapshot snap. The caller must hold the
+// dataset read lock and have pinned snap under that same lock.
+func (lp *lazyPart) viewAt(snap *relation.Relation) *partition.Partitioning {
+	if v := lp.view.Load(); v != nil && v.Rel == snap {
+		return v
+	}
+	lp.viewMu.Lock()
+	defer lp.viewMu.Unlock()
+	if v := lp.view.Load(); v != nil && v.Rel == snap {
+		return v
+	}
+	v := lp.part.View(snap)
+	lp.view.Store(v)
+	return v
 }
 
 // Open loads and validates the input relation and returns a session
@@ -212,6 +318,7 @@ func Open(src Source, opts ...Option) (*Session, error) {
 		rel:     rel,
 		cfg:     cfg,
 		dataMu:  &sync.RWMutex{},
+		pin:     &pinCache{},
 		parts:   make(map[string]*lazyPart),
 		engines: make(map[string]*engine.Engine),
 		st:      st,
@@ -276,6 +383,7 @@ func (s *Session) Clone(opts ...Option) (*Session, error) {
 		rel:     s.rel,
 		cfg:     cfg,
 		dataMu:  s.dataMu, // clones share the relation, so they share its lock
+		pin:     s.pin,    // ...and its snapshot cache (one snapshot per version)
 		parts:   make(map[string]*lazyPart),
 		engines: make(map[string]*engine.Engine),
 		st:      s.st,   // ...and its durability store (one WAL per relation)
@@ -466,17 +574,75 @@ func (s *Session) observeAttrDemand(attrs []string) {
 // would read stale row indices after a compaction, so Execute always
 // goes through the live map (rebuilding on a miss).
 func (s *Session) livePartitioning(planned *partition.Partitioning) (*partition.Partitioning, error) {
+	lp, err := s.livePart(planned, "")
+	if err != nil {
+		return nil, err
+	}
+	return lp.part, nil
+}
+
+// livePart is livePartitioning returning the lazyPart wrapper, which
+// additionally carries the per-version frozen view cache solves pin.
+// key, when non-empty, is the precomputed partKey(planned.Attrs) — the
+// hot pin path passes the one cached on the statement so steady-state
+// pinning allocates nothing.
+func (s *Session) livePart(planned *partition.Partitioning, key string) (*lazyPart, error) {
 	if planned == nil {
 		return nil, fmt.Errorf("paq: no partitioning planned")
 	}
-	key := partKey(planned.Attrs)
+	if key == "" {
+		key = partKey(planned.Attrs)
+	}
 	s.mu.Lock()
 	lp, ok := s.parts[key]
 	s.mu.Unlock()
 	if ok && lp.built.Load() {
-		return lp.part, nil
+		return lp, nil
 	}
-	return s.partitioningFor(planned.Attrs)
+	if _, err := s.partitioningFor(planned.Attrs); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	lp = s.parts[key]
+	s.mu.Unlock()
+	return lp, nil
+}
+
+// pinned is everything one execution needs to solve lock-free: an
+// immutable relation snapshot and — for SketchRefine — the live head
+// partitioning (the engine's cache identity) plus a frozen view of it
+// bound to the snapshot. All three are captured under one read-lock
+// acquisition, so they are mutually consistent at one version.
+type pinned struct {
+	snap *relation.Relation
+	part *partition.Partitioning // live head partitioning (engine identity)
+	view *partition.Partitioning // frozen view over snap (SketchRefine only)
+}
+
+// pinExec pins the statement's execution: a brief read lock captures
+// the snapshot and partitioning view, then the lock is dropped and the
+// solve proceeds against the frozen state while ingest continues on
+// head. Steady state (no mutation since the last pin) allocates
+// nothing — the cached snapshot and view are reused.
+func (s *Session) pinExec(st *Stmt) (pinned, error) {
+	t0 := time.Now()
+	s.dataMu.RLock()
+	s.pin.observeWait(time.Since(t0))
+	defer s.dataMu.RUnlock()
+	p := pinned{snap: s.pin.at(s.rel)}
+	if st.method == MethodSketchRefine {
+		// Re-resolve the partitioning by attribute set: the advisor's
+		// maintenance pass may have evicted the one the plan captured,
+		// and refining over an evicted copy would read row indices a
+		// later compaction has renumbered.
+		lp, err := s.livePart(st.part, st.partCacheKey)
+		if err != nil {
+			return pinned{}, err
+		}
+		p.part = lp.part
+		p.view = lp.viewAt(p.snap)
+	}
+	return p, nil
 }
 
 // sessionPartitioning is the session-wide partitioning: the configured

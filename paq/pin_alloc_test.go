@@ -1,0 +1,80 @@
+package paq
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/reltest"
+)
+
+const pinAllocQuery = `
+SELECT PACKAGE(I) AS P FROM items I REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.cost) <= 20
+MAXIMIZE SUM(P.gain)`
+
+func pinFixture(t *testing.T, opts ...Option) (*Session, *Stmt) {
+	t.Helper()
+	rel := relation.New("items", reltest.Schema(
+		relation.Column{Name: "cost", Type: relation.Float},
+		relation.Column{Name: "gain", Type: relation.Float},
+	))
+	for i := 0; i < 120; i++ {
+		reltest.Append(rel, relation.F(1+float64(i%9)), relation.F(1+float64((i*7)%11)))
+	}
+	s, err := Open(Table(rel), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := s.Prepare(pinAllocQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, stmt
+}
+
+// Pinning an execution at steady state (no mutation since the last
+// pin) must allocate nothing: the cached snapshot — and for
+// SketchRefine the cached partitioning view — are reused, so the pin
+// is a read-lock acquisition plus atomic loads. This is what makes
+// "solves never block ingest" cheap enough to do on every Execute.
+func TestPinExecSteadyStateAllocateZero(t *testing.T) {
+	run := func(t *testing.T, s *Session, stmt *Stmt) {
+		t.Helper()
+		if _, err := s.pinExec(stmt); err != nil { // warm the caches
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			if _, err := s.pinExec(stmt); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("pinExec allocates %.1f per call at steady state, want 0", avg)
+		}
+
+		// One mutation moves the version: the first re-pin pays for the
+		// fresh snapshot (and view), then steady state resumes at zero.
+		if _, err := s.DeleteRows([]int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.pinExec(stmt); err != nil {
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			if _, err := s.pinExec(stmt); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("pinExec allocates %.1f per call after re-warming, want 0", avg)
+		}
+	}
+
+	t.Run("direct", func(t *testing.T) {
+		s, stmt := pinFixture(t, WithMethod(MethodDirect))
+		run(t, s, stmt)
+	})
+	t.Run("sketchrefine", func(t *testing.T) {
+		s, stmt := pinFixture(t,
+			WithMethod(MethodSketchRefine), WithTauTuples(40), WithWarmPartitioning())
+		run(t, s, stmt)
+	})
+}

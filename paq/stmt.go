@@ -31,9 +31,12 @@ type Stmt struct {
 	method Method
 	reason string
 	// part is the partitioning the statement refines over (nil unless
-	// the method is sketchrefine).
-	part *partition.Partitioning
-	plan *Plan
+	// the method is sketchrefine); partCacheKey is part's warm-set map
+	// key, precomputed so pinning an execution does not re-derive it
+	// (the pin path is allocation-free at steady state).
+	part         *partition.Partitioning
+	partCacheKey string
+	plan         *Plan
 	// shape is the advisor's structural query key (empty without an
 	// advisor); adaptive is the advisor's decision record for MethodAuto
 	// statements.
@@ -178,6 +181,9 @@ func (s *Session) Prepare(query string, opts ...Option) (*Stmt, error) {
 		return nil, err
 	}
 	st.buildPlan()
+	if st.part != nil {
+		st.partCacheKey = partKey(st.part.Attrs)
+	}
 	return st, nil
 }
 
