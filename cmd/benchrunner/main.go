@@ -46,13 +46,14 @@ func main() {
 		batchN   = flag.Int("batchn", 24, "number of queries in the batch experiment")
 		lgAddr   = flag.String("paqld", "", "loadgen: base URL of a running paqld (empty = start one in-process)")
 		lgN      = flag.Int("loadn", 64, "loadgen: number of concurrent queries")
+		lgObs    = flag.Bool("loadobs", true, "loadgen: run the observability checks (mid-run /metrics validation, /stats consistency, tracing-overhead gate)")
 		ingestN  = flag.Int("ingestops", 1000, "ingest: interleaved insert/delete operations before the differential check")
 		recoverN = flag.Int("recoverops", 1000, "recover: acknowledged mutations before the randomized crash becomes possible")
 		replN    = flag.Int("replops", 400, "repl: acknowledged leader mutations before the failover")
 		adviseW  = flag.Int("advisewarmup", 8, "advise: workload rounds the advisor learns over before measurement")
 		adviseR  = flag.Int("adviserounds", 3, "advise: measured workload rounds")
 		replF    = flag.Int("followers", 2, "repl: follower count (minimum 2)")
-	qosN     = flag.Int("qossolves", 48, "qos: measured solves per phase (quiescent and saturated)")
+		qosN     = flag.Int("qossolves", 48, "qos: measured solves per phase (quiescent and saturated)")
 		results  = flag.String("results", "", "write machine-readable experiment results (BENCH_results.json) to this path")
 	)
 	flag.Parse()
@@ -169,8 +170,11 @@ func main() {
 		// feasible + infeasible) at a paqld and differentially check every
 		// response against in-process engine evaluations. With -paqld set,
 		// the target must have been started with matching
-		// -galaxy/-tpch/-seed/-tau flags.
-		_, err := env.LoadGen(ctx, bench.LoadGenConfig{Addr: *lgAddr, N: *lgN})
+		// -galaxy/-tpch/-seed/-tau flags. Unless -loadobs=false, the run
+		// also validates the /metrics exposition mid-burst, cross-checks
+		// /stats against /metrics, and gates tracing overhead at 5% of
+		// p95 (recorded under the "loadgen" experiment for -results).
+		_, err := env.LoadGen(ctx, bench.LoadGenConfig{Addr: *lgAddr, N: *lgN, Obs: *lgObs})
 		return err
 	})
 	run("batch", func() error {

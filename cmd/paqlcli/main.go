@@ -7,7 +7,7 @@
 //	        [-data-dir state/] [-append extra.csv]
 //	        [-method auto|naive|direct|sketchrefine]
 //	        [-tau 0.1] [-timeout 60s] [-workers 0] [-racers 1] [-deadline 0]
-//	        [-explain] [-progress] [-out pkg.csv]
+//	        [-explain] [-progress] [-trace] [-out pkg.csv]
 //
 // The CSV header uses name:type fields (type f=float, i=int, s=string), as
 // written by the datagen tool and relation.WriteCSV. The chosen package is
@@ -29,6 +29,10 @@
 // shape, and the ILP size — without solving.
 // -progress streams improving incumbents (objective + elapsed time) to
 // stderr while the solve runs, the SDK's anytime-results hook.
+// -trace prints the execution's span tree to stderr after solving —
+// where the time went: plan, snapshot pin, solve (sketch, each refine
+// group, ILP iterations), objective — with per-span durations and each
+// span's share of its parent.
 //
 // Exit status: 0 for a proven optimum; 1 for operational failures
 // (I/O, infeasibility, timeouts); 2 for usage and PaQL parse errors —
@@ -64,6 +68,7 @@ type options struct {
 	deadline   time.Duration
 	explain    bool
 	progress   bool
+	trace      bool
 	outPath    string
 	verbose    bool
 }
@@ -112,6 +117,7 @@ func main() {
 	flag.DurationVar(&o.deadline, "deadline", 0, "overall evaluation deadline (0 = none)")
 	flag.BoolVar(&o.explain, "explain", false, "print the statement's plan (method, partitioning, ILP size) without solving")
 	flag.BoolVar(&o.progress, "progress", false, "stream improving incumbents to stderr while solving")
+	flag.BoolVar(&o.trace, "trace", false, "print the execution's span tree (plan, pin, solve phases, ILP iterations) to stderr after solving")
 	flag.StringVar(&o.outPath, "out", "", "write the package as CSV to this path")
 	flag.BoolVar(&o.verbose, "v", false, "print evaluation statistics")
 	flag.Parse()
@@ -209,9 +215,15 @@ func run(o options) (truncated bool, err error) {
 				inc.Seq, inc.Objective, inc.Elapsed.Round(time.Millisecond), inc.Nodes, tagged)
 		}))
 	}
+	if o.trace {
+		execOpts = append(execOpts, paq.WithTrace())
+	}
 	res, err := stmt.Execute(ctx, execOpts...)
 	if err != nil {
 		return false, err
+	}
+	if o.trace {
+		writeTrace(os.Stderr, res.Trace())
 	}
 	// Budget-truncated incumbents surface through Result.Truncated; main
 	// converts it into the warning and the nonzero exit.

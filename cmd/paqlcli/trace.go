@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/paq"
+)
+
+// writeTrace pretty-prints an execution's span tree: one line per span,
+// indented by depth, with its duration, its share of the parent span,
+// and its attributes (sorted, key=value). The root reports its share of
+// itself (100%), making every line the same shape.
+func writeTrace(w io.Writer, n *paq.TraceNode) {
+	if n == nil {
+		return
+	}
+	writeSpan(w, n, n.DurationMS, 0)
+}
+
+func writeSpan(w io.Writer, n *paq.TraceNode, parentMS float64, depth int) {
+	pct := 100.0
+	if parentMS > 0 {
+		pct = 100 * n.DurationMS / parentMS
+	}
+	fmt.Fprintf(w, "%*s%-*s %9.3fms %5.1f%%%s\n",
+		2*depth, "", 24-2*depth, n.Name, n.DurationMS, pct, attrString(n.Attrs))
+	for _, c := range n.Children {
+		writeSpan(w, c, n.DurationMS, depth+1)
+	}
+	if n.DroppedChildren > 0 {
+		fmt.Fprintf(w, "%*s… %d more child span(s) dropped\n", 2*(depth+1), "", n.DroppedChildren)
+	}
+}
+
+func attrString(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := " "
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", k, attrs[k])
+	}
+	return s
+}

@@ -67,6 +67,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux; they are
+	// only reachable when -pprof-addr binds a listener to it.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -74,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/repl"
 	"repro/internal/server"
@@ -112,12 +116,15 @@ func main() {
 		maintEv  = flag.Duration("maintain-every", 15*time.Second, "background maintenance cadence (tombstone compaction, WAL-driven snapshots); 0 disables")
 		follow   = flag.String("follow", "", "run as a follower of this leader paqld base URL (requires -data-dir; dataset flags are ignored)")
 		replPoll = flag.Duration("repl-poll", 250*time.Millisecond, "follower: WAL tail poll cadence")
+		slowMS   = flag.Int64("slow-ms", 0, "slow-query threshold in milliseconds: solves at or above it log one JSON line (query, plan, span tree) to stderr; 0 disables")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off the public listener)")
 	)
 	flag.Var(&loads, "load", "load a CSV dataset as name=path (repeatable)")
 	flag.Parse()
 
 	if err := run(*addr, loads, *galaxyN, *tpchN, *seed, *tau, *workers, *racers,
-		*timeout, *maxTime, *maxNodes, *inflight, *queue, *ingestIF, *ingestQ, *dataDir, *maintEv, *follow, *replPoll); err != nil {
+		*timeout, *maxTime, *maxNodes, *inflight, *queue, *ingestIF, *ingestQ, *dataDir, *maintEv, *follow, *replPoll,
+		*slowMS, *pprofAdr); err != nil {
 		fmt.Fprintln(os.Stderr, "paqld:", err)
 		os.Exit(1)
 	}
@@ -125,7 +132,8 @@ func main() {
 
 func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float64,
 	workers, racers int, timeout, maxTime time.Duration, maxNodes, inflight, queue, ingestIF, ingestQ int,
-	dataDir string, maintEvery time.Duration, follow string, replPoll time.Duration) error {
+	dataDir string, maintEvery time.Duration, follow string, replPoll time.Duration,
+	slowMS int64, pprofAddr string) error {
 	srv := server.New(server.Config{
 		MaxInFlight:       inflight,
 		MaxQueued:         queue,
@@ -133,7 +141,20 @@ func run(addr string, loads []string, galaxyN, tpchN int, seed int64, tau float6
 		IngestMaxQueued:   ingestQ,
 		DefaultTimeout:    timeout,
 		MaxTimeout:        maxTime,
+		SlowQuery:         time.Duration(slowMS) * time.Millisecond,
+		SlowQueryLog:      os.Stderr,
 	})
+	// Process-level gauges (goroutines, heap, GC pause) join the solve
+	// counters on GET /metrics.
+	obs.RegisterRuntimeMetrics(srv.Metrics())
+	if pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 	dcfg := server.DatasetConfig{
 		TauFrac:   tau,
 		Workers:   workers,

@@ -511,3 +511,48 @@ func TestAdviseDifferential(t *testing.T) {
 	}
 	t.Log(buf.String())
 }
+
+// TestLoadGenObs drives the load generator with the observability
+// checks on: the differential burst plus the mid-run /metrics
+// validation, the quiesced /stats vs /metrics cross-check, and the
+// tracing-overhead gate (traced p95 within 5% of untraced, plus the
+// jitter slack), all against an in-process paqld. The measured
+// percentiles must land in the experiment record.
+func TestLoadGenObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an in-process paqld and fires a request burst")
+	}
+	var buf bytes.Buffer
+	e, err := NewEnv(Config{GalaxyN: 2000, TPCHN: 2000, Seed: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.LoadGen(context.Background(), LoadGenConfig{N: 24, Obs: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if res.UntracedP95MS <= 0 || res.TracedP95MS <= 0 {
+		t.Errorf("overhead phase produced no percentiles: %+v", res)
+	}
+	if res.OverheadRatio <= 0 {
+		t.Errorf("overhead ratio not computed: %+v", res)
+	}
+	var rec *ExperimentResult
+	for i := range e.Results() {
+		if e.Results()[i].Experiment == "loadgen" {
+			rec = &e.Results()[i]
+		}
+	}
+	if rec == nil {
+		t.Fatal("no loadgen experiment record")
+	}
+	for _, k := range []string{"p95_traced_ms", "p95_untraced_ms", "overhead_ratio"} {
+		if _, ok := rec.Extra[k]; !ok {
+			t.Errorf("experiment record missing %s: %+v", k, rec.Extra)
+		}
+	}
+	if !strings.Contains(buf.String(), "trace overhead:") {
+		t.Error("missing printed overhead line")
+	}
+	t.Log(buf.String())
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/paq"
 )
@@ -30,6 +31,13 @@ type LoadGenConfig struct {
 	// TimeoutMS is the per-request deadline sent to the server; 0 means
 	// 60000.
 	TimeoutMS int64
+	// Obs enables the observability checks: a mid-run /metrics scrape
+	// validated against the exposition format, a quiesced /stats vs
+	// /metrics consistency check, and the tracing-overhead gate
+	// (trace-enabled p95 must stay within 5% of trace-disabled p95 over
+	// identical warm state). The measured percentiles are recorded under
+	// the "loadgen" experiment.
+	Obs bool
 }
 
 // LoadGenResult summarizes one load-generation run.
@@ -41,6 +49,12 @@ type LoadGenResult struct {
 	Errors     int // transport failures and non-2xx/429 statuses
 	Mismatches []string
 	Elapsed    time.Duration
+	// UntracedP95MS / TracedP95MS are the client-observed p95 request
+	// latencies of the paired overhead phases (only set with cfg.Obs).
+	UntracedP95MS float64
+	TracedP95MS   float64
+	// OverheadRatio is TracedP95MS / UntracedP95MS.
+	OverheadRatio float64
 }
 
 // loadCase is one (dataset, method, query) combination with its
@@ -124,6 +138,13 @@ func (e *Env) LoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenResult, e
 			}
 		}(c)
 	}
+	var midScrapeErr error
+	if cfg.Obs {
+		// Mid-run scrape: the exposition must parse and validate while
+		// the burst is still in flight — collectors snapshot live QoS,
+		// cache, and pin state, so this is where interleaving bugs show.
+		_, midScrapeErr = scrapeMetrics(ctx, client, base)
+	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 
@@ -144,7 +165,215 @@ func (e *Env) LoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenResult, e
 	if res.Errors > 0 {
 		return res, fmt.Errorf("loadgen: %d request errors", res.Errors)
 	}
+	if cfg.Obs {
+		if midScrapeErr != nil {
+			return res, fmt.Errorf("loadgen: mid-run /metrics scrape: %w", midScrapeErr)
+		}
+		if err := e.obsPhase(ctx, client, base, cases, cfg, res); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
+}
+
+// obsPhase runs the observability checks after the differential burst:
+// the tracing-overhead gate over warm state, the quiesced /stats vs
+// /metrics cross-check, and the machine-readable record.
+func (e *Env) obsPhase(ctx context.Context, client *http.Client, base string, cases []loadCase, cfg LoadGenConfig, res *LoadGenResult) error {
+	p95U, p95T, err := e.traceOverhead(ctx, client, base, cases, cfg.TimeoutMS)
+	if err != nil {
+		return fmt.Errorf("loadgen: trace overhead phase: %w", err)
+	}
+	res.UntracedP95MS, res.TracedP95MS = p95U, p95T
+	if p95U > 0 {
+		res.OverheadRatio = p95T / p95U
+	}
+	fmt.Fprintf(e.cfg.Out, "trace overhead: p95 untraced %.3fms, traced %.3fms (ratio %.3f)\n",
+		p95U, p95T, res.OverheadRatio)
+	// Quiesced now: the JSON block and the exposition render the same
+	// registry cells, so the shared counters must agree exactly.
+	if err := checkStatsMetricsConsistency(ctx, client, base); err != nil {
+		return fmt.Errorf("loadgen: /stats vs /metrics: %w", err)
+	}
+	e.Record(ExperimentResult{
+		Experiment: "loadgen",
+		P95SolveMS: p95T,
+		Extra: map[string]float64{
+			"p95_traced_ms":   p95T,
+			"p95_untraced_ms": p95U,
+			"overhead_ratio":  res.OverheadRatio,
+			"requests":        float64(res.Requests),
+		},
+	})
+	// The gate: tracing may cost at most 5% at the tail. The 1ms
+	// absolute slack absorbs scheduler jitter on sub-millisecond
+	// cache-hit requests, where 5% is tens of microseconds.
+	if p95T > p95U*1.05+1.0 {
+		return fmt.Errorf("loadgen: tracing overhead gate failed: traced p95 %.3fms > 1.05 × untraced p95 %.3fms + 1ms",
+			p95T, p95U)
+	}
+	return nil
+}
+
+// traceOverhead measures the end-to-end cost of tracing. After a
+// per-case warmup, it replays the corpus for several rounds over
+// identical warm state, pairing every untraced request with a traced
+// one (order alternating per round to cancel ordering bias), and
+// returns the client-observed p95 of each side in milliseconds.
+func (e *Env) traceOverhead(ctx context.Context, client *http.Client, base string, cases []loadCase, timeoutMS int64) (p95Untraced, p95Traced float64, err error) {
+	// Warmup: solve every case once so both measured sides hit the same
+	// warm caches and partitionings.
+	for _, c := range cases {
+		if _, err := e.timedQuery(ctx, client, base, c, timeoutMS, false); err != nil {
+			return 0, 0, fmt.Errorf("warmup %s/%s: %w", c.dataset, c.method, err)
+		}
+	}
+	rounds := 5
+	if rounds*len(cases) < 40 {
+		rounds = (40 + len(cases) - 1) / len(cases)
+	}
+	var untraced, traced []float64
+	for r := 0; r < rounds; r++ {
+		for _, c := range cases {
+			order := []bool{false, true} // untraced first
+			if r%2 == 1 {
+				order = []bool{true, false}
+			}
+			for _, withTrace := range order {
+				d, err := e.timedQuery(ctx, client, base, c, timeoutMS, withTrace)
+				if err != nil {
+					return 0, 0, fmt.Errorf("%s/%s (trace=%v): %w", c.dataset, c.method, withTrace, err)
+				}
+				if withTrace {
+					traced = append(traced, d)
+				} else {
+					untraced = append(untraced, d)
+				}
+			}
+		}
+	}
+	return percentile(untraced, 0.95), percentile(traced, 0.95), nil
+}
+
+// timedQuery fires one query and returns the client-observed wall time
+// in milliseconds. A traced feasible request must come back with a
+// span tree — a missing tree is an error, not a slow sample.
+func (e *Env) timedQuery(ctx context.Context, client *http.Client, base string, c loadCase, timeoutMS int64, withTrace bool) (float64, error) {
+	body, err := json.Marshal(server.QueryRequest{
+		Dataset: c.dataset, Query: c.paql, Method: c.method,
+		TimeoutMS: timeoutMS, Trace: withTrace,
+	})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(t0)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		return 0, err
+	}
+	if withTrace && !qr.Infeasible && qr.Trace == nil {
+		return 0, errors.New("traced request returned no span tree")
+	}
+	return float64(elapsed) / float64(time.Millisecond), nil
+}
+
+// scrapeMetrics GETs /metrics, validates the text exposition (TYPE
+// declarations, family grouping, histogram invariants), and returns
+// the parsed samples.
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (*obs.Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		return nil, fmt.Errorf("invalid exposition: %w", err)
+	}
+	return obs.ParseExposition(bytes.NewReader(raw))
+}
+
+// checkStatsMetricsConsistency asserts the /stats JSON block and the
+// /metrics exposition agree on the shared counters. Both surfaces read
+// the same obs.Registry cells; with the generator quiesced any drift
+// is a bug, so the comparison is exact.
+func checkStatsMetricsConsistency(ctx context.Context, client *http.Client, base string) error {
+	expo, err := scrapeMetrics(ctx, client, base)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/stats status %d", resp.StatusCode)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	for _, chk := range []struct {
+		name string
+		want uint64
+	}{
+		{"paqld_queries_total", st.Queries},
+		{"paqld_queries_ok_total", st.OK},
+		{"paqld_infeasible_total", st.Infeasible},
+		{"paqld_rejected_total", st.Rejected},
+		{"paqld_failures_total", st.Failures},
+	} {
+		got, ok := expo.Value(chk.name, nil)
+		if !ok {
+			return fmt.Errorf("%s missing from /metrics", chk.name)
+		}
+		if got != float64(chk.want) {
+			return fmt.Errorf("%s: /metrics %v, /stats %d", chk.name, got, chk.want)
+		}
+	}
+	for method, n := range st.Methods {
+		got, ok := expo.Value("paqld_solves_total", map[string]string{"method": method})
+		if !ok {
+			return fmt.Errorf("paqld_solves_total{method=%q} missing from /metrics", method)
+		}
+		if got != float64(n) {
+			return fmt.Errorf("paqld_solves_total{method=%q}: /metrics %v, /stats %d", method, got, n)
+		}
+	}
+	return nil
 }
 
 // buildLoadCases compiles the mixed corpus and computes in-process

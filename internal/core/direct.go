@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ilp"
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // ErrInfeasible is returned when no package satisfies the query.
@@ -215,6 +216,22 @@ func SolveRowsCtx(ctx context.Context, spec *Spec, rows []int, hi []float64, opt
 // returned. A nil fn degrades to a plain solve.
 func SolveRowsStream(ctx context.Context, spec *Spec, rows []int, hi []float64, opt ilp.Options, sub int, fn IncumbentFunc) (*Package, *EvalStats, error) {
 	opt = hookSolver(opt, spec, rows, sub, false, fn)
+	ctx, sp := obs.Start(ctx, "ilp")
+	defer sp.Finish()
+	if sp != nil {
+		// Count incumbents on the span; SetAttr overwrites, so the
+		// final value is the incumbent total. The solver invokes the
+		// callback synchronously from one goroutine.
+		prev := opt.OnIncumbent
+		n := int64(0)
+		opt.OnIncumbent = func(x []float64, obj float64, nodes int) {
+			n++
+			sp.SetAttrInt("incumbents", n)
+			if prev != nil {
+				prev(x, obj, nodes)
+			}
+		}
+	}
 	stats := &EvalStats{Subproblems: 1}
 	t0 := time.Now()
 	prob, err := BuildILP(spec, rows, hi)
@@ -224,6 +241,9 @@ func SolveRowsStream(ctx context.Context, spec *Spec, rows []int, hi []float64, 
 	stats.Vars = prob.LP.NumVars()
 	stats.Rows = prob.LP.NumRows()
 	stats.BuildTime = time.Since(t0)
+	sp.SetAttrInt("subproblem", int64(sub))
+	sp.SetAttrInt("vars", int64(stats.Vars))
+	sp.SetAttrInt("rows", int64(stats.Rows))
 
 	t1 := time.Now()
 	res, err := ilp.SolveCtx(ctx, prob, opt)
@@ -233,6 +253,9 @@ func SolveRowsStream(ctx context.Context, spec *Spec, rows []int, hi []float64, 
 	}
 	stats.SolverNodes = res.Nodes
 	stats.LPIterations = res.LPIterations
+	sp.SetAttrInt("nodes", int64(res.Nodes))
+	sp.SetAttrInt("lp_iterations", int64(res.LPIterations))
+	sp.SetAttrStr("status", res.Status.String())
 	switch res.Status {
 	case ilp.Infeasible:
 		return nil, stats, ErrInfeasible

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ilp"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -421,6 +422,7 @@ func (e *Engine) evaluate(ctx context.Context, spec *core.Spec, solver Solver, f
 	}
 	if e.NoCache {
 		e.misses.Add(1)
+		obs.FromContext(ctx).SetAttrStr("cache", "off")
 		return e.solve(ctx, spec, solver, fn)
 	}
 	key := SpecKey(spec)
@@ -432,6 +434,18 @@ func (e *Engine) evaluate(ctx context.Context, spec *core.Spec, solver Solver, f
 		}
 		if ent, ok := e.cache[key]; ok {
 			e.mu.Unlock()
+			if sp := obs.FromContext(ctx); sp != nil {
+				// "hit" when the entry is already solved, "joined" when
+				// this caller waits on another caller's in-flight solve
+				// (joined results carry no inner spans — the owner's
+				// trace has them).
+				select {
+				case <-ent.done:
+					sp.SetAttrStr("cache", "hit")
+				default:
+					sp.SetAttrStr("cache", "joined")
+				}
+			}
 			select {
 			case <-ent.done:
 				r := ent.res
@@ -470,6 +484,7 @@ func (e *Engine) evaluate(ctx context.Context, spec *core.Spec, solver Solver, f
 		e.cache[key] = ent
 		e.mu.Unlock()
 		e.misses.Add(1)
+		obs.FromContext(ctx).SetAttrStr("cache", "miss")
 
 		ent.res = e.solve(ctx, spec, solver, fn)
 		if !definitive(ent.res) {

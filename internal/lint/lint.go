@@ -1,4 +1,4 @@
-// Package lint assembles the project's invariant checks: five
+// Package lint assembles the project's invariant checks: six
 // analyzers (see docs/INVARIANTS.md for the catalogue) instantiated
 // with the repository's boundary, taxonomy, context, lock-order, and
 // no-panic configuration. cmd/paqlint runs them standalone and as a
@@ -17,6 +17,7 @@ import (
 	"repro/internal/lint/errcmp"
 	"repro/internal/lint/lockorder"
 	"repro/internal/lint/nopanic"
+	"repro/internal/lint/obsctx"
 	"repro/internal/lint/sdkboundary"
 )
 
@@ -63,6 +64,7 @@ var NoPanicPackages = []string{
 	Module + "/internal/ilp",
 	Module + "/internal/lp",
 	Module + "/internal/naive",
+	Module + "/internal/obs",
 	Module + "/internal/paql",
 	Module + "/internal/par",
 	Module + "/internal/partition",
@@ -96,6 +98,11 @@ func Analyzers() []*analysis.Analyzer {
 		}),
 		nopanic.New(nopanic.Config{
 			Packages: NoPanicPackages,
+		}),
+		obsctx.New(obsctx.Config{
+			Packages:    []string{Module},
+			SpanPackage: Module + "/internal/obs",
+			SpanType:    "Span",
 		}),
 	}
 }

@@ -18,6 +18,7 @@ import (
 var dataOnly = map[string]string{
 	"bench":    "the harness is itself a consumer (and is bound by the boundary as one)",
 	"lint":     "developer tooling; never on the solve path",
+	"obs":      "tracing and metrics plumbing; carries measurements, not evaluation",
 	"par":      "generic worker pool; no solver knowledge",
 	"relation": "the data container",
 	"reltest":  "test-only construction helpers; never on the solve path",

@@ -1,0 +1,116 @@
+// Package obsctx enforces the tracing-propagation contract: production
+// code never passes a literal nil span to a function that takes a
+// *obs.Span. The disabled-tracing case is already represented by a nil
+// span VALUE threaded from the root (every span method is nil-safe); a
+// literal nil at a call site silently severs the trace for that subtree
+// even when the request asked for one. Callers must hand down the span
+// they were given (or obs.FromContext(ctx)) instead. Test files are
+// exempt — handing nil to a helper is exactly how unit tests exercise
+// the disabled path.
+package obsctx
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config locates the span type and scopes the rule.
+type Config struct {
+	// Packages: import-path prefixes the rule applies to.
+	Packages []string
+	// SpanPackage and SpanType identify the span parameter type the
+	// rule guards, e.g. "repro/internal/obs" and "Span".
+	SpanPackage string
+	SpanType    string
+}
+
+// New returns the analyzer for one configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "obsctx",
+		Doc: "span-taking functions must receive the caller's span, not a literal nil: " +
+			"a hardcoded nil severs the trace for that subtree even when the request asked for one",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if !under(pass.Pkg.Path(), cfg.Packages) {
+				return nil, nil
+			}
+			for _, f := range pass.Files {
+				if f.Pos().IsValid() && pass.IsTestFile(f.Pos()) {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+					if !ok {
+						return true // a conversion or a type expression
+					}
+					params := sig.Params()
+					for i, arg := range call.Args {
+						tv, ok := pass.TypesInfo.Types[arg]
+						if !ok || !tv.IsNil() {
+							continue
+						}
+						var pt types.Type
+						switch {
+						case sig.Variadic() && i >= params.Len()-1:
+							slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+							if !ok {
+								continue // f(xs...) spread: not a per-arg param
+							}
+							pt = slice.Elem()
+						case i < params.Len():
+							pt = params.At(i).Type()
+						default:
+							continue
+						}
+						if isSpanPtr(pt, cfg) {
+							pass.Reportf(arg.Pos(),
+								"literal nil *%s.%s argument severs the trace; pass the caller's span (or obs.FromContext) — only tests may hand nil",
+								pkgBase(cfg.SpanPackage), cfg.SpanType)
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// isSpanPtr reports whether t is *<SpanPackage>.<SpanType>.
+func isSpanPtr(t types.Type, cfg Config) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == cfg.SpanPackage && obj.Name() == cfg.SpanType
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// under reports whether path equals or lies beneath any prefix.
+func under(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

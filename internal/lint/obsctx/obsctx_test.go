@@ -1,0 +1,21 @@
+package obsctx_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/obsctx"
+)
+
+// TestFixtures proves literal nil span arguments are caught in scoped
+// packages (positionally and variadically), that nil-valued variables,
+// unrelated nil pointers, out-of-scope packages, and test files stay
+// legal, and that a justified //lint:ignore suppresses.
+func TestFixtures(t *testing.T) {
+	a := obsctx.New(obsctx.Config{
+		Packages:    []string{"fixture/lib"},
+		SpanPackage: "fixture/obs",
+		SpanType:    "Span",
+	})
+	analysistest.Run(t, "testdata", a)
+}

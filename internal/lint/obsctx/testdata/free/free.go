@@ -1,0 +1,10 @@
+// Package free is outside the configured rule scope.
+package free
+
+import "fixture/obs"
+
+// Helper takes a span.
+func Helper(sp *obs.Span) {}
+
+// Run may pass nil: the package is not configured.
+func Run() { Helper(nil) }

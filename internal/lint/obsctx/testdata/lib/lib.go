@@ -1,0 +1,30 @@
+// Package lib is inside the configured rule scope.
+package lib
+
+import "fixture/obs"
+
+// WithSpan is a span-taking helper.
+func WithSpan(sp *obs.Span, n int) int { return n }
+
+// Variadic takes spans variadically.
+func Variadic(n int, sps ...*obs.Span) int { return n }
+
+// NotASpan takes an unrelated pointer; nil stays legal.
+func NotASpan(p *int) {}
+
+// Run shows the violations and the legal forms.
+func Run(sp *obs.Span) {
+	WithSpan(sp, 1)            // threading the caller's span is the contract
+	WithSpan(sp.Child("x"), 2) // a derived child is fine (nil-safe)
+	WithSpan(nil, 3)           // want `literal nil \*obs\.Span argument severs the trace`
+	Variadic(4, sp, nil)       // want `literal nil \*obs\.Span argument severs the trace`
+	NotASpan(nil)              // unrelated nil pointers are not the rule's business
+	var unset *obs.Span
+	WithSpan(unset, 5) // a nil-valued variable is the disabled path, not a severed one
+}
+
+// Suppressed documents its exception and is left alone.
+func Suppressed() {
+	//lint:ignore obsctx fixture: exercising the documented escape hatch
+	WithSpan(nil, 6)
+}

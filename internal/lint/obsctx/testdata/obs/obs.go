@@ -1,0 +1,13 @@
+// Package obs is the fixture's stand-in for the real span type.
+package obs
+
+// Span mirrors repro/internal/obs.Span for the fixture.
+type Span struct{ name string }
+
+// Child mirrors the nil-safe child constructor.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name}
+}

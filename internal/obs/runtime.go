@@ -1,0 +1,30 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers process-level runtime gauges on r:
+// goroutine count, heap occupancy, and GC activity. These are the
+// counters a CPU profile (-pprof-addr) is read against — a trace that
+// blames a slow refine on a GC pause needs the pause total on the
+// same scrape timeline.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("paqld_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	mem := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	r.GaugeFunc("paqld_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.GaugeFunc("paqld_heap_objects", "Number of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }))
+	r.GaugeFunc("paqld_gc_cycles_total", "Completed GC cycles.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	r.GaugeFunc("paqld_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("paqld_next_gc_bytes", "Heap size target of the next GC cycle.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NextGC) }))
+}

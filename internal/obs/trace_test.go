@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsFreeAndSafe: the disabled trace is a nil span; every
+// method must be a no-op, and Start on a bare context must not attach
+// anything.
+func TestNilSpanIsFreeAndSafe(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", 1)
+	sp.Finish()
+	if c := sp.Child("x"); c != nil {
+		t.Fatalf("nil span produced child %v", c)
+	}
+	if n := sp.Node(); n != nil {
+		t.Fatalf("nil span produced node %v", n)
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration %v", d)
+	}
+	ctx := context.Background()
+	ctx2, c := Start(ctx, "solve")
+	if c != nil || ctx2 != ctx {
+		t.Fatalf("Start on traceless context must return (ctx, nil); got (%v, %v)", ctx2, c)
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("bare context carries a span")
+	}
+	if ContextWith(ctx, nil) != ctx {
+		t.Fatal("ContextWith(ctx, nil) must return ctx unchanged")
+	}
+}
+
+// TestSpanTree: children nest through the context, durations are
+// stamped by Finish, and the node form carries attrs and offsets.
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("execute")
+	ctx := ContextWith(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("context does not carry the root")
+	}
+	ctx2, solve := Start(ctx, "solve")
+	solve.SetAttr("method", "sketchrefine")
+	solve.SetAttr("method", "direct") // overwrite, not duplicate
+	_, ilp := Start(ctx2, "ilp")
+	ilp.SetAttr("nodes", int64(42))
+	time.Sleep(2 * time.Millisecond)
+	ilp.Finish()
+	solve.Finish()
+	root.Finish()
+
+	n := root.Node()
+	if n.Name != "execute" || len(n.Children) != 1 {
+		t.Fatalf("unexpected root node %+v", n)
+	}
+	sn := n.Children[0]
+	if sn.Name != "solve" || sn.Attrs["method"] != "direct" || len(sn.Children) != 1 {
+		t.Fatalf("unexpected solve node %+v", sn)
+	}
+	in := sn.Children[0]
+	if in.Name != "ilp" || in.DurationMS <= 0 {
+		t.Fatalf("unexpected ilp node %+v", in)
+	}
+	if in.StartMS < 0 || in.DurationMS > n.DurationMS+0.001 {
+		t.Fatalf("child timing escapes root: child=%+v root=%+v", in, n)
+	}
+	if _, err := json.Marshal(n); err != nil {
+		t.Fatalf("node does not marshal: %v", err)
+	}
+}
+
+// TestFinishIdempotent: the first Finish wins.
+func TestFinishIdempotent(t *testing.T) {
+	sp := NewSpan("x")
+	sp.Finish()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.Finish()
+	if sp.Duration() != d {
+		t.Fatalf("second Finish changed duration: %v -> %v", d, sp.Duration())
+	}
+}
+
+// TestChildBound: the MaxChildren'th+1 child is dropped and counted.
+func TestChildBound(t *testing.T) {
+	sp := NewSpan("root")
+	for i := 0; i < MaxChildren+5; i++ {
+		c := sp.Child("c")
+		if i < MaxChildren && c == nil {
+			t.Fatalf("child %d dropped below the bound", i)
+		}
+		if i >= MaxChildren && c != nil {
+			t.Fatalf("child %d recorded above the bound", i)
+		}
+		c.Finish()
+	}
+	sp.Finish()
+	n := sp.Node()
+	if len(n.Children) != MaxChildren || n.DroppedChildren != 5 {
+		t.Fatalf("got %d children, %d dropped", len(n.Children), n.DroppedChildren)
+	}
+}
+
+// TestConcurrentChildren: racing lanes attach children to one parent.
+func TestConcurrentChildren(t *testing.T) {
+	sp := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := sp.Child("lane")
+			c.SetAttr("k", "v")
+			c.Finish()
+		}()
+	}
+	wg.Wait()
+	sp.Finish()
+	if n := sp.Node(); len(n.Children) != 32 {
+		t.Fatalf("got %d children, want 32", len(n.Children))
+	}
+}

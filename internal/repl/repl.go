@@ -190,6 +190,21 @@ func NewNode(srv *server.Server, cfg Config) (*Node, error) {
 	}
 	srv.SetMutationGate(n.gate)
 	srv.SetReplStats(func() any { return n.Stats() })
+	srv.SetReplMetrics(func() server.ReplMetrics {
+		st := n.Stats()
+		m := server.ReplMetrics{
+			Epoch:  st.Epoch,
+			Leader: st.Role == RoleLeader,
+			Fenced: st.Fenced,
+		}
+		if len(st.Tails) > 0 {
+			m.Lag = make(map[string]uint64, len(st.Tails))
+			for name, t := range st.Tails {
+				m.Lag[name] = t.Lag
+			}
+		}
+		return m
+	})
 	return n, nil
 }
 

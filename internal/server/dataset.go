@@ -109,6 +109,7 @@ func (c DatasetConfig) options(rel *relation.Relation) []paq.Option {
 type Dataset struct {
 	name    string
 	sess    *paq.Session
+	created time.Time
 	replica atomic.Bool
 }
 
@@ -133,7 +134,7 @@ func NewDataset(name string, rel *relation.Relation, cfg DatasetConfig) (*Datase
 	if err != nil {
 		return nil, fmt.Errorf("server: dataset %q: %w", name, err)
 	}
-	return &Dataset{name: name, sess: sess}, nil
+	return &Dataset{name: name, sess: sess, created: time.Now()}, nil
 }
 
 // OpenDataset recovers a durable dataset from DataDir/<name> alone — no
@@ -164,7 +165,7 @@ func OpenDataset(name string, cfg DatasetConfig) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: dataset %q: %w", name, err)
 	}
-	return &Dataset{name: name, sess: sess}, nil
+	return &Dataset{name: name, sess: sess, created: time.Now()}, nil
 }
 
 // NewDatasetFromSession wraps an existing warm session (e.g. one shared
@@ -177,7 +178,7 @@ func NewDatasetFromSession(name string, sess *paq.Session) (*Dataset, error) {
 	if sess == nil {
 		return nil, fmt.Errorf("server: dataset %q has no session", name)
 	}
-	return &Dataset{name: name, sess: sess}, nil
+	return &Dataset{name: name, sess: sess, created: time.Now()}, nil
 }
 
 // Name returns the dataset's registry name.
@@ -185,6 +186,10 @@ func (d *Dataset) Name() string { return d.name }
 
 // Session returns the dataset's paq session.
 func (d *Dataset) Session() *paq.Session { return d.sess }
+
+// Created returns when the dataset object was built — the epoch of its
+// per-dataset counters, surfaced as the "since" stamp in /stats.
+func (d *Dataset) Created() time.Time { return d.created }
 
 // Rel returns the underlying relation.
 func (d *Dataset) Rel() *relation.Relation { return d.sess.Rel() }

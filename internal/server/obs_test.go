@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/paq"
+)
+
+// newObsServer builds a server over one Galaxy dataset, large enough
+// that a SketchRefine solve takes long enough to dwarf the per-request
+// bookkeeping the trace test bounds.
+func newObsServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ds, err := NewDataset("galaxy", workload.Galaxy(2000, 3), testDatasetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register(ds)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+const obsFeasibleQuery = `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3
+MAXIMIZE SUM(P.petrorad)`
+
+const obsInfeasibleQuery = `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 3 AND SUM(P.redshift) <= -1
+MINIMIZE SUM(P.r)`
+
+// TestMetricsExposition drives a mixed workload and validates the
+// /metrics response as a Prometheus 0.0.4 exposition: parseable, types
+// declared, histogram buckets monotone (ParseExposition checks all of
+// that), and the families the dashboards depend on present with the
+// right types and values.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newObsServer(t, Config{})
+	client := ts.Client()
+
+	for _, q := range []QueryRequest{
+		{Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodDirect},
+		{Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodSketchRefine},
+		{Dataset: "galaxy", Query: obsInfeasibleQuery, Method: MethodDirect},
+		{Dataset: "nope", Query: obsFeasibleQuery},
+	} {
+		if _, _, err := postQuery(client, ts.URL, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q lacks the exposition version", ct)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+
+	for family, typ := range map[string]string{
+		"paqld_queries_total":      "counter",
+		"paqld_queries_ok_total":   "counter",
+		"paqld_infeasible_total":   "counter",
+		"paqld_bad_requests_total": "counter",
+		"paqld_solves_total":       "counter",
+		"paqld_solve_seconds":      "histogram",
+		"paqld_qos_in_flight":      "gauge",
+		"paqld_qos_admitted_total": "counter",
+		"paqld_dataset_rows":       "gauge",
+		"paqld_cache_misses_total": "counter",
+		"paqld_uptime_seconds":     "gauge",
+		"paqld_draining":           "gauge",
+	} {
+		if got := exp.Types[family]; got != typ {
+			t.Errorf("family %s: TYPE %q, want %q", family, got, typ)
+		}
+	}
+
+	if v, ok := exp.Value("paqld_queries_total", nil); !ok || v != 4 {
+		t.Errorf("paqld_queries_total = %v (present %v), want 4", v, ok)
+	}
+	if v, ok := exp.Value("paqld_solves_total", map[string]string{"method": MethodSketchRefine}); !ok || v != 1 {
+		t.Errorf("paqld_solves_total{method=sketchrefine} = %v (present %v), want 1", v, ok)
+	}
+	if v, ok := exp.Value("paqld_dataset_rows", map[string]string{"dataset": "galaxy"}); !ok || v != 2000 {
+		t.Errorf("paqld_dataset_rows{dataset=galaxy} = %v (present %v), want 2000", v, ok)
+	}
+	// The latency histogram sees the two feasible fresh solves (an
+	// infeasibility verdict carries no result to time); its +Inf bucket
+	// and _count must agree.
+	if v, ok := exp.Value("paqld_solve_seconds_count", nil); !ok || v != 2 {
+		t.Errorf("paqld_solve_seconds_count = %v (present %v), want 2", v, ok)
+	}
+	inf, ok := exp.Value("paqld_solve_seconds_bucket", map[string]string{"le": "+Inf"})
+	if !ok || inf != 2 {
+		t.Errorf("paqld_solve_seconds_bucket{le=+Inf} = %v (present %v), want 2", inf, ok)
+	}
+}
+
+// TestStatsMetricsConsistency asserts the no-drift property: /stats and
+// /metrics render the same cells, so every counter the JSON reports
+// must equal the exposition's sample — not approximately, exactly.
+func TestStatsMetricsConsistency(t *testing.T) {
+	srv, ts := newObsServer(t, Config{})
+	client := ts.Client()
+	for _, q := range []QueryRequest{
+		{Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodDirect},
+		{Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodSketchRefine},
+		{Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodSketchRefine}, // cache hit
+		{Dataset: "galaxy", Query: obsInfeasibleQuery, Method: MethodSketchRefine},
+	} {
+		if _, _, err := postQuery(client, ts.URL, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiesced server: no in-flight requests between the two snapshots,
+	// so they must agree exactly.
+	st := srv.Stats()
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]uint64{
+		"paqld_queries_total":      st.Queries,
+		"paqld_queries_ok_total":   st.OK,
+		"paqld_infeasible_total":   st.Infeasible,
+		"paqld_bad_requests_total": st.BadRequests,
+		"paqld_failures_total":     st.Failures,
+		"paqld_timeouts_total":     st.Timeouts,
+		"paqld_incumbents_total":   st.Incumbents,
+		"paqld_backtracks_total":   st.Backtracks,
+		"paqld_subproblems_total":  st.Subproblems,
+	} {
+		if got, ok := exp.Value(name, nil); !ok || got != float64(want) {
+			t.Errorf("%s = %v (present %v), /stats says %d", name, got, ok, want)
+		}
+	}
+	for method, want := range st.Methods {
+		got, ok := exp.Value("paqld_solves_total", map[string]string{"method": method})
+		if !ok || got != float64(want) {
+			t.Errorf("paqld_solves_total{method=%s} = %v (present %v), /stats says %d", method, got, ok, want)
+		}
+	}
+	for class, qs := range st.QoS {
+		got, ok := exp.Value("paqld_qos_admitted_total", map[string]string{"class": class})
+		if !ok || got != float64(qs.Admitted) {
+			t.Errorf("paqld_qos_admitted_total{class=%s} = %v (present %v), /stats says %d", class, got, ok, qs.Admitted)
+		}
+	}
+	gal := st.Datasets["galaxy"]
+	if got, ok := exp.Value("paqld_dataset_version", map[string]string{"dataset": "galaxy"}); !ok || got != float64(gal.Version) {
+		t.Errorf("paqld_dataset_version = %v (present %v), /stats says %d", got, ok, gal.Version)
+	}
+	for method, cs := range gal.Caches {
+		labels := map[string]string{"dataset": "galaxy", "method": method}
+		if got, ok := exp.Value("paqld_cache_hits_total", labels); !ok || got != float64(cs.Hits) {
+			t.Errorf("paqld_cache_hits_total{method=%s} = %v (present %v), /stats says %d", method, got, ok, cs.Hits)
+		}
+		if got, ok := exp.Value("paqld_cache_misses_total", labels); !ok || got != float64(cs.Misses) {
+			t.Errorf("paqld_cache_misses_total{method=%s} = %v (present %v), /stats says %d", method, got, ok, cs.Misses)
+		}
+	}
+
+	// The snapshot stamps: Seq strictly increases, and the per-block
+	// copies match the top-level one.
+	st2 := srv.Stats()
+	if st2.Seq <= st.Seq {
+		t.Errorf("Stats().Seq did not advance: %d then %d", st.Seq, st2.Seq)
+	}
+	if st.QoS["solve"].Seq != st.Seq || st.QoS["ingest"].Seq != st.Seq {
+		t.Errorf("QoS Seq %d/%d != snapshot Seq %d",
+			st.QoS["solve"].Seq, st.QoS["ingest"].Seq, st.Seq)
+	}
+	if st.QoS["solve"].Since.IsZero() {
+		t.Error("QoS Since is zero")
+	}
+}
+
+// TestQueryTrace is the tracing acceptance test: a "trace": true
+// SketchRefine solve returns a span tree whose root duration matches
+// the reported solve time within 5%, whose direct children cover at
+// least 90% of it, and whose solve subtree shows the sketch → refine
+// structure.
+func TestQueryTrace(t *testing.T) {
+	_, ts := newObsServer(t, Config{})
+	client := ts.Client()
+
+	// Warm the partitioning (and advisor) with an untraced twin first,
+	// then trace a query it cannot have cached: the traced execution is
+	// a fresh solve against fully warm state, so its root is pure solve.
+	warm := QueryRequest{Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodSketchRefine}
+	if status, raw, err := postQuery(client, ts.URL, warm); err != nil || status != http.StatusOK {
+		t.Fatalf("warm solve: status %d err %v (%s)", status, err, raw)
+	}
+	traced := QueryRequest{
+		Dataset: "galaxy",
+		Query: `SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0
+SUCH THAT COUNT(P.*) = 4
+MAXIMIZE SUM(P.petrorad)`,
+		Method: MethodSketchRefine,
+		Trace:  true,
+	}
+	status, raw := mustPostQuery(t, client, ts.URL, traced)
+	if status != http.StatusOK {
+		t.Fatalf("traced solve: status %d (%s)", status, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Trace == nil {
+		t.Fatal("trace requested but absent from the response")
+	}
+	if qr.Cached {
+		t.Fatal("traced solve unexpectedly hit the cache; the timing bound below would be meaningless")
+	}
+	root := qr.Trace
+	if root.Name != "execute" {
+		t.Fatalf("root span %q, want execute", root.Name)
+	}
+
+	// Root duration vs reported solve time: within 5%. TimeMS measures
+	// the solve alone, the root adds pin + objective + bookkeeping — all
+	// microseconds against a multi-millisecond SketchRefine solve.
+	if qr.TimeMS <= 0 {
+		t.Fatalf("reported time_ms %v not positive", qr.TimeMS)
+	}
+	if rel := math.Abs(root.DurationMS-qr.TimeMS) / qr.TimeMS; rel > 0.05 {
+		t.Errorf("root span %.3fms vs reported %.3fms: off by %.1f%%, want ≤5%%",
+			root.DurationMS, qr.TimeMS, 100*rel)
+	}
+
+	// Direct children must account for ≥90% of the root.
+	var childSum float64
+	for _, c := range root.Children {
+		childSum += c.DurationMS
+	}
+	if childSum < 0.9*root.DurationMS {
+		t.Errorf("children cover %.3fms of the root's %.3fms (<90%%)", childSum, root.DurationMS)
+	}
+
+	// Structure: the paper's pipeline must be visible in the tree.
+	names := map[string]int{}
+	var walk func(n *paq.TraceNode)
+	walk = func(n *paq.TraceNode) {
+		names[n.Name]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, want := range []string{"plan", "pin", "solve", "sketch", "refine", "refine_group", "ilp", "objective"} {
+		if names[want] == 0 {
+			t.Errorf("span %q missing from the trace (have %v)", want, names)
+		}
+	}
+	if root.Attrs["method"] != MethodSketchRefine {
+		t.Errorf("root method attr = %v, want %s", root.Attrs["method"], MethodSketchRefine)
+	}
+
+	// An untraced request must not carry a tree.
+	status, raw = mustPostQuery(t, client, ts.URL, QueryRequest{
+		Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodDirect,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("untraced solve: status %d (%s)", status, raw)
+	}
+	var plain QueryResponse
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced request returned a span tree")
+	}
+}
+
+// TestSlowQueryLog exercises the slow-query log end to end: with a
+// 1ns threshold every solve is slow, and each line must be standalone
+// JSON carrying the query, plan, dataset version, and span tree.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts := newObsServer(t, Config{SlowQuery: time.Nanosecond, SlowQueryLog: &buf})
+	client := ts.Client()
+	status, raw := mustPostQuery(t, client, ts.URL, QueryRequest{
+		Dataset: "galaxy", Query: obsFeasibleQuery, Method: MethodSketchRefine,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("solve: status %d (%s)", status, raw)
+	}
+
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("slow log empty after a slow solve")
+	}
+	var entry struct {
+		TS         time.Time       `json:"ts"`
+		Dataset    string          `json:"dataset"`
+		Query      string          `json:"query"`
+		Method     string          `json:"method"`
+		DurationMS float64         `json:"duration_ms"`
+		Version    uint64          `json:"version"`
+		Plan       json.RawMessage `json:"plan"`
+		Trace      *paq.TraceNode  `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("slow-log line not JSON: %v\n%s", err, line)
+	}
+	if entry.Dataset != "galaxy" || entry.Method != MethodSketchRefine {
+		t.Errorf("entry identifies %q/%q, want galaxy/sketchrefine", entry.Dataset, entry.Method)
+	}
+	if entry.Query != obsFeasibleQuery {
+		t.Errorf("entry query %q, want the posted text", entry.Query)
+	}
+	if entry.DurationMS <= 0 || entry.TS.IsZero() {
+		t.Errorf("entry lacks timing: duration %v ts %v", entry.DurationMS, entry.TS)
+	}
+	if len(entry.Plan) == 0 || string(entry.Plan) == "null" {
+		t.Error("entry lacks the plan")
+	}
+	if entry.Trace == nil || entry.Trace.Name != "execute" {
+		t.Errorf("entry lacks the span tree (got %+v)", entry.Trace)
+	}
+
+	// The threshold gates the log: an explain request never solves, so
+	// it must not log.
+	buf.Reset()
+	if _, _, err := postQuery(client, ts.URL, QueryRequest{
+		Dataset: "galaxy", Query: obsFeasibleQuery, Explain: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("explain request wrote a slow-log line: %s", buf.String())
+	}
+}

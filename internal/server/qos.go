@@ -21,6 +21,7 @@ type qosClass struct {
 	name      string
 	max       int // concurrent slots
 	maxQueued int // admitted beyond max, waiting for a slot
+	since     time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -42,6 +43,7 @@ func newQoSClass(name string, max, maxQueued int) *qosClass {
 		name:      name,
 		max:       max,
 		maxQueued: maxQueued,
+		since:     time.Now(),
 		held:      make(map[string]int),
 		demand:    make(map[string]int),
 	}
@@ -174,10 +176,15 @@ func (q *qosClass) admit(ctx context.Context, dataset string) (func(), *qosRefus
 
 // QoSStats is the wire form of one admission class under /stats "qos".
 type QoSStats struct {
-	MaxInFlight int `json:"max_in_flight"`
-	MaxQueued   int `json:"max_queued"`
-	InFlight    int `json:"in_flight"`
-	Queued      int `json:"queued"`
+	// Since is when the class's counters started (server start); Seq is
+	// the /stats snapshot sequence (see StatsResponse.Seq) — together
+	// they let a scraper order interleaved polls and detect restarts.
+	Since       time.Time `json:"since"`
+	Seq         uint64    `json:"seq"`
+	MaxInFlight int       `json:"max_in_flight"`
+	MaxQueued   int       `json:"max_queued"`
+	InFlight    int       `json:"in_flight"`
+	Queued      int       `json:"queued"`
 	// Admitted counts requests that claimed a slot; Rejected overflows
 	// of the class's queue; DeadlineExpired deadlines that fired while
 	// queued.
@@ -203,6 +210,7 @@ type QoSDatasetStats struct {
 func (q *qosClass) stats() QoSStats {
 	q.mu.Lock()
 	st := QoSStats{
+		Since:       q.since,
 		MaxInFlight: q.max,
 		MaxQueued:   q.maxQueued,
 		InFlight:    q.inFlight,

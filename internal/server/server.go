@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -44,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/paq"
 )
@@ -79,6 +81,15 @@ type Config struct {
 	// maintenance pass snapshots a durable dataset (truncating the log).
 	// 0 means 8 MiB; negative disables size-driven snapshots.
 	WALMaxBytes int64
+	// SlowQuery is the slow-query log threshold: a solve at or above it
+	// emits one structured JSON line (query, plan, dataset version, span
+	// tree) to SlowQueryLog. 0 disables the log. Enabling it turns on
+	// tracing for every solve — the log wants the span tree — so set it
+	// well above the typical solve time.
+	SlowQuery time.Duration
+	// SlowQueryLog receives the slow-query lines; nil disables the log
+	// regardless of SlowQuery.
+	SlowQueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -140,50 +151,80 @@ type Server struct {
 	idle     chan struct{} // closed when draining and active == 0
 
 	// replMu guards the replication hooks a repl.Node installs: a
-	// mutation gate (refuse writes on followers and fenced leaders) and
-	// a stats block surfaced under /stats "replication".
-	replMu    sync.RWMutex
-	mutGate   func() error
-	replStats func() any
+	// mutation gate (refuse writes on followers and fenced leaders), a
+	// stats block surfaced under /stats "replication", and the typed
+	// gauge snapshot /metrics renders.
+	replMu      sync.RWMutex
+	mutGate     func() error
+	replStats   func() any
+	replMetrics func() ReplMetrics
 
-	ctr counters
+	// reg is the metric registry behind GET /metrics. The counters below
+	// are cells registered on it, so /stats and /metrics render the same
+	// memory and cannot disagree.
+	reg          *obs.Registry
+	ctr          counters
+	solveSeconds *obs.Histogram
+	slow         *obs.SlowLog
+
+	// methodCtr holds the per-method solve counters (the /metrics
+	// "paqld_solves_total{method=...}" family), created on first use.
+	methodMu  sync.Mutex
+	methodCtr map[string]*obs.Counter
+
+	// statsSeq numbers Stats() snapshots; the durability/QoS/advisor
+	// blocks carry it so a scraper interleaving /stats polls can order
+	// them without trusting wall clocks.
+	statsSeq atomic.Uint64
 }
 
-// counters are the monotonically increasing service statistics.
+// counters are the monotonically increasing service statistics. Every
+// *obs.Counter field is a registry cell (see newCounters); solveNanos
+// stays a plain atomic because it is a signed nanosecond sum rendered
+// as a derived collector.
 type counters struct {
-	queries     atomic.Uint64
-	ok          atomic.Uint64
-	infeasible  atomic.Uint64
-	truncated   atomic.Uint64
-	badRequest  atomic.Uint64
-	rejected    atomic.Uint64
-	timeouts    atomic.Uint64
-	failures    atomic.Uint64
-	explains    atomic.Uint64
-	incumbents  atomic.Uint64
+	queries     *obs.Counter
+	ok          *obs.Counter
+	infeasible  *obs.Counter
+	truncated   *obs.Counter
+	badRequest  *obs.Counter
+	rejected    *obs.Counter
+	timeouts    *obs.Counter
+	failures    *obs.Counter
+	explains    *obs.Counter
+	incumbents  *obs.Counter
 	solveNanos  atomic.Int64
-	backtracks  atomic.Uint64
-	subproblems atomic.Uint64
+	backtracks  *obs.Counter
+	subproblems *obs.Counter
 	// Mutation-path counters (POST /datasets/{name}/rows).
-	mutations    atomic.Uint64
-	rowsInserted atomic.Uint64
-	rowsDeleted  atomic.Uint64
-	rowsUpdated  atomic.Uint64
+	mutations    *obs.Counter
+	rowsInserted *obs.Counter
+	rowsDeleted  *obs.Counter
+	rowsUpdated  *obs.Counter
 	// Background-maintenance counters (MaintainOnce).
-	compactions atomic.Uint64
-	snapshots   atomic.Uint64
+	compactions *obs.Counter
+	snapshots   *obs.Counter
 }
 
 // New creates an empty server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:      cfg,
-		start:    time.Now(),
-		datasets: make(map[string]*Dataset),
-		solve:    newQoSClass("solve", cfg.MaxInFlight, cfg.MaxQueued),
-		ingest:   newQoSClass("ingest", cfg.IngestMaxInFlight, cfg.IngestMaxQueued),
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:       cfg,
+		start:     time.Now(),
+		datasets:  make(map[string]*Dataset),
+		solve:     newQoSClass("solve", cfg.MaxInFlight, cfg.MaxQueued),
+		ingest:    newQoSClass("ingest", cfg.IngestMaxInFlight, cfg.IngestMaxQueued),
+		reg:       reg,
+		ctr:       newCounters(reg),
+		slow:      obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQuery),
+		methodCtr: make(map[string]*obs.Counter),
 	}
+	s.solveSeconds = reg.Histogram("paqld_solve_seconds",
+		"Wall-clock solver time per fresh (non-cached) solve.", obs.DefBuckets)
+	s.registerCollectors()
+	return s
 }
 
 // Register adds a dataset to the registry. Registering a name twice
@@ -244,6 +285,7 @@ func (s *Server) SetReplStats(fn func() any) {
 //	POST /query                 evaluate (or explain) a PaQL query (QueryRequest → QueryResponse)
 //	POST /datasets/{name}/rows  mutate a dataset (MutateRequest → MutateResponse)
 //	GET  /stats                 service and cache statistics
+//	GET  /metrics               Prometheus text exposition (same cells as /stats)
 //	GET  /datasets              registered datasets
 //	GET  /healthz               liveness
 func (s *Server) Handler() http.Handler {
@@ -251,6 +293,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("POST /datasets/{name}/rows", s.handleMutate)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -446,6 +489,10 @@ type QueryRequest struct {
 	// IncludeTuples adds the materialized package tuples to the response
 	// (row indices and multiplicities are always included).
 	IncludeTuples bool `json:"include_tuples,omitempty"`
+	// Trace returns the execution's span tree in the response — where
+	// the request's time went: plan, snapshot pin, solve (sketch, each
+	// refine group, ILP iterations), objective.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PackageRow is one distinct tuple of the answer package.
@@ -517,6 +564,8 @@ type QueryResponse struct {
 	Tuples     [][]string     `json:"tuples,omitempty"`
 	Stats      *EvalStatsJSON `json:"stats,omitempty"`
 	TimeMS     float64        `json:"time_ms"`
+	// Trace is the execution's span tree ("trace": true requests only).
+	Trace *paq.TraceNode `json:"trace,omitempty"`
 }
 
 // errorResponse is the body of every non-200 response.
@@ -654,7 +703,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, execErr := stmt.Execute(ctx)
+	// Tracing costs one span tree per request; pay it only when the
+	// client asked for it or the slow-query log may want it.
+	var execOpts []paq.ExecOption
+	if req.Trace || s.slow != nil {
+		execOpts = append(execOpts, paq.WithTrace())
+	}
+	res, execErr := stmt.Execute(ctx, execOpts...)
 	s.respond(w, req, stmt, res, execErr)
 }
 
@@ -671,10 +726,34 @@ func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt
 			s.ctr.subproblems.Add(uint64(st.Subproblems))
 		}
 		s.ctr.incumbents.Add(uint64(res.Incumbents))
+		if !res.Cached {
+			s.solveSeconds.Observe(res.Time.Seconds())
+		}
 		resp.Cached = res.Cached
 		resp.Incumbents = res.Incumbents
 		resp.Stats = statsJSON(res.Stats)
 		resp.TimeMS = float64(res.Time) / float64(time.Millisecond)
+		if req.Trace {
+			resp.Trace = res.Trace()
+		}
+		// Snapshotting the span tree is the expensive part of a slow-log
+		// line; check the threshold before building the entry.
+		if s.slow != nil && res.Time >= s.slow.Threshold() {
+			e := obs.SlowEntry{
+				Dataset:    req.Dataset,
+				Query:      req.Query,
+				Method:     string(stmt.Method()),
+				DurationMS: float64(res.Time) / float64(time.Millisecond),
+				Version:    res.Version,
+				Cached:     res.Cached,
+				Plan:       stmt.Plan(),
+				Trace:      res.Trace(),
+			}
+			if execErr != nil {
+				e.Error = execErr.Error()
+			}
+			s.slow.Observe(e)
+		}
 	}
 	if execErr != nil {
 		switch {
@@ -682,6 +761,7 @@ func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt
 			// A definitive verdict about the query, not a failure
 			// (ErrFalseInfeasible satisfies ErrInfeasible too).
 			s.ctr.infeasible.Add(1)
+			s.methodCounter(string(stmt.Method())).Inc()
 			resp.Infeasible = true
 			resp.FalseInfeasible = errors.Is(execErr, paq.ErrFalseInfeasible)
 			writeJSON(w, http.StatusOK, resp)
@@ -710,6 +790,7 @@ func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt
 		return
 	}
 	s.ctr.ok.Add(1)
+	s.methodCounter(string(stmt.Method())).Inc()
 	if res.Truncated {
 		s.ctr.truncated.Add(1)
 		resp.Truncated = true
@@ -745,16 +826,20 @@ func (s *Server) respond(w http.ResponseWriter, req QueryRequest, stmt *paq.Stmt
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	UptimeMS    float64 `json:"uptime_ms"`
-	Queries     uint64  `json:"queries"`
-	OK          uint64  `json:"ok"`
-	Infeasible  uint64  `json:"infeasible"`
-	Truncated   uint64  `json:"truncated"`
-	BadRequests uint64  `json:"bad_requests"`
-	Rejected    uint64  `json:"rejected"`
-	Timeouts    uint64  `json:"timeouts"`
-	Failures    uint64  `json:"failures"`
-	Explains    uint64  `json:"explains"`
+	UptimeMS float64 `json:"uptime_ms"`
+	// Seq numbers this snapshot: strictly increasing across Stats()
+	// calls, echoed into the QoS / durability / advisor blocks so a
+	// scraper can order interleaved polls without trusting wall clocks.
+	Seq         uint64 `json:"seq"`
+	Queries     uint64 `json:"queries"`
+	OK          uint64 `json:"ok"`
+	Infeasible  uint64 `json:"infeasible"`
+	Truncated   uint64 `json:"truncated"`
+	BadRequests uint64 `json:"bad_requests"`
+	Rejected    uint64 `json:"rejected"`
+	Timeouts    uint64 `json:"timeouts"`
+	Failures    uint64 `json:"failures"`
+	Explains    uint64 `json:"explains"`
 	// Incumbents is the total number of improving ILP incumbents found
 	// across all executions — the anytime-results counter.
 	Incumbents uint64 `json:"incumbents_total"`
@@ -775,6 +860,9 @@ type StatsResponse struct {
 	Queued   int                 `json:"queued"`
 	QoS      map[string]QoSStats `json:"qos"`
 	Draining bool                `json:"draining"`
+	// Methods is the completed-solve count per evaluation method — the
+	// same cells /metrics renders as paqld_solves_total{method}.
+	Methods     map[string]uint64       `json:"methods,omitempty"`
 	SolveTimeMS float64                 `json:"solve_time_ms_total"`
 	Backtracks  uint64                  `json:"backtracks_total"`
 	Subproblems uint64                  `json:"subproblems_total"`
@@ -807,12 +895,24 @@ type DatasetStats struct {
 	// evidence (uses, last-used version, prewarmed/pinned) — what makes
 	// advisor evictions observable. Advisor is the adaptive planner's
 	// counter block.
-	WarmSets []paq.WarmSet     `json:"warm_sets,omitempty"`
-	Advisor  *paq.AdvisorStats `json:"advisor,omitempty"`
+	WarmSets []paq.WarmSet `json:"warm_sets,omitempty"`
+	Advisor  *AdvisorJSON  `json:"advisor,omitempty"`
+}
+
+// AdvisorJSON is the /stats wire form of paq.AdvisorStats, stamped
+// with the dataset's registration time and the snapshot sequence.
+type AdvisorJSON struct {
+	paq.AdvisorStats
+	Since time.Time `json:"since"`
+	Seq   uint64    `json:"seq"`
 }
 
 // DurJSON is the wire form of paq.DurStats.
 type DurJSON struct {
+	// Since is when the dataset was registered with this server; Seq is
+	// the /stats snapshot sequence (see StatsResponse.Seq).
+	Since time.Time `json:"since"`
+	Seq   uint64    `json:"seq"`
 	// WALBytes is the current write-ahead log size — the bytes a crash
 	// would replay.
 	WALBytes int64 `json:"wal_bytes"`
@@ -834,11 +934,13 @@ type DurJSON struct {
 	Poisoned bool `json:"poisoned,omitempty"`
 }
 
-func durJSON(d paq.DurStats) *DurJSON {
+func durJSON(d paq.DurStats, since time.Time, seq uint64) *DurJSON {
 	if !d.Durable {
 		return nil
 	}
 	return &DurJSON{
+		Since:             since,
+		Seq:               seq,
 		WALBytes:          d.WALBytes,
 		SnapshotVersion:   d.SnapshotVersion,
 		SnapshotAgeMS:     float64(d.SnapshotAge) / float64(time.Millisecond),
@@ -880,33 +982,37 @@ type CacheStats struct {
 
 // Stats snapshots the service counters (also served at GET /stats).
 func (s *Server) Stats() StatsResponse {
+	seq := s.statsSeq.Add(1)
 	solveStats := s.solve.stats()
 	ingestStats := s.ingest.stats()
+	solveStats.Seq, ingestStats.Seq = seq, seq
 	resp := StatsResponse{
 		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
-		Queries:      s.ctr.queries.Load(),
-		OK:           s.ctr.ok.Load(),
-		Infeasible:   s.ctr.infeasible.Load(),
-		Truncated:    s.ctr.truncated.Load(),
-		BadRequests:  s.ctr.badRequest.Load(),
-		Rejected:     s.ctr.rejected.Load(),
-		Timeouts:     s.ctr.timeouts.Load(),
-		Failures:     s.ctr.failures.Load(),
-		Explains:     s.ctr.explains.Load(),
-		Incumbents:   s.ctr.incumbents.Load(),
-		Mutations:    s.ctr.mutations.Load(),
-		RowsInserted: s.ctr.rowsInserted.Load(),
-		RowsDeleted:  s.ctr.rowsDeleted.Load(),
-		RowsUpdated:  s.ctr.rowsUpdated.Load(),
-		Compactions:  s.ctr.compactions.Load(),
-		Snapshots:    s.ctr.snapshots.Load(),
+		Seq:          seq,
+		Queries:      s.ctr.queries.Value(),
+		OK:           s.ctr.ok.Value(),
+		Infeasible:   s.ctr.infeasible.Value(),
+		Truncated:    s.ctr.truncated.Value(),
+		BadRequests:  s.ctr.badRequest.Value(),
+		Rejected:     s.ctr.rejected.Value(),
+		Timeouts:     s.ctr.timeouts.Value(),
+		Failures:     s.ctr.failures.Value(),
+		Explains:     s.ctr.explains.Value(),
+		Incumbents:   s.ctr.incumbents.Value(),
+		Mutations:    s.ctr.mutations.Value(),
+		RowsInserted: s.ctr.rowsInserted.Value(),
+		RowsDeleted:  s.ctr.rowsDeleted.Value(),
+		RowsUpdated:  s.ctr.rowsUpdated.Value(),
+		Compactions:  s.ctr.compactions.Value(),
+		Snapshots:    s.ctr.snapshots.Value(),
 		InFlight:     solveStats.InFlight,
 		Queued:       solveStats.Queued,
 		QoS:          map[string]QoSStats{"solve": solveStats, "ingest": ingestStats},
 		Draining:     s.isDraining(),
+		Methods:      s.methodMix(),
 		SolveTimeMS:  float64(s.ctr.solveNanos.Load()) / float64(time.Millisecond),
-		Backtracks:   s.ctr.backtracks.Load(),
-		Subproblems:  s.ctr.subproblems.Load(),
+		Backtracks:   s.ctr.backtracks.Value(),
+		Subproblems:  s.ctr.subproblems.Value(),
 		Datasets:     make(map[string]DatasetStats),
 	}
 	s.replMu.RLock()
@@ -922,7 +1028,7 @@ func (s *Server) Stats() StatsResponse {
 			Version:     ds.Version(),
 			Maintenance: maintJSON(ds.Session().MaintStats()),
 			Pinning:     pinJSON(ds.Session().PinStats()),
-			Durability:  durJSON(ds.DurStats()),
+			Durability:  durJSON(ds.DurStats(), ds.Created(), seq),
 			Caches:      make(map[string]CacheStats),
 		}
 		if pi, err := ds.Partitioning(); err == nil {
@@ -934,7 +1040,7 @@ func (s *Server) Stats() StatsResponse {
 		}
 		dst.WarmSets = ds.Session().WarmSets()
 		if as := ds.Session().AdvisorStats(); as.Enabled {
-			dst.Advisor = &as
+			dst.Advisor = &AdvisorJSON{AdvisorStats: as, Since: ds.Created(), Seq: seq}
 		}
 		resp.Datasets[name] = dst
 	}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -164,9 +165,13 @@ func EvaluateCtx(ctx context.Context, spec *core.Spec, part *partition.Partition
 	// degrade quality rather than fail the whole evaluation.
 	opt.Solver.AcceptIncumbent = true
 	ev := &evaluator{ctx: ctx, spec: spec, part: part, opt: opt, stats: stats}
+	_, psp := obs.Start(ctx, "prepare")
 	if err := ev.prepare(); err != nil {
+		psp.Finish()
 		return nil, stats, err
 	}
+	psp.SetAttrInt("groups", int64(len(ev.gids)))
+	psp.Finish()
 	if len(ev.gids) == 0 {
 		return nil, stats, core.ErrInfeasible
 	}
@@ -184,7 +189,15 @@ func EvaluateCtx(ctx context.Context, spec *core.Spec, part *partition.Partition
 		}
 	}
 
+	// The refinement phase gets one umbrella span; per-group solves
+	// attach beneath it through ev.ctx.
+	rctx, rsp := obs.Start(ctx, "refine")
+	saved := ev.ctx
+	ev.ctx = rctx
 	final, err := ev.refine(st)
+	ev.ctx = saved
+	rsp.SetAttrInt("backtracks", int64(ev.backtracks))
+	rsp.Finish()
 	if err != nil {
 		if errors.Is(err, errRefineFailed) {
 			return ev.failOrMerge()
@@ -247,6 +260,9 @@ func (ev *evaluator) groupCap(gid int) float64 {
 // sketch solves the sketch query Q[R̃] over the representative tuples,
 // returning the initial sketch state.
 func (ev *evaluator) sketch() (*state, error) {
+	ctx, sp := obs.Start(ev.ctx, "sketch")
+	defer sp.Finish()
+	sp.SetAttrInt("groups", int64(len(ev.gids)))
 	repRows := make([]int, len(ev.gids))
 	hi := make([]float64, len(ev.gids))
 	for i, gid := range ev.gids {
@@ -259,7 +275,7 @@ func (ev *evaluator) sketch() (*state, error) {
 		Constraints: ev.spec.Constraints,
 		Objective:   ev.spec.Objective,
 	}
-	pkg, st, err := core.SolveRowsStream(ev.ctx, sketchSpec, repRows, hi, ev.opt.Solver, 0, ev.incumbentHook(true))
+	pkg, st, err := core.SolveRowsStream(ctx, sketchSpec, repRows, hi, ev.opt.Solver, 0, ev.incumbentHook(true))
 	ev.stats.Add(st)
 	if err != nil {
 		return nil, err
@@ -304,6 +320,10 @@ func (ev *evaluator) contribution(ci int, st *state, skipGID int) float64 {
 // group gid to replace its representatives, with every constraint's RHS
 // reduced by the rest of the partial package (p̄ⱼ in the paper).
 func (ev *evaluator) refineGroup(st *state, gid int) (*state, error) {
+	ctx, sp := obs.Start(ev.ctx, "refine_group")
+	defer sp.Finish()
+	sp.SetAttrInt("gid", int64(gid))
+	sp.SetAttrInt("eligible", int64(len(ev.eligible[gid])))
 	sub := &core.Spec{
 		Rel:       ev.spec.Rel,
 		Repeat:    ev.spec.Repeat,
@@ -317,7 +337,7 @@ func (ev *evaluator) refineGroup(st *state, gid int) (*state, error) {
 			Desc: c.Desc,
 		})
 	}
-	pkg, stats, err := core.SolveRowsStream(ev.ctx, sub, ev.eligible[gid], nil, ev.opt.Solver, 0, ev.incumbentHook(false))
+	pkg, stats, err := core.SolveRowsStream(ctx, sub, ev.eligible[gid], nil, ev.opt.Solver, 0, ev.incumbentHook(false))
 	ev.stats.Add(stats)
 	if err != nil {
 		return nil, err
@@ -472,6 +492,9 @@ func (ev *evaluator) hybridSketch() (*state, error) {
 // ILP has one variable per original tuple of the group and one per other
 // group's representative.
 func (ev *evaluator) hybridSketchFor(gid int) (*state, error) {
+	ctx, sp := obs.Start(ev.ctx, "hybrid_sketch")
+	defer sp.Finish()
+	sp.SetAttrInt("gid", int64(gid))
 	t0 := time.Now()
 	tupleRows := ev.eligible[gid]
 	var otherGids []int
@@ -542,7 +565,7 @@ func (ev *evaluator) hybridSketchFor(gid int) (*state, error) {
 	}
 	sub := &core.EvalStats{Subproblems: 1, Vars: n, Rows: len(prob.LP.B), BuildTime: time.Since(t0)}
 	t1 := time.Now()
-	res, err := ilp.SolveCtx(ev.ctx, prob, solverOpt)
+	res, err := ilp.SolveCtx(ctx, prob, solverOpt)
 	sub.SolveTime = time.Since(t1)
 	ev.stats.Add(sub)
 	if err != nil {
@@ -582,7 +605,9 @@ func (ev *evaluator) failOrMerge() (*core.Package, *core.EvalStats, error) {
 	if !ev.opt.MergeOnFailure {
 		return nil, ev.stats, ErrFalseInfeasible
 	}
-	pkg, st, err := core.SolveRowsStream(ev.ctx, ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver, 0, ev.incumbentHook(false))
+	ctx, sp := obs.Start(ev.ctx, "merge")
+	defer sp.Finish()
+	pkg, st, err := core.SolveRowsStream(ctx, ev.spec, ev.spec.BaseRows(), nil, ev.opt.Solver, 0, ev.incumbentHook(false))
 	ev.stats.Add(st)
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {

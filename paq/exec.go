@@ -10,9 +10,16 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sketchrefine"
 )
+
+// TraceNode is the JSON wire form of one span of an execution trace —
+// what Result.Trace returns, paqld serves for "trace":true requests,
+// and the slow-query log embeds. SDK consumers use this alias instead
+// of importing the internal observability package.
+type TraceNode = obs.Node
 
 // Incumbent is one improving feasible solution streamed while a solve
 // is still running — the unit of anytime results. For a DIRECT solve it
@@ -75,9 +82,15 @@ type Result struct {
 	// directly); it carries the same typed taxonomy.
 	Err error
 
-	pkg  *core.Package
-	spec *core.Spec
+	pkg   *core.Package
+	spec  *core.Spec
+	trace *obs.Span
 }
+
+// Trace snapshots the execution's span tree: where the solve spent its
+// time, from snapshot pinning down to individual ILP subproblems. Nil
+// unless the execution ran WithTrace.
+func (r *Result) Trace() *TraceNode { return r.trace.Node() }
 
 // Package returns the answer as a core package value (for
 // materialization into a relation via Package().Materialize).
@@ -89,6 +102,7 @@ type execCfg struct {
 	rows    []int
 	seed    int64
 	seedSet bool
+	trace   bool
 }
 
 // ExecOption configures one Execute call.
@@ -120,6 +134,14 @@ func WithExecSeed(seed int64) ExecOption {
 	return ExecOption{apply: func(c *execCfg) { c.seed = seed; c.seedSet = true }}
 }
 
+// WithTrace records a span tree for this execution — snapshot pin,
+// partitioning view, sketch, per-group refines, ILP subproblems —
+// retrievable from Result.Trace. Tracing costs a few allocations per
+// span; executions without it pay nothing.
+func WithTrace() ExecOption {
+	return ExecOption{apply: func(c *execCfg) { c.trace = true }}
+}
+
 // Execute evaluates the prepared statement and returns the answer
 // package. Failures map onto the typed taxonomy: errors.Is(err,
 // ErrInfeasible) for "no such package", ErrTimeout for an expired ctx
@@ -135,6 +157,19 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 		o.apply(&ec)
 	}
 	t0 := time.Now()
+	var root *obs.Span
+	if ec.trace {
+		root = obs.NewSpan("execute")
+		root.SetAttrStr("method", string(st.method))
+		ctx = obs.ContextWith(ctx, root)
+		// Planning happens once, at Prepare; the trace replays its cost
+		// so the tree shows the full query lifecycle. The replayed span
+		// is marked: its time was not spent inside this execution.
+		psp := root.Child("plan")
+		psp.SetAttrBool("replayed", true)
+		psp.SetAttrStr("reason", st.reason)
+		psp.FinishIn(st.planDur)
+	}
 
 	// Pin the execution: a brief read lock captures an immutable
 	// relation snapshot (and, for SketchRefine, a partitioning view at
@@ -142,7 +177,9 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 	// frozen state — a concurrent ingest stream proceeds on head and
 	// never stalls behind this solve. Incumbent callbacks run outside
 	// any session lock, so they may issue mutations.
-	pin, err := st.sess.pinExec(st)
+	pinSp := root.Child("pin")
+	pin, err := st.sess.pinExec(st, pinSp)
+	pinSp.Finish()
 	if err != nil {
 		return nil, err
 	}
@@ -188,13 +225,17 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 	// Bespoke executions (row subsets, reseeds) bypass the engine and are
 	// not representative workload evidence, so they skip the advisor.
 	bespoke := ec.rows != nil || ec.seedSet
+	solveSp := root.Child("solve")
+	sctx := obs.ContextWith(ctx, solveSp)
 	var res engine.Result
 	if bespoke {
-		res = st.executeBespoke(ctx, ec, spec, pin, hook)
+		res = st.executeBespoke(sctx, ec, spec, pin, hook)
 	} else {
 		eng := st.sess.engineFor(st.method, pin.part)
-		res = eng.EvaluateStreamView(ctx, spec, pin.view, hook)
+		res = eng.EvaluateStreamView(sctx, spec, pin.view, hook)
 	}
+	solveSp.SetAttrBool("cached", res.Cached)
+	solveSp.Finish()
 	if res.Err != nil {
 		// A canceled caller says nothing about the method; everything else
 		// is evidence (a definitive "no such package" is a correct answer,
@@ -234,11 +275,20 @@ func (st *Stmt) Execute(ctx context.Context, opts ...ExecOption) (*Result, error
 	// Evaluate the objective against the pinned snapshot, not head: a
 	// mutation racing this solve must not make the reported objective
 	// disagree with the version the package was chosen at.
+	objSp := root.Child("objective")
 	obj, err := res.Pkg.ObjectiveValue(spec)
+	objSp.Finish()
 	if err != nil {
 		return nil, mapEvalErr(err)
 	}
 	out.Objective = obj
+	if root != nil {
+		root.SetAttrBool("cached", res.Cached)
+		root.SetAttrInt("version", int64(out.Version))
+		root.SetAttrInt("incumbents", int64(nInc))
+		root.Finish()
+		out.trace = root
+	}
 	if !bespoke && !res.Cached {
 		o := advisor.Outcome{
 			Shape:     st.shape,

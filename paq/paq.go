@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -624,10 +625,14 @@ type pinned struct {
 // solve proceeds against the frozen state while ingest continues on
 // head. Steady state (no mutation since the last pin) allocates
 // nothing — the cached snapshot and view are reused.
-func (s *Session) pinExec(st *Stmt) (pinned, error) {
+func (s *Session) pinExec(st *Stmt, sp *obs.Span) (pinned, error) {
 	t0 := time.Now()
 	s.dataMu.RLock()
-	s.pin.observeWait(time.Since(t0))
+	wait := time.Since(t0)
+	s.pin.observeWait(wait)
+	if sp != nil {
+		sp.SetAttrFloat("lock_wait_ms", float64(wait)/float64(time.Millisecond))
+	}
 	defer s.dataMu.RUnlock()
 	p := pinned{snap: s.pin.at(s.rel)}
 	if st.method == MethodSketchRefine {
@@ -635,12 +640,18 @@ func (s *Session) pinExec(st *Stmt) (pinned, error) {
 		// maintenance pass may have evicted the one the plan captured,
 		// and refining over an evicted copy would read row indices a
 		// later compaction has renumbered.
+		vsp := sp.Child("partition_view")
 		lp, err := s.livePart(st.part, st.partCacheKey)
 		if err != nil {
+			vsp.Finish()
 			return pinned{}, err
 		}
 		p.part = lp.part
 		p.view = lp.viewAt(p.snap)
+		if vsp != nil {
+			vsp.SetAttrInt("groups", int64(p.part.NumGroups()))
+			vsp.Finish()
+		}
 	}
 	return p, nil
 }

@@ -40,11 +40,11 @@ func pinFixture(t *testing.T, opts ...Option) (*Session, *Stmt) {
 func TestPinExecSteadyStateAllocateZero(t *testing.T) {
 	run := func(t *testing.T, s *Session, stmt *Stmt) {
 		t.Helper()
-		if _, err := s.pinExec(stmt); err != nil { // warm the caches
+		if _, err := s.pinExec(stmt, nil); err != nil { // warm the caches
 			t.Fatal(err)
 		}
 		if avg := testing.AllocsPerRun(200, func() {
-			if _, err := s.pinExec(stmt); err != nil {
+			if _, err := s.pinExec(stmt, nil); err != nil {
 				t.Fatal(err)
 			}
 		}); avg != 0 {
@@ -56,11 +56,11 @@ func TestPinExecSteadyStateAllocateZero(t *testing.T) {
 		if _, err := s.DeleteRows([]int{0}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.pinExec(stmt); err != nil {
+		if _, err := s.pinExec(stmt, nil); err != nil {
 			t.Fatal(err)
 		}
 		if avg := testing.AllocsPerRun(200, func() {
-			if _, err := s.pinExec(stmt); err != nil {
+			if _, err := s.pinExec(stmt, nil); err != nil {
 				t.Fatal(err)
 			}
 		}); avg != 0 {

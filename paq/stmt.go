@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/core"
@@ -42,6 +43,10 @@ type Stmt struct {
 	// statements.
 	shape    string
 	adaptive *AdaptiveInfo
+	// planDur is the wall-clock cost of Prepare (parse, translate,
+	// method resolution, plan build). Planning happens once per
+	// statement, so a traced Execute replays this as its "plan" span.
+	planDur time.Duration
 }
 
 // AdaptiveInfo is the advisor's decision record inside a plan: what the
@@ -159,6 +164,7 @@ func (p *Plan) MarshalPlan() ([]byte, error) { return json.MarshalIndent(p, "", 
 // The only option valid here is WithMethod, overriding the session's
 // default for this statement.
 func (s *Session) Prepare(query string, opts ...Option) (*Stmt, error) {
+	t0 := time.Now()
 	cfg := s.cfg
 	if err := applyPrepare(&cfg, opts); err != nil {
 		return nil, err
@@ -184,6 +190,7 @@ func (s *Session) Prepare(query string, opts ...Option) (*Stmt, error) {
 	if st.part != nil {
 		st.partCacheKey = partKey(st.part.Attrs)
 	}
+	st.planDur = time.Since(t0)
 	return st, nil
 }
 
